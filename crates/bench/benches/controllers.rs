@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the controller hot paths: the per-tick EC step,
+//! the SM interval, P-state quantization, and budget-division policies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nps_control::{
+    BudgetPolicy, EfficiencyController, FairShare, HistoryWeighted, ProportionalShare,
+    ServerManager,
+};
+use nps_models::ServerModel;
+use std::hint::black_box;
+
+fn bench_ec_step(c: &mut Criterion) {
+    let model = ServerModel::blade_a();
+    c.bench_function("ec_step", |b| {
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        let mut util: f64 = 0.3;
+        b.iter(|| {
+            util = (util * 1.01).min(1.0);
+            black_box(ec.step(&model, black_box(util)))
+        });
+    });
+}
+
+fn bench_sm_step(c: &mut Criterion) {
+    let model = ServerModel::server_b();
+    c.bench_function("sm_step_coordinated", |b| {
+        let mut sm = ServerManager::new(&model, 0.9 * model.max_power(), 1.0);
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        b.iter(|| black_box(sm.step_coordinated(black_box(280.0), &mut ec)));
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let model = ServerModel::server_b();
+    c.bench_function("quantize", |b| {
+        let mut f = 1.1e9;
+        b.iter(|| {
+            f = if f > 2.5e9 { 1.1e9 } else { f + 1.7e7 };
+            black_box(model.quantize(black_box(f)))
+        });
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let consumption: Vec<f64> = (0..60).map(|i| 50.0 + (i % 7) as f64 * 20.0).collect();
+    let caps = vec![270.0; 60];
+    let mut group = c.benchmark_group("policy_divide_60_children");
+    group.bench_function("proportional", |b| {
+        let mut p = ProportionalShare;
+        b.iter(|| black_box(p.divide(9_000.0, &consumption, &caps)));
+    });
+    group.bench_function("fair", |b| {
+        let mut p = FairShare;
+        b.iter(|| black_box(p.divide(9_000.0, &consumption, &caps)));
+    });
+    group.bench_function("history", |b| {
+        b.iter_batched(
+            || HistoryWeighted::new(0.3),
+            |mut p| black_box(p.divide(9_000.0, &consumption, &caps)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_capping_slope(c: &mut Criterion) {
+    c.bench_function("max_capping_slope_normalized", |b| {
+        let model = ServerModel::server_b();
+        b.iter(|| black_box(model.max_capping_slope_normalized()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ec_step,
+    bench_sm_step,
+    bench_quantize,
+    bench_policies,
+    bench_capping_slope
+);
+criterion_main!(benches);

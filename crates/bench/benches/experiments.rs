@@ -1,0 +1,79 @@
+//! End-to-end experiment benchmarks: simulator tick throughput and
+//! scaled-down runs of every figure's experiment path, so
+//! `cargo bench --workspace` exercises each reproduction pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nps_core::{BudgetSpec, ControllerMask, CoordinationMode, Runner, Scenario, SystemKind};
+use nps_models::ServerModel;
+use nps_sim::{SimConfig, Simulation, Topology};
+use nps_traces::{Corpus, Mix};
+use std::hint::black_box;
+
+/// Short horizon so one bench iteration stays in the milliseconds.
+const BENCH_HORIZON: u64 = 600;
+
+fn bench_sim_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_tick_throughput");
+    for n in [60usize, 180] {
+        let topo = Topology::builder().standalone(n).build();
+        let traces = Corpus::enterprise(500, 1).into_traces();
+        let sim = Simulation::new(
+            topo,
+            ServerModel::blade_a(),
+            traces.into_iter().take(n).collect(),
+            SimConfig::default(),
+        )
+        .expect("valid sim");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut s = sim.clone();
+            b.iter(|| {
+                s.step();
+                black_box(s.group_power())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn run_cfg(cfg: &nps_core::ExperimentConfig) -> f64 {
+    Runner::new(cfg).run_to_horizon().energy
+}
+
+fn bench_figure_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_paths");
+    group.sample_size(10);
+
+    // Figure 7 path: coordinated and uncoordinated on the 180 cluster.
+    for mode in [
+        CoordinationMode::Coordinated,
+        CoordinationMode::Uncoordinated,
+    ] {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
+            .horizon(BENCH_HORIZON)
+            .build();
+        group.bench_function(format!("fig7_{}", mode.label().replace([' ', ','], "_")), |b| {
+            b.iter(|| black_box(run_cfg(&cfg)))
+        });
+    }
+    // Figure 8 path: VMC-only mask.
+    let cfg = Scenario::paper(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
+        .mask(ControllerMask::VMC_ONLY)
+        .horizon(BENCH_HORIZON)
+        .build();
+    group.bench_function("fig8_vmconly", |b| b.iter(|| black_box(run_cfg(&cfg))));
+    // Figure 9 path: one ablation.
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::CoordApparentUtil)
+        .horizon(BENCH_HORIZON)
+        .build();
+    group.bench_function("fig9_appr_util", |b| b.iter(|| black_box(run_cfg(&cfg))));
+    // Figure 10 path: tightest budgets.
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+        .budgets(BudgetSpec::PAPER_30_25_20)
+        .horizon(BENCH_HORIZON)
+        .build();
+    group.bench_function("fig10_tight_budgets", |b| b.iter(|| black_box(run_cfg(&cfg))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_tick, bench_figure_paths);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Benchmarks of the VMC's greedy bin-packing at the paper's fleet sizes
+//! (60, 180) and a 4× scale-up, plus the local-search improver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nps_models::ServerModel;
+use nps_opt::{ClusterContext, Vmc, VmcConfig};
+use nps_sim::{Placement, Topology};
+use std::hint::black_box;
+
+struct Fleet {
+    topo: Topology,
+    models: Vec<ServerModel>,
+    current: Placement,
+    cap_loc: Vec<f64>,
+    cap_enc: Vec<f64>,
+    cap_grp: f64,
+    demands: Vec<f64>,
+}
+
+fn fleet(n: usize) -> Fleet {
+    let enclosures = n / 30; // paper ratio: 1/3 of servers in enclosures
+    let blades = 20 * enclosures;
+    let topo = Topology::builder()
+        .enclosures(enclosures, 20)
+        .standalone(n - blades)
+        .build();
+    let model = ServerModel::blade_a();
+    let max = model.max_power();
+    Fleet {
+        models: vec![model; n],
+        current: Placement::one_per_server(n, n),
+        cap_loc: vec![0.9 * max; n],
+        cap_enc: vec![0.85 * 20.0 * max; enclosures],
+        cap_grp: 0.8 * max * n as f64,
+        demands: (0..n).map(|i| 0.1 + 0.4 * ((i * 7) % 13) as f64 / 13.0).collect(),
+        topo,
+    }
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vmc_plan_greedy");
+    for n in [60usize, 180, 720] {
+        let f = fleet(n);
+        let vmc = Vmc::new(VmcConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let ctx = ClusterContext {
+                topo: &f.topo,
+                models: &f.models,
+                current: &f.current,
+                cap_loc: &f.cap_loc,
+                cap_enc: &f.cap_enc,
+                cap_grp: f.cap_grp,
+            };
+            b.iter(|| black_box(vmc.plan(black_box(&f.demands), &ctx)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let f = fleet(180);
+    let vmc = Vmc::new(VmcConfig {
+        local_search_iters: 3,
+        ..VmcConfig::default()
+    });
+    c.bench_function("vmc_plan_greedy_plus_local_search_180", |b| {
+        let ctx = ClusterContext {
+            topo: &f.topo,
+            models: &f.models,
+            current: &f.current,
+            cap_loc: &f.cap_loc,
+            cap_enc: &f.cap_enc,
+            cap_grp: f.cap_grp,
+        };
+        b.iter(|| black_box(vmc.plan(black_box(&f.demands), &ctx)));
+    });
+}
+
+criterion_group!(benches, bench_greedy, bench_local_search);
+criterion_main!(benches);

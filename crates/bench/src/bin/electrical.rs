@@ -1,0 +1,72 @@
+//! **§3.1 optional electrical power capper (CAP)** — thermal budgets
+//! tolerate bounded transient violations; electrical (fuse) budgets do
+//! not. The paper adds CAP as a hard clamp *"implemented in parallel to
+//! the nested controller directly adjusting P-states"*. This bench runs
+//! the coordinated architecture with and without CAP and verifies the
+//! never-violate property against per-tick peak power.
+
+use nps_bench::{banner, horizon, scenario};
+use nps_core::{CoordinationMode, Runner, SystemKind};
+use nps_metrics::Table;
+use nps_sim::ServerId;
+use nps_traces::Mix;
+
+/// Runs and tracks per-tick electrical-budget violations (instantaneous,
+/// not window-averaged — a fuse does not average).
+fn run_with_cap(elec_frac: Option<f64>, budget_frac: f64) -> (f64, f64, u64) {
+    let mut sc = scenario(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated);
+    if let Some(f) = elec_frac {
+        sc = sc.electrical_cap(f);
+    }
+    let cfg = sc.build();
+    let budget = budget_frac * cfg.model.max_power();
+    let mut runner = Runner::new(&cfg);
+    let n = cfg.topology.num_servers();
+    let mut violations = 0u64;
+    for _ in 0..horizon() {
+        runner.tick();
+        for i in 0..n {
+            if runner.sim().server_power(ServerId(i)) > budget + 1e-9 {
+                violations += 1;
+            }
+        }
+    }
+    let stats = runner.stats();
+    (
+        stats.energy / horizon() as f64,
+        100.0 * (1.0 - stats.delivery_ratio()),
+        violations,
+    )
+}
+
+fn main() {
+    banner(
+        "§3.1 optional electrical capper (Blade A / 60HH, per-tick fuse checks)",
+        "paper §3.1 / §6.1 item (2)",
+    );
+    let frac = 0.85;
+    let mut table = Table::new(vec![
+        "configuration",
+        "mean power kW",
+        "undelivered work %",
+        "per-tick fuse violations",
+    ]);
+    for (label, elec) in [("thermal capping only (SM)", None), ("SM + electrical CAP", Some(frac))] {
+        let (mean_w, loss, violations) = run_with_cap(elec, frac);
+        table.row(vec![
+            label.to_string(),
+            Table::fmt(mean_w / 1_000.0),
+            Table::fmt(loss),
+            violations.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Shape to check: the SM alone allows *transient* excursions above\n\
+         the {:.0}%-of-max fuse line (fine for thermal budgets, fatal for\n\
+         electrical ones); with CAP clamping P-states in parallel, the\n\
+         per-tick violation count is exactly zero, at a small additional\n\
+         performance cost.",
+        frac * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! **§5.1 prototype validation** — a single server under sustained high
+//! load with the RC thermal model: the uncoordinated EC+SM race drives
+//! thermal failover; the coordinated nesting settles safely.
+
+use nps_bench::banner;
+use nps_core::{
+    ControllerMask, CoordinationMode, Runner, Scenario, SystemKind,
+};
+use nps_metrics::Table;
+use nps_models::ServerModel;
+use nps_sim::{ServerId, ThermalConfig, Topology};
+use nps_traces::{Mix, UtilTrace};
+
+fn main() {
+    banner(
+        "§5.1 prototype: thermal failover of the uncoordinated EC+SM",
+        "paper §5.1 (lab prototype observation)",
+    );
+    let model = ServerModel::blade_a();
+    let cap = 0.9 * model.max_power();
+    let horizon = 3_000u64;
+
+    let mut table = Table::new(vec![
+        "architecture",
+        "failovers",
+        "P-state races",
+        "final temp °C",
+        "avg power W",
+    ]);
+    for mode in [
+        CoordinationMode::Uncoordinated,
+        CoordinationMode::Coordinated,
+    ] {
+        let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
+            .horizon(horizon)
+            .build();
+        cfg.topology = Topology::builder().standalone(1).build();
+        cfg.traces =
+            vec![UtilTrace::constant("hot", 0.98, horizon as usize).expect("valid trace")];
+        cfg.mask = ControllerMask {
+            ec: true,
+            sm: true,
+            em: false,
+            gm: false,
+            vmc: false,
+        };
+        cfg.sim = cfg
+            .sim
+            .with_thermal(ThermalConfig::for_budget(model.max_power(), cap));
+        let mut runner = Runner::new(&cfg);
+        let stats = runner.run_to_horizon();
+        table.row(vec![
+            mode.label().to_string(),
+            stats.failovers.to_string(),
+            stats.pstate_conflicts.to_string(),
+            Table::fmt(runner.sim().temperature_c(ServerId(0))),
+            Table::fmt(stats.mean_power()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper shape to check: the uncoordinated deployment fails over\n\
+         (the EC overwrites the SM's throttling every tick, so power stays\n\
+         pinned above the thermal budget); the coordinated nesting settles\n\
+         below the critical temperature with zero actuator races."
+    );
+}

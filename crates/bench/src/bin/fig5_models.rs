@@ -1,0 +1,77 @@
+//! **Figure 5** — design parameters and implementation assumptions: the
+//! calibrated power/performance models of Blade A and Server B, printed
+//! as coefficient tables and utilization sweeps, plus the base-parameter
+//! table.
+
+use nps_bench::banner;
+use nps_core::{BudgetSpec, Intervals};
+use nps_metrics::Table;
+use nps_models::ServerModel;
+
+fn main() {
+    banner(
+        "Figure 5: design parameters and model curves",
+        "paper §4, Figure 5",
+    );
+    for model in [ServerModel::blade_a(), ServerModel::server_b()] {
+        println!("{} (max {:.0} W, idle floor {:.0} W):", model.name(), model.max_power(), model.min_active_power());
+        let mut coeffs = Table::new(vec![
+            "P-state",
+            "freq (MHz)",
+            "capacity",
+            "c_p (W/util)",
+            "d_p (W)",
+            "a_p (perf)",
+        ]);
+        for (i, s) in model.states().iter().enumerate() {
+            coeffs.row(vec![
+                format!("P{i}"),
+                format!("{:.0}", s.frequency_hz / 1e6),
+                format!("{:.3}", s.frequency_hz / model.max_frequency_hz()),
+                Table::fmt(s.power.slope),
+                Table::fmt(s.power.idle),
+                format!("{:.3}", s.perf.scale),
+            ]);
+        }
+        println!("{coeffs}");
+
+        let mut sweep = Table::new(vec![
+            "util %",
+            "pow@P0",
+            "pow@deepest",
+            "perf@P0",
+            "perf@deepest",
+        ]);
+        let deepest = model.num_pstates() - 1;
+        for u in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            sweep.row(vec![
+                format!("{:.0}", u * 100.0),
+                Table::fmt(model.power(0, u)),
+                Table::fmt(model.power(deepest, u)),
+                format!("{:.3}", model.perf(0, u)),
+                format!("{:.3}", model.perf(deepest, u)),
+            ]);
+        }
+        println!("{sweep}");
+    }
+
+    println!("Base parameters (paper Figure 5, right column):");
+    let iv = Intervals::default();
+    let b = BudgetSpec::PAPER_20_15_10;
+    let mut params = Table::new(vec!["parameter", "base value"]);
+    for (k, v) in [
+        ("static budgets (grp-enc-loc, % off max)", b.label()),
+        ("control intervals T_ec/T_sm/T_em/T_gm/T_vmc",
+         format!("{}/{}/{}/{}/{}", iv.ec, iv.sm, iv.em, iv.gm, iv.vmc)),
+        ("EC gain λ", "0.8".to_string()),
+        ("SM gain β_loc", "1.0 (normalized power)".to_string()),
+        ("virtualization overhead α_V", "10% of VM utilization".to_string()),
+        ("migration overhead α_M", "10% during migration".to_string()),
+        ("workloads", "180 enterprise traces (synthetic corpus)".to_string()),
+        ("cluster (180 mix)", "6 × 20-blade enclosures + 60 standalone".to_string()),
+        ("cluster (60 mixes)", "2 × 20-blade enclosures + 20 standalone".to_string()),
+    ] {
+        params.row(vec![k.to_string(), v]);
+    }
+    println!("{params}");
+}

@@ -1,0 +1,47 @@
+//! **§7 conclusions: the idle-power study** — "our results also motivate
+//! the need to reduce the baseline idle power for future systems but
+//! note interesting advantages from virtual machine consolidation even
+//! in those cases." Server B with its idle power scaled down, across
+//! controller subsets.
+
+use nps_bench::{banner, run, scenario};
+use nps_core::{ControllerMask, CoordinationMode, SystemKind};
+use nps_metrics::Table;
+use nps_traces::Mix;
+
+fn main() {
+    banner(
+        "§7: sensitivity to baseline idle power (Server B / 180)",
+        "paper §7 conclusions (idle-power discussion)",
+    );
+    let mut table = Table::new(vec![
+        "idle scale",
+        "Coordinated %",
+        "NoVMC %",
+        "VMCOnly %",
+    ]);
+    for idle_scale in [1.0, 0.7, 0.4] {
+        let mut cells = vec![format!("{:.0}%", idle_scale * 100.0)];
+        for mask in [
+            ControllerMask::ALL,
+            ControllerMask::NO_VMC,
+            ControllerMask::VMC_ONLY,
+        ] {
+            let cfg = scenario(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
+                .idle_scale(idle_scale)
+                .mask(mask)
+                .build();
+            cells.push(Table::fmt(run(&cfg).power_savings_pct));
+        }
+        table.row(cells);
+    }
+    println!("{table}");
+    println!(
+        "Paper shape to check (§7): consolidation retains \"interesting\n\
+         advantages even in those cases\" — the VMCOnly column stays high\n\
+         at every idle scale. The NoVMC column *shrinks* as the machine\n\
+         approaches energy proportionality: with little idle power to\n\
+         shed, DVFS (which trades frequency for utilization) has less to\n\
+         offer — the flip side of the same observation."
+    );
+}

@@ -1,0 +1,64 @@
+//! **§5.3 "Number of P-states"** — restricting each system to its two
+//! extreme P-states (and an intermediate subset) versus the full table,
+//! for both architectures. The paper finds the two extremes get "behavior
+//! close to that when all the P-states are considered", and that the
+//! coordinated/uncoordinated gap is *more* pronounced with two states.
+
+use nps_bench::{banner, run, scenario};
+use nps_core::{CoordinationMode, SystemKind};
+use nps_metrics::Table;
+use nps_traces::Mix;
+
+fn main() {
+    banner(
+        "§5.3: sensitivity to the number of P-states",
+        "paper §5.3 (P-state count study)",
+    );
+    for sys in SystemKind::BOTH {
+        let full: Vec<usize> = (0..sys.model().num_pstates()).collect();
+        let extremes = vec![0, full.len() - 1];
+        let mid: Vec<usize> = if full.len() >= 4 {
+            vec![0, 1, full.len() - 2, full.len() - 1]
+        } else {
+            full.clone()
+        };
+        let mut table = Table::new(vec![
+            "P-states",
+            "architecture",
+            "pwr save %",
+            "perf loss %",
+            "viol SM %",
+        ]);
+        for (label, subset) in [
+            (format!("all {}", full.len()), full),
+            ("4 states".to_string(), mid),
+            ("2 extremes".to_string(), extremes),
+        ] {
+            for mode in [
+                CoordinationMode::Coordinated,
+                CoordinationMode::Uncoordinated,
+            ] {
+                let cfg = scenario(sys, Mix::All180, mode)
+                    .pstate_subset(subset.clone())
+                    .build();
+                let c = run(&cfg);
+                table.row(vec![
+                    label.clone(),
+                    mode.label().to_string(),
+                    Table::fmt(c.power_savings_pct),
+                    Table::fmt(c.perf_loss_pct),
+                    Table::fmt(c.violations_sm_pct),
+                ]);
+            }
+        }
+        println!("{sys}:");
+        println!("{table}");
+    }
+    println!(
+        "Paper shape to check: two extreme P-states come close to the full\n\
+         table under coordination (\"a processor with two P-states is\n\
+         significantly less complex to test and ship\"), and the relative\n\
+         coordinated/uncoordinated difference grows as the control choices\n\
+         get more constrained."
+    );
+}

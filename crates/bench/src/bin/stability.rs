@@ -1,0 +1,91 @@
+//! **Appendix A** — stability bounds and convergence demonstrations: the
+//! EC gain bound `λ < 1/r_ref`, the SM gain bound `β < 2/c_max`, and
+//! closed-loop convergence/divergence traces on the continuous plant.
+
+use nps_bench::banner;
+use nps_control::{stability, EfficiencyController};
+use nps_metrics::Table;
+use nps_models::ServerModel;
+
+fn track(lambda: f64, r_ref: f64, demand_frac: f64, steps: usize) -> f64 {
+    let model = ServerModel::blade_a();
+    let mut ec = EfficiencyController::new(&model, lambda, r_ref);
+    ec.set_r_ref(r_ref);
+    let demand = demand_frac * model.max_frequency_hz();
+    let mut f = ec.frequency_hz();
+    let mut r = (demand / f).min(1.0);
+    for _ in 0..steps {
+        f = ec.update_frequency(r, 1.0, 4.0 * model.max_frequency_hz());
+        r = (demand / f).min(1.0);
+    }
+    r
+}
+
+fn main() {
+    banner(
+        "Appendix A: stability bounds and convergence",
+        "paper Appendix A (Proposition A and the SM bound)",
+    );
+
+    println!("Gain bounds:");
+    let mut bounds = Table::new(vec!["quantity", "Blade A", "Server B"]);
+    let (a, b) = (ServerModel::blade_a(), ServerModel::server_b());
+    bounds.row(vec![
+        "EC global bound 1/r_ref (r_ref = 0.75)".to_string(),
+        format!("{:.3}", stability::ec_gain_bound_global(0.75)),
+        format!("{:.3}", stability::ec_gain_bound_global(0.75)),
+    ]);
+    bounds.row(vec![
+        "EC local bound 2/r_ref".to_string(),
+        format!("{:.3}", stability::ec_gain_bound_local(0.75)),
+        format!("{:.3}", stability::ec_gain_bound_local(0.75)),
+    ]);
+    bounds.row(vec![
+        "SM slope c_max (normalized)".to_string(),
+        format!("{:.3}", a.max_capping_slope_normalized()),
+        format!("{:.3}", b.max_capping_slope_normalized()),
+    ]);
+    bounds.row(vec![
+        "SM bound 2/c_max".to_string(),
+        format!("{:.3}", stability::sm_gain_bound(&a)),
+        format!("{:.3}", stability::sm_gain_bound(&b)),
+    ]);
+    println!("{bounds}");
+
+    for model in [&a, &b] {
+        let violations = stability::check_gains(model, 0.8, 0.75, 1.0);
+        println!(
+            "paper base gains (λ=0.8, β=1.0) on {}: {}",
+            model.name(),
+            if violations.is_empty() {
+                "provably stable".to_string()
+            } else {
+                format!("VIOLATIONS: {violations:?}")
+            }
+        );
+    }
+    println!();
+
+    println!("EC closed-loop tracking error |r − r_ref| after 500 steps (r_ref = 0.9):");
+    let mut conv = Table::new(vec!["λ", "demand 20%", "demand 50%", "demand 80%", "verdict"]);
+    for lambda in [0.4, 0.8, 1.05, 2.5] {
+        let errs: Vec<f64> = [0.2, 0.5, 0.8]
+            .into_iter()
+            .map(|d| (track(lambda, 0.9, d, 500) - 0.9).abs())
+            .collect();
+        let stable = lambda < stability::ec_gain_bound_global(0.9);
+        conv.row(vec![
+            format!("{lambda:.2}"),
+            format!("{:.2e}", errs[0]),
+            format!("{:.2e}", errs[1]),
+            format!("{:.2e}", errs[2]),
+            if stable { "inside bound (converges)" } else { "outside bound" }.to_string(),
+        ]);
+    }
+    println!("{conv}");
+    println!(
+        "Paper shape to check: every λ inside the Proposition-A bound\n\
+         drives the tracking error to zero; λ beyond the local bound\n\
+         oscillates."
+    );
+}

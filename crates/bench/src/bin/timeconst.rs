@@ -1,0 +1,77 @@
+//! **§5.4 "Sensitivity to time constants"** — sweeping each controller's
+//! interval (EC 1,2,5,10; SM 1,2,5,10·base; GM 50,100,200,400; VMC
+//! 100…500). The paper finds results "relatively invariant" for
+//! EC/SM/GM; for the VMC, *increased frequency of operation led to a
+//! reduction in power savings* via more aggressive feedback.
+
+use nps_bench::{banner, run, scenario};
+use nps_core::{CoordinationMode, Intervals, SystemKind};
+use nps_metrics::Table;
+use nps_traces::Mix;
+
+fn sweep(label: &str, variants: Vec<(String, Intervals)>) {
+    let mut table = Table::new(vec![label, "pwr save %", "perf loss %", "viol SM %"]);
+    for (name, intervals) in variants {
+        let cfg = scenario(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .intervals(intervals)
+            .build();
+        let c = run(&cfg);
+        table.row(vec![
+            name,
+            Table::fmt(c.power_savings_pct),
+            Table::fmt(c.perf_loss_pct),
+            Table::fmt(c.violations_sm_pct),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn main() {
+    banner(
+        "§5.4: sensitivity to controller time constants (Blade A / 180)",
+        "paper §5.4 (time constants study)",
+    );
+    let base = Intervals::default();
+
+    println!("EC interval:");
+    sweep(
+        "T_ec",
+        [1, 2, 5, 10]
+            .into_iter()
+            .map(|t| (t.to_string(), Intervals { ec: t, ..base }))
+            .collect(),
+    );
+    println!("SM interval:");
+    sweep(
+        "T_sm",
+        [5, 10, 25, 50]
+            .into_iter()
+            .map(|t| (t.to_string(), Intervals { sm: t, ..base }))
+            .collect(),
+    );
+    println!("GM interval:");
+    sweep(
+        "T_gm",
+        [50, 100, 200, 400]
+            .into_iter()
+            .map(|t| (t.to_string(), Intervals { gm: t, ..base }))
+            .collect(),
+    );
+    println!("VMC interval:");
+    sweep(
+        "T_vmc",
+        [100, 200, 300, 400, 500]
+            .into_iter()
+            .map(|t| (t.to_string(), Intervals { vmc: t, ..base }))
+            .collect(),
+    );
+    println!(
+        "Paper shape to check: EC/SM/GM sweeps are relatively flat (they\n\
+         are). For the VMC the paper reports *reduced* savings at higher\n\
+         frequency (feedback aggressiveness dominates); in this\n\
+         reproduction fresher demand estimates dominate instead and a\n\
+         faster VMC saves slightly more — a documented deviation, see\n\
+         EXPERIMENTS.md. Setting `VmcConfig::buffer_growth_floor > 0`\n\
+         strengthens the feedback mechanism the paper describes."
+    );
+}

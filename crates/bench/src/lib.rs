@@ -1,0 +1,84 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary regenerates one table or figure of the paper's evaluation
+//! (see `DESIGN.md` §4 for the index). Run them as:
+//!
+//! ```sh
+//! cargo run --release -p nps-bench --bin fig7
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `NPS_HORIZON` — simulation length in ticks (default 4 000 ≈ two
+//!   diurnal cycles, eight VMC epochs);
+//! * `NPS_SEED` — trace-corpus seed (default 42).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nps_core::{run_experiment, CoordinationMode, ExperimentConfig, Scenario, SystemKind};
+use nps_metrics::Comparison;
+use nps_traces::Mix;
+
+/// Simulation horizon for figure regeneration (`NPS_HORIZON`, default
+/// 4 000 ticks).
+pub fn horizon() -> u64 {
+    std::env::var("NPS_HORIZON")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000)
+}
+
+/// Trace-corpus seed (`NPS_SEED`, default 42).
+pub fn seed() -> u64 {
+    std::env::var("NPS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A paper-standard scenario at the harness horizon/seed.
+pub fn scenario(sys: SystemKind, mix: Mix, mode: CoordinationMode) -> Scenario {
+    Scenario::paper(sys, mix, mode).horizon(horizon()).seed(seed())
+}
+
+/// Runs a configuration and returns the baseline-normalized comparison.
+pub fn run(cfg: &ExperimentConfig) -> Comparison {
+    run_experiment(cfg).comparison
+}
+
+/// Runs many configurations in parallel (deterministic results, input
+/// order preserved) and returns their comparisons.
+pub fn run_all(cfgs: &[ExperimentConfig]) -> Vec<Comparison> {
+    nps_core::run_sweep(cfgs, 0)
+        .into_iter()
+        .map(|r| r.comparison)
+        .collect()
+}
+
+/// Prints the standard banner for a regenerated artifact.
+pub fn banner(artifact: &str, paper_ref: &str) {
+    println!("{artifact}");
+    println!("{}", "=".repeat(artifact.len()));
+    println!("(reproduces {paper_ref}; horizon {} ticks, seed {})", horizon(), seed());
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(horizon() >= 1);
+        let _ = seed();
+    }
+
+    #[test]
+    fn scenario_builder_uses_harness_knobs() {
+        let cfg = scenario(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+            .horizon(50)
+            .build();
+        assert_eq!(cfg.horizon, 50);
+    }
+}

@@ -1,0 +1,149 @@
+//! VM–platform actuation arbitration — paper §6.1 extension (4):
+//! *"VM-platform level coordination (e.g., multiple ECs implemented at
+//! the VM level): this can be addressed with an arbitration interface
+//! similar to the `<min>` interface used for SM/EM/GM interactions,
+//! though likely more generalized."*
+//!
+//! When every VM runs its own efficiency controller, each demands a
+//! frequency for "its" share of the platform; a single physical P-state
+//! must serve all of them. The [`FrequencyArbiter`] generalizes the
+//! budget `min` interface to this setting with pluggable policies.
+
+use nps_models::{PState, ServerModel};
+use serde::{Deserialize, Serialize};
+
+/// How concurrent frequency demands combine into one platform setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ArbitrationPolicy {
+    /// Serve the most demanding VM: the platform never runs slower than
+    /// any VM-level controller requested. Preserves every VM's tracking
+    /// goal at the cost of power (the analogue of the `min` budget rule,
+    /// which likewise takes the *safe* side).
+    MaxDemand,
+    /// Run at the *sum* of demands (each VM's requested frequency is its
+    /// share of the platform), saturating at the platform maximum. The
+    /// natural rule when VM controllers size their own slices.
+    SumDemand,
+    /// Weighted mean of the demands — a compromise arbiter that trades
+    /// some tracking error for power when demands diverge.
+    WeightedMean,
+}
+
+/// Arbitrates per-VM frequency demands into one platform P-state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyArbiter {
+    policy: ArbitrationPolicy,
+}
+
+impl FrequencyArbiter {
+    /// Creates an arbiter with the given policy.
+    pub fn new(policy: ArbitrationPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> ArbitrationPolicy {
+        self.policy
+    }
+
+    /// Combines per-VM frequency demands (Hz) with optional weights into
+    /// a platform P-state for `model`. Empty demands park the platform at
+    /// its deepest state. Weights default to 1 when empty.
+    pub fn arbitrate(&self, model: &ServerModel, demands_hz: &[f64], weights: &[f64]) -> PState {
+        if demands_hz.is_empty() {
+            return model.deepest();
+        }
+        let target = match self.policy {
+            ArbitrationPolicy::MaxDemand => {
+                demands_hz.iter().cloned().fold(0.0f64, f64::max)
+            }
+            ArbitrationPolicy::SumDemand => demands_hz.iter().sum(),
+            ArbitrationPolicy::WeightedMean => {
+                let w = |i: usize| {
+                    if weights.is_empty() {
+                        1.0
+                    } else {
+                        weights[i].max(0.0)
+                    }
+                };
+                let total_w: f64 = (0..demands_hz.len()).map(w).sum();
+                if total_w <= 0.0 {
+                    demands_hz.iter().sum::<f64>() / demands_hz.len() as f64
+                } else {
+                    demands_hz
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &d)| w(i) * d)
+                        .sum::<f64>()
+                        / total_w
+                }
+            }
+        };
+        model.quantize(target.clamp(model.min_frequency_hz(), model.max_frequency_hz()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_demands_park_deep() {
+        let model = ServerModel::blade_a();
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::MaxDemand);
+        assert_eq!(arb.arbitrate(&model, &[], &[]), model.deepest());
+    }
+
+    #[test]
+    fn max_demand_serves_the_hungriest_vm() {
+        let model = ServerModel::blade_a();
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::MaxDemand);
+        let p = arb.arbitrate(&model, &[550e6, 980e6, 600e6], &[]);
+        assert_eq!(p, PState(0));
+    }
+
+    #[test]
+    fn sum_demand_adds_slices() {
+        let model = ServerModel::blade_a();
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::SumDemand);
+        // Three light VMs of 0.2 GHz each → 0.6 GHz platform.
+        let p = arb.arbitrate(&model, &[200e6, 200e6, 200e6], &[]);
+        assert_eq!(p, model.quantize(600e6));
+        // Saturates at the platform maximum.
+        let p = arb.arbitrate(&model, &[900e6, 900e6], &[]);
+        assert_eq!(p, PState(0));
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let model = ServerModel::blade_a();
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::WeightedMean);
+        // Heavy weight on the fast VM pulls the mean up.
+        let fast_biased = arb.arbitrate(&model, &[1.0e9, 533e6], &[10.0, 1.0]);
+        let slow_biased = arb.arbitrate(&model, &[1.0e9, 533e6], &[1.0, 10.0]);
+        assert!(fast_biased.index() < slow_biased.index());
+    }
+
+    #[test]
+    fn max_demand_never_underserves_any_vm() {
+        let model = ServerModel::server_b();
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::MaxDemand);
+        let demands = [1.3e9, 2.1e9, 1.9e9];
+        let p = arb.arbitrate(&model, &demands, &[]);
+        let granted = model.state(p).frequency_hz;
+        // Quantization may round to the nearest state; the granted
+        // frequency is within one state of every demand.
+        let max_demand = 2.1e9;
+        let next_deeper = model.state(model.step_down(p)).frequency_hz;
+        assert!(granted >= next_deeper && granted >= max_demand - (granted - next_deeper));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::SumDemand);
+        let json = serde_json::to_string(&arb).unwrap();
+        let back: FrequencyArbiter = serde_json::from_str(&json).unwrap();
+        assert_eq!(arb, back);
+    }
+}

@@ -1,0 +1,118 @@
+//! Cooling-domain controller — the paper's §7 future-work direction
+//! (*"coordination with the equivalent spectrum of solutions in the ...
+//! cooling domains"*): a per-zone CRAC airflow controller, designed in
+//! the same mold as the EC/SM loops so it can federate with them.
+//!
+//! The controller tracks the zone's hottest inlet temperature to a
+//! setpoint by tuning airflow with an integral law, with a feed-forward
+//! term from the measured zone power (the analogous "connect actuations
+//! to inputs" principle: the IT-side power capping output — zone power —
+//! *is* the cooling controller's disturbance input, so no global state
+//! needs to be exchanged).
+
+use serde::{Deserialize, Serialize};
+
+/// Integral + feed-forward airflow controller for one CRAC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CracController {
+    /// Integral gain: airflow change per °C of inlet error.
+    gain: f64,
+    /// Feed-forward weight on the model-predicted airflow (0 = pure
+    /// feedback, 1 = pure feed-forward).
+    feed_forward: f64,
+    /// Current airflow command.
+    airflow: f64,
+}
+
+impl CracController {
+    /// Creates a controller with the given gains, starting at `airflow`.
+    pub fn new(gain: f64, feed_forward: f64, airflow: f64) -> Self {
+        Self {
+            gain,
+            feed_forward: feed_forward.clamp(0.0, 1.0),
+            airflow,
+        }
+    }
+
+    /// A reasonable default: mostly feed-forward with gentle feedback
+    /// trim.
+    pub fn default_for(cfg: &nps_sim::cooling::CracConfig) -> Self {
+        Self::new(0.02, 0.8, cfg.airflow_min)
+    }
+
+    /// Current airflow command.
+    pub fn airflow(&self) -> f64 {
+        self.airflow
+    }
+
+    /// One control interval: blends the model's feed-forward airflow for
+    /// the measured zone power with integral feedback on the inlet error,
+    /// returning the new airflow command.
+    pub fn step(
+        &mut self,
+        cfg: &nps_sim::cooling::CracConfig,
+        zone_watts: f64,
+        inlet_c: f64,
+    ) -> f64 {
+        let ff = cfg.airflow_for(zone_watts);
+        let error_c = inlet_c - cfg.setpoint_c;
+        let fb = self.airflow + self.gain * error_c;
+        self.airflow = (self.feed_forward * ff + (1.0 - self.feed_forward) * fb)
+            .clamp(cfg.airflow_min, cfg.airflow_max);
+        self.airflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nps_sim::cooling::{CoolingPlant, CracConfig};
+
+    fn closed_loop(zone_watts: f64, ticks: usize) -> (CoolingPlant, CracController) {
+        let cfg = CracConfig::for_zone(2_000.0);
+        let mut plant = CoolingPlant::new(vec![cfg]);
+        let mut ctl = CracController::default_for(&cfg);
+        for _ in 0..ticks {
+            let inlet = plant.config(0).inlet_c(zone_watts, plant.airflow(0));
+            let a = ctl.step(plant.config(0), zone_watts, inlet);
+            plant.set_airflow(0, a);
+            plant.step(&[zone_watts]);
+        }
+        (plant, ctl)
+    }
+
+    #[test]
+    fn settles_at_the_setpoint_under_constant_load() {
+        let (plant, ctl) = closed_loop(1_200.0, 300);
+        let inlet = plant.config(0).inlet_c(1_200.0, ctl.airflow());
+        assert!(
+            (inlet - plant.config(0).setpoint_c).abs() < 0.5,
+            "settled inlet {inlet}"
+        );
+    }
+
+    #[test]
+    fn light_load_spins_fans_down() {
+        let (_, light) = closed_loop(200.0, 300);
+        let (_, heavy) = closed_loop(1_800.0, 300);
+        assert!(light.airflow() < heavy.airflow());
+    }
+
+    #[test]
+    fn overload_saturates_at_max_airflow() {
+        let cfg = CracConfig::for_zone(1_000.0);
+        let mut ctl = CracController::default_for(&cfg);
+        for _ in 0..100 {
+            let inlet = cfg.inlet_c(1_500.0, ctl.airflow());
+            ctl.step(&cfg, 1_500.0, inlet);
+        }
+        assert!((ctl.airflow() - cfg.airflow_max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracking_avoids_overheating_for_in_range_loads() {
+        let (plant, _) = closed_loop(1_500.0, 500);
+        // A short transient is fine; sustained overheating is not.
+        assert!(plant.overheated_fraction() < 0.1);
+    }
+}

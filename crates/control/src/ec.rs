@@ -1,0 +1,280 @@
+//! The efficiency controller (EC) — paper Figure 6 equation `(EC)` and
+//! Appendix A.
+
+use nps_models::{PState, ServerModel};
+use serde::{Deserialize, Serialize};
+
+/// Per-server efficiency controller: treats the server as a container to
+/// be kept at a target utilization `r_ref`, resizing it by walking the
+/// clock frequency with an adaptive integral law:
+///
+/// ```text
+/// f(k) = f(k−1) − λ · f_C(k−1) · (r_ref − r(k−1)) / r_ref
+/// f_C(k−1) = r(k−1) · f_q(k−1)          (measured CPU consumption)
+/// ```
+///
+/// The continuous `f(k)` is the controller state; actuation quantizes it
+/// to the nearest P-state (`f_q`). Global stability requires
+/// `0 < λ < 1/r_ref` (Appendix A, Proposition A); the base value is
+/// `λ = 0.8`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyController {
+    /// Continuous frequency state, Hz.
+    freq_hz: f64,
+    /// Quantized frequency actually applied last interval, Hz.
+    applied_hz: f64,
+    /// Utilization target.
+    r_ref: f64,
+    /// Scaling parameter λ of the self-tuning integral gain.
+    lambda: f64,
+    /// Floor for `r_ref` (paper: 75%, to keep servers reasonably utilized
+    /// even when power is plentiful).
+    r_ref_min: f64,
+    /// Ceiling for `r_ref`. Values above 1.0 are deliberately allowed: a
+    /// saturated server (r = 1) under a power cap needs `r_ref > 1` to
+    /// keep the tracking error negative and the frequency falling.
+    r_ref_max: f64,
+}
+
+impl EfficiencyController {
+    /// Default `r_ref` floor (paper §4.1).
+    pub const DEFAULT_R_REF_MIN: f64 = 0.75;
+    /// Default `r_ref` ceiling.
+    pub const DEFAULT_R_REF_MAX: f64 = 1.5;
+
+    /// Creates an EC starting at the model's maximum frequency.
+    ///
+    /// `lambda` is the gain scaling parameter; `r_ref` the initial
+    /// utilization target (clamped to `[0.75, 1.5]`).
+    pub fn new(model: &ServerModel, lambda: f64, r_ref: f64) -> Self {
+        let f0 = model.max_frequency_hz();
+        Self {
+            freq_hz: f0,
+            applied_hz: f0,
+            r_ref: r_ref.clamp(Self::DEFAULT_R_REF_MIN, Self::DEFAULT_R_REF_MAX),
+            lambda,
+            r_ref_min: Self::DEFAULT_R_REF_MIN,
+            r_ref_max: Self::DEFAULT_R_REF_MAX,
+        }
+    }
+
+    /// Current utilization target.
+    pub fn r_ref(&self) -> f64 {
+        self.r_ref
+    }
+
+    /// Sets the utilization target, clamped to the configured band. This
+    /// is the coordination channel the server manager actuates
+    /// (paper §3.1: "we use r_ref as the actuator rather than directly
+    /// changing P-states").
+    pub fn set_r_ref(&mut self, r_ref: f64) {
+        self.r_ref = r_ref.clamp(self.r_ref_min, self.r_ref_max);
+    }
+
+    /// The gain scaling parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Continuous frequency state, Hz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.freq_hz
+    }
+
+    /// One *continuous* control update given the measured utilization of
+    /// the last interval; returns the new (unquantized) frequency. Used
+    /// directly in stability analysis; production actuation goes through
+    /// [`EfficiencyController::step`].
+    pub fn update_frequency(&mut self, measured_util: f64, f_min_hz: f64, f_max_hz: f64) -> f64 {
+        let r = if measured_util.is_nan() {
+            0.0
+        } else {
+            measured_util.clamp(0.0, 1.0)
+        };
+        // Measured consumption f_C = r · f_q.
+        let f_c = r * self.applied_hz;
+        let delta = self.lambda * f_c * (self.r_ref - r) / self.r_ref;
+        self.freq_hz = (self.freq_hz - delta).clamp(f_min_hz, f_max_hz);
+        // In continuous operation the new frequency is what gets applied;
+        // [`Self::step`] overwrites this with the quantized value.
+        self.applied_hz = self.freq_hz;
+        self.freq_hz
+    }
+
+    /// One control step against `model`: updates the frequency from the
+    /// measured utilization and returns the quantized P-state to apply.
+    pub fn step(&mut self, model: &ServerModel, measured_util: f64) -> PState {
+        self.update_frequency(
+            measured_util,
+            model.min_frequency_hz(),
+            model.max_frequency_hz(),
+        );
+        let p = model.quantize(self.freq_hz);
+        self.applied_hz = model.state(p).frequency_hz;
+        p
+    }
+
+    /// Resets the controller to the model's maximum frequency (e.g. after
+    /// a server power-on).
+    pub fn reset(&mut self, model: &ServerModel) {
+        self.freq_hz = model.max_frequency_hz();
+        self.applied_hz = self.freq_hz;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A continuous plant matching Appendix A: r = min(1, f_D / f).
+    fn closed_loop_continuous(
+        ec: &mut EfficiencyController,
+        demand_hz: f64,
+        steps: usize,
+    ) -> f64 {
+        let mut f = ec.frequency_hz();
+        let (fmin, fmax) = (1.0, 4.0e9);
+        let mut r = (demand_hz / f).min(1.0);
+        for _ in 0..steps {
+            // In continuous analysis the applied frequency is f itself.
+            ec.applied_hz = f;
+            f = ec.update_frequency(r, fmin, fmax);
+            r = (demand_hz / f).min(1.0);
+        }
+        r
+    }
+
+    #[test]
+    fn converges_to_r_ref_for_stable_lambda() {
+        // Proposition A: 0 < λ < 1/r_ref guarantees global convergence.
+        let model = ServerModel::blade_a();
+        for demand_frac in [0.1, 0.3, 0.5, 0.7] {
+            let mut ec = EfficiencyController::new(&model, 0.8, 0.9);
+            let r = closed_loop_continuous(&mut ec, demand_frac * 1.0e9, 400);
+            assert!(
+                (r - 0.9).abs() < 1e-6,
+                "demand {demand_frac}: settled at r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_tracking_error_at_fixed_point() {
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.5, 0.8);
+        closed_loop_continuous(&mut ec, 0.4e9, 500);
+        // At the fixed point f = f_D / r_ref.
+        assert!((ec.frequency_hz() - 0.4e9 / 0.8).abs() / 1e9 < 1e-6);
+    }
+
+    #[test]
+    fn unstable_lambda_oscillates() {
+        // λ well beyond the local bound 2/r_ref must not converge.
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 3.0, 0.9);
+        let demand = 0.5e9;
+        let mut f = ec.frequency_hz();
+        let mut rs = Vec::new();
+        for _ in 0..200 {
+            ec.applied_hz = f;
+            let r = (demand / f).min(1.0);
+            rs.push(r);
+            f = ec.update_frequency(r, 1.0, 4.0e9);
+        }
+        // Late-window oscillation amplitude stays macroscopic.
+        let tail = &rs[150..];
+        let (min, max) = tail
+            .iter()
+            .fold((1.0f64, 0.0f64), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+        assert!(max - min > 0.05, "expected oscillation, got [{min}, {max}]");
+    }
+
+    #[test]
+    fn quantized_step_tracks_within_one_pstate_gap() {
+        // With real P-states the loop settles bouncing among neighbours of
+        // the ideal frequency; tracking error is bounded by quantization.
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.9);
+        let demand = 0.45; // fraction of max capacity
+        let mut p = PState::P0;
+        let mut r = demand / model.capacity(p);
+        for _ in 0..200 {
+            p = ec.step(&model, r);
+            r = (demand / model.capacity(p)).min(1.0);
+        }
+        // Ideal capacity = 0.45/0.9 = 0.5; nearest states are 533/600 MHz.
+        assert!(p.index() >= 3, "settled at {p}");
+    }
+
+    #[test]
+    fn low_utilization_walks_frequency_down() {
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        let mut p = PState::P0;
+        for _ in 0..50 {
+            p = ec.step(&model, 0.10);
+        }
+        assert_eq!(p, model.deepest());
+    }
+
+    #[test]
+    fn saturation_walks_frequency_up() {
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        for _ in 0..50 {
+            ec.step(&model, 0.10);
+        }
+        assert_eq!(ec.step(&model, 0.1), model.deepest());
+        // Demand spike: utilization saturates at 1 > r_ref.
+        let mut p = model.deepest();
+        for _ in 0..100 {
+            p = ec.step(&model, 1.0);
+        }
+        assert_eq!(p, PState::P0);
+    }
+
+    #[test]
+    fn r_ref_above_one_forces_deepest_state_under_saturation() {
+        // The capping regime: SM pushed r_ref above 1; even a saturated
+        // server must throttle down.
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        ec.set_r_ref(1.4);
+        let mut p = PState::P0;
+        for _ in 0..200 {
+            p = ec.step(&model, 1.0);
+        }
+        assert_eq!(p, model.deepest());
+    }
+
+    #[test]
+    fn r_ref_is_clamped() {
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.9);
+        ec.set_r_ref(0.1);
+        assert_eq!(ec.r_ref(), EfficiencyController::DEFAULT_R_REF_MIN);
+        ec.set_r_ref(9.0);
+        assert_eq!(ec.r_ref(), EfficiencyController::DEFAULT_R_REF_MAX);
+    }
+
+    #[test]
+    fn nan_utilization_is_treated_as_idle() {
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.9);
+        let p = ec.step(&model, f64::NAN);
+        assert!(p.index() < model.num_pstates());
+        assert!(ec.frequency_hz().is_finite());
+    }
+
+    #[test]
+    fn reset_returns_to_max_frequency() {
+        let model = ServerModel::blade_a();
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        for _ in 0..50 {
+            ec.step(&model, 0.05);
+        }
+        assert!(ec.frequency_hz() < model.max_frequency_hz());
+        ec.reset(&model);
+        assert_eq!(ec.frequency_hz(), model.max_frequency_hz());
+    }
+}

@@ -1,0 +1,272 @@
+//! Multi-input platform capping — paper §6.1 extension (3): *"multiple
+//! actuators at a given level (e.g., CPU, memory, and disk power
+//! controllers interacting at the platform level): this may be addressed
+//! with the use of multi-input-multi-output controllers."*
+//!
+//! A [`MimoCapper`] holds one platform power budget and jointly selects a
+//! power level for every component (CPU P-state, memory low-power mode,
+//! disk spin state, …) to maximize weighted performance under the budget
+//! — the MIMO analogue of the single-knob server manager.
+
+use serde::{Deserialize, Serialize};
+
+/// One selectable operating point of a platform component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentLevel {
+    /// Worst-case power at this level, watts.
+    pub power_watts: f64,
+    /// Relative performance delivered at this level, in `(0, 1]`.
+    pub perf: f64,
+}
+
+/// A platform component with an independent power knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Component name (`"cpu"`, `"memory"`, `"disk"`, …).
+    pub name: String,
+    /// Operating levels, fastest (most power) first. Must be non-empty
+    /// with strictly decreasing power and non-increasing performance.
+    pub levels: Vec<ComponentLevel>,
+}
+
+impl Component {
+    /// Builds a component, validating level ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or not ordered by strictly decreasing
+    /// power and non-increasing performance.
+    pub fn new(name: impl Into<String>, levels: Vec<ComponentLevel>) -> Self {
+        assert!(!levels.is_empty(), "component needs at least one level");
+        for w in levels.windows(2) {
+            assert!(
+                w[1].power_watts < w[0].power_watts,
+                "levels must strictly decrease in power"
+            );
+            assert!(
+                w[1].perf <= w[0].perf,
+                "a lower-power level cannot deliver more performance"
+            );
+        }
+        Self {
+            name: name.into(),
+            levels,
+        }
+    }
+
+    /// A stereotypical CPU (reusing the platform's P-state economics).
+    pub fn typical_cpu() -> Self {
+        Self::new(
+            "cpu",
+            vec![
+                ComponentLevel { power_watts: 95.0, perf: 1.0 },
+                ComponentLevel { power_watts: 72.0, perf: 0.83 },
+                ComponentLevel { power_watts: 55.0, perf: 0.70 },
+                ComponentLevel { power_watts: 42.0, perf: 0.53 },
+            ],
+        )
+    }
+
+    /// A stereotypical memory subsystem (self-refresh modes).
+    pub fn typical_memory() -> Self {
+        Self::new(
+            "memory",
+            vec![
+                ComponentLevel { power_watts: 30.0, perf: 1.0 },
+                ComponentLevel { power_watts: 18.0, perf: 0.80 },
+                ComponentLevel { power_watts: 8.0, perf: 0.45 },
+            ],
+        )
+    }
+
+    /// A stereotypical disk (spin-down states).
+    pub fn typical_disk() -> Self {
+        Self::new(
+            "disk",
+            vec![
+                ComponentLevel { power_watts: 12.0, perf: 1.0 },
+                ComponentLevel { power_watts: 7.0, perf: 0.6 },
+                ComponentLevel { power_watts: 2.0, perf: 0.2 },
+            ],
+        )
+    }
+}
+
+/// Joint level selection across all components of a platform under one
+/// power budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MimoCapper {
+    budget_watts: f64,
+}
+
+/// The outcome of one MIMO allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MimoAllocation {
+    /// Selected level index per component (same order as the input).
+    pub levels: Vec<usize>,
+    /// Worst-case platform power of the selection, watts.
+    pub power_watts: f64,
+    /// Weighted performance of the selection.
+    pub weighted_perf: f64,
+    /// Whether the budget could be met at all (if `false`, the deepest
+    /// level of every component was chosen and the budget is still
+    /// exceeded).
+    pub feasible: bool,
+}
+
+impl MimoCapper {
+    /// Creates a capper with the given platform budget.
+    pub fn new(budget_watts: f64) -> Self {
+        Self { budget_watts }
+    }
+
+    /// The platform budget, watts.
+    pub fn budget_watts(&self) -> f64 {
+        self.budget_watts
+    }
+
+    /// Selects one level per component maximizing
+    /// `Σ weight_i · perf_i` subject to `Σ power_i ≤ budget`.
+    ///
+    /// Starts from the fastest levels and greedily deepens the component
+    /// with the best power-saved-per-weighted-performance-lost ratio
+    /// until the budget holds — the classic marginal-utility heuristic
+    /// for separable knapsack-like problems, optimal here whenever the
+    /// level curves are convex.
+    ///
+    /// `weights` defaults to all-ones when empty; otherwise one
+    /// non-negative weight per component.
+    pub fn allocate(&self, components: &[Component], weights: &[f64]) -> MimoAllocation {
+        let n = components.len();
+        let w = |i: usize| -> f64 {
+            if weights.is_empty() {
+                1.0
+            } else {
+                weights[i].max(0.0)
+            }
+        };
+        let mut levels = vec![0usize; n];
+        let power = |levels: &[usize]| -> f64 {
+            components
+                .iter()
+                .zip(levels)
+                .map(|(c, &l)| c.levels[l].power_watts)
+                .sum()
+        };
+        let mut current = power(&levels);
+        while current > self.budget_watts {
+            // Deepen the component with the cheapest perf cost per watt
+            // saved.
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..n {
+                let l = levels[i];
+                if l + 1 >= components[i].levels.len() {
+                    continue;
+                }
+                let saved =
+                    components[i].levels[l].power_watts - components[i].levels[l + 1].power_watts;
+                let lost = w(i) * (components[i].levels[l].perf - components[i].levels[l + 1].perf);
+                let ratio = lost / saved.max(f64::EPSILON);
+                if best.map(|(r, _)| ratio < r).unwrap_or(true) {
+                    best = Some((ratio, i));
+                }
+            }
+            match best {
+                Some((_, i)) => {
+                    levels[i] += 1;
+                    current = power(&levels);
+                }
+                None => break, // every component already at its deepest level
+            }
+        }
+        let weighted_perf = components
+            .iter()
+            .zip(&levels)
+            .enumerate()
+            .map(|(i, (c, &l))| w(i) * c.levels[l].perf)
+            .sum();
+        MimoAllocation {
+            power_watts: current,
+            weighted_perf,
+            feasible: current <= self.budget_watts,
+            levels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Vec<Component> {
+        vec![
+            Component::typical_cpu(),
+            Component::typical_memory(),
+            Component::typical_disk(),
+        ]
+    }
+
+    #[test]
+    fn generous_budget_selects_fastest_levels() {
+        let alloc = MimoCapper::new(500.0).allocate(&platform(), &[]);
+        assert_eq!(alloc.levels, vec![0, 0, 0]);
+        assert!(alloc.feasible);
+        assert!((alloc.weighted_perf - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binding_budget_is_respected() {
+        let budget = 100.0; // full platform needs 137 W
+        let alloc = MimoCapper::new(budget).allocate(&platform(), &[]);
+        assert!(alloc.feasible);
+        assert!(alloc.power_watts <= budget);
+        // Some component must have been deepened.
+        assert!(alloc.levels.iter().any(|&l| l > 0));
+    }
+
+    #[test]
+    fn allocation_is_monotone_in_budget() {
+        let comps = platform();
+        let mut last_perf = 0.0;
+        for budget in [60.0, 80.0, 100.0, 120.0, 140.0] {
+            let alloc = MimoCapper::new(budget).allocate(&comps, &[]);
+            assert!(
+                alloc.weighted_perf >= last_perf - 1e-12,
+                "budget {budget}: perf regressed"
+            );
+            last_perf = alloc.weighted_perf;
+        }
+    }
+
+    #[test]
+    fn weights_steer_the_throttling_order() {
+        let comps = platform();
+        // CPU-heavy workload: memory/disk should be throttled first.
+        let cpu_heavy = MimoCapper::new(110.0).allocate(&comps, &[10.0, 1.0, 1.0]);
+        // Memory-heavy workload: CPU gives way first.
+        let mem_heavy = MimoCapper::new(110.0).allocate(&comps, &[1.0, 10.0, 1.0]);
+        assert!(cpu_heavy.levels[0] <= mem_heavy.levels[0]);
+        assert!(cpu_heavy.levels[1] >= mem_heavy.levels[1]);
+    }
+
+    #[test]
+    fn impossible_budget_is_flagged_infeasible() {
+        let alloc = MimoCapper::new(10.0).allocate(&platform(), &[]);
+        assert!(!alloc.feasible);
+        // Everything at the deepest level.
+        let deepest: Vec<usize> = platform().iter().map(|c| c.levels.len() - 1).collect();
+        assert_eq!(alloc.levels, deepest);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decrease")]
+    fn component_rejects_unordered_levels() {
+        Component::new(
+            "bad",
+            vec![
+                ComponentLevel { power_watts: 10.0, perf: 1.0 },
+                ComponentLevel { power_watts: 20.0, perf: 0.5 },
+            ],
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! The server manager (SM) — per-server thermal power capping, paper
+//! Figure 6 equation `(SM)` and Appendix A.
+
+use nps_models::{PState, ServerModel};
+use serde::{Deserialize, Serialize};
+
+use crate::ec::EfficiencyController;
+
+/// Outcome of one server-manager interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmDecision {
+    /// Whether the measured power exceeded the *static* local budget
+    /// (`CAP_LOC`) this interval — the quantity reported to the VMC via
+    /// the coordination interface (paper Figure 4).
+    pub violated_static: bool,
+    /// Whether the measured power exceeded the currently *effective*
+    /// budget (`min(CAP_LOC, cap from EM/GM)`).
+    pub violated_effective: bool,
+    /// The utilization target handed to the efficiency controller
+    /// (coordinated mode only; `None` in uncoordinated mode).
+    pub new_r_ref: Option<f64>,
+}
+
+/// Per-server thermal power capper.
+///
+/// **Coordinated** design (paper §3.1): the SM's actuator is the EC's
+/// utilization reference:
+///
+/// ```text
+/// r_ref(k̂) = r_ref(k̂−1) − β_loc · (cap_loc − pow(k̂−1))
+/// ```
+///
+/// on power *normalized by the server's maximum power*, so the base gain
+/// `β_loc = 1` is meaningful across server types. Stability requires
+/// `0 < β_loc < 2/c_max` (Appendix A), with `c_max` the worst-case slope
+/// of normalized power versus `r_ref`.
+///
+/// **Uncoordinated** design (paper §2.2): the SM *"monitors the per-server
+/// power consumption and reduces the P-state if a given power budget is
+/// violated"* — writing the same actuator as the EC and racing with it.
+///
+/// ```
+/// use nps_control::{EfficiencyController, ServerManager};
+/// use nps_models::ServerModel;
+///
+/// let model = ServerModel::blade_a();
+/// let mut sm = ServerManager::new(&model, 100.0, 1.0);
+/// let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+/// // Measured power above the cap: the SM raises the EC's r_ref.
+/// let before = ec.r_ref();
+/// let decision = sm.step_coordinated(115.0, &mut ec);
+/// assert!(decision.violated_effective);
+/// assert!(ec.r_ref() > before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerManager {
+    /// Static local budget `CAP_LOC`, watts.
+    static_cap_watts: f64,
+    /// Budget granted by the EM/GM for the current epoch, watts.
+    granted_cap_watts: f64,
+    /// Gain `β_loc` on normalized power.
+    beta: f64,
+    /// Server max power for normalization, watts.
+    max_power_watts: f64,
+    /// Guard band: the controller regulates toward `(1 − guard)·cap` so
+    /// the quantization limit cycle straddles a point *below* the budget
+    /// instead of the budget itself.
+    guard: f64,
+}
+
+impl ServerManager {
+    /// Default guard band (3% below the cap).
+    pub const DEFAULT_GUARD: f64 = 0.03;
+
+    /// Creates a server manager for a server of type `model` with the
+    /// given static budget and gain `β_loc` (paper base: 1.0).
+    pub fn new(model: &ServerModel, static_cap_watts: f64, beta: f64) -> Self {
+        Self {
+            static_cap_watts,
+            granted_cap_watts: f64::INFINITY,
+            beta,
+            max_power_watts: model.max_power(),
+            guard: Self::DEFAULT_GUARD,
+        }
+    }
+
+    /// Overrides the guard band (fraction below the cap the controller
+    /// regulates toward; 0 = regulate exactly at the cap).
+    pub fn with_guard(mut self, guard: f64) -> Self {
+        self.guard = guard.clamp(0.0, 0.5);
+        self
+    }
+
+    /// The static local budget `CAP_LOC`, watts.
+    pub fn static_cap_watts(&self) -> f64 {
+        self.static_cap_watts
+    }
+
+    /// Grants a dynamic budget from the enclosure/group manager; the SM
+    /// uses *"the minimum of the power budget recommended by the EM and
+    /// its own local power budget"* (paper §3.1).
+    pub fn set_granted_cap(&mut self, watts: f64) {
+        self.granted_cap_watts = watts.max(0.0);
+    }
+
+    /// The budget the SM enforces this epoch:
+    /// `min(CAP_LOC, granted)`.
+    pub fn effective_cap_watts(&self) -> f64 {
+        self.static_cap_watts.min(self.granted_cap_watts)
+    }
+
+    /// One **coordinated** SM interval: compares measured power with the
+    /// effective budget and retunes the EC's `r_ref`.
+    pub fn step_coordinated(
+        &mut self,
+        measured_power_watts: f64,
+        ec: &mut EfficiencyController,
+    ) -> SmDecision {
+        let cap_norm =
+            (1.0 - self.guard) * self.effective_cap_watts() / self.max_power_watts;
+        let pow_norm = measured_power_watts / self.max_power_watts;
+        // r_ref(k̂) = r_ref(k̂−1) − β·(cap − pow)  [normalized]
+        let new_r_ref = ec.r_ref() - self.beta * (cap_norm - pow_norm);
+        ec.set_r_ref(new_r_ref);
+        SmDecision {
+            violated_static: measured_power_watts > self.static_cap_watts,
+            violated_effective: measured_power_watts > self.effective_cap_watts(),
+            new_r_ref: Some(ec.r_ref()),
+        }
+    }
+
+    /// One **uncoordinated** SM interval: if the budget is violated, force
+    /// the P-state one step deeper (the conventional design the paper's
+    /// EC races with). Returns the P-state to write, if any.
+    pub fn step_uncoordinated(
+        &mut self,
+        measured_power_watts: f64,
+        current: PState,
+        model: &ServerModel,
+    ) -> (SmDecision, Option<PState>) {
+        let violated_effective = measured_power_watts > self.effective_cap_watts();
+        let decision = SmDecision {
+            violated_static: measured_power_watts > self.static_cap_watts,
+            violated_effective,
+            new_r_ref: None,
+        };
+        let forced = if violated_effective {
+            Some(model.step_down(current))
+        } else {
+            None
+        };
+        (decision, forced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Closed-loop plant for SM tests: given `r_ref`, run the EC to
+    /// convergence against a constant demand, then report power.
+    fn settle_power(
+        model: &ServerModel,
+        ec: &mut EfficiencyController,
+        demand_frac: f64,
+    ) -> f64 {
+        let mut p = model.quantize(ec.frequency_hz());
+        let mut r = (demand_frac / model.capacity(p)).min(1.0);
+        for _ in 0..50 {
+            p = ec.step(model, r);
+            r = (demand_frac / model.capacity(p)).min(1.0);
+        }
+        model.power(p.index(), r)
+    }
+
+    #[test]
+    fn violation_raises_r_ref_and_power_falls_under_cap() {
+        let model = ServerModel::blade_a();
+        let cap = 0.75 * model.max_power(); // 90 W: P0 at high load violates
+        let mut sm = ServerManager::new(&model, cap, 1.0);
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        let demand = 0.85;
+        let mut pow = settle_power(&model, &mut ec, demand);
+        assert!(pow > cap, "initial power {pow} should violate cap {cap}");
+        let initial_r_ref = ec.r_ref();
+        // With a binding cap and saturating demand the quantized loop
+        // limit-cycles around the budget; assert on the settled average.
+        let mut tail = Vec::new();
+        for k in 0..60 {
+            let d = sm.step_coordinated(pow, &mut ec);
+            assert!(d.new_r_ref.is_some());
+            pow = settle_power(&model, &mut ec, demand);
+            if k >= 30 {
+                tail.push(pow);
+            }
+        }
+        assert!(ec.r_ref() > initial_r_ref || pow <= cap + 1e-9);
+        let avg: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(
+            avg <= cap * 1.05,
+            "capped average power {avg} should settle near/under {cap}"
+        );
+    }
+
+    #[test]
+    fn under_budget_relaxes_r_ref_back_to_floor() {
+        let model = ServerModel::blade_a();
+        let cap = model.max_power(); // never violated
+        let mut sm = ServerManager::new(&model, cap, 1.0);
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        ec.set_r_ref(1.3); // as if previously capped
+        for _ in 0..50 {
+            let pow = settle_power(&model, &mut ec, 0.3);
+            sm.step_coordinated(pow, &mut ec);
+        }
+        assert!(
+            (ec.r_ref() - EfficiencyController::DEFAULT_R_REF_MIN).abs() < 1e-9,
+            "r_ref should relax to the floor, got {}",
+            ec.r_ref()
+        );
+    }
+
+    #[test]
+    fn effective_cap_is_min_of_static_and_granted() {
+        let model = ServerModel::blade_a();
+        let mut sm = ServerManager::new(&model, 108.0, 1.0);
+        assert_eq!(sm.effective_cap_watts(), 108.0);
+        sm.set_granted_cap(90.0);
+        assert_eq!(sm.effective_cap_watts(), 90.0);
+        sm.set_granted_cap(500.0);
+        assert_eq!(sm.effective_cap_watts(), 108.0);
+    }
+
+    #[test]
+    fn decision_distinguishes_static_and_effective_violation() {
+        let model = ServerModel::blade_a();
+        let mut sm = ServerManager::new(&model, 108.0, 1.0);
+        sm.set_granted_cap(90.0);
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        let d = sm.step_coordinated(100.0, &mut ec);
+        assert!(d.violated_effective);
+        assert!(!d.violated_static);
+        let d = sm.step_coordinated(120.0, &mut ec);
+        assert!(d.violated_effective && d.violated_static);
+    }
+
+    #[test]
+    fn uncoordinated_forces_deeper_state_on_violation() {
+        let model = ServerModel::blade_a();
+        let mut sm = ServerManager::new(&model, 90.0, 1.0);
+        let (d, forced) = sm.step_uncoordinated(110.0, PState(0), &model);
+        assert!(d.violated_effective);
+        assert_eq!(forced, Some(PState(1)));
+        let (d, forced) = sm.step_uncoordinated(80.0, PState(1), &model);
+        assert!(!d.violated_effective);
+        assert_eq!(forced, None);
+    }
+
+    #[test]
+    fn uncoordinated_saturates_at_deepest_state() {
+        let model = ServerModel::blade_a();
+        let mut sm = ServerManager::new(&model, 10.0, 1.0); // impossible cap
+        let (_, forced) = sm.step_uncoordinated(60.0, model.deepest(), &model);
+        assert_eq!(forced, Some(model.deepest()));
+    }
+
+    /// Continuous-envelope plant (Appendix A ignores quantization): the EC
+    /// tracks r_ref exactly, so frequency fraction φ = demand / r_ref and
+    /// power follows the interpolated model.
+    fn continuous_power(model: &ServerModel, r_ref: f64, demand: f64) -> f64 {
+        let phi_min = model.min_frequency_hz() / model.max_frequency_hz();
+        let phi = (demand / r_ref).clamp(phi_min, 1.0);
+        let r = (demand / phi).min(1.0);
+        model.interp_power(phi, r)
+    }
+
+    #[test]
+    fn gain_within_appendix_bound_converges_on_continuous_plant() {
+        // Appendix A: β < 2/c_max ⇒ the SM loop converges with zero
+        // tracking error (power → cap) on the continuous plant. The cap
+        // must be reachable within the r_ref band (Server B's narrow
+        // power range needs a slightly looser cap).
+        for (model, frac) in [
+            (ServerModel::blade_a(), 0.8),
+            (ServerModel::server_b(), 0.87),
+        ] {
+            let beta = 0.9 * crate::stability::sm_gain_bound(&model);
+            let cap = frac * model.max_power();
+            let demand = 0.9;
+            let mut r_ref = 0.75f64;
+            let mut pow = continuous_power(&model, r_ref, demand);
+            assert!(pow > cap, "{}: cap must start binding", model.name());
+            for _ in 0..400 {
+                // SM law on normalized power, clamped like the real SM.
+                r_ref = (r_ref + beta * (pow - cap) / model.max_power()).clamp(0.75, 1.5);
+                pow = continuous_power(&model, r_ref, demand);
+            }
+            assert!(
+                (pow - cap).abs() < 0.5,
+                "{}: settled at {pow} for cap {cap}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_loop_keeps_average_under_cap_with_bounded_transients() {
+        // With real P-states the loop limit-cycles around the cap. The
+        // thermal-capping contract (paper §2.1) is that violations are
+        // *transient and bounded*: the time-average respects the budget
+        // and no violation persists for many consecutive intervals.
+        for model in [ServerModel::blade_a(), ServerModel::server_b()] {
+            let cap = 0.8 * model.max_power();
+            let mut sm = ServerManager::new(&model, cap, 1.0);
+            let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+            let mut tail = Vec::new();
+            let mut consecutive = 0usize;
+            let mut max_consecutive = 0usize;
+            for k in 0..150 {
+                let pow = settle_power(&model, &mut ec, 0.9);
+                if k >= 50 {
+                    tail.push(pow);
+                    if pow > cap {
+                        consecutive += 1;
+                        max_consecutive = max_consecutive.max(consecutive);
+                    } else {
+                        consecutive = 0;
+                    }
+                }
+                sm.step_coordinated(pow, &mut ec);
+            }
+            let avg: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+            assert!(
+                avg <= cap * 1.05,
+                "{}: settled average {avg} exceeds cap {cap}",
+                model.name()
+            );
+            assert!(
+                max_consecutive <= 4,
+                "{}: violation persisted {max_consecutive} intervals",
+                model.name()
+            );
+        }
+    }
+}

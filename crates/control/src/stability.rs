@@ -1,0 +1,115 @@
+//! Appendix-A stability bounds.
+//!
+//! The paper proves (Appendix A):
+//!
+//! * **Proposition A** — the EC converges globally for
+//!   `0 < λ < 1/r_ref` (and locally for `0 < λ < 2/r_ref`, citing Wang,
+//!   Zhu & Singhal 2005);
+//! * the SM loop `pow(k̂) = (1 − β·c)·pow(k̂−1) + β·c·cap_loc` is stable
+//!   iff `|1 − β·c| < 1`, i.e. `0 < β_loc < 2/c_max` where `c_max` bounds
+//!   the slope of (normalized) server power versus `r_ref`.
+//!
+//! These helpers compute the bounds so deployments can *"tune and bound
+//! the gain parameters of the individual controller equations"* (§3.2).
+
+use nps_models::ServerModel;
+
+/// Global-stability upper bound on the EC's λ for a given utilization
+/// target: `λ < 1/r_ref` (Appendix A, Proposition A).
+pub fn ec_gain_bound_global(r_ref: f64) -> f64 {
+    assert!(r_ref > 0.0, "r_ref must be positive");
+    1.0 / r_ref
+}
+
+/// Local-stability upper bound on the EC's λ: `λ < 2/r_ref`.
+pub fn ec_gain_bound_local(r_ref: f64) -> f64 {
+    assert!(r_ref > 0.0, "r_ref must be positive");
+    2.0 / r_ref
+}
+
+/// Upper bound on the SM's `β_loc` for a server type: `β < 2/c_max`,
+/// with `c_max` the worst-case magnitude of ∂(pow/max_pow)/∂r_ref
+/// evaluated numerically from the power model
+/// ([`ServerModel::max_capping_slope_normalized`]).
+pub fn sm_gain_bound(model: &ServerModel) -> f64 {
+    2.0 / model.max_capping_slope_normalized()
+}
+
+/// Checks a full parameterization against all Appendix-A bounds.
+/// Returns the list of violated constraints (empty = provably stable
+/// under the appendix's assumptions).
+pub fn check_gains(model: &ServerModel, lambda: f64, r_ref: f64, beta: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if lambda <= 0.0 {
+        violations.push(format!("λ = {lambda} must be positive"));
+    } else if lambda >= ec_gain_bound_global(r_ref) {
+        violations.push(format!(
+            "λ = {lambda} ≥ 1/r_ref = {} (global EC stability bound)",
+            ec_gain_bound_global(r_ref)
+        ));
+    }
+    if beta <= 0.0 {
+        violations.push(format!("β_loc = {beta} must be positive"));
+    } else if beta >= sm_gain_bound(model) {
+        violations.push(format!(
+            "β_loc = {beta} ≥ 2/c_max = {} (SM stability bound)",
+            sm_gain_bound(model)
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ec_bounds_match_appendix() {
+        assert!((ec_gain_bound_global(0.75) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((ec_gain_bound_local(0.75) - 8.0 / 3.0).abs() < 1e-12);
+        // The paper's base λ = 0.8 is inside the global bound for the base
+        // r_ref floor 0.75.
+        assert!(0.8 < ec_gain_bound_global(0.75));
+    }
+
+    #[test]
+    fn paper_base_gains_are_provably_stable() {
+        for model in [ServerModel::blade_a(), ServerModel::server_b()] {
+            let violations = check_gains(&model, 0.8, 0.75, 1.0);
+            assert!(
+                violations.is_empty(),
+                "{}: {violations:?}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_gains_are_reported() {
+        let model = ServerModel::blade_a();
+        let violations = check_gains(&model, 2.0, 0.75, 1e9);
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("global EC stability bound"));
+        assert!(violations[1].contains("SM stability bound"));
+    }
+
+    #[test]
+    fn nonpositive_gains_are_rejected() {
+        let model = ServerModel::blade_a();
+        assert_eq!(check_gains(&model, -1.0, 0.75, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn sm_bound_is_positive_for_reference_models() {
+        for model in [ServerModel::blade_a(), ServerModel::server_b()] {
+            let b = sm_gain_bound(&model);
+            assert!(b.is_finite() && b > 0.0, "{}: bound {b}", model.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_r_ref_panics() {
+        ec_gain_bound_global(0.0);
+    }
+}

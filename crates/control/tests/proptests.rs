@@ -1,0 +1,214 @@
+//! Property-based tests: controller laws under randomized demands, gains
+//! within Appendix-A bounds, and budget-policy conservation laws.
+
+use nps_control::{
+    stability, BudgetPolicy, EfficiencyController, FairShare, Fifo, HistoryWeighted,
+    ProportionalShare, RandomOrder, ServerManager,
+};
+use nps_models::ServerModel;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ec_converges_for_any_stable_gain_and_demand(
+        lambda_frac in 0.05f64..0.95,
+        r_ref in 0.76f64..0.99,
+        demand_frac in 0.05f64..0.9,
+    ) {
+        // λ anywhere inside (0, 1/r_ref) must converge on the continuous
+        // plant (Proposition A), for any slowly-varying demand.
+        let model = ServerModel::blade_a();
+        let lambda = lambda_frac * stability::ec_gain_bound_global(r_ref);
+        let mut ec = EfficiencyController::new(&model, lambda, r_ref);
+        ec.set_r_ref(r_ref);
+        let demand_hz = demand_frac * model.max_frequency_hz();
+        let mut f = ec.frequency_hz();
+        let mut r = (demand_hz / f).min(1.0);
+        for _ in 0..3_000 {
+            f = ec.update_frequency(r, 1.0, 4.0 * model.max_frequency_hz());
+            r = (demand_hz / f).min(1.0);
+        }
+        prop_assert!((r - r_ref).abs() < 1e-3, "settled at {r} (target {r_ref})");
+    }
+
+    #[test]
+    fn ec_frequency_always_within_actuation_range(
+        utils in proptest::collection::vec(0.0f64..1.0, 1..200),
+        lambda in 0.01f64..2.0,
+    ) {
+        let model = ServerModel::server_b();
+        let mut ec = EfficiencyController::new(&model, lambda, 0.9);
+        for u in utils {
+            let p = ec.step(&model, u);
+            prop_assert!(p.index() < model.num_pstates());
+            prop_assert!(ec.frequency_hz() >= model.min_frequency_hz() - 1.0);
+            prop_assert!(ec.frequency_hz() <= model.max_frequency_hz() + 1.0);
+        }
+    }
+
+    #[test]
+    fn sm_r_ref_stays_in_band_for_any_power_sequence(
+        powers in proptest::collection::vec(0.0f64..400.0, 1..100),
+        cap_frac in 0.5f64..1.0,
+        beta in 0.1f64..2.0,
+    ) {
+        let model = ServerModel::blade_a();
+        let mut sm = ServerManager::new(&model, cap_frac * model.max_power(), beta);
+        let mut ec = EfficiencyController::new(&model, 0.8, 0.75);
+        for p in powers {
+            let d = sm.step_coordinated(p, &mut ec);
+            let r = d.new_r_ref.unwrap();
+            prop_assert!((0.75..=1.5).contains(&r), "r_ref {r} out of band");
+        }
+    }
+
+    #[test]
+    fn sm_effective_cap_never_exceeds_either_budget(
+        static_cap in 10.0f64..200.0,
+        grants in proptest::collection::vec(0.0f64..400.0, 0..20),
+    ) {
+        let model = ServerModel::blade_a();
+        let mut sm = ServerManager::new(&model, static_cap, 1.0);
+        for g in grants {
+            sm.set_granted_cap(g);
+            prop_assert!(sm.effective_cap_watts() <= static_cap + 1e-12);
+            prop_assert!(sm.effective_cap_watts() <= g + 1e-12);
+        }
+    }
+
+    #[test]
+    fn policies_conserve_budget_and_caps(
+        total in 1.0f64..2_000.0,
+        consumption in proptest::collection::vec(0.0f64..300.0, 1..30),
+        cap_each in 10.0f64..200.0,
+        seed in 0u64..100,
+        alpha in 0.01f64..1.0,
+    ) {
+        let n = consumption.len();
+        let static_caps = vec![cap_each; n];
+        let policies: Vec<Box<dyn BudgetPolicy>> = vec![
+            Box::new(ProportionalShare),
+            Box::new(FairShare),
+            Box::new(Fifo),
+            Box::new(RandomOrder::new(seed)),
+            Box::new(HistoryWeighted::new(alpha)),
+        ];
+        for mut p in policies {
+            let out = p.divide(total, &consumption, &static_caps);
+            prop_assert_eq!(out.len(), n, "{}", p.name());
+            let sum: f64 = out.iter().sum();
+            prop_assert!(sum <= total + 1e-6, "{} allocated {sum} > {total}", p.name());
+            for (o, s) in out.iter().zip(&static_caps) {
+                prop_assert!(*o <= *s + 1e-9, "{} exceeded a static cap", p.name());
+                prop_assert!(*o >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn history_weighted_is_stateful_but_bounded(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..300.0, 4..5), 1..20),
+        alpha in 0.05f64..1.0,
+    ) {
+        let mut p = HistoryWeighted::new(alpha);
+        let caps = vec![150.0; 4];
+        for c in rounds {
+            let out = p.divide(400.0, &c, &caps);
+            prop_assert!(out.iter().sum::<f64>() <= 400.0 + 1e-6);
+        }
+    }
+}
+
+mod extension_props {
+    use nps_control::mimo::{Component, ComponentLevel, MimoCapper};
+    use nps_control::{ArbitrationPolicy, FrequencyArbiter};
+    use nps_models::ServerModel;
+    use proptest::prelude::*;
+
+    fn arb_component() -> impl Strategy<Value = Component> {
+        (2usize..5, 5.0f64..100.0, 0.05f64..0.5).prop_map(|(n, top_power, power_step_frac)| {
+            let mut levels = Vec::new();
+            let mut power = top_power;
+            let mut perf = 1.0;
+            for _ in 0..n {
+                levels.push(ComponentLevel {
+                    power_watts: power,
+                    perf,
+                });
+                power *= 1.0 - power_step_frac;
+                perf *= 0.8;
+            }
+            Component::new("c", levels)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn mimo_allocation_is_valid_and_budget_safe(
+            comps in proptest::collection::vec(arb_component(), 1..5),
+            budget in 1.0f64..400.0,
+        ) {
+            let alloc = MimoCapper::new(budget).allocate(&comps, &[]);
+            prop_assert_eq!(alloc.levels.len(), comps.len());
+            for (c, &l) in comps.iter().zip(&alloc.levels) {
+                prop_assert!(l < c.levels.len());
+            }
+            let power: f64 = comps
+                .iter()
+                .zip(&alloc.levels)
+                .map(|(c, &l)| c.levels[l].power_watts)
+                .sum();
+            prop_assert!((power - alloc.power_watts).abs() < 1e-9);
+            if alloc.feasible {
+                prop_assert!(alloc.power_watts <= budget + 1e-9);
+            } else {
+                // Deepest everywhere and still over budget.
+                for (c, &l) in comps.iter().zip(&alloc.levels) {
+                    prop_assert_eq!(l, c.levels.len() - 1);
+                }
+                prop_assert!(alloc.power_watts > budget);
+            }
+        }
+
+        #[test]
+        fn mimo_perf_is_monotone_in_budget(
+            comps in proptest::collection::vec(arb_component(), 1..4),
+            b1 in 1.0f64..300.0,
+            b2 in 1.0f64..300.0,
+        ) {
+            let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+            let a_lo = MimoCapper::new(lo).allocate(&comps, &[]);
+            let a_hi = MimoCapper::new(hi).allocate(&comps, &[]);
+            prop_assert!(a_hi.weighted_perf >= a_lo.weighted_perf - 1e-9);
+        }
+
+        #[test]
+        fn arbitration_always_returns_valid_state(
+            demands in proptest::collection::vec(0.0f64..4.0e9, 0..8),
+            policy_idx in 0usize..3,
+        ) {
+            let model = ServerModel::server_b();
+            let policy = [
+                ArbitrationPolicy::MaxDemand,
+                ArbitrationPolicy::SumDemand,
+                ArbitrationPolicy::WeightedMean,
+            ][policy_idx];
+            let p = FrequencyArbiter::new(policy).arbitrate(&model, &demands, &[]);
+            prop_assert!(p.index() < model.num_pstates());
+        }
+
+        #[test]
+        fn sum_demand_never_slower_than_mean(
+            demands in proptest::collection::vec(1.0e8f64..1.5e9, 1..6),
+        ) {
+            let model = ServerModel::server_b();
+            let sum = FrequencyArbiter::new(ArbitrationPolicy::SumDemand)
+                .arbitrate(&model, &demands, &[]);
+            let mean = FrequencyArbiter::new(ArbitrationPolicy::WeightedMean)
+                .arbitrate(&model, &demands, &[]);
+            // Sum of demands ≥ mean of demands ⇒ shallower (or equal) state.
+            prop_assert!(sum.index() <= mean.index());
+        }
+    }
+}

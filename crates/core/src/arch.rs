@@ -1,0 +1,234 @@
+//! Coordination modes and controller masks.
+
+use serde::{Deserialize, Serialize};
+
+/// How the five controllers interact — the architectural axis of the
+/// paper's evaluation (Figures 7 and 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CoordinationMode {
+    /// The paper's coordinated architecture (Figure 2): SM → EC via
+    /// `r_ref`; EM/GM → SM/EM via granted budgets (`min` interface); VMC
+    /// uses real utilization, budget constraints, and violation feedback.
+    Coordinated,
+    /// All five solutions deployed independently (§2.2/§2.3): SM forces
+    /// P-states and races with the EC; EM/GM throttle servers directly on
+    /// violation; VMC uses apparent utilization with no budget awareness
+    /// or feedback.
+    Uncoordinated,
+    /// Figure 9 "Coordinated, appr util": coordination everywhere except
+    /// the VMC reads *apparent* utilization.
+    CoordApparentUtil,
+    /// Figure 9 "Coordinated, no feedback": violation feedback to the VMC
+    /// buffers disabled.
+    CoordNoFeedback,
+    /// Figure 9 "Coordinated, no budget limits": the VMC ignores the
+    /// budget constraints (3)–(5).
+    CoordNoBudgetLimits,
+    /// Figure 9 "Uncoordinated, min P-states": uncoordinated, but the
+    /// P-state actuator merges concurrent writes by taking the *lowest
+    /// frequency* — a piecemeal "naïve coordination policy".
+    UncoordMinPstates,
+}
+
+impl CoordinationMode {
+    /// The six modes of the Figure 9 study, in table order.
+    pub const FIGURE9: [CoordinationMode; 6] = [
+        CoordinationMode::Coordinated,
+        CoordinationMode::Uncoordinated,
+        CoordinationMode::CoordApparentUtil,
+        CoordinationMode::CoordNoFeedback,
+        CoordinationMode::CoordNoBudgetLimits,
+        CoordinationMode::UncoordMinPstates,
+    ];
+
+    /// The paper's label for this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoordinationMode::Coordinated => "Coordinated",
+            CoordinationMode::Uncoordinated => "Uncoordinated",
+            CoordinationMode::CoordApparentUtil => "Coordinated, appr util",
+            CoordinationMode::CoordNoFeedback => "Coordinated, no feedback",
+            CoordinationMode::CoordNoBudgetLimits => "Coordinated, no budget limits",
+            CoordinationMode::UncoordMinPstates => "Uncoordinated, min Pstates",
+        }
+    }
+
+    /// Whether the SM actuates the EC's `r_ref` (coordinated) rather than
+    /// writing P-states directly.
+    pub fn sm_actuates_r_ref(self) -> bool {
+        !matches!(
+            self,
+            CoordinationMode::Uncoordinated | CoordinationMode::UncoordMinPstates
+        )
+    }
+
+    /// Whether budgets flow down through the `min` interfaces
+    /// (GM → EM → SM).
+    pub fn budgets_flow_down(self) -> bool {
+        self.sm_actuates_r_ref()
+    }
+
+    /// Whether EM/GM directly force P-states on violation (the
+    /// uncoordinated enclosure/group cappers).
+    pub fn cappers_throttle_directly(self) -> bool {
+        !self.budgets_flow_down()
+    }
+
+    /// Whether the VMC reads *real* (max-capacity-normalized, MHz-style)
+    /// utilization rather than apparent (host-relative) utilization.
+    ///
+    /// Conventional consolidation managers already work in MHz terms, so
+    /// even the uncoordinated VMC uses real readings — which is exactly
+    /// what exposes it to the paper's vicious cycle: capped servers
+    /// deliver less, the readings shrink, and the unaware VMC packs even
+    /// harder. Only the Figure 9 "appr util" ablation flips this switch.
+    pub fn vmc_uses_real_util(self) -> bool {
+        !matches!(self, CoordinationMode::CoordApparentUtil)
+    }
+
+    /// Whether the VMC enforces the budget constraints (3)–(5).
+    pub fn vmc_uses_budget_constraints(self) -> bool {
+        !matches!(
+            self,
+            CoordinationMode::Uncoordinated
+                | CoordinationMode::UncoordMinPstates
+                | CoordinationMode::CoordNoBudgetLimits
+        )
+    }
+
+    /// Whether violation feedback reaches the VMC's buffers.
+    pub fn vmc_uses_feedback(self) -> bool {
+        !matches!(
+            self,
+            CoordinationMode::Uncoordinated
+                | CoordinationMode::UncoordMinPstates
+                | CoordinationMode::CoordNoFeedback
+        )
+    }
+
+    /// Whether concurrent P-state writes merge by minimum frequency
+    /// (the `UncoordMinPstates` naïve fix) instead of last-writer-wins.
+    pub fn merges_min_pstate(self) -> bool {
+        matches!(self, CoordinationMode::UncoordMinPstates)
+    }
+}
+
+impl std::fmt::Display for CoordinationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which of the five controllers are deployed (Figure 8's
+/// Coordinated / NoVMC / VMCOnly study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ControllerMask {
+    /// Efficiency controller per server.
+    pub ec: bool,
+    /// Server manager per server.
+    pub sm: bool,
+    /// Enclosure manager per enclosure.
+    pub em: bool,
+    /// Group manager.
+    pub gm: bool,
+    /// Virtual machine controller.
+    pub vmc: bool,
+}
+
+impl ControllerMask {
+    /// All five controllers on (the paper's default deployment).
+    pub const ALL: ControllerMask = ControllerMask {
+        ec: true,
+        sm: true,
+        em: true,
+        gm: true,
+        vmc: true,
+    };
+
+    /// Everything except the VMC (Figure 8's "NoVMC").
+    pub const NO_VMC: ControllerMask = ControllerMask {
+        vmc: false,
+        ..ControllerMask::ALL
+    };
+
+    /// Only the VMC (Figure 8's "VMCOnly").
+    pub const VMC_ONLY: ControllerMask = ControllerMask {
+        ec: false,
+        sm: false,
+        em: false,
+        gm: false,
+        vmc: true,
+    };
+
+    /// No controllers at all — the baseline.
+    pub const NONE: ControllerMask = ControllerMask {
+        ec: false,
+        sm: false,
+        em: false,
+        gm: false,
+        vmc: false,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinated_enables_every_interface() {
+        let m = CoordinationMode::Coordinated;
+        assert!(m.sm_actuates_r_ref());
+        assert!(m.budgets_flow_down());
+        assert!(m.vmc_uses_real_util());
+        assert!(m.vmc_uses_budget_constraints());
+        assert!(m.vmc_uses_feedback());
+        assert!(!m.merges_min_pstate());
+        assert!(!m.cappers_throttle_directly());
+    }
+
+    #[test]
+    fn uncoordinated_disables_every_coordination_interface() {
+        let m = CoordinationMode::Uncoordinated;
+        assert!(!m.sm_actuates_r_ref());
+        assert!(!m.budgets_flow_down());
+        // Conventional consolidation already reads MHz-normalized
+        // utilization; what it lacks is budget awareness and feedback.
+        assert!(m.vmc_uses_real_util());
+        assert!(!m.vmc_uses_budget_constraints());
+        assert!(!m.vmc_uses_feedback());
+        assert!(m.cappers_throttle_directly());
+    }
+
+    #[test]
+    fn ablations_disable_exactly_one_interface() {
+        assert!(!CoordinationMode::CoordApparentUtil.vmc_uses_real_util());
+        assert!(CoordinationMode::CoordApparentUtil.vmc_uses_budget_constraints());
+        assert!(!CoordinationMode::CoordNoFeedback.vmc_uses_feedback());
+        assert!(CoordinationMode::CoordNoFeedback.vmc_uses_real_util());
+        assert!(!CoordinationMode::CoordNoBudgetLimits.vmc_uses_budget_constraints());
+        assert!(CoordinationMode::CoordNoBudgetLimits.vmc_uses_feedback());
+    }
+
+    #[test]
+    fn min_pstate_mode_is_uncoordinated_with_merge() {
+        let m = CoordinationMode::UncoordMinPstates;
+        assert!(!m.sm_actuates_r_ref());
+        assert!(m.merges_min_pstate());
+    }
+
+    #[test]
+    fn figure9_covers_six_distinct_modes() {
+        let mut labels: Vec<&str> = CoordinationMode::FIGURE9.iter().map(|m| m.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn masks_match_figure8_legends() {
+        assert!(ControllerMask::NO_VMC.ec && !ControllerMask::NO_VMC.vmc);
+        assert!(!ControllerMask::VMC_ONLY.sm && ControllerMask::VMC_ONLY.vmc);
+        assert!(!ControllerMask::NONE.ec && !ControllerMask::NONE.vmc);
+    }
+}

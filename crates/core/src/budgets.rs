@@ -1,0 +1,117 @@
+//! Static power budgets at the three capping levels.
+
+use nps_models::ServerModel;
+use nps_sim::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Power budgets as fractions *off* the maximum possible consumption at
+/// each level — the paper's `20-15-10` notation means caps 20%, 15% and
+/// 10% below group, enclosure and local (server) maxima respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSpec {
+    /// Fraction off the group maximum (`CAP_GRP = (1−x)·max`).
+    pub group_off: f64,
+    /// Fraction off each enclosure maximum.
+    pub enclosure_off: f64,
+    /// Fraction off each server maximum.
+    pub local_off: f64,
+}
+
+impl BudgetSpec {
+    /// The paper's base configuration `20-15-10`.
+    pub const PAPER_20_15_10: BudgetSpec = BudgetSpec {
+        group_off: 0.20,
+        enclosure_off: 0.15,
+        local_off: 0.10,
+    };
+
+    /// The paper's tighter configuration `25-20-15`.
+    pub const PAPER_25_20_15: BudgetSpec = BudgetSpec {
+        group_off: 0.25,
+        enclosure_off: 0.20,
+        local_off: 0.15,
+    };
+
+    /// The paper's tightest configuration `30-25-20`.
+    pub const PAPER_30_25_20: BudgetSpec = BudgetSpec {
+        group_off: 0.30,
+        enclosure_off: 0.25,
+        local_off: 0.20,
+    };
+
+    /// The three configurations of the Figure 10 study, loosest first.
+    pub const FIGURE10: [BudgetSpec; 3] = [
+        BudgetSpec::PAPER_20_15_10,
+        BudgetSpec::PAPER_25_20_15,
+        BudgetSpec::PAPER_30_25_20,
+    ];
+
+    /// The paper's `G-E-L` label (e.g. `"20-15-10"`).
+    pub fn label(&self) -> String {
+        format!(
+            "{:.0}-{:.0}-{:.0}",
+            self.group_off * 100.0,
+            self.enclosure_off * 100.0,
+            self.local_off * 100.0
+        )
+    }
+
+    /// Per-server static caps `CAP_LOC_i` for a homogeneous fleet.
+    pub fn local_caps(&self, model: &ServerModel, topo: &Topology) -> Vec<f64> {
+        vec![(1.0 - self.local_off) * model.max_power(); topo.num_servers()]
+    }
+
+    /// Per-enclosure static caps `CAP_ENC_q`.
+    pub fn enclosure_caps(&self, model: &ServerModel, topo: &Topology) -> Vec<f64> {
+        (0..topo.num_enclosures())
+            .map(|e| {
+                let members = topo.enclosure_servers(nps_sim::EnclosureId(e)).len() as f64;
+                (1.0 - self.enclosure_off) * model.max_power() * members
+            })
+            .collect()
+    }
+
+    /// The group static cap `CAP_GRP`.
+    pub fn group_cap(&self, model: &ServerModel, topo: &Topology) -> f64 {
+        (1.0 - self.group_off) * model.max_power() * topo.num_servers() as f64
+    }
+}
+
+impl std::fmt::Display for BudgetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(BudgetSpec::PAPER_20_15_10.label(), "20-15-10");
+        assert_eq!(BudgetSpec::PAPER_30_25_20.to_string(), "30-25-20");
+    }
+
+    #[test]
+    fn caps_derate_level_maxima() {
+        let model = ServerModel::blade_a();
+        let topo = Topology::paper_60();
+        let spec = BudgetSpec::PAPER_20_15_10;
+        let loc = spec.local_caps(&model, &topo);
+        assert_eq!(loc.len(), 60);
+        assert!((loc[0] - 0.9 * model.max_power()).abs() < 1e-9);
+        let enc = spec.enclosure_caps(&model, &topo);
+        assert_eq!(enc.len(), 2);
+        assert!((enc[0] - 0.85 * 20.0 * model.max_power()).abs() < 1e-9);
+        let grp = spec.group_cap(&model, &topo);
+        assert!((grp - 0.8 * 60.0 * model.max_power()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure10_specs_tighten_monotonically() {
+        let [a, b, c] = BudgetSpec::FIGURE10;
+        assert!(a.group_off < b.group_off && b.group_off < c.group_off);
+        assert!(a.local_off < b.local_off && b.local_off < c.local_off);
+    }
+}

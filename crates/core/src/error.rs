@@ -1,0 +1,81 @@
+//! Errors for hand-assembled experiment configurations.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Runner::try_new`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A controller gain was non-positive or non-finite.
+    InvalidGain {
+        /// Which gain (`"lambda"` or `"beta"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `models_override` does not provide one model per server.
+    ModelCountMismatch {
+        /// Models provided.
+        models: usize,
+        /// Servers in the topology.
+        servers: usize,
+    },
+    /// The simulator rejected the configuration.
+    Sim(nps_sim::SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidGain { name, value } => {
+                write!(f, "controller gain `{name}` must be positive and finite, got {value}")
+            }
+            CoreError::ModelCountMismatch { models, servers } => write!(
+                f,
+                "models_override has {models} models for a {servers}-server topology"
+            ),
+            CoreError::Sim(e) => write!(f, "simulator rejected the configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nps_sim::SimError> for CoreError {
+    fn from(e: nps_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = CoreError::InvalidGain {
+            name: "lambda",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("lambda"));
+        let e = CoreError::ModelCountMismatch {
+            models: 2,
+            servers: 5,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn sim_errors_are_chained() {
+        use std::error::Error;
+        let e = CoreError::from(nps_sim::SimError::NoWorkloads);
+        assert!(e.source().is_some());
+    }
+}

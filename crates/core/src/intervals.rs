@@ -1,0 +1,85 @@
+//! Controller time constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Control intervals in ticks for the five controllers (paper Figure 5
+/// base values: EC/SM/EM/GM/VMC = 1/5/25/50/500).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Intervals {
+    /// Efficiency controller interval `T_ec`.
+    pub ec: u64,
+    /// Server manager interval `T_sm`.
+    pub sm: u64,
+    /// Enclosure manager interval `T_em`.
+    pub em: u64,
+    /// Group manager interval `T_gm`.
+    pub gm: u64,
+    /// VM controller interval `T_vmc`.
+    pub vmc: u64,
+}
+
+impl Default for Intervals {
+    fn default() -> Self {
+        Self {
+            ec: 1,
+            sm: 5,
+            em: 25,
+            gm: 50,
+            vmc: 500,
+        }
+    }
+}
+
+impl Intervals {
+    /// Returns the intervals with every field clamped to at least 1.
+    pub fn sanitized(self) -> Self {
+        Self {
+            ec: self.ec.max(1),
+            sm: self.sm.max(1),
+            em: self.em.max(1),
+            gm: self.gm.max(1),
+            vmc: self.vmc.max(1),
+        }
+    }
+
+    /// Whether the hierarchy is ordered slowest-outermost, as the paper's
+    /// federation principle expects (EC ≤ SM ≤ EM ≤ GM ≤ VMC).
+    pub fn is_nested(&self) -> bool {
+        self.ec <= self.sm && self.sm <= self.em && self.em <= self.gm && self.gm <= self.vmc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_figure_5() {
+        let i = Intervals::default();
+        assert_eq!((i.ec, i.sm, i.em, i.gm, i.vmc), (1, 5, 25, 50, 500));
+        assert!(i.is_nested());
+    }
+
+    #[test]
+    fn sanitized_clamps_zeroes() {
+        let i = Intervals {
+            ec: 0,
+            sm: 0,
+            em: 3,
+            gm: 4,
+            vmc: 5,
+        }
+        .sanitized();
+        assert_eq!(i.ec, 1);
+        assert_eq!(i.sm, 1);
+    }
+
+    #[test]
+    fn inversion_detected() {
+        let i = Intervals {
+            vmc: 10,
+            ..Intervals::default()
+        };
+        assert!(!i.is_nested());
+    }
+}

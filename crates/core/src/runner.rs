@@ -1,0 +1,823 @@
+//! The experiment runner: wires the five controllers over the simulator
+//! according to the coordination mode, executes the horizon, and collects
+//! the paper's metrics.
+
+use nps_control::{
+    CapperLevel, EfficiencyController, ElectricalCapper, GroupCapper, ServerManager,
+};
+use nps_metrics::{Comparison, LevelViolations, RunStats, ViolationCounter};
+use nps_models::{PState, ServerModel};
+use nps_opt::{ClusterContext, Vmc};
+use nps_sim::{EnclosureId, ServerId, SimConfig, Simulation, VmId};
+
+use crate::arch::ControllerMask;
+use crate::config::ExperimentConfig;
+use crate::CoreError;
+
+/// The outcome of [`run_experiment`]: the run's metrics normalized
+/// against its no-controller baseline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration's label.
+    pub label: String,
+    /// Baseline-normalized metrics (power savings, perf loss, violations).
+    pub comparison: Comparison,
+    /// The baseline's raw stats.
+    pub baseline: RunStats,
+}
+
+/// Runs `cfg` and its baseline (same traces and fleet, no controllers),
+/// returning normalized results.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    let mut baseline_cfg = cfg.clone();
+    baseline_cfg.mask = ControllerMask::NONE;
+    baseline_cfg.label = format!("{} (baseline)", cfg.label);
+    let baseline = Runner::new(&baseline_cfg).run_to_horizon();
+    let run = Runner::new(cfg).run_to_horizon();
+    ExperimentResult {
+        label: cfg.label.clone(),
+        comparison: Comparison::against_baseline(run, &baseline),
+        baseline,
+    }
+}
+
+/// One live experiment: the simulator plus controller instances and the
+/// measurement windows connecting them.
+///
+/// For standard experiments use [`run_experiment`]; construct a `Runner`
+/// directly to drive the system tick by tick (e.g. to sample temperature
+/// or P-state trajectories in examples).
+#[derive(Debug)]
+pub struct Runner {
+    // Configuration (flattened for the hot loop).
+    mask: ControllerMask,
+    mode: crate::arch::CoordinationMode,
+    intervals: crate::intervals::Intervals,
+    horizon: u64,
+    // Substrate.
+    sim: Simulation,
+    models: Vec<ServerModel>,
+    // Controllers.
+    ecs: Vec<EfficiencyController>,
+    sms: Vec<ServerManager>,
+    ems: Vec<GroupCapper>,
+    gm: GroupCapper,
+    vmc: Vmc,
+    elec: Option<Vec<ElectricalCapper>>,
+    /// Standing SM P-state demands for the min-merge mode.
+    sm_hold: Vec<Option<PState>>,
+    // Static caps.
+    cap_loc: Vec<f64>,
+    cap_enc: Vec<f64>,
+    cap_grp: f64,
+    // Measurement-window snapshots (cumulative values at last epoch).
+    snap_util_ec: Vec<f64>,
+    snap_power_sm: Vec<f64>,
+    snap_power_em: Vec<f64>,
+    snap_power_gm: Vec<f64>,
+    snap_encpow_em: Vec<f64>,
+    snap_encpow_gm: Vec<f64>,
+    // Runner-side per-VM estimate accumulators.
+    cum_real: Vec<f64>,
+    cum_apparent: Vec<f64>,
+    snap_real: Vec<f64>,
+    snap_apparent: Vec<f64>,
+    win_max_real: Vec<f64>,
+    win_max_apparent: Vec<f64>,
+    // Violation accounting.
+    violations: LevelViolations,
+    win_sm: ViolationCounter,
+    win_em: ViolationCounter,
+    win_gm: ViolationCounter,
+    // Progress.
+    ticks_done: u64,
+    skipped_migrations: u64,
+    power_trace: Option<nps_metrics::TimeSeries>,
+    cum_latency_proxy: f64,
+    latency_samples: u64,
+}
+
+impl Runner {
+    /// Builds the runner (simulator + controllers) for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (e.g. more
+    /// workloads than the simulator accepts); scenario builders produce
+    /// consistent configurations. Use [`Runner::try_new`] for
+    /// hand-assembled configurations.
+    pub fn new(cfg: &ExperimentConfig) -> Self {
+        Self::try_new(cfg).expect("scenario configurations are consistent")
+    }
+
+    /// Builds the runner, surfacing configuration inconsistencies (sizes
+    /// that disagree, invalid gains) as errors instead of panics.
+    pub fn try_new(cfg: &ExperimentConfig) -> Result<Self, CoreError> {
+        if cfg.lambda <= 0.0 || !cfg.lambda.is_finite() {
+            return Err(CoreError::InvalidGain {
+                name: "lambda",
+                value: cfg.lambda,
+            });
+        }
+        if cfg.beta <= 0.0 || !cfg.beta.is_finite() {
+            return Err(CoreError::InvalidGain {
+                name: "beta",
+                value: cfg.beta,
+            });
+        }
+        if let Some(models) = &cfg.models_override {
+            if models.len() != cfg.topology.num_servers() {
+                return Err(CoreError::ModelCountMismatch {
+                    models: models.len(),
+                    servers: cfg.topology.num_servers(),
+                });
+            }
+        }
+        let models = cfg.server_models();
+        let intervals = cfg.intervals.sanitized();
+        let sim_cfg = SimConfig {
+            alpha_v: cfg.vmc.alpha_v,
+            ..cfg.sim
+        };
+        let sim = Simulation::with_models_and_placement(
+            cfg.topology.clone(),
+            models.clone(),
+            cfg.traces.clone(),
+            nps_sim::Placement::one_per_server(cfg.traces.len(), cfg.topology.num_servers()),
+            sim_cfg,
+        )
+        .map_err(CoreError::Sim)?;
+
+        let n = cfg.topology.num_servers();
+        let num_vms = cfg.traces.len();
+        let cap_loc: Vec<f64> = (0..n)
+            .map(|i| (1.0 - cfg.budgets.local_off) * models[i].max_power())
+            .collect();
+        let cap_enc: Vec<f64> = (0..cfg.topology.num_enclosures())
+            .map(|e| {
+                let sum: f64 = cfg
+                    .topology
+                    .enclosure_servers(EnclosureId(e))
+                    .iter()
+                    .map(|&s| models[s.index()].max_power())
+                    .sum();
+                (1.0 - cfg.budgets.enclosure_off) * sum
+            })
+            .collect();
+        let cap_grp =
+            (1.0 - cfg.budgets.group_off) * models.iter().map(|m| m.max_power()).sum::<f64>();
+
+        let ecs: Vec<EfficiencyController> = (0..n)
+            .map(|i| EfficiencyController::new(&models[i], cfg.lambda, 0.75))
+            .collect();
+        let sms: Vec<ServerManager> = (0..n)
+            .map(|i| ServerManager::new(&models[i], cap_loc[i], cfg.beta))
+            .collect();
+        let ems: Vec<GroupCapper> = (0..cfg.topology.num_enclosures())
+            .map(|e| {
+                GroupCapper::new(
+                    CapperLevel::Enclosure,
+                    cap_enc[e],
+                    cfg.policy
+                        .make(cfg.topology.enclosure_servers(EnclosureId(e)).len()),
+                )
+            })
+            .collect();
+        let gm_children = cfg.topology.num_enclosures() + cfg.topology.standalone_servers().len();
+        let gm = GroupCapper::new(CapperLevel::Group, cap_grp, cfg.policy.make(gm_children));
+
+        let mut vmc_cfg = cfg.vmc;
+        vmc_cfg.use_budget_constraints =
+            cfg.vmc.use_budget_constraints && cfg.mode.vmc_uses_budget_constraints();
+        vmc_cfg.use_feedback = cfg.vmc.use_feedback && cfg.mode.vmc_uses_feedback();
+        if !cfg.mask.ec {
+            // Without ECs servers stay at P0; the power estimator must use
+            // the P0 curve rather than an EC-settled operating point.
+            vmc_cfg.assumed_r_ref = 0.01;
+        }
+        let vmc = Vmc::new(vmc_cfg);
+
+        let elec: Option<Vec<ElectricalCapper>> = cfg.electrical_cap_frac.map(|frac| {
+            (0..n)
+                .map(|i| ElectricalCapper::new(&models[i], frac * models[i].max_power()))
+                .collect()
+        });
+        let mut sim = sim;
+        if let Some(elec) = &elec {
+            // A fuse-level cap admits no violation at all — including the
+            // very first tick before any controller has acted.
+            for i in 0..n {
+                let s = ServerId(i);
+                sim.set_pstate(s, elec[i].clamp(sim.pstate(s)));
+            }
+        }
+
+        Ok(Self {
+            mask: cfg.mask,
+            mode: cfg.mode,
+            intervals,
+            horizon: cfg.horizon,
+            sim,
+            ecs,
+            sms,
+            ems,
+            gm,
+            vmc,
+            elec,
+            sm_hold: vec![None; n],
+            cap_loc,
+            cap_enc,
+            cap_grp,
+            snap_util_ec: vec![0.0; n],
+            snap_power_sm: vec![0.0; n],
+            snap_power_em: vec![0.0; n],
+            snap_power_gm: vec![0.0; n],
+            snap_encpow_em: vec![0.0; cfg.topology.num_enclosures()],
+            snap_encpow_gm: vec![0.0; cfg.topology.num_enclosures()],
+            cum_real: vec![0.0; num_vms],
+            cum_apparent: vec![0.0; num_vms],
+            snap_real: vec![0.0; num_vms],
+            snap_apparent: vec![0.0; num_vms],
+            win_max_real: vec![0.0; num_vms],
+            win_max_apparent: vec![0.0; num_vms],
+            violations: LevelViolations::new(),
+            win_sm: ViolationCounter::new(),
+            win_em: ViolationCounter::new(),
+            win_gm: ViolationCounter::new(),
+            ticks_done: 0,
+            models,
+            skipped_migrations: 0,
+            power_trace: None,
+            cum_latency_proxy: 0.0,
+            latency_samples: 0,
+        })
+    }
+
+    /// Enables recording of the group-power trajectory into a bounded
+    /// [`nps_metrics::TimeSeries`] of at most `max_points` points.
+    pub fn enable_power_trace(&mut self, max_points: usize) {
+        self.power_trace = Some(nps_metrics::TimeSeries::new("group_power_w", max_points));
+    }
+
+    /// The recorded group-power trajectory, if enabled.
+    pub fn power_trace(&self) -> Option<&nps_metrics::TimeSeries> {
+        self.power_trace.as_ref()
+    }
+
+    /// The underlying simulation (read-only).
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Ticks simulated so far.
+    pub fn ticks_done(&self) -> u64 {
+        self.ticks_done
+    }
+
+    /// The VMC's current buffers `(b_loc, b_enc, b_grp)`.
+    pub fn vmc_buffers(&self) -> (f64, f64, f64) {
+        self.vmc.buffers()
+    }
+
+    /// The `r_ref` currently targeted by server `s`'s EC.
+    pub fn ec_r_ref(&self, s: ServerId) -> f64 {
+        self.ecs[s.index()].r_ref()
+    }
+
+    /// The budget server `s`'s SM enforces right now:
+    /// `min(CAP_LOC, granted by EM/GM)`, watts.
+    pub fn sm_effective_cap(&self, s: ServerId) -> f64 {
+        self.sms[s.index()].effective_cap_watts()
+    }
+
+    /// The budget enclosure `e`'s EM enforces right now:
+    /// `min(CAP_ENC, granted by GM)`, watts.
+    pub fn em_effective_cap(&self, e: EnclosureId) -> f64 {
+        self.ems[e.index()].effective_cap_watts()
+    }
+
+    /// The static caps `(CAP_LOC for s, CAP_GRP)` in watts.
+    pub fn static_caps(&self, s: ServerId) -> (f64, f64) {
+        (self.cap_loc[s.index()], self.cap_grp)
+    }
+
+    /// Advances the system by one tick: controllers act on the window
+    /// ending now, then the simulator steps.
+    pub fn tick(&mut self) {
+        if self.ticks_done > 0 {
+            self.act();
+        }
+        self.sim.step();
+        if let Some(trace) = &mut self.power_trace {
+            trace.push(self.ticks_done, self.sim.group_power());
+        }
+        for i in 0..self.models.len() {
+            let s = ServerId(i);
+            if self.sim.is_on(s) {
+                // M/M/1-style delay proxy, capped to keep saturated
+                // servers from dominating the mean.
+                let util = self.sim.server_utilization(s).min(0.95);
+                self.cum_latency_proxy += 1.0 / (1.0 - util);
+                self.latency_samples += 1;
+            }
+        }
+        for j in 0..self.cum_real.len() {
+            let vm = VmId(j);
+            let real = self.sim.real_vm_utilization(vm);
+            let apparent = self.sim.apparent_vm_utilization(vm);
+            self.cum_real[j] += real;
+            self.cum_apparent[j] += apparent;
+            self.win_max_real[j] = self.win_max_real[j].max(real);
+            self.win_max_apparent[j] = self.win_max_apparent[j].max(apparent);
+        }
+        self.ticks_done += 1;
+    }
+
+    /// Runs to the configured horizon and returns the raw stats.
+    pub fn run_to_horizon(&mut self) -> RunStats {
+        while self.ticks_done < self.horizon {
+            self.tick();
+        }
+        self.stats()
+    }
+
+    /// The raw stats so far.
+    pub fn stats(&self) -> RunStats {
+        let num_vms = self.sim.num_vms();
+        let delivered: f64 = (0..num_vms)
+            .map(|j| self.sim.cumulative_delivered(VmId(j)))
+            .sum();
+        let demanded: f64 = (0..num_vms)
+            .map(|j| self.sim.cumulative_demand(VmId(j)))
+            .sum();
+        RunStats {
+            energy: self.sim.total_energy(),
+            delivered_work: delivered,
+            demanded_work: demanded,
+            violations: self.violations,
+            pstate_conflicts: self.sim.pstate_conflicts(),
+            migrations: self.sim.migrations_started(),
+            failovers: self.sim.failover_events(),
+            mean_latency_proxy: if self.latency_samples == 0 {
+                1.0
+            } else {
+                self.cum_latency_proxy / self.latency_samples as f64
+            },
+            ticks: self.ticks_done,
+        }
+    }
+
+    // ----- the per-tick control schedule --------------------------------
+
+    fn act(&mut self) {
+        let t = self.ticks_done;
+        let iv = self.intervals;
+        if self.mask.ec && t % iv.ec == 0 {
+            self.ec_epoch(iv.ec);
+        }
+        if t % iv.sm == 0 {
+            self.sm_epoch(iv.sm);
+        }
+        if t % iv.em == 0 {
+            self.em_epoch(iv.em);
+        }
+        if t % iv.gm == 0 {
+            self.gm_epoch(iv.gm);
+        }
+        if self.mask.vmc && t % iv.vmc == 0 {
+            self.vmc_epoch();
+        }
+        if let Some(elec) = &self.elec {
+            for i in 0..self.models.len() {
+                let s = ServerId(i);
+                if !self.sim.is_on(s) {
+                    continue;
+                }
+                let cur = self.sim.pstate(s);
+                let clamped = elec[i].clamp(cur);
+                if clamped != cur {
+                    self.sim.set_pstate(s, clamped);
+                }
+            }
+        }
+    }
+
+    /// Window-average power per server since the given snapshot, updating
+    /// the snapshot in place.
+    fn window_avg_power(sim: &Simulation, snap: &mut [f64], i: usize, ticks: u64) -> f64 {
+        let cum = sim.cumulative_power(ServerId(i));
+        let avg = (cum - snap[i]) / ticks.max(1) as f64;
+        snap[i] = cum;
+        avg
+    }
+
+    fn ec_epoch(&mut self, window: u64) {
+        for i in 0..self.models.len() {
+            let s = ServerId(i);
+            if !self.sim.is_on(s) {
+                continue;
+            }
+            let cum = self.sim.cumulative_utilization(s);
+            let util = (cum - self.snap_util_ec[i]) / window.max(1) as f64;
+            self.snap_util_ec[i] = cum;
+            let desired = self.ecs[i].step(&self.models[i], util);
+            let applied = if self.mode.merges_min_pstate() {
+                // Naïve "min frequency wins" merge with the SM's standing
+                // demand.
+                match self.sm_hold[i] {
+                    Some(hold) => PState(desired.index().max(hold.index())),
+                    None => desired,
+                }
+            } else {
+                desired
+            };
+            self.sim.set_pstate(s, applied);
+        }
+    }
+
+    fn sm_epoch(&mut self, window: u64) {
+        for i in 0..self.models.len() {
+            let s = ServerId(i);
+            if !self.sim.is_on(s) {
+                // Keep snapshots current so a later power-on starts a
+                // fresh window.
+                self.snap_power_sm[i] = self.sim.cumulative_power(s);
+                continue;
+            }
+            let avg = Self::window_avg_power(&self.sim, &mut self.snap_power_sm, i, window);
+            // Violation measurement against the *static* budget happens at
+            // the SM cadence regardless of whether the SM is deployed.
+            let violated_static = avg > self.cap_loc[i];
+            self.violations.server.record(violated_static);
+            self.win_sm.record(violated_static);
+            if !self.mask.sm {
+                continue;
+            }
+            if self.mode.sm_actuates_r_ref() {
+                self.sms[i].step_coordinated(avg, &mut self.ecs[i]);
+            } else {
+                let current = self.sim.pstate(s);
+                let (_, forced) = self.sms[i].step_uncoordinated(avg, current, &self.models[i]);
+                if self.mode.merges_min_pstate() {
+                    self.sm_hold[i] = forced;
+                    if let Some(p) = forced {
+                        self.sim
+                            .set_pstate(s, PState(p.index().max(current.index())));
+                    }
+                } else if let Some(p) = forced {
+                    // The race: this write lands on the same actuator the
+                    // EC writes every tick.
+                    self.sim.set_pstate(s, p);
+                }
+            }
+        }
+    }
+
+    fn em_epoch(&mut self, window: u64) {
+        for e in 0..self.ems.len() {
+            let members = self.sim.topology().enclosure_servers(EnclosureId(e)).to_vec();
+            let member_power: Vec<f64> = members
+                .iter()
+                .map(|&s| Self::window_avg_power(&self.sim, &mut self.snap_power_em, s.index(), window))
+                .collect();
+            // Level total includes the enclosure's shared base power.
+            let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
+            let total = (enc_cum - self.snap_encpow_em[e]) / window.max(1) as f64;
+            self.snap_encpow_em[e] = enc_cum;
+            let violated_static = total > self.ems[e].static_cap_watts();
+            self.violations.enclosure.record(violated_static);
+            self.win_em.record(violated_static);
+            if !self.mask.em {
+                continue;
+            }
+            let member_caps: Vec<f64> = members.iter().map(|&s| self.cap_loc[s.index()]).collect();
+            let allocations = self.ems[e].reallocate(&member_power, &member_caps);
+            if self.mode.budgets_flow_down() {
+                for (k, &s) in members.iter().enumerate() {
+                    self.sms[s.index()].set_granted_cap(allocations[k]);
+                }
+            } else if total > self.ems[e].effective_cap_watts() {
+                // Uncoordinated enclosure capper: on violation, directly
+                // clamp member P-states to fit their allocation — racing
+                // with the EC and SM.
+                for (k, &s) in members.iter().enumerate() {
+                    if !self.sim.is_on(s) {
+                        continue;
+                    }
+                    let model = &self.models[s.index()];
+                    let forced = model
+                        .pstate_for_power_budget(allocations[k])
+                        .unwrap_or_else(|| model.deepest());
+                    self.sim.set_pstate(s, forced);
+                }
+            }
+        }
+    }
+
+    fn gm_epoch(&mut self, window: u64) {
+        // Children: enclosures first, then standalone servers.
+        let topo = self.sim.topology().clone();
+        let mut consumption = Vec::with_capacity(topo.num_enclosures() + topo.standalone_servers().len());
+        let mut child_caps = Vec::with_capacity(consumption.capacity());
+        for e in 0..topo.num_enclosures() {
+            // Keep the per-server GM snapshots warm for standalone reads.
+            for &s in topo.enclosure_servers(EnclosureId(e)) {
+                let _ = Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
+            }
+            let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
+            let total = (enc_cum - self.snap_encpow_gm[e]) / window.max(1) as f64;
+            self.snap_encpow_gm[e] = enc_cum;
+            consumption.push(total);
+            child_caps.push(self.cap_enc[e]);
+        }
+        for &s in topo.standalone_servers() {
+            consumption
+                .push(Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window));
+            child_caps.push(self.cap_loc[s.index()]);
+        }
+        let group_total: f64 = consumption.iter().sum();
+        let violated_static = group_total > self.cap_grp;
+        self.violations.group.record(violated_static);
+        self.win_gm.record(violated_static);
+        if !self.mask.gm {
+            return;
+        }
+        let allocations = self.gm.reallocate(&consumption, &child_caps);
+        if self.mode.budgets_flow_down() {
+            for e in 0..topo.num_enclosures() {
+                self.ems[e].set_granted_cap(allocations[e]);
+            }
+            for (k, &s) in topo.standalone_servers().iter().enumerate() {
+                self.sms[s.index()].set_granted_cap(allocations[topo.num_enclosures() + k]);
+            }
+        } else if group_total > self.gm.effective_cap_watts() {
+            // Uncoordinated group capper: directly clamp standalone
+            // servers (it has no interface into the enclosures' blades).
+            for (k, &s) in topo.standalone_servers().iter().enumerate() {
+                if !self.sim.is_on(s) {
+                    continue;
+                }
+                let alloc = allocations[topo.num_enclosures() + k];
+                let model = &self.models[s.index()];
+                let forced = model
+                    .pstate_for_power_budget(alloc)
+                    .unwrap_or_else(|| model.deepest());
+                self.sim.set_pstate(s, forced);
+            }
+        }
+    }
+
+    fn vmc_epoch(&mut self) {
+        // Feedback first (rates observed since the last epoch). The
+        // feedback signal comes *from* the capping controllers (paper
+        // Figure 4: "expose power budget violations to VMC"); levels whose
+        // capper is not deployed report nothing.
+        self.vmc.report_violations_windowed(
+            if self.mask.sm { self.win_sm.rate() } else { 0.0 },
+            if self.mask.em { self.win_em.rate() } else { 0.0 },
+            if self.mask.gm { self.win_gm.rate() } else { 0.0 },
+            self.intervals.vmc,
+        );
+        self.win_sm = ViolationCounter::new();
+        self.win_em = ViolationCounter::new();
+        self.win_gm = ViolationCounter::new();
+
+        // Demand estimates over the window.
+        let num_vms = self.sim.num_vms();
+        let real_mode = self.mode.vmc_uses_real_util();
+        let mut demands = Vec::with_capacity(num_vms);
+        for j in 0..num_vms {
+            let (cum, snap, win_max) = if real_mode {
+                (self.cum_real[j], &mut self.snap_real[j], self.win_max_real[j])
+            } else {
+                (
+                    self.cum_apparent[j],
+                    &mut self.snap_apparent[j],
+                    self.win_max_apparent[j],
+                )
+            };
+            let window = self.intervals.vmc.max(1) as f64;
+            let mean = (cum - *snap) / window;
+            *snap = cum;
+            // Size by a mean/peak blend: a placement sized to the window
+            // mean alone saturates as soon as the diurnal curve rises
+            // within the next epoch.
+            let est = mean + 0.3 * (win_max - mean).max(0.0);
+            demands.push(est.clamp(0.0, 1.0));
+        }
+        self.win_max_real.iter_mut().for_each(|m| *m = 0.0);
+        self.win_max_apparent.iter_mut().for_each(|m| *m = 0.0);
+        // Keep the unused snapshot current too.
+        for j in 0..num_vms {
+            if real_mode {
+                self.snap_apparent[j] = self.cum_apparent[j];
+            } else {
+                self.snap_real[j] = self.cum_real[j];
+            }
+        }
+
+        let current = self.sim.placement().clone();
+        let ctx = ClusterContext {
+            topo: self.sim.topology(),
+            models: &self.models,
+            current: &current,
+            cap_loc: &self.cap_loc,
+            cap_enc: &self.cap_enc,
+            cap_grp: self.cap_grp,
+        };
+        let plan = self.vmc.plan(&demands, &ctx);
+        if std::env::var_os("NPS_DEBUG_VMC").is_some() {
+            eprintln!(
+                "[vmc t={}] demands mean={:.3} max={:.3} plan: used={} migs={} on={} off={} forced={}",
+                self.ticks_done,
+                demands.iter().sum::<f64>() / demands.len() as f64,
+                demands.iter().cloned().fold(0.0, f64::max),
+                plan.placement.used_servers().len(),
+                plan.migrations.len(),
+                plan.power_on.len(),
+                plan.power_off.len(),
+                plan.forced_placements
+            );
+        }
+
+        for &s in &plan.power_on {
+            if !self.sim.is_on(s) && self.sim.power_on(s).is_ok() {
+                self.ecs[s.index()].reset(&self.models[s.index()]);
+                self.ecs[s.index()].set_r_ref(0.75);
+                // A stale grant from before the power-off (possibly 0 W)
+                // must not strangle the revived server until the next
+                // EM/GM epoch refreshes it.
+                self.sms[s.index()].set_granted_cap(f64::INFINITY);
+                // Fresh measurement windows for the revived server.
+                self.snap_util_ec[s.index()] = self.sim.cumulative_utilization(s);
+            }
+        }
+        for m in &plan.migrations {
+            if self.sim.migrate(m.vm, m.to).is_err() {
+                self.skipped_migrations += 1;
+            }
+        }
+        for &s in &plan.power_off {
+            if self.sim.is_on(s) && self.sim.residents(s).is_empty() {
+                let _ = self.sim.power_off(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{Scenario, SystemKind};
+    use crate::CoordinationMode;
+    use nps_traces::Mix;
+
+    fn quick(mode: CoordinationMode) -> ExperimentResult {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
+            .horizon(1_200)
+            .seed(7)
+            .build();
+        run_experiment(&cfg)
+    }
+
+    #[test]
+    fn coordinated_run_saves_power_with_small_perf_loss() {
+        let r = quick(CoordinationMode::Coordinated);
+        assert!(
+            r.comparison.power_savings_pct > 30.0,
+            "savings {:.1}%",
+            r.comparison.power_savings_pct
+        );
+        assert!(
+            r.comparison.perf_loss_pct < 10.0,
+            "perf loss {:.1}%",
+            r.comparison.perf_loss_pct
+        );
+    }
+
+    #[test]
+    fn coordinated_never_races_on_the_actuator() {
+        let r = quick(CoordinationMode::Coordinated);
+        assert_eq!(
+            r.comparison.run.pstate_conflicts, 0,
+            "coordinated mode must not produce same-tick actuator races"
+        );
+    }
+
+    #[test]
+    fn uncoordinated_races_on_the_actuator() {
+        let r = quick(CoordinationMode::Uncoordinated);
+        assert!(
+            r.comparison.run.pstate_conflicts > 0,
+            "uncoordinated EC/SM must collide on the P-state register"
+        );
+    }
+
+    #[test]
+    fn baseline_of_identical_config_is_deterministic() {
+        let a = quick(CoordinationMode::Coordinated);
+        let b = quick(CoordinationMode::Coordinated);
+        assert_eq!(a.baseline, b.baseline);
+        assert_eq!(a.comparison, b.comparison);
+    }
+
+    #[test]
+    fn vmc_only_mask_still_consolidates() {
+        let cfg = Scenario::paper(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
+            .mask(ControllerMask::VMC_ONLY)
+            .horizon(1_200)
+            .seed(7)
+            .build();
+        let r = run_experiment(&cfg);
+        assert!(r.comparison.run.migrations > 0);
+        // Only ~2 VMC epochs fit in this short horizon; the full-horizon
+        // numbers live in the fig8 bench.
+        assert!(
+            r.comparison.power_savings_pct > 10.0,
+            "savings {:.1}%",
+            r.comparison.power_savings_pct
+        );
+    }
+
+    #[test]
+    fn no_controllers_changes_nothing() {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .mask(ControllerMask::NONE)
+            .horizon(600)
+            .seed(7)
+            .build();
+        let r = run_experiment(&cfg);
+        assert_eq!(r.comparison.power_savings_pct, 0.0);
+        assert_eq!(r.comparison.perf_loss_pct, 0.0);
+        assert_eq!(r.comparison.run.migrations, 0);
+    }
+}
+
+#[cfg(test)]
+mod try_new_tests {
+    use super::*;
+    use crate::scenarios::{Scenario, SystemKind};
+    use crate::{CoordinationMode, CoreError};
+    use nps_sim::EnclosureId;
+    use nps_traces::Mix;
+
+    #[test]
+    fn try_new_rejects_bad_gains() {
+        let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+            .horizon(10)
+            .build();
+        cfg.lambda = 0.0;
+        assert!(matches!(
+            Runner::try_new(&cfg),
+            Err(CoreError::InvalidGain { name: "lambda", .. })
+        ));
+        cfg.lambda = 0.8;
+        cfg.beta = f64::NAN;
+        assert!(matches!(
+            Runner::try_new(&cfg),
+            Err(CoreError::InvalidGain { name: "beta", .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_missized_model_override() {
+        let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+            .horizon(10)
+            .build();
+        cfg.models_override = Some(vec![cfg.model.clone(); 3]);
+        assert!(matches!(
+            Runner::try_new(&cfg),
+            Err(CoreError::ModelCountMismatch { models: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_empty_traces_via_sim() {
+        let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+            .horizon(10)
+            .build();
+        cfg.traces.clear();
+        assert!(matches!(Runner::try_new(&cfg), Err(CoreError::Sim(_))));
+    }
+
+    #[test]
+    fn effective_caps_are_observable_and_bounded() {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::M60, CoordinationMode::Coordinated)
+            .horizon(300)
+            .seed(3)
+            .build();
+        let mut runner = Runner::new(&cfg);
+        runner.run_to_horizon();
+        let (cap_loc, cap_grp) = runner.static_caps(ServerId(0));
+        assert!(cap_loc > 0.0 && cap_grp > cap_loc);
+        for i in 0..runner.sim().topology().num_servers() {
+            let eff = runner.sm_effective_cap(ServerId(i));
+            assert!(eff <= cap_loc + 1e-9, "server {i}: {eff} > {cap_loc}");
+            assert!(eff > 0.0);
+        }
+        for e in 0..runner.sim().topology().num_enclosures() {
+            let eff = runner.em_effective_cap(EnclosureId(e));
+            assert!(eff > 0.0);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Builders for the paper's experimental configurations.
+
+use nps_models::ServerModel;
+use nps_opt::VmcConfig;
+use nps_sim::{SimConfig, Topology};
+use nps_traces::{Corpus, Mix, UtilTrace};
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{ControllerMask, CoordinationMode};
+use crate::budgets::BudgetSpec;
+use crate::config::{ExperimentConfig, PolicyKind};
+use crate::intervals::Intervals;
+
+/// The two reference systems of the paper's evaluation (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// The low-power blade (wide power range, 5 P-states).
+    BladeA,
+    /// The entry-level 2U server (high idle power, 6 P-states).
+    ServerB,
+}
+
+impl SystemKind {
+    /// Both systems, in the paper's plotting order.
+    pub const BOTH: [SystemKind; 2] = [SystemKind::BladeA, SystemKind::ServerB];
+
+    /// The model for this system.
+    pub fn model(self) -> ServerModel {
+        match self {
+            SystemKind::BladeA => ServerModel::blade_a(),
+            SystemKind::ServerB => ServerModel::server_b(),
+        }
+    }
+
+    /// The paper's name for this system.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::BladeA => "Blade A",
+            SystemKind::ServerB => "Server B",
+        }
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fluent builder for paper-standard [`ExperimentConfig`]s.
+///
+/// Defaults follow Figure 5: budgets `20-15-10`, intervals 1/5/25/50/500,
+/// `λ = 0.8`, `β = 1.0`, `α_V = α_M = 10%`, proportional-share policy,
+/// all controllers on. The topology follows the mix: 180 workloads on the
+/// 180-server cluster (6×20 blades + 60 standalone), 60 workloads on the
+/// 60-server cluster (2×20 + 20).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    system: SystemKind,
+    mix: Mix,
+    mode: CoordinationMode,
+    budgets: BudgetSpec,
+    intervals: Intervals,
+    mask: ControllerMask,
+    policy: PolicyKind,
+    lambda: f64,
+    beta: f64,
+    vmc: VmcConfig,
+    sim: SimConfig,
+    horizon: u64,
+    seed: u64,
+    diurnal_period: usize,
+    pstate_subset: Option<Vec<usize>>,
+    electrical_cap_frac: Option<f64>,
+    idle_scale: Option<f64>,
+    heterogeneous: bool,
+    label_suffix: String,
+}
+
+impl Scenario {
+    /// Starts a paper-standard scenario.
+    pub fn paper(system: SystemKind, mix: Mix, mode: CoordinationMode) -> Self {
+        Self {
+            system,
+            mix,
+            mode,
+            budgets: BudgetSpec::PAPER_20_15_10,
+            intervals: Intervals::default(),
+            mask: ControllerMask::ALL,
+            policy: PolicyKind::Proportional,
+            lambda: 0.8,
+            beta: 1.0,
+            vmc: VmcConfig::default(),
+            sim: SimConfig::default(),
+            horizon: 4_000,
+            seed: 42,
+            diurnal_period: 1_000,
+            pstate_subset: None,
+            electrical_cap_frac: None,
+            idle_scale: None,
+            heterogeneous: false,
+            label_suffix: String::new(),
+        }
+    }
+
+    /// Overrides the budget specification (Figure 10 sweep).
+    pub fn budgets(mut self, budgets: BudgetSpec) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Overrides the controller intervals (§5.4 time-constant sweep).
+    pub fn intervals(mut self, intervals: Intervals) -> Self {
+        self.intervals = intervals;
+        self
+    }
+
+    /// Overrides the controller mask (Figure 8's NoVMC / VMCOnly).
+    pub fn mask(mut self, mask: ControllerMask) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Overrides the EM/GM budget-division policy (§5.4).
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the VMC configuration (migration weight, turn-off, …).
+    pub fn vmc(mut self, vmc: VmcConfig) -> Self {
+        self.vmc = vmc;
+        self
+    }
+
+    /// Overrides the simulator configuration (α_M, migration window, …).
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the simulation horizon in ticks.
+    pub fn horizon(mut self, ticks: u64) -> Self {
+        self.horizon = ticks.max(1);
+        self
+    }
+
+    /// Sets the trace-generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts the server model to a subset of its P-states
+    /// (§5.3's P-state count study). Indices must be valid for the
+    /// system's model.
+    pub fn pstate_subset(mut self, indices: Vec<usize>) -> Self {
+        self.pstate_subset = Some(indices);
+        self
+    }
+
+    /// Enables the per-server electrical capper at `frac · max_power`.
+    pub fn electrical_cap(mut self, frac: f64) -> Self {
+        self.electrical_cap_frac = Some(frac);
+        self
+    }
+
+    /// Scales the model's idle power (the paper's "different idle power"
+    /// sensitivity discussion).
+    pub fn idle_scale(mut self, factor: f64) -> Self {
+        self.idle_scale = Some(factor);
+        self
+    }
+
+    /// Builds a *heterogeneous* fleet (paper §6 extension (5)): enclosure
+    /// blades use Blade A, standalone servers use Server B — "easily
+    /// addressed by including a range of different models in the
+    /// controllers". P-state subsetting and idle scaling apply to both
+    /// models.
+    pub fn heterogeneous(mut self) -> Self {
+        self.heterogeneous = true;
+        self
+    }
+
+    /// Appends a suffix to the generated label.
+    pub fn label(mut self, suffix: impl Into<String>) -> Self {
+        self.label_suffix = suffix.into();
+        self
+    }
+
+    /// Materializes the configuration (generates the trace corpus, picks
+    /// the topology, applies model transforms).
+    pub fn build(self) -> ExperimentConfig {
+        let mut model = self.system.model();
+        if let Some(indices) = &self.pstate_subset {
+            model = model
+                .subset(indices)
+                .expect("scenario P-state subset must be valid");
+        }
+        if let Some(factor) = self.idle_scale {
+            model = model
+                .with_idle_scale(factor)
+                .expect("scenario idle scale must be valid");
+        }
+        let topology = if self.mix.workload_count() >= 180 {
+            Topology::paper_180()
+        } else {
+            Topology::paper_60()
+        };
+        let models_override = if self.heterogeneous {
+            let transform = |m: ServerModel| -> ServerModel {
+                let mut m = m;
+                if let Some(factor) = self.idle_scale {
+                    m = m.with_idle_scale(factor).expect("valid idle scale");
+                }
+                m
+            };
+            let blade = transform(ServerModel::blade_a());
+            let standalone = transform(ServerModel::server_b());
+            Some(
+                topology
+                    .servers()
+                    .map(|s| {
+                        if topology.enclosure_of(s).is_some() {
+                            blade.clone()
+                        } else {
+                            standalone.clone()
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let traces = build_mix_traces(self.mix, self.horizon, self.seed, self.diurnal_period);
+        let label = format!(
+            "{}{}/{} {} [{}]{}{}",
+            if self.heterogeneous { "Hetero+" } else { "" },
+            self.system.label(),
+            self.mix.label(),
+            self.mode.label(),
+            self.budgets.label(),
+            if self.label_suffix.is_empty() { "" } else { " " },
+            self.label_suffix
+        );
+        ExperimentConfig {
+            label,
+            model,
+            models_override,
+            topology,
+            traces,
+            budgets: self.budgets,
+            intervals: self.intervals,
+            lambda: self.lambda,
+            beta: self.beta,
+            vmc: self.vmc,
+            sim: self.sim,
+            mode: self.mode,
+            mask: self.mask,
+            policy: self.policy,
+            horizon: self.horizon,
+            electrical_cap_frac: self.electrical_cap_frac,
+        }
+    }
+}
+
+/// Generates the enterprise corpus sized for the run and selects a mix.
+fn build_mix_traces(mix: Mix, horizon: u64, seed: u64, diurnal_period: usize) -> Vec<UtilTrace> {
+    // Trace length: at least one diurnal period, at most the horizon
+    // (traces wrap cyclically). Generating exactly the horizon keeps runs
+    // free of wrap artifacts.
+    let len = (horizon as usize).max(diurnal_period);
+    let corpus = Corpus::enterprise(len, seed);
+    corpus.mix(mix).expect("enterprise corpus supports all mixes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_selects_matching_topology() {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .horizon(100)
+            .build();
+        assert_eq!(cfg.topology.num_servers(), 180);
+        assert_eq!(cfg.traces.len(), 180);
+        let cfg60 = Scenario::paper(SystemKind::ServerB, Mix::Hh60, CoordinationMode::Coordinated)
+            .horizon(100)
+            .build();
+        assert_eq!(cfg60.topology.num_servers(), 60);
+        assert_eq!(cfg60.traces.len(), 60);
+    }
+
+    #[test]
+    fn label_mentions_system_mix_and_mode() {
+        let cfg = Scenario::paper(SystemKind::ServerB, Mix::H60, CoordinationMode::Uncoordinated)
+            .horizon(100)
+            .build();
+        assert!(cfg.label.contains("Server B"));
+        assert!(cfg.label.contains("60H"));
+        assert!(cfg.label.contains("Uncoordinated"));
+        assert!(cfg.label.contains("20-15-10"));
+    }
+
+    #[test]
+    fn pstate_subset_flows_into_model() {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .pstate_subset(vec![0, 4])
+            .horizon(100)
+            .build();
+        assert_eq!(cfg.model.num_pstates(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_traces() {
+        let a = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .horizon(200)
+            .build();
+        let b = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .horizon(200)
+            .build();
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+            .budgets(BudgetSpec::PAPER_30_25_20)
+            .policy(PolicyKind::Fair)
+            .electrical_cap(0.95)
+            .horizon(50)
+            .label("custom")
+            .build();
+        assert_eq!(cfg.budgets, BudgetSpec::PAPER_30_25_20);
+        assert!(matches!(cfg.policy, PolicyKind::Fair));
+        assert_eq!(cfg.electrical_cap_frac, Some(0.95));
+        assert!(cfg.label.ends_with("custom"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Parallel experiment sweeps and result persistence.
+//!
+//! The paper's evaluation spans *"more than 800 individual
+//! configurations"* (§5.1); this module provides the workflow for that
+//! scale: [`run_sweep`] fans configurations out over worker threads
+//! (every run is deterministic, so parallelism cannot change results),
+//! and [`save_results`] / [`load_results`] persist the outcomes as JSON.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::config::ExperimentConfig;
+use crate::runner::{run_experiment, ExperimentResult};
+
+/// Runs every configuration (plus its baseline) across `threads` worker
+/// threads, returning results in input order. `threads = 0` picks the
+/// available parallelism.
+pub fn run_sweep(configs: &[ExperimentConfig], threads: usize) -> Vec<ExperimentResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(configs.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ExperimentResult>>> =
+        (0..configs.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let result = run_experiment(&configs[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by the sweep")
+        })
+        .collect()
+}
+
+/// Persists sweep results as JSON.
+pub fn save_results(
+    results: &[ExperimentResult],
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), results)
+        .map_err(std::io::Error::other)
+}
+
+/// Loads previously saved sweep results.
+pub fn load_results(path: impl AsRef<Path>) -> std::io::Result<Vec<ExperimentResult>> {
+    let file = std::fs::File::open(path)?;
+    serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::CoordinationMode;
+    use crate::scenarios::{Scenario, SystemKind};
+    use nps_traces::Mix;
+
+    fn tiny(seed: u64) -> ExperimentConfig {
+        Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+            .horizon(200)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_matches_serial() {
+        let configs: Vec<ExperimentConfig> = (0..4).map(tiny).collect();
+        let parallel = run_sweep(&configs, 4);
+        for (cfg, result) in configs.iter().zip(&parallel) {
+            let serial = run_experiment(cfg);
+            assert_eq!(&serial, result, "{}", cfg.label);
+        }
+    }
+
+    #[test]
+    fn single_thread_sweep_works() {
+        let configs = vec![tiny(1)];
+        let results = run_sweep(&configs, 1);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let configs = vec![tiny(1), tiny(2)];
+        assert_eq!(run_sweep(&configs, 0).len(), 2);
+    }
+
+    #[test]
+    fn results_roundtrip_through_json() {
+        let results = run_sweep(&[tiny(9)], 1);
+        let mut path = std::env::temp_dir();
+        path.push(format!("nps-sweep-test-{}.json", std::process::id()));
+        save_results(&results, &path).unwrap();
+        let back = load_results(&path).unwrap();
+        assert_eq!(results, back);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based invariants of the full experiment runner across
+//! randomized scenario knobs: metrics stay physical, the coordinated
+//! architecture never races, and runs are reproducible.
+
+use nps_core::{
+    run_experiment, BudgetSpec, ControllerMask, CoordinationMode, PolicyKind, Runner, Scenario,
+    SystemKind,
+};
+use nps_traces::Mix;
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = CoordinationMode> {
+    prop_oneof![
+        Just(CoordinationMode::Coordinated),
+        Just(CoordinationMode::Uncoordinated),
+        Just(CoordinationMode::CoordApparentUtil),
+        Just(CoordinationMode::CoordNoFeedback),
+        Just(CoordinationMode::CoordNoBudgetLimits),
+        Just(CoordinationMode::UncoordMinPstates),
+    ]
+}
+
+fn arb_mix() -> impl Strategy<Value = Mix> {
+    prop_oneof![
+        Just(Mix::L60),
+        Just(Mix::M60),
+        Just(Mix::H60),
+        Just(Mix::Hh60),
+    ]
+}
+
+fn arb_budgets() -> impl Strategy<Value = BudgetSpec> {
+    prop_oneof![
+        Just(BudgetSpec::PAPER_20_15_10),
+        Just(BudgetSpec::PAPER_25_20_15),
+        Just(BudgetSpec::PAPER_30_25_20),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Proportional),
+        Just(PolicyKind::Fair),
+        Just(PolicyKind::Fifo),
+        Just(PolicyKind::Random(7)),
+        Just(PolicyKind::History(0.3)),
+    ]
+}
+
+proptest! {
+    // Full experiments are comparatively expensive; a couple of dozen
+    // random configurations give broad coverage.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn runner_metrics_stay_physical(
+        mode in arb_mode(),
+        mix in arb_mix(),
+        budgets in arb_budgets(),
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+        sys in prop_oneof![Just(SystemKind::BladeA), Just(SystemKind::ServerB)],
+    ) {
+        let cfg = Scenario::paper(sys, mix, mode)
+            .budgets(budgets)
+            .policy(policy)
+            .horizon(700)
+            .seed(seed)
+            .build();
+        let r = run_experiment(&cfg);
+        let c = &r.comparison;
+        // Percentages bounded.
+        for v in [c.violations_gm_pct, c.violations_em_pct, c.violations_sm_pct] {
+            prop_assert!((0.0..=100.0).contains(&v), "violation {v}");
+        }
+        prop_assert!(c.power_savings_pct <= 100.0);
+        prop_assert!(c.perf_loss_pct <= 100.0);
+        // A power-management run never *increases* demand; delivered work
+        // can never exceed what was asked for.
+        prop_assert!(c.run.delivered_work <= c.run.demanded_work + 1e-6);
+        prop_assert!(c.run.energy >= 0.0);
+        // Baselines deliver at least as much as any managed run (no
+        // queueing: management can only throttle).
+        prop_assert!(c.run.delivered_work <= r.baseline.delivered_work + 1e-6);
+        // Coordinated wiring never races on the actuator.
+        if matches!(
+            mode,
+            CoordinationMode::Coordinated
+                | CoordinationMode::CoordApparentUtil
+                | CoordinationMode::CoordNoFeedback
+                | CoordinationMode::CoordNoBudgetLimits
+        ) {
+            prop_assert_eq!(c.run.pstate_conflicts, 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible(seed in 0u64..100) {
+        let build = || {
+            Scenario::paper(SystemKind::BladeA, Mix::M60, CoordinationMode::Coordinated)
+                .horizon(400)
+                .seed(seed)
+                .build()
+        };
+        let a = Runner::new(&build()).run_to_horizon();
+        let b = Runner::new(&build()).run_to_horizon();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn masks_only_reduce_controller_activity(seed in 0u64..50) {
+        let base = Scenario::paper(SystemKind::BladeA, Mix::M60, CoordinationMode::Coordinated)
+            .horizon(600)
+            .seed(seed);
+        let none = run_experiment(&base.clone().mask(ControllerMask::NONE).build());
+        prop_assert_eq!(none.comparison.power_savings_pct, 0.0);
+        prop_assert_eq!(none.comparison.run.migrations, 0);
+        prop_assert_eq!(none.comparison.run.pstate_conflicts, 0);
+        let no_vmc = run_experiment(&base.mask(ControllerMask::NO_VMC).build());
+        prop_assert_eq!(no_vmc.comparison.run.migrations, 0);
+    }
+}

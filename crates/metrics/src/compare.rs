@@ -1,0 +1,178 @@
+//! Raw per-run statistics and baseline-normalized comparisons.
+
+use serde::{Deserialize, Serialize};
+
+use crate::violations::LevelViolations;
+
+/// Raw outputs of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total energy consumed by the group (W·ticks).
+    pub energy: f64,
+    /// Total useful work delivered across all VMs (capacity·ticks).
+    pub delivered_work: f64,
+    /// Total work demanded across all VMs (capacity·ticks).
+    pub demanded_work: f64,
+    /// Violation counters per capping level.
+    pub violations: LevelViolations,
+    /// Same-tick conflicting P-state writes (the "power struggle"
+    /// signature; 0 under the coordinated architecture).
+    pub pstate_conflicts: u64,
+    /// VM migrations performed.
+    pub migrations: u64,
+    /// Thermal failover events.
+    pub failovers: usize,
+    /// Mean queueing-latency proxy across powered-on servers
+    /// (`1/(1 − util)`, capped): a first-order delay signal for
+    /// energy-delay tradeoffs (paper §6 extension (6)). 1.0 = idle fleet.
+    pub mean_latency_proxy: f64,
+    /// Simulated ticks.
+    pub ticks: u64,
+}
+
+impl RunStats {
+    /// Mean group power over the run, watts.
+    pub fn mean_power(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.energy / self.ticks as f64
+        }
+    }
+
+    /// Fraction of demanded work that was delivered in this run alone
+    /// (not baseline-normalized).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.demanded_work <= 0.0 {
+            1.0
+        } else {
+            self.delivered_work / self.demanded_work
+        }
+    }
+}
+
+/// A run normalized against the no-controller baseline — the form in
+/// which the paper reports every result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Power saved relative to baseline energy, in percent
+    /// (`100·(1 − E_run/E_base)`).
+    pub power_savings_pct: f64,
+    /// Performance lost relative to baseline delivered work, in percent
+    /// (`100·(1 − W_run/W_base)`).
+    pub perf_loss_pct: f64,
+    /// Latency stretch relative to baseline (`run latency proxy /
+    /// baseline latency proxy`); > 1 means consolidation/capping made
+    /// servers busier.
+    pub latency_stretch: f64,
+    /// Violation percentages per level (GM, EM, SM).
+    pub violations_gm_pct: f64,
+    /// See [`Comparison::violations_gm_pct`].
+    pub violations_em_pct: f64,
+    /// See [`Comparison::violations_gm_pct`].
+    pub violations_sm_pct: f64,
+    /// The run's raw stats.
+    pub run: RunStats,
+}
+
+impl Comparison {
+    /// Normalizes `run` against `baseline`.
+    pub fn against_baseline(run: RunStats, baseline: &RunStats) -> Self {
+        let power_savings_pct = if baseline.energy > 0.0 {
+            100.0 * (1.0 - run.energy / baseline.energy)
+        } else {
+            0.0
+        };
+        let perf_loss_pct = if baseline.delivered_work > 0.0 {
+            100.0 * (1.0 - run.delivered_work / baseline.delivered_work)
+        } else {
+            0.0
+        };
+        let latency_stretch = if baseline.mean_latency_proxy > 0.0 {
+            run.mean_latency_proxy / baseline.mean_latency_proxy
+        } else {
+            1.0
+        };
+        Self {
+            power_savings_pct,
+            perf_loss_pct,
+            latency_stretch,
+            violations_gm_pct: run.violations.group.percent(),
+            violations_em_pct: run.violations.enclosure.percent(),
+            violations_sm_pct: run.violations.server.percent(),
+            run,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(energy: f64, delivered: f64) -> RunStats {
+        RunStats {
+            energy,
+            delivered_work: delivered,
+            demanded_work: delivered,
+            violations: LevelViolations::new(),
+            pstate_conflicts: 0,
+            migrations: 0,
+            failovers: 0,
+            mean_latency_proxy: 1.5,
+            ticks: 100,
+        }
+    }
+
+    #[test]
+    fn baseline_against_itself_is_zero() {
+        let base = stats(1_000.0, 500.0);
+        let c = Comparison::against_baseline(base.clone(), &base);
+        assert_eq!(c.power_savings_pct, 0.0);
+        assert_eq!(c.perf_loss_pct, 0.0);
+    }
+
+    #[test]
+    fn savings_and_loss_are_percentages() {
+        let base = stats(1_000.0, 500.0);
+        let run = stats(400.0, 475.0);
+        let c = Comparison::against_baseline(run, &base);
+        assert!((c.power_savings_pct - 60.0).abs() < 1e-9);
+        assert!((c.perf_loss_pct - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_savings_possible_for_worse_runs() {
+        let base = stats(1_000.0, 500.0);
+        let run = stats(1_200.0, 500.0);
+        let c = Comparison::against_baseline(run, &base);
+        assert!(c.power_savings_pct < 0.0);
+    }
+
+    #[test]
+    fn mean_power_and_delivery_ratio() {
+        let s = stats(1_000.0, 500.0);
+        assert!((s.mean_power() - 10.0).abs() < 1e-12);
+        assert_eq!(s.delivery_ratio(), 1.0);
+        let zero = RunStats { ticks: 0, ..stats(0.0, 0.0) };
+        assert_eq!(zero.mean_power(), 0.0);
+        assert_eq!(zero.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn latency_stretch_is_relative_to_baseline() {
+        let base = stats(1_000.0, 500.0);
+        let mut run = stats(700.0, 500.0);
+        run.mean_latency_proxy = 3.0;
+        let c = Comparison::against_baseline(run, &base);
+        assert!((c.latency_stretch - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let base = stats(1_000.0, 500.0);
+        let c = Comparison::against_baseline(stats(400.0, 470.0), &base);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Comparison = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

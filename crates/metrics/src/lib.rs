@@ -1,0 +1,23 @@
+//! Metrics for power-management experiments.
+//!
+//! The paper reports three families of metrics (§4.2): *"aggregate power
+//! savings, performance loss, and power budget violations at the server,
+//! enclosure and group levels"*, all normalized against a baseline *"where
+//! no controllers for power management are turned on"*. This crate
+//! provides exactly those: [`ViolationCounter`]s per level, the raw
+//! [`RunStats`] a run produces, the baseline-normalized [`Comparison`],
+//! and a plain-text [`Table`] builder for the figure-regeneration
+//! binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+mod report;
+mod series;
+mod violations;
+
+pub use compare::{Comparison, RunStats};
+pub use report::Table;
+pub use series::TimeSeries;
+pub use violations::{LevelViolations, ViolationCounter};

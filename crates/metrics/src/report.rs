@@ -1,0 +1,108 @@
+//! Plain-text table rendering for the figure-regeneration binaries.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column text table (no external dependencies).
+///
+/// ```
+/// use nps_metrics::Table;
+///
+/// let mut t = Table::new(vec!["System", "pwr save"]);
+/// t.row(vec!["Blade A".to_string(), "64.0".to_string()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Blade A"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: formats a float cell with one decimal.
+    pub fn fmt(value: f64) -> String {
+        format!("{value:.1}")
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+        }
+        writeln!(f, "{}", line.trim_end())?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyyy".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a      long-header"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "extra".into()]);
+        let s = t.to_string();
+        assert!(!s.contains("extra"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn fmt_renders_one_decimal() {
+        assert_eq!(Table::fmt(63.96), "64.0");
+        assert_eq!(Table::fmt(-3.14), "-3.1");
+    }
+}

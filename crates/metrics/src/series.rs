@@ -1,0 +1,193 @@
+//! Bounded time-series recording.
+//!
+//! Long experiments produce millions of per-tick samples; plotting and
+//! post-hoc analysis need trajectories, not firehoses. [`TimeSeries`] is
+//! an RRD-style recorder: when full it halves its resolution by averaging
+//! adjacent buckets, so memory stays bounded while the full time range is
+//! preserved.
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded, auto-decimating time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    max_points: usize,
+    /// Ticks covered per stored point (doubles on each compaction).
+    stride: u64,
+    /// First tick of the series.
+    start_tick: u64,
+    points: Vec<f64>,
+    /// Accumulator for the in-progress bucket.
+    pending_sum: f64,
+    pending_count: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series keeping at most `max_points` stored points
+    /// (minimum 2).
+    pub fn new(name: impl Into<String>, max_points: usize) -> Self {
+        Self {
+            name: name.into(),
+            max_points: max_points.max(2),
+            stride: 1,
+            start_tick: 0,
+            points: Vec::new(),
+            pending_sum: 0.0,
+            pending_count: 0,
+        }
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one per-tick sample. Samples are assumed consecutive; the
+    /// first call sets the series origin.
+    pub fn push(&mut self, tick: u64, value: f64) {
+        if self.points.is_empty() && self.pending_count == 0 {
+            self.start_tick = tick;
+        }
+        self.pending_sum += value;
+        self.pending_count += 1;
+        if self.pending_count >= self.stride {
+            self.points.push(self.pending_sum / self.pending_count as f64);
+            self.pending_sum = 0.0;
+            self.pending_count = 0;
+            if self.points.len() >= self.max_points {
+                self.compact();
+            }
+        }
+    }
+
+    /// Halves resolution by averaging adjacent points.
+    fn compact(&mut self) {
+        let mut out = Vec::with_capacity(self.points.len() / 2 + 1);
+        for pair in self.points.chunks(2) {
+            out.push(pair.iter().sum::<f64>() / pair.len() as f64);
+        }
+        self.points = out;
+        self.stride *= 2;
+    }
+
+    /// Ticks represented by each stored point.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The stored `(tick, mean value)` points, oldest first.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.start_tick + i as u64 * self.stride, v))
+            .collect()
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the stored points (equals the mean of all pushed samples
+    /// up to bucket-boundary effects).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Minimum and maximum stored point values.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.points.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &v| (lo.min(v), hi.max(v)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity_then_compacts() {
+        let mut ts = TimeSeries::new("power", 4);
+        for t in 0..4 {
+            ts.push(t, t as f64);
+        }
+        // Hit capacity → compacted to 2 points of stride 2.
+        assert_eq!(ts.stride(), 2);
+        assert_eq!(ts.len(), 2);
+        let pts = ts.points();
+        assert_eq!(pts[0], (0, 0.5));
+        assert_eq!(pts[1], (2, 2.5));
+    }
+
+    #[test]
+    fn memory_stays_bounded_for_long_runs() {
+        let mut ts = TimeSeries::new("power", 64);
+        for t in 0..1_000_000u64 {
+            ts.push(t, 1.0);
+        }
+        assert!(ts.len() <= 64);
+        assert!(ts.stride() >= 1_000_000 / 64);
+        assert!((ts.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_is_preserved_through_compaction() {
+        let mut ts = TimeSeries::new("ramp", 8);
+        let n = 1024u64;
+        for t in 0..n {
+            ts.push(t, t as f64);
+        }
+        let true_mean = (n - 1) as f64 / 2.0;
+        assert!((ts.mean() - true_mean).abs() / true_mean < 0.02);
+    }
+
+    #[test]
+    fn min_max_track_envelope() {
+        let mut ts = TimeSeries::new("wave", 64);
+        for t in 0..16 {
+            ts.push(t, if t % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let (lo, hi) = ts.min_max();
+        assert_eq!((lo, hi), (0.0, 10.0));
+        // After compaction the alternating wave averages out — min/max
+        // reflect stored (bucketed) values, not raw samples.
+        let mut dense = TimeSeries::new("wave", 4);
+        for t in 0..16 {
+            dense.push(t, if t % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let (lo, hi) = dense.min_max();
+        assert!(lo <= hi && lo >= 0.0 && hi <= 10.0);
+    }
+
+    #[test]
+    fn origin_tick_respected() {
+        let mut ts = TimeSeries::new("late", 8);
+        ts.push(100, 5.0);
+        ts.push(101, 7.0);
+        let pts = ts.points();
+        assert_eq!(pts[0], (100, 5.0));
+        assert_eq!(pts[1], (101, 7.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut ts = TimeSeries::new("s", 4);
+        ts.push(0, 1.0);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(ts, back);
+    }
+}

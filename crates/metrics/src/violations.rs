@@ -1,0 +1,119 @@
+//! Budget-violation accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts budget violations over capping intervals. One counter typically
+/// aggregates every controller instance at a level (all SMs, all EMs, the
+/// GM), following the paper's per-level violation bars in Figure 7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationCounter {
+    intervals: u64,
+    violated: u64,
+}
+
+impl ViolationCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one capping interval; `violated` marks whether the budget
+    /// was exceeded in it.
+    pub fn record(&mut self, violated: bool) {
+        self.intervals += 1;
+        if violated {
+            self.violated += 1;
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: ViolationCounter) {
+        self.intervals += other.intervals;
+        self.violated += other.violated;
+    }
+
+    /// Number of intervals observed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Number of violated intervals.
+    pub fn violated(&self) -> u64 {
+        self.violated
+    }
+
+    /// Violation rate in `[0, 1]` (0 when nothing was observed).
+    pub fn rate(&self) -> f64 {
+        if self.intervals == 0 {
+            0.0
+        } else {
+            self.violated as f64 / self.intervals as f64
+        }
+    }
+
+    /// Violation rate as a percentage.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.rate()
+    }
+}
+
+/// The three per-level violation counters of the paper's evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelViolations {
+    /// Group-manager level (`Violates(GM)`).
+    pub group: ViolationCounter,
+    /// Enclosure-manager level (`Violates(EM)`).
+    pub enclosure: ViolationCounter,
+    /// Server-manager level (`Violates(SM)`).
+    pub server: ViolationCounter,
+}
+
+impl LevelViolations {
+    /// A fresh set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_counts_violations() {
+        let mut c = ViolationCounter::new();
+        for i in 0..10 {
+            c.record(i % 4 == 0);
+        }
+        assert_eq!(c.intervals(), 10);
+        assert_eq!(c.violated(), 3);
+        assert!((c.rate() - 0.3).abs() < 1e-12);
+        assert!((c.percent() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_rates_zero() {
+        assert_eq!(ViolationCounter::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ViolationCounter::new();
+        a.record(true);
+        let mut b = ViolationCounter::new();
+        b.record(false);
+        b.record(true);
+        a.merge(b);
+        assert_eq!(a.intervals(), 3);
+        assert_eq!(a.violated(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut v = LevelViolations::new();
+        v.server.record(true);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: LevelViolations = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,231 @@
+//! Model calibration against hardware measurements.
+//!
+//! The paper (§4.1): *"For each system, the models are calibrated on the
+//! actual hardware by running workloads at different utilization levels and
+//! measuring the corresponding power and performance. We then use linear
+//! models obtained through curve-fitting."*
+//!
+//! We reproduce that procedure: a [`PowerMeasurable`] abstraction stands in
+//! for "the actual hardware" (in this repository, a noisy
+//! [`SyntheticHardware`] wraps a ground-truth [`ServerModel`]), and
+//! [`calibrate`] drives each P-state across a utilization sweep, collects
+//! `(utilization, watts, perf)` samples, and least-squares-fits the linear
+//! `pow = c_p·r + d_p` / `perf = a_p·r` models.
+
+use crate::error::ModelError;
+use crate::pstate::{PState, PStateModel};
+use crate::server::ServerModel;
+use crate::Result;
+
+/// One calibration measurement: the server was loaded to `utilization` at
+/// P-state `pstate` and drew `watts` while completing `perf` work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// P-state the measurement was taken at.
+    pub pstate: PState,
+    /// Offered CPU utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Measured wall power in watts.
+    pub watts: f64,
+    /// Measured work completed, relative to max capacity.
+    pub perf: f64,
+}
+
+/// Anything that can be measured like real hardware: set a P-state, offer a
+/// load level, read back power and performance.
+pub trait PowerMeasurable {
+    /// Number of P-states the hardware exposes.
+    fn num_pstates(&self) -> usize;
+    /// Clock frequency of P-state `p` in hertz.
+    fn frequency_hz(&self, p: PState) -> f64;
+    /// Runs the hardware at P-state `p` and offered utilization `r`,
+    /// returning measured `(watts, perf)`.
+    fn measure(&mut self, p: PState, utilization: f64) -> (f64, f64);
+}
+
+/// A synthetic "actual hardware" built from a ground-truth [`ServerModel`]
+/// plus multiplicative measurement noise, for exercising the calibration
+/// pipeline end to end without a lab.
+#[derive(Debug, Clone)]
+pub struct SyntheticHardware<R> {
+    truth: ServerModel,
+    noise_frac: f64,
+    rng: R,
+}
+
+impl<R: FnMut() -> f64> SyntheticHardware<R> {
+    /// Wraps `truth` with `noise_frac` relative measurement noise.
+    /// `rng` must return values uniform in `[-1, 1)` (e.g. from `rand`);
+    /// keeping the trait surface as a closure avoids coupling the public
+    /// API to a specific RNG crate.
+    pub fn new(truth: ServerModel, noise_frac: f64, rng: R) -> Self {
+        Self {
+            truth,
+            noise_frac,
+            rng,
+        }
+    }
+}
+
+impl<R: FnMut() -> f64> PowerMeasurable for SyntheticHardware<R> {
+    fn num_pstates(&self) -> usize {
+        self.truth.num_pstates()
+    }
+
+    fn frequency_hz(&self, p: PState) -> f64 {
+        self.truth.state(p).frequency_hz
+    }
+
+    fn measure(&mut self, p: PState, utilization: f64) -> (f64, f64) {
+        let noise = 1.0 + self.noise_frac * (self.rng)();
+        let watts = self.truth.power(p.0, utilization) * noise;
+        let perf = self.truth.perf(p.0, utilization);
+        (watts, perf)
+    }
+}
+
+/// Least-squares fit of `y = slope·x + intercept`.
+///
+/// Returns an error with fewer than two samples or zero x-variance.
+pub fn fit_line(points: &[(f64, f64)]) -> Result<(f64, f64)> {
+    if points.len() < 2 {
+        return Err(ModelError::InsufficientSamples {
+            provided: points.len(),
+            required: 2,
+        });
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx <= f64::EPSILON {
+        return Err(ModelError::DegenerateSamples);
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    Ok((slope, intercept))
+}
+
+/// Runs the paper's calibration procedure: sweeps every P-state of `hw`
+/// across `levels` utilization levels, measures power and performance, and
+/// fits the per-state linear models.
+pub fn calibrate<H: PowerMeasurable>(
+    hw: &mut H,
+    name: impl Into<String>,
+    levels: usize,
+) -> Result<ServerModel> {
+    let levels = levels.max(2);
+    let mut states = Vec::with_capacity(hw.num_pstates());
+    for pi in 0..hw.num_pstates() {
+        let p = PState(pi);
+        let mut pow_pts = Vec::with_capacity(levels);
+        let mut perf_pts = Vec::with_capacity(levels);
+        for li in 0..levels {
+            let r = li as f64 / (levels - 1) as f64;
+            let (watts, perf) = hw.measure(p, r);
+            pow_pts.push((r, watts));
+            perf_pts.push((r, perf));
+        }
+        let (c_p, d_p) = fit_line(&pow_pts)?;
+        let (a_p, _) = fit_line(&perf_pts)?;
+        states.push(PStateModel::new(hw.frequency_hz(p), c_p, d_p, a_p));
+    }
+    ServerModel::new(name, states)
+}
+
+/// Collects the raw calibration samples (for plotting paper Figure 5).
+pub fn sweep_samples<H: PowerMeasurable>(hw: &mut H, levels: usize) -> Vec<Sample> {
+    let levels = levels.max(2);
+    let mut out = Vec::with_capacity(hw.num_pstates() * levels);
+    for pi in 0..hw.num_pstates() {
+        let p = PState(pi);
+        for li in 0..levels {
+            let r = li as f64 / (levels - 1) as f64;
+            let (watts, perf) = hw.measure(p, r);
+            out.push(Sample {
+                pstate: p,
+                utilization: r,
+                watts,
+                perf,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_noise(truth: ServerModel) -> SyntheticHardware<impl FnMut() -> f64> {
+        SyntheticHardware::new(truth, 0.0, || 0.0)
+    }
+
+    #[test]
+    fn fit_line_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let (slope, intercept) = fit_line(&pts).unwrap();
+        assert!((slope - 3.0).abs() < 1e-12);
+        assert!((intercept - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_line_rejects_too_few_points() {
+        assert!(matches!(
+            fit_line(&[(1.0, 2.0)]),
+            Err(ModelError::InsufficientSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_line_rejects_degenerate_x() {
+        assert!(matches!(
+            fit_line(&[(1.0, 2.0), (1.0, 3.0)]),
+            Err(ModelError::DegenerateSamples)
+        ));
+    }
+
+    #[test]
+    fn calibration_recovers_noiseless_blade_a_exactly() {
+        let truth = ServerModel::blade_a();
+        let mut hw = no_noise(truth.clone());
+        let fitted = calibrate(&mut hw, "Blade A (calibrated)", 11).unwrap();
+        for (t, f) in truth.states().iter().zip(fitted.states()) {
+            assert!((t.power.slope - f.power.slope).abs() < 1e-9);
+            assert!((t.power.idle - f.power.idle).abs() < 1e-9);
+            assert!((t.perf.scale - f.perf.scale).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn calibration_is_robust_to_noise() {
+        // A crude deterministic pseudo-random sequence in [-1, 1).
+        let mut x = 0.5_f64;
+        let rng = move || {
+            x = (x * 9301.0 + 49297.0) % 233280.0;
+            (x / 233280.0) * 2.0 - 1.0
+        };
+        let truth = ServerModel::server_b();
+        let mut hw = SyntheticHardware::new(truth.clone(), 0.03, rng);
+        let fitted = calibrate(&mut hw, "Server B (calibrated)", 101).unwrap();
+        for (t, f) in truth.states().iter().zip(fitted.states()) {
+            let slope_err = (t.power.slope - f.power.slope).abs() / t.power.slope;
+            let idle_err = (t.power.idle - f.power.idle).abs() / t.power.idle;
+            assert!(slope_err < 0.25, "slope err {slope_err}");
+            assert!(idle_err < 0.05, "idle err {idle_err}");
+        }
+    }
+
+    #[test]
+    fn sweep_samples_covers_all_states_and_levels() {
+        let mut hw = no_noise(ServerModel::blade_a());
+        let samples = sweep_samples(&mut hw, 5);
+        assert_eq!(samples.len(), 5 * 5);
+        assert!(samples.iter().any(|s| s.pstate == PState(4)));
+        assert!(samples.iter().all(|s| (0.0..=1.0).contains(&s.utilization)));
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+
+/// Errors produced while constructing or validating server models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A server model must define at least one P-state.
+    NoPStates,
+    /// P-state frequencies must be strictly decreasing from P0 downwards.
+    NonDecreasingFrequencies {
+        /// Index of the offending state (the one that is not slower than
+        /// its predecessor).
+        index: usize,
+    },
+    /// A frequency, power coefficient, or performance coefficient was not a
+    /// positive finite number.
+    InvalidCoefficient {
+        /// Index of the offending P-state.
+        index: usize,
+        /// Name of the offending field (e.g. `"frequency_hz"`).
+        field: &'static str,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// Power must be monotone in the P-state index: at equal utilization a
+    /// deeper (slower) P-state may not consume more than a shallower one.
+    NonMonotonePower {
+        /// Index of the offending state (draws more than its predecessor).
+        index: usize,
+        /// Utilization at which the violation was detected.
+        utilization: f64,
+    },
+    /// A requested P-state subset was empty, out of range, or unsorted.
+    InvalidSubset {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Calibration was given too few samples to fit a line.
+    InsufficientSamples {
+        /// Number of samples provided.
+        provided: usize,
+        /// Minimum number required.
+        required: usize,
+    },
+    /// Calibration samples were degenerate (e.g. all at the same
+    /// utilization), so no slope can be identified.
+    DegenerateSamples,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoPStates => write!(f, "server model has no P-states"),
+            ModelError::NonDecreasingFrequencies { index } => write!(
+                f,
+                "P-state frequencies must strictly decrease: state {index} is \
+                 not slower than state {}",
+                index - 1
+            ),
+            ModelError::InvalidCoefficient {
+                index,
+                field,
+                value,
+            } => write!(
+                f,
+                "P-state {index}: field `{field}` must be a positive finite \
+                 number, got {value}"
+            ),
+            ModelError::NonMonotonePower { index, utilization } => write!(
+                f,
+                "P-state {index} draws more power than P-state {} at \
+                 utilization {utilization}",
+                index - 1
+            ),
+            ModelError::InvalidSubset { reason } => {
+                write!(f, "invalid P-state subset: {reason}")
+            }
+            ModelError::InsufficientSamples { provided, required } => write!(
+                f,
+                "calibration needs at least {required} samples, got {provided}"
+            ),
+            ModelError::DegenerateSamples => write!(
+                f,
+                "calibration samples span no utilization range; cannot \
+                 identify a slope"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = ModelError::NonDecreasingFrequencies { index: 2 };
+        let msg = err.to_string();
+        assert!(msg.contains("state 2"));
+        assert!(msg.contains("state 1"));
+    }
+
+    #[test]
+    fn invalid_coefficient_mentions_field_and_value() {
+        let err = ModelError::InvalidCoefficient {
+            index: 0,
+            field: "frequency_hz",
+            value: -1.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("frequency_hz"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! Power and performance models for data-center servers.
+//!
+//! This crate provides the modelling substrate of the ASPLOS'08 paper
+//! *"No 'Power' Struggles: Coordinated Multi-level Power Management for the
+//! Data Center"* (Raghavendra et al.): per-P-state **linear power and
+//! performance models** calibrated against hardware (paper Figure 5),
+//!
+//! ```text
+//! pow  = c_p · r + d_p        (watts, r = CPU utilization in [0, 1])
+//! perf = a_p · r              (work done, relative to max capacity)
+//! ```
+//!
+//! together with the two reference systems the paper evaluates:
+//!
+//! * [`ServerModel::blade_a`] — a low-power blade with five non-uniformly
+//!   spaced P-states (1 GHz … 533 MHz) and a *wide* power range, and
+//! * [`ServerModel::server_b`] — an entry-level 2U server with six nearly
+//!   uniform P-states (2.6 GHz … 1.0 GHz), high idle power, and a *narrow*
+//!   relative power range.
+//!
+//! The paper calibrates these models "on the actual hardware by running
+//! workloads at different utilization levels and measuring the corresponding
+//! power and performance". The [`calibrate`] module reproduces that
+//! procedure against a synthetic hardware oracle using least-squares fits.
+//!
+//! # Quick example
+//!
+//! ```
+//! use nps_models::ServerModel;
+//!
+//! let blade = ServerModel::blade_a();
+//! // Power at the highest P-state, 50% utilization:
+//! let watts = blade.power(0, 0.5);
+//! assert!(watts > blade.idle_power(0));
+//! // The deepest P-state always draws less than P0 at equal utilization:
+//! assert!(blade.power(blade.num_pstates() - 1, 0.5) < watts);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+mod error;
+mod power;
+mod pstate;
+mod server;
+
+pub use error::ModelError;
+pub use power::{LinearPerf, LinearPower};
+pub use pstate::{PState, PStateModel};
+pub use server::{ServerModel, ServerModelBuilder};
+
+/// Convenient result alias for model construction and validation.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,610 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::pstate::{PState, PStateModel};
+use crate::Result;
+
+/// A validated, calibrated model of one server type: an ordered table of
+/// P-states with their power and performance curves (paper Figure 5).
+///
+/// Invariants (checked at construction):
+///
+/// * at least one P-state;
+/// * frequencies strictly decrease from P0 downwards;
+/// * all coefficients positive and finite (idle power, power slope,
+///   frequency, perf scale);
+/// * power is monotone in the state index: at equal utilization a deeper
+///   state never draws more power than a shallower one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerModel {
+    name: String,
+    states: Vec<PStateModel>,
+}
+
+impl ServerModel {
+    /// Builds a model from a name and a P0-first state table, validating
+    /// all invariants.
+    pub fn new(name: impl Into<String>, states: Vec<PStateModel>) -> Result<Self> {
+        let model = Self {
+            name: name.into(),
+            states,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// The paper's **Blade A**: a low-power blade server with five
+    /// non-uniformly clustered P-states (1 GHz, 833 MHz, 700 MHz, 600 MHz,
+    /// 533 MHz) and a wide power range (≈3× between P0-busy and P4-idle).
+    ///
+    /// The absolute coefficients are our calibration substitute (see
+    /// `DESIGN.md`); the qualitative shape — wide power range, non-uniform
+    /// frequency spacing — follows the paper's description.
+    pub fn blade_a() -> Self {
+        let f0 = 1.0e9;
+        let states = vec![
+            PStateModel::frequency_proportional(1.0e9, f0, 45.0, 75.0),
+            PStateModel::frequency_proportional(833.0e6, f0, 40.0, 68.0),
+            PStateModel::frequency_proportional(700.0e6, f0, 35.0, 63.0),
+            PStateModel::frequency_proportional(600.0e6, f0, 28.0, 58.0),
+            PStateModel::frequency_proportional(533.0e6, f0, 23.0, 55.0),
+        ];
+        Self::new("Blade A", states).expect("built-in Blade A model is valid")
+    }
+
+    /// The paper's **Server B**: an entry-level 2U server with six
+    /// relatively uniform P-states (2.6, 2.4, 2.2, 2.0, 1.8, 1.0 GHz),
+    /// high idle power, and a narrow relative power range (<2×).
+    pub fn server_b() -> Self {
+        let f0 = 2.6e9;
+        let states = vec![
+            PStateModel::frequency_proportional(2.6e9, f0, 90.0, 210.0),
+            PStateModel::frequency_proportional(2.4e9, f0, 80.0, 206.0),
+            PStateModel::frequency_proportional(2.2e9, f0, 72.0, 202.0),
+            PStateModel::frequency_proportional(2.0e9, f0, 65.0, 199.0),
+            PStateModel::frequency_proportional(1.8e9, f0, 47.0, 191.0),
+            PStateModel::frequency_proportional(1.0e9, f0, 45.0, 190.0),
+        ];
+        Self::new("Server B", states).expect("built-in Server B model is valid")
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.states.is_empty() {
+            return Err(ModelError::NoPStates);
+        }
+        for (i, s) in self.states.iter().enumerate() {
+            for (field, value) in [
+                ("frequency_hz", s.frequency_hz),
+                ("power.slope", s.power.slope),
+                ("power.idle", s.power.idle),
+                ("perf.scale", s.perf.scale),
+            ] {
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(ModelError::InvalidCoefficient {
+                        index: i,
+                        field,
+                        value,
+                    });
+                }
+            }
+            if i > 0 {
+                if s.frequency_hz >= self.states[i - 1].frequency_hz {
+                    return Err(ModelError::NonDecreasingFrequencies { index: i });
+                }
+                // Power monotone at both ends of the utilization range is
+                // sufficient for affine curves.
+                for util in [0.0, 1.0] {
+                    if s.power.power(util) > self.states[i - 1].power.power(util) {
+                        return Err(ModelError::NonMonotonePower {
+                            index: i,
+                            utilization: util,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable name of this server type.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of P-states in the table.
+    pub fn num_pstates(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The deepest (slowest) P-state.
+    pub fn deepest(&self) -> PState {
+        PState(self.states.len() - 1)
+    }
+
+    /// The full state table, P0 first.
+    pub fn states(&self) -> &[PStateModel] {
+        &self.states
+    }
+
+    /// The model for one P-state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range; states come from this table, so an
+    /// out-of-range index is a logic error.
+    pub fn state(&self, p: PState) -> &PStateModel {
+        &self.states[p.0]
+    }
+
+    /// Maximum frequency (P0), in hertz.
+    pub fn max_frequency_hz(&self) -> f64 {
+        self.states[0].frequency_hz
+    }
+
+    /// Minimum frequency (deepest state), in hertz.
+    pub fn min_frequency_hz(&self) -> f64 {
+        self.states[self.states.len() - 1].frequency_hz
+    }
+
+    /// Normalized compute capacity of P-state `p`: `f_p / f_0 ∈ (0, 1]`.
+    pub fn capacity(&self, p: PState) -> f64 {
+        self.state(p).frequency_hz / self.max_frequency_hz()
+    }
+
+    /// Power in watts at P-state `p` and utilization `r ∈ [0, 1]`.
+    pub fn power(&self, p: usize, utilization: f64) -> f64 {
+        self.states[p].power.power(utilization)
+    }
+
+    /// Idle power in watts at P-state `p`.
+    pub fn idle_power(&self, p: usize) -> f64 {
+        self.states[p].power.idle
+    }
+
+    /// Work done at P-state `p` and utilization `r`, relative to max
+    /// capacity.
+    pub fn perf(&self, p: usize, utilization: f64) -> f64 {
+        self.states[p].perf.perf(utilization)
+    }
+
+    /// Maximum possible power draw: P0 at 100% utilization. This is the
+    /// quantity the paper derates to obtain static power budgets
+    /// ("10% off server max").
+    pub fn max_power(&self) -> f64 {
+        self.states[0].power.max_power()
+    }
+
+    /// Minimum power draw while on: deepest P-state at 0% utilization.
+    pub fn min_active_power(&self) -> f64 {
+        self.states[self.states.len() - 1].power.idle
+    }
+
+    /// Quantizes a continuous frequency to the nearest available P-state
+    /// (paper Figure 5's `f_q`). Frequencies outside the table clamp to
+    /// P0 or the deepest state.
+    pub fn quantize(&self, frequency_hz: f64) -> PState {
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (i, s) in self.states.iter().enumerate() {
+            let d = (s.frequency_hz - frequency_hz).abs();
+            if d < best_dist {
+                best_dist = d;
+                best = i;
+            }
+        }
+        PState(best)
+    }
+
+    /// The P-state one step deeper (slower) than `p`, saturating at the
+    /// deepest state.
+    pub fn step_down(&self, p: PState) -> PState {
+        PState((p.0 + 1).min(self.states.len() - 1))
+    }
+
+    /// The P-state one step shallower (faster) than `p`, saturating at P0.
+    pub fn step_up(&self, p: PState) -> PState {
+        PState(p.0.saturating_sub(1))
+    }
+
+    /// The deepest P-state whose *maximum* power does not exceed `watts`,
+    /// or `None` if even the deepest state can exceed the budget at full
+    /// load. Used by uncoordinated enclosure/group cappers that enforce
+    /// budgets by clamping P-states.
+    pub fn pstate_for_power_budget(&self, watts: f64) -> Option<PState> {
+        self.states
+            .iter()
+            .position(|s| s.power.max_power() <= watts)
+            .map(PState)
+    }
+
+    /// Restricts the model to a subset of its P-states (paper §5.3's
+    /// "number of P-states" study). Indices must be non-empty, strictly
+    /// increasing, and in range; P0 of the subset is the first index given.
+    pub fn subset(&self, indices: &[usize]) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(ModelError::InvalidSubset {
+                reason: "empty index list".to_string(),
+            });
+        }
+        for w in indices.windows(2) {
+            if w[1] <= w[0] {
+                return Err(ModelError::InvalidSubset {
+                    reason: format!("indices must strictly increase, got {indices:?}"),
+                });
+            }
+        }
+        if *indices.last().expect("non-empty") >= self.states.len() {
+            return Err(ModelError::InvalidSubset {
+                reason: format!(
+                    "index {} out of range for {} states",
+                    indices.last().expect("non-empty"),
+                    self.states.len()
+                ),
+            });
+        }
+        let states = indices.iter().map(|&i| self.states[i]).collect();
+        Self::new(format!("{} ({}-state subset)", self.name, indices.len()), states)
+    }
+
+    /// Keeps only the two extreme P-states (P0 and the deepest state) —
+    /// the paper's finding that "having the two extreme P-states can get
+    /// behavior close to that when all the P-states are considered".
+    pub fn extremes(&self) -> Self {
+        if self.states.len() <= 2 {
+            return self.clone();
+        }
+        self.subset(&[0, self.states.len() - 1])
+            .expect("extremes of a valid model are valid")
+    }
+
+    /// Returns a variant with all idle powers scaled by `factor` (>0),
+    /// used for the paper's "different idle power" sensitivity discussion.
+    /// Slopes are adjusted so max power at P0 is preserved, keeping power
+    /// budgets comparable; deeper states keep their slope ratio.
+    pub fn with_idle_scale(&self, factor: f64) -> Result<Self> {
+        let mut states = Vec::with_capacity(self.states.len());
+        let p0_max = self.states[0].power.max_power();
+        for (i, s) in self.states.iter().enumerate() {
+            let idle = s.power.idle * factor;
+            let slope = if i == 0 {
+                p0_max - idle
+            } else {
+                // Preserve each state's slope ratio relative to P0.
+                (s.power.slope / self.states[0].power.slope) * (p0_max - self.states[0].power.idle * factor)
+            };
+            states.push(PStateModel::new(
+                s.frequency_hz,
+                slope,
+                idle,
+                s.perf.scale,
+            ));
+        }
+        Self::new(format!("{} (idle×{factor})", self.name), states)
+    }
+
+    /// Power at a *continuous* frequency fraction `phi = f/f_0`
+    /// and utilization `r`, linearly interpolating between the bracketing
+    /// P-states. This is the continuous envelope Appendix A analyses
+    /// ("we ignore the quantization that converts continuous clock
+    /// frequencies to discrete P-states").
+    pub fn interp_power(&self, phi: f64, utilization: f64) -> f64 {
+        let f0 = self.max_frequency_hz();
+        let f = (phi * f0).clamp(self.min_frequency_hz(), f0);
+        // States are sorted by decreasing frequency.
+        let mut hi = 0; // faster state
+        let mut lo = self.states.len() - 1; // slower state
+        for (i, s) in self.states.iter().enumerate() {
+            if s.frequency_hz >= f {
+                hi = i;
+            }
+            if s.frequency_hz <= f {
+                lo = i;
+                break;
+            }
+        }
+        let (sh, sl) = (&self.states[hi], &self.states[lo]);
+        if hi == lo || (sh.frequency_hz - sl.frequency_hz).abs() < f64::EPSILON {
+            return sh.power.power(utilization);
+        }
+        let t = (f - sl.frequency_hz) / (sh.frequency_hz - sl.frequency_hz);
+        sl.power.power(utilization) * (1.0 - t) + sh.power.power(utilization) * t
+    }
+
+    /// Upper bound `c_max` on the magnitude of the local slope
+    /// `|∂pow/∂r_ref|` of the server-power-vs-utilization-target curve,
+    /// used to bound the server manager gain `β_loc < 2/c_max`
+    /// (paper Appendix A). Power is normalized by [`Self::max_power`].
+    ///
+    /// When the efficiency controller tracks `r_ref` exactly, the server
+    /// runs at frequency fraction `phi = d/r_ref` and utilization
+    /// `r = r_ref`. Following Appendix A we evaluate the *continuous*
+    /// (unquantized) power envelope and bound the slope numerically over a
+    /// demand × r_ref grid covering the SM's operating band
+    /// `r_ref ∈ [0.75, 1.5]`.
+    pub fn max_capping_slope_normalized(&self) -> f64 {
+        let max_pow = self.max_power();
+        let phi_min = self.min_frequency_hz() / self.max_frequency_hz();
+        let mut c_max: f64 = 0.0;
+        let grid = 96;
+        for di in 1..=grid {
+            let demand = di as f64 / grid as f64;
+            let mut prev: Option<(f64, f64)> = None;
+            for ri in 0..=grid {
+                let r_ref = 0.75 + 0.75 * ri as f64 / grid as f64; // 0.75..=1.5
+                let phi = (demand / r_ref).clamp(phi_min, 1.0);
+                let r = (demand / phi).min(1.0);
+                let pow = self.interp_power(phi, r) / max_pow;
+                if let Some((prev_ref, prev_pow)) = prev {
+                    let slope = ((pow - prev_pow) / (r_ref - prev_ref)).abs();
+                    if slope.is_finite() {
+                        c_max = c_max.max(slope);
+                    }
+                }
+                prev = Some((r_ref, pow));
+            }
+        }
+        c_max
+    }
+}
+
+/// Incremental builder for custom [`ServerModel`]s.
+///
+/// ```
+/// use nps_models::ServerModelBuilder;
+///
+/// let model = ServerModelBuilder::new("Custom")
+///     .pstate(2.0e9, 50.0, 100.0)
+///     .pstate(1.0e9, 25.0, 80.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(model.num_pstates(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerModelBuilder {
+    name: String,
+    raw: Vec<(f64, f64, f64)>,
+}
+
+impl ServerModelBuilder {
+    /// Starts a builder for a server type called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            raw: Vec::new(),
+        }
+    }
+
+    /// Appends a P-state (in decreasing frequency order) with the given
+    /// power slope and idle power; performance scale is derived as
+    /// frequency-proportional against the first state added.
+    pub fn pstate(mut self, frequency_hz: f64, power_slope: f64, power_idle: f64) -> Self {
+        self.raw.push((frequency_hz, power_slope, power_idle));
+        self
+    }
+
+    /// Validates and builds the model.
+    pub fn build(self) -> Result<ServerModel> {
+        let f0 = self.raw.first().map(|s| s.0).unwrap_or(0.0);
+        let states = self
+            .raw
+            .into_iter()
+            .map(|(f, slope, idle)| PStateModel::frequency_proportional(f, f0, slope, idle))
+            .collect();
+        ServerModel::new(self.name, states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blade_a_matches_paper_frequencies() {
+        let m = ServerModel::blade_a();
+        let freqs: Vec<f64> = m.states().iter().map(|s| s.frequency_hz).collect();
+        assert_eq!(freqs, vec![1.0e9, 833.0e6, 700.0e6, 600.0e6, 533.0e6]);
+        assert_eq!(m.num_pstates(), 5);
+    }
+
+    #[test]
+    fn server_b_matches_paper_frequencies() {
+        let m = ServerModel::server_b();
+        let freqs: Vec<f64> = m.states().iter().map(|s| s.frequency_hz).collect();
+        assert_eq!(freqs, vec![2.6e9, 2.4e9, 2.2e9, 2.0e9, 1.8e9, 1.0e9]);
+        assert_eq!(m.num_pstates(), 6);
+    }
+
+    #[test]
+    fn blade_a_has_wider_relative_power_range_than_server_b() {
+        // Paper §5.1: Blade A has a "higher range" of power control than
+        // Server B, which manifests as better DVFS-only savings.
+        let a = ServerModel::blade_a();
+        let b = ServerModel::server_b();
+        let range = |m: &ServerModel| m.max_power() / m.min_active_power();
+        assert!(range(&a) > range(&b));
+    }
+
+    #[test]
+    fn server_b_has_high_idle_fraction() {
+        // Paper §7: "current systems with high baseline idle power" make
+        // VMC dominate; Server B is our instance of that.
+        let b = ServerModel::server_b();
+        assert!(b.idle_power(0) / b.max_power() > 0.6);
+    }
+
+    #[test]
+    fn quantize_picks_nearest_state() {
+        let m = ServerModel::blade_a();
+        assert_eq!(m.quantize(1.0e9), PState(0));
+        assert_eq!(m.quantize(950.0e6), PState(0));
+        assert_eq!(m.quantize(760.0e6), PState(2));
+        assert_eq!(m.quantize(100.0e6), PState(4));
+        assert_eq!(m.quantize(5.0e9), PState(0));
+    }
+
+    #[test]
+    fn capacity_is_frequency_ratio() {
+        let m = ServerModel::blade_a();
+        assert!((m.capacity(PState(4)) - 0.533).abs() < 1e-12);
+        assert_eq!(m.capacity(PState(0)), 1.0);
+    }
+
+    #[test]
+    fn step_up_down_saturate() {
+        let m = ServerModel::blade_a();
+        assert_eq!(m.step_down(PState(4)), PState(4));
+        assert_eq!(m.step_down(PState(0)), PState(1));
+        assert_eq!(m.step_up(PState(0)), PState(0));
+        assert_eq!(m.step_up(PState(3)), PState(2));
+    }
+
+    #[test]
+    fn pstate_for_power_budget_finds_deepest_fitting_state() {
+        let m = ServerModel::blade_a(); // max powers: 120, 108, 98, 86, 78
+        assert_eq!(m.pstate_for_power_budget(150.0), Some(PState(0)));
+        assert_eq!(m.pstate_for_power_budget(110.0), Some(PState(1)));
+        assert_eq!(m.pstate_for_power_budget(90.0), Some(PState(3)));
+        assert_eq!(m.pstate_for_power_budget(80.0), Some(PState(4)));
+        assert_eq!(m.pstate_for_power_budget(10.0), None);
+    }
+
+    #[test]
+    fn subset_preserves_selected_states() {
+        let m = ServerModel::blade_a();
+        let s = m.subset(&[0, 2, 4]).unwrap();
+        assert_eq!(s.num_pstates(), 3);
+        assert_eq!(s.states()[1].frequency_hz, 700.0e6);
+    }
+
+    #[test]
+    fn subset_rejects_bad_indices() {
+        let m = ServerModel::blade_a();
+        assert!(m.subset(&[]).is_err());
+        assert!(m.subset(&[0, 0]).is_err());
+        assert!(m.subset(&[2, 1]).is_err());
+        assert!(m.subset(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn extremes_keeps_p0_and_deepest() {
+        let m = ServerModel::server_b();
+        let e = m.extremes();
+        assert_eq!(e.num_pstates(), 2);
+        assert_eq!(e.max_frequency_hz(), 2.6e9);
+        assert_eq!(e.min_frequency_hz(), 1.0e9);
+    }
+
+    #[test]
+    fn validation_rejects_non_decreasing_frequencies() {
+        let err = ServerModelBuilder::new("bad")
+            .pstate(1.0e9, 10.0, 50.0)
+            .pstate(1.5e9, 8.0, 40.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NonDecreasingFrequencies { index: 1 }));
+    }
+
+    #[test]
+    fn validation_rejects_non_monotone_power() {
+        let err = ServerModelBuilder::new("bad")
+            .pstate(2.0e9, 10.0, 50.0)
+            .pstate(1.0e9, 8.0, 70.0) // deeper state draws MORE at idle
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NonMonotonePower { index: 1, .. }));
+    }
+
+    #[test]
+    fn validation_rejects_empty_table() {
+        assert!(matches!(
+            ServerModel::new("empty", vec![]),
+            Err(ModelError::NoPStates)
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive_coefficients() {
+        let err = ServerModelBuilder::new("bad")
+            .pstate(2.0e9, 0.0, 50.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidCoefficient { .. }));
+    }
+
+    #[test]
+    fn idle_scale_preserves_p0_max_power() {
+        let m = ServerModel::server_b();
+        let half = m.with_idle_scale(0.5).unwrap();
+        assert!((half.max_power() - m.max_power()).abs() < 1e-9);
+        assert!((half.idle_power(0) - m.idle_power(0) * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capping_slope_bound_is_positive_and_finite() {
+        for m in [ServerModel::blade_a(), ServerModel::server_b()] {
+            let c = m.max_capping_slope_normalized();
+            assert!(c.is_finite());
+            assert!(c > 0.0, "{}: slope bound {c}", m.name());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = ServerModel::blade_a();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ServerModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+#[cfg(test)]
+mod interp_tests {
+    use super::*;
+
+    #[test]
+    fn interp_power_matches_states_at_their_frequencies() {
+        let m = ServerModel::blade_a();
+        for (i, s) in m.states().iter().enumerate() {
+            let phi = s.frequency_hz / m.max_frequency_hz();
+            for r in [0.0, 0.5, 1.0] {
+                assert!(
+                    (m.interp_power(phi, r) - m.power(i, r)).abs() < 1e-9,
+                    "state {i} at r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interp_power_is_between_bracketing_states() {
+        let m = ServerModel::server_b();
+        let phi = 0.5 * (2.4e9 + 2.2e9) / 2.6e9; // midway between P1 and P2
+        let p = m.interp_power(phi, 0.7);
+        assert!(p < m.power(1, 0.7) && p > m.power(2, 0.7));
+        let mid = 0.5 * (m.power(1, 0.7) + m.power(2, 0.7));
+        assert!((p - mid).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interp_power_clamps_outside_range() {
+        let m = ServerModel::blade_a();
+        assert!((m.interp_power(2.0, 1.0) - m.power(0, 1.0)).abs() < 1e-9);
+        assert!((m.interp_power(0.01, 0.0) - m.power(4, 0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capping_slope_admits_paper_base_beta() {
+        // The paper's base β_loc = 1 must satisfy β < 2/c_max for both
+        // reference systems (Appendix A would otherwise contradict the
+        // paper's own base configuration).
+        for m in [ServerModel::blade_a(), ServerModel::server_b()] {
+            let c_max = m.max_capping_slope_normalized();
+            assert!(
+                2.0 / c_max > 1.0,
+                "{}: bound {} rejects the paper's base gain",
+                m.name(),
+                2.0 / c_max
+            );
+        }
+    }
+}

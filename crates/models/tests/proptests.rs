@@ -1,0 +1,109 @@
+//! Property-based tests for the model invariants the controllers rely on
+//! (paper §4.1: "these models also highlight the monotonicity in variation
+//! ... that are key assumptions to the design of the controllers").
+
+use nps_models::{calibrate, PState, ServerModel, ServerModelBuilder};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ServerModel> {
+    // Build random valid models: decreasing frequencies, decreasing power
+    // curves.
+    (2usize..8, 0.1f64..1.0, 10.0f64..100.0, 20.0f64..300.0).prop_map(
+        |(n, freq_ratio, slope0, idle0)| {
+            let f0 = 3.0e9;
+            let fmin = f0 * freq_ratio.max(0.05);
+            let mut b = ServerModelBuilder::new("random");
+            for i in 0..n {
+                let t = i as f64 / (n - 1) as f64;
+                let f = f0 + (fmin - f0) * t;
+                // Scale power coefficients down with frequency so the
+                // monotonicity invariant holds.
+                let scale = 0.3 + 0.7 * (1.0 - t);
+                b = b.pstate(f, slope0 * scale, idle0 * scale);
+            }
+            b.build().expect("constructed to be valid")
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn power_monotone_in_utilization(m in arb_model(), p in 0usize..8, r1 in 0.0f64..1.0, r2 in 0.0f64..1.0) {
+        let p = p % m.num_pstates();
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(m.power(p, lo) <= m.power(p, hi) + 1e-12);
+    }
+
+    #[test]
+    fn power_monotone_in_pstate_depth(m in arb_model(), r in 0.0f64..1.0) {
+        for p in 1..m.num_pstates() {
+            prop_assert!(m.power(p, r) <= m.power(p - 1, r) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn perf_monotone_in_pstate_speed(m in arb_model(), r in 0.0f64..1.0) {
+        for p in 1..m.num_pstates() {
+            prop_assert!(m.perf(p, r) <= m.perf(p - 1, r) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantize_returns_valid_state_and_is_idempotent(m in arb_model(), f in 1.0e8f64..5.0e9) {
+        let p = m.quantize(f);
+        prop_assert!(p.index() < m.num_pstates());
+        let fq = m.state(p).frequency_hz;
+        prop_assert_eq!(m.quantize(fq), p);
+    }
+
+    #[test]
+    fn quantize_is_nearest(m in arb_model(), f in 1.0e8f64..5.0e9) {
+        let p = m.quantize(f);
+        let chosen = (m.state(p).frequency_hz - f).abs();
+        for s in m.states() {
+            prop_assert!(chosen <= (s.frequency_hz - f).abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn capacity_in_unit_interval(m in arb_model()) {
+        for i in 0..m.num_pstates() {
+            let c = m.capacity(PState(i));
+            prop_assert!(c > 0.0 && c <= 1.0);
+        }
+        prop_assert_eq!(m.capacity(PState(0)), 1.0);
+    }
+
+    #[test]
+    fn calibration_recovers_random_models(m in arb_model()) {
+        let mut hw = calibrate::SyntheticHardware::new(m.clone(), 0.0, || 0.0);
+        let fitted = calibrate::calibrate(&mut hw, "fit", 9).unwrap();
+        for (t, f) in m.states().iter().zip(fitted.states()) {
+            prop_assert!((t.power.slope - f.power.slope).abs() < 1e-6);
+            prop_assert!((t.power.idle - f.power.idle).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pstate_for_power_budget_respects_budget(m in arb_model(), frac in 0.0f64..1.5) {
+        let budget = m.max_power() * frac;
+        if let Some(p) = m.pstate_for_power_budget(budget) {
+            prop_assert!(m.power(p.index(), 1.0) <= budget + 1e-9);
+            // It is the shallowest (fastest) state that fits.
+            if p.index() > 0 {
+                prop_assert!(m.power(p.index() - 1, 1.0) > budget);
+            }
+        } else {
+            // No state fits: even the deepest exceeds the budget.
+            prop_assert!(m.min_active_power() + m.states().last().unwrap().power.slope > budget);
+        }
+    }
+
+    #[test]
+    fn subset_preserves_power_curves(m in arb_model()) {
+        let e = m.extremes();
+        prop_assert!(e.num_pstates() <= 2.max(m.num_pstates().min(2)));
+        prop_assert_eq!(e.max_power(), m.max_power());
+        prop_assert_eq!(e.min_active_power(), m.min_active_power());
+    }
+}

@@ -1,0 +1,103 @@
+//! The cluster snapshot a VMC plans against.
+
+use nps_models::ServerModel;
+use nps_sim::{EnclosureId, Placement, ServerId, Topology};
+
+/// Everything the VMC knows about the cluster when planning: topology,
+/// per-server models, the current placement, and the (approximate) static
+/// power budgets at every level — the paper's observation that budget
+/// knowledge can come from *"either machine specifications or approximate
+/// estimates"* (§3.1).
+#[derive(Debug, Clone)]
+pub struct ClusterContext<'a> {
+    /// Physical topology (enclosure membership = the `M` matrix).
+    pub topo: &'a Topology,
+    /// Per-server power/performance models.
+    pub models: &'a [ServerModel],
+    /// Placement in force when planning starts.
+    pub current: &'a Placement,
+    /// Static per-server budgets `CAP_LOC_i`, watts.
+    pub cap_loc: &'a [f64],
+    /// Static per-enclosure budgets `CAP_ENC_q`, watts.
+    pub cap_enc: &'a [f64],
+    /// Static group budget `CAP_GRP`, watts.
+    pub cap_grp: f64,
+}
+
+impl ClusterContext<'_> {
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.topo.num_servers()
+    }
+
+    /// The enclosure of `s`, if any.
+    pub fn enclosure_of(&self, s: ServerId) -> Option<EnclosureId> {
+        self.topo.enclosure_of(s)
+    }
+
+    /// Panics with a clear message if the context is internally
+    /// inconsistent (sizes disagree); called once per planning round.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.models.len(),
+            self.topo.num_servers(),
+            "one model per server required"
+        );
+        assert_eq!(
+            self.cap_loc.len(),
+            self.topo.num_servers(),
+            "one local cap per server required"
+        );
+        assert_eq!(
+            self.cap_enc.len(),
+            self.topo.num_enclosures(),
+            "one cap per enclosure required"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nps_models::ServerModel;
+
+    #[test]
+    fn validate_accepts_consistent_context() {
+        let topo = Topology::builder().enclosure(2).standalone(1).build();
+        let models = vec![ServerModel::blade_a(); 3];
+        let placement = Placement::one_per_server(3, 3);
+        let cap_loc = vec![108.0; 3];
+        let cap_enc = vec![200.0];
+        let ctx = ClusterContext {
+            topo: &topo,
+            models: &models,
+            current: &placement,
+            cap_loc: &cap_loc,
+            cap_enc: &cap_enc,
+            cap_grp: 500.0,
+        };
+        ctx.validate();
+        assert_eq!(ctx.num_servers(), 3);
+        assert_eq!(ctx.enclosure_of(ServerId(0)), Some(EnclosureId(0)));
+        assert_eq!(ctx.enclosure_of(ServerId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one local cap per server")]
+    fn validate_rejects_missized_caps() {
+        let topo = Topology::builder().standalone(2).build();
+        let models = vec![ServerModel::blade_a(); 2];
+        let placement = Placement::one_per_server(2, 2);
+        let cap_loc = vec![108.0];
+        let cap_enc: Vec<f64> = vec![];
+        ClusterContext {
+            topo: &topo,
+            models: &models,
+            current: &placement,
+            cap_loc: &cap_loc,
+            cap_enc: &cap_enc,
+            cap_grp: 500.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,119 @@
+//! Steady-state power estimation for candidate placements.
+//!
+//! The VMC's objective sums server powers *after* the nested EC/SM loops
+//! settle. The paper's §3.1 notes that *"simple models ... can be used to
+//! translate apparent utilization to real utilization when the power state
+//! is known"*; symmetrically, we estimate post-EC power from assigned
+//! load: the EC will track its utilization target `r_ref`, so a server
+//! with load `L` (in max-capacity units, incl. virtualization overhead)
+//! settles at frequency fraction `φ ≈ L / r_ref` and utilization
+//! `r ≈ r_ref`, with power read off the continuous model envelope.
+
+use nps_models::ServerModel;
+
+/// Estimates steady-state server power as a function of assigned load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimator {
+    /// The utilization the local EC will settle the server at (the EC's
+    /// `r_ref` floor, paper base 0.75).
+    pub assumed_r_ref: f64,
+}
+
+impl Default for PowerEstimator {
+    fn default() -> Self {
+        Self { assumed_r_ref: 0.75 }
+    }
+}
+
+impl PowerEstimator {
+    /// Creates an estimator assuming the EC settles at `assumed_r_ref`.
+    /// Pass a very small value (e.g. 0.01) for fleets without an EC:
+    /// servers then stay at P0 and power follows the P0 curve directly.
+    pub fn new(assumed_r_ref: f64) -> Self {
+        Self {
+            assumed_r_ref: assumed_r_ref.clamp(0.01, 1.0),
+        }
+    }
+
+    /// Estimated watts for a server of type `model` carrying total load
+    /// `load` (fraction of max capacity, including `α_V` overhead).
+    /// A zero load estimates the deepest state's idle power (the EC will
+    /// park the server there); loads beyond capacity saturate at P0 full
+    /// power.
+    pub fn power(&self, model: &ServerModel, load: f64) -> f64 {
+        if load <= 0.0 {
+            return model.min_active_power();
+        }
+        let phi_min = model.min_frequency_hz() / model.max_frequency_hz();
+        let phi = (load / self.assumed_r_ref).clamp(phi_min, 1.0);
+        let r = (load / phi).min(1.0);
+        model.interp_power(phi, r)
+    }
+
+    /// Marginal watts of adding `extra` load on top of `load`.
+    pub fn marginal_power(&self, model: &ServerModel, load: f64, extra: f64) -> f64 {
+        self.power(model, load + extra) - self.power(model, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_estimates_deepest_idle() {
+        let m = ServerModel::blade_a();
+        let e = PowerEstimator::default();
+        assert_eq!(e.power(&m, 0.0), m.min_active_power());
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_load() {
+        let m = ServerModel::server_b();
+        let e = PowerEstimator::default();
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let p = e.power(&m, i as f64 / 20.0);
+            assert!(p >= last - 1e-9, "load {} power {p} < {last}", i as f64 / 20.0);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn full_load_estimates_p0_territory() {
+        let m = ServerModel::blade_a();
+        let e = PowerEstimator::default();
+        assert!((e.power(&m, 1.0) - m.max_power()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_load_estimates_deep_state_territory() {
+        let m = ServerModel::blade_a();
+        let e = PowerEstimator::default();
+        // load 0.3 at r_ref 0.75 → φ = 0.4 < φ_min 0.533 → deepest state,
+        // util = 0.3/0.533.
+        let expect = m.power(4, 0.3 / 0.533);
+        assert!((e.power(&m, 0.3) - expect).abs() < 0.5);
+    }
+
+    #[test]
+    fn marginal_power_is_difference() {
+        let m = ServerModel::blade_a();
+        let e = PowerEstimator::default();
+        let d = e.marginal_power(&m, 0.4, 0.2);
+        assert!((d - (e.power(&m, 0.6) - e.power(&m, 0.4))).abs() < 1e-12);
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn consolidation_is_power_positive_for_high_idle_servers() {
+        // Two half-loaded Server Bs cost more than one full + one off —
+        // the economics behind the paper's "VMC dominates savings on high
+        // idle power systems".
+        let m = ServerModel::server_b();
+        let e = PowerEstimator::default();
+        let split = 2.0 * e.power(&m, 0.4);
+        let packed = e.power(&m, 0.8); // second server off: 0 W
+        assert!(packed < split);
+    }
+}

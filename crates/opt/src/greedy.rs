@@ -1,0 +1,543 @@
+//! Greedy bin-packing solver for the placement program (the paper's
+//! chosen approximation: *"we use a greedy bin-packing algorithm to search
+//! for a new placement solution that satisfies all the constraints"*).
+//!
+//! First-fit-decreasing with a power-aware scoring rule: VMs in decreasing
+//! demand order; each VM goes to the feasible server minimizing
+//! *marginal estimated power + migration cost*. Feasibility covers the
+//! capacity constraint (2) and — when enabled — the buffered budget
+//! constraints (3)–(5).
+
+use nps_sim::{Placement, ServerId, VmId};
+
+use crate::context::ClusterContext;
+use crate::estimate::PowerEstimator;
+use crate::plan::VmcPlan;
+use crate::vmc::VmcConfig;
+
+/// Incremental state of a packing in progress.
+struct PackState<'a> {
+    ctx: &'a ClusterContext<'a>,
+    est: &'a PowerEstimator,
+    cfg: &'a VmcConfig,
+    buffers: (f64, f64, f64),
+    /// Assigned load per server (max-capacity units, incl. `α_V`).
+    loads: Vec<f64>,
+    /// Estimated power per server under the plan (0 for empty +
+    /// turn-off).
+    powers: Vec<f64>,
+    /// Running per-enclosure power estimate.
+    enc_powers: Vec<f64>,
+    /// Running group power estimate.
+    group_power: f64,
+}
+
+impl<'a> PackState<'a> {
+    fn new(
+        ctx: &'a ClusterContext<'a>,
+        est: &'a PowerEstimator,
+        cfg: &'a VmcConfig,
+        buffers: (f64, f64, f64),
+    ) -> Self {
+        let n = ctx.num_servers();
+        let mut state = Self {
+            ctx,
+            est,
+            cfg,
+            buffers,
+            loads: vec![0.0; n],
+            powers: vec![0.0; n],
+            enc_powers: vec![0.0; ctx.topo.num_enclosures()],
+            group_power: 0.0,
+        };
+        // Empty servers that cannot be turned off still draw their parked
+        // idle power.
+        if !cfg.allow_turn_off {
+            for i in 0..n {
+                let p = est.power(&ctx.models[i], 0.0);
+                state.powers[i] = p;
+                state.add_level_power(ServerId(i), p);
+            }
+        }
+        state
+    }
+
+    fn add_level_power(&mut self, s: ServerId, delta: f64) {
+        if let Some(e) = self.ctx.enclosure_of(s) {
+            self.enc_powers[e.index()] += delta;
+        }
+        self.group_power += delta;
+    }
+
+    /// Power the server would draw carrying `load` under this plan.
+    fn server_power(&self, i: usize, load: f64) -> f64 {
+        if load <= 0.0 && self.cfg.allow_turn_off {
+            0.0
+        } else {
+            self.est.power(&self.ctx.models[i], load)
+        }
+    }
+
+    /// Whether placing `extra` load on server `i` keeps all constraints.
+    fn fits(&self, i: usize, extra: f64) -> bool {
+        let new_load = self.loads[i] + extra;
+        // Constraint (2): capacity with headroom r̄. A VM whose demand
+        // alone exceeds r̄ may still get a *dedicated* server up to full
+        // capacity — the alternative would drop it, violating the
+        // absolute constraint (6).
+        let limit = if self.loads[i] <= 0.0 {
+            self.cfg.headroom.max(1.0_f64.min(extra))
+        } else {
+            self.cfg.headroom
+        };
+        if new_load > limit {
+            return false;
+        }
+        if !self.cfg.use_budget_constraints {
+            return true;
+        }
+        let (b_loc, b_enc, b_grp) = self.buffers;
+        let new_power = self.server_power(i, new_load);
+        // Constraint (3): buffered local budget. Buffers moderate how
+        // *aggressively* servers are packed; they never block an empty
+        // server from accepting its first VM (which is always checked
+        // against the full static cap) — otherwise high violation
+        // feedback could make every server unplaceable and deadlock the
+        // packing into forced placements.
+        let eff_cap = if self.loads[i] <= 0.0 {
+            self.ctx.cap_loc[i]
+        } else {
+            (1.0 - b_loc) * self.ctx.cap_loc[i]
+        };
+        if new_power > eff_cap {
+            return false;
+        }
+        let delta = new_power - self.powers[i];
+        // Constraint (4): buffered enclosure budget.
+        if let Some(e) = self.ctx.enclosure_of(ServerId(i)) {
+            if self.enc_powers[e.index()] + delta > (1.0 - b_enc) * self.ctx.cap_enc[e.index()] {
+                return false;
+            }
+        }
+        // Constraint (5): buffered group budget.
+        self.group_power + delta <= (1.0 - b_grp) * self.ctx.cap_grp
+    }
+
+    /// Score of placing VM `vm` (with overheaded demand `extra`) on `i`:
+    /// marginal estimated power plus migration cost if `i` is not the
+    /// VM's current host. Lower is better.
+    fn score(&self, vm: VmId, i: usize, extra: f64) -> f64 {
+        let marginal = self.server_power(i, self.loads[i] + extra) - self.powers[i];
+        let migration = if self.ctx.current.host_of(vm) == ServerId(i) {
+            0.0
+        } else {
+            self.cfg.migration_weight * extra * self.ctx.models[i].max_power()
+        };
+        let objective = self.cfg.objective.load_penalty(
+            &self.ctx.models[i],
+            self.loads[i],
+            self.loads[i] + extra,
+        );
+        marginal + migration + objective
+    }
+
+    fn place(&mut self, i: usize, extra: f64) {
+        let new_load = self.loads[i] + extra;
+        let new_power = self.server_power(i, new_load);
+        let delta = new_power - self.powers[i];
+        self.loads[i] = new_load;
+        self.powers[i] = new_power;
+        self.add_level_power(ServerId(i), delta);
+    }
+}
+
+/// Runs the greedy packing and assembles the plan.
+///
+/// `demands` are per-VM demand estimates in max-capacity fractions
+/// (without `α_V`, which this function applies). `buffers` are the current
+/// `(b_loc, b_enc, b_grp)` safety buffers.
+pub fn greedy_pack(
+    demands: &[f64],
+    ctx: &ClusterContext<'_>,
+    est: &PowerEstimator,
+    cfg: &VmcConfig,
+    buffers: (f64, f64, f64),
+) -> VmcPlan {
+    let n = ctx.num_servers();
+    let mut state = PackState::new(ctx, est, cfg, buffers);
+    // First-fit-decreasing order.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| {
+        demands[b]
+            .partial_cmp(&demands[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut hosts: Vec<ServerId> = vec![ServerId(0); demands.len()];
+    let mut forced = 0usize;
+    for j in order {
+        let vm = VmId(j);
+        let extra = demands[j].max(0.0) * (1.0 + cfg.alpha_v);
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..n {
+            if !state.fits(i, extra) {
+                continue;
+            }
+            let s = match cfg.algorithm {
+                crate::vmc::PackingAlgorithm::MarginalPower => state.score(vm, i, extra),
+                // First feasible by index: a strictly increasing key.
+                crate::vmc::PackingAlgorithm::FirstFitDecreasing => i as f64,
+                // Least remaining headroom after placement.
+                crate::vmc::PackingAlgorithm::BestFitDecreasing => {
+                    cfg.headroom - (state.loads[i] + extra)
+                }
+            };
+            if best.map(|(bs, _)| s < bs).unwrap_or(true) {
+                best = Some((s, i));
+            }
+            if matches!(cfg.algorithm, crate::vmc::PackingAlgorithm::FirstFitDecreasing) {
+                break; // first feasible server wins outright
+            }
+        }
+        let target = match best {
+            Some((_, i)) => i,
+            None => {
+                // Constraint (6) is absolute — every VM must be placed.
+                // Fall back to the least-loaded *already-used* server with
+                // capacity room (preserving consolidation), else the
+                // least-loaded server overall; the plan is flagged
+                // infeasible either way.
+                forced += 1;
+                let least_loaded = |pred: &dyn Fn(usize) -> bool| {
+                    (0..n)
+                        .filter(|&i| pred(i))
+                        .min_by(|&a, &b| {
+                            state.loads[a]
+                                .partial_cmp(&state.loads[b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                };
+                least_loaded(&|i| state.loads[i] > 0.0 && state.loads[i] + extra <= 1.0)
+                    .or_else(|| least_loaded(&|_| true))
+                    .expect("at least one server")
+            }
+        };
+        state.place(target, extra);
+        hosts[j] = ServerId(target);
+    }
+
+    assemble_plan(ctx, cfg, hosts, state.group_power, forced)
+}
+
+/// Builds a [`VmcPlan`] from chosen hosts: derives migrations against the
+/// current placement, and power-on/off lists from plan usage.
+pub(crate) fn assemble_plan(
+    ctx: &ClusterContext<'_>,
+    cfg: &VmcConfig,
+    hosts: Vec<ServerId>,
+    estimated_power_watts: f64,
+    forced_placements: usize,
+) -> VmcPlan {
+    let placement = Placement::from_hosts(hosts);
+    let migrations = ctx.current.diff(&placement);
+    let mut used = vec![false; ctx.num_servers()];
+    for (_, s) in placement.iter() {
+        used[s.index()] = true;
+    }
+    // Servers gaining VMs must be on; the engine rejects migrations to off
+    // servers, so surface every used target.
+    let power_on: Vec<ServerId> = migrations
+        .iter()
+        .map(|m| m.to)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let power_off: Vec<ServerId> = if cfg.allow_turn_off {
+        (0..ctx.num_servers())
+            .filter(|&i| !used[i])
+            .map(ServerId)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    VmcPlan {
+        placement,
+        power_on,
+        power_off,
+        migrations,
+        estimated_power_watts,
+        forced_placements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nps_models::ServerModel;
+    use nps_sim::Topology;
+
+    struct Fixture {
+        topo: Topology,
+        models: Vec<ServerModel>,
+        current: Placement,
+        cap_loc: Vec<f64>,
+        cap_enc: Vec<f64>,
+        cap_grp: f64,
+    }
+
+    impl Fixture {
+        fn new(servers: usize, vms: usize) -> Self {
+            let model = ServerModel::blade_a();
+            let max = model.max_power();
+            Self {
+                topo: Topology::builder().standalone(servers).build(),
+                models: vec![model; servers],
+                current: Placement::one_per_server(vms, servers),
+                cap_loc: vec![0.9 * max; servers],
+                cap_enc: vec![],
+                cap_grp: 0.8 * max * servers as f64,
+            }
+        }
+
+        fn ctx(&self) -> ClusterContext<'_> {
+            ClusterContext {
+                topo: &self.topo,
+                models: &self.models,
+                current: &self.current,
+                cap_loc: &self.cap_loc,
+                cap_enc: &self.cap_enc,
+                cap_grp: self.cap_grp,
+            }
+        }
+    }
+
+    fn pack(demands: &[f64], fx: &Fixture, cfg: &VmcConfig) -> VmcPlan {
+        greedy_pack(
+            demands,
+            &fx.ctx(),
+            &PowerEstimator::default(),
+            cfg,
+            (0.0, 0.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn light_workloads_consolidate_onto_few_servers() {
+        let fx = Fixture::new(4, 4);
+        let plan = pack(&[0.15, 0.15, 0.15, 0.15], &fx, &VmcConfig::default());
+        assert!(plan.is_feasible());
+        let used = plan.placement.used_servers().len();
+        assert_eq!(used, 1, "0.66 total load fits one server");
+        assert_eq!(plan.power_off.len(), 3);
+    }
+
+    #[test]
+    fn heavy_workloads_spread_across_servers() {
+        let mut fx = Fixture::new(4, 4);
+        fx.cap_grp = 1e9; // group budget not under test here
+        let plan = pack(&[0.6, 0.6, 0.6, 0.6], &fx, &VmcConfig::default());
+        assert!(plan.is_feasible());
+        assert_eq!(plan.placement.used_servers().len(), 4);
+        assert!(plan.power_off.is_empty());
+    }
+
+    #[test]
+    fn vm_too_hot_for_local_budget_is_forced() {
+        // A VM whose steady-state power alone exceeds every buffered local
+        // budget cannot be placed feasibly; the plan must still place it
+        // and flag the violation.
+        let fx = Fixture::new(2, 1);
+        let plan = pack(&[0.85], &fx, &VmcConfig::default());
+        assert!(!plan.is_feasible());
+        assert_eq!(plan.forced_placements, 1);
+    }
+
+    #[test]
+    fn capacity_constraint_respects_headroom() {
+        let fx = Fixture::new(2, 2);
+        let cfg = VmcConfig {
+            headroom: 0.5,
+            ..VmcConfig::default()
+        };
+        // Each VM is 0.3·1.1 = 0.33; two on one server = 0.66 > 0.5.
+        let plan = pack(&[0.3, 0.3], &fx, &cfg);
+        assert!(plan.is_feasible());
+        assert_eq!(plan.placement.used_servers().len(), 2);
+    }
+
+    #[test]
+    fn every_vm_is_placed_even_when_infeasible() {
+        let fx = Fixture::new(2, 5);
+        let plan = pack(&[0.8, 0.8, 0.8, 0.8, 0.8], &fx, &VmcConfig::default());
+        assert!(!plan.is_feasible());
+        assert_eq!(plan.placement.num_vms(), 5);
+        assert!(plan.forced_placements > 0);
+    }
+
+    #[test]
+    fn group_budget_limits_consolidation() {
+        let mut fx = Fixture::new(3, 3);
+        // Group cap only admits about one fully busy server: forces
+        // either spreading at low power or infeasibility flags.
+        fx.cap_grp = 130.0;
+        let plan = pack(&[0.4, 0.4, 0.4], &fx, &VmcConfig::default());
+        // Estimated power within the buffered group budget whenever the
+        // plan is feasible.
+        if plan.is_feasible() {
+            assert!(plan.estimated_power_watts <= 130.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn local_budget_excludes_hot_servers() {
+        let mut fx = Fixture::new(2, 2);
+        fx.cap_loc[0] = 70.0; // server 0 only fits light loads
+        let plan = pack(&[0.6, 0.2], &fx, &VmcConfig::default());
+        assert!(plan.is_feasible());
+        // The heavy VM cannot land on server 0 (cap 70 W < its ~100 W
+        // steady-state draw).
+        assert_eq!(plan.placement.host_of(VmId(0)), ServerId(1));
+    }
+
+    #[test]
+    fn disabling_budget_constraints_ignores_caps() {
+        let mut fx = Fixture::new(2, 2);
+        fx.cap_loc = vec![10.0, 10.0]; // impossible caps
+        fx.cap_grp = 10.0;
+        let cfg = VmcConfig {
+            use_budget_constraints: false,
+            ..VmcConfig::default()
+        };
+        let plan = pack(&[0.3, 0.3], &fx, &cfg);
+        assert!(plan.is_feasible(), "without budget checks packing succeeds");
+    }
+
+    #[test]
+    fn buffers_make_packing_more_conservative() {
+        let mut fx = Fixture::new(4, 4);
+        fx.cap_grp = 1e9; // isolate the local-buffer effect
+        let demands = [0.25, 0.25, 0.25, 0.25];
+        let loose = greedy_pack(
+            &demands,
+            &fx.ctx(),
+            &PowerEstimator::default(),
+            &VmcConfig::default(),
+            (0.0, 0.0, 0.0),
+        );
+        let tight = greedy_pack(
+            &demands,
+            &fx.ctx(),
+            &PowerEstimator::default(),
+            &VmcConfig::default(),
+            (0.3, 0.3, 0.3),
+        );
+        assert!(
+            tight.placement.used_servers().len() > loose.placement.used_servers().len(),
+            "wide buffers must force a more conservative packing: tight {} vs loose {}",
+            tight.placement.used_servers().len(),
+            loose.placement.used_servers().len()
+        );
+    }
+
+    #[test]
+    fn no_turn_off_keeps_power_off_list_empty() {
+        let fx = Fixture::new(4, 4);
+        let cfg = VmcConfig {
+            allow_turn_off: false,
+            ..VmcConfig::default()
+        };
+        let plan = pack(&[0.1, 0.1, 0.1, 0.1], &fx, &cfg);
+        assert!(plan.power_off.is_empty());
+    }
+
+    #[test]
+    fn migration_weight_prefers_current_hosts_on_ties() {
+        let fx = Fixture::new(2, 2);
+        // Both demands heavy enough that consolidation saves nothing;
+        // each VM should stay home.
+        let plan = pack(&[0.7, 0.7], &fx, &VmcConfig::default());
+        assert_eq!(plan.num_migrations(), 0);
+    }
+
+    #[test]
+    fn all_packing_algorithms_satisfy_constraints() {
+        use crate::vmc::PackingAlgorithm;
+        let fx = Fixture::new(6, 6);
+        let demands = [0.3, 0.25, 0.2, 0.15, 0.28, 0.22];
+        for algorithm in PackingAlgorithm::ALL {
+            let cfg = VmcConfig {
+                algorithm,
+                ..VmcConfig::default()
+            };
+            let plan = pack(&demands, &fx, &cfg);
+            assert_eq!(plan.placement.num_vms(), 6, "{}", algorithm.name());
+            // Capacity constraint per server.
+            let mut loads = vec![0.0; 6];
+            for (vm, host) in plan.placement.iter() {
+                loads[host.index()] += demands[vm.index()] * 1.1;
+            }
+            if plan.is_feasible() {
+                for l in &loads {
+                    assert!(*l <= cfg.headroom + 1e-9, "{}", algorithm.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_power_never_costs_more_than_first_fit() {
+        use crate::vmc::PackingAlgorithm;
+        let mut fx = Fixture::new(8, 8);
+        fx.cap_grp = 1e9;
+        let demands = [0.3, 0.1, 0.25, 0.18, 0.22, 0.12, 0.28, 0.08];
+        let run = |algorithm| {
+            pack(
+                &demands,
+                &fx,
+                &VmcConfig {
+                    algorithm,
+                    migration_weight: 0.0, // compare pure power quality
+                    ..VmcConfig::default()
+                },
+            )
+            .estimated_power_watts
+        };
+        let mp = run(PackingAlgorithm::MarginalPower);
+        let ff = run(PackingAlgorithm::FirstFitDecreasing);
+        assert!(
+            mp <= ff + 1e-6,
+            "marginal-power {mp:.1} W should not exceed first-fit {ff:.1} W"
+        );
+    }
+
+    #[test]
+    fn energy_delay_objective_spreads_load_wider() {
+        use crate::vmc::Objective;
+        let mut fx = Fixture::new(6, 6);
+        fx.cap_grp = 1e9;
+        let demands = [0.22, 0.22, 0.22, 0.22, 0.22, 0.22];
+        let power = pack(&demands, &fx, &VmcConfig::default());
+        let ed_cfg = VmcConfig {
+            objective: Objective::EnergyDelay,
+            ..VmcConfig::default()
+        };
+        let ed = pack(&demands, &fx, &ed_cfg);
+        assert!(
+            ed.placement.used_servers().len() >= power.placement.used_servers().len(),
+            "energy-delay ({}) should not pack tighter than power ({})",
+            ed.placement.used_servers().len(),
+            power.placement.used_servers().len()
+        );
+    }
+
+    #[test]
+    fn migrations_transform_current_into_target() {
+        let fx = Fixture::new(4, 4);
+        let plan = pack(&[0.1, 0.1, 0.1, 0.1], &fx, &VmcConfig::default());
+        let mut p = fx.current.clone();
+        for m in &plan.migrations {
+            p.assign(m.vm, m.to);
+        }
+        assert_eq!(p, plan.placement);
+    }
+}

@@ -1,0 +1,44 @@
+//! The virtual machine controller (VMC): power-minimizing workload
+//! consolidation under multi-level power budgets.
+//!
+//! Implements the paper's Figure 6 `(VMCs)` constrained 0-1 program:
+//!
+//! ```text
+//! min  Σ pow_i  +  α_M · (migration cost)
+//! s.t. Σ_j X_ij·r_j·(1+α_V) ≤ r̄ · capacity_i          (server capacity)
+//!      pow_i      ≤ (1 − b_loc)·CAP_LOC_i              (local budgets)
+//!      Σ_encl pow ≤ (1 − b_enc)·CAP_ENC_q              (enclosure budgets)
+//!      Σ pow      ≤ (1 − b_grp)·CAP_GRP                (group budget)
+//!      Σ_i X_ij = 1,  X_ij ∈ {0, 1}                    (every VM placed)
+//! ```
+//!
+//! solved — as in the paper — with a **greedy bin-packing** approximation
+//! ([`greedy_pack`]), plus an optional **local-search** improvement pass
+//! ([`improve`]) as an extension.
+//!
+//! The two coordination features the paper adds to a conventional VMC
+//! (§3.1) are first-class here:
+//!
+//! 1. demand estimates must be **real** utilization (fraction of a
+//!    *full-speed* server), not apparent utilization — the caller chooses
+//!    which estimates to feed in, and `nps-core` wires the ablation;
+//! 2. the **budget buffers** `b_loc/b_enc/b_grp` widen on violation
+//!    feedback from the SM/EM/GM, throttling consolidation aggressiveness
+//!    ([`Vmc::report_violations`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod estimate;
+mod greedy;
+mod local_search;
+mod plan;
+mod vmc;
+
+pub use context::ClusterContext;
+pub use estimate::PowerEstimator;
+pub use greedy::greedy_pack;
+pub use local_search::improve;
+pub use plan::VmcPlan;
+pub use vmc::{Objective, PackingAlgorithm, Vmc, VmcConfig};

@@ -1,0 +1,176 @@
+//! Local-search improvement over a greedy plan — our extension beyond the
+//! paper's plain greedy approximation (§4.1 notes *"many algorithms are
+//! available to solve this 0-1 integer program"*; first-fit-decreasing can
+//! strand servers that a single relocation would empty).
+//!
+//! The move set is single-VM relocation; a move is accepted when it
+//! strictly lowers the estimated total power while keeping every
+//! constraint satisfied. Iterates to a fixed point or an iteration cap.
+
+use nps_sim::ServerId;
+
+use crate::context::ClusterContext;
+use crate::estimate::PowerEstimator;
+use crate::greedy::assemble_plan;
+use crate::plan::VmcPlan;
+use crate::vmc::VmcConfig;
+
+/// Improves `plan` by single-VM relocations. `demands` and `buffers`
+/// must be those the plan was produced with.
+#[allow(clippy::too_many_arguments)]
+pub fn improve(
+    plan: VmcPlan,
+    demands: &[f64],
+    ctx: &ClusterContext<'_>,
+    est: &PowerEstimator,
+    cfg: &VmcConfig,
+    buffers: (f64, f64, f64),
+    max_iters: usize,
+) -> VmcPlan {
+    let n = ctx.num_servers();
+    let mut hosts: Vec<ServerId> = (0..demands.len())
+        .map(|j| plan.placement.host_of(nps_sim::VmId(j)))
+        .collect();
+    let overheads: Vec<f64> = demands.iter().map(|d| d.max(0.0) * (1.0 + cfg.alpha_v)).collect();
+    let mut loads = vec![0.0; n];
+    for (j, h) in hosts.iter().enumerate() {
+        loads[h.index()] += overheads[j];
+    }
+    let server_power = |load: f64, i: usize| -> f64 {
+        if load <= 0.0 && cfg.allow_turn_off {
+            0.0
+        } else {
+            est.power(&ctx.models[i], load)
+        }
+    };
+    let (b_loc, b_enc, b_grp) = buffers;
+
+    for _ in 0..max_iters {
+        let mut improved = false;
+        for j in 0..hosts.len() {
+            let from = hosts[j].index();
+            let d = overheads[j];
+            let from_now = server_power(loads[from], from);
+            let from_after = server_power(loads[from] - d, from);
+            let mut best: Option<(f64, usize)> = None;
+            for to in 0..n {
+                if to == from || loads[to] + d > cfg.headroom {
+                    continue;
+                }
+                let to_now = server_power(loads[to], to);
+                let to_after = server_power(loads[to] + d, to);
+                if cfg.use_budget_constraints {
+                    let floor = ctx.models[to].min_active_power() * 1.05;
+                    let eff_cap =
+                        ((1.0 - b_loc) * ctx.cap_loc[to]).max(floor.min(ctx.cap_loc[to]));
+                    if to_after > eff_cap {
+                        continue;
+                    }
+                    // Enclosure/group deltas for this single move.
+                    let delta_to = to_after - to_now;
+                    let delta_from = from_after - from_now;
+                    let enc_ok = |i: usize, delta: f64| -> bool {
+                        match ctx.enclosure_of(ServerId(i)) {
+                            Some(e) => {
+                                let enc_power: f64 = ctx
+                                    .topo
+                                    .enclosure_servers(e)
+                                    .iter()
+                                    .map(|&s| server_power(loads[s.index()], s.index()))
+                                    .sum();
+                                enc_power + delta <= (1.0 - b_enc) * ctx.cap_enc[e.index()]
+                            }
+                            None => true,
+                        }
+                    };
+                    if !enc_ok(to, delta_to) {
+                        continue;
+                    }
+                    let group: f64 = (0..n).map(|i| server_power(loads[i], i)).sum();
+                    if group + delta_to + delta_from > (1.0 - b_grp) * ctx.cap_grp {
+                        continue;
+                    }
+                }
+                let gain = (from_now - from_after) - (to_after - to_now)
+                    - cfg.migration_weight * d * ctx.models[to].max_power();
+                if gain > 1e-9 && best.map(|(bg, _)| gain > bg).unwrap_or(true) {
+                    best = Some((gain, to));
+                }
+            }
+            if let Some((_, to)) = best {
+                loads[from] -= d;
+                loads[to] += d;
+                hosts[j] = ServerId(to);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let total: f64 = (0..n).map(|i| server_power(loads[i], i)).sum();
+    assemble_plan(ctx, cfg, hosts, total, plan.forced_placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_pack;
+    use nps_models::ServerModel;
+    use nps_sim::{Placement, Topology};
+
+    #[test]
+    fn local_search_never_worsens_the_plan() {
+        let topo = Topology::builder().standalone(6).build();
+        let models = vec![ServerModel::server_b(); 6];
+        let current = Placement::one_per_server(6, 6);
+        let cap_loc = vec![0.9 * models[0].max_power(); 6];
+        let cap_enc: Vec<f64> = vec![];
+        let ctx = ClusterContext {
+            topo: &topo,
+            models: &models,
+            current: &current,
+            cap_loc: &cap_loc,
+            cap_enc: &cap_enc,
+            cap_grp: 6.0 * 0.8 * models[0].max_power(),
+        };
+        let demands = [0.25, 0.30, 0.20, 0.15, 0.35, 0.10];
+        let cfg = VmcConfig::default();
+        let est = PowerEstimator::default();
+        let base = greedy_pack(&demands, &ctx, &est, &cfg, (0.0, 0.0, 0.0));
+        let better = improve(base.clone(), &demands, &ctx, &est, &cfg, (0.0, 0.0, 0.0), 10);
+        assert!(better.estimated_power_watts <= base.estimated_power_watts + 1e-6);
+        assert_eq!(better.placement.num_vms(), 6);
+    }
+
+    #[test]
+    fn local_search_respects_headroom() {
+        let topo = Topology::builder().standalone(3).build();
+        let models = vec![ServerModel::blade_a(); 3];
+        let current = Placement::one_per_server(3, 3);
+        let cap_loc = vec![1e9; 3];
+        let cap_enc: Vec<f64> = vec![];
+        let ctx = ClusterContext {
+            topo: &topo,
+            models: &models,
+            current: &current,
+            cap_loc: &cap_loc,
+            cap_enc: &cap_enc,
+            cap_grp: 1e9,
+        };
+        let demands = [0.5, 0.4, 0.3];
+        let cfg = VmcConfig::default();
+        let est = PowerEstimator::default();
+        let base = greedy_pack(&demands, &ctx, &est, &cfg, (0.0, 0.0, 0.0));
+        let better = improve(base, &demands, &ctx, &est, &cfg, (0.0, 0.0, 0.0), 20);
+        // Verify no server exceeds headroom.
+        let mut loads = vec![0.0; 3];
+        for (vm, host) in better.placement.iter() {
+            loads[host.index()] += demands[vm.index()] * 1.1;
+        }
+        for l in loads {
+            assert!(l <= cfg.headroom + 1e-9, "load {l} exceeds headroom");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The output of one VMC planning round.
+
+use nps_sim::{Migration, Placement, ServerId};
+
+/// A consolidation plan: the new placement plus the actions needed to get
+/// there. Produced by [`crate::Vmc::plan`]; `nps-core` applies it to the
+/// simulator (power servers on, migrate, power empties off).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmcPlan {
+    /// The target placement (the new `X` matrix).
+    pub placement: Placement,
+    /// Servers that must be powered on before migrating (targets that are
+    /// currently off).
+    pub power_on: Vec<ServerId>,
+    /// Servers left empty by the plan, to be powered off (empty when
+    /// turn-off is disallowed).
+    pub power_off: Vec<ServerId>,
+    /// The migrations transforming the current placement into the target.
+    pub migrations: Vec<Migration>,
+    /// Estimated steady-state group power of the target placement, watts.
+    pub estimated_power_watts: f64,
+    /// Number of VMs that could not be placed within all constraints and
+    /// were force-placed on the least-loaded feasible-capacity server.
+    /// Zero means the plan satisfies every constraint of the 0-1 program.
+    pub forced_placements: usize,
+}
+
+impl VmcPlan {
+    /// Whether the plan satisfies all constraints of the optimization
+    /// problem (no forced placements).
+    pub fn is_feasible(&self) -> bool {
+        self.forced_placements == 0
+    }
+
+    /// Total number of VM moves the plan requires.
+    pub fn num_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_reflects_forced_placements() {
+        let plan = VmcPlan {
+            placement: Placement::one_per_server(2, 2),
+            power_on: vec![],
+            power_off: vec![],
+            migrations: vec![],
+            estimated_power_watts: 100.0,
+            forced_placements: 0,
+        };
+        assert!(plan.is_feasible());
+        assert_eq!(plan.num_migrations(), 0);
+    }
+}

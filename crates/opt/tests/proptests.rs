@@ -1,0 +1,195 @@
+//! Property-based tests of the VMC: the greedy solver must produce valid
+//! assignments satisfying the program's constraints whenever it claims
+//! feasibility, for arbitrary fleets and demand vectors.
+
+use nps_models::ServerModel;
+use nps_opt::{ClusterContext, PowerEstimator, Vmc, VmcConfig};
+use nps_sim::{Placement, ServerId, Topology, VmId};
+use proptest::prelude::*;
+
+fn check_plan_constraints(
+    demands: &[f64],
+    ctx: &ClusterContext<'_>,
+    cfg: &VmcConfig,
+    plan: &nps_opt::VmcPlan,
+) -> Result<(), TestCaseError> {
+    // Constraint (6): every VM placed exactly once on a valid server.
+    prop_assert_eq!(plan.placement.num_vms(), demands.len());
+    for (_, host) in plan.placement.iter() {
+        prop_assert!(host.index() < ctx.num_servers());
+    }
+    if !plan.is_feasible() {
+        return Ok(()); // flagged plans may violate budgets by design
+    }
+    let est = PowerEstimator::new(cfg.assumed_r_ref);
+    let n = ctx.num_servers();
+    let mut loads = vec![0.0; n];
+    for (vm, host) in plan.placement.iter() {
+        loads[host.index()] += demands[vm.index()].max(0.0) * (1.0 + cfg.alpha_v);
+    }
+    let power = |i: usize| -> f64 {
+        if loads[i] <= 0.0 && cfg.allow_turn_off {
+            0.0
+        } else {
+            est.power(&ctx.models[i], loads[i])
+        }
+    };
+    let mut group = 0.0;
+    for i in 0..n {
+        // Constraint (2).
+        prop_assert!(loads[i] <= cfg.headroom + 1e-9, "server {i} overfilled: {}", loads[i]);
+        if cfg.use_budget_constraints {
+            // Constraint (3).
+            prop_assert!(
+                power(i) <= ctx.cap_loc[i] + 1e-6,
+                "server {i}: {} > cap {}",
+                power(i),
+                ctx.cap_loc[i]
+            );
+        }
+        group += power(i);
+    }
+    if cfg.use_budget_constraints {
+        // Constraints (4) and (5).
+        for e in 0..ctx.topo.num_enclosures() {
+            let enc: f64 = ctx
+                .topo
+                .enclosure_servers(nps_sim::EnclosureId(e))
+                .iter()
+                .map(|s| power(s.index()))
+                .sum();
+            prop_assert!(enc <= ctx.cap_enc[e] + 1e-6);
+        }
+        prop_assert!(group <= ctx.cap_grp + 1e-6);
+    }
+    // power_off servers host nothing.
+    for s in &plan.power_off {
+        prop_assert!(plan.placement.vms_on(*s).is_empty());
+    }
+    // Migrations transform current into target.
+    let mut p = ctx.current.clone();
+    for m in &plan.migrations {
+        prop_assert_eq!(p.host_of(m.vm), m.from);
+        p.assign(m.vm, m.to);
+    }
+    prop_assert_eq!(&p, &plan.placement);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn greedy_plans_satisfy_all_constraints(
+        demands in proptest::collection::vec(0.0f64..0.7, 1..24),
+        blades in 1usize..3,
+        standalone in 1usize..8,
+        cap_frac in 0.7f64..1.0,
+        local_search in 0usize..4,
+        turn_off in proptest::bool::ANY,
+        seed_buffers in 0.0f64..0.25,
+    ) {
+        let servers = blades * 4 + standalone;
+        let topo = Topology::builder().enclosures(blades, 4).standalone(standalone).build();
+        let model = ServerModel::blade_a();
+        let models = vec![model.clone(); servers];
+        let current = Placement::one_per_server(demands.len(), servers);
+        let cap_loc = vec![cap_frac * model.max_power(); servers];
+        let cap_enc = vec![4.0 * cap_frac * model.max_power() * 0.95; blades];
+        let cap_grp = servers as f64 * cap_frac * model.max_power() * 0.9;
+        let ctx = ClusterContext {
+            topo: &topo,
+            models: &models,
+            current: &current,
+            cap_loc: &cap_loc,
+            cap_enc: &cap_enc,
+            cap_grp,
+        };
+        let cfg = VmcConfig {
+            allow_turn_off: turn_off,
+            local_search_iters: local_search,
+            ..VmcConfig::default()
+        };
+        let mut vmc = Vmc::new(cfg);
+        vmc.report_violations(seed_buffers, seed_buffers, seed_buffers);
+        let plan = vmc.plan(&demands, &ctx);
+        check_plan_constraints(&demands, &ctx, &cfg, &plan)?;
+    }
+
+    #[test]
+    fn planning_is_deterministic(
+        demands in proptest::collection::vec(0.0f64..0.6, 1..12),
+    ) {
+        let topo = Topology::builder().standalone(6).build();
+        let model = ServerModel::server_b();
+        let models = vec![model.clone(); 6];
+        let current = Placement::one_per_server(demands.len(), 6);
+        let cap_loc = vec![0.9 * model.max_power(); 6];
+        let cap_enc: Vec<f64> = vec![];
+        let ctx = ClusterContext {
+            topo: &topo,
+            models: &models,
+            current: &current,
+            cap_loc: &cap_loc,
+            cap_enc: &cap_enc,
+            cap_grp: 6.0 * 0.8 * model.max_power(),
+        };
+        let vmc = Vmc::new(VmcConfig::default());
+        let a = vmc.plan(&demands, &ctx);
+        let b = vmc.plan(&demands, &ctx);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_estimates_consolidate_near_the_capacity_bound(
+        demands in proptest::collection::vec(0.005f64..0.05, 2..16),
+    ) {
+        // The vicious-cycle raw material (paper §3.1): when measurements
+        // shrink (e.g. under throttling), the VMC packs down toward the
+        // capacity lower bound — there is no built-in brake besides the
+        // budget constraints and feedback buffers.
+        let topo = Topology::builder().standalone(16).build();
+        let model = ServerModel::blade_a();
+        let models = vec![model.clone(); 16];
+        let current = Placement::one_per_server(demands.len(), 16);
+        let cap_loc = vec![1e9; 16];
+        let cap_enc: Vec<f64> = vec![];
+        let ctx = ClusterContext {
+            topo: &topo,
+            models: &models,
+            current: &current,
+            cap_loc: &cap_loc,
+            cap_enc: &cap_enc,
+            cap_grp: 1e9,
+        };
+        let vmc = Vmc::new(VmcConfig::default());
+        let plan = vmc.plan(&demands, &ctx);
+        let total_load: f64 = demands.iter().map(|d| d * 1.1).sum();
+        let lower_bound = (total_load / 0.9).ceil().max(1.0) as usize;
+        prop_assert!(
+            plan.placement.used_servers().len() <= lower_bound + 1,
+            "tiny demands used {} servers (bound {lower_bound})",
+            plan.placement.used_servers().len()
+        );
+    }
+}
+
+#[test]
+fn server_ids_in_plans_are_always_valid() {
+    // Non-property sanity: a 1-server degenerate cluster.
+    let topo = Topology::builder().standalone(1).build();
+    let model = ServerModel::blade_a();
+    let models = vec![model.clone()];
+    let current = Placement::one_per_server(3, 1);
+    let cap_loc = vec![model.max_power()];
+    let cap_enc: Vec<f64> = vec![];
+    let ctx = ClusterContext {
+        topo: &topo,
+        models: &models,
+        current: &current,
+        cap_loc: &cap_loc,
+        cap_enc: &cap_enc,
+        cap_grp: model.max_power(),
+    };
+    let vmc = Vmc::new(VmcConfig::default());
+    let plan = vmc.plan(&[0.2, 0.2, 0.2], &ctx);
+    assert_eq!(plan.placement.host_of(VmId(0)), ServerId(0));
+}

@@ -1,0 +1,96 @@
+use serde::{Deserialize, Serialize};
+
+use crate::thermal::ThermalConfig;
+
+/// Simulator-wide parameters (paper Figure 5 baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Virtualization overhead `α_V`: extra capacity consumed per unit of
+    /// VM demand (paper base: 10% of VM utilization). The paper assumes
+    /// the baseline is also virtualized, so this always applies.
+    pub alpha_v: f64,
+    /// Migration overhead `α_M`: fraction of a VM's work lost while it is
+    /// migrating (paper base: 10% performance loss during migration).
+    pub alpha_m: f64,
+    /// Duration of the migration penalty window, in ticks (models the
+    /// pre-copy phase of a VMotion-style migration).
+    pub migration_ticks: u64,
+    /// Power drawn by a powered-off server, in watts (0 = fully off).
+    pub off_power_watts: f64,
+    /// Ticks a server takes to boot after power-on: while booting it
+    /// draws P0 idle power but delivers no work (0 = instant boot).
+    pub boot_delay_ticks: u64,
+    /// Fixed overhead per blade enclosure (shared fans/PSU), watts.
+    /// Counted in enclosure/group power and energy.
+    pub enclosure_base_watts: f64,
+    /// Per-server thermal model, or `None` to skip temperature tracking.
+    pub thermal: Option<ThermalConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            alpha_v: 0.10,
+            alpha_m: 0.10,
+            migration_ticks: 20,
+            off_power_watts: 0.0,
+            boot_delay_ticks: 0,
+            enclosure_base_watts: 0.0,
+            thermal: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns this config with a different migration overhead `α_M`
+    /// (the paper's §5.4 sensitivity studies 20% and 50%).
+    pub fn with_alpha_m(mut self, alpha_m: f64) -> Self {
+        self.alpha_m = alpha_m;
+        self
+    }
+
+    /// Returns this config with a different virtualization overhead `α_V`.
+    pub fn with_alpha_v(mut self, alpha_v: f64) -> Self {
+        self.alpha_v = alpha_v;
+        self
+    }
+
+    /// Returns this config with thermal tracking enabled.
+    pub fn with_thermal(mut self, thermal: ThermalConfig) -> Self {
+        self.thermal = Some(thermal);
+        self
+    }
+
+    /// Returns this config with a server boot delay (ticks of idle burn
+    /// before a powered-on server delivers work).
+    pub fn with_boot_delay(mut self, ticks: u64) -> Self {
+        self.boot_delay_ticks = ticks;
+        self
+    }
+
+    /// Returns this config with a fixed per-enclosure power overhead.
+    pub fn with_enclosure_base(mut self, watts: f64) -> Self {
+        self.enclosure_base_watts = watts.max(0.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_figure_5() {
+        let c = SimConfig::default();
+        assert_eq!(c.alpha_v, 0.10);
+        assert_eq!(c.alpha_m, 0.10);
+        assert!(c.thermal.is_none());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = SimConfig::default().with_alpha_m(0.5).with_alpha_v(0.2);
+        assert_eq!(c.alpha_m, 0.5);
+        assert_eq!(c.alpha_v, 0.2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Cooling plant: per-zone CRAC units.
+//!
+//! The paper closes (§7) by proposing to extend the coordination
+//! architecture *"to include coordination with the equivalent spectrum of
+//! solutions in the performance and cooling domains"*. This module
+//! provides the cooling-domain plant for that extension: each zone
+//! (typically one blade enclosure, plus one zone for the standalone
+//! servers) is served by a CRAC unit whose airflow removes the zone's
+//! heat. The inlet temperature follows the standard mixing model
+//!
+//! ```text
+//! T_inlet = T_supply + q_zone / (c_air · airflow)
+//! ```
+//!
+//! and fan power follows the cube law
+//! `P_fan = P_ref · (airflow / airflow_ref)³` — which is exactly why
+//! *balancing* heat across zones (what the coordinated architecture's
+//! enclosure budgets do) saves cooling energy: the cube of the mean is
+//! far below the mean of the cubes.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one CRAC unit and its zone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CracConfig {
+    /// Supply (cold-aisle) air temperature, °C.
+    pub supply_c: f64,
+    /// Inlet temperature the facility wants to hold, °C.
+    pub setpoint_c: f64,
+    /// Effective heat capacity flow per unit airflow, W/°C at airflow 1.0
+    /// (i.e. `c_air · ṁ_ref`).
+    pub heat_capacity_flow: f64,
+    /// Fan power at reference airflow 1.0, watts.
+    pub fan_power_ref_w: f64,
+    /// Minimum airflow (fraction of reference; fans never fully stop).
+    pub airflow_min: f64,
+    /// Maximum airflow (fraction of reference).
+    pub airflow_max: f64,
+}
+
+impl CracConfig {
+    /// A config sized for a zone with the given maximum IT power: at max
+    /// airflow the zone can dissipate `max_zone_watts` while holding the
+    /// setpoint.
+    pub fn for_zone(max_zone_watts: f64) -> Self {
+        let supply_c = 18.0;
+        let setpoint_c = 27.0; // ASHRAE-ish allowable inlet
+        let airflow_max = 1.0;
+        // q = heat_capacity_flow · airflow · (setpoint − supply)
+        let heat_capacity_flow = max_zone_watts / (airflow_max * (setpoint_c - supply_c));
+        Self {
+            supply_c,
+            setpoint_c,
+            heat_capacity_flow,
+            // Cooling overhead ≈ 25% of zone max IT power at full blast —
+            // a mid-2000s CRAC efficiency.
+            fan_power_ref_w: 0.25 * max_zone_watts,
+            airflow_min: 0.15,
+            airflow_max,
+        }
+    }
+
+    /// Inlet temperature for a zone dissipating `zone_watts` at `airflow`.
+    pub fn inlet_c(&self, zone_watts: f64, airflow: f64) -> f64 {
+        let flow = airflow.max(self.airflow_min);
+        self.supply_c + zone_watts / (self.heat_capacity_flow * flow)
+    }
+
+    /// Fan power at `airflow` (cube law).
+    pub fn fan_power_w(&self, airflow: f64) -> f64 {
+        let a = airflow.clamp(self.airflow_min, self.airflow_max);
+        self.fan_power_ref_w * a * a * a
+    }
+
+    /// The airflow needed to hold the setpoint at `zone_watts`, clamped
+    /// to the actuation range.
+    pub fn airflow_for(&self, zone_watts: f64) -> f64 {
+        let needed =
+            zone_watts / (self.heat_capacity_flow * (self.setpoint_c - self.supply_c));
+        needed.clamp(self.airflow_min, self.airflow_max)
+    }
+}
+
+/// The cooling plant for a set of zones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoolingPlant {
+    configs: Vec<CracConfig>,
+    airflow: Vec<f64>,
+    cum_fan_energy: f64,
+    overheated_ticks: u64,
+    ticks: u64,
+}
+
+impl CoolingPlant {
+    /// Creates a plant with one CRAC per zone, starting at minimum
+    /// airflow.
+    pub fn new(configs: Vec<CracConfig>) -> Self {
+        let airflow = configs.iter().map(|c| c.airflow_min).collect();
+        Self {
+            configs,
+            airflow,
+            cum_fan_energy: 0.0,
+            overheated_ticks: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Number of zones.
+    pub fn num_zones(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Current airflow of zone `z`.
+    pub fn airflow(&self, z: usize) -> f64 {
+        self.airflow[z]
+    }
+
+    /// Sets zone `z`'s airflow (clamped to the CRAC's range) — the
+    /// actuator a cooling controller writes.
+    pub fn set_airflow(&mut self, z: usize, airflow: f64) {
+        let c = &self.configs[z];
+        self.airflow[z] = airflow.clamp(c.airflow_min, c.airflow_max);
+    }
+
+    /// The CRAC configuration of zone `z`.
+    pub fn config(&self, z: usize) -> &CracConfig {
+        &self.configs[z]
+    }
+
+    /// Advances one tick given each zone's IT power. Returns this tick's
+    /// total fan power. Records overheating (any inlet above setpoint
+    /// + 1 °C).
+    pub fn step(&mut self, zone_watts: &[f64]) -> f64 {
+        debug_assert_eq!(zone_watts.len(), self.configs.len());
+        let mut fan_total = 0.0;
+        let mut overheated = false;
+        for (z, &q) in zone_watts.iter().enumerate() {
+            let cfg = &self.configs[z];
+            fan_total += cfg.fan_power_w(self.airflow[z]);
+            if cfg.inlet_c(q, self.airflow[z]) > cfg.setpoint_c + 1.0 {
+                overheated = true;
+            }
+        }
+        if overheated {
+            self.overheated_ticks += 1;
+        }
+        self.cum_fan_energy += fan_total;
+        self.ticks += 1;
+        fan_total
+    }
+
+    /// Total fan energy so far (W·ticks).
+    pub fn fan_energy(&self) -> f64 {
+        self.cum_fan_energy
+    }
+
+    /// Mean fan power over the run, watts.
+    pub fn mean_fan_power(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.cum_fan_energy / self.ticks as f64
+        }
+    }
+
+    /// Fraction of ticks in which some inlet exceeded the setpoint band.
+    pub fn overheated_fraction(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.overheated_ticks as f64 / self.ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CracConfig {
+        CracConfig::for_zone(2_000.0)
+    }
+
+    #[test]
+    fn sizing_holds_setpoint_at_max_load_full_airflow() {
+        let c = cfg();
+        let inlet = c.inlet_c(2_000.0, c.airflow_max);
+        assert!((inlet - c.setpoint_c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_power_follows_cube_law() {
+        let c = cfg();
+        let full = c.fan_power_w(1.0);
+        let half = c.fan_power_w(0.5);
+        assert!((half / full - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn airflow_for_load_is_inverse_of_inlet_model() {
+        let c = cfg();
+        for q in [200.0, 800.0, 1_500.0] {
+            let a = c.airflow_for(q);
+            assert!(c.inlet_c(q, a) <= c.setpoint_c + 1e-9);
+        }
+    }
+
+    #[test]
+    fn balanced_zones_cool_cheaper_than_skewed() {
+        // The cube law: 2 kW split 1+1 costs far less than 2+0.
+        let configs = vec![CracConfig::for_zone(2_000.0); 2];
+        let mut balanced = CoolingPlant::new(configs.clone());
+        let mut skewed = CoolingPlant::new(configs);
+        for _ in 0..100 {
+            for z in 0..2 {
+                let a = balanced.config(z).airflow_for(1_000.0);
+                balanced.set_airflow(z, a);
+            }
+            balanced.step(&[1_000.0, 1_000.0]);
+            let a0 = skewed.config(0).airflow_for(2_000.0);
+            let a1 = skewed.config(1).airflow_for(0.0);
+            skewed.set_airflow(0, a0);
+            skewed.set_airflow(1, a1);
+            skewed.step(&[2_000.0, 0.0]);
+        }
+        assert!(
+            balanced.fan_energy() < 0.5 * skewed.fan_energy(),
+            "balanced {:.0} vs skewed {:.0}",
+            balanced.fan_energy(),
+            skewed.fan_energy()
+        );
+    }
+
+    #[test]
+    fn underprovisioned_airflow_registers_overheating() {
+        let mut plant = CoolingPlant::new(vec![cfg()]);
+        plant.set_airflow(0, 0.2);
+        plant.step(&[1_800.0]);
+        assert!(plant.overheated_fraction() > 0.0);
+    }
+
+    #[test]
+    fn airflow_clamped_to_range() {
+        let mut plant = CoolingPlant::new(vec![cfg()]);
+        plant.set_airflow(0, 5.0);
+        assert_eq!(plant.airflow(0), plant.config(0).airflow_max);
+        plant.set_airflow(0, 0.0);
+        assert_eq!(plant.airflow(0), plant.config(0).airflow_min);
+    }
+}

@@ -1,0 +1,851 @@
+//! The tick-driven simulation engine.
+
+use nps_models::{PState, ServerModel};
+use nps_traces::UtilTrace;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::events::{Event, EventLog};
+use crate::ids::{EnclosureId, ServerId, VmId};
+use crate::placement::Placement;
+use crate::thermal::ThermalState;
+use crate::topology::Topology;
+use crate::Result;
+
+/// Per-VM measurements from the last simulated tick.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VmObservation {
+    /// Work the VM wanted this tick (fraction of a full-speed server).
+    pub demand: f64,
+    /// Work the host granted before migration penalty (capacity share).
+    pub granted: f64,
+    /// Work actually completed (granted × migration penalty).
+    pub delivered: f64,
+}
+
+/// The trace-driven data-center simulator.
+///
+/// Time advances in discrete ticks via [`Simulation::step`]. Between
+/// steps, controllers read sensors (utilization, power at server /
+/// enclosure / group level) and write actuators (P-states, power on/off,
+/// migrations). Within one tick, multiple P-state writes to the same
+/// server are last-writer-wins — exactly the actuator overlap that makes
+/// uncoordinated controllers fight (paper §2.3); the engine counts such
+/// conflicts for diagnosis.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cfg: SimConfig,
+    topo: Topology,
+    models: Vec<ServerModel>,
+    traces: Vec<UtilTrace>,
+    placement: Placement,
+    residents: Vec<Vec<VmId>>,
+    on: Vec<bool>,
+    pstate: Vec<PState>,
+    mig_until: Vec<u64>,
+    boot_until: Vec<u64>,
+    tick: u64,
+    // Last-tick observations.
+    util: Vec<f64>,
+    power: Vec<f64>,
+    vm_obs: Vec<VmObservation>,
+    // Cumulative accumulators (units: value·ticks).
+    cum_power: Vec<f64>,
+    cum_enc_power: Vec<f64>,
+    cum_util: Vec<f64>,
+    cum_granted: Vec<f64>,
+    cum_delivered: Vec<f64>,
+    cum_demand: Vec<f64>,
+    // Actuation-conflict diagnosis.
+    pstate_written_this_tick: Vec<bool>,
+    pstate_conflicts: u64,
+    migrations_started: u64,
+    thermal: Option<ThermalState>,
+    events: EventLog,
+}
+
+impl Simulation {
+    /// Creates a homogeneous simulation: every server uses `model`, every
+    /// trace becomes one VM, initially placed one per server (round-robin
+    /// if there are more VMs than servers), all servers on at P0.
+    pub fn new(
+        topo: Topology,
+        model: ServerModel,
+        traces: Vec<UtilTrace>,
+        cfg: SimConfig,
+    ) -> Result<Self> {
+        let n = topo.num_servers();
+        let placement = Placement::one_per_server(traces.len(), n.max(1));
+        let models = vec![model; n];
+        Self::with_models_and_placement(topo, models, traces, placement, cfg)
+    }
+
+    /// Creates a heterogeneous simulation with one model per server and an
+    /// explicit initial placement.
+    pub fn with_models_and_placement(
+        topo: Topology,
+        models: Vec<ServerModel>,
+        traces: Vec<UtilTrace>,
+        placement: Placement,
+        cfg: SimConfig,
+    ) -> Result<Self> {
+        let n = topo.num_servers();
+        if n == 0 {
+            return Err(SimError::EmptyTopology);
+        }
+        if traces.is_empty() {
+            return Err(SimError::NoWorkloads);
+        }
+        if models.len() != n {
+            return Err(SimError::ModelCountMismatch {
+                models: models.len(),
+                servers: n,
+            });
+        }
+        if placement.num_vms() != traces.len() {
+            return Err(SimError::PlacementSizeMismatch {
+                placement: placement.num_vms(),
+                traces: traces.len(),
+            });
+        }
+        let mut residents = vec![Vec::new(); n];
+        for (vm, host) in placement.iter() {
+            topo.check_server(host)?;
+            residents[host.index()].push(vm);
+        }
+        let thermal = cfg.thermal.map(|tc| ThermalState::new(tc, n));
+        let num_vms = traces.len();
+        let num_enclosures = topo.num_enclosures();
+        Ok(Self {
+            cfg,
+            topo,
+            models,
+            traces,
+            placement,
+            residents,
+            on: vec![true; n],
+            pstate: vec![PState::P0; n],
+            mig_until: vec![0; num_vms],
+            boot_until: vec![0; n],
+            tick: 0,
+            util: vec![0.0; n],
+            power: vec![0.0; n],
+            vm_obs: vec![VmObservation::default(); num_vms],
+            cum_power: vec![0.0; n],
+            cum_enc_power: vec![0.0; num_enclosures],
+            cum_util: vec![0.0; n],
+            cum_granted: vec![0.0; num_vms],
+            cum_delivered: vec![0.0; num_vms],
+            cum_demand: vec![0.0; num_vms],
+            pstate_written_this_tick: vec![false; n],
+            pstate_conflicts: 0,
+            migrations_started: 0,
+            thermal,
+            events: EventLog::new(4_096),
+        })
+    }
+
+    // ----- time ---------------------------------------------------------
+
+    /// Advances the simulation by one tick: samples every trace, shares
+    /// capacity on each server, updates power, thermal state, and the
+    /// cumulative accumulators.
+    pub fn step(&mut self) {
+        let t = self.tick;
+        let alpha_v = self.cfg.alpha_v;
+        // 1. Sample demands.
+        for (j, trace) in self.traces.iter().enumerate() {
+            let d = trace.demand_at(t);
+            self.vm_obs[j].demand = d;
+            self.cum_demand[j] += d;
+        }
+        // 2. Per-server capacity sharing and power.
+        for i in 0..self.topo.num_servers() {
+            let active = self.is_on(ServerId(i));
+            let booting = active && self.boot_until[i] > t;
+            let capacity = if active && !booting {
+                self.models[i].capacity(self.pstate[i])
+            } else {
+                0.0
+            };
+            let load: f64 = self.residents[i]
+                .iter()
+                .map(|&vm| self.vm_obs[vm.index()].demand * (1.0 + alpha_v))
+                .sum();
+            let (util, share) = if !active || capacity <= 0.0 {
+                (0.0, 0.0)
+            } else if load <= 0.0 {
+                (0.0, 1.0)
+            } else {
+                ((load / capacity).min(1.0), (capacity / load).min(1.0))
+            };
+            for &vm in &self.residents[i] {
+                let j = vm.index();
+                let granted = self.vm_obs[j].demand * share;
+                let penalty = if self.mig_until[j] > t {
+                    1.0 - self.cfg.alpha_m
+                } else {
+                    1.0
+                };
+                self.vm_obs[j].granted = granted;
+                self.vm_obs[j].delivered = granted * penalty;
+                self.cum_granted[j] += granted;
+                self.cum_delivered[j] += self.vm_obs[j].delivered;
+            }
+            self.util[i] = util;
+            self.power[i] = if booting {
+                // A booting server burns idle power at its P-state but
+                // does no work yet.
+                self.models[i].idle_power(self.pstate[i].index())
+            } else if active {
+                self.models[i].power(self.pstate[i].index(), util)
+            } else {
+                self.cfg.off_power_watts
+            };
+            self.cum_power[i] += self.power[i];
+            self.cum_util[i] += util;
+        }
+        // 3. Enclosure power (members + shared-infrastructure base).
+        for e in 0..self.topo.num_enclosures() {
+            let members: f64 = self
+                .topo
+                .enclosure_servers(EnclosureId(e))
+                .iter()
+                .map(|&s| self.power[s.index()])
+                .sum();
+            self.cum_enc_power[e] += members + self.cfg.enclosure_base_watts;
+        }
+        // 4. Thermal.
+        if let Some(thermal) = &mut self.thermal {
+            for failed in thermal.step(&self.power) {
+                self.events.record(
+                    t,
+                    Event::ThermalFailover {
+                        server: ServerId(failed),
+                    },
+                );
+            }
+        }
+        // 5. Bookkeeping.
+        self.pstate_written_this_tick.iter_mut().for_each(|w| *w = false);
+        self.tick += 1;
+    }
+
+    /// Runs `ticks` steps back to back (no controller interaction).
+    pub fn run(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+
+    /// The current tick (number of completed steps).
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    // ----- structure ------------------------------------------------------
+
+    /// The simulated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The model of server `s`.
+    pub fn model(&self, s: ServerId) -> &ServerModel {
+        &self.models[s.index()]
+    }
+
+    /// Number of VMs (workload traces).
+    pub fn num_vms(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// The configuration the simulation was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The current placement (`X` matrix).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// VMs resident on `s`.
+    pub fn residents(&self, s: ServerId) -> &[VmId] {
+        &self.residents[s.index()]
+    }
+
+    // ----- sensors --------------------------------------------------------
+
+    /// Last-tick CPU utilization of `s` (fraction of *current* capacity).
+    pub fn server_utilization(&self, s: ServerId) -> f64 {
+        self.util[s.index()]
+    }
+
+    /// Last-tick power draw of `s`, watts.
+    pub fn server_power(&self, s: ServerId) -> f64 {
+        self.power[s.index()]
+    }
+
+    /// Last-tick power draw of enclosure `e` (members plus the shared
+    /// enclosure base power), watts.
+    pub fn enclosure_power(&self, e: EnclosureId) -> f64 {
+        self.topo
+            .enclosure_servers(e)
+            .iter()
+            .map(|&s| self.power[s.index()])
+            .sum::<f64>()
+            + self.cfg.enclosure_base_watts
+    }
+
+    /// Last-tick power draw of the whole group (servers plus every
+    /// enclosure's base power), watts.
+    pub fn group_power(&self) -> f64 {
+        self.power.iter().sum::<f64>()
+            + self.cfg.enclosure_base_watts * self.topo.num_enclosures() as f64
+    }
+
+    /// Cumulative enclosure power (W·ticks since construction), including
+    /// the enclosure base power.
+    pub fn cumulative_enclosure_power(&self, e: EnclosureId) -> f64 {
+        self.cum_enc_power[e.index()]
+    }
+
+    /// Whether `s` is still in its boot window (powered, burning idle
+    /// power, not yet delivering work).
+    pub fn is_booting(&self, s: ServerId) -> bool {
+        self.is_on(s) && self.boot_until[s.index()] > self.tick
+    }
+
+    /// Cumulative power of `s` (W·ticks since construction). Diff two
+    /// readings to average over a controller epoch.
+    pub fn cumulative_power(&self, s: ServerId) -> f64 {
+        self.cum_power[s.index()]
+    }
+
+    /// Cumulative utilization of `s` (util·ticks since construction).
+    pub fn cumulative_utilization(&self, s: ServerId) -> f64 {
+        self.cum_util[s.index()]
+    }
+
+    /// Total energy consumed by the group so far (W·ticks), including
+    /// enclosure base power.
+    pub fn total_energy(&self) -> f64 {
+        self.cum_power.iter().sum::<f64>()
+            + self.cfg.enclosure_base_watts
+                * self.topo.num_enclosures() as f64
+                * self.tick as f64
+    }
+
+    /// Last-tick observation for `vm`.
+    pub fn vm(&self, vm: VmId) -> VmObservation {
+        self.vm_obs[vm.index()]
+    }
+
+    /// Cumulative work demanded by `vm` (capacity·ticks).
+    pub fn cumulative_demand(&self, vm: VmId) -> f64 {
+        self.cum_demand[vm.index()]
+    }
+
+    /// Cumulative work granted to `vm` before migration penalty.
+    pub fn cumulative_granted(&self, vm: VmId) -> f64 {
+        self.cum_granted[vm.index()]
+    }
+
+    /// Cumulative work delivered for `vm` (after migration penalty).
+    pub fn cumulative_delivered(&self, vm: VmId) -> f64 {
+        self.cum_delivered[vm.index()]
+    }
+
+    /// *Real* utilization estimate for `vm`: the share of a full-speed
+    /// server it consumed last tick. This is what the coordinated VMC
+    /// uses ("consider the real utilization instead of the apparent
+    /// utilization", paper §3.1).
+    pub fn real_vm_utilization(&self, vm: VmId) -> f64 {
+        self.vm_obs[vm.index()].granted
+    }
+
+    /// *Apparent* utilization for `vm`: its share of the host's *current*
+    /// (possibly throttled) capacity — what a naive VMC reads from the
+    /// guest OS. On a server at a deep P-state this overstates the VM
+    /// relative to full speed.
+    pub fn apparent_vm_utilization(&self, vm: VmId) -> f64 {
+        let host = self.placement.host_of(vm);
+        let cap = if self.is_on(host) {
+            self.models[host.index()].capacity(self.pstate[host.index()])
+        } else {
+            0.0
+        };
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (self.vm_obs[vm.index()].granted / cap).min(1.0)
+        }
+    }
+
+    /// Number of same-tick conflicting P-state writes observed so far —
+    /// the "power struggle" signature of uncoordinated deployments.
+    pub fn pstate_conflicts(&self) -> u64 {
+        self.pstate_conflicts
+    }
+
+    /// Number of migrations started so far.
+    pub fn migrations_started(&self) -> u64 {
+        self.migrations_started
+    }
+
+    // ----- actuators ------------------------------------------------------
+
+    /// Current P-state of `s`.
+    pub fn pstate(&self, s: ServerId) -> PState {
+        self.pstate[s.index()]
+    }
+
+    /// Writes the P-state of `s`. Multiple writes within the same tick are
+    /// last-writer-wins; differing repeat writes are counted as conflicts.
+    pub fn set_pstate(&mut self, s: ServerId, p: PState) {
+        let i = s.index();
+        let p = PState(p.index().min(self.models[i].num_pstates() - 1));
+        if self.pstate_written_this_tick[i] && self.pstate[i] != p {
+            self.pstate_conflicts += 1;
+            self.events.record(self.tick, Event::PStateConflict { server: s });
+        }
+        self.pstate_written_this_tick[i] = true;
+        self.pstate[i] = p;
+    }
+
+    /// Whether `s` is powered on and has not tripped thermal failover.
+    pub fn is_on(&self, s: ServerId) -> bool {
+        let i = s.index();
+        self.on[i]
+            && self
+                .thermal
+                .as_ref()
+                .map(|t| !t.is_failed(i))
+                .unwrap_or(true)
+    }
+
+    /// Powers `s` off. Fails if VMs are still placed on it — the VMC must
+    /// consolidate away first.
+    pub fn power_off(&mut self, s: ServerId) -> Result<()> {
+        self.topo.check_server(s)?;
+        let vms = self.residents[s.index()].len();
+        if vms > 0 {
+            return Err(SimError::ServerNotEmpty { server: s, vms });
+        }
+        if self.on[s.index()] {
+            self.events.record(self.tick, Event::PoweredOff { server: s });
+        }
+        self.on[s.index()] = false;
+        Ok(())
+    }
+
+    /// Powers `s` on at P0. With a configured boot delay the server burns
+    /// idle power for `boot_delay_ticks` before delivering work.
+    pub fn power_on(&mut self, s: ServerId) -> Result<()> {
+        self.topo.check_server(s)?;
+        if !self.on[s.index()] {
+            self.boot_until[s.index()] = self.tick + self.cfg.boot_delay_ticks;
+            self.events.record(self.tick, Event::PoweredOn { server: s });
+        }
+        self.on[s.index()] = true;
+        self.pstate[s.index()] = PState::P0;
+        Ok(())
+    }
+
+    /// Migrates `vm` to server `to`, starting the `α_M` penalty window.
+    /// The destination must be powered on.
+    pub fn migrate(&mut self, vm: VmId, to: ServerId) -> Result<()> {
+        if vm.index() >= self.num_vms() {
+            return Err(SimError::UnknownVm(vm));
+        }
+        self.topo.check_server(to)?;
+        if !self.is_on(to) {
+            return Err(SimError::ServerOff(to));
+        }
+        let from = self.placement.host_of(vm);
+        if from == to {
+            return Ok(());
+        }
+        self.residents[from.index()].retain(|&v| v != vm);
+        self.residents[to.index()].push(vm);
+        self.placement.assign(vm, to);
+        self.mig_until[vm.index()] = self.tick + self.cfg.migration_ticks;
+        self.migrations_started += 1;
+        self.events
+            .record(self.tick, Event::MigrationStarted { vm, from, to });
+        Ok(())
+    }
+
+    /// The structured event log (migrations, power transitions, races,
+    /// failovers) — the audit trail a production deployment would keep.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    // ----- thermal --------------------------------------------------------
+
+    /// The thermal state, if thermal tracking is enabled.
+    pub fn thermal(&self) -> Option<&ThermalState> {
+        self.thermal.as_ref()
+    }
+
+    /// Temperature of `s` in °C (ambient if thermal tracking is off).
+    pub fn temperature_c(&self, s: ServerId) -> f64 {
+        self.thermal
+            .as_ref()
+            .map(|t| t.temperature_c(s.index()))
+            .unwrap_or(25.0)
+    }
+
+    /// Total thermal failover events so far.
+    pub fn failover_events(&self) -> usize {
+        self.thermal.as_ref().map(|t| t.failover_events()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::ThermalConfig;
+
+    fn traces(demands: &[f64]) -> Vec<UtilTrace> {
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| UtilTrace::constant(format!("w{i}"), d, 10).unwrap())
+            .collect()
+    }
+
+    fn small_sim(demands: &[f64]) -> Simulation {
+        let topo = Topology::builder().standalone(demands.len()).build();
+        Simulation::new(topo, ServerModel::blade_a(), traces(demands), SimConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let topo = Topology::builder().standalone(2).build();
+        assert!(matches!(
+            Simulation::new(topo.clone(), ServerModel::blade_a(), vec![], SimConfig::default()),
+            Err(SimError::NoWorkloads)
+        ));
+        let bad_models = Simulation::with_models_and_placement(
+            topo.clone(),
+            vec![ServerModel::blade_a()],
+            traces(&[0.5, 0.5]),
+            Placement::one_per_server(2, 2),
+            SimConfig::default(),
+        );
+        assert!(matches!(bad_models, Err(SimError::ModelCountMismatch { .. })));
+        let bad_placement = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a(); 2],
+            traces(&[0.5, 0.5]),
+            Placement::one_per_server(3, 2),
+            SimConfig::default(),
+        );
+        assert!(matches!(
+            bad_placement,
+            Err(SimError::PlacementSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn utilization_includes_virtualization_overhead() {
+        let mut sim = small_sim(&[0.5]);
+        sim.step();
+        // At P0 capacity 1.0: util = 0.5 · 1.1 = 0.55.
+        assert!((sim.server_utilization(ServerId(0)) - 0.55).abs() < 1e-12);
+        assert!((sim.vm(VmId(0)).delivered - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throttled_server_raises_utilization() {
+        let mut sim = small_sim(&[0.4]);
+        sim.set_pstate(ServerId(0), PState(4)); // capacity 0.533
+        sim.step();
+        // util = 0.4·1.1 / 0.533 ≈ 0.8255
+        assert!((sim.server_utilization(ServerId(0)) - 0.44 / 0.533).abs() < 1e-9);
+        // Demand fits: full delivery.
+        assert!((sim.vm(VmId(0)).delivered - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_shares_capacity_proportionally() {
+        // Two VMs (0.6 and 0.3 demand) on one server at P4 (cap 0.533).
+        let topo = Topology::builder().standalone(1).build();
+        let mut sim = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a()],
+            traces(&[0.6, 0.3]),
+            Placement::from_hosts(vec![ServerId(0), ServerId(0)]),
+            SimConfig::default(),
+        )
+        .unwrap();
+        sim.set_pstate(ServerId(0), PState(4));
+        sim.step();
+        let load = (0.6 + 0.3) * 1.1;
+        let share = 0.533 / load;
+        assert!((sim.vm(VmId(0)).delivered - 0.6 * share).abs() < 1e-9);
+        assert!((sim.vm(VmId(1)).delivered - 0.3 * share).abs() < 1e-9);
+        assert_eq!(sim.server_utilization(ServerId(0)), 1.0);
+    }
+
+    #[test]
+    fn power_tracks_model() {
+        let mut sim = small_sim(&[0.5]);
+        sim.step();
+        let expected = ServerModel::blade_a().power(0, 0.55);
+        assert!((sim.server_power(ServerId(0)) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_server_delivers_nothing_and_draws_off_power() {
+        let topo = Topology::builder().standalone(2).build();
+        let mut sim = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a(); 2],
+            traces(&[0.5]),
+            Placement::from_hosts(vec![ServerId(0)]),
+            SimConfig::default(),
+        )
+        .unwrap();
+        sim.power_off(ServerId(1)).unwrap();
+        sim.step();
+        assert_eq!(sim.server_power(ServerId(1)), 0.0);
+        assert!(sim.server_power(ServerId(0)) > 0.0);
+    }
+
+    #[test]
+    fn power_off_refuses_populated_server() {
+        let mut sim = small_sim(&[0.5]);
+        assert!(matches!(
+            sim.power_off(ServerId(0)),
+            Err(SimError::ServerNotEmpty { vms: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn migration_moves_vm_and_applies_penalty() {
+        let topo = Topology::builder().standalone(2).build();
+        let cfg = SimConfig {
+            migration_ticks: 3,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a(); 2],
+            traces(&[0.5]),
+            Placement::from_hosts(vec![ServerId(0)]),
+            cfg,
+        )
+        .unwrap();
+        sim.migrate(VmId(0), ServerId(1)).unwrap();
+        assert_eq!(sim.placement().host_of(VmId(0)), ServerId(1));
+        // Penalty window: 3 ticks at 10% loss.
+        sim.step();
+        assert!((sim.vm(VmId(0)).delivered - 0.45).abs() < 1e-12);
+        sim.step();
+        sim.step();
+        assert!((sim.vm(VmId(0)).delivered - 0.45).abs() < 1e-12);
+        sim.step();
+        assert!((sim.vm(VmId(0)).delivered - 0.5).abs() < 1e-12);
+        assert_eq!(sim.migrations_started(), 1);
+    }
+
+    #[test]
+    fn migrate_to_off_server_rejected() {
+        let topo = Topology::builder().standalone(2).build();
+        let mut sim = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a(); 2],
+            traces(&[0.5]),
+            Placement::from_hosts(vec![ServerId(0)]),
+            SimConfig::default(),
+        )
+        .unwrap();
+        sim.power_off(ServerId(1)).unwrap();
+        assert!(matches!(
+            sim.migrate(VmId(0), ServerId(1)),
+            Err(SimError::ServerOff(_))
+        ));
+    }
+
+    #[test]
+    fn same_tick_pstate_conflicts_are_counted() {
+        let mut sim = small_sim(&[0.5]);
+        sim.set_pstate(ServerId(0), PState(2)); // EC writes
+        sim.set_pstate(ServerId(0), PState(4)); // SM overwrites: conflict
+        assert_eq!(sim.pstate_conflicts(), 1);
+        sim.set_pstate(ServerId(0), PState(4)); // same value: no conflict
+        assert_eq!(sim.pstate_conflicts(), 1);
+        sim.step();
+        sim.set_pstate(ServerId(0), PState(0)); // new tick: no conflict
+        assert_eq!(sim.pstate_conflicts(), 1);
+        assert_eq!(sim.pstate(ServerId(0)), PState(0));
+    }
+
+    #[test]
+    fn apparent_vs_real_utilization() {
+        let mut sim = small_sim(&[0.4]);
+        sim.set_pstate(ServerId(0), PState(4)); // capacity 0.533
+        sim.step();
+        let real = sim.real_vm_utilization(VmId(0));
+        let apparent = sim.apparent_vm_utilization(VmId(0));
+        assert!((real - 0.4).abs() < 1e-12);
+        assert!((apparent - 0.4 / 0.533).abs() < 1e-9);
+        assert!(apparent > real, "throttled host inflates apparent util");
+    }
+
+    #[test]
+    fn cumulative_accumulators_sum_per_tick_values() {
+        let mut sim = small_sim(&[0.5]);
+        let mut total_power = 0.0;
+        for _ in 0..5 {
+            sim.step();
+            total_power += sim.server_power(ServerId(0));
+        }
+        assert!((sim.cumulative_power(ServerId(0)) - total_power).abs() < 1e-9);
+        assert!((sim.total_energy() - total_power).abs() < 1e-9);
+        assert!((sim.cumulative_demand(VmId(0)) - 2.5).abs() < 1e-12);
+        assert!((sim.cumulative_delivered(VmId(0)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enclosure_and_group_power_aggregate() {
+        let topo = Topology::builder().enclosure(2).standalone(1).build();
+        let mut sim = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a(); 3],
+            traces(&[0.2, 0.2, 0.2]),
+            Placement::one_per_server(3, 3),
+            SimConfig::default(),
+        )
+        .unwrap();
+        sim.step();
+        let enc = sim.enclosure_power(EnclosureId(0));
+        let grp = sim.group_power();
+        let s: f64 = (0..3).map(|i| sim.server_power(ServerId(i))).sum();
+        assert!((grp - s).abs() < 1e-9);
+        assert!((enc - (sim.server_power(ServerId(0)) + sim.server_power(ServerId(1)))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_overload_trips_thermal_failover_and_kills_delivery() {
+        let model = ServerModel::blade_a();
+        let cap = 0.9 * model.max_power();
+        let cfg = SimConfig::default()
+            .with_thermal(ThermalConfig::for_budget(model.max_power(), cap));
+        let topo = Topology::builder().standalone(1).build();
+        let traces = vec![UtilTrace::constant("hot", 1.0, 10).unwrap()];
+        let mut sim = Simulation::new(topo, model, traces, cfg).unwrap();
+        for _ in 0..3_000 {
+            sim.step();
+        }
+        assert_eq!(sim.failover_events(), 1);
+        assert!(!sim.is_on(ServerId(0)));
+        sim.step();
+        assert_eq!(sim.vm(VmId(0)).delivered, 0.0);
+        assert_eq!(sim.server_power(ServerId(0)), 0.0);
+    }
+
+    #[test]
+    fn pstate_out_of_range_clamps_to_deepest() {
+        let mut sim = small_sim(&[0.1]);
+        sim.set_pstate(ServerId(0), PState(99));
+        assert_eq!(sim.pstate(ServerId(0)), PState(4));
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = small_sim(&[0.3, 0.6]);
+        let mut b = a.clone();
+        for _ in 0..10 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.total_energy(), b.total_energy());
+        assert_eq!(a.vm(VmId(1)), b.vm(VmId(1)));
+    }
+}
+
+#[cfg(test)]
+mod boot_and_enclosure_tests {
+    use super::*;
+    use nps_traces::UtilTrace;
+
+    #[test]
+    fn booting_server_burns_idle_power_but_delivers_nothing() {
+        let topo = Topology::builder().standalone(2).build();
+        let cfg = SimConfig::default().with_boot_delay(3);
+        let mut sim = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a(); 2],
+            vec![UtilTrace::constant("w", 0.5, 10).unwrap()],
+            Placement::from_hosts(vec![ServerId(0)]),
+            cfg,
+        )
+        .unwrap();
+        sim.power_off(ServerId(1)).unwrap();
+        sim.step();
+        sim.power_on(ServerId(1)).unwrap();
+        assert!(sim.is_booting(ServerId(1)));
+        sim.migrate(VmId(0), ServerId(1)).unwrap();
+        // Boot window: 3 ticks of idle burn, zero delivery.
+        for _ in 0..3 {
+            sim.step();
+            assert_eq!(sim.vm(VmId(0)).delivered, 0.0);
+            assert_eq!(
+                sim.server_power(ServerId(1)),
+                ServerModel::blade_a().idle_power(0)
+            );
+            assert_eq!(sim.server_utilization(ServerId(1)), 0.0);
+        }
+        sim.step();
+        assert!(!sim.is_booting(ServerId(1)));
+        assert!(sim.vm(VmId(0)).delivered > 0.0);
+    }
+
+    #[test]
+    fn zero_boot_delay_is_instant() {
+        let topo = Topology::builder().standalone(1).build();
+        let mut sim = Simulation::new(
+            topo,
+            ServerModel::blade_a(),
+            vec![UtilTrace::constant("w", 0.4, 10).unwrap()],
+            SimConfig::default(),
+        )
+        .unwrap();
+        assert!(!sim.is_booting(ServerId(0)));
+        sim.step();
+        assert!(sim.vm(VmId(0)).delivered > 0.0);
+    }
+
+    #[test]
+    fn enclosure_base_power_counts_at_every_level() {
+        let topo = Topology::builder().enclosure(2).standalone(1).build();
+        let cfg = SimConfig::default().with_enclosure_base(50.0);
+        let mut sim = Simulation::with_models_and_placement(
+            topo,
+            vec![ServerModel::blade_a(); 3],
+            vec![UtilTrace::constant("w", 0.2, 10).unwrap(); 3],
+            Placement::one_per_server(3, 3),
+            cfg,
+        )
+        .unwrap();
+        sim.step();
+        let members = sim.server_power(ServerId(0)) + sim.server_power(ServerId(1));
+        assert!((sim.enclosure_power(EnclosureId(0)) - members - 50.0).abs() < 1e-9);
+        let servers: f64 = (0..3).map(|i| sim.server_power(ServerId(i))).sum();
+        assert!((sim.group_power() - servers - 50.0).abs() < 1e-9);
+        sim.step();
+        assert!(
+            (sim.cumulative_enclosure_power(EnclosureId(0))
+                - 2.0 * sim.enclosure_power(EnclosureId(0)))
+            .abs()
+                < 1e-9
+        );
+        assert!((sim.total_energy() - 2.0 * sim.group_power()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Structured event log for simulation runs.
+//!
+//! Production power-management stacks keep an audit trail of every
+//! actuation (who throttled what, when, and why); this module provides
+//! the simulator's equivalent. The log is bounded (a ring of the most
+//! recent events) so long runs stay memory-safe, with total counters that
+//! never drop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ServerId, VmId};
+
+/// One logged simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Event {
+    /// A VM migration started.
+    MigrationStarted {
+        /// The moved VM.
+        vm: VmId,
+        /// Source server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+    },
+    /// A server was powered on.
+    PoweredOn {
+        /// The server.
+        server: ServerId,
+    },
+    /// A server was powered off.
+    PoweredOff {
+        /// The server.
+        server: ServerId,
+    },
+    /// Two controllers wrote different P-states to one server within the
+    /// same tick (the "power struggle").
+    PStateConflict {
+        /// The contended server.
+        server: ServerId,
+    },
+    /// A server tripped thermal failover.
+    ThermalFailover {
+        /// The failed server.
+        server: ServerId,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoggedEvent {
+    /// Tick at which the event occurred.
+    pub tick: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Bounded ring log of recent events plus lifetime counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    capacity: usize,
+    ring: Vec<LoggedEvent>,
+    next: usize,
+    total: u64,
+}
+
+impl EventLog {
+    /// Creates a log retaining up to `capacity` recent events
+    /// (capacity 0 disables retention but keeps counting).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ring: Vec::with_capacity(capacity.min(1_024)),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records an event at `tick`.
+    pub fn record(&mut self, tick: u64, event: Event) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        let entry = LoggedEvent { tick, event };
+        if self.ring.len() < self.capacity {
+            self.ring.push(entry);
+        } else {
+            self.ring[self.next] = entry;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<LoggedEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        if self.ring.len() < self.capacity {
+            out.extend_from_slice(&self.ring);
+        } else {
+            out.extend_from_slice(&self.ring[self.next..]);
+            out.extend_from_slice(&self.ring[..self.next]);
+        }
+        out
+    }
+
+    /// The retained events matching a predicate, oldest first.
+    pub fn filter(&self, mut pred: impl FnMut(&LoggedEvent) -> bool) -> Vec<LoggedEvent> {
+        self.recent().into_iter().filter(|e| pred(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(server: usize) -> Event {
+        Event::PoweredOn {
+            server: ServerId(server),
+        }
+    }
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut log = EventLog::new(3);
+        log.record(1, ev(0));
+        log.record(2, ev(1));
+        let r = log.recent();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].tick, 1);
+        assert_eq!(r[1].tick, 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_counting() {
+        let mut log = EventLog::new(2);
+        for t in 0..5 {
+            log.record(t, ev(t as usize));
+        }
+        assert_eq!(log.total_events(), 5);
+        let r = log.recent();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].tick, 3);
+        assert_eq!(r[1].tick, 4);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let mut log = EventLog::new(0);
+        log.record(1, ev(0));
+        assert_eq!(log.total_events(), 1);
+        assert!(log.recent().is_empty());
+    }
+
+    #[test]
+    fn filter_selects_event_kinds() {
+        let mut log = EventLog::new(10);
+        log.record(1, Event::PoweredOff { server: ServerId(0) });
+        log.record(
+            2,
+            Event::MigrationStarted {
+                vm: VmId(3),
+                from: ServerId(0),
+                to: ServerId(1),
+            },
+        );
+        log.record(3, Event::ThermalFailover { server: ServerId(2) });
+        let migrations = log.filter(|e| matches!(e.event, Event::MigrationStarted { .. }));
+        assert_eq!(migrations.len(), 1);
+        assert_eq!(migrations[0].tick, 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut log = EventLog::new(4);
+        log.record(7, Event::PStateConflict { server: ServerId(1) });
+        let json = serde_json::to_string(&log).unwrap();
+        let back: EventLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(log, back);
+    }
+}

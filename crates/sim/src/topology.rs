@@ -1,0 +1,215 @@
+//! Data-center topology: one *group* (rack or data center) containing
+//! blade *enclosures* and *standalone servers* — the paper's `M` matrix
+//! mapping servers to enclosures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::ids::{EnclosureId, ServerId};
+use crate::Result;
+
+/// The physical organization of the simulated group.
+///
+/// Servers are numbered densely: enclosure blades first (enclosure 0's
+/// blades, then enclosure 1's, …), followed by standalone servers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// `enclosures[e]` = list of servers housed in enclosure `e`.
+    enclosure_members: Vec<Vec<ServerId>>,
+    /// Servers not in any enclosure (individually racked).
+    standalone: Vec<ServerId>,
+    /// For each server, its enclosure (if any).
+    server_enclosure: Vec<Option<EnclosureId>>,
+}
+
+impl Topology {
+    /// The paper's 180-server cluster: *"six 20-blade enclosures and sixty
+    /// individual servers"* (§4.3).
+    pub fn paper_180() -> Self {
+        Self::builder().enclosures(6, 20).standalone(60).build()
+    }
+
+    /// The paper's 60-server cluster: *"two 20-blade enclosures and twenty
+    /// individual servers"*.
+    pub fn paper_60() -> Self {
+        Self::builder().enclosures(2, 20).standalone(20).build()
+    }
+
+    /// Starts building a custom topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Total number of servers in the group.
+    pub fn num_servers(&self) -> usize {
+        self.server_enclosure.len()
+    }
+
+    /// Number of blade enclosures.
+    pub fn num_enclosures(&self) -> usize {
+        self.enclosure_members.len()
+    }
+
+    /// All servers, in dense id order.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.num_servers()).map(ServerId)
+    }
+
+    /// The servers housed in enclosure `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn enclosure_servers(&self, e: EnclosureId) -> &[ServerId] {
+        &self.enclosure_members[e.0]
+    }
+
+    /// Standalone (non-enclosure) servers.
+    pub fn standalone_servers(&self) -> &[ServerId] {
+        &self.standalone
+    }
+
+    /// The enclosure housing `s`, or `None` for standalone servers.
+    pub fn enclosure_of(&self, s: ServerId) -> Option<EnclosureId> {
+        self.server_enclosure.get(s.0).copied().flatten()
+    }
+
+    /// Validates a server id against this topology.
+    pub fn check_server(&self, s: ServerId) -> Result<()> {
+        if s.0 < self.num_servers() {
+            Ok(())
+        } else {
+            Err(SimError::UnknownServer(s))
+        }
+    }
+}
+
+/// Builder for [`Topology`]. Enclosures added first get the low server
+/// ids; standalone servers are appended last.
+#[derive(Debug, Default, Clone)]
+pub struct TopologyBuilder {
+    enclosure_sizes: Vec<usize>,
+    standalone: usize,
+}
+
+impl TopologyBuilder {
+    /// Adds `count` enclosures of `blades` servers each.
+    pub fn enclosures(mut self, count: usize, blades: usize) -> Self {
+        self.enclosure_sizes.extend(std::iter::repeat(blades).take(count));
+        self
+    }
+
+    /// Adds one enclosure with `blades` servers.
+    pub fn enclosure(mut self, blades: usize) -> Self {
+        self.enclosure_sizes.push(blades);
+        self
+    }
+
+    /// Adds `count` standalone servers.
+    pub fn standalone(mut self, count: usize) -> Self {
+        self.standalone += count;
+        self
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology would contain zero servers; use
+    /// [`TopologyBuilder::try_build`] to handle that case as an error.
+    pub fn build(self) -> Topology {
+        self.try_build().expect("topology must contain servers")
+    }
+
+    /// Builds the topology, returning an error for an empty one.
+    pub fn try_build(self) -> Result<Topology> {
+        let total: usize = self.enclosure_sizes.iter().sum::<usize>() + self.standalone;
+        if total == 0 {
+            return Err(SimError::EmptyTopology);
+        }
+        let mut enclosure_members = Vec::with_capacity(self.enclosure_sizes.len());
+        let mut server_enclosure = Vec::with_capacity(total);
+        let mut next = 0usize;
+        for (e, &size) in self.enclosure_sizes.iter().enumerate() {
+            let members: Vec<ServerId> = (next..next + size).map(ServerId).collect();
+            server_enclosure.extend(std::iter::repeat(Some(EnclosureId(e))).take(size));
+            next += size;
+            enclosure_members.push(members);
+        }
+        let standalone: Vec<ServerId> = (next..next + self.standalone).map(ServerId).collect();
+        server_enclosure.extend(std::iter::repeat(None).take(self.standalone));
+        Ok(Topology {
+            enclosure_members,
+            standalone,
+            server_enclosure,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_180_shape() {
+        let t = Topology::paper_180();
+        assert_eq!(t.num_servers(), 180);
+        assert_eq!(t.num_enclosures(), 6);
+        assert_eq!(t.standalone_servers().len(), 60);
+        assert_eq!(t.enclosure_servers(EnclosureId(0)).len(), 20);
+    }
+
+    #[test]
+    fn paper_60_shape() {
+        let t = Topology::paper_60();
+        assert_eq!(t.num_servers(), 60);
+        assert_eq!(t.num_enclosures(), 2);
+        assert_eq!(t.standalone_servers().len(), 20);
+    }
+
+    #[test]
+    fn server_ids_are_dense_and_enclosures_first() {
+        let t = Topology::builder().enclosure(2).enclosure(3).standalone(1).build();
+        assert_eq!(t.num_servers(), 6);
+        assert_eq!(t.enclosure_of(ServerId(0)), Some(EnclosureId(0)));
+        assert_eq!(t.enclosure_of(ServerId(1)), Some(EnclosureId(0)));
+        assert_eq!(t.enclosure_of(ServerId(2)), Some(EnclosureId(1)));
+        assert_eq!(t.enclosure_of(ServerId(4)), Some(EnclosureId(1)));
+        assert_eq!(t.enclosure_of(ServerId(5)), None);
+        assert_eq!(t.standalone_servers(), &[ServerId(5)]);
+    }
+
+    #[test]
+    fn membership_lists_match_reverse_map() {
+        let t = Topology::paper_180();
+        for e in 0..t.num_enclosures() {
+            for &s in t.enclosure_servers(EnclosureId(e)) {
+                assert_eq!(t.enclosure_of(s), Some(EnclosureId(e)));
+            }
+        }
+        for &s in t.standalone_servers() {
+            assert_eq!(t.enclosure_of(s), None);
+        }
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert!(matches!(
+            Topology::builder().try_build(),
+            Err(SimError::EmptyTopology)
+        ));
+    }
+
+    #[test]
+    fn check_server_validates_range() {
+        let t = Topology::paper_60();
+        assert!(t.check_server(ServerId(59)).is_ok());
+        assert!(t.check_server(ServerId(60)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_enclosure_lookup_is_none() {
+        let t = Topology::paper_60();
+        assert_eq!(t.enclosure_of(ServerId(999)), None);
+    }
+}

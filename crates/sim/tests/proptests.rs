@@ -1,0 +1,134 @@
+//! Property-based invariants of the simulation engine under random
+//! workloads, random actuation, and random migrations.
+
+use nps_models::{PState, ServerModel};
+use nps_sim::{Placement, SimConfig, Simulation, ServerId, Topology, VmId};
+use nps_traces::UtilTrace;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Step,
+    SetPstate(usize, usize),
+    Migrate(usize, usize),
+    PowerCycle(usize),
+}
+
+fn arb_action(servers: usize, vms: usize) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => Just(Action::Step),
+        2 => (0..servers, 0..8usize).prop_map(|(s, p)| Action::SetPstate(s, p)),
+        2 => (0..vms, 0..servers).prop_map(|(v, s)| Action::Migrate(v, s)),
+        1 => (0..servers).prop_map(Action::PowerCycle),
+    ]
+}
+
+fn build_sim(demands: &[f64], servers: usize) -> Simulation {
+    let topo = Topology::builder().enclosure(servers / 2).standalone(servers - servers / 2).build();
+    let traces: Vec<UtilTrace> = demands
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| UtilTrace::constant(format!("w{i}"), d, 7).unwrap())
+        .collect();
+    Simulation::with_models_and_placement(
+        topo,
+        vec![ServerModel::blade_a(); servers],
+        traces,
+        Placement::one_per_server(demands.len(), servers),
+        SimConfig::default(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn engine_invariants_hold_under_random_actuation(
+        demands in proptest::collection::vec(0.0f64..1.0, 1..8),
+        actions in proptest::collection::vec(arb_action(4, 8), 0..60),
+    ) {
+        let servers = 4;
+        let mut sim = build_sim(&demands, servers);
+        let vms = demands.len();
+        for a in actions {
+            match a {
+                Action::Step => sim.step(),
+                Action::SetPstate(s, p) if s < servers => {
+                    sim.set_pstate(ServerId(s), PState(p));
+                    // Clamped into the table.
+                    prop_assert!(sim.pstate(ServerId(s)).index() < 5);
+                }
+                Action::Migrate(v, s) if v < vms && s < servers => {
+                    // Either succeeds or fails cleanly (off target).
+                    let was = sim.placement().host_of(VmId(v));
+                    match sim.migrate(VmId(v), ServerId(s)) {
+                        Ok(()) => prop_assert_eq!(sim.placement().host_of(VmId(v)), ServerId(s)),
+                        Err(_) => prop_assert_eq!(sim.placement().host_of(VmId(v)), was),
+                    }
+                }
+                Action::PowerCycle(s) if s < servers => {
+                    let sid = ServerId(s);
+                    if sim.is_on(sid) {
+                        // Off only succeeds when empty.
+                        let occupied = !sim.residents(sid).is_empty();
+                        let res = sim.power_off(sid);
+                        prop_assert_eq!(res.is_err(), occupied);
+                    } else {
+                        sim.power_on(sid).unwrap();
+                    }
+                }
+                _ => {}
+            }
+            // Invariants after every action:
+            // 1. residents() partition exactly matches placement().
+            let mut seen = vec![false; vms];
+            for s in 0..servers {
+                for &vm in sim.residents(ServerId(s)) {
+                    prop_assert_eq!(sim.placement().host_of(vm), ServerId(s));
+                    prop_assert!(!seen[vm.index()], "vm listed twice");
+                    seen[vm.index()] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x), "vm missing from residents");
+            // 2. Physical ranges.
+            for s in 0..servers {
+                let sid = ServerId(s);
+                prop_assert!(sim.server_power(sid) >= 0.0);
+                let u = sim.server_utilization(sid);
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+            for v in 0..vms {
+                let o = sim.vm(VmId(v));
+                prop_assert!(o.delivered <= o.granted + 1e-12);
+                prop_assert!(o.granted <= o.demand + 1e-12);
+                prop_assert!(o.delivered >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_sum_of_tick_powers(
+        demands in proptest::collection::vec(0.0f64..1.0, 1..6),
+        ticks in 1u64..40,
+    ) {
+        let mut sim = build_sim(&demands, 3);
+        let mut total = 0.0;
+        for _ in 0..ticks {
+            sim.step();
+            total += sim.group_power();
+        }
+        prop_assert!((sim.total_energy() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delivered_equals_demand_when_unsaturated(
+        demands in proptest::collection::vec(0.0f64..0.8, 1..4),
+    ) {
+        // One VM per server at P0: load = d·1.1 ≤ 0.88 < 1, never saturated.
+        let servers = demands.len();
+        let mut sim = build_sim(&demands, servers);
+        sim.step();
+        for (v, &d) in demands.iter().enumerate() {
+            prop_assert!((sim.vm(VmId(v)).delivered - d).abs() < 1e-12);
+        }
+    }
+}

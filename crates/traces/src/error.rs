@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Errors produced while building, transforming, or (de)serializing traces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A trace must contain at least one sample.
+    Empty,
+    /// A sample was outside `[0, 1]` or not finite.
+    OutOfRange {
+        /// Index of the offending sample.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Stacking or mixing was given traces of different lengths.
+    LengthMismatch {
+        /// Length of the first trace.
+        expected: usize,
+        /// Length of the mismatching trace.
+        actual: usize,
+    },
+    /// A mix selection needs more traces than the corpus provides.
+    CorpusTooSmall {
+        /// Traces required by the mix.
+        required: usize,
+        /// Traces available.
+        available: usize,
+    },
+    /// Underlying I/O failure while reading or writing trace files.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has no samples"),
+            TraceError::OutOfRange { index, value } => write!(
+                f,
+                "sample {index} = {value} is outside the valid utilization \
+                 range [0, 1]"
+            ),
+            TraceError::LengthMismatch { expected, actual } => write!(
+                f,
+                "trace length mismatch: expected {expected} samples, got {actual}"
+            ),
+            TraceError::CorpusTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "mix requires {required} traces but corpus has only {available}"
+            ),
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Json(e) => write!(f, "trace JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_sample() {
+        let e = TraceError::OutOfRange {
+            index: 7,
+            value: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains("1.5"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = TraceError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests over trace construction, stacking, and mixes.
+
+use nps_traces::{generate, Corpus, Mix, TraceSpec, UtilTrace, WorkloadClass};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_spec() -> impl Strategy<Value = TraceSpec> {
+    (
+        0usize..9,
+        0.02f64..0.9,
+        0.0f64..1.0,
+        0.0f64..0.15,
+        0.0f64..0.99,
+        0.0f64..0.01,
+    )
+        .prop_map(|(class, mean, diurnal, sigma, rho, burst)| {
+            let mut spec = WorkloadClass::ALL[class].spec();
+            spec.mean_util = mean;
+            spec.diurnal_amplitude = diurnal;
+            spec.noise_sigma = sigma;
+            spec.noise_rho = rho;
+            spec.burst_prob = burst;
+            spec
+        })
+}
+
+proptest! {
+    #[test]
+    fn generated_samples_always_valid(spec in arb_spec(), seed in 0u64..1_000, len in 1usize..2_000) {
+        let t = generate("t", &spec, len, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(t.len(), len.max(1));
+        prop_assert!(t.samples().iter().all(|&s| s.is_finite() && (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn stack_is_monotone_and_clamped(
+        a in proptest::collection::vec(0.0f64..1.0, 1..200),
+        b in proptest::collection::vec(0.0f64..1.0, 1..200),
+    ) {
+        let n = a.len().min(b.len());
+        let ta = UtilTrace::new("a", a[..n].to_vec()).unwrap();
+        let tb = UtilTrace::new("b", b[..n].to_vec()).unwrap();
+        let s = UtilTrace::stack("s", &[&ta, &tb]).unwrap();
+        for i in 0..n as u64 {
+            let v = s.demand_at(i);
+            prop_assert!(v >= ta.demand_at(i) - 1e-12);
+            prop_assert!(v >= tb.demand_at(i) - 1e-12);
+            prop_assert!(v <= 1.0);
+            prop_assert!((v - (ta.demand_at(i) + tb.demand_at(i)).min(1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn demand_at_wraps(samples in proptest::collection::vec(0.0f64..1.0, 1..50), tick in 0u64..10_000) {
+        let t = UtilTrace::new("t", samples.clone()).unwrap();
+        prop_assert_eq!(t.demand_at(tick), samples[(tick % samples.len() as u64) as usize]);
+    }
+
+    #[test]
+    fn stats_bounds_hold(samples in proptest::collection::vec(0.0f64..1.0, 1..300)) {
+        let t = UtilTrace::new("t", samples).unwrap();
+        let s = t.stats();
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 + 1e-12 && s.p95 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+}
+
+proptest! {
+    // Corpus generation is comparatively expensive; a handful of seeds is
+    // plenty to cover the mix-selection logic.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mixes_partition_and_order(seed in 0u64..50) {
+        let c = Corpus::enterprise(300, seed);
+        let l = c.mix(Mix::L60).unwrap();
+        let m = c.mix(Mix::M60).unwrap();
+        let h = c.mix(Mix::H60).unwrap();
+        prop_assert_eq!(l.len() + m.len() + h.len(), 180);
+        let mean = |ts: &[UtilTrace]| ts.iter().map(|t| t.mean()).sum::<f64>() / ts.len() as f64;
+        prop_assert!(mean(&l) <= mean(&m));
+        prop_assert!(mean(&m) <= mean(&h));
+    }
+
+    #[test]
+    fn hh_traces_dominate_h(seed in 0u64..20) {
+        let c = Corpus::enterprise(300, seed);
+        let mean = |ts: Vec<UtilTrace>| {
+            let n = ts.len() as f64;
+            ts.iter().map(|t| t.mean()).sum::<f64>() / n
+        };
+        prop_assert!(mean(c.mix(Mix::Hh60).unwrap()) >= mean(c.mix(Mix::H60).unwrap()) - 1e-9);
+    }
+}

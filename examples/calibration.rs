@@ -1,0 +1,67 @@
+//! The paper's model-calibration procedure (§4.1): drive "the actual
+//! hardware" across P-states and utilization levels, measure power and
+//! performance, and least-squares-fit the linear models of Figure 5.
+//!
+//! Here a noisy synthetic hardware oracle stands in for the lab machine;
+//! the fitted coefficients are compared against the ground truth.
+//!
+//! ```sh
+//! cargo run --release --example calibration
+//! ```
+
+use no_power_struggles::models::calibrate::{calibrate, sweep_samples, SyntheticHardware};
+use no_power_struggles::prelude::*;
+
+fn main() {
+    println!("Power/performance model calibration (paper Figure 5)");
+    println!("=====================================================\n");
+
+    for truth in [ServerModel::blade_a(), ServerModel::server_b()] {
+        // A deterministic pseudo-random measurement-noise source (±3%).
+        let mut state = 0.6_f64;
+        let rng = move || {
+            state = (state * 9301.0 + 49297.0) % 233280.0;
+            (state / 233280.0) * 2.0 - 1.0
+        };
+        let mut hw = SyntheticHardware::new(truth.clone(), 0.03, rng);
+
+        let fitted = calibrate(&mut hw, format!("{} (fitted)", truth.name()), 21)
+            .expect("calibration sweep succeeds");
+
+        println!("{} — fitted vs true coefficients:", truth.name());
+        let mut table = Table::new(vec![
+            "P-state",
+            "freq (MHz)",
+            "c_p fit",
+            "c_p true",
+            "d_p fit",
+            "d_p true",
+            "a_p fit",
+        ]);
+        for (i, (f, t)) in fitted.states().iter().zip(truth.states()).enumerate() {
+            table.row(vec![
+                format!("P{i}"),
+                format!("{:.0}", f.frequency_hz / 1e6),
+                Table::fmt(f.power.slope),
+                Table::fmt(t.power.slope),
+                Table::fmt(f.power.idle),
+                Table::fmt(t.power.idle),
+                format!("{:.3}", f.perf.scale),
+            ]);
+        }
+        println!("{table}");
+
+        // Emit a small utilization sweep like the Figure 5 plots.
+        let samples = sweep_samples(&mut hw, 5);
+        println!("raw sweep (first P-state):");
+        for s in samples.iter().filter(|s| s.pstate.index() == 0) {
+            println!(
+                "  util {:>4.0}% -> {:>6.1} W, perf {:.2}",
+                s.utilization * 100.0,
+                s.watts,
+                s.perf
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,58 @@
+//! Watch the VM controller consolidate a diurnal data center: every VMC
+//! epoch the cluster is re-packed to the live demand estimate, servers
+//! power off at night and power back on as load returns.
+//!
+//! ```sh
+//! cargo run --release --example consolidation
+//! ```
+
+use no_power_struggles::prelude::*;
+
+fn main() {
+    println!("VM consolidation over a diurnal cycle (Server B, 180 workloads)");
+    println!("================================================================\n");
+
+    let cfg = Scenario::paper(
+        SystemKind::ServerB,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .horizon(6_000)
+    .build();
+    let mut runner = Runner::new(&cfg);
+
+    println!("tick    servers-on    group-kW    migrations    VMC buffers (loc/enc/grp)");
+    let n = runner.sim().topology().num_servers();
+    for t in 0..6_000u64 {
+        runner.tick();
+        if (t + 1) % 500 == 0 {
+            let on = (0..n)
+                .filter(|&i| runner.sim().is_on(ServerId(i)))
+                .count();
+            let (bl, be, bg) = runner.vmc_buffers();
+            println!(
+                "{:>5}   {:>10}   {:>9.1}   {:>10}   {:.2}/{:.2}/{:.2}",
+                t + 1,
+                on,
+                runner.sim().group_power() / 1_000.0,
+                runner.sim().migrations_started(),
+                bl,
+                be,
+                bg,
+            );
+        }
+    }
+
+    let stats = runner.stats();
+    println!(
+        "\nmean group power {:.1} kW | delivered {:.1}% of demanded work | \
+         {} migrations total",
+        stats.mean_power() / 1_000.0,
+        100.0 * stats.delivery_ratio(),
+        stats.migrations,
+    );
+    println!(
+        "\nServer B's high idle power (~70% of peak) is why the paper finds\n\
+         consolidation — not DVFS — to be the dominant saver on such systems."
+    );
+}

@@ -1,0 +1,73 @@
+//! The paper-scale evaluation workflow in miniature: build a grid of
+//! configurations ("more than 800 individual configurations", §5.1),
+//! fan them out over worker threads, persist the results as JSON, reload
+//! them, and print a pivot table.
+//!
+//! ```sh
+//! cargo run --release --example sweep_workflow
+//! ```
+
+use no_power_struggles::core::{load_results, run_sweep, save_results};
+use no_power_struggles::prelude::*;
+
+fn main() {
+    println!("Parallel sweep workflow");
+    println!("=======================\n");
+
+    // A 2×2×3 grid: system × architecture × budgets.
+    let mut configs = Vec::new();
+    for sys in SystemKind::BOTH {
+        for mode in [
+            CoordinationMode::Coordinated,
+            CoordinationMode::Uncoordinated,
+        ] {
+            for budgets in BudgetSpec::FIGURE10 {
+                configs.push(
+                    Scenario::paper(sys, Mix::H60, mode)
+                        .budgets(budgets)
+                        .horizon(2_000)
+                        .build(),
+                );
+            }
+        }
+    }
+    println!("running {} configurations in parallel…", configs.len());
+    let started = std::time::Instant::now();
+    let results = run_sweep(&configs, 0);
+    println!("done in {:.1}s\n", started.elapsed().as_secs_f64());
+
+    // Persist + reload (the paper's archived-results workflow).
+    let mut path = std::env::temp_dir();
+    path.push("nps-sweep-example.json");
+    save_results(&results, &path).expect("write results");
+    let reloaded = load_results(&path).expect("read results");
+    assert_eq!(results, reloaded);
+    println!("results archived to {} and verified.\n", path.display());
+    std::fs::remove_file(&path).ok();
+
+    // Pivot: savings by (system, mode) across budgets.
+    let mut table = Table::new(vec![
+        "system",
+        "architecture",
+        "20-15-10",
+        "25-20-15",
+        "30-25-20",
+    ]);
+    for chunk in results.chunks(3) {
+        let first = &chunk[0];
+        let name_parts: Vec<&str> = first.label.splitn(2, '/').collect();
+        table.row(vec![
+            name_parts[0].to_string(),
+            if first.label.contains("Uncoordinated") {
+                "Uncoordinated".to_string()
+            } else {
+                "Coordinated".to_string()
+            },
+            Table::fmt(chunk[0].comparison.power_savings_pct),
+            Table::fmt(chunk[1].comparison.power_savings_pct),
+            Table::fmt(chunk[2].comparison.power_savings_pct),
+        ]);
+    }
+    println!("power savings % by budget configuration:");
+    println!("{table}");
+}

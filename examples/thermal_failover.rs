@@ -1,0 +1,96 @@
+//! The paper's §5.1 lab prototype, reproduced in simulation: *"we
+//! implemented a simple prototype implementation of an uncoordinated
+//! deployment of the EC and SM on a server in our lab, and even with one
+//! machine, over sustained high loads, the uncoordinated solution went
+//! into thermal failover."*
+//!
+//! One server, sustained ~full load, EC + SM only, RC thermal model. In
+//! the uncoordinated deployment the EC overwrites the SM's throttling
+//! every tick, power stays pinned above the thermal budget, and the
+//! server cooks. The coordinated deployment routes the SM through the
+//! EC's `r_ref` and settles safely below the budget.
+//!
+//! ```sh
+//! cargo run --release --example thermal_failover
+//! ```
+
+use no_power_struggles::prelude::*;
+use no_power_struggles::core::ExperimentConfig;
+
+fn single_server_config(mode: CoordinationMode) -> ExperimentConfig {
+    let model = ServerModel::blade_a();
+    let cap = 0.9 * model.max_power();
+    let thermal = ThermalConfig::for_budget(model.max_power(), cap);
+    let horizon = 3_000;
+    let trace = UtilTrace::constant("sustained-high-load", 0.98, horizon as usize)
+        .expect("valid constant trace");
+    let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
+        .horizon(horizon)
+        .build();
+    // Swap the paper cluster for a single standalone server under
+    // sustained load, EC + SM only, with thermal tracking on.
+    cfg.label = format!("single server / {}", mode.label());
+    cfg.topology = Topology::builder().standalone(1).build();
+    cfg.traces = vec![trace];
+    cfg.mask = ControllerMask {
+        ec: true,
+        sm: true,
+        em: false,
+        gm: false,
+        vmc: false,
+    };
+    cfg.sim = cfg.sim.with_thermal(thermal);
+    cfg
+}
+
+fn main() {
+    println!("Thermal failover under sustained load (paper §5.1 prototype)");
+    println!("=============================================================\n");
+    let model = ServerModel::blade_a();
+    let cap = 0.9 * model.max_power();
+    let thermal = ThermalConfig::for_budget(model.max_power(), cap);
+    println!(
+        "Server: {} | thermal budget {:.0} W | critical {:.0} °C | \
+         equilibrium at budget {:.1} °C, at max power {:.1} °C\n",
+        model.name(),
+        cap,
+        thermal.critical_c,
+        thermal.equilibrium_c(cap),
+        thermal.equilibrium_c(model.max_power()),
+    );
+
+    for mode in [
+        CoordinationMode::Uncoordinated,
+        CoordinationMode::Coordinated,
+    ] {
+        let cfg = single_server_config(mode);
+        let mut runner = Runner::new(&cfg);
+        println!("--- {} ---", mode.label());
+        println!("tick   P-state   power(W)   temp(°C)   r_ref");
+        let server = ServerId(0);
+        let mut failed_at: Option<u64> = None;
+        for t in 0..3_000u64 {
+            runner.tick();
+            if t % 300 == 0 {
+                println!(
+                    "{:>5}   {:>7}   {:>8.1}   {:>8.1}   {:>5.2}",
+                    t,
+                    runner.sim().pstate(server).to_string(),
+                    runner.sim().server_power(server),
+                    runner.sim().temperature_c(server),
+                    runner.ec_r_ref(server),
+                );
+            }
+            if failed_at.is_none() && runner.sim().failover_events() > 0 {
+                failed_at = Some(t);
+            }
+        }
+        match failed_at {
+            Some(t) => println!("=> THERMAL FAILOVER at tick {t}\n"),
+            None => println!(
+                "=> no failover; settled at {:.1} °C\n",
+                runner.sim().temperature_c(server)
+            ),
+        }
+    }
+}

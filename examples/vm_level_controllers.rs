@@ -1,0 +1,89 @@
+//! Paper §6 extension (4), live: three VM-level efficiency controllers
+//! share one physical server. Each VM's controller runs a closed loop on
+//! its *own virtual container* (continuous frequency, no physical
+//! quantization) and demands a slice; a [`FrequencyArbiter`] merges the
+//! demands into one platform P-state — the paper's "arbitration
+//! interface similar to the `<min>` interface ... though likely more
+//! generalized".
+//!
+//! ```sh
+//! cargo run --release --example vm_level_controllers
+//! ```
+
+use no_power_struggles::prelude::*;
+
+fn main() {
+    println!("VM-level efficiency controllers with platform arbitration");
+    println!("==========================================================\n");
+
+    let model = ServerModel::blade_a();
+    let fmax = model.max_frequency_hz();
+    let horizon = 2_000usize;
+    // Three VMs with offset slow-varying demand (fractions of the
+    // platform's full speed).
+    let demand = |vm: usize, t: usize| -> f64 {
+        let phase = vm as f64 * 2.0;
+        (0.22 + 0.12 * ((t as f64 / 300.0) + phase).sin()).max(0.02)
+    };
+
+    let mut table = Table::new(vec![
+        "policy",
+        "avg power W",
+        "delivered/demanded %",
+        "avg platform P-state",
+    ]);
+
+    for policy in [
+        ArbitrationPolicy::SumDemand,
+        ArbitrationPolicy::MaxDemand,
+        ArbitrationPolicy::WeightedMean,
+    ] {
+        let arbiter = FrequencyArbiter::new(policy);
+        let mut ecs: Vec<EfficiencyController> = (0..3)
+            .map(|_| EfficiencyController::new(&model, 0.8, 0.8))
+            .collect();
+        let mut pstate = PState::P0;
+        let (mut energy, mut delivered, mut demanded) = (0.0, 0.0, 0.0);
+        let mut pstate_sum = 0usize;
+        for t in 0..horizon {
+            let capacity = model.capacity(pstate);
+            let demands: Vec<f64> = (0..3).map(|vm| demand(vm, t)).collect();
+            let total: f64 = demands.iter().sum();
+            let share = (capacity / total).min(1.0);
+            demanded += total;
+            delivered += total * share;
+            let util = (total / capacity).min(1.0);
+            energy += model.power(pstate.index(), util);
+            pstate_sum += pstate.index();
+            // Each VM-level EC closes its loop on its own virtual
+            // container: utilization = granted work / own frequency.
+            let slice_demands: Vec<f64> = ecs
+                .iter_mut()
+                .zip(&demands)
+                .map(|(ec, &d)| {
+                    let granted_hz = d * share * fmax;
+                    let r_vm = (granted_hz / ec.frequency_hz()).min(1.0);
+                    // Virtual containers are continuous: no quantization.
+                    ec.update_frequency(r_vm, 0.02 * fmax, fmax)
+                })
+                .collect();
+            pstate = arbiter.arbitrate(&model, &slice_demands, &[]);
+        }
+        table.row(vec![
+            format!("{policy:?}"),
+            Table::fmt(energy / horizon as f64),
+            Table::fmt(100.0 * delivered / demanded),
+            format!("P{:.1}", pstate_sum as f64 / horizon as f64),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "SumDemand right-sizes the platform to the VMs' combined slices —\n\
+         the correct generalization of the `min` interface when each\n\
+         controller owns only a slice. MaxDemand and WeightedMean\n\
+         under-serve (the slices must *add up*), and the VM-level loops\n\
+         cannot even tell: each EC sees its granted share meet its own\n\
+         r_ref and settles — the same saturation misreading behind the\n\
+         paper's VMC vicious cycle, one level down."
+    );
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every paper artifact and extension study into results/.
+# Usage: scripts/reproduce.sh [horizon] [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export NPS_HORIZON="${1:-4000}"
+export NPS_SEED="${2:-42}"
+mkdir -p results
+BINS=(fig5_models fig7 fig8 fig9 fig10 pstates turnoff migration timeconst \
+      policies failover stability heterogeneous idlepower extensions \
+      algorithms cooling electrical)
+cargo build --release -p nps-bench --bins
+for bin in "${BINS[@]}"; do
+  echo "=== $bin (horizon $NPS_HORIZON, seed $NPS_SEED)"
+  "target/release/$bin" > "results/$bin.txt"
+done
+echo "done: results/*.txt"

@@ -1,0 +1,349 @@
+//! `npsctl` — command-line front end for the reproduction.
+//!
+//! ```text
+//! npsctl run    --system blade-a --mix 180 --mode coordinated [options]
+//! npsctl sweep  --out results.json [--horizon N] [--seed N]
+//! npsctl corpus --out corpus.json [--csv corpus.csv] [--len N] [--seed N]
+//! npsctl models
+//! npsctl help
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every subcommand
+//! maps onto the library's public API.
+
+use no_power_struggles::core::{load_results, run_sweep, save_results};
+use no_power_struggles::prelude::*;
+use no_power_struggles::traces::io as trace_io;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("models") => cmd_models(),
+        Some("help") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!(
+        "npsctl — coordinated multi-level power management (ASPLOS'08 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \x20 npsctl run    --system <blade-a|server-b> --mix <180|60l|60m|60h|60hh|60hhh>\n\
+         \x20               --mode <coordinated|uncoordinated|appr-util|no-feedback|\n\
+         \x20                       no-budget-limits|min-pstates>\n\
+         \x20               [--budgets G-E-L] [--horizon N] [--seed N]\n\
+         \x20               [--policy <proportional|fair|fifo|random|priority|history>]\n\
+         \x20               [--mask <all|novmc|vmconly>] [--json FILE]\n\
+         \x20 npsctl sweep  --out FILE [--horizon N] [--seed N]   # Figure-7 grid\n\
+         \x20 npsctl corpus --out FILE [--csv FILE] [--len N] [--seed N]\n\
+         \x20 npsctl models                                       # print model tables"
+    );
+}
+
+/// Looks up the value following `--key` in `args`.
+fn flag<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_system(s: &str) -> Result<SystemKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "blade-a" | "bladea" | "a" => Ok(SystemKind::BladeA),
+        "server-b" | "serverb" | "b" => Ok(SystemKind::ServerB),
+        other => Err(format!("unknown system `{other}`")),
+    }
+}
+
+fn parse_mix(s: &str) -> Result<Mix, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "180" | "all180" => Ok(Mix::All180),
+        "60l" => Ok(Mix::L60),
+        "60m" => Ok(Mix::M60),
+        "60h" => Ok(Mix::H60),
+        "60hh" => Ok(Mix::Hh60),
+        "60hhh" => Ok(Mix::Hhh60),
+        other => Err(format!("unknown mix `{other}`")),
+    }
+}
+
+fn parse_mode(s: &str) -> Result<CoordinationMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "coordinated" | "coord" => Ok(CoordinationMode::Coordinated),
+        "uncoordinated" | "uncoord" => Ok(CoordinationMode::Uncoordinated),
+        "appr-util" => Ok(CoordinationMode::CoordApparentUtil),
+        "no-feedback" => Ok(CoordinationMode::CoordNoFeedback),
+        "no-budget-limits" => Ok(CoordinationMode::CoordNoBudgetLimits),
+        "min-pstates" => Ok(CoordinationMode::UncoordMinPstates),
+        other => Err(format!("unknown mode `{other}`")),
+    }
+}
+
+fn parse_budgets(s: &str) -> Result<BudgetSpec, String> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(format!("budgets must be G-E-L percentages, got `{s}`"));
+    }
+    let mut vals = [0.0f64; 3];
+    for (i, p) in parts.iter().enumerate() {
+        vals[i] = p
+            .parse::<f64>()
+            .map_err(|_| format!("bad budget component `{p}`"))?
+            / 100.0;
+        if !(0.0..1.0).contains(&vals[i]) {
+            return Err(format!("budget component `{p}` out of range"));
+        }
+    }
+    Ok(BudgetSpec {
+        group_off: vals[0],
+        enclosure_off: vals[1],
+        local_off: vals[2],
+    })
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "proportional" => Ok(PolicyKind::Proportional),
+        "fair" => Ok(PolicyKind::Fair),
+        "fifo" => Ok(PolicyKind::Fifo),
+        "random" => Ok(PolicyKind::Random(42)),
+        "priority" => Ok(PolicyKind::Priority),
+        "history" => Ok(PolicyKind::History(0.3)),
+        other => Err(format!("unknown policy `{other}`")),
+    }
+}
+
+fn parse_mask(s: &str) -> Result<ControllerMask, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "all" => Ok(ControllerMask::ALL),
+        "novmc" => Ok(ControllerMask::NO_VMC),
+        "vmconly" => Ok(ControllerMask::VMC_ONLY),
+        other => Err(format!("unknown mask `{other}`")),
+    }
+}
+
+fn fail(msg: String) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let system = match parse_system(flag(args, "--system").unwrap_or("blade-a")) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let mix = match parse_mix(flag(args, "--mix").unwrap_or("180")) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let mode = match parse_mode(flag(args, "--mode").unwrap_or("coordinated")) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let mut scenario = Scenario::paper(system, mix, mode);
+    if let Some(b) = flag(args, "--budgets") {
+        match parse_budgets(b) {
+            Ok(v) => scenario = scenario.budgets(v),
+            Err(e) => return fail(e),
+        }
+    }
+    if let Some(h) = flag(args, "--horizon") {
+        match h.parse() {
+            Ok(v) => scenario = scenario.horizon(v),
+            Err(_) => return fail(format!("bad horizon `{h}`")),
+        }
+    }
+    if let Some(s) = flag(args, "--seed") {
+        match s.parse() {
+            Ok(v) => scenario = scenario.seed(v),
+            Err(_) => return fail(format!("bad seed `{s}`")),
+        }
+    }
+    if let Some(p) = flag(args, "--policy") {
+        match parse_policy(p) {
+            Ok(v) => scenario = scenario.policy(v),
+            Err(e) => return fail(e),
+        }
+    }
+    if let Some(m) = flag(args, "--mask") {
+        match parse_mask(m) {
+            Ok(v) => scenario = scenario.mask(v),
+            Err(e) => return fail(e),
+        }
+    }
+    let cfg = scenario.build();
+    println!("running: {}", cfg.label);
+    let result = run_experiment(&cfg);
+    let c = &result.comparison;
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["power savings %".into(), Table::fmt(c.power_savings_pct)]);
+    table.row(vec!["perf loss %".into(), Table::fmt(c.perf_loss_pct)]);
+    table.row(vec!["violations GM %".into(), Table::fmt(c.violations_gm_pct)]);
+    table.row(vec!["violations EM %".into(), Table::fmt(c.violations_em_pct)]);
+    table.row(vec!["violations SM %".into(), Table::fmt(c.violations_sm_pct)]);
+    table.row(vec!["P-state races".into(), c.run.pstate_conflicts.to_string()]);
+    table.row(vec!["migrations".into(), c.run.migrations.to_string()]);
+    table.row(vec!["mean power W".into(), Table::fmt(c.run.mean_power())]);
+    println!("{table}");
+    if let Some(path) = flag(args, "--json") {
+        if let Err(e) = save_results(&[result], path) {
+            return fail(format!("writing {path}: {e}"));
+        }
+        println!("wrote {path}");
+        // Round-trip sanity so a corrupted write is caught immediately.
+        if load_results(path).is_err() {
+            return fail(format!("verification read of {path} failed"));
+        }
+    }
+    0
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let Some(out) = flag(args, "--out") else {
+        return fail("sweep requires --out FILE".to_string());
+    };
+    let horizon: u64 = flag(args, "--horizon")
+        .and_then(|h| h.parse().ok())
+        .unwrap_or(4_000);
+    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut cfgs = Vec::new();
+    for sys in SystemKind::BOTH {
+        for mix in [Mix::All180, Mix::Hh60] {
+            for mode in [
+                CoordinationMode::Coordinated,
+                CoordinationMode::Uncoordinated,
+            ] {
+                cfgs.push(
+                    Scenario::paper(sys, mix, mode)
+                        .horizon(horizon)
+                        .seed(seed)
+                        .build(),
+                );
+            }
+        }
+    }
+    println!("running {} configurations (Figure-7 grid)…", cfgs.len());
+    let results = run_sweep(&cfgs, 0);
+    for r in &results {
+        println!(
+            "  {:<55} save {:>5.1}%  perf {:>4.1}%  viol SM {:>4.1}%",
+            r.label,
+            r.comparison.power_savings_pct,
+            r.comparison.perf_loss_pct,
+            r.comparison.violations_sm_pct
+        );
+    }
+    match save_results(&results, out) {
+        Ok(()) => {
+            println!("wrote {out}");
+            0
+        }
+        Err(e) => fail(format!("writing {out}: {e}")),
+    }
+}
+
+fn cmd_corpus(args: &[String]) -> i32 {
+    let Some(out) = flag(args, "--out") else {
+        return fail("corpus requires --out FILE".to_string());
+    };
+    let len: usize = flag(args, "--len").and_then(|v| v.parse().ok()).unwrap_or(4_000);
+    let seed: u64 = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let corpus = Corpus::enterprise(len, seed);
+    if let Err(e) = trace_io::save_json(&corpus, out) {
+        return fail(format!("writing {out}: {e}"));
+    }
+    println!(
+        "wrote {out}: {} traces × {len} ticks (mean utilization {:.1}%)",
+        corpus.len(),
+        100.0 * corpus.mean_utilization()
+    );
+    if let Some(csv) = flag(args, "--csv") {
+        if let Err(e) = trace_io::export_csv(&corpus, csv) {
+            return fail(format!("writing {csv}: {e}"));
+        }
+        println!("wrote {csv}");
+    }
+    0
+}
+
+fn cmd_models() -> i32 {
+    for model in [ServerModel::blade_a(), ServerModel::server_b()] {
+        println!(
+            "{} — {} P-states, max {:.0} W, idle floor {:.0} W",
+            model.name(),
+            model.num_pstates(),
+            model.max_power(),
+            model.min_active_power()
+        );
+        let mut t = Table::new(vec!["P-state", "MHz", "c_p W/util", "d_p W", "a_p"]);
+        for (i, s) in model.states().iter().enumerate() {
+            t.row(vec![
+                format!("P{i}"),
+                format!("{:.0}", s.frequency_hz / 1e6),
+                Table::fmt(s.power.slope),
+                Table::fmt(s.power.idle),
+                format!("{:.3}", s.perf.scale),
+            ]);
+        }
+        println!("{t}");
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_finds_values() {
+        let a = args(&["--system", "blade-a", "--seed", "7"]);
+        assert_eq!(flag(&a, "--system"), Some("blade-a"));
+        assert_eq!(flag(&a, "--seed"), Some("7"));
+        assert_eq!(flag(&a, "--mix"), None);
+    }
+
+    #[test]
+    fn parsers_accept_documented_values() {
+        assert_eq!(parse_system("server-b").unwrap(), SystemKind::ServerB);
+        assert_eq!(parse_mix("60hh").unwrap(), Mix::Hh60);
+        assert_eq!(
+            parse_mode("min-pstates").unwrap(),
+            CoordinationMode::UncoordMinPstates
+        );
+        assert_eq!(parse_mask("vmconly").unwrap(), ControllerMask::VMC_ONLY);
+        assert!(matches!(parse_policy("history").unwrap(), PolicyKind::History(_)));
+    }
+
+    #[test]
+    fn budgets_parse_paper_notation() {
+        let b = parse_budgets("20-15-10").unwrap();
+        assert_eq!(b, BudgetSpec::PAPER_20_15_10);
+        assert!(parse_budgets("20-15").is_err());
+        assert!(parse_budgets("20-15-xx").is_err());
+        assert!(parse_budgets("200-15-10").is_err());
+    }
+
+    #[test]
+    fn parsers_reject_unknown_values() {
+        assert!(parse_system("toaster").is_err());
+        assert!(parse_mix("90x").is_err());
+        assert!(parse_mode("chaotic").is_err());
+    }
+}

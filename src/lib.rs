@@ -1,0 +1,87 @@
+//! # No "Power" Struggles
+//!
+//! A full Rust reproduction of *"No 'Power' Struggles: Coordinated
+//! Multi-level Power Management for the Data Center"* (Raghavendra,
+//! Ranganathan, Talwar, Wang, Zhu — ASPLOS 2008): a coordination
+//! architecture that federates five power-management controllers —
+//! per-server efficiency control (EC), server/enclosure/group thermal
+//! power capping (SM/EM/GM), and VM consolidation (VMC) — so they stop
+//! fighting over the same actuators.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! * [`models`] — P-state tables and calibrated linear power/performance
+//!   models (paper Figure 5), including the two reference systems
+//!   `Blade A` and `Server B`;
+//! * [`traces`] — the synthetic 180-trace enterprise corpus and the
+//!   paper's workload mixes (`180`, `60L/M/H`, `60HH/HHH`);
+//! * [`sim`] — the trace-driven data-center simulator (topology, VMs,
+//!   migration, power sensors, RC thermal model);
+//! * [`control`] — the feedback controllers and Appendix-A stability
+//!   bounds;
+//! * [`opt`] — the VMC's constrained bin-packing optimizer;
+//! * [`metrics`] — power savings / performance loss / per-level budget
+//!   violations;
+//! * [`core`] — the coordination architecture itself: coordination modes,
+//!   paper scenarios, and the experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use no_power_struggles::prelude::*;
+//!
+//! // Blade A running the full 180-trace mix under the coordinated
+//! // architecture with the paper's base parameters.
+//! let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180,
+//!                           CoordinationMode::Coordinated)
+//!     .build();
+//! let result = run_experiment(&cfg);
+//! println!(
+//!     "power savings {:.1}% | perf loss {:.1}% | SM violations {:.1}%",
+//!     result.comparison.power_savings_pct,
+//!     result.comparison.perf_loss_pct,
+//!     result.comparison.violations_sm_pct,
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nps_control as control;
+pub use nps_core as core;
+pub use nps_metrics as metrics;
+pub use nps_models as models;
+pub use nps_opt as opt;
+pub use nps_sim as sim;
+pub use nps_traces as traces;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use nps_control::{
+        ArbitrationPolicy, CracController, EfficiencyController, ElectricalCapper,
+        FrequencyArbiter, GroupCapper, ServerManager,
+    };
+    pub use nps_core::{
+        run_experiment, BudgetSpec, ControllerMask, CoordinationMode, ExperimentConfig,
+        ExperimentResult, Intervals, PolicyKind, Runner, Scenario, SystemKind,
+    };
+    pub use nps_metrics::{Comparison, RunStats, Table};
+    pub use nps_models::{PState, ServerModel};
+    pub use nps_opt::{Objective, Vmc, VmcConfig};
+    pub use nps_sim::{
+        Placement, ServerId, SimConfig, Simulation, ThermalConfig, Topology, VmId,
+    };
+    pub use nps_traces::{Corpus, Mix, UtilTrace, WorkloadClass};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let model = ServerModel::blade_a();
+        assert_eq!(model.num_pstates(), 5);
+        let _ = Mix::All180;
+        let _ = CoordinationMode::Coordinated;
+    }
+}

@@ -1,0 +1,108 @@
+//! The Figure 9 coordination-interface ablations, as integration tests:
+//! each disabled interface must cost something (reduced savings,
+//! increased violations, or increased performance loss) relative to the
+//! fully coordinated architecture.
+
+use no_power_struggles::prelude::*;
+
+fn run(mode: CoordinationMode) -> Comparison {
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
+        .horizon(2_000)
+        .seed(23)
+        .build();
+    run_experiment(&cfg).comparison
+}
+
+#[test]
+fn all_figure9_modes_run_to_completion() {
+    for mode in CoordinationMode::FIGURE9 {
+        let c = run(mode);
+        assert!(c.run.ticks == 2_000, "{mode}");
+        assert!(c.power_savings_pct.is_finite(), "{mode}");
+    }
+}
+
+#[test]
+fn apparent_utilization_reduces_consolidation_savings() {
+    // Paper §3.1: with apparent utilization a throttled server looks full,
+    // so it is never recognized as a consolidation candidate.
+    let coordinated = run(CoordinationMode::Coordinated);
+    let apparent = run(CoordinationMode::CoordApparentUtil);
+    assert!(
+        apparent.power_savings_pct <= coordinated.power_savings_pct + 1.0,
+        "apparent-util ({:.1}%) must not beat real-util ({:.1}%)",
+        apparent.power_savings_pct,
+        coordinated.power_savings_pct
+    );
+}
+
+#[test]
+fn every_ablation_has_a_drawback() {
+    // Paper Figure 9: "each one of these alternative solutions suffers
+    // from some drawbacks in terms of increased performance loss, reduced
+    // power savings, or increased budget violations."
+    let coord = run(CoordinationMode::Coordinated);
+    for mode in [
+        CoordinationMode::Uncoordinated,
+        CoordinationMode::CoordApparentUtil,
+        CoordinationMode::CoordNoFeedback,
+        CoordinationMode::CoordNoBudgetLimits,
+        CoordinationMode::UncoordMinPstates,
+    ] {
+        let c = run(mode);
+        let worse_perf = c.perf_loss_pct > coord.perf_loss_pct + 0.3;
+        let worse_savings = c.power_savings_pct < coord.power_savings_pct - 0.5;
+        let worse_violations = c.violations_sm_pct + c.violations_em_pct + c.violations_gm_pct
+            > coord.violations_sm_pct + coord.violations_em_pct + coord.violations_gm_pct + 0.5;
+        let races = c.run.pstate_conflicts > 0;
+        assert!(
+            worse_perf || worse_savings || worse_violations || races,
+            "{mode} shows no drawback: save {:.1}% (coord {:.1}%), perf {:.1}% \
+             (coord {:.1}%), viol {:.1} (coord {:.1})",
+            c.power_savings_pct,
+            coord.power_savings_pct,
+            c.perf_loss_pct,
+            coord.perf_loss_pct,
+            c.violations_sm_pct + c.violations_em_pct + c.violations_gm_pct,
+            coord.violations_sm_pct + coord.violations_em_pct + coord.violations_gm_pct,
+        );
+    }
+}
+
+#[test]
+fn min_pstate_merge_still_races_but_differently() {
+    // The "naïve fix" still writes from two controllers; it trades
+    // overwrite races for permanently pessimistic frequencies.
+    let naive = run(CoordinationMode::UncoordMinPstates);
+    let uncoord = run(CoordinationMode::Uncoordinated);
+    // Both remain non-coordinated (violations or perf worse than the
+    // coordinated base run elsewhere); the min-merge must at least not
+    // *increase* the violation total versus plain uncoordinated.
+    let total = |c: &Comparison| {
+        c.violations_sm_pct + c.violations_em_pct + c.violations_gm_pct
+    };
+    assert!(
+        total(&naive) <= total(&uncoord) + 2.0,
+        "min-merge {:.1} vs uncoordinated {:.1}",
+        total(&naive),
+        total(&uncoord)
+    );
+}
+
+#[test]
+fn policies_other_than_proportional_share_still_work() {
+    for policy in PolicyKind::ALL {
+        let cfg = Scenario::paper(SystemKind::ServerB, Mix::M60, CoordinationMode::Coordinated)
+            .policy(policy)
+            .horizon(1_200)
+            .seed(29)
+            .build();
+        let r = run_experiment(&cfg);
+        assert!(
+            r.comparison.power_savings_pct > 0.0,
+            "{}: {:.1}%",
+            policy.name(),
+            r.comparison.power_savings_pct
+        );
+    }
+}

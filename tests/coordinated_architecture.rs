@@ -1,0 +1,119 @@
+//! End-to-end integration tests of the coordinated architecture across
+//! all workspace crates (traces → sim → controllers → optimizer →
+//! metrics).
+
+use no_power_struggles::prelude::*;
+
+fn scenario(sys: SystemKind, mix: Mix, mode: CoordinationMode) -> ExperimentResult {
+    let cfg = Scenario::paper(sys, mix, mode).horizon(1_500).seed(11).build();
+    run_experiment(&cfg)
+}
+
+use no_power_struggles::core::ExperimentResult;
+
+#[test]
+fn coordinated_run_is_strictly_better_than_doing_nothing() {
+    let r = scenario(
+        SystemKind::BladeA,
+        Mix::H60,
+        CoordinationMode::Coordinated,
+    );
+    assert!(r.comparison.power_savings_pct > 10.0, "{:?}", r.comparison.power_savings_pct);
+    assert!(r.comparison.perf_loss_pct < 15.0);
+}
+
+#[test]
+fn coordination_eliminates_actuator_races() {
+    let coord = scenario(SystemKind::BladeA, Mix::H60, CoordinationMode::Coordinated);
+    let uncoord = scenario(SystemKind::BladeA, Mix::H60, CoordinationMode::Uncoordinated);
+    assert_eq!(coord.comparison.run.pstate_conflicts, 0);
+    assert!(uncoord.comparison.run.pstate_conflicts > 0);
+}
+
+#[test]
+fn coordination_reduces_budget_violations_under_high_activity() {
+    // Paper Figure 7, bottom rows: the contrast is "more pronounced ...
+    // with high activity workloads".
+    let coord = scenario(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated);
+    let uncoord = scenario(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Uncoordinated);
+    let total = |c: &Comparison| {
+        c.violations_gm_pct + c.violations_em_pct + c.violations_sm_pct
+    };
+    assert!(
+        total(&coord.comparison) < total(&uncoord.comparison),
+        "coordinated {:.1} vs uncoordinated {:.1}",
+        total(&coord.comparison),
+        total(&uncoord.comparison)
+    );
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let a = scenario(SystemKind::ServerB, Mix::M60, CoordinationMode::Coordinated);
+    let b = scenario(SystemKind::ServerB, Mix::M60, CoordinationMode::Coordinated);
+    assert_eq!(a.comparison, b.comparison);
+    assert_eq!(a.baseline, b.baseline);
+}
+
+#[test]
+fn controller_masks_compose_like_figure_8() {
+    // NoVMC keeps every server on; VMCOnly migrates without touching
+    // P-states.
+    let base = Scenario::paper(SystemKind::BladeA, Mix::H60, CoordinationMode::Coordinated)
+        .horizon(1_200)
+        .seed(3);
+    let no_vmc = run_experiment(&base.clone().mask(ControllerMask::NO_VMC).build());
+    assert_eq!(no_vmc.comparison.run.migrations, 0);
+    assert!(no_vmc.comparison.power_savings_pct > 0.0);
+
+    let vmc_only = run_experiment(&base.clone().mask(ControllerMask::VMC_ONLY).build());
+    assert!(vmc_only.comparison.run.migrations > 0);
+
+    let all = run_experiment(&base.mask(ControllerMask::ALL).build());
+    assert!(
+        all.comparison.power_savings_pct >= no_vmc.comparison.power_savings_pct - 1.0,
+        "full deployment {:.1}% must not trail NoVMC {:.1}% by much",
+        all.comparison.power_savings_pct,
+        no_vmc.comparison.power_savings_pct
+    );
+}
+
+#[test]
+fn vmc_epoch_count_scales_with_horizon() {
+    // Two VMC epochs fit in 1 500 ticks at T_vmc = 500.
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+        .horizon(1_500)
+        .seed(5)
+        .build();
+    let mut runner = Runner::new(&cfg);
+    let stats = runner.run_to_horizon();
+    assert_eq!(stats.ticks, 1_500);
+    // The light mix consolidates aggressively: some servers must be off.
+    let n = runner.sim().topology().num_servers();
+    let on = (0..n).filter(|&i| runner.sim().is_on(ServerId(i))).count();
+    assert!(on < n, "expected consolidation to power servers off");
+}
+
+#[test]
+fn electrical_capper_is_never_violated() {
+    let frac = 0.8;
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated)
+        .electrical_cap(frac)
+        .horizon(800)
+        .seed(9)
+        .build();
+    let mut runner = Runner::new(&cfg);
+    let budget = frac * ServerModel::blade_a().max_power();
+    for _ in 0..800 {
+        runner.tick();
+        for i in 0..runner.sim().topology().num_servers() {
+            let s = ServerId(i);
+            assert!(
+                runner.sim().server_power(s) <= budget + 1e-9,
+                "tick {}: server {i} at {:.1} W exceeds the electrical cap {budget:.1} W",
+                runner.ticks_done(),
+                runner.sim().server_power(s)
+            );
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Integration tests for the thermal-failover behaviour (paper §5.1
+//! prototype) and the budget hierarchy (Figure 10 directionality).
+
+use no_power_struggles::core::ExperimentConfig;
+use no_power_struggles::prelude::*;
+
+fn single_hot_server(mode: CoordinationMode, horizon: u64) -> ExperimentConfig {
+    let model = ServerModel::blade_a();
+    let cap = 0.9 * model.max_power();
+    let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
+        .horizon(horizon)
+        .build();
+    cfg.topology = Topology::builder().standalone(1).build();
+    cfg.traces =
+        vec![UtilTrace::constant("hot", 0.98, horizon as usize).expect("valid trace")];
+    cfg.mask = ControllerMask {
+        ec: true,
+        sm: true,
+        em: false,
+        gm: false,
+        vmc: false,
+    };
+    cfg.sim = cfg
+        .sim
+        .with_thermal(ThermalConfig::for_budget(model.max_power(), cap));
+    cfg
+}
+
+#[test]
+fn uncoordinated_ec_sm_race_causes_thermal_failover() {
+    // Paper §5.1: "even with one machine, over sustained high loads, the
+    // uncoordinated solution went into thermal failover."
+    let cfg = single_hot_server(CoordinationMode::Uncoordinated, 2_500);
+    let mut runner = Runner::new(&cfg);
+    let stats = runner.run_to_horizon();
+    assert_eq!(stats.failovers, 1, "expected the race to cook the server");
+    assert!(stats.pstate_conflicts > 0);
+}
+
+#[test]
+fn coordinated_ec_sm_stays_below_critical_temperature() {
+    let cfg = single_hot_server(CoordinationMode::Coordinated, 2_500);
+    let mut runner = Runner::new(&cfg);
+    let stats = runner.run_to_horizon();
+    assert_eq!(stats.failovers, 0);
+    assert_eq!(stats.pstate_conflicts, 0);
+    let temp = runner.sim().temperature_c(ServerId(0));
+    assert!(temp < 70.0, "settled at {temp} °C");
+}
+
+#[test]
+fn tighter_budgets_reduce_average_power_savings() {
+    // Figure 10's direction: from 20-15-10 to 30-25-20 the available
+    // average-power savings shrink (the VMC consolidates more
+    // conservatively) while the coordinated solution keeps responding.
+    let run = |budgets: BudgetSpec| {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .budgets(budgets)
+            .horizon(1_500)
+            .seed(21)
+            .build();
+        run_experiment(&cfg).comparison
+    };
+    let loose = run(BudgetSpec::PAPER_20_15_10);
+    let tight = run(BudgetSpec::PAPER_30_25_20);
+    assert!(
+        tight.power_savings_pct <= loose.power_savings_pct + 1.0,
+        "tight {:.1}% vs loose {:.1}%",
+        tight.power_savings_pct,
+        loose.power_savings_pct
+    );
+    // Both stay correct: single-digit violation rates.
+    assert!(tight.violations_sm_pct < 15.0);
+    assert!(loose.violations_sm_pct < 15.0);
+}
+
+#[test]
+fn disabling_turn_off_shrinks_savings_but_adapts() {
+    // Paper §5.4 "avoiding turning machines off": savings drop
+    // significantly; the coordinated solution "automatically adapted ...
+    // and moved to more aggressively controlling power at the local
+    // levels".
+    let base = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+        .horizon(1_500)
+        .seed(13);
+    let with_off = run_experiment(&base.clone().build());
+    let mut vmc = VmcConfig::default();
+    vmc.allow_turn_off = false;
+    let no_off = run_experiment(&base.vmc(vmc).build());
+    assert!(
+        no_off.comparison.power_savings_pct < with_off.comparison.power_savings_pct,
+        "no-off {:.1}% should trail with-off {:.1}%",
+        no_off.comparison.power_savings_pct,
+        with_off.comparison.power_savings_pct
+    );
+    // Still saves something via local power management (the adaptation).
+    assert!(no_off.comparison.power_savings_pct > 5.0);
+}
+
+#[test]
+fn migration_overhead_sensitivity_keeps_perf_loss_bounded() {
+    // Paper §5.4: with 20% and 50% migration overheads "performance
+    // degradations increased, but were still less than 10% in all cases
+    // for the coordinated solution".
+    for alpha_m in [0.1, 0.2, 0.5] {
+        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .sim(SimConfig::default().with_alpha_m(alpha_m))
+            .horizon(1_500)
+            .seed(17)
+            .build();
+        let r = run_experiment(&cfg);
+        assert!(
+            r.comparison.perf_loss_pct < 10.0,
+            "α_M = {alpha_m}: perf loss {:.1}%",
+            r.comparison.perf_loss_pct
+        );
+    }
+}
+
+#[test]
+fn two_extreme_pstates_behave_close_to_full_table() {
+    // Paper §5.3: "having the two extreme P-states can get behavior close
+    // to that when all the P-states are considered."
+    let full = run_experiment(
+        &Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .horizon(1_500)
+            .seed(19)
+            .build(),
+    );
+    let two = run_experiment(
+        &Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
+            .pstate_subset(vec![0, 4])
+            .horizon(1_500)
+            .seed(19)
+            .build(),
+    );
+    let gap = (full.comparison.power_savings_pct - two.comparison.power_savings_pct).abs();
+    assert!(
+        gap < 12.0,
+        "two extreme P-states ({:.1}%) should be close to the full table ({:.1}%)",
+        two.comparison.power_savings_pct,
+        full.comparison.power_savings_pct
+    );
+}
+
+#[test]
+fn fleet_scale_thermal_failure_injection() {
+    // Thermal tracking across the whole 60-server cluster under the hot
+    // stacked mix: the uncoordinated EC/SM race must cook servers; the
+    // coordinated architecture must keep the fleet alive.
+    let run = |mode: CoordinationMode| {
+        let model = ServerModel::blade_a();
+        let cap = 0.9 * model.max_power();
+        let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::Hhh60, mode)
+            .horizon(2_500)
+            .seed(61)
+            .build();
+        cfg.sim = cfg
+            .sim
+            .with_thermal(ThermalConfig::for_budget(model.max_power(), cap));
+        // No VMC: isolate the local capping story (migrations off a
+        // failed server would muddy the count).
+        cfg.mask = ControllerMask {
+            vmc: false,
+            ..ControllerMask::ALL
+        };
+        let mut runner = Runner::new(&cfg);
+        runner.run_to_horizon()
+    };
+    let coordinated = run(CoordinationMode::Coordinated);
+    let uncoordinated = run(CoordinationMode::Uncoordinated);
+    assert_eq!(
+        coordinated.failovers, 0,
+        "coordinated fleet must stay thermally safe"
+    );
+    assert!(
+        uncoordinated.failovers > 0,
+        "uncoordinated race should cook at least one server under 60HHH"
+    );
+    // Dead servers deliver nothing: correctness failure shows up as work
+    // loss too.
+    assert!(uncoordinated.delivered_work < coordinated.delivered_work);
+}
+
+#[test]
+fn failed_servers_never_recover_silently() {
+    // Failure latching: once a server trips, it stays off and its VMs
+    // starve until the end of the run (no hidden self-healing).
+    let model = ServerModel::blade_a();
+    let cap = 0.9 * model.max_power();
+    let horizon = 2_000u64;
+    let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Uncoordinated)
+        .horizon(horizon)
+        .build();
+    cfg.topology = Topology::builder().standalone(1).build();
+    cfg.traces = vec![UtilTrace::constant("hot", 0.99, horizon as usize).unwrap()];
+    cfg.mask = ControllerMask {
+        ec: true,
+        sm: true,
+        em: false,
+        gm: false,
+        vmc: false,
+    };
+    cfg.sim = cfg
+        .sim
+        .with_thermal(ThermalConfig::for_budget(model.max_power(), cap));
+    let mut runner = Runner::new(&cfg);
+    let mut failed_at = None;
+    for t in 0..horizon {
+        runner.tick();
+        if failed_at.is_none() && runner.sim().failover_events() > 0 {
+            failed_at = Some(t);
+        }
+        if failed_at.is_some() {
+            assert!(!runner.sim().is_on(ServerId(0)), "tick {t}: server revived itself");
+        }
+    }
+    assert!(failed_at.is_some(), "expected a failover in this scenario");
+}
+
+#[test]
+fn extreme_bursty_traces_do_not_break_invariants() {
+    // Failure injection at the workload level: square-wave demand
+    // slamming between idle and saturation every 10 ticks.
+    let horizon = 1_000u64;
+    let samples: Vec<f64> = (0..horizon as usize)
+        .map(|t| if (t / 10) % 2 == 0 { 0.0 } else { 1.0 })
+        .collect();
+    let mut cfg = Scenario::paper(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
+        .horizon(horizon)
+        .build();
+    cfg.topology = Topology::builder().enclosure(4).standalone(2).build();
+    cfg.traces = (0..6)
+        .map(|i| UtilTrace::new(format!("square-{i}"), samples.clone()).unwrap())
+        .collect();
+    let r = run_experiment(&cfg);
+    assert!(r.comparison.run.energy.is_finite());
+    assert!(r.comparison.run.delivered_work <= r.comparison.run.demanded_work + 1e-6);
+    assert_eq!(r.comparison.run.pstate_conflicts, 0);
+}
