@@ -51,27 +51,42 @@ fn bench_figure_paths(c: &mut Criterion) {
         let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
             .horizon(BENCH_HORIZON)
             .build();
-        group.bench_function(format!("fig7_{}", mode.label().replace([' ', ','], "_")), |b| {
-            b.iter(|| black_box(run_cfg(&cfg)))
-        });
+        group.bench_function(
+            format!("fig7_{}", mode.label().replace([' ', ','], "_")),
+            |b| b.iter(|| black_box(run_cfg(&cfg))),
+        );
     }
     // Figure 8 path: VMC-only mask.
-    let cfg = Scenario::paper(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
-        .mask(ControllerMask::VMC_ONLY)
-        .horizon(BENCH_HORIZON)
-        .build();
+    let cfg = Scenario::paper(
+        SystemKind::ServerB,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .mask(ControllerMask::VMC_ONLY)
+    .horizon(BENCH_HORIZON)
+    .build();
     group.bench_function("fig8_vmconly", |b| b.iter(|| black_box(run_cfg(&cfg))));
     // Figure 9 path: one ablation.
-    let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::CoordApparentUtil)
-        .horizon(BENCH_HORIZON)
-        .build();
+    let cfg = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::CoordApparentUtil,
+    )
+    .horizon(BENCH_HORIZON)
+    .build();
     group.bench_function("fig9_appr_util", |b| b.iter(|| black_box(run_cfg(&cfg))));
     // Figure 10 path: tightest budgets.
-    let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-        .budgets(BudgetSpec::PAPER_30_25_20)
-        .horizon(BENCH_HORIZON)
-        .build();
-    group.bench_function("fig10_tight_budgets", |b| b.iter(|| black_box(run_cfg(&cfg))));
+    let cfg = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .budgets(BudgetSpec::PAPER_30_25_20)
+    .horizon(BENCH_HORIZON)
+    .build();
+    group.bench_function("fig10_tight_budgets", |b| {
+        b.iter(|| black_box(run_cfg(&cfg)))
+    });
     group.finish();
 }
 

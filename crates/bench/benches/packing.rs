@@ -32,7 +32,9 @@ fn fleet(n: usize) -> Fleet {
         cap_loc: vec![0.9 * max; n],
         cap_enc: vec![0.85 * 20.0 * max; enclosures],
         cap_grp: 0.8 * max * n as f64,
-        demands: (0..n).map(|i| 0.1 + 0.4 * ((i * 7) % 13) as f64 / 13.0).collect(),
+        demands: (0..n)
+            .map(|i| 0.1 + 0.4 * ((i * 7) % 13) as f64 / 13.0)
+            .collect(),
         topo,
     }
 }

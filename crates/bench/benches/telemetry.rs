@@ -1,0 +1,50 @@
+//! Telemetry overhead benchmarks: the same coordinated run with no
+//! recorder, a [`NoopRecorder`], and a bounded [`RingRecorder`]. The
+//! contract is that `none` and `noop` are indistinguishable (the no-op
+//! path must cost nothing measurable), and `ring` shows the true price of
+//! retaining events.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nps_core::{CoordinationMode, Runner, Scenario, SystemKind};
+use nps_metrics::{NoopRecorder, RingRecorder};
+use nps_traces::Mix;
+use std::hint::black_box;
+
+/// Short horizon so one bench iteration stays in the milliseconds.
+const BENCH_HORIZON: u64 = 600;
+
+#[derive(Clone, Copy)]
+enum Sink {
+    None,
+    Noop,
+    Ring,
+}
+
+fn run_with(sink: Sink) -> f64 {
+    let cfg = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .horizon(BENCH_HORIZON)
+    .build();
+    let mut runner = Runner::new(&cfg);
+    match sink {
+        Sink::None => {}
+        Sink::Noop => runner.set_recorder(Box::new(NoopRecorder)),
+        Sink::Ring => runner.set_recorder(Box::new(RingRecorder::new(1 << 16))),
+    }
+    runner.run_to_horizon().energy
+}
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("none", |b| b.iter(|| black_box(run_with(Sink::None))));
+    group.bench_function("noop", |b| b.iter(|| black_box(run_with(Sink::Noop))));
+    group.bench_function("ring", |b| b.iter(|| black_box(run_with(Sink::Ring))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_recorder_overhead);
+criterion_main!(benches);

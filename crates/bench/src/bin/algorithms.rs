@@ -27,7 +27,11 @@ fn main() {
                 labels.push(format!(
                     "{}{}",
                     algorithm.name(),
-                    if local_search > 0 { " + local search" } else { "" }
+                    if local_search > 0 {
+                        " + local search"
+                    } else {
+                        ""
+                    }
                 ));
                 cfgs.push(
                     scenario(sys, Mix::All180, CoordinationMode::Coordinated)

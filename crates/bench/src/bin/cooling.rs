@@ -39,12 +39,12 @@ fn run_with_cooling(mode: CoordinationMode) -> (f64, f64, f64, f64) {
                 .sum()
         }
     };
-    let configs: Vec<CracConfig> = (0..zones).map(|z| CracConfig::for_zone(zone_max(z))).collect();
-    let mut plant = CoolingPlant::new(configs.clone());
-    let mut controllers: Vec<CracController> = configs
-        .iter()
-        .map(CracController::default_for)
+    let configs: Vec<CracConfig> = (0..zones)
+        .map(|z| CracConfig::for_zone(zone_max(z)))
         .collect();
+    let mut plant = CoolingPlant::new(configs.clone());
+    let mut controllers: Vec<CracController> =
+        configs.iter().map(CracController::default_for).collect();
 
     let mut zone_watts = vec![0.0; zones];
     let mut peak_zone_share = 0.0f64;

@@ -51,7 +51,10 @@ fn main() {
         "undelivered work %",
         "per-tick fuse violations",
     ]);
-    for (label, elec) in [("thermal capping only (SM)", None), ("SM + electrical CAP", Some(frac))] {
+    for (label, elec) in [
+        ("thermal capping only (SM)", None),
+        ("SM + electrical CAP", Some(frac)),
+    ] {
         let (mean_w, loss, violations) = run_with_cap(elec, frac);
         table.row(vec![
             label.to_string(),

@@ -13,7 +13,10 @@ use nps_opt::{Objective, VmcConfig};
 use nps_traces::Mix;
 
 fn main() {
-    banner("§6 extensions: MIMO capping, VM-level arbitration, objectives", "paper §6.1");
+    banner(
+        "§6 extensions: MIMO capping, VM-level arbitration, objectives",
+        "paper §6.1",
+    );
 
     // --- (3) MIMO platform capper ----------------------------------------
     println!("(3) MIMO platform capper (CPU + memory + disk under one budget):");
@@ -64,20 +67,22 @@ fn main() {
 
     // --- (6) energy-delay objective ---------------------------------------
     println!("(6) VMC objective: power vs energy-delay (Blade A / 180):");
-    let mut obj_table = Table::new(vec![
-        "objective",
-        "pwr save %",
-        "perf loss %",
-        "migrations",
-    ]);
-    for (label, objective) in [("power", Objective::Power), ("energy-delay", Objective::EnergyDelay)] {
+    let mut obj_table = Table::new(vec!["objective", "pwr save %", "perf loss %", "migrations"]);
+    for (label, objective) in [
+        ("power", Objective::Power),
+        ("energy-delay", Objective::EnergyDelay),
+    ] {
         let vmc = VmcConfig {
             objective,
             ..VmcConfig::default()
         };
-        let cfg = scenario(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .vmc(vmc)
-            .build();
+        let cfg = scenario(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .vmc(vmc)
+        .build();
         let c = run(&cfg);
         obj_table.row(vec![
             label.to_string(),

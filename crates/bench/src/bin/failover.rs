@@ -3,9 +3,7 @@
 //! thermal failover; the coordinated nesting settles safely.
 
 use nps_bench::banner;
-use nps_core::{
-    ControllerMask, CoordinationMode, Runner, Scenario, SystemKind,
-};
+use nps_core::{ControllerMask, CoordinationMode, Runner, Scenario, SystemKind};
 use nps_metrics::Table;
 use nps_models::ServerModel;
 use nps_sim::{ServerId, ThermalConfig, Topology};
@@ -35,8 +33,7 @@ fn main() {
             .horizon(horizon)
             .build();
         cfg.topology = Topology::builder().standalone(1).build();
-        cfg.traces =
-            vec![UtilTrace::constant("hot", 0.98, horizon as usize).expect("valid trace")];
+        cfg.traces = vec![UtilTrace::constant("hot", 0.98, horizon as usize).expect("valid trace")];
         cfg.mask = ControllerMask {
             ec: true,
             sm: true,

@@ -14,7 +14,12 @@ fn main() {
         "paper §4, Figure 5",
     );
     for model in [ServerModel::blade_a(), ServerModel::server_b()] {
-        println!("{} (max {:.0} W, idle floor {:.0} W):", model.name(), model.max_power(), model.min_active_power());
+        println!(
+            "{} (max {:.0} W, idle floor {:.0} W):",
+            model.name(),
+            model.max_power(),
+            model.min_active_power()
+        );
         let mut coeffs = Table::new(vec![
             "P-state",
             "freq (MHz)",
@@ -61,15 +66,29 @@ fn main() {
     let mut params = Table::new(vec!["parameter", "base value"]);
     for (k, v) in [
         ("static budgets (grp-enc-loc, % off max)", b.label()),
-        ("control intervals T_ec/T_sm/T_em/T_gm/T_vmc",
-         format!("{}/{}/{}/{}/{}", iv.ec, iv.sm, iv.em, iv.gm, iv.vmc)),
+        (
+            "control intervals T_ec/T_sm/T_em/T_gm/T_vmc",
+            format!("{}/{}/{}/{}/{}", iv.ec, iv.sm, iv.em, iv.gm, iv.vmc),
+        ),
         ("EC gain λ", "0.8".to_string()),
         ("SM gain β_loc", "1.0 (normalized power)".to_string()),
-        ("virtualization overhead α_V", "10% of VM utilization".to_string()),
+        (
+            "virtualization overhead α_V",
+            "10% of VM utilization".to_string(),
+        ),
         ("migration overhead α_M", "10% during migration".to_string()),
-        ("workloads", "180 enterprise traces (synthetic corpus)".to_string()),
-        ("cluster (180 mix)", "6 × 20-blade enclosures + 60 standalone".to_string()),
-        ("cluster (60 mixes)", "2 × 20-blade enclosures + 20 standalone".to_string()),
+        (
+            "workloads",
+            "180 enterprise traces (synthetic corpus)".to_string(),
+        ),
+        (
+            "cluster (180 mix)",
+            "6 × 20-blade enclosures + 60 standalone".to_string(),
+        ),
+        (
+            "cluster (60 mixes)",
+            "2 × 20-blade enclosures + 20 standalone".to_string(),
+        ),
     ] {
         params.row(vec![k.to_string(), v]);
     }

@@ -17,7 +17,14 @@ fn main() {
         ("NoVMC", ControllerMask::NO_VMC),
         ("VMCOnly", ControllerMask::VMC_ONLY),
     ];
-    let mixes = [Mix::L60, Mix::M60, Mix::H60, Mix::Hh60, Mix::Hhh60, Mix::All180];
+    let mixes = [
+        Mix::L60,
+        Mix::M60,
+        Mix::H60,
+        Mix::Hh60,
+        Mix::Hhh60,
+        Mix::All180,
+    ];
     for sys in SystemKind::BOTH {
         // Batch all 18 runs of this system through the parallel sweep.
         let mut cfgs = Vec::new();
@@ -31,12 +38,7 @@ fn main() {
             }
         }
         let results = run_all(&cfgs);
-        let mut table = Table::new(vec![
-            "mix",
-            "Coordinated %",
-            "NoVMC %",
-            "VMCOnly %",
-        ]);
+        let mut table = Table::new(vec!["mix", "Coordinated %", "NoVMC %", "VMCOnly %"]);
         for (mi, mix) in mixes.iter().enumerate() {
             let mut cells = vec![mix.label().to_string()];
             for k in 0..masks.len() {

@@ -49,10 +49,14 @@ fn main() {
 
     // The coordinated VMC should exploit heterogeneity: prefer parking
     // load on the efficient blades and emptying the idle-hungry 2U boxes.
-    let cfg = scenario(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-        .heterogeneous()
-        .mask(ControllerMask::ALL)
-        .build();
+    let cfg = scenario(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .heterogeneous()
+    .mask(ControllerMask::ALL)
+    .build();
     let mut runner = nps_core::Runner::new(&cfg);
     runner.run_to_horizon();
     let topo = runner.sim().topology().clone();

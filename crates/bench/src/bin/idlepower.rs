@@ -14,12 +14,7 @@ fn main() {
         "§7: sensitivity to baseline idle power (Server B / 180)",
         "paper §7 conclusions (idle-power discussion)",
     );
-    let mut table = Table::new(vec![
-        "idle scale",
-        "Coordinated %",
-        "NoVMC %",
-        "VMCOnly %",
-    ]);
+    let mut table = Table::new(vec!["idle scale", "Coordinated %", "NoVMC %", "VMCOnly %"]);
     for idle_scale in [1.0, 0.7, 0.4] {
         let mut cells = vec![format!("{:.0}%", idle_scale * 100.0)];
         for mask in [
@@ -27,10 +22,14 @@ fn main() {
             ControllerMask::NO_VMC,
             ControllerMask::VMC_ONLY,
         ] {
-            let cfg = scenario(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
-                .idle_scale(idle_scale)
-                .mask(mask)
-                .build();
+            let cfg = scenario(
+                SystemKind::ServerB,
+                Mix::All180,
+                CoordinationMode::Coordinated,
+            )
+            .idle_scale(idle_scale)
+            .mask(mask)
+            .build();
             cells.push(Table::fmt(run(&cfg).power_savings_pct));
         }
         table.row(cells);

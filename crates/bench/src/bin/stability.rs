@@ -67,7 +67,13 @@ fn main() {
     println!();
 
     println!("EC closed-loop tracking error |r − r_ref| after 500 steps (r_ref = 0.9):");
-    let mut conv = Table::new(vec!["λ", "demand 20%", "demand 50%", "demand 80%", "verdict"]);
+    let mut conv = Table::new(vec![
+        "λ",
+        "demand 20%",
+        "demand 50%",
+        "demand 80%",
+        "verdict",
+    ]);
     for lambda in [0.4, 0.8, 1.05, 2.5] {
         let errs: Vec<f64> = [0.2, 0.5, 0.8]
             .into_iter()
@@ -79,7 +85,12 @@ fn main() {
             format!("{:.2e}", errs[0]),
             format!("{:.2e}", errs[1]),
             format!("{:.2e}", errs[2]),
-            if stable { "inside bound (converges)" } else { "outside bound" }.to_string(),
+            if stable {
+                "inside bound (converges)"
+            } else {
+                "outside bound"
+            }
+            .to_string(),
         ]);
     }
     println!("{conv}");

@@ -12,9 +12,13 @@ use nps_traces::Mix;
 fn sweep(label: &str, variants: Vec<(String, Intervals)>) {
     let mut table = Table::new(vec![label, "pwr save %", "perf loss %", "viol SM %"]);
     for (name, intervals) in variants {
-        let cfg = scenario(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .intervals(intervals)
-            .build();
+        let cfg = scenario(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .intervals(intervals)
+        .build();
         let c = run(&cfg);
         table.row(vec![
             name,

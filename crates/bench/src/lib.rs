@@ -39,7 +39,9 @@ pub fn seed() -> u64 {
 
 /// A paper-standard scenario at the harness horizon/seed.
 pub fn scenario(sys: SystemKind, mix: Mix, mode: CoordinationMode) -> Scenario {
-    Scenario::paper(sys, mix, mode).horizon(horizon()).seed(seed())
+    Scenario::paper(sys, mix, mode)
+        .horizon(horizon())
+        .seed(seed())
 }
 
 /// Runs a configuration and returns the baseline-normalized comparison.
@@ -60,7 +62,11 @@ pub fn run_all(cfgs: &[ExperimentConfig]) -> Vec<Comparison> {
 pub fn banner(artifact: &str, paper_ref: &str) {
     println!("{artifact}");
     println!("{}", "=".repeat(artifact.len()));
-    println!("(reproduces {paper_ref}; horizon {} ticks, seed {})", horizon(), seed());
+    println!(
+        "(reproduces {paper_ref}; horizon {} ticks, seed {})",
+        horizon(),
+        seed()
+    );
     println!();
 }
 

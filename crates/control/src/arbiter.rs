@@ -49,34 +49,30 @@ impl FrequencyArbiter {
 
     /// Combines per-VM frequency demands (Hz) with optional weights into
     /// a platform P-state for `model`. Empty demands park the platform at
-    /// its deepest state. Weights default to 1 when empty.
+    /// its deepest state. A missing weight (shorter `weights` slice, or an
+    /// empty one) defaults to 1; non-finite demands are ignored.
     pub fn arbitrate(&self, model: &ServerModel, demands_hz: &[f64], weights: &[f64]) -> PState {
-        if demands_hz.is_empty() {
+        // NaN or infinite demands would poison every aggregate below and
+        // reach `quantize` even through `clamp` (NaN propagates).
+        let w_of = |i: usize| weights.get(i).copied().unwrap_or(1.0).max(0.0);
+        let finite: Vec<(f64, f64)> = demands_hz
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, &d)| (d, w_of(i)))
+            .collect();
+        if finite.is_empty() {
             return model.deepest();
         }
         let target = match self.policy {
-            ArbitrationPolicy::MaxDemand => {
-                demands_hz.iter().cloned().fold(0.0f64, f64::max)
-            }
-            ArbitrationPolicy::SumDemand => demands_hz.iter().sum(),
+            ArbitrationPolicy::MaxDemand => finite.iter().map(|&(d, _)| d).fold(0.0f64, f64::max),
+            ArbitrationPolicy::SumDemand => finite.iter().map(|&(d, _)| d).sum(),
             ArbitrationPolicy::WeightedMean => {
-                let w = |i: usize| {
-                    if weights.is_empty() {
-                        1.0
-                    } else {
-                        weights[i].max(0.0)
-                    }
-                };
-                let total_w: f64 = (0..demands_hz.len()).map(w).sum();
-                if total_w <= 0.0 {
-                    demands_hz.iter().sum::<f64>() / demands_hz.len() as f64
+                let total_w: f64 = finite.iter().map(|&(_, w)| w).sum();
+                if total_w <= 0.0 || !total_w.is_finite() {
+                    finite.iter().map(|&(d, _)| d).sum::<f64>() / finite.len() as f64
                 } else {
-                    demands_hz
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &d)| w(i) * d)
-                        .sum::<f64>()
-                        / total_w
+                    finite.iter().map(|&(d, w)| w * d).sum::<f64>() / total_w
                 }
             }
         };
@@ -137,6 +133,42 @@ mod tests {
         let max_demand = 2.1e9;
         let next_deeper = model.state(model.step_down(p)).frequency_hz;
         assert!(granted >= next_deeper && granted >= max_demand - (granted - next_deeper));
+    }
+
+    #[test]
+    fn weighted_mean_tolerates_fewer_weights_than_demands() {
+        let model = ServerModel::blade_a();
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::WeightedMean);
+        // Regression: this used to index weights[2] out of bounds. The
+        // two missing weights default to 1.
+        let short = arb.arbitrate(&model, &[1.0e9, 533e6, 800e6], &[2.0]);
+        let explicit = arb.arbitrate(&model, &[1.0e9, 533e6, 800e6], &[2.0, 1.0, 1.0]);
+        assert_eq!(short, explicit);
+    }
+
+    #[test]
+    fn non_finite_demands_are_ignored() {
+        let model = ServerModel::blade_a();
+        for policy in [
+            ArbitrationPolicy::MaxDemand,
+            ArbitrationPolicy::SumDemand,
+            ArbitrationPolicy::WeightedMean,
+        ] {
+            let arb = FrequencyArbiter::new(policy);
+            let clean = arb.arbitrate(&model, &[600e6, 700e6], &[]);
+            let dirty = arb.arbitrate(
+                &model,
+                &[600e6, f64::NAN, 700e6, f64::INFINITY, f64::NEG_INFINITY],
+                &[1.0, 9.0, 1.0, 9.0, 9.0],
+            );
+            assert_eq!(clean, dirty, "{policy:?}");
+        }
+        // All-non-finite demands behave like no demands at all.
+        let arb = FrequencyArbiter::new(ArbitrationPolicy::WeightedMean);
+        assert_eq!(
+            arb.arbitrate(&model, &[f64::NAN, f64::INFINITY], &[]),
+            model.deepest()
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ impl ElectricalCapper {
     pub fn new(model: &ServerModel, budget_watts: f64) -> Self {
         Self {
             budget_watts,
-            min_index: model.pstate_for_power_budget(budget_watts).map(PState::index),
+            min_index: model
+                .pstate_for_power_budget(budget_watts)
+                .map(PState::index),
         }
     }
 

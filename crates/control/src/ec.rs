@@ -127,11 +127,7 @@ mod tests {
     use super::*;
 
     /// A continuous plant matching Appendix A: r = min(1, f_D / f).
-    fn closed_loop_continuous(
-        ec: &mut EfficiencyController,
-        demand_hz: f64,
-        steps: usize,
-    ) -> f64 {
+    fn closed_loop_continuous(ec: &mut EfficiencyController, demand_hz: f64, steps: usize) -> f64 {
         let mut f = ec.frequency_hz();
         let (fmin, fmax) = (1.0, 4.0e9);
         let mut r = (demand_hz / f).min(1.0);

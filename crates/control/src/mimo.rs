@@ -59,10 +59,22 @@ impl Component {
         Self::new(
             "cpu",
             vec![
-                ComponentLevel { power_watts: 95.0, perf: 1.0 },
-                ComponentLevel { power_watts: 72.0, perf: 0.83 },
-                ComponentLevel { power_watts: 55.0, perf: 0.70 },
-                ComponentLevel { power_watts: 42.0, perf: 0.53 },
+                ComponentLevel {
+                    power_watts: 95.0,
+                    perf: 1.0,
+                },
+                ComponentLevel {
+                    power_watts: 72.0,
+                    perf: 0.83,
+                },
+                ComponentLevel {
+                    power_watts: 55.0,
+                    perf: 0.70,
+                },
+                ComponentLevel {
+                    power_watts: 42.0,
+                    perf: 0.53,
+                },
             ],
         )
     }
@@ -72,9 +84,18 @@ impl Component {
         Self::new(
             "memory",
             vec![
-                ComponentLevel { power_watts: 30.0, perf: 1.0 },
-                ComponentLevel { power_watts: 18.0, perf: 0.80 },
-                ComponentLevel { power_watts: 8.0, perf: 0.45 },
+                ComponentLevel {
+                    power_watts: 30.0,
+                    perf: 1.0,
+                },
+                ComponentLevel {
+                    power_watts: 18.0,
+                    perf: 0.80,
+                },
+                ComponentLevel {
+                    power_watts: 8.0,
+                    perf: 0.45,
+                },
             ],
         )
     }
@@ -84,9 +105,18 @@ impl Component {
         Self::new(
             "disk",
             vec![
-                ComponentLevel { power_watts: 12.0, perf: 1.0 },
-                ComponentLevel { power_watts: 7.0, perf: 0.6 },
-                ComponentLevel { power_watts: 2.0, perf: 0.2 },
+                ComponentLevel {
+                    power_watts: 12.0,
+                    perf: 1.0,
+                },
+                ComponentLevel {
+                    power_watts: 7.0,
+                    perf: 0.6,
+                },
+                ComponentLevel {
+                    power_watts: 2.0,
+                    perf: 0.2,
+                },
             ],
         )
     }
@@ -264,8 +294,14 @@ mod tests {
         Component::new(
             "bad",
             vec![
-                ComponentLevel { power_watts: 10.0, perf: 1.0 },
-                ComponentLevel { power_watts: 20.0, perf: 0.5 },
+                ComponentLevel {
+                    power_watts: 10.0,
+                    perf: 1.0,
+                },
+                ComponentLevel {
+                    power_watts: 20.0,
+                    perf: 0.5,
+                },
             ],
         );
     }

@@ -39,7 +39,10 @@ fn proportional(total: f64, weights: &[f64], static_caps: &[f64]) -> Vec<f64> {
     }
     if sum <= 0.0 {
         // Nothing measured yet: fall back to fair share.
-        return static_caps.iter().map(|&c| c.min(total / n as f64)).collect();
+        return static_caps
+            .iter()
+            .map(|&c| c.min(total / n as f64))
+            .collect();
     }
     weights
         .iter()
@@ -110,7 +113,12 @@ impl BudgetPolicy for Fifo {
     }
 
     fn divide(&mut self, total: f64, consumption: &[f64], static_caps: &[f64]) -> Vec<f64> {
-        sequential(total, consumption.len(), static_caps, (0..consumption.len()).collect())
+        sequential(
+            total,
+            consumption.len(),
+            static_caps,
+            (0..consumption.len()).collect(),
+        )
     }
 }
 

@@ -116,8 +116,7 @@ impl ServerManager {
         measured_power_watts: f64,
         ec: &mut EfficiencyController,
     ) -> SmDecision {
-        let cap_norm =
-            (1.0 - self.guard) * self.effective_cap_watts() / self.max_power_watts;
+        let cap_norm = (1.0 - self.guard) * self.effective_cap_watts() / self.max_power_watts;
         let pow_norm = measured_power_watts / self.max_power_watts;
         // r_ref(k̂) = r_ref(k̂−1) − β·(cap − pow)  [normalized]
         let new_r_ref = ec.r_ref() - self.beta * (cap_norm - pow_norm);
@@ -159,11 +158,7 @@ mod tests {
 
     /// Closed-loop plant for SM tests: given `r_ref`, run the EC to
     /// convergence against a constant demand, then report power.
-    fn settle_power(
-        model: &ServerModel,
-        ec: &mut EfficiencyController,
-        demand_frac: f64,
-    ) -> f64 {
+    fn settle_power(model: &ServerModel, ec: &mut EfficiencyController, demand_frac: f64) -> f64 {
         let mut p = model.quantize(ec.frequency_hz());
         let mut r = (demand_frac / model.capacity(p)).min(1.0);
         for _ in 0..50 {

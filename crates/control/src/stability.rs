@@ -76,11 +76,7 @@ mod tests {
     fn paper_base_gains_are_provably_stable() {
         for model in [ServerModel::blade_a(), ServerModel::server_b()] {
             let violations = check_gains(&model, 0.8, 0.75, 1.0);
-            assert!(
-                violations.is_empty(),
-                "{}: {violations:?}",
-                model.name()
-            );
+            assert!(violations.is_empty(), "{}: {violations:?}", model.name());
         }
     }
 

@@ -210,5 +210,33 @@ mod extension_props {
             // Sum of demands ≥ mean of demands ⇒ shallower (or equal) state.
             prop_assert!(sum.index() <= mean.index());
         }
+
+        #[test]
+        fn arbitration_never_panics_for_any_lengths_or_values(
+            demands in proptest::collection::vec(prop_oneof![
+                6 => -1.0e10f64..4.0e9,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+                1 => Just(f64::NEG_INFINITY),
+            ], 0..12),
+            weights in proptest::collection::vec(prop_oneof![
+                6 => -5.0f64..20.0,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+            ], 0..12),
+            policy_idx in 0usize..3,
+        ) {
+            // Regression: WeightedMean indexed `weights[i]` and panicked
+            // whenever the weight slice was shorter than the demand slice;
+            // NaN demands reached `quantize` through `clamp`.
+            let model = ServerModel::blade_a();
+            let policy = [
+                ArbitrationPolicy::MaxDemand,
+                ArbitrationPolicy::SumDemand,
+                ArbitrationPolicy::WeightedMean,
+            ][policy_idx];
+            let p = FrequencyArbiter::new(policy).arbitrate(&model, &demands, &weights);
+            prop_assert!(p.index() < model.num_pstates());
+        }
     }
 }

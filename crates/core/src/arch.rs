@@ -219,13 +219,17 @@ mod tests {
 
     #[test]
     fn figure9_covers_six_distinct_modes() {
-        let mut labels: Vec<&str> = CoordinationMode::FIGURE9.iter().map(|m| m.label()).collect();
+        let mut labels: Vec<&str> = CoordinationMode::FIGURE9
+            .iter()
+            .map(|m| m.label())
+            .collect();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), 6);
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn masks_match_figure8_legends() {
         assert!(ControllerMask::NO_VMC.ec && !ControllerMask::NO_VMC.vmc);
         assert!(!ControllerMask::VMC_ONLY.sm && ControllerMask::VMC_ONLY.vmc);

@@ -28,7 +28,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidGain { name, value } => {
-                write!(f, "controller gain `{name}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "controller gain `{name}` must be positive and finite, got {value}"
+                )
             }
             CoreError::ModelCountMismatch { models, servers } => write!(
                 f,

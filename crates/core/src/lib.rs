@@ -46,8 +46,8 @@ mod sweep;
 
 pub use arch::{ControllerMask, CoordinationMode};
 pub use budgets::BudgetSpec;
-pub use error::CoreError;
 pub use config::{ExperimentConfig, PolicyKind};
+pub use error::CoreError;
 pub use intervals::Intervals;
 pub use runner::{run_experiment, ExperimentResult, Runner};
 pub use scenarios::{Scenario, SystemKind};

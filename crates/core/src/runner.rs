@@ -5,7 +5,10 @@
 use nps_control::{
     CapperLevel, EfficiencyController, ElectricalCapper, GroupCapper, ServerManager,
 };
-use nps_metrics::{Comparison, LevelViolations, RunStats, ViolationCounter};
+use nps_metrics::{
+    BudgetLevel, Comparison, ControllerKind, LevelViolations, Recorder, RingRecorder, RunStats,
+    TelemetryEvent, ViolationCounter,
+};
 use nps_models::{PState, ServerModel};
 use nps_opt::{ClusterContext, Vmc};
 use nps_sim::{EnclosureId, ServerId, SimConfig, Simulation, VmId};
@@ -95,6 +98,8 @@ pub struct Runner {
     power_trace: Option<nps_metrics::TimeSeries>,
     cum_latency_proxy: f64,
     latency_samples: u64,
+    /// Telemetry sink; `None` costs one discriminant test per event site.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Runner {
@@ -206,9 +211,9 @@ impl Runner {
         if let Some(elec) = &elec {
             // A fuse-level cap admits no violation at all — including the
             // very first tick before any controller has acted.
-            for i in 0..n {
+            for (i, capper) in elec.iter().enumerate() {
                 let s = ServerId(i);
-                sim.set_pstate(s, elec[i].clamp(sim.pstate(s)));
+                sim.set_pstate(s, capper.clamp(sim.pstate(s)));
             }
         }
 
@@ -250,7 +255,47 @@ impl Runner {
             power_trace: None,
             cum_latency_proxy: 0.0,
             latency_samples: 0,
+            recorder: None,
         })
+    }
+
+    /// Installs a telemetry [`Recorder`]; controller epochs emit
+    /// [`TelemetryEvent`]s into it from now on.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Installs a bounded [`RingRecorder`] keeping the most recent
+    /// `capacity` events (per-type counters stay exact past the bound).
+    pub fn enable_ring_telemetry(&mut self, capacity: usize) {
+        self.recorder = Some(Box::new(RingRecorder::new(capacity)));
+    }
+
+    /// The installed ring recorder, if [`Runner::enable_ring_telemetry`]
+    /// (or an explicit `RingRecorder`) is in place.
+    pub fn ring_telemetry(&self) -> Option<&RingRecorder> {
+        self.recorder
+            .as_ref()
+            .and_then(|r| r.as_any().downcast_ref())
+    }
+
+    /// Removes and returns the recorder, leaving telemetry disabled.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    #[inline]
+    fn recording(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    #[inline]
+    fn emit<F: FnOnce() -> TelemetryEvent>(&mut self, event: F) {
+        if let Some(r) = &mut self.recorder {
+            if r.enabled() {
+                r.record(event());
+            }
+        }
     }
 
     /// Enables recording of the group-power trajectory into a bounded
@@ -372,33 +417,41 @@ impl Runner {
     fn act(&mut self) {
         let t = self.ticks_done;
         let iv = self.intervals;
-        if self.mask.ec && t % iv.ec == 0 {
+        if self.mask.ec && t.is_multiple_of(iv.ec) {
             self.ec_epoch(iv.ec);
         }
-        if t % iv.sm == 0 {
+        if t.is_multiple_of(iv.sm) {
             self.sm_epoch(iv.sm);
         }
-        if t % iv.em == 0 {
+        if t.is_multiple_of(iv.em) {
             self.em_epoch(iv.em);
         }
-        if t % iv.gm == 0 {
+        if t.is_multiple_of(iv.gm) {
             self.gm_epoch(iv.gm);
         }
-        if self.mask.vmc && t % iv.vmc == 0 {
+        if self.mask.vmc && t.is_multiple_of(iv.vmc) {
             self.vmc_epoch();
         }
-        if let Some(elec) = &self.elec {
-            for i in 0..self.models.len() {
+        if let Some(elec) = self.elec.take() {
+            for (i, capper) in elec.iter().enumerate() {
                 let s = ServerId(i);
                 if !self.sim.is_on(s) {
                     continue;
                 }
                 let cur = self.sim.pstate(s);
-                let clamped = elec[i].clamp(cur);
+                let clamped = capper.clamp(cur);
                 if clamped != cur {
                     self.sim.set_pstate(s, clamped);
+                    self.emit(|| TelemetryEvent::PStateChange {
+                        tick: t,
+                        server: i,
+                        from: cur.index(),
+                        to: clamped.index(),
+                        source: ControllerKind::Electrical,
+                    });
                 }
             }
+            self.elec = Some(elec);
         }
     }
 
@@ -412,6 +465,8 @@ impl Runner {
     }
 
     fn ec_epoch(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let recording = self.recording();
         for i in 0..self.models.len() {
             let s = ServerId(i);
             if !self.sim.is_on(s) {
@@ -431,11 +486,29 @@ impl Runner {
             } else {
                 desired
             };
+            let before = if recording {
+                Some(self.sim.pstate(s))
+            } else {
+                None
+            };
             self.sim.set_pstate(s, applied);
+            if let Some(before) = before {
+                if before != applied {
+                    self.emit(|| TelemetryEvent::PStateChange {
+                        tick: t,
+                        server: i,
+                        from: before.index(),
+                        to: applied.index(),
+                        source: ControllerKind::Ec,
+                    });
+                }
+            }
         }
     }
 
     fn sm_epoch(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let recording = self.recording();
         for i in 0..self.models.len() {
             let s = ServerId(i);
             if !self.sim.is_on(s) {
@@ -450,35 +523,93 @@ impl Runner {
             let violated_static = avg > self.cap_loc[i];
             self.violations.server.record(violated_static);
             self.win_sm.record(violated_static);
+            if violated_static {
+                let cap = self.cap_loc[i];
+                self.emit(|| TelemetryEvent::Violation {
+                    tick: t,
+                    level: BudgetLevel::Server,
+                    observed_watts: avg,
+                    cap_watts: cap,
+                    effective: false,
+                });
+            }
             if !self.mask.sm {
                 continue;
             }
+            // A breach of the dynamically granted budget (tighter than the
+            // static cap) is reported separately as an effective violation.
+            let eff_cap = self.sms[i].effective_cap_watts();
+            if avg > eff_cap && eff_cap < self.cap_loc[i] {
+                self.emit(|| TelemetryEvent::Violation {
+                    tick: t,
+                    level: BudgetLevel::Server,
+                    observed_watts: avg,
+                    cap_watts: eff_cap,
+                    effective: true,
+                });
+            }
             if self.mode.sm_actuates_r_ref() {
+                let prev_r_ref = if recording { self.ecs[i].r_ref() } else { 0.0 };
                 self.sms[i].step_coordinated(avg, &mut self.ecs[i]);
+                if recording {
+                    let r_ref = self.ecs[i].r_ref();
+                    if r_ref != prev_r_ref {
+                        self.emit(|| TelemetryEvent::RRefUpdate {
+                            tick: t,
+                            server: i,
+                            r_ref,
+                        });
+                    }
+                }
             } else {
                 let current = self.sim.pstate(s);
                 let (_, forced) = self.sms[i].step_uncoordinated(avg, current, &self.models[i]);
                 if self.mode.merges_min_pstate() {
                     self.sm_hold[i] = forced;
                     if let Some(p) = forced {
-                        self.sim
-                            .set_pstate(s, PState(p.index().max(current.index())));
+                        let applied = PState(p.index().max(current.index()));
+                        self.sim.set_pstate(s, applied);
+                        if applied != current {
+                            self.emit(|| TelemetryEvent::PStateChange {
+                                tick: t,
+                                server: i,
+                                from: current.index(),
+                                to: applied.index(),
+                                source: ControllerKind::Sm,
+                            });
+                        }
                     }
                 } else if let Some(p) = forced {
                     // The race: this write lands on the same actuator the
                     // EC writes every tick.
                     self.sim.set_pstate(s, p);
+                    if p != current {
+                        self.emit(|| TelemetryEvent::PStateChange {
+                            tick: t,
+                            server: i,
+                            from: current.index(),
+                            to: p.index(),
+                            source: ControllerKind::Sm,
+                        });
+                    }
                 }
             }
         }
     }
 
     fn em_epoch(&mut self, window: u64) {
+        let t = self.ticks_done;
         for e in 0..self.ems.len() {
-            let members = self.sim.topology().enclosure_servers(EnclosureId(e)).to_vec();
+            let members = self
+                .sim
+                .topology()
+                .enclosure_servers(EnclosureId(e))
+                .to_vec();
             let member_power: Vec<f64> = members
                 .iter()
-                .map(|&s| Self::window_avg_power(&self.sim, &mut self.snap_power_em, s.index(), window))
+                .map(|&s| {
+                    Self::window_avg_power(&self.sim, &mut self.snap_power_em, s.index(), window)
+                })
                 .collect();
             // Level total includes the enclosure's shared base power.
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
@@ -487,14 +618,41 @@ impl Runner {
             let violated_static = total > self.ems[e].static_cap_watts();
             self.violations.enclosure.record(violated_static);
             self.win_em.record(violated_static);
+            if violated_static {
+                let cap = self.ems[e].static_cap_watts();
+                self.emit(|| TelemetryEvent::Violation {
+                    tick: t,
+                    level: BudgetLevel::Enclosure,
+                    observed_watts: total,
+                    cap_watts: cap,
+                    effective: false,
+                });
+            }
             if !self.mask.em {
                 continue;
+            }
+            let eff_cap = self.ems[e].effective_cap_watts();
+            if total > eff_cap && eff_cap < self.ems[e].static_cap_watts() {
+                self.emit(|| TelemetryEvent::Violation {
+                    tick: t,
+                    level: BudgetLevel::Enclosure,
+                    observed_watts: total,
+                    cap_watts: eff_cap,
+                    effective: true,
+                });
             }
             let member_caps: Vec<f64> = members.iter().map(|&s| self.cap_loc[s.index()]).collect();
             let allocations = self.ems[e].reallocate(&member_power, &member_caps);
             if self.mode.budgets_flow_down() {
                 for (k, &s) in members.iter().enumerate() {
                     self.sms[s.index()].set_granted_cap(allocations[k]);
+                    let watts = allocations[k];
+                    self.emit(|| TelemetryEvent::BudgetGrant {
+                        tick: t,
+                        level: BudgetLevel::Enclosure,
+                        child: k,
+                        watts,
+                    });
                 }
             } else if total > self.ems[e].effective_cap_watts() {
                 // Uncoordinated enclosure capper: on violation, directly
@@ -508,21 +666,34 @@ impl Runner {
                     let forced = model
                         .pstate_for_power_budget(allocations[k])
                         .unwrap_or_else(|| model.deepest());
+                    let before = self.sim.pstate(s);
                     self.sim.set_pstate(s, forced);
+                    if forced != before {
+                        self.emit(|| TelemetryEvent::PStateChange {
+                            tick: t,
+                            server: s.index(),
+                            from: before.index(),
+                            to: forced.index(),
+                            source: ControllerKind::Em,
+                        });
+                    }
                 }
             }
         }
     }
 
     fn gm_epoch(&mut self, window: u64) {
+        let t = self.ticks_done;
         // Children: enclosures first, then standalone servers.
         let topo = self.sim.topology().clone();
-        let mut consumption = Vec::with_capacity(topo.num_enclosures() + topo.standalone_servers().len());
+        let mut consumption =
+            Vec::with_capacity(topo.num_enclosures() + topo.standalone_servers().len());
         let mut child_caps = Vec::with_capacity(consumption.capacity());
         for e in 0..topo.num_enclosures() {
             // Keep the per-server GM snapshots warm for standalone reads.
             for &s in topo.enclosure_servers(EnclosureId(e)) {
-                let _ = Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
+                let _ =
+                    Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
             }
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
             let total = (enc_cum - self.snap_encpow_gm[e]) / window.max(1) as f64;
@@ -531,24 +702,62 @@ impl Runner {
             child_caps.push(self.cap_enc[e]);
         }
         for &s in topo.standalone_servers() {
-            consumption
-                .push(Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window));
+            consumption.push(Self::window_avg_power(
+                &self.sim,
+                &mut self.snap_power_gm,
+                s.index(),
+                window,
+            ));
             child_caps.push(self.cap_loc[s.index()]);
         }
         let group_total: f64 = consumption.iter().sum();
         let violated_static = group_total > self.cap_grp;
         self.violations.group.record(violated_static);
         self.win_gm.record(violated_static);
+        if violated_static {
+            let cap = self.cap_grp;
+            self.emit(|| TelemetryEvent::Violation {
+                tick: t,
+                level: BudgetLevel::Group,
+                observed_watts: group_total,
+                cap_watts: cap,
+                effective: false,
+            });
+        }
         if !self.mask.gm {
             return;
         }
+        let eff_cap = self.gm.effective_cap_watts();
+        if group_total > eff_cap && eff_cap < self.cap_grp {
+            self.emit(|| TelemetryEvent::Violation {
+                tick: t,
+                level: BudgetLevel::Group,
+                observed_watts: group_total,
+                cap_watts: eff_cap,
+                effective: true,
+            });
+        }
         let allocations = self.gm.reallocate(&consumption, &child_caps);
         if self.mode.budgets_flow_down() {
-            for e in 0..topo.num_enclosures() {
-                self.ems[e].set_granted_cap(allocations[e]);
+            for (e, &watts) in allocations.iter().enumerate().take(topo.num_enclosures()) {
+                self.ems[e].set_granted_cap(watts);
+                self.emit(|| TelemetryEvent::BudgetGrant {
+                    tick: t,
+                    level: BudgetLevel::Group,
+                    child: e,
+                    watts,
+                });
             }
             for (k, &s) in topo.standalone_servers().iter().enumerate() {
-                self.sms[s.index()].set_granted_cap(allocations[topo.num_enclosures() + k]);
+                let child = topo.num_enclosures() + k;
+                self.sms[s.index()].set_granted_cap(allocations[child]);
+                let watts = allocations[child];
+                self.emit(|| TelemetryEvent::BudgetGrant {
+                    tick: t,
+                    level: BudgetLevel::Group,
+                    child,
+                    watts,
+                });
             }
         } else if group_total > self.gm.effective_cap_watts() {
             // Uncoordinated group capper: directly clamp standalone
@@ -562,7 +771,17 @@ impl Runner {
                 let forced = model
                     .pstate_for_power_budget(alloc)
                     .unwrap_or_else(|| model.deepest());
+                let before = self.sim.pstate(s);
                 self.sim.set_pstate(s, forced);
+                if forced != before {
+                    self.emit(|| TelemetryEvent::PStateChange {
+                        tick: t,
+                        server: s.index(),
+                        from: before.index(),
+                        to: forced.index(),
+                        source: ControllerKind::Gm,
+                    });
+                }
             }
         }
     }
@@ -573,9 +792,21 @@ impl Runner {
         // Figure 4: "expose power budget violations to VMC"); levels whose
         // capper is not deployed report nothing.
         self.vmc.report_violations_windowed(
-            if self.mask.sm { self.win_sm.rate() } else { 0.0 },
-            if self.mask.em { self.win_em.rate() } else { 0.0 },
-            if self.mask.gm { self.win_gm.rate() } else { 0.0 },
+            if self.mask.sm {
+                self.win_sm.rate()
+            } else {
+                0.0
+            },
+            if self.mask.em {
+                self.win_em.rate()
+            } else {
+                0.0
+            },
+            if self.mask.gm {
+                self.win_gm.rate()
+            } else {
+                0.0
+            },
             self.intervals.vmc,
         );
         self.win_sm = ViolationCounter::new();
@@ -588,7 +819,11 @@ impl Runner {
         let mut demands = Vec::with_capacity(num_vms);
         for j in 0..num_vms {
             let (cum, snap, win_max) = if real_mode {
-                (self.cum_real[j], &mut self.snap_real[j], self.win_max_real[j])
+                (
+                    self.cum_real[j],
+                    &mut self.snap_real[j],
+                    self.win_max_real[j],
+                )
             } else {
                 (
                     self.cum_apparent[j],
@@ -626,18 +861,29 @@ impl Runner {
             cap_grp: self.cap_grp,
         };
         let plan = self.vmc.plan(&demands, &ctx);
-        if std::env::var_os("NPS_DEBUG_VMC").is_some() {
-            eprintln!(
-                "[vmc t={}] demands mean={:.3} max={:.3} plan: used={} migs={} on={} off={} forced={}",
-                self.ticks_done,
-                demands.iter().sum::<f64>() / demands.len() as f64,
-                demands.iter().cloned().fold(0.0, f64::max),
-                plan.placement.used_servers().len(),
-                plan.migrations.len(),
-                plan.power_on.len(),
-                plan.power_off.len(),
-                plan.forced_placements
-            );
+        let t = self.ticks_done;
+        if self.recording() {
+            let demand_mean = if demands.is_empty() {
+                0.0
+            } else {
+                demands.iter().sum::<f64>() / demands.len() as f64
+            };
+            let demand_max = demands.iter().cloned().fold(0.0, f64::max);
+            let used_servers = plan.placement.used_servers().len();
+            let migrations = plan.migrations.len();
+            let power_on = plan.power_on.len();
+            let power_off = plan.power_off.len();
+            let forced_placements = plan.forced_placements;
+            self.emit(|| TelemetryEvent::VmcPlan {
+                tick: t,
+                demand_mean,
+                demand_max,
+                used_servers,
+                migrations,
+                power_on,
+                power_off,
+                forced_placements,
+            });
         }
 
         for &s in &plan.power_on {
@@ -648,18 +894,47 @@ impl Runner {
                 // must not strangle the revived server until the next
                 // EM/GM epoch refreshes it.
                 self.sms[s.index()].set_granted_cap(f64::INFINITY);
-                // Fresh measurement windows for the revived server.
+                // Fresh measurement windows for the revived server: all
+                // four cumulative snapshots, not just the EC's — a stale
+                // SM/EM/GM power snapshot would fold the whole off period
+                // into the first window after revival.
                 self.snap_util_ec[s.index()] = self.sim.cumulative_utilization(s);
+                let cum_power = self.sim.cumulative_power(s);
+                self.snap_power_sm[s.index()] = cum_power;
+                self.snap_power_em[s.index()] = cum_power;
+                self.snap_power_gm[s.index()] = cum_power;
+                let server = s.index();
+                self.emit(|| TelemetryEvent::PowerOn { tick: t, server });
             }
         }
         for m in &plan.migrations {
-            if self.sim.migrate(m.vm, m.to).is_err() {
-                self.skipped_migrations += 1;
+            // `Simulation::migrate` treats a same-server move as a no-op
+            // success; the telemetry stream mirrors that (no event), so
+            // Migration events stay in lockstep with `migrations_started`.
+            let from = self.sim.placement().host_of(m.vm);
+            match self.sim.migrate(m.vm, m.to) {
+                Ok(()) => {
+                    if from != m.to {
+                        let (vm, to) = (m.vm.index(), m.to.index());
+                        let from = from.index();
+                        self.emit(|| TelemetryEvent::Migration {
+                            tick: t,
+                            vm,
+                            from,
+                            to,
+                        });
+                    }
+                }
+                Err(_) => self.skipped_migrations += 1,
             }
         }
         for &s in &plan.power_off {
-            if self.sim.is_on(s) && self.sim.residents(s).is_empty() {
-                let _ = self.sim.power_off(s);
+            if self.sim.is_on(s)
+                && self.sim.residents(s).is_empty()
+                && self.sim.power_off(s).is_ok()
+            {
+                let server = s.index();
+                self.emit(|| TelemetryEvent::PowerOff { tick: t, server });
             }
         }
     }
@@ -723,11 +998,15 @@ mod tests {
 
     #[test]
     fn vmc_only_mask_still_consolidates() {
-        let cfg = Scenario::paper(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
-            .mask(ControllerMask::VMC_ONLY)
-            .horizon(1_200)
-            .seed(7)
-            .build();
+        let cfg = Scenario::paper(
+            SystemKind::ServerB,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .mask(ControllerMask::VMC_ONLY)
+        .horizon(1_200)
+        .seed(7)
+        .build();
         let r = run_experiment(&cfg);
         assert!(r.comparison.run.migrations > 0);
         // Only ~2 VMC epochs fit in this short horizon; the full-horizon
@@ -740,12 +1019,90 @@ mod tests {
     }
 
     #[test]
+    fn revival_starts_fresh_measurement_windows() {
+        use crate::intervals::Intervals;
+        use nps_metrics::EventKind;
+        use nps_metrics::TelemetryEvent;
+
+        // Regression: powering a server back on used to refresh only the
+        // EC utilization snapshot; the SM/EM/GM power snapshots kept their
+        // pre-revival values. Use intervals where no SM/EM/GM epoch
+        // coincides with the reviving VMC epoch, and nonzero off-power, so
+        // a stale snapshot would fold the off period into the first
+        // post-revival window.
+        let mut cfg = Scenario::paper(
+            SystemKind::ServerB,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .mask(ControllerMask::VMC_ONLY)
+        .horizon(3_000)
+        .seed(7)
+        .intervals(Intervals {
+            ec: 1,
+            sm: 7,
+            em: 11,
+            gm: 13,
+            vmc: 10,
+        })
+        .build();
+        cfg.sim.off_power_watts = 40.0;
+        let mut runner = Runner::new(&cfg);
+        runner.enable_ring_telemetry(1 << 20);
+        let mut seen_power_on = 0;
+        let mut checked = 0;
+        while runner.ticks_done() < cfg.horizon {
+            runner.tick();
+            let ring = runner.ring_telemetry().unwrap();
+            let now = ring.count(EventKind::PowerOn);
+            if now == seen_power_on {
+                continue;
+            }
+            seen_power_on = now;
+            // act() ran at the tick before ticks_done was incremented.
+            let t = runner.ticks_done() - 1;
+            let revived: Vec<usize> = ring
+                .events()
+                .filter_map(|e| match e {
+                    TelemetryEvent::PowerOn { tick, server } if *tick == t => Some(*server),
+                    _ => None,
+                })
+                .collect();
+            for s in revived {
+                // The revival refreshed the snapshots to the act-time
+                // cumulative power; exactly one sim step has run since, so
+                // each snapshot trails the cumulative reading by exactly
+                // the last tick's power.
+                let cum = runner.sim.cumulative_power(ServerId(s));
+                let last = runner.sim.server_power(ServerId(s));
+                for (name, snap) in [
+                    ("sm", runner.snap_power_sm[s]),
+                    ("em", runner.snap_power_em[s]),
+                    ("gm", runner.snap_power_gm[s]),
+                ] {
+                    assert!(
+                        (cum - snap - last).abs() < 1e-9,
+                        "stale {name} snapshot for server {s} revived at t={t}: \
+                         cum={cum} snap={snap} last={last}"
+                    );
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "scenario must revive at least one server");
+    }
+
+    #[test]
     fn no_controllers_changes_nothing() {
-        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .mask(ControllerMask::NONE)
-            .horizon(600)
-            .seed(7)
-            .build();
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .mask(ControllerMask::NONE)
+        .horizon(600)
+        .seed(7)
+        .build();
         let r = run_experiment(&cfg);
         assert_eq!(r.comparison.power_savings_pct, 0.0);
         assert_eq!(r.comparison.perf_loss_pct, 0.0);

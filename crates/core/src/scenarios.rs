@@ -240,7 +240,11 @@ impl Scenario {
             self.mix.label(),
             self.mode.label(),
             self.budgets.label(),
-            if self.label_suffix.is_empty() { "" } else { " " },
+            if self.label_suffix.is_empty() {
+                ""
+            } else {
+                " "
+            },
             self.label_suffix
         );
         ExperimentConfig {
@@ -271,7 +275,9 @@ fn build_mix_traces(mix: Mix, horizon: u64, seed: u64, diurnal_period: usize) ->
     // free of wrap artifacts.
     let len = (horizon as usize).max(diurnal_period);
     let corpus = Corpus::enterprise(len, seed);
-    corpus.mix(mix).expect("enterprise corpus supports all mixes")
+    corpus
+        .mix(mix)
+        .expect("enterprise corpus supports all mixes")
 }
 
 #[cfg(test)]
@@ -280,23 +286,35 @@ mod tests {
 
     #[test]
     fn mix_selects_matching_topology() {
-        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .horizon(100)
-            .build();
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(100)
+        .build();
         assert_eq!(cfg.topology.num_servers(), 180);
         assert_eq!(cfg.traces.len(), 180);
-        let cfg60 = Scenario::paper(SystemKind::ServerB, Mix::Hh60, CoordinationMode::Coordinated)
-            .horizon(100)
-            .build();
+        let cfg60 = Scenario::paper(
+            SystemKind::ServerB,
+            Mix::Hh60,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(100)
+        .build();
         assert_eq!(cfg60.topology.num_servers(), 60);
         assert_eq!(cfg60.traces.len(), 60);
     }
 
     #[test]
     fn label_mentions_system_mix_and_mode() {
-        let cfg = Scenario::paper(SystemKind::ServerB, Mix::H60, CoordinationMode::Uncoordinated)
-            .horizon(100)
-            .build();
+        let cfg = Scenario::paper(
+            SystemKind::ServerB,
+            Mix::H60,
+            CoordinationMode::Uncoordinated,
+        )
+        .horizon(100)
+        .build();
         assert!(cfg.label.contains("Server B"));
         assert!(cfg.label.contains("60H"));
         assert!(cfg.label.contains("Uncoordinated"));
@@ -305,21 +323,33 @@ mod tests {
 
     #[test]
     fn pstate_subset_flows_into_model() {
-        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .pstate_subset(vec![0, 4])
-            .horizon(100)
-            .build();
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .pstate_subset(vec![0, 4])
+        .horizon(100)
+        .build();
         assert_eq!(cfg.model.num_pstates(), 2);
     }
 
     #[test]
     fn same_seed_same_traces() {
-        let a = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .horizon(200)
-            .build();
-        let b = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .horizon(200)
-            .build();
+        let a = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(200)
+        .build();
+        let b = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(200)
+        .build();
         assert_eq!(a.traces, b.traces);
     }
 

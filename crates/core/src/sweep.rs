@@ -54,10 +54,7 @@ pub fn run_sweep(configs: &[ExperimentConfig], threads: usize) -> Vec<Experiment
 }
 
 /// Persists sweep results as JSON.
-pub fn save_results(
-    results: &[ExperimentResult],
-    path: impl AsRef<Path>,
-) -> std::io::Result<()> {
+pub fn save_results(results: &[ExperimentResult], path: impl AsRef<Path>) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), results)
         .map_err(std::io::Error::other)

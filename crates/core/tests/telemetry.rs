@@ -1,0 +1,167 @@
+//! Telemetry integration: the event log a [`Runner`] records must stay in
+//! lockstep with the [`RunStats`] the same run reports, survive a JSON
+//! round trip, and cover every controller epoch.
+
+use nps_core::{ControllerMask, CoordinationMode, Runner, Scenario, SystemKind};
+use nps_metrics::{BudgetLevel, ControllerKind, EventKind, RunStats, TelemetryEvent, TelemetryLog};
+use nps_traces::Mix;
+
+/// Runs a scenario with a generously sized ring recorder and returns the
+/// parsed JSON log next to the run's own stats.
+fn record(
+    system: SystemKind,
+    mask: Option<ControllerMask>,
+    horizon: u64,
+) -> (TelemetryLog, RunStats) {
+    let mut sc = Scenario::paper(system, Mix::All180, CoordinationMode::Coordinated)
+        .horizon(horizon)
+        .seed(7);
+    if let Some(mask) = mask {
+        sc = sc.mask(mask);
+    }
+    let cfg = sc.build();
+    let mut runner = Runner::new(&cfg);
+    runner.enable_ring_telemetry(1 << 20);
+    let stats = runner.run_to_horizon();
+    let ring = runner.ring_telemetry().expect("ring recorder installed");
+    assert_eq!(ring.dropped(), 0, "capacity must hold the whole run");
+    let log = TelemetryLog::from_json(&ring.to_json()).expect("log round-trips through JSON");
+    assert_eq!(&log, &ring.export());
+    (log, stats)
+}
+
+fn static_violations(log: &TelemetryLog, level: BudgetLevel) -> u64 {
+    log.events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TelemetryEvent::Violation {
+                    level: l,
+                    effective: false,
+                    ..
+                } if *l == level
+            )
+        })
+        .count() as u64
+}
+
+#[test]
+fn event_log_agrees_with_run_stats() {
+    let (log, stats) = record(SystemKind::BladeA, None, 1_200);
+    assert_eq!(
+        static_violations(&log, BudgetLevel::Server),
+        stats.violations.server.violated()
+    );
+    assert_eq!(
+        static_violations(&log, BudgetLevel::Enclosure),
+        stats.violations.enclosure.violated()
+    );
+    assert_eq!(
+        static_violations(&log, BudgetLevel::Group),
+        stats.violations.group.violated()
+    );
+    assert_eq!(log.count(EventKind::Migration), stats.migrations);
+}
+
+#[test]
+fn consolidating_run_logs_every_started_migration() {
+    let (log, stats) = record(SystemKind::ServerB, Some(ControllerMask::VMC_ONLY), 1_200);
+    assert!(stats.migrations > 0, "scenario must consolidate");
+    assert_eq!(log.count(EventKind::Migration), stats.migrations);
+    // Static violation measurement runs regardless of the mask.
+    assert_eq!(
+        static_violations(&log, BudgetLevel::Server),
+        stats.violations.server.violated()
+    );
+    // Each VMC epoch produced exactly one structured plan event.
+    let expected_epochs = (1_200 - 1) / 500; // ticks 500 and 1000
+    assert_eq!(log.count(EventKind::VmcPlan), expected_epochs);
+}
+
+#[test]
+fn every_controller_epoch_emits_events() {
+    let (log, _) = record(SystemKind::BladeA, None, 1_200);
+    let has_source = |src: ControllerKind| log.events.iter().any(|e| e.source() == src);
+    assert!(
+        log.events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::PStateChange {
+                source: ControllerKind::Ec,
+                ..
+            }
+        )),
+        "EC epochs must log P-state changes"
+    );
+    assert!(
+        log.count(EventKind::RRefUpdate) > 0,
+        "coordinated SM epochs must log r_ref retunes"
+    );
+    assert!(
+        log.budget_flow()
+            .iter()
+            .any(|&(_, l, _, _)| l == BudgetLevel::Enclosure),
+        "EM epochs must log grants to servers"
+    );
+    assert!(
+        log.budget_flow()
+            .iter()
+            .any(|&(_, l, _, _)| l == BudgetLevel::Group),
+        "GM epochs must log grants to enclosures"
+    );
+    assert!(has_source(ControllerKind::Vmc), "VMC epochs must log plans");
+    // Grant amounts must serialize losslessly (no infinities in the log).
+    for (_, _, _, watts) in log.budget_flow() {
+        assert!(watts.is_finite());
+    }
+}
+
+#[test]
+fn electrical_capper_logs_its_clamps() {
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated)
+        .horizon(600)
+        .seed(7)
+        .electrical_cap(0.7)
+        .build();
+    let mut runner = Runner::new(&cfg);
+    runner.enable_ring_telemetry(1 << 20);
+    runner.run_to_horizon();
+    let ring = runner.ring_telemetry().unwrap();
+    let clamps = ring
+        .events()
+        .filter(|e| {
+            matches!(
+                e,
+                TelemetryEvent::PStateChange {
+                    source: ControllerKind::Electrical,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(clamps > 0, "a 70% fuse under heavy load must clamp");
+}
+
+#[test]
+fn runner_without_recorder_records_nothing() {
+    let cfg = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .horizon(300)
+    .seed(7)
+    .build();
+    let mut runner = Runner::new(&cfg);
+    assert!(runner.ring_telemetry().is_none());
+    runner.run_to_horizon();
+    assert!(runner.ring_telemetry().is_none());
+    assert!(runner.take_recorder().is_none());
+}
+
+#[test]
+fn identical_runs_produce_identical_logs() {
+    let (a, _) = record(SystemKind::BladeA, None, 600);
+    let (b, _) = record(SystemKind::BladeA, None, 600);
+    assert_eq!(a, b);
+}

@@ -153,7 +153,10 @@ mod tests {
         let s = stats(1_000.0, 500.0);
         assert!((s.mean_power() - 10.0).abs() < 1e-12);
         assert_eq!(s.delivery_ratio(), 1.0);
-        let zero = RunStats { ticks: 0, ..stats(0.0, 0.0) };
+        let zero = RunStats {
+            ticks: 0,
+            ..stats(0.0, 0.0)
+        };
         assert_eq!(zero.mean_power(), 0.0);
         assert_eq!(zero.delivery_ratio(), 1.0);
     }

@@ -15,9 +15,14 @@
 mod compare;
 mod report;
 mod series;
+pub mod telemetry;
 mod violations;
 
 pub use compare::{Comparison, RunStats};
 pub use report::Table;
 pub use series::TimeSeries;
+pub use telemetry::{
+    BudgetLevel, ControllerKind, EventKind, NoopRecorder, Recorder, RingRecorder, TelemetryEvent,
+    TelemetryLog, TelemetrySummary,
+};
 pub use violations::{LevelViolations, ViolationCounter};

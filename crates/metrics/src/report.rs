@@ -103,6 +103,6 @@ mod tests {
     #[test]
     fn fmt_renders_one_decimal() {
         assert_eq!(Table::fmt(63.96), "64.0");
-        assert_eq!(Table::fmt(-3.14), "-3.1");
+        assert_eq!(Table::fmt(-3.15), "-3.1");
     }
 }

@@ -52,7 +52,8 @@ impl TimeSeries {
         self.pending_sum += value;
         self.pending_count += 1;
         if self.pending_count >= self.stride {
-            self.points.push(self.pending_sum / self.pending_count as f64);
+            self.points
+                .push(self.pending_sum / self.pending_count as f64);
             self.pending_sum = 0.0;
             self.pending_count = 0;
             if self.points.len() >= self.max_points {
@@ -107,10 +108,11 @@ impl TimeSeries {
 
     /// Minimum and maximum stored point values.
     pub fn min_max(&self) -> (f64, f64) {
-        self.points.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)),
-        )
+        self.points
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     }
 }
 

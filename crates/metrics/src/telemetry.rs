@@ -1,0 +1,741 @@
+//! Event-level controller telemetry.
+//!
+//! The paper's evaluation (§5, Figures 7–10) is an argument about *what
+//! each controller decided every interval*: P-state writes, `r_ref`
+//! retunes, budget grants flowing down the EM/GM hierarchy, violations,
+//! and VMC consolidation plans. This module gives the runner a structured
+//! window into those decisions: a [`TelemetryEvent`] per coordination
+//! action, a [`Recorder`] sink trait, a zero-overhead [`NoopRecorder`],
+//! and a bounded [`RingRecorder`] with per-event-type counters, JSON
+//! export, and a [`TelemetrySummary`] reporter.
+//!
+//! The overhead contract: a runner with *no* recorder installed pays one
+//! `Option` discriminant test per potential event; a [`NoopRecorder`]
+//! pays one virtual call on an empty body. Both are verified by the
+//! `telemetry` criterion bench in `nps-bench`.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which controller produced an event (the five paper controllers plus
+/// the electrical fuse capper extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// Efficiency controller (per server, every tick).
+    Ec,
+    /// Server manager (per server).
+    Sm,
+    /// Enclosure manager.
+    Em,
+    /// Group manager.
+    Gm,
+    /// Virtual machine controller.
+    Vmc,
+    /// Electrical fuse capper (extension).
+    Electrical,
+}
+
+impl ControllerKind {
+    /// All controllers, report order.
+    pub const ALL: [ControllerKind; 6] = [
+        ControllerKind::Ec,
+        ControllerKind::Sm,
+        ControllerKind::Em,
+        ControllerKind::Gm,
+        ControllerKind::Vmc,
+        ControllerKind::Electrical,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControllerKind::Ec => "EC",
+            ControllerKind::Sm => "SM",
+            ControllerKind::Em => "EM",
+            ControllerKind::Gm => "GM",
+            ControllerKind::Vmc => "VMC",
+            ControllerKind::Electrical => "ELEC",
+        }
+    }
+}
+
+/// A budget level in the capping hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BudgetLevel {
+    /// Server-manager level.
+    Server,
+    /// Enclosure-manager level.
+    Enclosure,
+    /// Group-manager level.
+    Group,
+}
+
+impl BudgetLevel {
+    /// All levels, innermost first.
+    pub const ALL: [BudgetLevel; 3] = [
+        BudgetLevel::Server,
+        BudgetLevel::Enclosure,
+        BudgetLevel::Group,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetLevel::Server => "server",
+            BudgetLevel::Enclosure => "enclosure",
+            BudgetLevel::Group => "group",
+        }
+    }
+}
+
+/// One controller decision, observed at the coordination surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A controller moved a server's P-state actuator.
+    PStateChange {
+        /// Tick of the write.
+        tick: u64,
+        /// Server whose actuator moved.
+        server: usize,
+        /// P-state index before the write.
+        from: usize,
+        /// P-state index after the write.
+        to: usize,
+        /// Which controller wrote it.
+        source: ControllerKind,
+    },
+    /// The SM retuned an EC's utilization target `r_ref` (the paper's
+    /// coordinated actuation channel).
+    RRefUpdate {
+        /// Tick of the retune.
+        tick: u64,
+        /// Server whose EC was retuned.
+        server: usize,
+        /// The new reference utilization.
+        r_ref: f64,
+    },
+    /// A capping level granted a child its dynamic budget share.
+    BudgetGrant {
+        /// Tick of the grant.
+        tick: u64,
+        /// The *granting* level (`Enclosure` → grants to servers,
+        /// `Group` → grants to enclosures and standalone servers).
+        level: BudgetLevel,
+        /// Child index in the grantor's child ordering.
+        child: usize,
+        /// Granted watts.
+        watts: f64,
+    },
+    /// A measurement window exceeded a budget.
+    Violation {
+        /// Tick the window closed.
+        tick: u64,
+        /// Violated level.
+        level: BudgetLevel,
+        /// Window-average power observed (watts).
+        observed_watts: f64,
+        /// The budget it exceeded (watts).
+        cap_watts: f64,
+        /// `false`: the *static* cap (the paper's reported metric, in
+        /// lockstep with `RunStats`); `true`: the dynamically granted
+        /// effective cap.
+        effective: bool,
+    },
+    /// The VMC moved a VM.
+    Migration {
+        /// Tick of the move.
+        tick: u64,
+        /// The VM moved.
+        vm: usize,
+        /// Source server.
+        from: usize,
+        /// Destination server.
+        to: usize,
+    },
+    /// The VMC revived a server.
+    PowerOn {
+        /// Tick of the transition.
+        tick: u64,
+        /// The server powered on.
+        server: usize,
+    },
+    /// The VMC turned a drained server off.
+    PowerOff {
+        /// Tick of the transition.
+        tick: u64,
+        /// The server powered off.
+        server: usize,
+    },
+    /// One VMC planning epoch (replaces the old `NPS_DEBUG_VMC` stderr
+    /// dump with structured data).
+    VmcPlan {
+        /// Tick of the planning epoch.
+        tick: u64,
+        /// Mean of per-VM demand estimates fed to the packer.
+        demand_mean: f64,
+        /// Max of per-VM demand estimates.
+        demand_max: f64,
+        /// Servers used by the produced placement.
+        used_servers: usize,
+        /// Migrations the plan requests.
+        migrations: usize,
+        /// Servers the plan powers on.
+        power_on: usize,
+        /// Servers the plan powers off.
+        power_off: usize,
+        /// Placements forced despite violated buffers.
+        forced_placements: usize,
+    },
+}
+
+/// Event type tags for counters and filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// [`TelemetryEvent::PStateChange`].
+    PStateChange,
+    /// [`TelemetryEvent::RRefUpdate`].
+    RRefUpdate,
+    /// [`TelemetryEvent::BudgetGrant`].
+    BudgetGrant,
+    /// [`TelemetryEvent::Violation`].
+    Violation,
+    /// [`TelemetryEvent::Migration`].
+    Migration,
+    /// [`TelemetryEvent::PowerOn`].
+    PowerOn,
+    /// [`TelemetryEvent::PowerOff`].
+    PowerOff,
+    /// [`TelemetryEvent::VmcPlan`].
+    VmcPlan,
+}
+
+impl EventKind {
+    /// All kinds, declaration order (indexes the counter array).
+    pub const ALL: [EventKind; 8] = [
+        EventKind::PStateChange,
+        EventKind::RRefUpdate,
+        EventKind::BudgetGrant,
+        EventKind::Violation,
+        EventKind::Migration,
+        EventKind::PowerOn,
+        EventKind::PowerOff,
+        EventKind::VmcPlan,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::PStateChange => "pstate_change",
+            EventKind::RRefUpdate => "r_ref_update",
+            EventKind::BudgetGrant => "budget_grant",
+            EventKind::Violation => "violation",
+            EventKind::Migration => "migration",
+            EventKind::PowerOn => "power_on",
+            EventKind::PowerOff => "power_off",
+            EventKind::VmcPlan => "vmc_plan",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl TelemetryEvent {
+    /// The event's type tag.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TelemetryEvent::PStateChange { .. } => EventKind::PStateChange,
+            TelemetryEvent::RRefUpdate { .. } => EventKind::RRefUpdate,
+            TelemetryEvent::BudgetGrant { .. } => EventKind::BudgetGrant,
+            TelemetryEvent::Violation { .. } => EventKind::Violation,
+            TelemetryEvent::Migration { .. } => EventKind::Migration,
+            TelemetryEvent::PowerOn { .. } => EventKind::PowerOn,
+            TelemetryEvent::PowerOff { .. } => EventKind::PowerOff,
+            TelemetryEvent::VmcPlan { .. } => EventKind::VmcPlan,
+        }
+    }
+
+    /// Tick the event happened at.
+    pub fn tick(&self) -> u64 {
+        match self {
+            TelemetryEvent::PStateChange { tick, .. }
+            | TelemetryEvent::RRefUpdate { tick, .. }
+            | TelemetryEvent::BudgetGrant { tick, .. }
+            | TelemetryEvent::Violation { tick, .. }
+            | TelemetryEvent::Migration { tick, .. }
+            | TelemetryEvent::PowerOn { tick, .. }
+            | TelemetryEvent::PowerOff { tick, .. }
+            | TelemetryEvent::VmcPlan { tick, .. } => *tick,
+        }
+    }
+
+    /// The controller responsible for the event.
+    pub fn source(&self) -> ControllerKind {
+        match self {
+            TelemetryEvent::PStateChange { source, .. } => *source,
+            TelemetryEvent::RRefUpdate { .. } => ControllerKind::Sm,
+            TelemetryEvent::BudgetGrant {
+                level: BudgetLevel::Enclosure,
+                ..
+            } => ControllerKind::Em,
+            TelemetryEvent::BudgetGrant { .. } => ControllerKind::Gm,
+            TelemetryEvent::Violation { level, .. } => match level {
+                BudgetLevel::Server => ControllerKind::Sm,
+                BudgetLevel::Enclosure => ControllerKind::Em,
+                BudgetLevel::Group => ControllerKind::Gm,
+            },
+            TelemetryEvent::Migration { .. }
+            | TelemetryEvent::PowerOn { .. }
+            | TelemetryEvent::PowerOff { .. }
+            | TelemetryEvent::VmcPlan { .. } => ControllerKind::Vmc,
+        }
+    }
+}
+
+/// A sink for controller telemetry.
+///
+/// Implementations must keep `record` cheap: it runs inside the
+/// controller epochs of the hot simulation loop.
+pub trait Recorder: fmt::Debug {
+    /// Accepts one event.
+    fn record(&mut self, event: TelemetryEvent);
+
+    /// Whether events are actually retained. Emitters may (but need not)
+    /// skip expensive event construction when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Downcasting hook so callers can recover a concrete recorder from a
+    /// `Box<dyn Recorder>` (e.g. [`RingRecorder::to_json`]).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Discards every event. Exists so telemetry plumbing can stay installed
+/// while costing (nearly) nothing — one virtual call with an empty body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn record(&mut self, _event: TelemetryEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Bounded in-memory recorder: keeps the most recent `capacity` events in
+/// a ring, counts *all* events per type (counts are exact even after the
+/// ring wraps), and exports to JSON.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    capacity: usize,
+    events: VecDeque<TelemetryEvent>,
+    counts: [u64; EventKind::ALL.len()],
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A recorder retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            counts: [0; EventKind::ALL.len()],
+            dropped: 0,
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TelemetryEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events recorded (retained + dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact count of events of `kind`, including evicted ones.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// The exportable log (owned snapshot).
+    pub fn export(&self) -> TelemetryLog {
+        TelemetryLog {
+            capacity: self.capacity,
+            dropped: self.dropped,
+            counts: EventKind::ALL
+                .iter()
+                .map(|&k| KindCount {
+                    kind: k,
+                    count: self.count(k),
+                })
+                .collect(),
+            events: self.events.iter().cloned().collect(),
+        }
+    }
+
+    /// The log as a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.export()).expect("telemetry log serialization is infallible")
+    }
+
+    /// Summarizes the recorded run.
+    pub fn summary(&self) -> TelemetrySummary {
+        TelemetrySummary::from_log(&self.export())
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, event: TelemetryEvent) {
+        self.counts[event.kind().index()] += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Exact per-kind event count (JSON export entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindCount {
+    /// The event type.
+    pub kind: EventKind,
+    /// How many were recorded (including evicted ones).
+    pub count: u64,
+}
+
+/// A serializable snapshot of a [`RingRecorder`]: exact counters plus the
+/// retained event window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryLog {
+    /// The ring bound the recorder ran with.
+    pub capacity: usize,
+    /// Events evicted by that bound.
+    pub dropped: u64,
+    /// Exact per-type counts over the whole run.
+    pub counts: Vec<KindCount>,
+    /// Retained events, oldest first.
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl TelemetryLog {
+    /// Parses a log previously produced by [`RingRecorder::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Exact count of `kind` over the whole run.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts
+            .iter()
+            .find(|c| c.kind == kind)
+            .map_or(0, |c| c.count)
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn events_of(&self, kind: EventKind) -> impl Iterator<Item = &TelemetryEvent> {
+        self.events.iter().filter(move |e| e.kind() == kind)
+    }
+
+    /// Ticks at which `level`'s *static* budget was violated (from the
+    /// retained window).
+    pub fn violation_timeline(&self, level: BudgetLevel) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Violation {
+                    tick,
+                    level: l,
+                    effective: false,
+                    ..
+                } if *l == level => Some(*tick),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Retained static-budget violations at `level`, including evicted
+    /// ones *not* — use [`TelemetryLog::count`] for exact totals.
+    pub fn retained_violations(&self, level: BudgetLevel) -> usize {
+        self.violation_timeline(level).len()
+    }
+
+    /// The budget-flow trace: every retained grant as
+    /// `(tick, granting level, child, watts)`, oldest first.
+    pub fn budget_flow(&self) -> Vec<(u64, BudgetLevel, usize, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::BudgetGrant {
+                    tick,
+                    level,
+                    child,
+                    watts,
+                } => Some((*tick, *level, *child, *watts)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Per-controller activity over one recorded run, for reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Total events recorded (exact).
+    pub total: u64,
+    /// Events evicted by the ring bound.
+    pub dropped: u64,
+    /// Exact per-type counts.
+    pub by_kind: Vec<KindCount>,
+    /// Events attributed to each controller (from the retained window).
+    pub by_controller: Vec<(ControllerKind, u64)>,
+    /// Retained static-violation ticks per level, innermost first.
+    pub violation_ticks: Vec<(BudgetLevel, Vec<u64>)>,
+    /// Total watts granted per level (retained window).
+    pub granted_watts: Vec<(BudgetLevel, f64)>,
+    /// Ticks spanned by the retained window (first, last).
+    pub window: Option<(u64, u64)>,
+}
+
+impl TelemetrySummary {
+    /// Builds the summary from an exported log.
+    pub fn from_log(log: &TelemetryLog) -> Self {
+        let mut by_controller: Vec<(ControllerKind, u64)> =
+            ControllerKind::ALL.iter().map(|&c| (c, 0)).collect();
+        for e in &log.events {
+            let src = e.source();
+            if let Some(slot) = by_controller.iter_mut().find(|(c, _)| *c == src) {
+                slot.1 += 1;
+            }
+        }
+        let violation_ticks = BudgetLevel::ALL
+            .iter()
+            .map(|&l| (l, log.violation_timeline(l)))
+            .collect();
+        let mut granted_watts: Vec<(BudgetLevel, f64)> =
+            BudgetLevel::ALL.iter().map(|&l| (l, 0.0)).collect();
+        for (_, level, _, watts) in log.budget_flow() {
+            if let Some(slot) = granted_watts.iter_mut().find(|(l, _)| *l == level) {
+                slot.1 += watts;
+            }
+        }
+        let window = match (log.events.first(), log.events.last()) {
+            (Some(first), Some(last)) => Some((first.tick(), last.tick())),
+            _ => None,
+        };
+        TelemetrySummary {
+            total: log.counts.iter().map(|c| c.count).sum(),
+            dropped: log.dropped,
+            by_kind: log.counts.clone(),
+            by_controller,
+            violation_ticks,
+            granted_watts,
+            window,
+        }
+    }
+}
+
+impl fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "telemetry: {} events ({} dropped by ring bound)",
+            self.total, self.dropped
+        )?;
+        if let Some((first, last)) = self.window {
+            writeln!(f, "  retained window: ticks {first}..={last}")?;
+        }
+        write!(f, "  by kind:")?;
+        for c in &self.by_kind {
+            if c.count > 0 {
+                write!(f, " {}={}", c.kind.label(), c.count)?;
+            }
+        }
+        writeln!(f)?;
+        write!(f, "  by controller (retained):")?;
+        for (c, n) in &self.by_controller {
+            if *n > 0 {
+                write!(f, " {}={}", c.label(), n)?;
+            }
+        }
+        writeln!(f)?;
+        for (level, ticks) in &self.violation_ticks {
+            if !ticks.is_empty() {
+                writeln!(
+                    f,
+                    "  {} static violations (retained): {} (first t={}, last t={})",
+                    level.label(),
+                    ticks.len(),
+                    ticks[0],
+                    ticks[ticks.len() - 1]
+                )?;
+            }
+        }
+        for (level, watts) in &self.granted_watts {
+            if *watts > 0.0 {
+                writeln!(
+                    f,
+                    "  {} grants (retained): {:.1} W total",
+                    level.label(),
+                    watts
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(tick: u64) -> TelemetryEvent {
+        TelemetryEvent::Violation {
+            tick,
+            level: BudgetLevel::Server,
+            observed_watts: 300.0,
+            cap_watts: 250.0,
+            effective: false,
+        }
+    }
+
+    #[test]
+    fn ring_respects_bound_and_counts_everything() {
+        let mut r = RingRecorder::new(4);
+        for t in 0..10 {
+            r.record(violation(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.count(EventKind::Violation), 10);
+        assert_eq!(r.total_recorded(), 10);
+        // The retained window holds the most recent events.
+        let ticks: Vec<u64> = r.events().map(TelemetryEvent::tick).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_log() {
+        let mut r = RingRecorder::new(16);
+        r.record(violation(5));
+        r.record(TelemetryEvent::PStateChange {
+            tick: 6,
+            server: 3,
+            from: 0,
+            to: 2,
+            source: ControllerKind::Ec,
+        });
+        r.record(TelemetryEvent::BudgetGrant {
+            tick: 25,
+            level: BudgetLevel::Enclosure,
+            child: 1,
+            watts: 212.5,
+        });
+        r.record(TelemetryEvent::VmcPlan {
+            tick: 500,
+            demand_mean: 0.31,
+            demand_max: 0.9,
+            used_servers: 12,
+            migrations: 4,
+            power_on: 0,
+            power_off: 3,
+            forced_placements: 0,
+        });
+        let json = r.to_json();
+        let back = TelemetryLog::from_json(&json).unwrap();
+        assert_eq!(back, r.export());
+        assert_eq!(back.count(EventKind::Violation), 1);
+        assert_eq!(back.violation_timeline(BudgetLevel::Server), vec![5]);
+        assert_eq!(
+            back.budget_flow(),
+            vec![(25, BudgetLevel::Enclosure, 1, 212.5)]
+        );
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let mut n = NoopRecorder;
+        assert!(!n.enabled());
+        n.record(violation(1));
+        assert!(n.as_any().downcast_ref::<NoopRecorder>().is_some());
+    }
+
+    #[test]
+    fn summary_attributes_events_to_controllers() {
+        let mut r = RingRecorder::new(64);
+        r.record(violation(5));
+        r.record(TelemetryEvent::Migration {
+            tick: 500,
+            vm: 2,
+            from: 0,
+            to: 1,
+        });
+        r.record(TelemetryEvent::RRefUpdate {
+            tick: 10,
+            server: 0,
+            r_ref: 0.71,
+        });
+        let s = r.summary();
+        assert_eq!(s.total, 3);
+        let get = |c: ControllerKind| {
+            s.by_controller
+                .iter()
+                .find(|(k, _)| *k == c)
+                .map(|(_, n)| *n)
+                .unwrap()
+        };
+        // Violation at server level and the r_ref retune are SM activity.
+        assert_eq!(get(ControllerKind::Sm), 2);
+        assert_eq!(get(ControllerKind::Vmc), 1);
+        let text = s.to_string();
+        assert!(text.contains("3 events"));
+        assert!(text.contains("SM=2"));
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let mut r = RingRecorder::new(0);
+        r.record(violation(1));
+        r.record(violation(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.total_recorded(), 2);
+    }
+}

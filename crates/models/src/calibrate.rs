@@ -101,10 +101,7 @@ pub fn fit_line(points: &[(f64, f64)]) -> Result<(f64, f64)> {
     if sxx <= f64::EPSILON {
         return Err(ModelError::DegenerateSamples);
     }
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     Ok((slope, intercept))

@@ -101,7 +101,7 @@ mod tests {
         let m = LinearPower::new(45.0, 75.0);
         assert_eq!(m.power(-0.3), m.power(0.0));
         assert_eq!(m.power(1.7), m.power(1.0));
-        assert_eq!(m.power(f64::NAN).is_nan(), false);
+        assert!(!m.power(f64::NAN).is_nan());
     }
 
     #[test]

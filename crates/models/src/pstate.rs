@@ -7,9 +7,7 @@ use crate::power::{LinearPerf, LinearPower};
 /// `PState(0)` is the highest-frequency (fastest, most power-hungry) state,
 /// matching the ACPI convention the paper uses; larger indices are deeper
 /// (slower) states.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PState(pub usize);
 
 impl PState {

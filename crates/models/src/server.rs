@@ -243,7 +243,10 @@ impl ServerModel {
             });
         }
         let states = indices.iter().map(|&i| self.states[i]).collect();
-        Self::new(format!("{} ({}-state subset)", self.name, indices.len()), states)
+        Self::new(
+            format!("{} ({}-state subset)", self.name, indices.len()),
+            states,
+        )
     }
 
     /// Keeps only the two extreme P-states (P0 and the deepest state) —
@@ -270,14 +273,10 @@ impl ServerModel {
                 p0_max - idle
             } else {
                 // Preserve each state's slope ratio relative to P0.
-                (s.power.slope / self.states[0].power.slope) * (p0_max - self.states[0].power.idle * factor)
+                (s.power.slope / self.states[0].power.slope)
+                    * (p0_max - self.states[0].power.idle * factor)
             };
-            states.push(PStateModel::new(
-                s.frequency_hz,
-                slope,
-                idle,
-                s.perf.scale,
-            ));
+            states.push(PStateModel::new(s.frequency_hz, slope, idle, s.perf.scale));
         }
         Self::new(format!("{} (idle×{factor})", self.name), states)
     }
@@ -501,7 +500,10 @@ mod tests {
             .pstate(1.5e9, 8.0, 40.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::NonDecreasingFrequencies { index: 1 }));
+        assert!(matches!(
+            err,
+            ModelError::NonDecreasingFrequencies { index: 1 }
+        ));
     }
 
     #[test]

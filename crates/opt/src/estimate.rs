@@ -21,7 +21,9 @@ pub struct PowerEstimator {
 
 impl Default for PowerEstimator {
     fn default() -> Self {
-        Self { assumed_r_ref: 0.75 }
+        Self {
+            assumed_r_ref: 0.75,
+        }
     }
 }
 
@@ -74,7 +76,11 @@ mod tests {
         let mut last = 0.0;
         for i in 0..=20 {
             let p = e.power(&m, i as f64 / 20.0);
-            assert!(p >= last - 1e-9, "load {} power {p} < {last}", i as f64 / 20.0);
+            assert!(
+                p >= last - 1e-9,
+                "load {} power {p} < {last}",
+                i as f64 / 20.0
+            );
             last = p;
         }
     }

@@ -195,7 +195,10 @@ pub fn greedy_pack(
             if best.map(|(bs, _)| s < bs).unwrap_or(true) {
                 best = Some((s, i));
             }
-            if matches!(cfg.algorithm, crate::vmc::PackingAlgorithm::FirstFitDecreasing) {
+            if matches!(
+                cfg.algorithm,
+                crate::vmc::PackingAlgorithm::FirstFitDecreasing
+            ) {
                 break; // first feasible server wins outright
             }
         }
@@ -209,13 +212,11 @@ pub fn greedy_pack(
                 // infeasible either way.
                 forced += 1;
                 let least_loaded = |pred: &dyn Fn(usize) -> bool| {
-                    (0..n)
-                        .filter(|&i| pred(i))
-                        .min_by(|&a, &b| {
-                            state.loads[a]
-                                .partial_cmp(&state.loads[b])
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                    (0..n).filter(|&i| pred(i)).min_by(|&a, &b| {
+                        state.loads[a]
+                            .partial_cmp(&state.loads[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
                 };
                 least_loaded(&|i| state.loads[i] > 0.0 && state.loads[i] + extra <= 1.0)
                     .or_else(|| least_loaded(&|_| true))

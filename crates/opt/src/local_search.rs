@@ -31,7 +31,10 @@ pub fn improve(
     let mut hosts: Vec<ServerId> = (0..demands.len())
         .map(|j| plan.placement.host_of(nps_sim::VmId(j)))
         .collect();
-    let overheads: Vec<f64> = demands.iter().map(|d| d.max(0.0) * (1.0 + cfg.alpha_v)).collect();
+    let overheads: Vec<f64> = demands
+        .iter()
+        .map(|d| d.max(0.0) * (1.0 + cfg.alpha_v))
+        .collect();
     let mut loads = vec![0.0; n];
     for (j, h) in hosts.iter().enumerate() {
         loads[h.index()] += overheads[j];
@@ -61,8 +64,7 @@ pub fn improve(
                 let to_after = server_power(loads[to] + d, to);
                 if cfg.use_budget_constraints {
                     let floor = ctx.models[to].min_active_power() * 1.05;
-                    let eff_cap =
-                        ((1.0 - b_loc) * ctx.cap_loc[to]).max(floor.min(ctx.cap_loc[to]));
+                    let eff_cap = ((1.0 - b_loc) * ctx.cap_loc[to]).max(floor.min(ctx.cap_loc[to]));
                     if to_after > eff_cap {
                         continue;
                     }
@@ -91,7 +93,8 @@ pub fn improve(
                         continue;
                     }
                 }
-                let gain = (from_now - from_after) - (to_after - to_now)
+                let gain = (from_now - from_after)
+                    - (to_after - to_now)
                     - cfg.migration_weight * d * ctx.models[to].max_power();
                 if gain > 1e-9 && best.map(|(bg, _)| gain > bg).unwrap_or(true) {
                     best = Some((gain, to));
@@ -139,7 +142,15 @@ mod tests {
         let cfg = VmcConfig::default();
         let est = PowerEstimator::default();
         let base = greedy_pack(&demands, &ctx, &est, &cfg, (0.0, 0.0, 0.0));
-        let better = improve(base.clone(), &demands, &ctx, &est, &cfg, (0.0, 0.0, 0.0), 10);
+        let better = improve(
+            base.clone(),
+            &demands,
+            &ctx,
+            &est,
+            &cfg,
+            (0.0, 0.0, 0.0),
+            10,
+        );
         assert!(better.estimated_power_watts <= base.estimated_power_watts + 1e-6);
         assert_eq!(better.placement.num_vms(), 6);
     }

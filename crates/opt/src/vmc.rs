@@ -4,11 +4,11 @@
 use serde::{Deserialize, Serialize};
 
 use crate::context::ClusterContext;
-use nps_models::ServerModel;
 use crate::estimate::PowerEstimator;
 use crate::greedy::greedy_pack;
 use crate::local_search::improve;
 use crate::plan::VmcPlan;
+use nps_models::ServerModel;
 
 /// The optimization objective of the placement program — paper §6.1
 /// extension (6): *"energy efficiency and energy-delay objective
@@ -194,7 +194,11 @@ impl Vmc {
     pub fn new(cfg: VmcConfig) -> Self {
         Self {
             cfg,
-            b_loc: if cfg.use_feedback { Self::INITIAL_B_LOC } else { 0.0 },
+            b_loc: if cfg.use_feedback {
+                Self::INITIAL_B_LOC
+            } else {
+                0.0
+            },
             b_enc: 0.0,
             b_grp: 0.0,
         }

@@ -35,9 +35,9 @@ fn check_plan_constraints(
         }
     };
     let mut group = 0.0;
-    for i in 0..n {
+    for (i, &load) in loads.iter().enumerate() {
         // Constraint (2).
-        prop_assert!(loads[i] <= cfg.headroom + 1e-9, "server {i} overfilled: {}", loads[i]);
+        prop_assert!(load <= cfg.headroom + 1e-9, "server {i} overfilled: {load}");
         if cfg.use_budget_constraints {
             // Constraint (3).
             prop_assert!(

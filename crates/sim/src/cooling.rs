@@ -75,8 +75,7 @@ impl CracConfig {
     /// The airflow needed to hold the setpoint at `zone_watts`, clamped
     /// to the actuation range.
     pub fn airflow_for(&self, zone_watts: f64) -> f64 {
-        let needed =
-            zone_watts / (self.heat_capacity_flow * (self.setpoint_c - self.supply_c));
+        let needed = zone_watts / (self.heat_capacity_flow * (self.setpoint_c - self.supply_c));
         needed.clamp(self.airflow_min, self.airflow_max)
     }
 }

@@ -227,7 +227,9 @@ impl Simulation {
             }
         }
         // 5. Bookkeeping.
-        self.pstate_written_this_tick.iter_mut().for_each(|w| *w = false);
+        self.pstate_written_this_tick
+            .iter_mut()
+            .for_each(|w| *w = false);
         self.tick += 1;
     }
 
@@ -332,9 +334,7 @@ impl Simulation {
     /// enclosure base power.
     pub fn total_energy(&self) -> f64 {
         self.cum_power.iter().sum::<f64>()
-            + self.cfg.enclosure_base_watts
-                * self.topo.num_enclosures() as f64
-                * self.tick as f64
+            + self.cfg.enclosure_base_watts * self.topo.num_enclosures() as f64 * self.tick as f64
     }
 
     /// Last-tick observation for `vm`.
@@ -408,7 +408,8 @@ impl Simulation {
         let p = PState(p.index().min(self.models[i].num_pstates() - 1));
         if self.pstate_written_this_tick[i] && self.pstate[i] != p {
             self.pstate_conflicts += 1;
-            self.events.record(self.tick, Event::PStateConflict { server: s });
+            self.events
+                .record(self.tick, Event::PStateConflict { server: s });
         }
         self.pstate_written_this_tick[i] = true;
         self.pstate[i] = p;
@@ -434,7 +435,8 @@ impl Simulation {
             return Err(SimError::ServerNotEmpty { server: s, vms });
         }
         if self.on[s.index()] {
-            self.events.record(self.tick, Event::PoweredOff { server: s });
+            self.events
+                .record(self.tick, Event::PoweredOff { server: s });
         }
         self.on[s.index()] = false;
         Ok(())
@@ -446,7 +448,8 @@ impl Simulation {
         self.topo.check_server(s)?;
         if !self.on[s.index()] {
             self.boot_until[s.index()] = self.tick + self.cfg.boot_delay_ticks;
-            self.events.record(self.tick, Event::PoweredOn { server: s });
+            self.events
+                .record(self.tick, Event::PoweredOn { server: s });
         }
         self.on[s.index()] = true;
         self.pstate[s.index()] = PState::P0;
@@ -500,7 +503,10 @@ impl Simulation {
 
     /// Total thermal failover events so far.
     pub fn failover_events(&self) -> usize {
-        self.thermal.as_ref().map(|t| t.failover_events()).unwrap_or(0)
+        self.thermal
+            .as_ref()
+            .map(|t| t.failover_events())
+            .unwrap_or(0)
     }
 }
 
@@ -519,15 +525,25 @@ mod tests {
 
     fn small_sim(demands: &[f64]) -> Simulation {
         let topo = Topology::builder().standalone(demands.len()).build();
-        Simulation::new(topo, ServerModel::blade_a(), traces(demands), SimConfig::default())
-            .unwrap()
+        Simulation::new(
+            topo,
+            ServerModel::blade_a(),
+            traces(demands),
+            SimConfig::default(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn construction_validates_inputs() {
         let topo = Topology::builder().standalone(2).build();
         assert!(matches!(
-            Simulation::new(topo.clone(), ServerModel::blade_a(), vec![], SimConfig::default()),
+            Simulation::new(
+                topo.clone(),
+                ServerModel::blade_a(),
+                vec![],
+                SimConfig::default()
+            ),
             Err(SimError::NoWorkloads)
         ));
         let bad_models = Simulation::with_models_and_placement(
@@ -537,7 +553,10 @@ mod tests {
             Placement::one_per_server(2, 2),
             SimConfig::default(),
         );
-        assert!(matches!(bad_models, Err(SimError::ModelCountMismatch { .. })));
+        assert!(matches!(
+            bad_models,
+            Err(SimError::ModelCountMismatch { .. })
+        ));
         let bad_placement = Simulation::with_models_and_placement(
             topo,
             vec![ServerModel::blade_a(); 2],
@@ -728,15 +747,17 @@ mod tests {
         let grp = sim.group_power();
         let s: f64 = (0..3).map(|i| sim.server_power(ServerId(i))).sum();
         assert!((grp - s).abs() < 1e-9);
-        assert!((enc - (sim.server_power(ServerId(0)) + sim.server_power(ServerId(1)))).abs() < 1e-9);
+        assert!(
+            (enc - (sim.server_power(ServerId(0)) + sim.server_power(ServerId(1)))).abs() < 1e-9
+        );
     }
 
     #[test]
     fn sustained_overload_trips_thermal_failover_and_kills_delivery() {
         let model = ServerModel::blade_a();
         let cap = 0.9 * model.max_power();
-        let cfg = SimConfig::default()
-            .with_thermal(ThermalConfig::for_budget(model.max_power(), cap));
+        let cfg =
+            SimConfig::default().with_thermal(ThermalConfig::for_budget(model.max_power(), cap));
         let topo = Topology::builder().standalone(1).build();
         let traces = vec![UtilTrace::constant("hot", 1.0, 10).unwrap()];
         let mut sim = Simulation::new(topo, model, traces, cfg).unwrap();

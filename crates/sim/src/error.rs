@@ -46,7 +46,10 @@ impl fmt::Display for SimError {
             SimError::UnknownServer(s) => write!(f, "unknown server {s}"),
             SimError::UnknownVm(v) => write!(f, "unknown VM {v}"),
             SimError::ServerNotEmpty { server, vms } => {
-                write!(f, "cannot power off {server}: {vms} VM(s) still placed on it")
+                write!(
+                    f,
+                    "cannot power off {server}: {vms} VM(s) still placed on it"
+                )
             }
             SimError::ServerOff(s) => {
                 write!(f, "cannot place or run a VM on powered-off server {s}")

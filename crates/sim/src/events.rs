@@ -159,7 +159,12 @@ mod tests {
     #[test]
     fn filter_selects_event_kinds() {
         let mut log = EventLog::new(10);
-        log.record(1, Event::PoweredOff { server: ServerId(0) });
+        log.record(
+            1,
+            Event::PoweredOff {
+                server: ServerId(0),
+            },
+        );
         log.record(
             2,
             Event::MigrationStarted {
@@ -168,7 +173,12 @@ mod tests {
                 to: ServerId(1),
             },
         );
-        log.record(3, Event::ThermalFailover { server: ServerId(2) });
+        log.record(
+            3,
+            Event::ThermalFailover {
+                server: ServerId(2),
+            },
+        );
         let migrations = log.filter(|e| matches!(e.event, Event::MigrationStarted { .. }));
         assert_eq!(migrations.len(), 1);
         assert_eq!(migrations[0].tick, 2);
@@ -177,7 +187,12 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let mut log = EventLog::new(4);
-        log.record(7, Event::PStateConflict { server: ServerId(1) });
+        log.record(
+            7,
+            Event::PStateConflict {
+                server: ServerId(1),
+            },
+        );
         let json = serde_json::to_string(&log).unwrap();
         let back: EventLog = serde_json::from_str(&json).unwrap();
         assert_eq!(log, back);

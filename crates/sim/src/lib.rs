@@ -42,8 +42,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cooling;
 mod config;
+pub mod cooling;
 mod engine;
 mod error;
 mod events;

@@ -71,7 +71,10 @@ impl Placement {
     /// The VMs currently placed on `server`. O(num_vms); the engine keeps
     /// faster per-server lists for the hot path.
     pub fn vms_on(&self, server: ServerId) -> Vec<VmId> {
-        self.iter().filter(|&(_, s)| s == server).map(|(v, _)| v).collect()
+        self.iter()
+            .filter(|&(_, s)| s == server)
+            .map(|(v, _)| v)
+            .collect()
     }
 
     /// The set of servers hosting at least one VM, deduplicated.

@@ -95,7 +95,8 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Adds `count` enclosures of `blades` servers each.
     pub fn enclosures(mut self, count: usize, blades: usize) -> Self {
-        self.enclosure_sizes.extend(std::iter::repeat(blades).take(count));
+        self.enclosure_sizes
+            .extend(std::iter::repeat_n(blades, count));
         self
     }
 
@@ -132,12 +133,12 @@ impl TopologyBuilder {
         let mut next = 0usize;
         for (e, &size) in self.enclosure_sizes.iter().enumerate() {
             let members: Vec<ServerId> = (next..next + size).map(ServerId).collect();
-            server_enclosure.extend(std::iter::repeat(Some(EnclosureId(e))).take(size));
+            server_enclosure.extend(std::iter::repeat_n(Some(EnclosureId(e)), size));
             next += size;
             enclosure_members.push(members);
         }
         let standalone: Vec<ServerId> = (next..next + self.standalone).map(ServerId).collect();
-        server_enclosure.extend(std::iter::repeat(None).take(self.standalone));
+        server_enclosure.extend(std::iter::repeat_n(None, self.standalone));
         Ok(Topology {
             enclosure_members,
             standalone,
@@ -169,7 +170,11 @@ mod tests {
 
     #[test]
     fn server_ids_are_dense_and_enclosures_first() {
-        let t = Topology::builder().enclosure(2).enclosure(3).standalone(1).build();
+        let t = Topology::builder()
+            .enclosure(2)
+            .enclosure(3)
+            .standalone(1)
+            .build();
         assert_eq!(t.num_servers(), 6);
         assert_eq!(t.enclosure_of(ServerId(0)), Some(EnclosureId(0)));
         assert_eq!(t.enclosure_of(ServerId(1)), Some(EnclosureId(0)));

@@ -2,7 +2,7 @@
 //! workloads, random actuation, and random migrations.
 
 use nps_models::{PState, ServerModel};
-use nps_sim::{Placement, SimConfig, Simulation, ServerId, Topology, VmId};
+use nps_sim::{Placement, ServerId, SimConfig, Simulation, Topology, VmId};
 use nps_traces::UtilTrace;
 use proptest::prelude::*;
 
@@ -24,7 +24,10 @@ fn arb_action(servers: usize, vms: usize) -> impl Strategy<Value = Action> {
 }
 
 fn build_sim(demands: &[f64], servers: usize) -> Simulation {
-    let topo = Topology::builder().enclosure(servers / 2).standalone(servers - servers / 2).build();
+    let topo = Topology::builder()
+        .enclosure(servers / 2)
+        .standalone(servers - servers / 2)
+        .build();
     let traces: Vec<UtilTrace> = demands
         .iter()
         .enumerate()

@@ -33,15 +33,47 @@ impl EnterpriseProfile {
             util_scale,
         };
         vec![
-            mk("site1-webco", vec![WebServer, WebServer, Database, MailServer], 1.0),
-            mk("site2-retail", vec![ECommerce, WebServer, Database, FileServer], 1.1),
-            mk("site3-bank", vec![Database, Database, Analytics, MailServer], 0.95),
-            mk("site4-callcenter", vec![RemoteDesktop, Vdi, MailServer, FileServer], 0.85),
+            mk(
+                "site1-webco",
+                vec![WebServer, WebServer, Database, MailServer],
+                1.0,
+            ),
+            mk(
+                "site2-retail",
+                vec![ECommerce, WebServer, Database, FileServer],
+                1.1,
+            ),
+            mk(
+                "site3-bank",
+                vec![Database, Database, Analytics, MailServer],
+                0.95,
+            ),
+            mk(
+                "site4-callcenter",
+                vec![RemoteDesktop, Vdi, MailServer, FileServer],
+                0.85,
+            ),
             mk("site5-hpc", vec![Batch, Batch, Analytics, FileServer], 1.15),
-            mk("site6-saas", vec![WebServer, Database, ECommerce, Analytics], 1.05),
-            mk("site7-gov", vec![FileServer, MailServer, RemoteDesktop, Database], 0.75),
-            mk("site8-media", vec![WebServer, Analytics, Batch, FileServer], 1.2),
-            mk("site9-consulting", vec![Vdi, RemoteDesktop, MailServer, WebServer], 0.9),
+            mk(
+                "site6-saas",
+                vec![WebServer, Database, ECommerce, Analytics],
+                1.05,
+            ),
+            mk(
+                "site7-gov",
+                vec![FileServer, MailServer, RemoteDesktop, Database],
+                0.75,
+            ),
+            mk(
+                "site8-media",
+                vec![WebServer, Analytics, Batch, FileServer],
+                1.2,
+            ),
+            mk(
+                "site9-consulting",
+                vec![Vdi, RemoteDesktop, MailServer, WebServer],
+                0.9,
+            ),
         ]
     }
 }
@@ -77,7 +109,9 @@ impl Corpus {
     ) -> Self {
         let mut traces = Vec::with_capacity(profiles.len() * servers_per_site);
         for (si, site) in profiles.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(si as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(si as u64 + 1)),
+            );
             for server in 0..servers_per_site {
                 let class = site.classes[server % site.classes.len()];
                 let mut spec = class.spec();
@@ -85,8 +119,7 @@ impl Corpus {
                 // Per-server phase jitter and mild mean jitter so servers at
                 // one site are correlated but not identical.
                 spec.phase += rng.gen_range(-0.5..0.5);
-                spec.mean_util =
-                    (spec.mean_util * rng.gen_range(0.85..1.15)).clamp(0.02, 0.95);
+                spec.mean_util = (spec.mean_util * rng.gen_range(0.85..1.15)).clamp(0.02, 0.95);
                 let name = format!("{}/{:?}-{:02}", site.name, class, server);
                 traces.push(generate(name, &spec, len, &mut rng));
             }

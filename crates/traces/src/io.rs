@@ -45,12 +45,7 @@ pub fn export_csv(corpus: &Corpus, path: impl AsRef<Path>) -> Result<()> {
         write!(w, ",{}", t.name().replace(',', ";"))?;
     }
     writeln!(w)?;
-    let len = corpus
-        .traces()
-        .iter()
-        .map(|t| t.len())
-        .min()
-        .unwrap_or(0);
+    let len = corpus.traces().iter().map(|t| t.len()).min().unwrap_or(0);
     for tick in 0..len {
         write!(w, "{tick}")?;
         for t in corpus.traces() {
@@ -165,10 +160,14 @@ mod tests {
     #[test]
     fn import_rejects_out_of_range_csv() {
         let path = tmp("bad-range.csv");
-        std::fs::write(&path, "tick,a
+        std::fs::write(
+            &path,
+            "tick,a
 0,0.5
 1,1.7
-").unwrap();
+",
+        )
+        .unwrap();
         assert!(import_csv(&path).is_err());
         std::fs::remove_file(path).ok();
     }
@@ -176,9 +175,13 @@ mod tests {
     #[test]
     fn import_rejects_garbage_cells() {
         let path = tmp("bad-cell.csv");
-        std::fs::write(&path, "tick,a
+        std::fs::write(
+            &path,
+            "tick,a
 0,hello
-").unwrap();
+",
+        )
+        .unwrap();
         assert!(import_csv(&path).is_err());
         std::fs::remove_file(path).ok();
     }

@@ -185,7 +185,12 @@ impl TraceSpec {
 
 /// Generates a `len`-tick utilization trace from `spec`, using `rng` for
 /// the stochastic components. Deterministic for a given RNG state.
-pub fn generate<R: Rng>(name: impl Into<String>, spec: &TraceSpec, len: usize, rng: &mut R) -> UtilTrace {
+pub fn generate<R: Rng>(
+    name: impl Into<String>,
+    spec: &TraceSpec,
+    len: usize,
+    rng: &mut R,
+) -> UtilTrace {
     use std::f64::consts::TAU;
     let len = len.max(1);
     let mut samples = Vec::with_capacity(len);

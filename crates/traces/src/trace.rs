@@ -106,12 +106,7 @@ impl UtilTrace {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
         let n = sorted.len();
         let mean = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|s| (s - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = self.samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         let pct = |q: f64| sorted[((q * (n - 1) as f64).round() as usize).min(n - 1)];
         TraceStats {
             mean,
@@ -147,7 +142,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_out_of_range() {
-        assert!(matches!(UtilTrace::new("t", vec![]), Err(TraceError::Empty)));
+        assert!(matches!(
+            UtilTrace::new("t", vec![]),
+            Err(TraceError::Empty)
+        ));
         assert!(matches!(
             UtilTrace::new("t", vec![0.5, 1.2]),
             Err(TraceError::OutOfRange { index: 1, .. })
@@ -185,7 +183,10 @@ mod tests {
         let b = UtilTrace::new("b", vec![0.3]).unwrap();
         assert!(matches!(
             UtilTrace::stack("a+b", &[&a, &b]),
-            Err(TraceError::LengthMismatch { expected: 2, actual: 1 })
+            Err(TraceError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 

@@ -44,17 +44,21 @@ fn main() {
     let mut ems: Vec<GroupCapper> = (0..enclosures)
         .map(|_| GroupCapper::new(CapperLevel::Enclosure, cap_enc, Box::new(ProportionalShare)))
         .collect();
-    let mut sms: Vec<ServerManager> =
-        (0..n).map(|_| ServerManager::new(&model, cap_loc, 1.0)).collect();
-    let mut ecs: Vec<EfficiencyController> =
-        (0..n).map(|_| EfficiencyController::new(&model, 0.8, 0.75)).collect();
+    let mut sms: Vec<ServerManager> = (0..n)
+        .map(|_| ServerManager::new(&model, cap_loc, 1.0))
+        .collect();
+    let mut ecs: Vec<EfficiencyController> = (0..n)
+        .map(|_| EfficiencyController::new(&model, 0.8, 0.75))
+        .collect();
 
     // Enclosure 0 runs hot, enclosure 1 light.
     let demands: Vec<f64> = (0..n)
         .map(|i| if i < blades_per_enclosure { 0.85 } else { 0.25 })
         .collect();
 
-    println!("Budget cascade: GM({cap_grp:.0} W) -> 2 x EM({cap_enc:.0} W) -> 8 x SM({cap_loc:.0} W)");
+    println!(
+        "Budget cascade: GM({cap_grp:.0} W) -> 2 x EM({cap_enc:.0} W) -> 8 x SM({cap_loc:.0} W)"
+    );
     println!("Enclosure 0 demand 85%, enclosure 1 demand 25%.\n");
     println!("round   enc0(W)   enc1(W)   group(W)   grant->enc0   grant->enc1");
 
@@ -78,11 +82,10 @@ fn main() {
         }
         // EM epochs: split each enclosure's effective budget across
         // blades.
-        for e in 0..enclosures {
+        for (e, em) in ems.iter_mut().enumerate() {
             let lo = e * blades_per_enclosure;
             let hi = lo + blades_per_enclosure;
-            let blade_grants =
-                ems[e].reallocate(&powers[lo..hi].to_vec(), &vec![cap_loc; blades_per_enclosure]);
+            let blade_grants = em.reallocate(&powers[lo..hi], &vec![cap_loc; blades_per_enclosure]);
             for (k, sm) in sms[lo..hi].iter_mut().enumerate() {
                 sm.set_granted_cap(blade_grants[k]);
             }
@@ -100,12 +103,7 @@ fn main() {
         if round < 8 {
             println!(
                 "{:>5}   {:>7.1}   {:>7.1}   {:>8.1}   {:>11.1}   {:>11.1}",
-                round,
-                enc_power[0],
-                enc_power[1],
-                group,
-                grants[0],
-                grants[1]
+                round, enc_power[0], enc_power[1], group, grants[0], grants[1]
             );
         }
     }

@@ -14,8 +14,8 @@
 //! cargo run --release --example thermal_failover
 //! ```
 
-use no_power_struggles::prelude::*;
 use no_power_struggles::core::ExperimentConfig;
+use no_power_struggles::prelude::*;
 
 fn single_server_config(mode: CoordinationMode) -> ExperimentConfig {
     let model = ServerModel::blade_a();

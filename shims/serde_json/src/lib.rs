@@ -1,0 +1,60 @@
+//! In-tree, offline shim for the `serde_json` API subset this workspace
+//! uses: `to_string[_pretty]`, `to_writer[_pretty]`, `from_str`,
+//! `from_reader`, and [`Error`]. Floats round-trip exactly (Rust's
+//! shortest-representation `Display` feeds the parser), which is what the
+//! upstream `float_roundtrip` feature guaranteed.
+
+use serde::{Deserialize, Serialize, Serializer};
+
+pub use serde::{Error, Value};
+
+/// `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut s = Serializer::new();
+    value.serialize(&mut s);
+    Ok(s.into_string())
+}
+
+/// Serializes `value` to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut s = Serializer::pretty();
+    value.serialize(&mut s);
+    Ok(s.into_string())
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::msg(&format!("write failed: {e}")))
+}
+
+/// Serializes `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let text = to_string_pretty(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::msg(&format!("write failed: {e}")))
+}
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = serde::parse(text)?;
+    T::deserialize(&value)
+}
+
+/// Deserializes a `T` from a reader of JSON text.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::msg(&format!("read failed: {e}")))?;
+    from_str(&text)
+}

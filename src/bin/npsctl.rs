@@ -189,12 +189,27 @@ fn cmd_run(args: &[String]) -> i32 {
     let result = run_experiment(&cfg);
     let c = &result.comparison;
     let mut table = Table::new(vec!["metric", "value"]);
-    table.row(vec!["power savings %".into(), Table::fmt(c.power_savings_pct)]);
+    table.row(vec![
+        "power savings %".into(),
+        Table::fmt(c.power_savings_pct),
+    ]);
     table.row(vec!["perf loss %".into(), Table::fmt(c.perf_loss_pct)]);
-    table.row(vec!["violations GM %".into(), Table::fmt(c.violations_gm_pct)]);
-    table.row(vec!["violations EM %".into(), Table::fmt(c.violations_em_pct)]);
-    table.row(vec!["violations SM %".into(), Table::fmt(c.violations_sm_pct)]);
-    table.row(vec!["P-state races".into(), c.run.pstate_conflicts.to_string()]);
+    table.row(vec![
+        "violations GM %".into(),
+        Table::fmt(c.violations_gm_pct),
+    ]);
+    table.row(vec![
+        "violations EM %".into(),
+        Table::fmt(c.violations_em_pct),
+    ]);
+    table.row(vec![
+        "violations SM %".into(),
+        Table::fmt(c.violations_sm_pct),
+    ]);
+    table.row(vec![
+        "P-state races".into(),
+        c.run.pstate_conflicts.to_string(),
+    ]);
     table.row(vec!["migrations".into(), c.run.migrations.to_string()]);
     table.row(vec!["mean power W".into(), Table::fmt(c.run.mean_power())]);
     println!("{table}");
@@ -218,7 +233,9 @@ fn cmd_sweep(args: &[String]) -> i32 {
     let horizon: u64 = flag(args, "--horizon")
         .and_then(|h| h.parse().ok())
         .unwrap_or(4_000);
-    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let mut cfgs = Vec::new();
     for sys in SystemKind::BOTH {
         for mix in [Mix::All180, Mix::Hh60] {
@@ -259,8 +276,12 @@ fn cmd_corpus(args: &[String]) -> i32 {
     let Some(out) = flag(args, "--out") else {
         return fail("corpus requires --out FILE".to_string());
     };
-    let len: usize = flag(args, "--len").and_then(|v| v.parse().ok()).unwrap_or(4_000);
-    let seed: u64 = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let len: usize = flag(args, "--len")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
     let corpus = Corpus::enterprise(len, seed);
     if let Err(e) = trace_io::save_json(&corpus, out) {
         return fail(format!("writing {out}: {e}"));
@@ -328,7 +349,10 @@ mod tests {
             CoordinationMode::UncoordMinPstates
         );
         assert_eq!(parse_mask("vmconly").unwrap(), ControllerMask::VMC_ONLY);
-        assert!(matches!(parse_policy("history").unwrap(), PolicyKind::History(_)));
+        assert!(matches!(
+            parse_policy("history").unwrap(),
+            PolicyKind::History(_)
+        ));
     }
 
     #[test]

@@ -78,9 +78,7 @@ fn min_pstate_merge_still_races_but_differently() {
     // Both remain non-coordinated (violations or perf worse than the
     // coordinated base run elsewhere); the min-merge must at least not
     // *increase* the violation total versus plain uncoordinated.
-    let total = |c: &Comparison| {
-        c.violations_sm_pct + c.violations_em_pct + c.violations_gm_pct
-    };
+    let total = |c: &Comparison| c.violations_sm_pct + c.violations_em_pct + c.violations_gm_pct;
     assert!(
         total(&naive) <= total(&uncoord) + 2.0,
         "min-merge {:.1} vs uncoordinated {:.1}",

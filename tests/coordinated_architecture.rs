@@ -5,7 +5,10 @@
 use no_power_struggles::prelude::*;
 
 fn scenario(sys: SystemKind, mix: Mix, mode: CoordinationMode) -> ExperimentResult {
-    let cfg = Scenario::paper(sys, mix, mode).horizon(1_500).seed(11).build();
+    let cfg = Scenario::paper(sys, mix, mode)
+        .horizon(1_500)
+        .seed(11)
+        .build();
     run_experiment(&cfg)
 }
 
@@ -13,19 +16,23 @@ use no_power_struggles::core::ExperimentResult;
 
 #[test]
 fn coordinated_run_is_strictly_better_than_doing_nothing() {
-    let r = scenario(
-        SystemKind::BladeA,
-        Mix::H60,
-        CoordinationMode::Coordinated,
+    let r = scenario(SystemKind::BladeA, Mix::H60, CoordinationMode::Coordinated);
+    assert!(
+        r.comparison.power_savings_pct > 10.0,
+        "{:?}",
+        r.comparison.power_savings_pct
     );
-    assert!(r.comparison.power_savings_pct > 10.0, "{:?}", r.comparison.power_savings_pct);
     assert!(r.comparison.perf_loss_pct < 15.0);
 }
 
 #[test]
 fn coordination_eliminates_actuator_races() {
     let coord = scenario(SystemKind::BladeA, Mix::H60, CoordinationMode::Coordinated);
-    let uncoord = scenario(SystemKind::BladeA, Mix::H60, CoordinationMode::Uncoordinated);
+    let uncoord = scenario(
+        SystemKind::BladeA,
+        Mix::H60,
+        CoordinationMode::Uncoordinated,
+    );
     assert_eq!(coord.comparison.run.pstate_conflicts, 0);
     assert!(uncoord.comparison.run.pstate_conflicts > 0);
 }
@@ -35,10 +42,12 @@ fn coordination_reduces_budget_violations_under_high_activity() {
     // Paper Figure 7, bottom rows: the contrast is "more pronounced ...
     // with high activity workloads".
     let coord = scenario(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated);
-    let uncoord = scenario(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Uncoordinated);
-    let total = |c: &Comparison| {
-        c.violations_gm_pct + c.violations_em_pct + c.violations_sm_pct
-    };
+    let uncoord = scenario(
+        SystemKind::BladeA,
+        Mix::Hh60,
+        CoordinationMode::Uncoordinated,
+    );
+    let total = |c: &Comparison| c.violations_gm_pct + c.violations_em_pct + c.violations_sm_pct;
     assert!(
         total(&coord.comparison) < total(&uncoord.comparison),
         "coordinated {:.1} vs uncoordinated {:.1}",

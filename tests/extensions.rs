@@ -7,11 +7,15 @@ use no_power_struggles::sim::Event;
 
 #[test]
 fn heterogeneous_fleet_drains_high_idle_servers_first() {
-    let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-        .heterogeneous()
-        .horizon(1_500)
-        .seed(31)
-        .build();
+    let cfg = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .heterogeneous()
+    .horizon(1_500)
+    .seed(31)
+    .build();
     // models_override: blades = Blade A, standalone = Server B.
     let models = cfg.server_models();
     assert_eq!(models[0].name(), "Blade A");
@@ -81,12 +85,18 @@ fn enclosure_base_power_reduces_relative_savings() {
 
 #[test]
 fn energy_delay_objective_trades_savings_for_latency() {
-    let base = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-        .horizon(1_500)
-        .seed(43);
+    let base = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .horizon(1_500)
+    .seed(43);
     let power = run_experiment(&base.clone().build());
-    let mut vmc = VmcConfig::default();
-    vmc.objective = Objective::EnergyDelay;
+    let vmc = VmcConfig {
+        objective: Objective::EnergyDelay,
+        ..Default::default()
+    };
     let ed = run_experiment(&base.vmc(vmc).build());
     // The delay-aware objective must not *increase* the latency stretch.
     assert!(
@@ -114,7 +124,10 @@ fn event_log_records_the_run_story() {
         total.min(migrations.len() as u64)
     });
     let off = events.filter(|e| matches!(e.event, Event::PoweredOff { .. }));
-    assert!(!off.is_empty(), "consolidation must have powered servers off");
+    assert!(
+        !off.is_empty(),
+        "consolidation must have powered servers off"
+    );
     // Ticks are monotone oldest-first.
     let recent = events.recent();
     for w in recent.windows(2) {
@@ -141,5 +154,8 @@ fn power_trace_records_bounded_trajectory() {
     let points = trace.points();
     let early = points.first().unwrap().1;
     let late = points.last().unwrap().1;
-    assert!(late < early, "light mix should consolidate: {early} -> {late}");
+    assert!(
+        late < early,
+        "light mix should consolidate: {early} -> {late}"
+    );
 }

@@ -11,8 +11,7 @@ fn single_hot_server(mode: CoordinationMode, horizon: u64) -> ExperimentConfig {
         .horizon(horizon)
         .build();
     cfg.topology = Topology::builder().standalone(1).build();
-    cfg.traces =
-        vec![UtilTrace::constant("hot", 0.98, horizon as usize).expect("valid trace")];
+    cfg.traces = vec![UtilTrace::constant("hot", 0.98, horizon as usize).expect("valid trace")];
     cfg.mask = ControllerMask {
         ec: true,
         sm: true,
@@ -54,11 +53,15 @@ fn tighter_budgets_reduce_average_power_savings() {
     // average-power savings shrink (the VMC consolidates more
     // conservatively) while the coordinated solution keeps responding.
     let run = |budgets: BudgetSpec| {
-        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .budgets(budgets)
-            .horizon(1_500)
-            .seed(21)
-            .build();
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .budgets(budgets)
+        .horizon(1_500)
+        .seed(21)
+        .build();
         run_experiment(&cfg).comparison
     };
     let loose = run(BudgetSpec::PAPER_20_15_10);
@@ -80,12 +83,18 @@ fn disabling_turn_off_shrinks_savings_but_adapts() {
     // significantly; the coordinated solution "automatically adapted ...
     // and moved to more aggressively controlling power at the local
     // levels".
-    let base = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-        .horizon(1_500)
-        .seed(13);
+    let base = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .horizon(1_500)
+    .seed(13);
     let with_off = run_experiment(&base.clone().build());
-    let mut vmc = VmcConfig::default();
-    vmc.allow_turn_off = false;
+    let vmc = VmcConfig {
+        allow_turn_off: false,
+        ..Default::default()
+    };
     let no_off = run_experiment(&base.vmc(vmc).build());
     assert!(
         no_off.comparison.power_savings_pct < with_off.comparison.power_savings_pct,
@@ -103,11 +112,15 @@ fn migration_overhead_sensitivity_keeps_perf_loss_bounded() {
     // degradations increased, but were still less than 10% in all cases
     // for the coordinated solution".
     for alpha_m in [0.1, 0.2, 0.5] {
-        let cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .sim(SimConfig::default().with_alpha_m(alpha_m))
-            .horizon(1_500)
-            .seed(17)
-            .build();
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .sim(SimConfig::default().with_alpha_m(alpha_m))
+        .horizon(1_500)
+        .seed(17)
+        .build();
         let r = run_experiment(&cfg);
         assert!(
             r.comparison.perf_loss_pct < 10.0,
@@ -122,17 +135,25 @@ fn two_extreme_pstates_behave_close_to_full_table() {
     // Paper §5.3: "having the two extreme P-states can get behavior close
     // to that when all the P-states are considered."
     let full = run_experiment(
-        &Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .horizon(1_500)
-            .seed(19)
-            .build(),
+        &Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(1_500)
+        .seed(19)
+        .build(),
     );
     let two = run_experiment(
-        &Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Coordinated)
-            .pstate_subset(vec![0, 4])
-            .horizon(1_500)
-            .seed(19)
-            .build(),
+        &Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .pstate_subset(vec![0, 4])
+        .horizon(1_500)
+        .seed(19)
+        .build(),
     );
     let gap = (full.comparison.power_savings_pct - two.comparison.power_savings_pct).abs();
     assert!(
@@ -189,9 +210,13 @@ fn failed_servers_never_recover_silently() {
     let model = ServerModel::blade_a();
     let cap = 0.9 * model.max_power();
     let horizon = 2_000u64;
-    let mut cfg = Scenario::paper(SystemKind::BladeA, Mix::All180, CoordinationMode::Uncoordinated)
-        .horizon(horizon)
-        .build();
+    let mut cfg = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Uncoordinated,
+    )
+    .horizon(horizon)
+    .build();
     cfg.topology = Topology::builder().standalone(1).build();
     cfg.traces = vec![UtilTrace::constant("hot", 0.99, horizon as usize).unwrap()];
     cfg.mask = ControllerMask {
@@ -212,7 +237,10 @@ fn failed_servers_never_recover_silently() {
             failed_at = Some(t);
         }
         if failed_at.is_some() {
-            assert!(!runner.sim().is_on(ServerId(0)), "tick {t}: server revived itself");
+            assert!(
+                !runner.sim().is_on(ServerId(0)),
+                "tick {t}: server revived itself"
+            );
         }
     }
     assert!(failed_at.is_some(), "expected a failover in this scenario");
@@ -226,9 +254,13 @@ fn extreme_bursty_traces_do_not_break_invariants() {
     let samples: Vec<f64> = (0..horizon as usize)
         .map(|t| if (t / 10) % 2 == 0 { 0.0 } else { 1.0 })
         .collect();
-    let mut cfg = Scenario::paper(SystemKind::ServerB, Mix::All180, CoordinationMode::Coordinated)
-        .horizon(horizon)
-        .build();
+    let mut cfg = Scenario::paper(
+        SystemKind::ServerB,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .horizon(horizon)
+    .build();
     cfg.topology = Topology::builder().enclosure(4).standalone(2).build();
     cfg.traces = (0..6)
         .map(|i| UtilTrace::new(format!("square-{i}"), samples.clone()).unwrap())
