@@ -1,11 +1,22 @@
 //! **Figure 8** — isolating the impact of different controllers: power
 //! savings for Coordinated (all five), NoVMC, and VMCOnly across the six
-//! workload mixes and both systems.
+//! workload mixes and both systems. With `NPS_JSON_OUT_DIR` set, the
+//! grid is also written as a JSON artifact.
 
-use nps_bench::{banner, run_all, scenario};
+use nps_bench::{banner, run_all, scenario, write_json_artifact};
 use nps_core::{ControllerMask, CoordinationMode, SystemKind};
 use nps_metrics::Table;
 use nps_traces::Mix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Row {
+    system: String,
+    mix: String,
+    coordinated_pct: f64,
+    no_vmc_pct: f64,
+    vmc_only_pct: f64,
+}
 
 fn main() {
     banner(
@@ -25,6 +36,7 @@ fn main() {
         Mix::Hhh60,
         Mix::All180,
     ];
+    let mut artifact = Vec::new();
     for sys in SystemKind::BOTH {
         // Batch all 18 runs of this system through the parallel sweep.
         let mut cfgs = Vec::new();
@@ -40,11 +52,19 @@ fn main() {
         let results = run_all(&cfgs);
         let mut table = Table::new(vec!["mix", "Coordinated %", "NoVMC %", "VMCOnly %"]);
         for (mi, mix) in mixes.iter().enumerate() {
+            let at = |k: usize| results[mi * masks.len() + k].power_savings_pct;
             let mut cells = vec![mix.label().to_string()];
             for k in 0..masks.len() {
-                cells.push(Table::fmt(results[mi * masks.len() + k].power_savings_pct));
+                cells.push(Table::fmt(at(k)));
             }
             table.row(cells);
+            artifact.push(Fig8Row {
+                system: sys.to_string(),
+                mix: mix.label().to_string(),
+                coordinated_pct: at(0),
+                no_vmc_pct: at(1),
+                vmc_only_pct: at(2),
+            });
         }
         println!("{sys}:");
         println!("{table}");
@@ -55,4 +75,5 @@ fn main() {
          as mix activity rises the savings shrink and the *relative* share\n\
          of local power management (NoVMC) grows."
     );
+    write_json_artifact("fig8", &artifact);
 }

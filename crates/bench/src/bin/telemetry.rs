@@ -1,14 +1,22 @@
 //! **Controller telemetry report** — event-level view of one coordinated
 //! run: events per controller, static-violation timelines per level, and
 //! the EM/GM budget-flow trace. Set `NPS_TELEMETRY_JSON=<path>` to also
-//! dump the raw event log for offline analysis.
+//! dump the raw event log for offline analysis, or `NPS_JSON_OUT_DIR` to
+//! write a per-kind event-count artifact.
 
 use std::io::Write;
 
-use nps_bench::{banner, horizon, scenario};
+use nps_bench::{banner, horizon, scenario, write_json_artifact};
 use nps_core::{CoordinationMode, Runner, SystemKind};
 use nps_metrics::{BudgetLevel, EventKind, TelemetryLog};
 use nps_traces::Mix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct KindCount {
+    kind: String,
+    count: u64,
+}
 
 fn main() {
     banner(
@@ -63,6 +71,15 @@ fn main() {
             watts
         );
     }
+
+    let counts: Vec<KindCount> = EventKind::ALL
+        .iter()
+        .map(|&k| KindCount {
+            kind: k.label().to_string(),
+            count: log.count(k),
+        })
+        .collect();
+    write_json_artifact("telemetry_event_counts", &counts);
 
     if let Some(path) = std::env::var_os("NPS_TELEMETRY_JSON") {
         let json = ring.to_json();

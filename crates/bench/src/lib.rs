@@ -11,7 +11,10 @@
 //!
 //! * `NPS_HORIZON` — simulation length in ticks (default 4 000 ≈ two
 //!   diurnal cycles, eight VMC epochs);
-//! * `NPS_SEED` — trace-corpus seed (default 42).
+//! * `NPS_SEED` — trace-corpus seed (default 42);
+//! * `NPS_JSON_OUT_DIR` — when set, binaries also write their tables as
+//!   JSON artifacts into this directory (created on demand); CI uploads
+//!   them from the smoke job.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,11 +54,47 @@ pub fn run(cfg: &ExperimentConfig) -> Comparison {
 
 /// Runs many configurations in parallel (deterministic results, input
 /// order preserved) and returns their comparisons.
+///
+/// The figure binaries need every row, so a configuration that fails
+/// inside the sweep aborts with the sweep's labeled error.
 pub fn run_all(cfgs: &[ExperimentConfig]) -> Vec<Comparison> {
     nps_core::run_sweep(cfgs, 0)
         .into_iter()
-        .map(|r| r.comparison)
+        .map(|r| match r {
+            Ok(result) => result.comparison,
+            Err(e) => panic!("{e}"),
+        })
         .collect()
+}
+
+/// The JSON artifact directory (`NPS_JSON_OUT_DIR`), if configured.
+pub fn json_out_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("NPS_JSON_OUT_DIR").map(std::path::PathBuf::from)
+}
+
+/// Serializes `value` to `<NPS_JSON_OUT_DIR>/<name>.json` when the knob
+/// is set (no-op otherwise). Returns the path written.
+pub fn write_json_artifact<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> Option<std::path::PathBuf> {
+    let dir = json_out_dir()?;
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("bench artifacts serialize infallibly");
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
 }
 
 /// Prints the standard banner for a regenerated artifact.

@@ -6,7 +6,7 @@ use nps_control::{
 };
 use nps_models::ServerModel;
 use nps_opt::VmcConfig;
-use nps_sim::{SimConfig, Topology};
+use nps_sim::{FaultPlan, SimConfig, Topology};
 use nps_traces::UtilTrace;
 use serde::{Deserialize, Serialize};
 
@@ -114,6 +114,8 @@ pub struct ExperimentConfig {
     /// Optional per-server electrical cap as a fraction of max power
     /// (enables the CAP hard clamp).
     pub electrical_cap_frac: Option<f64>,
+    /// Fault-injection plan ([`FaultPlan::disabled`] for clean runs).
+    pub faults: FaultPlan,
 }
 
 impl ExperimentConfig {

@@ -51,4 +51,4 @@ pub use error::CoreError;
 pub use intervals::Intervals;
 pub use runner::{run_experiment, ExperimentResult, Runner};
 pub use scenarios::{Scenario, SystemKind};
-pub use sweep::{load_results, run_sweep, save_results};
+pub use sweep::{load_results, run_sweep, save_results, SweepError};

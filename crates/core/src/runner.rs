@@ -6,12 +6,15 @@ use nps_control::{
     CapperLevel, EfficiencyController, ElectricalCapper, GroupCapper, ServerManager,
 };
 use nps_metrics::{
-    BudgetLevel, Comparison, ControllerKind, LevelViolations, Recorder, RingRecorder, RunStats,
-    TelemetryEvent, ViolationCounter,
+    BudgetLevel, Comparison, ControllerKind, DegradationPolicy, FaultStats, LevelViolations,
+    Recorder, RingRecorder, RunStats, SensorFaultKind, TelemetryEvent, ViolationCounter,
 };
 use nps_models::{PState, ServerModel};
 use nps_opt::{ClusterContext, Vmc};
-use nps_sim::{EnclosureId, ServerId, SimConfig, Simulation, VmId};
+use nps_sim::{
+    ControllerLayer, EnclosureId, FaultInjector, FaultPlan, Reading, SensorChannel, ServerId,
+    SimConfig, Simulation, VmId,
+};
 
 use crate::arch::ControllerMask;
 use crate::config::ExperimentConfig;
@@ -35,6 +38,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let mut baseline_cfg = cfg.clone();
     baseline_cfg.mask = ControllerMask::NONE;
     baseline_cfg.label = format!("{} (baseline)", cfg.label);
+    // The baseline is the normalization reference: it stays fault-free
+    // even when the run under test injects faults.
+    baseline_cfg.faults = FaultPlan::disabled();
     let baseline = Runner::new(&baseline_cfg).run_to_horizon();
     let run = Runner::new(cfg).run_to_horizon();
     ExperimentResult {
@@ -87,6 +93,19 @@ pub struct Runner {
     snap_apparent: Vec<f64>,
     win_max_real: Vec<f64>,
     win_max_apparent: Vec<f64>,
+    // Fault injection and graceful degradation.
+    injector: FaultInjector,
+    fstats: FaultStats,
+    /// Last good reading per channel, the hold-last-good fallback for
+    /// dropped samples and non-finite values at the ingestion boundary.
+    last_util_ec: Vec<f64>,
+    last_power_sm: Vec<f64>,
+    last_encpow_em: Vec<f64>,
+    last_child_gm: Vec<f64>,
+    /// Outage edge detection: local-cap fallback fires once per
+    /// down-transition, not every skipped epoch.
+    em_was_down: Vec<bool>,
+    gm_was_down: bool,
     // Violation accounting.
     violations: LevelViolations,
     win_sm: ViolationCounter,
@@ -239,6 +258,14 @@ impl Runner {
             snap_power_gm: vec![0.0; n],
             snap_encpow_em: vec![0.0; cfg.topology.num_enclosures()],
             snap_encpow_gm: vec![0.0; cfg.topology.num_enclosures()],
+            injector: FaultInjector::new(&cfg.faults, n),
+            fstats: FaultStats::default(),
+            last_util_ec: vec![0.0; n],
+            last_power_sm: vec![0.0; n],
+            last_encpow_em: vec![0.0; cfg.topology.num_enclosures()],
+            last_child_gm: vec![0.0; gm_children],
+            em_was_down: vec![false; cfg.topology.num_enclosures()],
+            gm_was_down: false,
             cum_real: vec![0.0; num_vms],
             cum_apparent: vec![0.0; num_vms],
             snap_real: vec![0.0; num_vms],
@@ -296,6 +323,107 @@ impl Runner {
                 r.record(event());
             }
         }
+    }
+
+    /// Fault and degradation counters accumulated so far (exact,
+    /// independent of any recorder).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fstats
+    }
+
+    /// The last-good slot backing `chan`/`idx` — the hold-last-good store.
+    fn last_good_slot(&mut self, chan: SensorChannel, idx: usize) -> &mut f64 {
+        match chan {
+            SensorChannel::ServerUtilization => &mut self.last_util_ec[idx],
+            SensorChannel::ServerPower => &mut self.last_power_sm[idx],
+            SensorChannel::EnclosurePower => &mut self.last_encpow_em[idx],
+            SensorChannel::GroupChildPower => &mut self.last_child_gm[idx],
+        }
+    }
+
+    /// The ingestion boundary: routes one raw sensor reading through the
+    /// fault injector, then applies the always-on hardening — non-finite
+    /// or negative values and dropped samples degrade to the last good
+    /// reading. Every controller input passes through here.
+    fn ingest(&mut self, chan: SensorChannel, ctrl: ControllerKind, idx: usize, raw: f64) -> f64 {
+        let t = self.ticks_done;
+        let reading = self.injector.sense(chan, idx, t, raw);
+        let delivered = match reading {
+            Reading::Clean(v) => Some(v),
+            Reading::Noisy(v) => {
+                self.fstats.sensor_noise += 1;
+                self.emit(|| TelemetryEvent::SensorFault {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    fault: SensorFaultKind::Noise,
+                });
+                Some(v)
+            }
+            Reading::Stuck(v) => {
+                self.fstats.sensor_stuck += 1;
+                self.emit(|| TelemetryEvent::SensorFault {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    fault: SensorFaultKind::Stuck,
+                });
+                Some(v)
+            }
+            Reading::Dropped => {
+                self.fstats.sensor_dropped += 1;
+                self.emit(|| TelemetryEvent::SensorFault {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    fault: SensorFaultKind::Dropped,
+                });
+                None
+            }
+        };
+        let value = match delivered {
+            Some(v) if v.is_finite() && v >= 0.0 => v,
+            Some(_) => {
+                self.fstats.clamped_inputs += 1;
+                self.emit(|| TelemetryEvent::Degradation {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    policy: DegradationPolicy::ClampNonFinite,
+                });
+                *self.last_good_slot(chan, idx)
+            }
+            None => {
+                self.fstats.degradations += 1;
+                self.emit(|| TelemetryEvent::Degradation {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    policy: DegradationPolicy::HoldLastGood,
+                });
+                *self.last_good_slot(chan, idx)
+            }
+        };
+        *self.last_good_slot(chan, idx) = value;
+        value
+    }
+
+    /// Writes a P-state unless the server's actuator is jammed; returns
+    /// whether the write landed.
+    fn write_pstate(&mut self, s: ServerId, p: PState, source: ControllerKind) -> bool {
+        let t = self.ticks_done;
+        if self.injector.pstate_write_blocked(s.index(), t) {
+            self.fstats.actuator_blocked += 1;
+            let server = s.index();
+            self.emit(|| TelemetryEvent::ActuatorFault {
+                tick: t,
+                server,
+                source,
+            });
+            return false;
+        }
+        self.sim.set_pstate(s, p);
+        true
     }
 
     /// Enables recording of the group-power trajectory into a bounded
@@ -414,22 +542,25 @@ impl Runner {
 
     // ----- the per-tick control schedule --------------------------------
 
+    // `%` rather than `u64::is_multiple_of` keeps the crate building on
+    // the pinned MSRV (1.75); intervals are sanitized nonzero.
+    #[allow(clippy::manual_is_multiple_of)]
     fn act(&mut self) {
         let t = self.ticks_done;
         let iv = self.intervals;
-        if self.mask.ec && t.is_multiple_of(iv.ec) {
+        if self.mask.ec && t % iv.ec == 0 {
             self.ec_epoch(iv.ec);
         }
-        if t.is_multiple_of(iv.sm) {
+        if t % iv.sm == 0 {
             self.sm_epoch(iv.sm);
         }
-        if t.is_multiple_of(iv.em) {
+        if t % iv.em == 0 {
             self.em_epoch(iv.em);
         }
-        if t.is_multiple_of(iv.gm) {
+        if t % iv.gm == 0 {
             self.gm_epoch(iv.gm);
         }
-        if self.mask.vmc && t.is_multiple_of(iv.vmc) {
+        if self.mask.vmc && t % iv.vmc == 0 {
             self.vmc_epoch();
         }
         if let Some(elec) = self.elec.take() {
@@ -440,8 +571,7 @@ impl Runner {
                 }
                 let cur = self.sim.pstate(s);
                 let clamped = capper.clamp(cur);
-                if clamped != cur {
-                    self.sim.set_pstate(s, clamped);
+                if clamped != cur && self.write_pstate(s, clamped, ControllerKind::Electrical) {
                     self.emit(|| TelemetryEvent::PStateChange {
                         tick: t,
                         server: i,
@@ -473,8 +603,9 @@ impl Runner {
                 continue;
             }
             let cum = self.sim.cumulative_utilization(s);
-            let util = (cum - self.snap_util_ec[i]) / window.max(1) as f64;
+            let raw = (cum - self.snap_util_ec[i]) / window.max(1) as f64;
             self.snap_util_ec[i] = cum;
+            let util = self.ingest(SensorChannel::ServerUtilization, ControllerKind::Ec, i, raw);
             let desired = self.ecs[i].step(&self.models[i], util);
             let applied = if self.mode.merges_min_pstate() {
                 // Naïve "min frequency wins" merge with the SM's standing
@@ -491,9 +622,9 @@ impl Runner {
             } else {
                 None
             };
-            self.sim.set_pstate(s, applied);
+            let wrote = self.write_pstate(s, applied, ControllerKind::Ec);
             if let Some(before) = before {
-                if before != applied {
+                if wrote && before != applied {
                     self.emit(|| TelemetryEvent::PStateChange {
                         tick: t,
                         server: i,
@@ -517,7 +648,10 @@ impl Runner {
                 self.snap_power_sm[i] = self.sim.cumulative_power(s);
                 continue;
             }
-            let avg = Self::window_avg_power(&self.sim, &mut self.snap_power_sm, i, window);
+            let raw = Self::window_avg_power(&self.sim, &mut self.snap_power_sm, i, window);
+            // The monitor reads the same (possibly faulty) sensor the SM
+            // does: faults distort what is *observed*, not what is true.
+            let avg = self.ingest(SensorChannel::ServerPower, ControllerKind::Sm, i, raw);
             // Violation measurement against the *static* budget happens at
             // the SM cadence regardless of whether the SM is deployed.
             let violated_static = avg > self.cap_loc[i];
@@ -534,6 +668,18 @@ impl Runner {
                 });
             }
             if !self.mask.sm {
+                continue;
+            }
+            // An offline SM takes no control action; the EC keeps running
+            // against its last `r_ref` and the static-budget monitor above
+            // keeps reporting (the graceful-degradation contract).
+            if self.injector.offline(ControllerLayer::Sm, i, t) {
+                self.fstats.outage_epochs += 1;
+                self.emit(|| TelemetryEvent::ControllerOutage {
+                    tick: t,
+                    controller: ControllerKind::Sm,
+                    index: i,
+                });
                 continue;
             }
             // A breach of the dynamically granted budget (tighter than the
@@ -568,8 +714,7 @@ impl Runner {
                     self.sm_hold[i] = forced;
                     if let Some(p) = forced {
                         let applied = PState(p.index().max(current.index()));
-                        self.sim.set_pstate(s, applied);
-                        if applied != current {
+                        if self.write_pstate(s, applied, ControllerKind::Sm) && applied != current {
                             self.emit(|| TelemetryEvent::PStateChange {
                                 tick: t,
                                 server: i,
@@ -582,8 +727,7 @@ impl Runner {
                 } else if let Some(p) = forced {
                     // The race: this write lands on the same actuator the
                     // EC writes every tick.
-                    self.sim.set_pstate(s, p);
-                    if p != current {
+                    if self.write_pstate(s, p, ControllerKind::Sm) && p != current {
                         self.emit(|| TelemetryEvent::PStateChange {
                             tick: t,
                             server: i,
@@ -613,8 +757,14 @@ impl Runner {
                 .collect();
             // Level total includes the enclosure's shared base power.
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
-            let total = (enc_cum - self.snap_encpow_em[e]) / window.max(1) as f64;
+            let raw_total = (enc_cum - self.snap_encpow_em[e]) / window.max(1) as f64;
             self.snap_encpow_em[e] = enc_cum;
+            let total = self.ingest(
+                SensorChannel::EnclosurePower,
+                ControllerKind::Em,
+                e,
+                raw_total,
+            );
             let violated_static = total > self.ems[e].static_cap_watts();
             self.violations.enclosure.record(violated_static);
             self.win_em.record(violated_static);
@@ -631,6 +781,35 @@ impl Runner {
             if !self.mask.em {
                 continue;
             }
+            if self.injector.offline(ControllerLayer::Em, e, t) {
+                if !self.em_was_down[e] {
+                    self.em_was_down[e] = true;
+                    // The members just lost their parent manager: fall back
+                    // to their local static caps (stale dynamic grants from
+                    // a dead EM could strangle them indefinitely).
+                    if self.mode.budgets_flow_down() {
+                        for &s in &members {
+                            self.sms[s.index()].set_granted_cap(f64::INFINITY);
+                            self.fstats.degradations += 1;
+                            let server = s.index();
+                            self.emit(|| TelemetryEvent::Degradation {
+                                tick: t,
+                                controller: ControllerKind::Sm,
+                                index: server,
+                                policy: DegradationPolicy::LocalCapFallback,
+                            });
+                        }
+                    }
+                }
+                self.fstats.outage_epochs += 1;
+                self.emit(|| TelemetryEvent::ControllerOutage {
+                    tick: t,
+                    controller: ControllerKind::Em,
+                    index: e,
+                });
+                continue;
+            }
+            self.em_was_down[e] = false;
             let eff_cap = self.ems[e].effective_cap_watts();
             if total > eff_cap && eff_cap < self.ems[e].static_cap_watts() {
                 self.emit(|| TelemetryEvent::Violation {
@@ -645,6 +824,16 @@ impl Runner {
             let allocations = self.ems[e].reallocate(&member_power, &member_caps);
             if self.mode.budgets_flow_down() {
                 for (k, &s) in members.iter().enumerate() {
+                    if self.injector.budget_message_lost() {
+                        // The child holds its last granted budget.
+                        self.fstats.messages_lost += 1;
+                        self.emit(|| TelemetryEvent::MessageLoss {
+                            tick: t,
+                            level: BudgetLevel::Enclosure,
+                            child: k,
+                        });
+                        continue;
+                    }
                     self.sms[s.index()].set_granted_cap(allocations[k]);
                     let watts = allocations[k];
                     self.emit(|| TelemetryEvent::BudgetGrant {
@@ -667,8 +856,7 @@ impl Runner {
                         .pstate_for_power_budget(allocations[k])
                         .unwrap_or_else(|| model.deepest());
                     let before = self.sim.pstate(s);
-                    self.sim.set_pstate(s, forced);
-                    if forced != before {
+                    if self.write_pstate(s, forced, ControllerKind::Em) && forced != before {
                         self.emit(|| TelemetryEvent::PStateChange {
                             tick: t,
                             server: s.index(),
@@ -696,17 +884,24 @@ impl Runner {
                     Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
             }
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
-            let total = (enc_cum - self.snap_encpow_gm[e]) / window.max(1) as f64;
+            let raw = (enc_cum - self.snap_encpow_gm[e]) / window.max(1) as f64;
             self.snap_encpow_gm[e] = enc_cum;
-            consumption.push(total);
+            consumption.push(self.ingest(
+                SensorChannel::GroupChildPower,
+                ControllerKind::Gm,
+                e,
+                raw,
+            ));
             child_caps.push(self.cap_enc[e]);
         }
-        for &s in topo.standalone_servers() {
-            consumption.push(Self::window_avg_power(
-                &self.sim,
-                &mut self.snap_power_gm,
-                s.index(),
-                window,
+        for (k, &s) in topo.standalone_servers().iter().enumerate() {
+            let raw = Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
+            let child = topo.num_enclosures() + k;
+            consumption.push(self.ingest(
+                SensorChannel::GroupChildPower,
+                ControllerKind::Gm,
+                child,
+                raw,
             ));
             child_caps.push(self.cap_loc[s.index()]);
         }
@@ -727,6 +922,44 @@ impl Runner {
         if !self.mask.gm {
             return;
         }
+        if self.injector.offline(ControllerLayer::Gm, 0, t) {
+            if !self.gm_was_down {
+                self.gm_was_down = true;
+                // Every child just lost the group manager: enclosures and
+                // standalone servers fall back to their local static caps.
+                if self.mode.budgets_flow_down() {
+                    for e in 0..self.ems.len() {
+                        self.ems[e].set_granted_cap(f64::INFINITY);
+                        self.fstats.degradations += 1;
+                        self.emit(|| TelemetryEvent::Degradation {
+                            tick: t,
+                            controller: ControllerKind::Em,
+                            index: e,
+                            policy: DegradationPolicy::LocalCapFallback,
+                        });
+                    }
+                    for &s in topo.standalone_servers() {
+                        self.sms[s.index()].set_granted_cap(f64::INFINITY);
+                        self.fstats.degradations += 1;
+                        let server = s.index();
+                        self.emit(|| TelemetryEvent::Degradation {
+                            tick: t,
+                            controller: ControllerKind::Sm,
+                            index: server,
+                            policy: DegradationPolicy::LocalCapFallback,
+                        });
+                    }
+                }
+            }
+            self.fstats.outage_epochs += 1;
+            self.emit(|| TelemetryEvent::ControllerOutage {
+                tick: t,
+                controller: ControllerKind::Gm,
+                index: 0,
+            });
+            return;
+        }
+        self.gm_was_down = false;
         let eff_cap = self.gm.effective_cap_watts();
         if group_total > eff_cap && eff_cap < self.cap_grp {
             self.emit(|| TelemetryEvent::Violation {
@@ -740,6 +973,15 @@ impl Runner {
         let allocations = self.gm.reallocate(&consumption, &child_caps);
         if self.mode.budgets_flow_down() {
             for (e, &watts) in allocations.iter().enumerate().take(topo.num_enclosures()) {
+                if self.injector.budget_message_lost() {
+                    self.fstats.messages_lost += 1;
+                    self.emit(|| TelemetryEvent::MessageLoss {
+                        tick: t,
+                        level: BudgetLevel::Group,
+                        child: e,
+                    });
+                    continue;
+                }
                 self.ems[e].set_granted_cap(watts);
                 self.emit(|| TelemetryEvent::BudgetGrant {
                     tick: t,
@@ -750,6 +992,15 @@ impl Runner {
             }
             for (k, &s) in topo.standalone_servers().iter().enumerate() {
                 let child = topo.num_enclosures() + k;
+                if self.injector.budget_message_lost() {
+                    self.fstats.messages_lost += 1;
+                    self.emit(|| TelemetryEvent::MessageLoss {
+                        tick: t,
+                        level: BudgetLevel::Group,
+                        child,
+                    });
+                    continue;
+                }
                 self.sms[s.index()].set_granted_cap(allocations[child]);
                 let watts = allocations[child];
                 self.emit(|| TelemetryEvent::BudgetGrant {
@@ -772,8 +1023,7 @@ impl Runner {
                     .pstate_for_power_budget(alloc)
                     .unwrap_or_else(|| model.deepest());
                 let before = self.sim.pstate(s);
-                self.sim.set_pstate(s, forced);
-                if forced != before {
+                if self.write_pstate(s, forced, ControllerKind::Gm) && forced != before {
                     self.emit(|| TelemetryEvent::PStateChange {
                         tick: t,
                         server: s.index(),

@@ -2,7 +2,7 @@
 
 use nps_models::ServerModel;
 use nps_opt::VmcConfig;
-use nps_sim::{SimConfig, Topology};
+use nps_sim::{FaultPlan, SimConfig, Topology};
 use nps_traces::{Corpus, Mix, UtilTrace};
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +74,7 @@ pub struct Scenario {
     electrical_cap_frac: Option<f64>,
     idle_scale: Option<f64>,
     heterogeneous: bool,
+    faults: FaultPlan,
     label_suffix: String,
 }
 
@@ -99,6 +100,7 @@ impl Scenario {
             electrical_cap_frac: None,
             idle_scale: None,
             heterogeneous: false,
+            faults: FaultPlan::disabled(),
             label_suffix: String::new(),
         }
     }
@@ -179,6 +181,13 @@ impl Scenario {
     /// models.
     pub fn heterogeneous(mut self) -> Self {
         self.heterogeneous = true;
+        self
+    }
+
+    /// Installs a fault-injection plan (sensor/actuator faults and
+    /// controller outages; see [`FaultPlan`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -264,6 +273,7 @@ impl Scenario {
             policy: self.policy,
             horizon: self.horizon,
             electrical_cap_frac: self.electrical_cap_frac,
+            faults: self.faults,
         }
     }
 }

@@ -5,18 +5,66 @@
 //! scale: [`run_sweep`] fans configurations out over worker threads
 //! (every run is deterministic, so parallelism cannot change results),
 //! and [`save_results`] / [`load_results`] persist the outcomes as JSON.
+//!
+//! Each configuration runs under panic isolation: a panicking run (or a
+//! worker that dies before filling its slot) yields a [`SweepError`]
+//! naming the failed configuration instead of aborting the whole sweep.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use serde::{Deserialize, Serialize};
+
 use crate::config::ExperimentConfig;
 use crate::runner::{run_experiment, ExperimentResult};
 
+/// One configuration's failure inside a sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepError {
+    /// Index of the failed configuration in the sweep's input order.
+    pub index: usize,
+    /// The configuration's label.
+    pub label: String,
+    /// The panic payload (or a generic message when the worker died
+    /// without one).
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep config #{} ({:?}) failed: {}",
+            self.index, self.label, self.message
+        )
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
 /// Runs every configuration (plus its baseline) across `threads` worker
-/// threads, returning results in input order. `threads = 0` picks the
-/// available parallelism.
-pub fn run_sweep(configs: &[ExperimentConfig], threads: usize) -> Vec<ExperimentResult> {
+/// threads, returning per-configuration outcomes in input order.
+/// `threads = 0` picks the available parallelism.
+///
+/// A configuration that panics produces an `Err(SweepError)` naming it;
+/// the remaining configurations still run to completion.
+pub fn run_sweep(
+    configs: &[ExperimentConfig],
+    threads: usize,
+) -> Vec<Result<ExperimentResult, SweepError>> {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -27,7 +75,7 @@ pub fn run_sweep(configs: &[ExperimentConfig], threads: usize) -> Vec<Experiment
     .min(configs.len().max(1));
 
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<ExperimentResult>>> =
+    let results: Vec<Mutex<Option<Result<ExperimentResult, SweepError>>>> =
         (0..configs.len()).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
@@ -37,18 +85,38 @@ pub fn run_sweep(configs: &[ExperimentConfig], threads: usize) -> Vec<Experiment
                 if i >= configs.len() {
                     break;
                 }
-                let result = run_experiment(&configs[i]);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(&configs[i])))
+                    .map_err(|payload| SweepError {
+                        index: i,
+                        label: configs[i].label.clone(),
+                        message: panic_message(payload),
+                    });
+                // A slot poisoned by a panicking sibling holds `None`
+                // anyway; recover the guard and overwrite.
+                let mut slot = match results[i].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *slot = Some(outcome);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every slot filled by the sweep")
+        .enumerate()
+        .map(|(i, slot)| {
+            let inner = match slot.into_inner() {
+                Ok(inner) => inner,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            inner.unwrap_or_else(|| {
+                Err(SweepError {
+                    index: i,
+                    label: configs[i].label.clone(),
+                    message: "worker died before completing this configuration".to_string(),
+                })
+            })
         })
         .collect()
 }
@@ -80,10 +148,17 @@ mod tests {
             .build()
     }
 
+    fn unwrap_all(outcomes: Vec<Result<ExperimentResult, SweepError>>) -> Vec<ExperimentResult> {
+        outcomes
+            .into_iter()
+            .map(|r| r.expect("sweep config must succeed"))
+            .collect()
+    }
+
     #[test]
     fn sweep_preserves_order_and_matches_serial() {
         let configs: Vec<ExperimentConfig> = (0..4).map(tiny).collect();
-        let parallel = run_sweep(&configs, 4);
+        let parallel = unwrap_all(run_sweep(&configs, 4));
         for (cfg, result) in configs.iter().zip(&parallel) {
             let serial = run_experiment(cfg);
             assert_eq!(&serial, result, "{}", cfg.label);
@@ -93,7 +168,7 @@ mod tests {
     #[test]
     fn single_thread_sweep_works() {
         let configs = vec![tiny(1)];
-        let results = run_sweep(&configs, 1);
+        let results = unwrap_all(run_sweep(&configs, 1));
         assert_eq!(results.len(), 1);
     }
 
@@ -105,12 +180,49 @@ mod tests {
 
     #[test]
     fn results_roundtrip_through_json() {
-        let results = run_sweep(&[tiny(9)], 1);
+        let results = unwrap_all(run_sweep(&[tiny(9)], 1));
         let mut path = std::env::temp_dir();
         path.push(format!("nps-sweep-test-{}.json", std::process::id()));
         save_results(&results, &path).unwrap();
         let back = load_results(&path).unwrap();
         assert_eq!(results, back);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn panicking_config_is_isolated_and_named() {
+        // An invalid gain makes `Runner::new` panic inside the worker; the
+        // sweep must report it as an error slot and still complete the
+        // healthy configurations around it.
+        let mut bad = tiny(2);
+        bad.lambda = -1.0;
+        bad.label = "poisoned config".to_string();
+        let configs = vec![tiny(1), bad, tiny(3)];
+        let outcomes = run_sweep(&configs, 2);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[2].is_ok());
+        let err = outcomes[1].as_ref().expect_err("bad config must fail");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.label, "poisoned config");
+        assert!(
+            err.message.contains("consistent"),
+            "panic payload should surface: {}",
+            err.message
+        );
+        let text = err.to_string();
+        assert!(text.contains("#1") && text.contains("poisoned config"));
+    }
+
+    #[test]
+    fn sweep_error_serializes() {
+        let err = SweepError {
+            index: 7,
+            label: "x".to_string(),
+            message: "boom".to_string(),
+        };
+        let json = serde_json::to_string(&err).unwrap();
+        let back: SweepError = serde_json::from_str(&json).unwrap();
+        assert_eq!(err, back);
     }
 }

@@ -1,0 +1,126 @@
+//! Aggregate counters for fault injection and graceful degradation.
+//!
+//! [`RunStats`](crate::RunStats) keeps the paper's reported metrics;
+//! fault accounting lives here so fault-free result files stay
+//! byte-compatible with earlier builds. The experiment runner increments
+//! these counters alongside the corresponding
+//! [`TelemetryEvent`](crate::TelemetryEvent) emissions, so they are exact
+//! even when no recorder (or a ring-bounded one) is installed.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact counts of injected faults and degradation decisions over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Sensor readings perturbed by Gaussian noise.
+    pub sensor_noise: u64,
+    /// Sensor readings served from a frozen (stuck) sensor.
+    pub sensor_stuck: u64,
+    /// Sensor samples dropped entirely.
+    pub sensor_dropped: u64,
+    /// P-state writes discarded by jammed actuators.
+    pub actuator_blocked: u64,
+    /// Budget-grant messages lost on the GM→EM→SM channel.
+    pub messages_lost: u64,
+    /// Controller epochs skipped because the controller was offline.
+    pub outage_epochs: u64,
+    /// Graceful-degradation decisions taken (hold-last-good, local-cap
+    /// fallback).
+    pub degradations: u64,
+    /// Non-finite or negative sensor values clamped at the ingestion
+    /// boundary (always-on hardening; nonzero even without a fault plan
+    /// if a model misbehaves).
+    pub clamped_inputs: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults (excluding degradation bookkeeping).
+    pub fn total_faults(&self) -> u64 {
+        self.sensor_noise
+            + self.sensor_stuck
+            + self.sensor_dropped
+            + self.actuator_blocked
+            + self.messages_lost
+            + self.outage_epochs
+    }
+
+    /// True when the run saw no faults and no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Element-wise sum, for aggregating across runs.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.sensor_noise += other.sensor_noise;
+        self.sensor_stuck += other.sensor_stuck;
+        self.sensor_dropped += other.sensor_dropped;
+        self.actuator_blocked += other.actuator_blocked;
+        self.messages_lost += other.messages_lost;
+        self.outage_epochs += other.outage_epochs;
+        self.degradations += other.degradations;
+        self.clamped_inputs += other.clamped_inputs;
+    }
+}
+
+impl std::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "faults: noise={} stuck={} dropped={} blocked_writes={} lost_msgs={} \
+             outage_epochs={} degradations={} clamped={}",
+            self.sensor_noise,
+            self.sensor_stuck,
+            self.sensor_dropped,
+            self.actuator_blocked,
+            self.messages_lost,
+            self.outage_epochs,
+            self.degradations,
+            self.clamped_inputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        let s = FaultStats::default();
+        assert!(s.is_clean());
+        assert_eq!(s.total_faults(), 0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = FaultStats {
+            sensor_noise: 1,
+            sensor_stuck: 2,
+            sensor_dropped: 3,
+            actuator_blocked: 4,
+            messages_lost: 5,
+            outage_epochs: 6,
+            degradations: 7,
+            clamped_inputs: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.sensor_noise, 2);
+        assert_eq!(a.clamped_inputs, 16);
+        assert_eq!(a.total_faults(), 2 * b.total_faults());
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = FaultStats {
+            messages_lost: 9,
+            ..FaultStats::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        let text = s.to_string();
+        assert!(text.contains("lost_msgs=9"));
+    }
+}

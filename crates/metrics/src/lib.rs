@@ -13,16 +13,18 @@
 #![warn(missing_docs)]
 
 mod compare;
+mod faults;
 mod report;
 mod series;
 pub mod telemetry;
 mod violations;
 
 pub use compare::{Comparison, RunStats};
+pub use faults::FaultStats;
 pub use report::Table;
 pub use series::TimeSeries;
 pub use telemetry::{
-    BudgetLevel, ControllerKind, EventKind, NoopRecorder, Recorder, RingRecorder, TelemetryEvent,
-    TelemetryLog, TelemetrySummary,
+    BudgetLevel, ControllerKind, DegradationPolicy, EventKind, NoopRecorder, Recorder,
+    RingRecorder, SensorFaultKind, TelemetryEvent, TelemetryLog, TelemetrySummary,
 };
 pub use violations::{LevelViolations, ViolationCounter};

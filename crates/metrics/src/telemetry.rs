@@ -90,6 +90,53 @@ impl BudgetLevel {
     }
 }
 
+/// How an injected sensor fault manifested at the ingestion boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorFaultKind {
+    /// The reading was perturbed by Gaussian noise.
+    Noise,
+    /// The sensor is frozen at a stale value.
+    Stuck,
+    /// The sample was lost entirely.
+    Dropped,
+}
+
+impl SensorFaultKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SensorFaultKind::Noise => "noise",
+            SensorFaultKind::Stuck => "stuck",
+            SensorFaultKind::Dropped => "dropped",
+        }
+    }
+}
+
+/// Which graceful-degradation policy a controller applied when its inputs
+/// went bad (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegradationPolicy {
+    /// A dropped sample was replaced by the last good reading.
+    HoldLastGood,
+    /// A child lost its parent manager and fell back to its local static
+    /// cap (granted budget reset to unlimited).
+    LocalCapFallback,
+    /// A non-finite or negative sensor value was clamped/rejected at the
+    /// ingestion boundary.
+    ClampNonFinite,
+}
+
+impl DegradationPolicy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationPolicy::HoldLastGood => "hold_last_good",
+            DegradationPolicy::LocalCapFallback => "local_cap_fallback",
+            DegradationPolicy::ClampNonFinite => "clamp_non_finite",
+        }
+    }
+}
+
 /// One controller decision, observed at the coordination surface.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TelemetryEvent {
@@ -188,6 +235,59 @@ pub enum TelemetryEvent {
         /// Placements forced despite violated buffers.
         forced_placements: usize,
     },
+    /// An injected sensor fault fired at a controller's ingestion
+    /// boundary.
+    SensorFault {
+        /// Tick of the faulty reading.
+        tick: u64,
+        /// The controller whose input was corrupted.
+        controller: ControllerKind,
+        /// Sensor index within that controller's input vector (server,
+        /// enclosure, or child index).
+        index: usize,
+        /// How the fault manifested.
+        fault: SensorFaultKind,
+    },
+    /// A P-state write was discarded by a jammed actuator.
+    ActuatorFault {
+        /// Tick of the discarded write.
+        tick: u64,
+        /// Server whose actuator is jammed.
+        server: usize,
+        /// The controller whose write was lost.
+        source: ControllerKind,
+    },
+    /// A budget-grant message (GM→EM or EM→SM) was lost in transit; the
+    /// child holds its last granted budget.
+    MessageLoss {
+        /// Tick of the lost grant.
+        tick: u64,
+        /// The *granting* level whose message was lost.
+        level: BudgetLevel,
+        /// Child index in the grantor's child ordering.
+        child: usize,
+    },
+    /// A controller epoch was skipped because the controller is offline.
+    ControllerOutage {
+        /// Tick of the skipped epoch.
+        tick: u64,
+        /// The offline controller.
+        controller: ControllerKind,
+        /// Instance index (server index for SMs, enclosure index for EMs,
+        /// 0 for the GM).
+        index: usize,
+    },
+    /// A controller applied a graceful-degradation policy.
+    Degradation {
+        /// Tick of the decision.
+        tick: u64,
+        /// The degrading controller.
+        controller: ControllerKind,
+        /// Instance index (same convention as `ControllerOutage`).
+        index: usize,
+        /// The policy applied.
+        policy: DegradationPolicy,
+    },
 }
 
 /// Event type tags for counters and filters.
@@ -209,11 +309,21 @@ pub enum EventKind {
     PowerOff,
     /// [`TelemetryEvent::VmcPlan`].
     VmcPlan,
+    /// [`TelemetryEvent::SensorFault`].
+    SensorFault,
+    /// [`TelemetryEvent::ActuatorFault`].
+    ActuatorFault,
+    /// [`TelemetryEvent::MessageLoss`].
+    MessageLoss,
+    /// [`TelemetryEvent::ControllerOutage`].
+    ControllerOutage,
+    /// [`TelemetryEvent::Degradation`].
+    Degradation,
 }
 
 impl EventKind {
     /// All kinds, declaration order (indexes the counter array).
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::PStateChange,
         EventKind::RRefUpdate,
         EventKind::BudgetGrant,
@@ -222,6 +332,11 @@ impl EventKind {
         EventKind::PowerOn,
         EventKind::PowerOff,
         EventKind::VmcPlan,
+        EventKind::SensorFault,
+        EventKind::ActuatorFault,
+        EventKind::MessageLoss,
+        EventKind::ControllerOutage,
+        EventKind::Degradation,
     ];
 
     /// Short label for reports.
@@ -235,6 +350,11 @@ impl EventKind {
             EventKind::PowerOn => "power_on",
             EventKind::PowerOff => "power_off",
             EventKind::VmcPlan => "vmc_plan",
+            EventKind::SensorFault => "sensor_fault",
+            EventKind::ActuatorFault => "actuator_fault",
+            EventKind::MessageLoss => "message_loss",
+            EventKind::ControllerOutage => "controller_outage",
+            EventKind::Degradation => "degradation",
         }
     }
 
@@ -255,6 +375,11 @@ impl TelemetryEvent {
             TelemetryEvent::PowerOn { .. } => EventKind::PowerOn,
             TelemetryEvent::PowerOff { .. } => EventKind::PowerOff,
             TelemetryEvent::VmcPlan { .. } => EventKind::VmcPlan,
+            TelemetryEvent::SensorFault { .. } => EventKind::SensorFault,
+            TelemetryEvent::ActuatorFault { .. } => EventKind::ActuatorFault,
+            TelemetryEvent::MessageLoss { .. } => EventKind::MessageLoss,
+            TelemetryEvent::ControllerOutage { .. } => EventKind::ControllerOutage,
+            TelemetryEvent::Degradation { .. } => EventKind::Degradation,
         }
     }
 
@@ -268,7 +393,12 @@ impl TelemetryEvent {
             | TelemetryEvent::Migration { tick, .. }
             | TelemetryEvent::PowerOn { tick, .. }
             | TelemetryEvent::PowerOff { tick, .. }
-            | TelemetryEvent::VmcPlan { tick, .. } => *tick,
+            | TelemetryEvent::VmcPlan { tick, .. }
+            | TelemetryEvent::SensorFault { tick, .. }
+            | TelemetryEvent::ActuatorFault { tick, .. }
+            | TelemetryEvent::MessageLoss { tick, .. }
+            | TelemetryEvent::ControllerOutage { tick, .. }
+            | TelemetryEvent::Degradation { tick, .. } => *tick,
         }
     }
 
@@ -291,6 +421,15 @@ impl TelemetryEvent {
             | TelemetryEvent::PowerOn { .. }
             | TelemetryEvent::PowerOff { .. }
             | TelemetryEvent::VmcPlan { .. } => ControllerKind::Vmc,
+            TelemetryEvent::SensorFault { controller, .. }
+            | TelemetryEvent::ControllerOutage { controller, .. }
+            | TelemetryEvent::Degradation { controller, .. } => *controller,
+            TelemetryEvent::ActuatorFault { source, .. } => *source,
+            TelemetryEvent::MessageLoss {
+                level: BudgetLevel::Enclosure,
+                ..
+            } => ControllerKind::Em,
+            TelemetryEvent::MessageLoss { .. } => ControllerKind::Gm,
         }
     }
 }

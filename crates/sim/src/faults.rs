@@ -1,0 +1,591 @@
+//! Deterministic fault injection for resilience experiments.
+//!
+//! The paper's federated architecture (§3) claims that individual
+//! controllers can fail independently without collapsing the stack. This
+//! module provides the machinery to *test* that claim: a seeded
+//! [`FaultPlan`] describing sensor faults (Gaussian noise, stuck
+//! readings, dropped samples), actuator faults (stuck P-states, lost
+//! budget messages on the GM→EM→SM channel), and controller outages
+//! (an SM/EM/GM offline for a tick window), plus the [`FaultInjector`]
+//! runtime that plays the plan back deterministically.
+//!
+//! The injector is pure configuration-plus-PRNG: two runners built from
+//! the same plan observe the same fault sequence, so faulty runs stay as
+//! reproducible as clean ones. A disabled plan (all rates zero, no
+//! outages) injects nothing and draws no random numbers, which keeps
+//! fault-free runs bit-identical to runs of builds that predate this
+//! module.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sensor channel at the controller ingestion boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorChannel {
+    /// Per-server window-average power (the SM's input).
+    ServerPower,
+    /// Per-server window-average utilization (the EC's input).
+    ServerUtilization,
+    /// Per-enclosure window-average power (the EM's input).
+    EnclosurePower,
+    /// Per-child window-average power at the group level (the GM's input).
+    GroupChildPower,
+}
+
+/// A controller layer that can suffer an outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControllerLayer {
+    /// A server manager.
+    Sm,
+    /// An enclosure manager.
+    Em,
+    /// The group manager.
+    Gm,
+}
+
+impl ControllerLayer {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControllerLayer::Sm => "SM",
+            ControllerLayer::Em => "EM",
+            ControllerLayer::Gm => "GM",
+        }
+    }
+}
+
+/// Sensor-fault rates, applied per reading at the ingestion boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SensorFaultSpec {
+    /// Standard deviation of multiplicative Gaussian noise, as a fraction
+    /// of the true reading (0 = no noise).
+    pub noise_std: f64,
+    /// Per-reading probability that the sensor freezes at its current
+    /// value for [`SensorFaultSpec::stuck_ticks`] ticks.
+    pub stuck_prob: f64,
+    /// How long a stuck sensor holds its frozen value, in ticks.
+    pub stuck_ticks: u64,
+    /// Per-reading probability the sample is lost entirely (the consumer
+    /// must degrade, e.g. hold its last good reading).
+    pub drop_prob: f64,
+}
+
+impl SensorFaultSpec {
+    /// Whether any sensor fault can fire.
+    pub fn is_enabled(&self) -> bool {
+        self.noise_std > 0.0
+            || (self.stuck_prob > 0.0 && self.stuck_ticks > 0)
+            || self.drop_prob > 0.0
+    }
+
+    /// Clamps rates into `[0, 1]` and maps non-finite values to 0.
+    pub fn sanitized(self) -> Self {
+        let clean = |v: f64| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        Self {
+            noise_std: if self.noise_std.is_finite() {
+                self.noise_std.max(0.0)
+            } else {
+                0.0
+            },
+            stuck_prob: clean(self.stuck_prob),
+            stuck_ticks: self.stuck_ticks,
+            drop_prob: clean(self.drop_prob),
+        }
+    }
+}
+
+/// Actuator-fault rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ActuatorFaultSpec {
+    /// Per-write probability that a server's P-state actuator jams,
+    /// discarding writes for [`ActuatorFaultSpec::stuck_ticks`] ticks.
+    pub stuck_prob: f64,
+    /// How long a jammed actuator discards writes, in ticks.
+    pub stuck_ticks: u64,
+    /// Per-message probability that a budget grant (GM→EM or EM→SM) is
+    /// lost; the child then holds its last granted budget.
+    pub message_loss_prob: f64,
+}
+
+impl ActuatorFaultSpec {
+    /// Whether any actuator fault can fire.
+    pub fn is_enabled(&self) -> bool {
+        (self.stuck_prob > 0.0 && self.stuck_ticks > 0) || self.message_loss_prob > 0.0
+    }
+
+    /// Clamps rates into `[0, 1]` and maps non-finite values to 0.
+    pub fn sanitized(self) -> Self {
+        let clean = |v: f64| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        Self {
+            stuck_prob: clean(self.stuck_prob),
+            stuck_ticks: self.stuck_ticks,
+            message_loss_prob: clean(self.message_loss_prob),
+        }
+    }
+}
+
+/// A controller offline window `[start, end)` in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// The layer that goes offline.
+    pub layer: ControllerLayer,
+    /// Which instance (server index for SMs, enclosure index for EMs;
+    /// ignored for the GM). `None` takes the whole layer down.
+    pub index: Option<usize>,
+    /// First tick of the outage (inclusive).
+    pub start: u64,
+    /// First tick after the outage (exclusive).
+    pub end: u64,
+}
+
+impl OutageWindow {
+    /// Whether instance `index` of `layer` is down at `tick`.
+    pub fn covers(&self, layer: ControllerLayer, index: usize, tick: u64) -> bool {
+        self.layer == layer
+            && self.index.unwrap_or(index) == index
+            && tick >= self.start
+            && tick < self.end
+    }
+}
+
+/// A complete, seeded fault scenario. The default plan is fully disabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// PRNG seed; identical plans produce identical fault sequences.
+    pub seed: u64,
+    /// Sensor-fault rates.
+    pub sensor: SensorFaultSpec,
+    /// Actuator-fault rates.
+    pub actuator: ActuatorFaultSpec,
+    /// Scheduled controller outages.
+    pub outages: Vec<OutageWindow>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.sensor.is_enabled() || self.actuator.is_enabled() || !self.outages.is_empty()
+    }
+
+    /// Returns the plan with all rates clamped into valid ranges and
+    /// degenerate (empty) outage windows removed.
+    pub fn sanitized(mut self) -> Self {
+        self.sensor = self.sensor.sanitized();
+        self.actuator = self.actuator.sanitized();
+        self.outages.retain(|w| w.end > w.start);
+        self
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables multiplicative Gaussian sensor noise with the given
+    /// standard deviation (fraction of the true reading).
+    pub fn with_sensor_noise(mut self, noise_std: f64) -> Self {
+        self.sensor.noise_std = noise_std;
+        self
+    }
+
+    /// Enables stuck sensors: with probability `prob` per reading, the
+    /// sensor freezes for `ticks` ticks.
+    pub fn with_stuck_sensors(mut self, prob: f64, ticks: u64) -> Self {
+        self.sensor.stuck_prob = prob;
+        self.sensor.stuck_ticks = ticks;
+        self
+    }
+
+    /// Enables dropped samples with the given per-reading probability.
+    pub fn with_dropped_samples(mut self, prob: f64) -> Self {
+        self.sensor.drop_prob = prob;
+        self
+    }
+
+    /// Enables stuck P-state actuators: with probability `prob` per
+    /// write, the actuator jams for `ticks` ticks.
+    pub fn with_stuck_actuators(mut self, prob: f64, ticks: u64) -> Self {
+        self.actuator.stuck_prob = prob;
+        self.actuator.stuck_ticks = ticks;
+        self
+    }
+
+    /// Enables budget-message loss (GM→EM→SM) at the given probability.
+    pub fn with_message_loss(mut self, prob: f64) -> Self {
+        self.actuator.message_loss_prob = prob;
+        self
+    }
+
+    /// Schedules an outage of `layer` instance `index` (or the whole
+    /// layer with `None`) over `[start, end)`.
+    pub fn with_outage(
+        mut self,
+        layer: ControllerLayer,
+        index: Option<usize>,
+        start: u64,
+        end: u64,
+    ) -> Self {
+        self.outages.push(OutageWindow {
+            layer,
+            index,
+            start,
+            end,
+        });
+        self
+    }
+}
+
+/// One sensor reading after fault injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reading {
+    /// The reading passed through untouched.
+    Clean(f64),
+    /// The reading was perturbed by Gaussian noise.
+    Noisy(f64),
+    /// The sensor is frozen at an old value.
+    Stuck(f64),
+    /// The sample was lost; the consumer must degrade.
+    Dropped,
+}
+
+impl Reading {
+    /// The delivered value, if any.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Reading::Clean(v) | Reading::Noisy(v) | Reading::Stuck(v) => Some(v),
+            Reading::Dropped => None,
+        }
+    }
+}
+
+/// Replays a [`FaultPlan`] deterministically against a running system.
+///
+/// One injector serves one run; the consumer (the experiment runner)
+/// routes every controller sensor reading through [`FaultInjector::sense`],
+/// every P-state write through [`FaultInjector::pstate_write_blocked`],
+/// every budget grant through [`FaultInjector::budget_message_lost`], and
+/// every controller epoch through [`FaultInjector::offline`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    sensor_on: bool,
+    actuator_on: bool,
+    messages_on: bool,
+    /// Frozen sensors: `(channel, index) → (held value, thaw tick)`.
+    stuck_sensors: HashMap<(SensorChannel, usize), (f64, u64)>,
+    /// Jammed actuators: per server, first tick writes work again.
+    stuck_actuators: Vec<u64>,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a fleet of `num_servers` servers.
+    pub fn new(plan: &FaultPlan, num_servers: usize) -> Self {
+        let plan = plan.clone().sanitized();
+        Self {
+            rng: StdRng::seed_from_u64(plan.seed ^ 0x6e70_735f_6661_756c),
+            sensor_on: plan.sensor.is_enabled(),
+            actuator_on: plan.actuator.stuck_prob > 0.0 && plan.actuator.stuck_ticks > 0,
+            messages_on: plan.actuator.message_loss_prob > 0.0,
+            stuck_sensors: HashMap::new(),
+            stuck_actuators: vec![0; num_servers],
+            plan,
+        }
+    }
+
+    /// Whether the plan can inject anything (a disabled injector draws no
+    /// random numbers and perturbs nothing).
+    pub fn enabled(&self) -> bool {
+        self.plan.is_enabled()
+    }
+
+    /// The sanitized plan this injector replays.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Routes one sensor reading through the fault model.
+    pub fn sense(
+        &mut self,
+        channel: SensorChannel,
+        index: usize,
+        tick: u64,
+        value: f64,
+    ) -> Reading {
+        if !self.sensor_on {
+            return Reading::Clean(value);
+        }
+        let key = (channel, index);
+        if let Some(&(held, until)) = self.stuck_sensors.get(&key) {
+            if tick < until {
+                return Reading::Stuck(held);
+            }
+            self.stuck_sensors.remove(&key);
+        }
+        if self.plan.sensor.drop_prob > 0.0 && self.rng.gen_bool(self.plan.sensor.drop_prob) {
+            return Reading::Dropped;
+        }
+        if self.plan.sensor.stuck_prob > 0.0
+            && self.plan.sensor.stuck_ticks > 0
+            && self.rng.gen_bool(self.plan.sensor.stuck_prob)
+        {
+            self.stuck_sensors
+                .insert(key, (value, tick + self.plan.sensor.stuck_ticks));
+            return Reading::Stuck(value);
+        }
+        if self.plan.sensor.noise_std > 0.0 {
+            let noisy = value * (1.0 + self.plan.sensor.noise_std * self.gauss());
+            return Reading::Noisy(noisy.max(0.0));
+        }
+        Reading::Clean(value)
+    }
+
+    /// Whether a P-state write to `server` at `tick` is discarded by a
+    /// jammed actuator (and rolls new jams).
+    pub fn pstate_write_blocked(&mut self, server: usize, tick: u64) -> bool {
+        if !self.actuator_on || server >= self.stuck_actuators.len() {
+            return false;
+        }
+        if tick < self.stuck_actuators[server] {
+            return true;
+        }
+        if self.rng.gen_bool(self.plan.actuator.stuck_prob) {
+            self.stuck_actuators[server] = tick + self.plan.actuator.stuck_ticks;
+            return true;
+        }
+        false
+    }
+
+    /// Whether one budget grant message is lost in transit.
+    pub fn budget_message_lost(&mut self) -> bool {
+        self.messages_on && self.rng.gen_bool(self.plan.actuator.message_loss_prob)
+    }
+
+    /// Whether instance `index` of `layer` is offline at `tick`.
+    pub fn offline(&self, layer: ControllerLayer, index: usize, tick: u64) -> bool {
+        self.plan
+            .outages
+            .iter()
+            .any(|w| w.covers(layer, index, tick))
+    }
+
+    /// One standard-normal draw (Box–Muller).
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_plan() -> FaultPlan {
+        FaultPlan::disabled()
+            .with_seed(7)
+            .with_sensor_noise(0.1)
+            .with_stuck_sensors(0.05, 10)
+            .with_dropped_samples(0.05)
+            .with_stuck_actuators(0.05, 10)
+            .with_message_loss(0.2)
+    }
+
+    #[test]
+    fn disabled_plan_is_transparent() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        let mut inj = FaultInjector::new(&plan, 4);
+        assert!(!inj.enabled());
+        for t in 0..100 {
+            assert_eq!(
+                inj.sense(SensorChannel::ServerPower, 0, t, 42.0),
+                Reading::Clean(42.0)
+            );
+            assert!(!inj.pstate_write_blocked(0, t));
+            assert!(!inj.budget_message_lost());
+            assert!(!inj.offline(ControllerLayer::Gm, 0, t));
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_counts_as_disabled() {
+        // Nonzero seed and stuck_ticks but every probability zero: nothing
+        // can fire, so the plan must behave exactly like `disabled()`.
+        let plan = FaultPlan {
+            seed: 99,
+            sensor: SensorFaultSpec {
+                stuck_ticks: 50,
+                ..SensorFaultSpec::default()
+            },
+            actuator: ActuatorFaultSpec {
+                stuck_ticks: 50,
+                ..ActuatorFaultSpec::default()
+            },
+            outages: vec![],
+        };
+        assert!(!plan.is_enabled());
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let plan = noisy_plan();
+        let mut a = FaultInjector::new(&plan, 8);
+        let mut b = FaultInjector::new(&plan, 8);
+        for t in 0..500 {
+            let i = (t as usize) % 8;
+            assert_eq!(
+                a.sense(SensorChannel::ServerPower, i, t, 100.0),
+                b.sense(SensorChannel::ServerPower, i, t, 100.0)
+            );
+            assert_eq!(a.pstate_write_blocked(i, t), b.pstate_write_blocked(i, t));
+            assert_eq!(a.budget_message_lost(), b.budget_message_lost());
+        }
+    }
+
+    #[test]
+    fn stuck_sensor_holds_value_then_thaws() {
+        let plan = FaultPlan::disabled()
+            .with_seed(3)
+            .with_stuck_sensors(1.0, 5);
+        let mut inj = FaultInjector::new(&plan, 1);
+        let first = inj.sense(SensorChannel::ServerUtilization, 0, 0, 0.8);
+        assert_eq!(first, Reading::Stuck(0.8));
+        // Later readings inside the window return the frozen value even as
+        // the true reading moves.
+        assert_eq!(
+            inj.sense(SensorChannel::ServerUtilization, 0, 3, 0.1),
+            Reading::Stuck(0.8)
+        );
+        // After the thaw tick the (always-firing) stuck fault re-freezes at
+        // the *new* value — proof the old window expired.
+        assert_eq!(
+            inj.sense(SensorChannel::ServerUtilization, 0, 5, 0.2),
+            Reading::Stuck(0.2)
+        );
+    }
+
+    #[test]
+    fn channels_do_not_share_stuck_state() {
+        let plan = FaultPlan::disabled()
+            .with_seed(3)
+            .with_stuck_sensors(1.0, 100);
+        let mut inj = FaultInjector::new(&plan, 2);
+        assert_eq!(
+            inj.sense(SensorChannel::ServerPower, 0, 0, 50.0),
+            Reading::Stuck(50.0)
+        );
+        assert_eq!(
+            inj.sense(SensorChannel::EnclosurePower, 0, 1, 200.0),
+            Reading::Stuck(200.0)
+        );
+        assert_eq!(
+            inj.sense(SensorChannel::ServerPower, 0, 2, 75.0),
+            Reading::Stuck(50.0)
+        );
+    }
+
+    #[test]
+    fn jammed_actuator_blocks_for_its_window() {
+        let plan = FaultPlan::disabled()
+            .with_seed(1)
+            .with_stuck_actuators(1.0, 4);
+        let mut inj = FaultInjector::new(&plan, 2);
+        assert!(inj.pstate_write_blocked(0, 10)); // jams until t=14
+        assert!(inj.pstate_write_blocked(0, 13));
+        // At t=14 the window expired, but stuck_prob=1 re-jams instantly;
+        // the other server has its own independent state.
+        assert!(inj.pstate_write_blocked(1, 10));
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_nonnegative() {
+        let plan = FaultPlan::disabled().with_seed(11).with_sensor_noise(2.0);
+        let mut inj = FaultInjector::new(&plan, 1);
+        let mut saw_change = false;
+        for t in 0..200 {
+            match inj.sense(SensorChannel::ServerPower, 0, t, 10.0) {
+                Reading::Noisy(v) => {
+                    assert!(v.is_finite() && v >= 0.0);
+                    if (v - 10.0).abs() > 1e-9 {
+                        saw_change = true;
+                    }
+                }
+                other => panic!("expected noise, got {other:?}"),
+            }
+        }
+        assert!(saw_change);
+    }
+
+    #[test]
+    fn outage_windows_cover_layer_and_instance() {
+        let plan = FaultPlan::disabled()
+            .with_outage(ControllerLayer::Em, Some(2), 100, 200)
+            .with_outage(ControllerLayer::Gm, None, 50, 60);
+        let inj = FaultInjector::new(&plan, 4);
+        assert!(inj.offline(ControllerLayer::Em, 2, 150));
+        assert!(!inj.offline(ControllerLayer::Em, 1, 150));
+        assert!(!inj.offline(ControllerLayer::Em, 2, 200));
+        assert!(inj.offline(ControllerLayer::Gm, 0, 55));
+        assert!(!inj.offline(ControllerLayer::Sm, 2, 150));
+    }
+
+    #[test]
+    fn sanitize_clamps_rates_and_drops_empty_windows() {
+        let plan = FaultPlan {
+            seed: 0,
+            sensor: SensorFaultSpec {
+                noise_std: f64::NAN,
+                stuck_prob: 7.0,
+                stuck_ticks: 5,
+                drop_prob: -3.0,
+            },
+            actuator: ActuatorFaultSpec {
+                stuck_prob: f64::INFINITY,
+                stuck_ticks: 5,
+                message_loss_prob: 2.0,
+            },
+            outages: vec![OutageWindow {
+                layer: ControllerLayer::Sm,
+                index: None,
+                start: 10,
+                end: 10,
+            }],
+        }
+        .sanitized();
+        assert_eq!(plan.sensor.noise_std, 0.0);
+        assert_eq!(plan.sensor.stuck_prob, 1.0);
+        assert_eq!(plan.sensor.drop_prob, 0.0);
+        assert_eq!(plan.actuator.stuck_prob, 0.0); // non-finite rejected, not clamped
+        assert_eq!(plan.actuator.message_loss_prob, 1.0);
+        assert!(plan.outages.is_empty());
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = noisy_plan().with_outage(ControllerLayer::Em, Some(1), 5, 9);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -47,6 +47,7 @@ pub mod cooling;
 mod engine;
 mod error;
 mod events;
+mod faults;
 mod ids;
 mod placement;
 mod thermal;
@@ -56,6 +57,10 @@ pub use config::SimConfig;
 pub use engine::{Simulation, VmObservation};
 pub use error::SimError;
 pub use events::{Event, EventLog, LoggedEvent};
+pub use faults::{
+    ActuatorFaultSpec, ControllerLayer, FaultInjector, FaultPlan, OutageWindow, Reading,
+    SensorChannel, SensorFaultSpec,
+};
 pub use ids::{EnclosureId, ServerId, VmId};
 pub use placement::{Migration, Placement};
 pub use thermal::{ThermalConfig, ThermalState};

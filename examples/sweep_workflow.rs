@@ -33,7 +33,13 @@ fn main() {
     }
     println!("running {} configurations in parallel…", configs.len());
     let started = std::time::Instant::now();
-    let results = run_sweep(&configs, 0);
+    // Each slot is a `Result`: a panicking configuration would surface as
+    // a labeled `SweepError` instead of killing the sweep. This grid is
+    // known-good, so unwrap every slot.
+    let results: Vec<ExperimentResult> = run_sweep(&configs, 0)
+        .into_iter()
+        .map(|r| r.expect("paper-standard configs run clean"))
+        .collect();
     println!("done in {:.1}s\n", started.elapsed().as_secs_f64());
 
     // Persist + reload (the paper's archived-results workflow).

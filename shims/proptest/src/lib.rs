@@ -183,7 +183,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

@@ -253,15 +253,29 @@ fn cmd_sweep(args: &[String]) -> i32 {
         }
     }
     println!("running {} configurations (Figure-7 grid)…", cfgs.len());
-    let results = run_sweep(&cfgs, 0);
-    for r in &results {
-        println!(
-            "  {:<55} save {:>5.1}%  perf {:>4.1}%  viol SM {:>4.1}%",
-            r.label,
-            r.comparison.power_savings_pct,
-            r.comparison.perf_loss_pct,
-            r.comparison.violations_sm_pct
-        );
+    let outcomes = run_sweep(&cfgs, 0);
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failures = 0;
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => {
+                println!(
+                    "  {:<55} save {:>5.1}%  perf {:>4.1}%  viol SM {:>4.1}%",
+                    r.label,
+                    r.comparison.power_savings_pct,
+                    r.comparison.perf_loss_pct,
+                    r.comparison.violations_sm_pct
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("  FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} configuration(s) failed; writing the rest");
     }
     match save_results(&results, out) {
         Ok(()) => {

@@ -66,12 +66,15 @@ pub mod prelude {
         ExperimentResult, Intervals, PolicyKind, Runner, Scenario, SystemKind,
     };
     pub use nps_metrics::{
-        BudgetLevel, Comparison, ControllerKind, EventKind, NoopRecorder, Recorder, RingRecorder,
-        RunStats, Table, TelemetryEvent, TelemetryLog, TelemetrySummary,
+        BudgetLevel, Comparison, ControllerKind, EventKind, FaultStats, NoopRecorder, Recorder,
+        RingRecorder, RunStats, Table, TelemetryEvent, TelemetryLog, TelemetrySummary,
     };
     pub use nps_models::{PState, ServerModel};
     pub use nps_opt::{Objective, Vmc, VmcConfig};
-    pub use nps_sim::{Placement, ServerId, SimConfig, Simulation, ThermalConfig, Topology, VmId};
+    pub use nps_sim::{
+        ControllerLayer, FaultPlan, Placement, ServerId, SimConfig, Simulation, ThermalConfig,
+        Topology, VmId,
+    };
     pub use nps_traces::{Corpus, Mix, UtilTrace, WorkloadClass};
 }
 
