@@ -1,0 +1,102 @@
+//! Batched vs. per-object controller epochs: the structure-of-arrays
+//! [`ControllerBank`] against the seed's scalar
+//! `Vec<EfficiencyController>` / `Vec<ServerManager>` hot path, at the
+//! paper's 180-server fleet size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nps_control::{ControllerBank, EfficiencyController, ServerManager};
+use nps_models::{ModelTable, ServerModel};
+use std::hint::black_box;
+
+const FLEET: usize = 180;
+const LAMBDA: f64 = 0.8;
+const BETA: f64 = 1.0;
+const R_REF: f64 = 0.75;
+
+fn utils() -> Vec<f64> {
+    (0..FLEET)
+        .map(|i| 0.15 + 0.7 * ((i * 37) % 100) as f64 / 100.0)
+        .collect()
+}
+
+fn powers() -> Vec<f64> {
+    (0..FLEET)
+        .map(|i| 180.0 + ((i * 53) % 120) as f64)
+        .collect()
+}
+
+fn scalar_fleet() -> (
+    Vec<ServerModel>,
+    Vec<EfficiencyController>,
+    Vec<ServerManager>,
+) {
+    let models: Vec<ServerModel> = (0..FLEET).map(|_| ServerModel::blade_a()).collect();
+    let ecs: Vec<EfficiencyController> = models
+        .iter()
+        .map(|m| EfficiencyController::new(m, LAMBDA, R_REF))
+        .collect();
+    let sms: Vec<ServerManager> = models
+        .iter()
+        .map(|m| ServerManager::new(m, 0.9 * m.max_power(), BETA))
+        .collect();
+    (models, ecs, sms)
+}
+
+fn batched_fleet() -> ControllerBank {
+    let models: Vec<ServerModel> = (0..FLEET).map(|_| ServerModel::blade_a()).collect();
+    let caps: Vec<f64> = models.iter().map(|m| 0.9 * m.max_power()).collect();
+    ControllerBank::new(ModelTable::from_models(&models), LAMBDA, BETA, R_REF, &caps)
+}
+
+fn bench_ec_epoch(c: &mut Criterion) {
+    let utils = utils();
+    let mut group = c.benchmark_group("ec_epoch_180");
+    group.bench_function("scalar", |b| {
+        let (models, mut ecs, _) = scalar_fleet();
+        b.iter(|| {
+            for i in 0..FLEET {
+                black_box(ecs[i].step(&models[i], black_box(utils[i])));
+            }
+        });
+    });
+    group.bench_function("batched", |b| {
+        let mut bank = batched_fleet();
+        b.iter(|| {
+            for (i, &u) in utils.iter().enumerate() {
+                black_box(bank.ec_step(i, black_box(u)));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_sm_epoch(c: &mut Criterion) {
+    let powers = powers();
+    let mut group = c.benchmark_group("sm_epoch_180");
+    group.bench_function("scalar", |b| {
+        b.iter_batched(
+            scalar_fleet,
+            |(_, mut ecs, mut sms)| {
+                for i in 0..FLEET {
+                    black_box(sms[i].step_coordinated(black_box(powers[i]), &mut ecs[i]));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("batched", |b| {
+        b.iter_batched(
+            batched_fleet,
+            |mut bank| {
+                for (i, &w) in powers.iter().enumerate() {
+                    black_box(bank.sm_step_coordinated(i, black_box(w)));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ec_epoch, bench_sm_epoch);
+criterion_main!(benches);

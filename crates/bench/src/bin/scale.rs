@@ -1,0 +1,103 @@
+//! **Scaling sweep** — epoch cost of the batched structure-of-arrays
+//! engine from 48 to 1 536 servers (multi-rack topologies), reported as
+//! wall-clock per tick and per server-tick. With `NPS_JSON_OUT_DIR` set,
+//! the sweep is written as `BENCH_scale.json` (CI's perf-smoke artifact).
+//!
+//! Each point uses `Scenario::multi_rack`: `n/48` racks of 2 enclosures
+//! × 16 blades plus `n/3` standalone servers, driven by the enterprise
+//! trace corpus tiled across sites, under the coordinated architecture.
+
+use nps_bench::{banner, horizon, seed, write_json_artifact};
+use nps_core::{CoordinationMode, Runner, Scenario, SystemKind};
+use nps_metrics::Table;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Server counts swept; 48 is one rack + standalone, then ×2 up to 1 536.
+const SIZES: [usize; 6] = [48, 96, 192, 384, 768, 1536];
+
+#[derive(Serialize)]
+struct ScaleRow {
+    servers: usize,
+    racks: usize,
+    enclosures_per_rack: usize,
+    blades_per_enclosure: usize,
+    standalone: usize,
+    horizon: u64,
+    build_ms: f64,
+    run_ms: f64,
+    us_per_tick: f64,
+    ns_per_server_tick: f64,
+    mean_power_w: f64,
+}
+
+fn main() {
+    banner(
+        "Scaling sweep: batched SoA engine, 48 -> 1536 servers",
+        "DESIGN.md \u{a7}8; multi-rack extension of the paper's 180-server testbed",
+    );
+    let h = horizon();
+    let mut table = Table::new(vec![
+        "servers",
+        "racks",
+        "build ms",
+        "run ms",
+        "us/tick",
+        "ns/server-tick",
+    ]);
+    let mut artifact = Vec::new();
+    for n in SIZES {
+        let (racks, enclosures_per_rack, blades) = (n / 48, 2, 16);
+        let standalone = n - racks * enclosures_per_rack * blades;
+        let cfg = Scenario::multi_rack(
+            SystemKind::BladeA,
+            CoordinationMode::Coordinated,
+            racks,
+            enclosures_per_rack,
+            blades,
+            standalone,
+        )
+        .horizon(h)
+        .seed(seed())
+        .build();
+
+        let t0 = Instant::now();
+        let mut runner = Runner::new(&cfg);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let stats = runner.run_to_horizon();
+        let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let ticks = stats.ticks.max(1) as f64;
+        let us_per_tick = run_ms * 1e3 / ticks;
+        let ns_per_server_tick = run_ms * 1e6 / (ticks * n as f64);
+        table.row(vec![
+            n.to_string(),
+            racks.to_string(),
+            Table::fmt(build_ms),
+            Table::fmt(run_ms),
+            Table::fmt(us_per_tick),
+            Table::fmt(ns_per_server_tick),
+        ]);
+        artifact.push(ScaleRow {
+            servers: n,
+            racks,
+            enclosures_per_rack,
+            blades_per_enclosure: blades,
+            standalone,
+            horizon: stats.ticks,
+            build_ms,
+            run_ms,
+            us_per_tick,
+            ns_per_server_tick,
+            mean_power_w: stats.mean_power(),
+        });
+    }
+    println!("{table}");
+    println!(
+        "Shape to check: ns/server-tick should stay roughly flat as the\n\
+         fleet grows -- the SoA hot path is linear in servers, so per-tick\n\
+         cost scales with n while per-server-tick cost does not."
+    );
+    write_json_artifact("BENCH_scale", &artifact);
+}

@@ -1,0 +1,334 @@
+//! Batched EC + SM state for the per-epoch hot path.
+//!
+//! [`ControllerBank`] holds every server's efficiency-controller and
+//! server-manager state in contiguous `Vec<f64>` arrays (one slot per
+//! server) instead of one [`EfficiencyController`] / [`ServerManager`]
+//! object each. An epoch that touches all N servers then walks flat
+//! arrays plus a shared [`ModelTable`], which keeps the working set
+//! cache-resident at multi-rack scale.
+//!
+//! Every update replicates the scalar controllers' floating-point
+//! operations *in the same order*, so a runner switched from per-object
+//! controllers to the bank is bit-identical — the differential tests in
+//! this module and in `tests/soa_differential.rs` drive both
+//! implementations in lockstep and assert exact equality.
+
+use nps_models::{ModelTable, PState};
+
+use crate::ec::EfficiencyController;
+use crate::sm::{ServerManager, SmDecision};
+
+/// Structure-of-arrays bank of per-server EC + SM controller state.
+///
+/// Server `i`'s controllers occupy slot `i` of every array; the model
+/// data they evaluate against lives in the shared [`ModelTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerBank {
+    table: ModelTable,
+    /// Gain scaling parameter λ of the EC integral law (shared).
+    lambda: f64,
+    /// SM gain `β_loc` on normalized power (shared).
+    beta: f64,
+    /// SM guard band (fraction below the cap to regulate toward).
+    guard: f64,
+    /// EC continuous frequency state, Hz.
+    freq_hz: Vec<f64>,
+    /// EC quantized frequency applied last interval, Hz.
+    applied_hz: Vec<f64>,
+    /// EC utilization target.
+    r_ref: Vec<f64>,
+    /// SM static local budget `CAP_LOC`, watts.
+    static_cap: Vec<f64>,
+    /// SM budget granted by the EM/GM for the current epoch, watts.
+    granted_cap: Vec<f64>,
+}
+
+impl ControllerBank {
+    /// Creates a bank over `table` with one EC (starting at the model's
+    /// maximum frequency, target `initial_r_ref` clamped to the standard
+    /// band) and one SM (static budget `static_caps[i]`, granted budget
+    /// unbounded) per server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `static_caps.len() != table.num_servers()`.
+    pub fn new(
+        table: ModelTable,
+        lambda: f64,
+        beta: f64,
+        initial_r_ref: f64,
+        static_caps: &[f64],
+    ) -> Self {
+        let n = table.num_servers();
+        assert_eq!(
+            static_caps.len(),
+            n,
+            "one static cap per server ({} caps, {n} servers)",
+            static_caps.len()
+        );
+        let freq_hz: Vec<f64> = (0..n).map(|i| table.max_frequency_hz(i)).collect();
+        let r_ref = initial_r_ref.clamp(
+            EfficiencyController::DEFAULT_R_REF_MIN,
+            EfficiencyController::DEFAULT_R_REF_MAX,
+        );
+        Self {
+            applied_hz: freq_hz.clone(),
+            freq_hz,
+            r_ref: vec![r_ref; n],
+            static_cap: static_caps.to_vec(),
+            granted_cap: vec![f64::INFINITY; n],
+            table,
+            lambda,
+            beta,
+            guard: ServerManager::DEFAULT_GUARD,
+        }
+    }
+
+    /// Overrides the SM guard band for every server.
+    pub fn with_guard(mut self, guard: f64) -> Self {
+        self.guard = guard.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Number of servers in the bank.
+    pub fn len(&self) -> usize {
+        self.r_ref.len()
+    }
+
+    /// True if the bank covers no servers.
+    pub fn is_empty(&self) -> bool {
+        self.r_ref.is_empty()
+    }
+
+    /// The shared model table the controllers evaluate against.
+    pub fn table(&self) -> &ModelTable {
+        &self.table
+    }
+
+    // ----- efficiency controller -----------------------------------------
+
+    /// Server `i`'s current utilization target.
+    pub fn r_ref(&self, i: usize) -> f64 {
+        self.r_ref[i]
+    }
+
+    /// Sets server `i`'s utilization target, clamped to the standard band
+    /// — identical to [`EfficiencyController::set_r_ref`].
+    pub fn set_r_ref(&mut self, i: usize, r_ref: f64) {
+        self.r_ref[i] = r_ref.clamp(
+            EfficiencyController::DEFAULT_R_REF_MIN,
+            EfficiencyController::DEFAULT_R_REF_MAX,
+        );
+    }
+
+    /// Server `i`'s continuous EC frequency state, Hz.
+    pub fn frequency_hz(&self, i: usize) -> f64 {
+        self.freq_hz[i]
+    }
+
+    /// One EC control step for server `i` — the same update as
+    /// [`EfficiencyController::step`]: adaptive integral law on the
+    /// continuous frequency, quantized to the nearest P-state.
+    pub fn ec_step(&mut self, i: usize, measured_util: f64) -> PState {
+        let r = if measured_util.is_nan() {
+            0.0
+        } else {
+            measured_util.clamp(0.0, 1.0)
+        };
+        // Measured consumption f_C = r · f_q.
+        let f_c = r * self.applied_hz[i];
+        let delta = self.lambda * f_c * (self.r_ref[i] - r) / self.r_ref[i];
+        self.freq_hz[i] = (self.freq_hz[i] - delta).clamp(
+            self.table.min_frequency_hz(i),
+            self.table.max_frequency_hz(i),
+        );
+        let p = self.table.quantize(i, self.freq_hz[i]);
+        self.applied_hz[i] = self.table.frequency_hz(i, p.index());
+        p
+    }
+
+    /// Resets server `i`'s EC to its maximum frequency (e.g. after a
+    /// power-on) — identical to [`EfficiencyController::reset`].
+    pub fn ec_reset(&mut self, i: usize) {
+        self.freq_hz[i] = self.table.max_frequency_hz(i);
+        self.applied_hz[i] = self.freq_hz[i];
+    }
+
+    // ----- server manager -------------------------------------------------
+
+    /// Server `i`'s static local budget `CAP_LOC`, watts.
+    pub fn static_cap_watts(&self, i: usize) -> f64 {
+        self.static_cap[i]
+    }
+
+    /// Grants server `i` a dynamic budget from the enclosure/group
+    /// manager — identical to [`ServerManager::set_granted_cap`].
+    pub fn set_granted_cap(&mut self, i: usize, watts: f64) {
+        self.granted_cap[i] = watts.max(0.0);
+    }
+
+    /// The budget server `i`'s SM enforces this epoch:
+    /// `min(CAP_LOC, granted)`.
+    pub fn effective_cap_watts(&self, i: usize) -> f64 {
+        self.static_cap[i].min(self.granted_cap[i])
+    }
+
+    /// One **coordinated** SM interval for server `i` — the same update
+    /// as [`ServerManager::step_coordinated`], retuning the bank's own
+    /// EC `r_ref` slot.
+    pub fn sm_step_coordinated(&mut self, i: usize, measured_power_watts: f64) -> SmDecision {
+        let max_power = self.table.max_power(i);
+        let cap_norm = (1.0 - self.guard) * self.effective_cap_watts(i) / max_power;
+        let pow_norm = measured_power_watts / max_power;
+        // r_ref(k̂) = r_ref(k̂−1) − β·(cap − pow)  [normalized]
+        let new_r_ref = self.r_ref[i] - self.beta * (cap_norm - pow_norm);
+        self.set_r_ref(i, new_r_ref);
+        SmDecision {
+            violated_static: measured_power_watts > self.static_cap[i],
+            violated_effective: measured_power_watts > self.effective_cap_watts(i),
+            new_r_ref: Some(self.r_ref[i]),
+        }
+    }
+
+    /// One **uncoordinated** SM interval for server `i` — the same update
+    /// as [`ServerManager::step_uncoordinated`].
+    pub fn sm_step_uncoordinated(
+        &mut self,
+        i: usize,
+        measured_power_watts: f64,
+        current: PState,
+    ) -> (SmDecision, Option<PState>) {
+        let violated_effective = measured_power_watts > self.effective_cap_watts(i);
+        let decision = SmDecision {
+            violated_static: measured_power_watts > self.static_cap[i],
+            violated_effective,
+            new_r_ref: None,
+        };
+        let forced = if violated_effective {
+            Some(self.table.step_down(i, current))
+        } else {
+            None
+        };
+        (decision, forced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nps_models::ServerModel;
+
+    fn fleet() -> Vec<ServerModel> {
+        vec![
+            ServerModel::blade_a(),
+            ServerModel::server_b(),
+            ServerModel::blade_a().extremes(),
+        ]
+    }
+
+    fn scalar_pair(
+        models: &[ServerModel],
+        lambda: f64,
+        beta: f64,
+        caps: &[f64],
+    ) -> (Vec<EfficiencyController>, Vec<ServerManager>) {
+        let ecs = models
+            .iter()
+            .map(|m| EfficiencyController::new(m, lambda, 0.75))
+            .collect();
+        let sms = models
+            .iter()
+            .zip(caps)
+            .map(|(m, &c)| ServerManager::new(m, c, beta))
+            .collect();
+        (ecs, sms)
+    }
+
+    #[test]
+    fn ec_steps_match_scalar_bitwise() {
+        let models = fleet();
+        let caps: Vec<f64> = models.iter().map(|m| 0.8 * m.max_power()).collect();
+        let mut bank = ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        let (mut ecs, _) = scalar_pair(&models, 0.8, 1.0, &caps);
+        let utils = [0.1, 0.9, 1.0, 0.0, f64::NAN, 0.55, -0.2, 1.7, 0.33];
+        for (k, &u) in utils.iter().cycle().take(200).enumerate() {
+            for i in 0..models.len() {
+                let u = u * (1.0 + 0.01 * i as f64);
+                assert_eq!(bank.ec_step(i, u), ecs[i].step(&models[i], u), "step {k}");
+                assert_eq!(bank.frequency_hz(i), ecs[i].frequency_hz());
+                assert_eq!(bank.r_ref(i), ecs[i].r_ref());
+            }
+            if k % 7 == 0 {
+                for (i, ec) in ecs.iter_mut().enumerate() {
+                    let target = 0.6 + 0.3 * (k % 5) as f64;
+                    bank.set_r_ref(i, target);
+                    ec.set_r_ref(target);
+                }
+            }
+            if k % 31 == 0 {
+                bank.ec_reset(1);
+                ecs[1].reset(&models[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sm_coordinated_matches_scalar_bitwise() {
+        let models = fleet();
+        let caps: Vec<f64> = models.iter().map(|m| 0.78 * m.max_power()).collect();
+        let mut bank = ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        let (mut ecs, mut sms) = scalar_pair(&models, 0.8, 1.0, &caps);
+        for k in 0..150 {
+            for i in 0..models.len() {
+                let pow = 40.0 + 7.0 * ((k * (i + 3)) % 13) as f64;
+                let want = sms[i].step_coordinated(pow, &mut ecs[i]);
+                assert_eq!(bank.sm_step_coordinated(i, pow), want, "step {k}");
+                assert_eq!(bank.r_ref(i), ecs[i].r_ref());
+                // The retuned r_ref must feed back into the next EC step.
+                let u = 0.5 + 0.04 * (k % 9) as f64;
+                assert_eq!(bank.ec_step(i, u), ecs[i].step(&models[i], u));
+            }
+            if k % 11 == 0 {
+                for (i, sm) in sms.iter_mut().enumerate() {
+                    let grant = if k % 22 == 0 { 60.0 } else { f64::INFINITY };
+                    bank.set_granted_cap(i, grant);
+                    sm.set_granted_cap(grant);
+                    assert_eq!(bank.effective_cap_watts(i), sm.effective_cap_watts());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sm_uncoordinated_matches_scalar_bitwise() {
+        let models = fleet();
+        let caps: Vec<f64> = models.iter().map(|m| 0.7 * m.max_power()).collect();
+        let mut bank = ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        let (_, mut sms) = scalar_pair(&models, 0.8, 1.0, &caps);
+        for k in 0..60 {
+            for i in 0..models.len() {
+                let p = PState(k % models[i].num_pstates());
+                let pow = 30.0 + 9.0 * ((k * 5 + i) % 11) as f64;
+                let want = sms[i].step_uncoordinated(pow, p, &models[i]);
+                assert_eq!(bank.sm_step_uncoordinated(i, pow, p), want, "step {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_grant_clamps_to_zero() {
+        let models = fleet();
+        let caps = vec![100.0; 3];
+        let mut bank = ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        bank.set_granted_cap(0, -5.0);
+        assert_eq!(bank.effective_cap_watts(0), 0.0);
+        assert_eq!(bank.static_cap_watts(0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one static cap per server")]
+    fn cap_count_mismatch_panics() {
+        let models = fleet();
+        ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &[1.0]);
+    }
+}

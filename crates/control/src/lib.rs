@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod arbiter;
+mod bank;
 mod cap;
 mod crac;
 mod ec;
@@ -55,6 +56,7 @@ mod sm;
 pub mod stability;
 
 pub use arbiter::{ArbitrationPolicy, FrequencyArbiter};
+pub use bank::ControllerBank;
 pub use cap::ElectricalCapper;
 pub use crac::CracController;
 pub use ec::EfficiencyController;

@@ -2,9 +2,7 @@
 //! according to the coordination mode, executes the horizon, and collects
 //! the paper's metrics.
 
-use nps_control::{
-    CapperLevel, EfficiencyController, ElectricalCapper, GroupCapper, ServerManager,
-};
+use nps_control::{CapperLevel, ControllerBank, ElectricalCapper, GroupCapper};
 use nps_metrics::{
     BudgetLevel, Comparison, ControllerKind, DegradationPolicy, FaultStats, LevelViolations,
     Recorder, RingRecorder, RunStats, SensorFaultKind, TelemetryEvent, ViolationCounter,
@@ -66,9 +64,9 @@ pub struct Runner {
     // Substrate.
     sim: Simulation,
     models: Vec<ServerModel>,
-    // Controllers.
-    ecs: Vec<EfficiencyController>,
-    sms: Vec<ServerManager>,
+    // Controllers. Per-server EC + SM state lives in a contiguous
+    // structure-of-arrays bank rather than one object per server.
+    bank: ControllerBank,
     ems: Vec<GroupCapper>,
     gm: GroupCapper,
     vmc: Vmc,
@@ -79,6 +77,17 @@ pub struct Runner {
     cap_loc: Vec<f64>,
     cap_enc: Vec<f64>,
     cap_grp: f64,
+    // Runner-owned CSR copy of the enclosure membership, so the EM/GM
+    // epochs walk flat arrays instead of cloning topology lists.
+    enc_offsets: Vec<usize>,
+    enc_members: Vec<ServerId>,
+    standalone_ids: Vec<ServerId>,
+    // Reusable epoch scratch buffers (no per-epoch allocation).
+    scratch_power: Vec<f64>,
+    scratch_caps: Vec<f64>,
+    scratch_consumption: Vec<f64>,
+    scratch_child_caps: Vec<f64>,
+    scratch_demands: Vec<f64>,
     // Measurement-window snapshots (cumulative values at last epoch).
     snap_util_ec: Vec<f64>,
     snap_power_sm: Vec<f64>,
@@ -191,12 +200,24 @@ impl Runner {
         let cap_grp =
             (1.0 - cfg.budgets.group_off) * models.iter().map(|m| m.max_power()).sum::<f64>();
 
-        let ecs: Vec<EfficiencyController> = (0..n)
-            .map(|i| EfficiencyController::new(&models[i], cfg.lambda, 0.75))
-            .collect();
-        let sms: Vec<ServerManager> = (0..n)
-            .map(|i| ServerManager::new(&models[i], cap_loc[i], cfg.beta))
-            .collect();
+        // One EC (starting at f_max, r_ref = 0.75) and one SM (static cap
+        // CAP_LOC, unbounded grant) per server, banked into flat arrays.
+        let bank = ControllerBank::new(
+            nps_models::ModelTable::from_models(&models),
+            cfg.lambda,
+            cfg.beta,
+            0.75,
+            &cap_loc,
+        );
+        let num_enclosures = cfg.topology.num_enclosures();
+        let mut enc_offsets = Vec::with_capacity(num_enclosures + 1);
+        let mut enc_members = Vec::new();
+        enc_offsets.push(0);
+        for e in 0..num_enclosures {
+            enc_members.extend_from_slice(cfg.topology.enclosure_servers(EnclosureId(e)));
+            enc_offsets.push(enc_members.len());
+        }
+        let standalone_ids = cfg.topology.standalone_servers().to_vec();
         let ems: Vec<GroupCapper> = (0..cfg.topology.num_enclosures())
             .map(|e| {
                 GroupCapper::new(
@@ -242,8 +263,7 @@ impl Runner {
             intervals,
             horizon: cfg.horizon,
             sim,
-            ecs,
-            sms,
+            bank,
             ems,
             gm,
             vmc,
@@ -252,6 +272,14 @@ impl Runner {
             cap_loc,
             cap_enc,
             cap_grp,
+            enc_offsets,
+            enc_members,
+            standalone_ids,
+            scratch_power: Vec::new(),
+            scratch_caps: Vec::new(),
+            scratch_consumption: Vec::new(),
+            scratch_child_caps: Vec::new(),
+            scratch_demands: Vec::new(),
             snap_util_ec: vec![0.0; n],
             snap_power_sm: vec![0.0; n],
             snap_power_em: vec![0.0; n],
@@ -454,13 +482,13 @@ impl Runner {
 
     /// The `r_ref` currently targeted by server `s`'s EC.
     pub fn ec_r_ref(&self, s: ServerId) -> f64 {
-        self.ecs[s.index()].r_ref()
+        self.bank.r_ref(s.index())
     }
 
     /// The budget server `s`'s SM enforces right now:
     /// `min(CAP_LOC, granted by EM/GM)`, watts.
     pub fn sm_effective_cap(&self, s: ServerId) -> f64 {
-        self.sms[s.index()].effective_cap_watts()
+        self.bank.effective_cap_watts(s.index())
     }
 
     /// The budget enclosure `e`'s EM enforces right now:
@@ -606,7 +634,7 @@ impl Runner {
             let raw = (cum - self.snap_util_ec[i]) / window.max(1) as f64;
             self.snap_util_ec[i] = cum;
             let util = self.ingest(SensorChannel::ServerUtilization, ControllerKind::Ec, i, raw);
-            let desired = self.ecs[i].step(&self.models[i], util);
+            let desired = self.bank.ec_step(i, util);
             let applied = if self.mode.merges_min_pstate() {
                 // Naïve "min frequency wins" merge with the SM's standing
                 // demand.
@@ -684,7 +712,7 @@ impl Runner {
             }
             // A breach of the dynamically granted budget (tighter than the
             // static cap) is reported separately as an effective violation.
-            let eff_cap = self.sms[i].effective_cap_watts();
+            let eff_cap = self.bank.effective_cap_watts(i);
             if avg > eff_cap && eff_cap < self.cap_loc[i] {
                 self.emit(|| TelemetryEvent::Violation {
                     tick: t,
@@ -695,10 +723,10 @@ impl Runner {
                 });
             }
             if self.mode.sm_actuates_r_ref() {
-                let prev_r_ref = if recording { self.ecs[i].r_ref() } else { 0.0 };
-                self.sms[i].step_coordinated(avg, &mut self.ecs[i]);
+                let prev_r_ref = if recording { self.bank.r_ref(i) } else { 0.0 };
+                self.bank.sm_step_coordinated(i, avg);
                 if recording {
-                    let r_ref = self.ecs[i].r_ref();
+                    let r_ref = self.bank.r_ref(i);
                     if r_ref != prev_r_ref {
                         self.emit(|| TelemetryEvent::RRefUpdate {
                             tick: t,
@@ -709,7 +737,7 @@ impl Runner {
                 }
             } else {
                 let current = self.sim.pstate(s);
-                let (_, forced) = self.sms[i].step_uncoordinated(avg, current, &self.models[i]);
+                let (_, forced) = self.bank.sm_step_uncoordinated(i, avg, current);
                 if self.mode.merges_min_pstate() {
                     self.sm_hold[i] = forced;
                     if let Some(p) = forced {
@@ -744,17 +772,16 @@ impl Runner {
     fn em_epoch(&mut self, window: u64) {
         let t = self.ticks_done;
         for e in 0..self.ems.len() {
-            let members = self
-                .sim
-                .topology()
-                .enclosure_servers(EnclosureId(e))
-                .to_vec();
-            let member_power: Vec<f64> = members
-                .iter()
-                .map(|&s| {
-                    Self::window_avg_power(&self.sim, &mut self.snap_power_em, s.index(), window)
-                })
-                .collect();
+            // Enclosure `e`'s members are the CSR slice
+            // `enc_members[enc_offsets[e]..enc_offsets[e + 1]]`.
+            let (m0, m1) = (self.enc_offsets[e], self.enc_offsets[e + 1]);
+            self.scratch_power.clear();
+            for k in m0..m1 {
+                let s = self.enc_members[k];
+                let avg =
+                    Self::window_avg_power(&self.sim, &mut self.snap_power_em, s.index(), window);
+                self.scratch_power.push(avg);
+            }
             // Level total includes the enclosure's shared base power.
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
             let raw_total = (enc_cum - self.snap_encpow_em[e]) / window.max(1) as f64;
@@ -788,8 +815,9 @@ impl Runner {
                     // to their local static caps (stale dynamic grants from
                     // a dead EM could strangle them indefinitely).
                     if self.mode.budgets_flow_down() {
-                        for &s in &members {
-                            self.sms[s.index()].set_granted_cap(f64::INFINITY);
+                        for k in m0..m1 {
+                            let s = self.enc_members[k];
+                            self.bank.set_granted_cap(s.index(), f64::INFINITY);
                             self.fstats.degradations += 1;
                             let server = s.index();
                             self.emit(|| TelemetryEvent::Degradation {
@@ -820,10 +848,15 @@ impl Runner {
                     effective: true,
                 });
             }
-            let member_caps: Vec<f64> = members.iter().map(|&s| self.cap_loc[s.index()]).collect();
-            let allocations = self.ems[e].reallocate(&member_power, &member_caps);
+            self.scratch_caps.clear();
+            for k in m0..m1 {
+                let s = self.enc_members[k];
+                self.scratch_caps.push(self.cap_loc[s.index()]);
+            }
+            let allocations = self.ems[e].reallocate(&self.scratch_power, &self.scratch_caps);
             if self.mode.budgets_flow_down() {
-                for (k, &s) in members.iter().enumerate() {
+                for (k, &watts) in allocations.iter().enumerate() {
+                    let s = self.enc_members[m0 + k];
                     if self.injector.budget_message_lost() {
                         // The child holds its last granted budget.
                         self.fstats.messages_lost += 1;
@@ -834,8 +867,7 @@ impl Runner {
                         });
                         continue;
                     }
-                    self.sms[s.index()].set_granted_cap(allocations[k]);
-                    let watts = allocations[k];
+                    self.bank.set_granted_cap(s.index(), watts);
                     self.emit(|| TelemetryEvent::BudgetGrant {
                         tick: t,
                         level: BudgetLevel::Enclosure,
@@ -847,13 +879,14 @@ impl Runner {
                 // Uncoordinated enclosure capper: on violation, directly
                 // clamp member P-states to fit their allocation — racing
                 // with the EC and SM.
-                for (k, &s) in members.iter().enumerate() {
+                for (k, &alloc) in allocations.iter().enumerate() {
+                    let s = self.enc_members[m0 + k];
                     if !self.sim.is_on(s) {
                         continue;
                     }
                     let model = &self.models[s.index()];
                     let forced = model
-                        .pstate_for_power_budget(allocations[k])
+                        .pstate_for_power_budget(alloc)
                         .unwrap_or_else(|| model.deepest());
                     let before = self.sim.pstate(s);
                     if self.write_pstate(s, forced, ControllerKind::Em) && forced != before {
@@ -873,39 +906,37 @@ impl Runner {
     fn gm_epoch(&mut self, window: u64) {
         let t = self.ticks_done;
         // Children: enclosures first, then standalone servers.
-        let topo = self.sim.topology().clone();
-        let mut consumption =
-            Vec::with_capacity(topo.num_enclosures() + topo.standalone_servers().len());
-        let mut child_caps = Vec::with_capacity(consumption.capacity());
-        for e in 0..topo.num_enclosures() {
+        let num_enclosures = self.ems.len();
+        self.scratch_consumption.clear();
+        self.scratch_child_caps.clear();
+        for e in 0..num_enclosures {
             // Keep the per-server GM snapshots warm for standalone reads.
-            for &s in topo.enclosure_servers(EnclosureId(e)) {
+            for k in self.enc_offsets[e]..self.enc_offsets[e + 1] {
+                let s = self.enc_members[k];
                 let _ =
                     Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
             }
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
             let raw = (enc_cum - self.snap_encpow_gm[e]) / window.max(1) as f64;
             self.snap_encpow_gm[e] = enc_cum;
-            consumption.push(self.ingest(
-                SensorChannel::GroupChildPower,
-                ControllerKind::Gm,
-                e,
-                raw,
-            ));
-            child_caps.push(self.cap_enc[e]);
+            let v = self.ingest(SensorChannel::GroupChildPower, ControllerKind::Gm, e, raw);
+            self.scratch_consumption.push(v);
+            self.scratch_child_caps.push(self.cap_enc[e]);
         }
-        for (k, &s) in topo.standalone_servers().iter().enumerate() {
+        for k in 0..self.standalone_ids.len() {
+            let s = self.standalone_ids[k];
             let raw = Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
-            let child = topo.num_enclosures() + k;
-            consumption.push(self.ingest(
+            let child = num_enclosures + k;
+            let v = self.ingest(
                 SensorChannel::GroupChildPower,
                 ControllerKind::Gm,
                 child,
                 raw,
-            ));
-            child_caps.push(self.cap_loc[s.index()]);
+            );
+            self.scratch_consumption.push(v);
+            self.scratch_child_caps.push(self.cap_loc[s.index()]);
         }
-        let group_total: f64 = consumption.iter().sum();
+        let group_total: f64 = self.scratch_consumption.iter().sum();
         let violated_static = group_total > self.cap_grp;
         self.violations.group.record(violated_static);
         self.win_gm.record(violated_static);
@@ -938,8 +969,9 @@ impl Runner {
                             policy: DegradationPolicy::LocalCapFallback,
                         });
                     }
-                    for &s in topo.standalone_servers() {
-                        self.sms[s.index()].set_granted_cap(f64::INFINITY);
+                    for k in 0..self.standalone_ids.len() {
+                        let s = self.standalone_ids[k];
+                        self.bank.set_granted_cap(s.index(), f64::INFINITY);
                         self.fstats.degradations += 1;
                         let server = s.index();
                         self.emit(|| TelemetryEvent::Degradation {
@@ -970,9 +1002,11 @@ impl Runner {
                 effective: true,
             });
         }
-        let allocations = self.gm.reallocate(&consumption, &child_caps);
+        let allocations = self
+            .gm
+            .reallocate(&self.scratch_consumption, &self.scratch_child_caps);
         if self.mode.budgets_flow_down() {
-            for (e, &watts) in allocations.iter().enumerate().take(topo.num_enclosures()) {
+            for (e, &watts) in allocations.iter().enumerate().take(num_enclosures) {
                 if self.injector.budget_message_lost() {
                     self.fstats.messages_lost += 1;
                     self.emit(|| TelemetryEvent::MessageLoss {
@@ -990,8 +1024,9 @@ impl Runner {
                     watts,
                 });
             }
-            for (k, &s) in topo.standalone_servers().iter().enumerate() {
-                let child = topo.num_enclosures() + k;
+            for k in 0..self.standalone_ids.len() {
+                let s = self.standalone_ids[k];
+                let child = num_enclosures + k;
                 if self.injector.budget_message_lost() {
                     self.fstats.messages_lost += 1;
                     self.emit(|| TelemetryEvent::MessageLoss {
@@ -1001,7 +1036,7 @@ impl Runner {
                     });
                     continue;
                 }
-                self.sms[s.index()].set_granted_cap(allocations[child]);
+                self.bank.set_granted_cap(s.index(), allocations[child]);
                 let watts = allocations[child];
                 self.emit(|| TelemetryEvent::BudgetGrant {
                     tick: t,
@@ -1013,11 +1048,12 @@ impl Runner {
         } else if group_total > self.gm.effective_cap_watts() {
             // Uncoordinated group capper: directly clamp standalone
             // servers (it has no interface into the enclosures' blades).
-            for (k, &s) in topo.standalone_servers().iter().enumerate() {
+            for k in 0..self.standalone_ids.len() {
+                let s = self.standalone_ids[k];
                 if !self.sim.is_on(s) {
                     continue;
                 }
-                let alloc = allocations[topo.num_enclosures() + k];
+                let alloc = allocations[num_enclosures + k];
                 let model = &self.models[s.index()];
                 let forced = model
                     .pstate_for_power_budget(alloc)
@@ -1066,7 +1102,7 @@ impl Runner {
         // Demand estimates over the window.
         let num_vms = self.sim.num_vms();
         let real_mode = self.mode.vmc_uses_real_util();
-        let mut demands = Vec::with_capacity(num_vms);
+        self.scratch_demands.clear();
         for j in 0..num_vms {
             let (cum, snap, win_max) = if real_mode {
                 (
@@ -1088,7 +1124,7 @@ impl Runner {
             // mean alone saturates as soon as the diurnal curve rises
             // within the next epoch.
             let est = mean + 0.3 * (win_max - mean).max(0.0);
-            demands.push(est.clamp(0.0, 1.0));
+            self.scratch_demands.push(est.clamp(0.0, 1.0));
         }
         self.win_max_real.iter_mut().for_each(|m| *m = 0.0);
         self.win_max_apparent.iter_mut().for_each(|m| *m = 0.0);
@@ -1101,18 +1137,21 @@ impl Runner {
             }
         }
 
-        let current = self.sim.placement().clone();
+        // Field-disjoint borrows: the VMC plans (mutably) against a
+        // context borrowing the simulation, models, and caps directly —
+        // no placement clone.
         let ctx = ClusterContext {
             topo: self.sim.topology(),
             models: &self.models,
-            current: &current,
+            current: self.sim.placement(),
             cap_loc: &self.cap_loc,
             cap_enc: &self.cap_enc,
             cap_grp: self.cap_grp,
         };
-        let plan = self.vmc.plan(&demands, &ctx);
+        let plan = self.vmc.plan(&self.scratch_demands, &ctx);
         let t = self.ticks_done;
         if self.recording() {
+            let demands = &self.scratch_demands;
             let demand_mean = if demands.is_empty() {
                 0.0
             } else {
@@ -1138,12 +1177,12 @@ impl Runner {
 
         for &s in &plan.power_on {
             if !self.sim.is_on(s) && self.sim.power_on(s).is_ok() {
-                self.ecs[s.index()].reset(&self.models[s.index()]);
-                self.ecs[s.index()].set_r_ref(0.75);
+                self.bank.ec_reset(s.index());
+                self.bank.set_r_ref(s.index(), 0.75);
                 // A stale grant from before the power-off (possibly 0 W)
                 // must not strangle the revived server until the next
                 // EM/GM epoch refreshes it.
-                self.sms[s.index()].set_granted_cap(f64::INFINITY);
+                self.bank.set_granted_cap(s.index(), f64::INFINITY);
                 // Fresh measurement windows for the revived server: all
                 // four cumulative snapshots, not just the EC's — a stale
                 // SM/EM/GM power snapshot would fold the whole off period

@@ -3,7 +3,7 @@
 use nps_models::ServerModel;
 use nps_opt::VmcConfig;
 use nps_sim::{FaultPlan, SimConfig, Topology};
-use nps_traces::{Corpus, Mix, UtilTrace};
+use nps_traces::{Corpus, EnterpriseProfile, Mix, UtilTrace};
 use serde::{Deserialize, Serialize};
 
 use crate::arch::{ControllerMask, CoordinationMode};
@@ -76,6 +76,9 @@ pub struct Scenario {
     heterogeneous: bool,
     faults: FaultPlan,
     label_suffix: String,
+    /// Explicit topology (e.g. multi-rack); when set, one trace is
+    /// generated per server instead of sizing by the mix.
+    topology_override: Option<Topology>,
 }
 
 impl Scenario {
@@ -102,7 +105,37 @@ impl Scenario {
             heterogeneous: false,
             faults: FaultPlan::disabled(),
             label_suffix: String::new(),
+            topology_override: None,
         }
+    }
+
+    /// A scaled-out data center: `racks` racks of `enclosures_per_rack`
+    /// enclosures × `blades` blades, plus `standalone` individual
+    /// servers, with one synthetic enterprise workload per server. The
+    /// GM federates one EM per enclosure across every rack — the paper's
+    /// architecture at data-center scale rather than single-group scale.
+    pub fn multi_rack(
+        system: SystemKind,
+        mode: CoordinationMode,
+        racks: usize,
+        enclosures_per_rack: usize,
+        blades: usize,
+        standalone: usize,
+    ) -> Self {
+        let topo = Topology::multi_rack(racks, enclosures_per_rack, blades, standalone);
+        Self::paper(system, Mix::All180, mode)
+            .topology(topo)
+            .label(format!(
+                "scale {racks}r x {enclosures_per_rack}e x {blades}b + {standalone}"
+            ))
+    }
+
+    /// Overrides the topology. Trace generation then produces one
+    /// workload per server (cycling the enterprise site profiles) instead
+    /// of sizing by the mix.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology_override = Some(topology);
+        self
     }
 
     /// Overrides the budget specification (Figure 10 sweep).
@@ -211,10 +244,10 @@ impl Scenario {
                 .with_idle_scale(factor)
                 .expect("scenario idle scale must be valid");
         }
-        let topology = if self.mix.workload_count() >= 180 {
-            Topology::paper_180()
-        } else {
-            Topology::paper_60()
+        let topology = match self.topology_override.clone() {
+            Some(t) => t,
+            None if self.mix.workload_count() >= 180 => Topology::paper_180(),
+            None => Topology::paper_60(),
         };
         let models_override = if self.heterogeneous {
             let transform = |m: ServerModel| -> ServerModel {
@@ -241,7 +274,16 @@ impl Scenario {
         } else {
             None
         };
-        let traces = build_mix_traces(self.mix, self.horizon, self.seed, self.diurnal_period);
+        let traces = if self.topology_override.is_some() {
+            build_scale_traces(
+                topology.num_servers(),
+                self.horizon,
+                self.seed,
+                self.diurnal_period,
+            )
+        } else {
+            build_mix_traces(self.mix, self.horizon, self.seed, self.diurnal_period)
+        };
         let label = format!(
             "{}{}/{} {} [{}]{}{}",
             if self.heterogeneous { "Hetero+" } else { "" },
@@ -276,6 +318,17 @@ impl Scenario {
             faults: self.faults,
         }
     }
+}
+
+/// Generates exactly `n` enterprise workloads by cycling the nine site
+/// profiles — the corpus for arbitrary-size (multi-rack) topologies.
+fn build_scale_traces(n: usize, horizon: u64, seed: u64, diurnal_period: usize) -> Vec<UtilTrace> {
+    let len = (horizon as usize).max(diurnal_period);
+    let profiles = EnterpriseProfile::default_sites();
+    let per_site = n.div_ceil(profiles.len()).max(1);
+    let mut traces = Corpus::from_profiles(&profiles, per_site, len, seed).into_traces();
+    traces.truncate(n);
+    traces
 }
 
 /// Generates the enterprise corpus sized for the run and selects a mix.
@@ -361,6 +414,58 @@ mod tests {
         .horizon(200)
         .build();
         assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn multi_rack_sizes_traces_to_topology() {
+        let cfg = Scenario::multi_rack(
+            SystemKind::BladeA,
+            CoordinationMode::Coordinated,
+            4,
+            2,
+            16,
+            32,
+        )
+        .horizon(100)
+        .build();
+        assert_eq!(cfg.topology.num_servers(), 4 * 2 * 16 + 32);
+        assert_eq!(cfg.traces.len(), cfg.topology.num_servers());
+        assert_eq!(cfg.topology.num_racks(), 4);
+        assert_eq!(cfg.topology.num_enclosures(), 8);
+        assert!(cfg.label.contains("scale 4r x 2e x 16b + 32"));
+    }
+
+    #[test]
+    fn multi_rack_traces_are_deterministic() {
+        let build = || {
+            Scenario::multi_rack(
+                SystemKind::ServerB,
+                CoordinationMode::Coordinated,
+                2,
+                3,
+                8,
+                12,
+            )
+            .horizon(150)
+            .seed(9)
+            .build()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn topology_override_applies_to_paper_scenario() {
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .topology(Topology::builder().enclosures(3, 10).standalone(6).build())
+        .horizon(100)
+        .build();
+        assert_eq!(cfg.topology.num_servers(), 36);
+        assert_eq!(cfg.traces.len(), 36);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! naming the failed configuration instead of aborting the whole sweep.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
@@ -75,8 +75,7 @@ pub fn run_sweep(
     .min(configs.len().max(1));
 
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<ExperimentResult, SweepError>>>> =
-        (0..configs.len()).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Slot> = (0..configs.len()).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -102,6 +101,20 @@ pub fn run_sweep(
         }
     });
 
+    finalize_outcomes(configs, results)
+}
+
+/// One sweep slot: `None` until a worker stores the configuration's
+/// outcome.
+type Slot = Mutex<Option<Result<ExperimentResult, SweepError>>>;
+
+/// Drains the per-configuration slots into input order, converting any
+/// slot a worker never filled (the worker died mid-sweep) into a
+/// [`SweepError`] naming that configuration.
+fn finalize_outcomes(
+    configs: &[ExperimentConfig],
+    results: Vec<Slot>,
+) -> Vec<Result<ExperimentResult, SweepError>> {
     results
         .into_iter()
         .enumerate()
@@ -121,11 +134,47 @@ pub fn run_sweep(
         .collect()
 }
 
-/// Persists sweep results as JSON.
+/// Distinguishes concurrent temp files within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Persists sweep results as JSON, atomically: the JSON is written to a
+/// temp file in the destination directory and renamed into place, so a
+/// panic or crash mid-write can never leave a truncated artifact at
+/// `path` (any previous file there survives intact).
 pub fn save_results(results: &[ExperimentResult], path: impl AsRef<Path>) -> std::io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    serde_json::to_writer_pretty(std::io::BufWriter::new(file), results)
-        .map_err(std::io::Error::other)
+    let path = path.as_ref();
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "results.json".to_string());
+    let tmp = dir.join(format!(
+        ".{stem}.tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = (|| -> std::io::Result<()> {
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = std::io::BufWriter::new(file);
+        serde_json::to_writer_pretty(&mut writer, results).map_err(std::io::Error::other)?;
+        use std::io::Write as _;
+        writer.flush()?;
+        writer
+            .into_inner()
+            .map_err(|e| e.into_error())?
+            .sync_all()?;
+        Ok(())
+    })();
+    match write {
+        Ok(()) => std::fs::rename(&tmp, path),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
 }
 
 /// Loads previously saved sweep results.
@@ -212,6 +261,96 @@ mod tests {
         );
         let text = err.to_string();
         assert!(text.contains("#1") && text.contains("poisoned config"));
+    }
+
+    #[test]
+    fn oversubscribed_sweep_matches_serial() {
+        // More threads than configurations: the pool clamps to the config
+        // count, every slot is filled exactly once, order is preserved.
+        let configs: Vec<ExperimentConfig> = vec![tiny(4), tiny(5)];
+        let parallel = unwrap_all(run_sweep(&configs, 16));
+        assert_eq!(parallel.len(), 2);
+        for (cfg, result) in configs.iter().zip(&parallel) {
+            assert_eq!(&run_experiment(cfg), result, "{}", cfg.label);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        assert!(run_sweep(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn unfilled_slot_reports_worker_death() {
+        // A worker that dies between claiming an index and storing its
+        // outcome leaves the slot `None`; finalization must convert that
+        // into a SweepError naming the orphaned configuration.
+        let configs = vec![tiny(1), tiny(2)];
+        let ok = run_experiment(&configs[0]);
+        let slots: Vec<Slot> = vec![Mutex::new(Some(Ok(ok.clone()))), Mutex::new(None)];
+        let outcomes = finalize_outcomes(&configs, slots);
+        assert_eq!(outcomes[0].as_ref().unwrap(), &ok);
+        let err = outcomes[1].as_ref().expect_err("empty slot must error");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.label, configs[1].label);
+        assert!(
+            err.message.contains("worker died"),
+            "unexpected message: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let results = unwrap_all(run_sweep(&[tiny(9)], 1));
+        let dir = std::env::temp_dir().join(format!("nps-atomic-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        // Pre-existing garbage at the destination must be replaced whole,
+        // never truncated-then-rewritten.
+        std::fs::write(&path, "{ not json").unwrap();
+        save_results(&results, &path).unwrap();
+        assert_eq!(load_results(&path).unwrap(), results);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_preserves_existing_file() {
+        let results = unwrap_all(run_sweep(&[tiny(9)], 1));
+        let dir = std::env::temp_dir().join(format!("nps-atomic-keep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The destination exists and is valid; a save whose temp file
+        // cannot even be created (the "directory" component is a plain
+        // file) must fail without touching the existing artifact.
+        let good = dir.join("good.json");
+        save_results(&results, &good).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "x").unwrap();
+        let bad_path = blocker.join("sweep.json");
+        assert!(save_results(&results, &bad_path).is_err());
+        assert_eq!(load_results(&good).unwrap(), results);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_with_bare_filename_works() {
+        // A path with no parent directory component writes via "./".
+        let results = unwrap_all(run_sweep(&[tiny(9)], 1));
+        let cwd = std::env::temp_dir().join(format!("nps-bare-name-{}", std::process::id()));
+        std::fs::create_dir_all(&cwd).unwrap();
+        let path = cwd.join("bare.json");
+        save_results(&results, &path).unwrap();
+        assert_eq!(load_results(&path).unwrap(), results);
+        std::fs::remove_dir_all(&cwd).ok();
     }
 
     #[test]

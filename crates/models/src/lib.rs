@@ -44,11 +44,13 @@ mod error;
 mod power;
 mod pstate;
 mod server;
+mod table;
 
 pub use error::ModelError;
 pub use power::{LinearPerf, LinearPower};
 pub use pstate::{PState, PStateModel};
 pub use server::{ServerModel, ServerModelBuilder};
+pub use table::ModelTable;
 
 /// Convenient result alias for model construction and validation.
 pub type Result<T> = std::result::Result<T, ModelError>;

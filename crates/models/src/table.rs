@@ -1,0 +1,246 @@
+//! Batched, memoized model lookups for the simulation hot path.
+//!
+//! [`ModelTable`] flattens a fleet's [`ServerModel`]s into contiguous
+//! per-coefficient arrays (a CSR-style structure-of-arrays layout): one
+//! offset table plus flat `frequency / slope / idle / capacity / perf`
+//! vectors indexed by `offsets[server] + pstate`. Hot loops touching
+//! every server each tick then read sequentially through a handful of
+//! cache-resident arrays instead of chasing one `Vec<PStateModel>`
+//! allocation per server.
+//!
+//! Every accessor performs the *same floating-point operations in the
+//! same order* as the corresponding [`ServerModel`] method, so switching
+//! a caller from per-object lookups to the table is bit-identical —
+//! memoized quantities (capacity ratios, max power) are computed once at
+//! construction with the identical expression the scalar path evaluates
+//! per call.
+
+use crate::power::clamp_utilization;
+use crate::pstate::PState;
+use crate::server::ServerModel;
+
+/// Flattened structure-of-arrays view of a fleet's server models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelTable {
+    /// `offsets[i]..offsets[i + 1]` is server `i`'s P-state range in the
+    /// flat arrays; `offsets.len() == num_servers + 1`.
+    offsets: Vec<usize>,
+    /// Per-(server, P-state) clock frequency, Hz.
+    freq_hz: Vec<f64>,
+    /// Per-(server, P-state) dynamic power swing `c_p`, watts.
+    slope: Vec<f64>,
+    /// Per-(server, P-state) idle power `d_p`, watts.
+    idle: Vec<f64>,
+    /// Per-(server, P-state) normalized capacity `f_p / f_0`.
+    capacity: Vec<f64>,
+    /// Per-(server, P-state) performance scale `a_p`.
+    perf_scale: Vec<f64>,
+    /// Per-server maximum power (P0 at 100% utilization), watts.
+    max_power: Vec<f64>,
+}
+
+impl ModelTable {
+    /// Flattens one model per server into the table.
+    pub fn from_models(models: &[ServerModel]) -> Self {
+        let total: usize = models.iter().map(|m| m.num_pstates()).sum();
+        let mut offsets = Vec::with_capacity(models.len() + 1);
+        let mut freq_hz = Vec::with_capacity(total);
+        let mut slope = Vec::with_capacity(total);
+        let mut idle = Vec::with_capacity(total);
+        let mut capacity = Vec::with_capacity(total);
+        let mut perf_scale = Vec::with_capacity(total);
+        let mut max_power = Vec::with_capacity(models.len());
+        offsets.push(0);
+        for m in models {
+            let f0 = m.max_frequency_hz();
+            for s in m.states() {
+                freq_hz.push(s.frequency_hz);
+                slope.push(s.power.slope);
+                idle.push(s.power.idle);
+                // Identical expression to `ServerModel::capacity`.
+                capacity.push(s.frequency_hz / f0);
+                perf_scale.push(s.perf.scale);
+            }
+            offsets.push(freq_hz.len());
+            max_power.push(m.max_power());
+        }
+        Self {
+            offsets,
+            freq_hz,
+            slope,
+            idle,
+            capacity,
+            perf_scale,
+            max_power,
+        }
+    }
+
+    /// Builds a table where every server uses the same model.
+    pub fn uniform(model: &ServerModel, num_servers: usize) -> Self {
+        let models = vec![model.clone(); num_servers];
+        Self::from_models(&models)
+    }
+
+    /// Number of servers covered by the table.
+    pub fn num_servers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the table covers no servers.
+    pub fn is_empty(&self) -> bool {
+        self.num_servers() == 0
+    }
+
+    /// Number of P-states of server `i`.
+    #[inline]
+    pub fn num_pstates(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The deepest (slowest) P-state of server `i`.
+    #[inline]
+    pub fn deepest(&self, i: usize) -> PState {
+        PState(self.num_pstates(i) - 1)
+    }
+
+    #[inline]
+    fn at(&self, i: usize, p: usize) -> usize {
+        let off = self.offsets[i] + p;
+        debug_assert!(off < self.offsets[i + 1], "P-state {p} out of range");
+        off
+    }
+
+    /// Clock frequency of server `i` at P-state `p`, Hz.
+    #[inline]
+    pub fn frequency_hz(&self, i: usize, p: usize) -> f64 {
+        self.freq_hz[self.at(i, p)]
+    }
+
+    /// Maximum frequency (P0) of server `i`, Hz.
+    #[inline]
+    pub fn max_frequency_hz(&self, i: usize) -> f64 {
+        self.freq_hz[self.offsets[i]]
+    }
+
+    /// Minimum frequency (deepest state) of server `i`, Hz.
+    #[inline]
+    pub fn min_frequency_hz(&self, i: usize) -> f64 {
+        self.freq_hz[self.offsets[i + 1] - 1]
+    }
+
+    /// Normalized capacity of server `i` at P-state `p` (memoized
+    /// `f_p / f_0`, bit-identical to [`ServerModel::capacity`]).
+    #[inline]
+    pub fn capacity(&self, i: usize, p: usize) -> f64 {
+        self.capacity[self.at(i, p)]
+    }
+
+    /// Power of server `i` at P-state `p` and utilization `r` — the same
+    /// `slope · clamp(r) + idle` evaluation as [`ServerModel::power`].
+    #[inline]
+    pub fn power(&self, i: usize, p: usize, utilization: f64) -> f64 {
+        let off = self.at(i, p);
+        self.slope[off] * clamp_utilization(utilization) + self.idle[off]
+    }
+
+    /// Idle power of server `i` at P-state `p`, watts.
+    #[inline]
+    pub fn idle_power(&self, i: usize, p: usize) -> f64 {
+        self.idle[self.at(i, p)]
+    }
+
+    /// Work done by server `i` at P-state `p` and utilization `r`,
+    /// relative to max capacity (matches [`ServerModel::perf`]).
+    #[inline]
+    pub fn perf(&self, i: usize, p: usize, utilization: f64) -> f64 {
+        self.perf_scale[self.at(i, p)] * clamp_utilization(utilization)
+    }
+
+    /// Maximum power of server `i` (P0 at 100% utilization), watts.
+    #[inline]
+    pub fn max_power(&self, i: usize) -> f64 {
+        self.max_power[i]
+    }
+
+    /// Quantizes a continuous frequency to server `i`'s nearest P-state —
+    /// the same nearest-distance scan as [`ServerModel::quantize`].
+    #[inline]
+    pub fn quantize(&self, i: usize, frequency_hz: f64) -> PState {
+        let states = &self.freq_hz[self.offsets[i]..self.offsets[i + 1]];
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (k, &f) in states.iter().enumerate() {
+            let d = (f - frequency_hz).abs();
+            if d < best_dist {
+                best_dist = d;
+                best = k;
+            }
+        }
+        PState(best)
+    }
+
+    /// The P-state one step deeper (slower) than `p` on server `i`,
+    /// saturating at the deepest state.
+    #[inline]
+    pub fn step_down(&self, i: usize, p: PState) -> PState {
+        PState((p.index() + 1).min(self.num_pstates(i) - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Vec<ServerModel> {
+        vec![
+            ServerModel::blade_a(),
+            ServerModel::server_b(),
+            ServerModel::blade_a().extremes(),
+        ]
+    }
+
+    #[test]
+    fn table_matches_scalar_models_bitwise() {
+        let models = fleet();
+        let table = ModelTable::from_models(&models);
+        assert_eq!(table.num_servers(), models.len());
+        for (i, m) in models.iter().enumerate() {
+            assert_eq!(table.num_pstates(i), m.num_pstates());
+            assert_eq!(table.deepest(i), m.deepest());
+            assert_eq!(table.max_power(i), m.max_power());
+            assert_eq!(table.max_frequency_hz(i), m.max_frequency_hz());
+            assert_eq!(table.min_frequency_hz(i), m.min_frequency_hz());
+            for p in 0..m.num_pstates() {
+                assert_eq!(table.frequency_hz(i, p), m.state(PState(p)).frequency_hz);
+                assert_eq!(table.capacity(i, p), m.capacity(PState(p)));
+                assert_eq!(table.idle_power(i, p), m.idle_power(p));
+                for r in [-0.5, 0.0, 0.3, 0.77, 1.0, 1.5, f64::NAN] {
+                    assert_eq!(table.power(i, p, r), m.power(p, r), "power i={i} p={p}");
+                    assert_eq!(table.perf(i, p, r), m.perf(p, r), "perf i={i} p={p}");
+                }
+                assert_eq!(table.step_down(i, PState(p)), m.step_down(PState(p)));
+            }
+            for f in [0.0, 4.0e8, 5.5e8, 7.6e8, 1.0e9, 2.3e9, 9.9e9] {
+                assert_eq!(table.quantize(i, f), m.quantize(f), "quantize i={i} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_table_replicates_one_model() {
+        let m = ServerModel::server_b();
+        let table = ModelTable::uniform(&m, 4);
+        assert_eq!(table.num_servers(), 4);
+        for i in 0..4 {
+            assert_eq!(table.num_pstates(i), m.num_pstates());
+            assert_eq!(table.power(i, 2, 0.5), m.power(2, 0.5));
+        }
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        let table = ModelTable::from_models(&[]);
+        assert!(table.is_empty());
+        assert_eq!(table.num_servers(), 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! The tick-driven simulation engine.
 
-use nps_models::{PState, ServerModel};
+use nps_models::{ModelTable, PState, ServerModel};
 use nps_traces::UtilTrace;
 
 use crate::config::SimConfig;
@@ -37,6 +37,9 @@ pub struct Simulation {
     cfg: SimConfig,
     topo: Topology,
     models: Vec<ServerModel>,
+    /// Flattened structure-of-arrays view of `models`, used by the
+    /// per-tick hot loop (bit-identical to the per-object lookups).
+    table: ModelTable,
     traces: Vec<UtilTrace>,
     placement: Placement,
     residents: Vec<Vec<VmId>>,
@@ -116,10 +119,12 @@ impl Simulation {
         let thermal = cfg.thermal.map(|tc| ThermalState::new(tc, n));
         let num_vms = traces.len();
         let num_enclosures = topo.num_enclosures();
+        let table = ModelTable::from_models(&models);
         Ok(Self {
             cfg,
             topo,
             models,
+            table,
             traces,
             placement,
             residents,
@@ -164,7 +169,7 @@ impl Simulation {
             let active = self.is_on(ServerId(i));
             let booting = active && self.boot_until[i] > t;
             let capacity = if active && !booting {
-                self.models[i].capacity(self.pstate[i])
+                self.table.capacity(i, self.pstate[i].index())
             } else {
                 0.0
             };
@@ -196,9 +201,9 @@ impl Simulation {
             self.power[i] = if booting {
                 // A booting server burns idle power at its P-state but
                 // does no work yet.
-                self.models[i].idle_power(self.pstate[i].index())
+                self.table.idle_power(i, self.pstate[i].index())
             } else if active {
-                self.models[i].power(self.pstate[i].index(), util)
+                self.table.power(i, self.pstate[i].index(), util)
             } else {
                 self.cfg.off_power_watts
             };
@@ -255,6 +260,11 @@ impl Simulation {
     /// The model of server `s`.
     pub fn model(&self, s: ServerId) -> &ServerModel {
         &self.models[s.index()]
+    }
+
+    /// The flattened structure-of-arrays view of every server's model.
+    pub fn model_table(&self) -> &ModelTable {
+        &self.table
     }
 
     /// Number of VMs (workload traces).
@@ -372,7 +382,8 @@ impl Simulation {
     pub fn apparent_vm_utilization(&self, vm: VmId) -> f64 {
         let host = self.placement.host_of(vm);
         let cap = if self.is_on(host) {
-            self.models[host.index()].capacity(self.pstate[host.index()])
+            self.table
+                .capacity(host.index(), self.pstate[host.index()].index())
         } else {
             0.0
         };

@@ -41,6 +41,10 @@ id_type! {
     /// Index of a virtual machine (equivalently, of its workload trace).
     VmId
 }
+id_type! {
+    /// Index of a rack (a group of enclosures) within a [`crate::Topology`].
+    RackId
+}
 
 #[cfg(test)]
 mod tests {

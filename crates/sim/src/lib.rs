@@ -61,7 +61,7 @@ pub use faults::{
     ActuatorFaultSpec, ControllerLayer, FaultInjector, FaultPlan, OutageWindow, Reading,
     SensorChannel, SensorFaultSpec,
 };
-pub use ids::{EnclosureId, ServerId, VmId};
+pub use ids::{EnclosureId, RackId, ServerId, VmId};
 pub use placement::{Migration, Placement};
 pub use thermal::{ThermalConfig, ThermalState};
 pub use topology::{Topology, TopologyBuilder};

@@ -1,25 +1,41 @@
-//! Data-center topology: one *group* (rack or data center) containing
-//! blade *enclosures* and *standalone servers* — the paper's `M` matrix
-//! mapping servers to enclosures.
+//! Data-center topology: *racks* of blade *enclosures* plus *standalone*
+//! servers — the paper's `M` matrix mapping servers to enclosures,
+//! generalized so a Group Manager can federate many Enclosure Managers
+//! across several racks.
+//!
+//! Membership is stored in CSR (compressed sparse row) form: one flat
+//! `Vec<ServerId>` of enclosure members plus an offset table, and one
+//! offset table partitioning the enclosure range into racks. Hot loops
+//! that walk every enclosure each epoch read contiguous memory instead of
+//! chasing a `Vec` allocation per enclosure.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
-use crate::ids::{EnclosureId, ServerId};
+use crate::ids::{EnclosureId, RackId, ServerId};
 use crate::Result;
 
 /// The physical organization of the simulated group.
 ///
 /// Servers are numbered densely: enclosure blades first (enclosure 0's
 /// blades, then enclosure 1's, …), followed by standalone servers.
+/// Enclosures are likewise dense, partitioned into contiguous rack
+/// ranges; a topology built without explicit racks has one rack holding
+/// every enclosure (the paper's single-group deployments).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Topology {
-    /// `enclosures[e]` = list of servers housed in enclosure `e`.
-    enclosure_members: Vec<Vec<ServerId>>,
+    /// `enclosure_offsets[e]..enclosure_offsets[e + 1]` is enclosure `e`'s
+    /// slice of `enclosure_flat`; `len == num_enclosures + 1`.
+    enclosure_offsets: Vec<usize>,
+    /// Members of every enclosure, concatenated in enclosure order.
+    enclosure_flat: Vec<ServerId>,
     /// Servers not in any enclosure (individually racked).
     standalone: Vec<ServerId>,
     /// For each server, its enclosure (if any).
     server_enclosure: Vec<Option<EnclosureId>>,
+    /// `rack_offsets[r]..rack_offsets[r + 1]` is rack `r`'s range of
+    /// enclosure indices; `len == num_racks + 1`.
+    rack_offsets: Vec<usize>,
 }
 
 impl Topology {
@@ -35,6 +51,21 @@ impl Topology {
         Self::builder().enclosures(2, 20).standalone(20).build()
     }
 
+    /// A multi-rack data center: `racks` racks, each holding
+    /// `enclosures_per_rack` enclosures of `blades` servers, plus
+    /// `standalone` individually racked servers at the end.
+    pub fn multi_rack(
+        racks: usize,
+        enclosures_per_rack: usize,
+        blades: usize,
+        standalone: usize,
+    ) -> Self {
+        Self::builder()
+            .racks(racks, enclosures_per_rack, blades)
+            .standalone(standalone)
+            .build()
+    }
+
     /// Starts building a custom topology.
     pub fn builder() -> TopologyBuilder {
         TopologyBuilder::default()
@@ -47,7 +78,13 @@ impl Topology {
 
     /// Number of blade enclosures.
     pub fn num_enclosures(&self) -> usize {
-        self.enclosure_members.len()
+        self.enclosure_offsets.len() - 1
+    }
+
+    /// Number of racks (contiguous groups of enclosures). Zero when the
+    /// topology has no enclosures at all.
+    pub fn num_racks(&self) -> usize {
+        self.rack_offsets.len() - 1
     }
 
     /// All servers, in dense id order.
@@ -61,7 +98,36 @@ impl Topology {
     ///
     /// Panics if `e` is out of range.
     pub fn enclosure_servers(&self, e: EnclosureId) -> &[ServerId] {
-        &self.enclosure_members[e.0]
+        &self.enclosure_flat[self.enclosure_offsets[e.0]..self.enclosure_offsets[e.0 + 1]]
+    }
+
+    /// The enclosures housed in rack `r`, as a dense id range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn rack_enclosures(&self, r: RackId) -> impl Iterator<Item = EnclosureId> {
+        (self.rack_offsets[r.0]..self.rack_offsets[r.0 + 1]).map(EnclosureId)
+    }
+
+    /// The rack housing enclosure `e`, or `None` if `e` is out of range.
+    pub fn rack_of(&self, e: EnclosureId) -> Option<RackId> {
+        if e.0 >= self.num_enclosures() {
+            return None;
+        }
+        // Offsets are sorted, so the owning rack is the partition point.
+        let r = self.rack_offsets.partition_point(|&off| off <= e.0) - 1;
+        Some(RackId(r))
+    }
+
+    /// Number of servers housed in rack `r` (across all its enclosures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn rack_num_servers(&self, r: RackId) -> usize {
+        let enc = self.rack_offsets[r.0]..self.rack_offsets[r.0 + 1];
+        self.enclosure_offsets[enc.end] - self.enclosure_offsets[enc.start]
     }
 
     /// Standalone (non-enclosure) servers.
@@ -86,23 +152,58 @@ impl Topology {
 
 /// Builder for [`Topology`]. Enclosures added first get the low server
 /// ids; standalone servers are appended last.
+///
+/// Enclosures added through [`TopologyBuilder::rack`] /
+/// [`TopologyBuilder::racks`] form explicit racks; enclosures added
+/// loosely (via [`TopologyBuilder::enclosure`] or
+/// [`TopologyBuilder::enclosures`]) coalesce into a single implicit rack
+/// per run of consecutive loose additions — so the paper's single-group
+/// builders keep exactly one rack.
 #[derive(Debug, Default, Clone)]
 pub struct TopologyBuilder {
     enclosure_sizes: Vec<usize>,
+    /// `(enclosure_count, explicit)` spans partitioning `enclosure_sizes`.
+    rack_spans: Vec<(usize, bool)>,
     standalone: usize,
 }
 
 impl TopologyBuilder {
+    fn push_loose(&mut self, count: usize) {
+        match self.rack_spans.last_mut() {
+            Some((n, false)) => *n += count,
+            _ => self.rack_spans.push((count, false)),
+        }
+    }
+
     /// Adds `count` enclosures of `blades` servers each.
     pub fn enclosures(mut self, count: usize, blades: usize) -> Self {
         self.enclosure_sizes
             .extend(std::iter::repeat_n(blades, count));
+        self.push_loose(count);
         self
     }
 
     /// Adds one enclosure with `blades` servers.
     pub fn enclosure(mut self, blades: usize) -> Self {
         self.enclosure_sizes.push(blades);
+        self.push_loose(1);
+        self
+    }
+
+    /// Adds one rack of `enclosures` enclosures with `blades` servers each.
+    pub fn rack(mut self, enclosures: usize, blades: usize) -> Self {
+        self.enclosure_sizes
+            .extend(std::iter::repeat_n(blades, enclosures));
+        self.rack_spans.push((enclosures, true));
+        self
+    }
+
+    /// Adds `count` identical racks, each of `enclosures` enclosures with
+    /// `blades` servers.
+    pub fn racks(mut self, count: usize, enclosures: usize, blades: usize) -> Self {
+        for _ in 0..count {
+            self = self.rack(enclosures, blades);
+        }
         self
     }
 
@@ -128,21 +229,40 @@ impl TopologyBuilder {
         if total == 0 {
             return Err(SimError::EmptyTopology);
         }
-        let mut enclosure_members = Vec::with_capacity(self.enclosure_sizes.len());
+        let num_enclosures = self.enclosure_sizes.len();
+        let flat_len: usize = self.enclosure_sizes.iter().sum();
+        let mut enclosure_offsets = Vec::with_capacity(num_enclosures + 1);
+        let mut enclosure_flat = Vec::with_capacity(flat_len);
         let mut server_enclosure = Vec::with_capacity(total);
+        enclosure_offsets.push(0);
         let mut next = 0usize;
         for (e, &size) in self.enclosure_sizes.iter().enumerate() {
-            let members: Vec<ServerId> = (next..next + size).map(ServerId).collect();
+            enclosure_flat.extend((next..next + size).map(ServerId));
             server_enclosure.extend(std::iter::repeat_n(Some(EnclosureId(e)), size));
             next += size;
-            enclosure_members.push(members);
+            enclosure_offsets.push(enclosure_flat.len());
         }
         let standalone: Vec<ServerId> = (next..next + self.standalone).map(ServerId).collect();
         server_enclosure.extend(std::iter::repeat_n(None, self.standalone));
+        // Empty spans can arise from `rack(0, _)` / `enclosures(0, _)`;
+        // drop them so every rack is non-empty.
+        let mut rack_offsets = Vec::with_capacity(self.rack_spans.len() + 1);
+        rack_offsets.push(0);
+        let mut enc_cursor = 0usize;
+        for &(count, _) in &self.rack_spans {
+            if count == 0 {
+                continue;
+            }
+            enc_cursor += count;
+            rack_offsets.push(enc_cursor);
+        }
+        debug_assert_eq!(enc_cursor, num_enclosures);
         Ok(Topology {
-            enclosure_members,
+            enclosure_offsets,
+            enclosure_flat,
             standalone,
             server_enclosure,
+            rack_offsets,
         })
     }
 }
@@ -158,6 +278,9 @@ mod tests {
         assert_eq!(t.num_enclosures(), 6);
         assert_eq!(t.standalone_servers().len(), 60);
         assert_eq!(t.enclosure_servers(EnclosureId(0)).len(), 20);
+        // Loose enclosures coalesce into a single implicit rack.
+        assert_eq!(t.num_racks(), 1);
+        assert_eq!(t.rack_num_servers(RackId(0)), 120);
     }
 
     #[test]
@@ -166,6 +289,7 @@ mod tests {
         assert_eq!(t.num_servers(), 60);
         assert_eq!(t.num_enclosures(), 2);
         assert_eq!(t.standalone_servers().len(), 20);
+        assert_eq!(t.num_racks(), 1);
     }
 
     #[test]
@@ -198,11 +322,67 @@ mod tests {
     }
 
     #[test]
+    fn multi_rack_partitions_enclosures() {
+        let t = Topology::multi_rack(4, 3, 8, 16);
+        assert_eq!(t.num_servers(), 4 * 3 * 8 + 16);
+        assert_eq!(t.num_enclosures(), 12);
+        assert_eq!(t.num_racks(), 4);
+        for r in 0..4 {
+            let encs: Vec<EnclosureId> = t.rack_enclosures(RackId(r)).collect();
+            assert_eq!(encs.len(), 3);
+            assert_eq!(encs[0], EnclosureId(r * 3));
+            for &e in &encs {
+                assert_eq!(t.rack_of(e), Some(RackId(r)));
+            }
+            assert_eq!(t.rack_num_servers(RackId(r)), 24);
+        }
+        assert_eq!(t.rack_of(EnclosureId(12)), None);
+    }
+
+    #[test]
+    fn mixed_racks_and_loose_enclosures() {
+        let t = Topology::builder()
+            .rack(2, 4)
+            .enclosure(6)
+            .enclosure(6)
+            .rack(1, 4)
+            .build();
+        // rack 0 = explicit (2 encs), rack 1 = the two loose enclosures,
+        // rack 2 = explicit (1 enc).
+        assert_eq!(t.num_enclosures(), 5);
+        assert_eq!(t.num_racks(), 3);
+        assert_eq!(t.rack_of(EnclosureId(1)), Some(RackId(0)));
+        assert_eq!(t.rack_of(EnclosureId(2)), Some(RackId(1)));
+        assert_eq!(t.rack_of(EnclosureId(3)), Some(RackId(1)));
+        assert_eq!(t.rack_of(EnclosureId(4)), Some(RackId(2)));
+        assert_eq!(t.rack_num_servers(RackId(1)), 12);
+    }
+
+    #[test]
+    fn standalone_only_topology_has_no_racks() {
+        let t = Topology::builder().standalone(3).build();
+        assert_eq!(t.num_enclosures(), 0);
+        assert_eq!(t.num_racks(), 0);
+    }
+
+    #[test]
     fn empty_topology_rejected() {
         assert!(matches!(
             Topology::builder().try_build(),
             Err(SimError::EmptyTopology)
         ));
+    }
+
+    #[test]
+    fn zero_size_rack_spans_are_dropped() {
+        let t = Topology::builder()
+            .racks(2, 2, 4)
+            .rack(0, 4)
+            .enclosures(0, 9)
+            .standalone(1)
+            .build();
+        assert_eq!(t.num_racks(), 2);
+        assert_eq!(t.num_enclosures(), 4);
     }
 
     #[test]
@@ -216,5 +396,13 @@ mod tests {
     fn out_of_range_enclosure_lookup_is_none() {
         let t = Topology::paper_60();
         assert_eq!(t.enclosure_of(ServerId(999)), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_structure() {
+        let t = Topology::multi_rack(2, 2, 4, 4);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
     }
 }

@@ -58,7 +58,7 @@ pub use nps_traces as traces;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use nps_control::{
-        ArbitrationPolicy, CracController, EfficiencyController, ElectricalCapper,
+        ArbitrationPolicy, ControllerBank, CracController, EfficiencyController, ElectricalCapper,
         FrequencyArbiter, GroupCapper, ServerManager,
     };
     pub use nps_core::{
@@ -69,11 +69,11 @@ pub mod prelude {
         BudgetLevel, Comparison, ControllerKind, EventKind, FaultStats, NoopRecorder, Recorder,
         RingRecorder, RunStats, Table, TelemetryEvent, TelemetryLog, TelemetrySummary,
     };
-    pub use nps_models::{PState, ServerModel};
+    pub use nps_models::{ModelTable, PState, ServerModel};
     pub use nps_opt::{Objective, Vmc, VmcConfig};
     pub use nps_sim::{
-        ControllerLayer, FaultPlan, Placement, ServerId, SimConfig, Simulation, ThermalConfig,
-        Topology, VmId,
+        ControllerLayer, FaultPlan, Placement, RackId, ServerId, SimConfig, Simulation,
+        ThermalConfig, Topology, VmId,
     };
     pub use nps_traces::{Corpus, Mix, UtilTrace, WorkloadClass};
 }

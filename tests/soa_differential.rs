@@ -1,0 +1,243 @@
+//! Differential property tests for the batched structure-of-arrays hot
+//! path.
+//!
+//! The scalar per-object controllers ([`EfficiencyController`],
+//! [`ServerManager`]) and per-object [`ServerModel`] lookups are the
+//! seed implementation the paper experiments were validated against; the
+//! batched [`ControllerBank`] / [`ModelTable`] are the refactored engine
+//! the runner now drives. These tests run both in lockstep over
+//! randomized fleets, gains, utilization sequences (including NaN
+//! sensor garbage), interleaved `r_ref` retunes, grants, and resets, and
+//! require **bit-identical** results (`f64::to_bits`), not approximate
+//! ones — the same contract the golden-trace suite enforces end to end.
+
+use no_power_struggles::prelude::*;
+use proptest::prelude::*;
+
+/// A randomized fleet member: base system, P-state subset, idle scaling.
+fn arb_model() -> impl Strategy<Value = ServerModel> {
+    (
+        prop_oneof![Just(SystemKind::BladeA), Just(SystemKind::ServerB)],
+        2usize..6,
+        prop_oneof![Just(1.0f64), 0.5f64..1.5],
+    )
+        .prop_map(|(sys, keep, idle_scale)| {
+            let base = sys.model();
+            let keep = keep.min(base.num_pstates());
+            let indices: Vec<usize> = (0..keep).collect();
+            let sub = base.subset(&indices).expect("prefix subset is valid");
+            sub.with_idle_scale(idle_scale).unwrap_or(sub)
+        })
+}
+
+/// A measured utilization sample; `true` turns it into NaN (a faulty
+/// sensor reading the EC must treat as idle).
+fn arb_util() -> impl Strategy<Value = f64> {
+    (-0.2f64..1.4, proptest::bool::ANY)
+        .prop_map(|(u, nan)| if nan && u < 0.0 { f64::NAN } else { u })
+}
+
+proptest! {
+    #[test]
+    fn model_table_matches_per_object_models(
+        models in proptest::collection::vec(arb_model(), 1..12),
+        util in -0.3f64..1.3,
+        freq_frac in 0.0f64..1.2,
+    ) {
+        let table = ModelTable::from_models(&models);
+        prop_assert_eq!(table.num_servers(), models.len());
+        for (i, m) in models.iter().enumerate() {
+            prop_assert_eq!(table.num_pstates(i), m.num_pstates());
+            prop_assert_eq!(table.deepest(i), m.deepest());
+            prop_assert_eq!(table.max_power(i).to_bits(), m.max_power().to_bits());
+            prop_assert_eq!(
+                table.max_frequency_hz(i).to_bits(),
+                m.max_frequency_hz().to_bits()
+            );
+            prop_assert_eq!(
+                table.min_frequency_hz(i).to_bits(),
+                m.min_frequency_hz().to_bits()
+            );
+            let f = freq_frac * m.max_frequency_hz();
+            prop_assert_eq!(table.quantize(i, f), m.quantize(f));
+            for p in 0..m.num_pstates() {
+                prop_assert_eq!(table.power(i, p, util).to_bits(), m.power(p, util).to_bits());
+                prop_assert_eq!(table.idle_power(i, p).to_bits(), m.idle_power(p).to_bits());
+                prop_assert_eq!(table.perf(i, p, util).to_bits(), m.perf(p, util).to_bits());
+                prop_assert_eq!(
+                    table.capacity(i, p).to_bits(),
+                    m.capacity(PState(p)).to_bits()
+                );
+                prop_assert_eq!(table.step_down(i, PState(p)), m.step_down(PState(p)));
+                prop_assert_eq!(
+                    table.frequency_hz(i, p).to_bits(),
+                    m.state(PState(p)).frequency_hz.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_ec_matches_scalar_controllers_bitwise(
+        models in proptest::collection::vec(arb_model(), 1..8),
+        lambda in 0.05f64..1.5,
+        r_ref0 in 0.7f64..1.6,
+        utils in proptest::collection::vec(arb_util(), 1..120),
+        retune in 0.7f64..1.6,
+    ) {
+        let caps: Vec<f64> = models.iter().map(|m| 0.9 * m.max_power()).collect();
+        let mut bank = ControllerBank::new(
+            ModelTable::from_models(&models), lambda, 1.0, r_ref0, &caps);
+        let mut ecs: Vec<EfficiencyController> = models
+            .iter()
+            .map(|m| EfficiencyController::new(m, lambda, r_ref0))
+            .collect();
+        for (k, &u) in utils.iter().enumerate() {
+            for i in 0..models.len() {
+                // Interleave the operations the runner performs between
+                // EC epochs: SM retunes, revival resets.
+                if k % 11 == 3 {
+                    ecs[i].set_r_ref(retune);
+                    bank.set_r_ref(i, retune);
+                }
+                if k % 37 == 17 {
+                    ecs[i].reset(&models[i]);
+                    bank.ec_reset(i);
+                }
+                let p_scalar = ecs[i].step(&models[i], u);
+                let p_batched = bank.ec_step(i, u);
+                prop_assert_eq!(p_scalar, p_batched, "server {} tick {}", i, k);
+                prop_assert_eq!(
+                    ecs[i].frequency_hz().to_bits(),
+                    bank.frequency_hz(i).to_bits(),
+                    "server {} tick {}", i, k
+                );
+                prop_assert_eq!(ecs[i].r_ref().to_bits(), bank.r_ref(i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bank_sm_coordinated_matches_scalar_bitwise(
+        models in proptest::collection::vec(arb_model(), 1..8),
+        beta in 0.1f64..2.0,
+        cap_frac in 0.4f64..1.1,
+        powers in proptest::collection::vec(0.0f64..500.0, 1..60),
+        grant in -50.0f64..400.0,
+    ) {
+        let caps: Vec<f64> = models.iter().map(|m| cap_frac * m.max_power()).collect();
+        let mut bank = ControllerBank::new(
+            ModelTable::from_models(&models), 0.8, beta, 0.75, &caps);
+        let mut ecs: Vec<EfficiencyController> = models
+            .iter()
+            .map(|m| EfficiencyController::new(m, 0.8, 0.75))
+            .collect();
+        let mut sms: Vec<ServerManager> = models
+            .iter()
+            .zip(&caps)
+            .map(|(m, &c)| ServerManager::new(m, c, beta))
+            .collect();
+        for (k, &w) in powers.iter().enumerate() {
+            for i in 0..models.len() {
+                if k % 7 == 2 {
+                    // EM grants arrive between SM epochs, including the
+                    // negative garbage `set_granted_cap` clamps to zero.
+                    sms[i].set_granted_cap(grant);
+                    bank.set_granted_cap(i, grant);
+                }
+                let d_scalar = sms[i].step_coordinated(w, &mut ecs[i]);
+                let d_batched = bank.sm_step_coordinated(i, w);
+                prop_assert_eq!(d_scalar.violated_static, d_batched.violated_static);
+                prop_assert_eq!(d_scalar.violated_effective, d_batched.violated_effective);
+                prop_assert_eq!(
+                    d_scalar.new_r_ref.unwrap().to_bits(),
+                    d_batched.new_r_ref.unwrap().to_bits(),
+                    "server {} epoch {}", i, k
+                );
+                prop_assert_eq!(
+                    sms[i].effective_cap_watts().to_bits(),
+                    bank.effective_cap_watts(i).to_bits()
+                );
+                // Feed the retune through the scalar EC so both closed
+                // loops stay synchronized.
+                prop_assert_eq!(ecs[i].r_ref().to_bits(), bank.r_ref(i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bank_sm_uncoordinated_matches_scalar(
+        models in proptest::collection::vec(arb_model(), 1..8),
+        cap_frac in 0.3f64..1.0,
+        powers in proptest::collection::vec(0.0f64..500.0, 1..40),
+        pstate_idx in 0usize..5,
+    ) {
+        let caps: Vec<f64> = models.iter().map(|m| cap_frac * m.max_power()).collect();
+        let mut bank = ControllerBank::new(
+            ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        let mut sms: Vec<ServerManager> = models
+            .iter()
+            .zip(&caps)
+            .map(|(m, &c)| ServerManager::new(m, c, 1.0))
+            .collect();
+        for &w in &powers {
+            for i in 0..models.len() {
+                let current = PState(pstate_idx.min(models[i].num_pstates() - 1));
+                let (d_scalar, f_scalar) =
+                    sms[i].step_uncoordinated(w, current, &models[i]);
+                let (d_batched, f_batched) = bank.sm_step_uncoordinated(i, w, current);
+                prop_assert_eq!(d_scalar.violated_static, d_batched.violated_static);
+                prop_assert_eq!(d_scalar.violated_effective, d_batched.violated_effective);
+                prop_assert_eq!(f_scalar, f_batched);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Full experiments are expensive; a handful of random multi-rack
+    // configurations with faults enabled still exercises every epoch
+    // path (EC/SM/EM/GM/VMC) through the batched engine.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batched_runner_is_bit_deterministic_under_faults(
+        sys in prop_oneof![Just(SystemKind::BladeA), Just(SystemKind::ServerB)],
+        mode in prop_oneof![
+            Just(CoordinationMode::Coordinated),
+            Just(CoordinationMode::Uncoordinated),
+        ],
+        racks in 1usize..3,
+        enclosures in 1usize..3,
+        blades in 2usize..5,
+        standalone in 0usize..5,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        noise in 0.0f64..0.05,
+        drop_prob in 0.0f64..0.3,
+        loss_prob in 0.0f64..0.3,
+    ) {
+        let faults = FaultPlan::disabled()
+            .with_seed(fault_seed)
+            .with_sensor_noise(noise)
+            .with_dropped_samples(drop_prob)
+            .with_message_loss(loss_prob)
+            .with_outage(ControllerLayer::Em, Some(0), 40, 80)
+            .sanitized();
+        let build = || {
+            Scenario::multi_rack(sys, mode, racks, enclosures, blades, standalone)
+                .horizon(120)
+                .seed(seed)
+                .faults(faults.clone())
+                .build()
+        };
+        let a = run_experiment(&build());
+        let b = run_experiment(&build());
+        // Serialized comparison catches every f64 bit, not just the
+        // fields PartialEq happens to visit.
+        let ja = serde_json::to_string(&a).expect("results serialize");
+        let jb = serde_json::to_string(&b).expect("results serialize");
+        prop_assert_eq!(ja, jb, "same config + seed must be bit-identical");
+        prop_assert!(a.comparison.run.energy >= 0.0);
+    }
+}
