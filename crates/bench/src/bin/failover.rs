@@ -16,7 +16,9 @@ use nps_bench::{banner, horizon, seed, write_json_artifact};
 use nps_core::{ControllerMask, CoordinationMode, Runner, Scenario, SystemKind};
 use nps_metrics::Table;
 use nps_models::ServerModel;
-use nps_sim::{ControllerLayer, FaultPlan, ServerId, ThermalConfig, Topology};
+use nps_sim::{
+    BusConfig, ControllerLayer, FaultPlan, RetryConfig, ServerId, ThermalConfig, Topology,
+};
 use nps_traces::{Mix, UtilTrace};
 use serde::Serialize;
 
@@ -41,6 +43,8 @@ struct FaultRow {
     degradations: u64,
     messages_lost: u64,
     outage_epochs: u64,
+    grant_retries: u64,
+    leases_expired: u64,
 }
 
 fn thermal_study() -> Vec<ThermalRow> {
@@ -84,39 +88,88 @@ fn fault_matrix() -> Vec<FaultRow> {
     let h = horizon();
     // Outage window: the middle quarter of the run.
     let (o_start, o_end) = (h / 4, h / 2);
-    let cases: Vec<(&str, FaultPlan)> = vec![
-        ("clean", FaultPlan::disabled()),
+    // Bus delivery-fault profiles (see `nps_sim::BusConfig`): grants
+    // ride the control-plane bus under delay/reorder/duplication/drop,
+    // with retransmission and lease fallback picking up the slack.
+    let quiet_bus = BusConfig::default();
+    let retry = RetryConfig {
+        max_attempts: 3,
+        backoff_base_ticks: 2,
+        backoff_max_ticks: 16,
+        jitter_ticks: 1,
+    };
+    // Leases outlive a healthy refresh period (GM grants renew every
+    // `T_gm` = 50 ticks), so an expiry means refreshes were actually
+    // lost, not that the cadence outran the lease.
+    let lossy_bus = BusConfig::default()
+        .with_drop(0.10)
+        .with_leases(120)
+        .with_retry(retry);
+    let chaotic_bus = BusConfig::default()
+        .with_delay(2, 2)
+        .with_drop(0.10)
+        .with_duplication(0.05)
+        .with_reordering(0.15, 3)
+        .with_leases(75)
+        .with_retry(retry);
+    let cases: Vec<(&str, FaultPlan, BusConfig)> = vec![
+        ("clean", FaultPlan::disabled(), quiet_bus.clone()),
         (
             "sensor noise 5%",
             FaultPlan::disabled().with_sensor_noise(0.05),
+            quiet_bus.clone(),
         ),
         (
             "stuck sensors",
             FaultPlan::disabled().with_stuck_sensors(0.02, 25),
+            quiet_bus.clone(),
         ),
         (
             "dropped samples 10%",
             FaultPlan::disabled().with_dropped_samples(0.10),
+            quiet_bus.clone(),
         ),
         (
             "stuck actuators",
             FaultPlan::disabled().with_stuck_actuators(0.02, 25),
+            quiet_bus.clone(),
         ),
         (
             "message loss 25%",
             FaultPlan::disabled().with_message_loss(0.25),
+            quiet_bus.clone(),
         ),
         (
             "SM outage",
             FaultPlan::disabled().with_outage(ControllerLayer::Sm, None, o_start, o_end),
+            quiet_bus.clone(),
         ),
         (
             "EM outage",
             FaultPlan::disabled().with_outage(ControllerLayer::Em, None, o_start, o_end),
+            quiet_bus.clone(),
         ),
         (
             "GM outage",
             FaultPlan::disabled().with_outage(ControllerLayer::Gm, None, o_start, o_end),
+            quiet_bus.clone(),
+        ),
+        (
+            "bus drop 10% + retries",
+            FaultPlan::disabled(),
+            lossy_bus.clone(),
+        ),
+        (
+            "bus chaos (delay+reorder+dup+drop)",
+            FaultPlan::disabled(),
+            chaotic_bus.clone(),
+        ),
+        (
+            // No retransmission: every fourth grant vanishes for good, so
+            // leases lapse and children fall back to their static caps.
+            "bus brownout 25%, no retries",
+            FaultPlan::disabled(),
+            BusConfig::default().with_drop(0.25).with_leases(120),
         ),
         (
             "everything at once",
@@ -129,14 +182,16 @@ fn fault_matrix() -> Vec<FaultRow> {
                 .with_outage(ControllerLayer::Sm, None, o_start, o_end)
                 .with_outage(ControllerLayer::Em, None, o_start, o_end)
                 .with_outage(ControllerLayer::Gm, None, o_start, o_end),
+            chaotic_bus,
         ),
     ];
     let mut rows = Vec::new();
-    for (name, plan) in cases {
+    for (name, plan, bus) in cases {
         let cfg = Scenario::paper(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated)
             .horizon(h)
             .seed(seed())
             .faults(plan.with_seed(seed()))
+            .bus(bus.with_seed(seed()))
             .build();
         let mut runner = Runner::new(&cfg);
         let stats = runner.run_to_horizon();
@@ -156,6 +211,8 @@ fn fault_matrix() -> Vec<FaultRow> {
             degradations: faults.degradations,
             messages_lost: faults.messages_lost,
             outage_epochs: faults.outage_epochs,
+            grant_retries: faults.grant_retries,
+            leases_expired: faults.leases_expired,
         });
     }
     rows
@@ -200,6 +257,8 @@ fn main() {
         "degrad.",
         "lost msgs",
         "outages",
+        "retries",
+        "leases exp.",
         "viol S %",
         "viol E %",
         "viol G %",
@@ -212,6 +271,8 @@ fn main() {
             r.degradations.to_string(),
             r.messages_lost.to_string(),
             r.outage_epochs.to_string(),
+            r.grant_retries.to_string(),
+            r.leases_expired.to_string(),
             Table::fmt(r.violations_server_pct),
             Table::fmt(r.violations_enclosure_pct),
             Table::fmt(r.violations_group_pct),

@@ -41,6 +41,9 @@ pub struct ControllerBank {
     static_cap: Vec<f64>,
     /// SM budget granted by the EM/GM for the current epoch, watts.
     granted_cap: Vec<f64>,
+    /// First tick each server's granted budget stops being authorized
+    /// (`u64::MAX` = no lease: the grant holds until replaced).
+    lease_until: Vec<u64>,
 }
 
 impl ControllerBank {
@@ -77,6 +80,7 @@ impl ControllerBank {
             r_ref: vec![r_ref; n],
             static_cap: static_caps.to_vec(),
             granted_cap: vec![f64::INFINITY; n],
+            lease_until: vec![u64::MAX; n],
             table,
             lambda,
             beta,
@@ -162,9 +166,46 @@ impl ControllerBank {
     }
 
     /// Grants server `i` a dynamic budget from the enclosure/group
-    /// manager — identical to [`ServerManager::set_granted_cap`].
+    /// manager — identical to [`ServerManager::set_granted_cap`]. The
+    /// grant carries no lease (it holds until replaced).
     pub fn set_granted_cap(&mut self, i: usize, watts: f64) {
         self.granted_cap[i] = watts.max(0.0);
+        self.lease_until[i] = u64::MAX;
+    }
+
+    /// Grants server `i` a *leased* dynamic budget: the grant authorizes
+    /// the cap until tick `lease_until`, after which
+    /// [`ControllerBank::expire_lease`] reverts the server to its static
+    /// cap.
+    pub fn set_granted_cap_leased(&mut self, i: usize, watts: f64, lease_until: u64) {
+        self.granted_cap[i] = watts.max(0.0);
+        self.lease_until[i] = lease_until;
+    }
+
+    /// First tick server `i`'s grant stops being authorized
+    /// (`u64::MAX` = unleased).
+    pub fn lease_until(&self, i: usize) -> u64 {
+        self.lease_until[i]
+    }
+
+    /// Expires server `i`'s lease if it has lapsed at `now`: the granted
+    /// cap reverts to unlimited (so the effective cap falls back to
+    /// `CAP_LOC`) and the lease clears. Returns whether an expiry
+    /// happened.
+    pub fn expire_lease(&mut self, i: usize, now: u64) -> bool {
+        if now < self.lease_until[i] {
+            return false;
+        }
+        self.granted_cap[i] = f64::INFINITY;
+        self.lease_until[i] = u64::MAX;
+        true
+    }
+
+    /// Resets server `i`'s grant to unlimited and clears any lease (e.g.
+    /// after a power-on revival).
+    pub fn reset_grant(&mut self, i: usize) {
+        self.granted_cap[i] = f64::INFINITY;
+        self.lease_until[i] = u64::MAX;
     }
 
     /// The budget server `i`'s SM enforces this epoch:
@@ -211,6 +252,49 @@ impl ControllerBank {
         };
         (decision, forced)
     }
+
+    // ----- checkpointing --------------------------------------------------
+
+    /// Captures the bank's mutable state (EC frequencies, targets, grants,
+    /// leases) for checkpointing. Floats are bit-packed so infinite grants
+    /// survive the JSON roundtrip exactly.
+    pub fn snapshot(&self) -> BankSnapshot {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect();
+        BankSnapshot {
+            freq_hz_bits: bits(&self.freq_hz),
+            applied_hz_bits: bits(&self.applied_hz),
+            r_ref_bits: bits(&self.r_ref),
+            granted_cap_bits: bits(&self.granted_cap),
+            lease_until: self.lease_until.clone(),
+        }
+    }
+
+    /// Restores state captured by [`ControllerBank::snapshot`]. The bank
+    /// must have been built over the same fleet.
+    pub fn restore(&mut self, snap: &BankSnapshot) {
+        let floats = |v: &[u64]| v.iter().map(|&b| f64::from_bits(b)).collect();
+        self.freq_hz = floats(&snap.freq_hz_bits);
+        self.applied_hz = floats(&snap.applied_hz_bits);
+        self.r_ref = floats(&snap.r_ref_bits);
+        self.granted_cap = floats(&snap.granted_cap_bits);
+        self.lease_until = snap.lease_until.clone();
+    }
+}
+
+/// The bank's mutable state (checkpoint section); one slot per server,
+/// floats as IEEE-754 bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BankSnapshot {
+    /// EC continuous frequency state.
+    pub freq_hz_bits: Vec<u64>,
+    /// EC quantized applied frequency.
+    pub applied_hz_bits: Vec<u64>,
+    /// EC utilization targets.
+    pub r_ref_bits: Vec<u64>,
+    /// SM granted budgets (possibly infinite).
+    pub granted_cap_bits: Vec<u64>,
+    /// Grant lease deadlines (`u64::MAX` = unleased).
+    pub lease_until: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -323,6 +407,55 @@ mod tests {
         bank.set_granted_cap(0, -5.0);
         assert_eq!(bank.effective_cap_watts(0), 0.0);
         assert_eq!(bank.static_cap_watts(0), 100.0);
+    }
+
+    #[test]
+    fn leased_grant_expires_back_to_static_cap() {
+        let models = fleet();
+        let caps = vec![100.0; 3];
+        let mut bank = ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        bank.set_granted_cap_leased(0, 60.0, 50);
+        assert_eq!(bank.effective_cap_watts(0), 60.0);
+        assert_eq!(bank.lease_until(0), 50);
+        assert!(!bank.expire_lease(0, 49), "lease still live");
+        assert_eq!(bank.effective_cap_watts(0), 60.0);
+        assert!(bank.expire_lease(0, 50), "lease lapses at its deadline");
+        assert_eq!(bank.effective_cap_watts(0), 100.0);
+        assert_eq!(bank.lease_until(0), u64::MAX);
+        assert!(!bank.expire_lease(0, 1000), "expiry fires once");
+        // An unleased grant never expires.
+        bank.set_granted_cap(1, 70.0);
+        assert!(!bank.expire_lease(1, u64::MAX - 1));
+        assert_eq!(bank.effective_cap_watts(1), 70.0);
+        // Renewal pushes the deadline out.
+        bank.set_granted_cap_leased(2, 40.0, 10);
+        bank.set_granted_cap_leased(2, 45.0, 20);
+        assert!(!bank.expire_lease(2, 15));
+        assert_eq!(bank.effective_cap_watts(2), 45.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_state_bit_exactly() {
+        let models = fleet();
+        let caps = vec![100.0, 250.0, 90.0];
+        let mut bank = ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        for k in 0..40 {
+            for i in 0..3 {
+                bank.ec_step(i, 0.3 + 0.02 * ((k + i) % 7) as f64);
+                bank.sm_step_coordinated(i, 50.0 + k as f64);
+            }
+        }
+        bank.set_granted_cap_leased(0, 55.0, 99);
+        // Slot 1 keeps its infinite default grant — the roundtrip must
+        // preserve it exactly (JSON has no infinity literal).
+        let json = serde_json::to_string(&bank.snapshot()).unwrap();
+        let snap: BankSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored =
+            ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        restored.restore(&snap);
+        assert_eq!(bank, restored);
+        assert_eq!(restored.effective_cap_watts(1), 250.0);
+        assert_eq!(restored.lease_until(0), 99);
     }
 
     #[test]

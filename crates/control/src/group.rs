@@ -50,6 +50,9 @@ pub struct GroupCapper {
     level: CapperLevel,
     static_cap_watts: f64,
     granted_cap_watts: f64,
+    /// First tick the granted budget stops being authorized
+    /// (`u64::MAX` = no lease).
+    lease_until: u64,
     policy: Box<dyn BudgetPolicy>,
 }
 
@@ -60,6 +63,7 @@ impl GroupCapper {
             level,
             static_cap_watts,
             granted_cap_watts: f64::INFINITY,
+            lease_until: u64::MAX,
             policy,
         }
     }
@@ -75,9 +79,37 @@ impl GroupCapper {
     }
 
     /// Grants a dynamic budget from the parent level (the GM tuning an
-    /// EM's budget). The effective budget is the `min` of both.
+    /// EM's budget). The effective budget is the `min` of both. The grant
+    /// carries no lease (it holds until replaced).
     pub fn set_granted_cap(&mut self, watts: f64) {
         self.granted_cap_watts = watts.max(0.0);
+        self.lease_until = u64::MAX;
+    }
+
+    /// Grants a *leased* dynamic budget, authorized until tick
+    /// `lease_until`; once [`GroupCapper::expire_lease`] fires, the capper
+    /// falls back to its static budget.
+    pub fn set_granted_cap_leased(&mut self, watts: f64, lease_until: u64) {
+        self.granted_cap_watts = watts.max(0.0);
+        self.lease_until = lease_until;
+    }
+
+    /// First tick the grant stops being authorized (`u64::MAX` =
+    /// unleased).
+    pub fn lease_until(&self) -> u64 {
+        self.lease_until
+    }
+
+    /// Expires a lapsed lease at `now`: the granted budget reverts to
+    /// unlimited (so the static budget binds) and the lease clears.
+    /// Returns whether an expiry happened.
+    pub fn expire_lease(&mut self, now: u64) -> bool {
+        if now < self.lease_until {
+            return false;
+        }
+        self.granted_cap_watts = f64::INFINITY;
+        self.lease_until = u64::MAX;
+        true
     }
 
     /// The budget enforced this epoch: `min(static, granted)`.
@@ -111,6 +143,38 @@ impl GroupCapper {
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
     }
+
+    // ----- checkpointing --------------------------------------------------
+
+    /// Captures the capper's mutable state (grant, lease, policy state)
+    /// for checkpointing.
+    pub fn snapshot(&self) -> CapperSnapshot {
+        CapperSnapshot {
+            granted_cap_bits: self.granted_cap_watts.to_bits(),
+            lease_until: self.lease_until,
+            policy_state: self.policy.export_state(),
+        }
+    }
+
+    /// Restores state captured by [`GroupCapper::snapshot`]. The capper
+    /// must have been built with the same static budget and policy kind.
+    pub fn restore(&mut self, snap: &CapperSnapshot) {
+        self.granted_cap_watts = f64::from_bits(snap.granted_cap_bits);
+        self.lease_until = snap.lease_until;
+        self.policy.import_state(&snap.policy_state);
+    }
+}
+
+/// A [`GroupCapper`]'s mutable state (checkpoint section).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapperSnapshot {
+    /// Granted budget (possibly infinite), as IEEE-754 bits.
+    pub granted_cap_bits: u64,
+    /// Grant lease deadline (`u64::MAX` = unleased).
+    pub lease_until: u64,
+    /// Opaque division-policy state
+    /// ([`BudgetPolicy::export_state`](crate::BudgetPolicy::export_state)).
+    pub policy_state: Vec<u64>,
 }
 
 #[cfg(test)]

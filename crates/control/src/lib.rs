@@ -56,11 +56,11 @@ mod sm;
 pub mod stability;
 
 pub use arbiter::{ArbitrationPolicy, FrequencyArbiter};
-pub use bank::ControllerBank;
+pub use bank::{BankSnapshot, ControllerBank};
 pub use cap::ElectricalCapper;
 pub use crac::CracController;
 pub use ec::EfficiencyController;
-pub use group::{CapperLevel, GroupCapper};
+pub use group::{CapperLevel, CapperSnapshot, GroupCapper};
 pub use policy::{
     default_policies, BudgetPolicy, FairShare, Fifo, HistoryWeighted, PriorityWeighted,
     ProportionalShare, RandomOrder,

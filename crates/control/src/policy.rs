@@ -29,6 +29,17 @@ pub trait BudgetPolicy: std::fmt::Debug + Send {
         consumption_watts: &[f64],
         static_caps_watts: &[f64],
     ) -> Vec<f64>;
+
+    /// The policy's mutable state as opaque `u64` words, for
+    /// checkpointing (floats bit-packed via [`f64::to_bits`]). Stateless
+    /// policies export nothing.
+    fn export_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`BudgetPolicy::export_state`]. The
+    /// default is a no-op for stateless policies.
+    fn import_state(&mut self, _state: &[u64]) {}
 }
 
 fn proportional(total: f64, weights: &[f64], static_caps: &[f64]) -> Vec<f64> {
@@ -147,6 +158,18 @@ impl BudgetPolicy for RandomOrder {
         order.shuffle(&mut self.rng);
         sequential(total, consumption.len(), static_caps, order)
     }
+
+    fn export_state(&self) -> Vec<u64> {
+        self.rng.state().to_vec()
+    }
+
+    fn import_state(&mut self, state: &[u64]) {
+        let mut s = [0u64; 4];
+        for (w, &v) in s.iter_mut().zip(state) {
+            *w = v;
+        }
+        self.rng = StdRng::from_state(s);
+    }
 }
 
 /// Proportional to fixed per-child priority weights.
@@ -216,6 +239,14 @@ impl BudgetPolicy for HistoryWeighted {
         }
         let ewma = self.ewma.clone();
         proportional(total, &ewma, static_caps)
+    }
+
+    fn export_state(&self) -> Vec<u64> {
+        self.ewma.iter().map(|e| e.to_bits()).collect()
+    }
+
+    fn import_state(&mut self, state: &[u64]) {
+        self.ewma = state.iter().map(|&b| f64::from_bits(b)).collect();
     }
 }
 
@@ -335,6 +366,39 @@ mod tests {
         // Consumption flips; allocation moves only halfway.
         let c2 = p.divide(100.0, &[20.0, 80.0], &[108.0, 108.0]);
         assert!(c2[0] > 20.0 && c2[0] < 80.0);
+    }
+
+    #[test]
+    fn stateful_policies_roundtrip_exported_state() {
+        // RandomOrder: resuming from exported state must reproduce the
+        // exact shuffle stream of the original.
+        let mut a = RandomOrder::new(3);
+        for _ in 0..5 {
+            a.divide(150.0, &[0.0; 3], &CAPS);
+        }
+        let mut b = RandomOrder::new(999);
+        b.import_state(&a.export_state());
+        for _ in 0..8 {
+            assert_eq!(
+                a.divide(150.0, &[0.0; 3], &CAPS),
+                b.divide(150.0, &[0.0; 3], &CAPS)
+            );
+        }
+
+        // HistoryWeighted: EWMA words roundtrip bit-exactly.
+        let mut h = HistoryWeighted::new(0.3);
+        h.divide(100.0, &[80.0, 20.0], &[108.0, 108.0]);
+        h.divide(100.0, &[20.0, 80.0], &[108.0, 108.0]);
+        let mut h2 = HistoryWeighted::new(0.3);
+        h2.import_state(&h.export_state());
+        assert_eq!(
+            h.divide(100.0, &[50.0, 50.0], &[108.0, 108.0]),
+            h2.divide(100.0, &[50.0, 50.0], &[108.0, 108.0])
+        );
+
+        // Stateless policies export nothing.
+        assert!(ProportionalShare.export_state().is_empty());
+        assert!(Fifo.export_state().is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use nps_control::{
 };
 use nps_models::ServerModel;
 use nps_opt::VmcConfig;
-use nps_sim::{FaultPlan, SimConfig, Topology};
+use nps_sim::{BusConfig, FaultPlan, SimConfig, Topology};
 use nps_traces::UtilTrace;
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +116,10 @@ pub struct ExperimentConfig {
     pub electrical_cap_frac: Option<f64>,
     /// Fault-injection plan ([`FaultPlan::disabled`] for clean runs).
     pub faults: FaultPlan,
+    /// Control-plane bus configuration (delivery delay/faults, retries,
+    /// leases). The default is a zero-delay, zero-fault passthrough that
+    /// reproduces direct grant writes bit-exactly.
+    pub bus: BusConfig,
 }
 
 impl ExperimentConfig {

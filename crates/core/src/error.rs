@@ -22,6 +22,9 @@ pub enum CoreError {
     },
     /// The simulator rejected the configuration.
     Sim(nps_sim::SimError),
+    /// A checkpoint could not be restored into this runner (wrong
+    /// experiment, incompatible format version, or mismatched sizes).
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +41,7 @@ impl fmt::Display for CoreError {
                 "models_override has {models} models for a {servers}-server topology"
             ),
             CoreError::Sim(e) => write!(f, "simulator rejected the configuration: {e}"),
+            CoreError::Checkpoint(why) => write!(f, "checkpoint cannot be restored: {why}"),
         }
     }
 }

@@ -49,6 +49,6 @@ pub use budgets::BudgetSpec;
 pub use config::{ExperimentConfig, PolicyKind};
 pub use error::CoreError;
 pub use intervals::Intervals;
-pub use runner::{run_experiment, ExperimentResult, Runner};
+pub use runner::{run_experiment, ExperimentResult, Runner, RunnerSnapshot};
 pub use scenarios::{Scenario, SystemKind};
-pub use sweep::{load_results, run_sweep, save_results, SweepError};
+pub use sweep::{load_results, run_sweep, run_sweep_resumable, save_results, SweepError};

@@ -2,7 +2,9 @@
 //! according to the coordination mode, executes the horizon, and collects
 //! the paper's metrics.
 
-use nps_control::{CapperLevel, ControllerBank, ElectricalCapper, GroupCapper};
+use nps_control::{
+    BankSnapshot, CapperLevel, CapperSnapshot, ControllerBank, ElectricalCapper, GroupCapper,
+};
 use nps_metrics::{
     BudgetLevel, Comparison, ControllerKind, DegradationPolicy, FaultStats, LevelViolations,
     Recorder, RingRecorder, RunStats, SensorFaultKind, TelemetryEvent, ViolationCounter,
@@ -10,8 +12,9 @@ use nps_metrics::{
 use nps_models::{PState, ServerModel};
 use nps_opt::{ClusterContext, Vmc};
 use nps_sim::{
-    ControllerLayer, EnclosureId, FaultInjector, FaultPlan, Reading, SensorChannel, ServerId,
-    SimConfig, Simulation, VmId,
+    BusEvent, BusSnapshot, ControlBus, ControllerLayer, EnclosureId, FaultInjector, FaultPlan,
+    GrantMsg, InjectorSnapshot, LinkId, Reading, SensorChannel, ServerId, SimConfig, SimSnapshot,
+    Simulation, VmId,
 };
 
 use crate::arch::ControllerMask;
@@ -48,6 +51,25 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     }
 }
 
+/// Where a bus link terminates: the receiver that applies a delivered
+/// grant.
+#[derive(Debug, Clone, Copy)]
+enum GrantTarget {
+    /// A server's SM/bank slot (EM→member or GM→standalone grants).
+    Server(usize),
+    /// An enclosure manager (GM→EM grants).
+    Enclosure(usize),
+}
+
+/// Static routing record for one registered bus link: how a delivery on
+/// that link is applied and labelled in telemetry.
+#[derive(Debug, Clone, Copy)]
+struct LinkMeta {
+    level: BudgetLevel,
+    child: usize,
+    target: GrantTarget,
+}
+
 /// One live experiment: the simulator plus controller instances and the
 /// measurement windows connecting them.
 ///
@@ -57,6 +79,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
 #[derive(Debug)]
 pub struct Runner {
     // Configuration (flattened for the hot loop).
+    label: String,
     mask: ControllerMask,
     mode: crate::arch::CoordinationMode,
     intervals: crate::intervals::Intervals,
@@ -115,6 +138,19 @@ pub struct Runner {
     /// down-transition, not every skipped epoch.
     em_was_down: Vec<bool>,
     gm_was_down: bool,
+    // Control-plane bus: every budget grant is a sequence-numbered,
+    // lease-bearing message routed through this queue.
+    bus: ControlBus,
+    /// Grant-lease duration in ticks (0 = leases off; sanitized copy of
+    /// the bus config so the hot path avoids re-reading it).
+    lease_ticks: u64,
+    /// Per-link routing metadata, indexed by `LinkId.0`.
+    link_meta: Vec<LinkMeta>,
+    /// Server index → link slot of the grant edge terminating at that
+    /// server (enclosure members and standalone servers both have one).
+    server_link: Vec<Option<usize>>,
+    /// Enclosure index → link slot of the GM→EM grant edge.
+    em_link: Vec<usize>,
     // Violation accounting.
     violations: LevelViolations,
     win_sm: ViolationCounter,
@@ -257,7 +293,72 @@ impl Runner {
             }
         }
 
+        // Control-plane bus: one link per grant edge, registered in a
+        // fixed order (EM→member links per enclosure, then GM→EM links,
+        // then GM→standalone links) so link ids are stable across runs
+        // and checkpoints.
+        let bus_cfg = cfg.bus.clone().sanitized();
+        let mut bus = ControlBus::new(&bus_cfg);
+        let mut link_meta: Vec<LinkMeta> = Vec::new();
+        let mut server_link: Vec<Option<usize>> = vec![None; n];
+        let mut em_link: Vec<usize> = Vec::with_capacity(num_enclosures);
+        for e in 0..num_enclosures {
+            for (k, &s) in enc_members[enc_offsets[e]..enc_offsets[e + 1]]
+                .iter()
+                .enumerate()
+            {
+                let link = bus.register_link();
+                debug_assert_eq!(link.0, link_meta.len());
+                link_meta.push(LinkMeta {
+                    level: BudgetLevel::Enclosure,
+                    child: k,
+                    target: GrantTarget::Server(s.index()),
+                });
+                server_link[s.index()] = Some(link.0);
+            }
+        }
+        for e in 0..num_enclosures {
+            let link = bus.register_link();
+            em_link.push(link.0);
+            link_meta.push(LinkMeta {
+                level: BudgetLevel::Group,
+                child: e,
+                target: GrantTarget::Enclosure(e),
+            });
+        }
+        for (k, &s) in standalone_ids.iter().enumerate() {
+            let link = bus.register_link();
+            link_meta.push(LinkMeta {
+                level: BudgetLevel::Group,
+                child: num_enclosures + k,
+                target: GrantTarget::Server(s.index()),
+            });
+            server_link[s.index()] = Some(link.0);
+        }
+
+        // Seed the hold-last-good stores at each server's idle operating
+        // point (P0, zero utilization) rather than 0.0: a sample dropped
+        // before the first clean reading then degrades to a physically
+        // plausible value instead of a phantom zero-watt observation.
+        let last_power_sm: Vec<f64> = (0..n).map(|i| models[i].idle_power(0)).collect();
+        let last_encpow_em: Vec<f64> = (0..num_enclosures)
+            .map(|e| {
+                enc_members[enc_offsets[e]..enc_offsets[e + 1]]
+                    .iter()
+                    .map(|&s| models[s.index()].idle_power(0))
+                    .sum::<f64>()
+                    + cfg.sim.enclosure_base_watts
+            })
+            .collect();
+        let mut last_child_gm: Vec<f64> = last_encpow_em.clone();
+        last_child_gm.extend(
+            standalone_ids
+                .iter()
+                .map(|&s| models[s.index()].idle_power(0)),
+        );
+
         Ok(Self {
+            label: cfg.label.clone(),
             mask: cfg.mask,
             mode: cfg.mode,
             intervals,
@@ -289,11 +390,16 @@ impl Runner {
             injector: FaultInjector::new(&cfg.faults, n),
             fstats: FaultStats::default(),
             last_util_ec: vec![0.0; n],
-            last_power_sm: vec![0.0; n],
-            last_encpow_em: vec![0.0; cfg.topology.num_enclosures()],
-            last_child_gm: vec![0.0; gm_children],
+            last_power_sm,
+            last_encpow_em,
+            last_child_gm,
             em_was_down: vec![false; cfg.topology.num_enclosures()],
             gm_was_down: false,
+            lease_ticks: bus_cfg.lease_ticks,
+            bus,
+            link_meta,
+            server_link,
+            em_link,
             cum_real: vec![0.0; num_vms],
             cum_apparent: vec![0.0; num_vms],
             snap_real: vec![0.0; num_vms],
@@ -454,6 +560,168 @@ impl Runner {
         true
     }
 
+    // ----- the control-plane bus ----------------------------------------
+
+    /// The single entry point for every downstream budget grant (EM→
+    /// member, GM→EM, GM→standalone — formerly four copy-pasted loss
+    /// branches): draws the plan-level loss verdict in the legacy stream
+    /// order, routes the grant through the bus as a sequence-numbered
+    /// message, and synchronously drains due traffic so passthrough
+    /// delivery lands in-place in the telemetry stream.
+    fn deliver_grant(&mut self, link_slot: usize, watts: f64) {
+        let t = self.ticks_done;
+        let plan_lost = self.injector.budget_message_lost();
+        let (_seq, enqueued) = self.bus.send(LinkId(link_slot), watts, t, plan_lost);
+        if !enqueued {
+            // Lost outright — by the plan-level draw or the bus's own
+            // drop model. The child holds its last granted budget (until
+            // its lease, if any, lapses).
+            let LinkMeta { level, child, .. } = self.link_meta[link_slot];
+            self.fstats.messages_lost += 1;
+            self.emit(|| TelemetryEvent::MessageLoss {
+                tick: t,
+                level,
+                child,
+            });
+        }
+        self.drain_bus();
+    }
+
+    /// Polls the bus and applies everything due now: fresh grants write
+    /// the receiver's cap (and lease), duplicates and stale copies are
+    /// rejected, retransmissions are counted.
+    fn drain_bus(&mut self) {
+        let t = self.ticks_done;
+        for event in self.bus.poll(t) {
+            match event {
+                BusEvent::Delivered(msg) => self.apply_grant(msg),
+                BusEvent::Duplicate(msg) => {
+                    let LinkMeta { level, child, .. } = self.link_meta[msg.link.0];
+                    self.fstats.duplicates_dropped += 1;
+                    let seq = msg.seq;
+                    self.emit(|| TelemetryEvent::DuplicateDropped {
+                        tick: t,
+                        level,
+                        child,
+                        seq,
+                    });
+                }
+                BusEvent::Stale { msg, accepted } => {
+                    let LinkMeta { level, child, .. } = self.link_meta[msg.link.0];
+                    self.fstats.stale_rejected += 1;
+                    let seq = msg.seq;
+                    self.emit(|| TelemetryEvent::StaleRejected {
+                        tick: t,
+                        level,
+                        child,
+                        seq,
+                        accepted,
+                    });
+                }
+                BusEvent::Retry {
+                    msg,
+                    attempt,
+                    dropped,
+                } => {
+                    let LinkMeta { level, child, .. } = self.link_meta[msg.link.0];
+                    self.fstats.grant_retries += 1;
+                    let seq = msg.seq;
+                    self.emit(|| TelemetryEvent::GrantRetry {
+                        tick: t,
+                        level,
+                        child,
+                        seq,
+                        attempt,
+                    });
+                    if dropped {
+                        self.fstats.messages_lost += 1;
+                        self.emit(|| TelemetryEvent::MessageLoss {
+                            tick: t,
+                            level,
+                            child,
+                        });
+                    }
+                }
+                // Retries exhausted: the sender gives up. With leases on,
+                // the receiver's lease lapses back to its static cap; no
+                // extra action here.
+                BusEvent::Exhausted(_) => {}
+            }
+        }
+    }
+
+    /// Applies one accepted grant to its receiver and emits the legacy
+    /// `BudgetGrant` event.
+    fn apply_grant(&mut self, msg: GrantMsg) {
+        let t = self.ticks_done;
+        let LinkMeta {
+            level,
+            child,
+            target,
+        } = self.link_meta[msg.link.0];
+        let lease_until = if self.lease_ticks > 0 {
+            t + self.lease_ticks
+        } else {
+            u64::MAX
+        };
+        match target {
+            GrantTarget::Server(i) => {
+                if self.lease_ticks > 0 {
+                    self.bank.set_granted_cap_leased(i, msg.watts, lease_until);
+                } else {
+                    self.bank.set_granted_cap(i, msg.watts);
+                }
+            }
+            GrantTarget::Enclosure(e) => {
+                if self.lease_ticks > 0 {
+                    self.ems[e].set_granted_cap_leased(msg.watts, lease_until);
+                } else {
+                    self.ems[e].set_granted_cap(msg.watts);
+                }
+            }
+        }
+        let watts = msg.watts;
+        self.emit(|| TelemetryEvent::BudgetGrant {
+            tick: t,
+            level,
+            child,
+            watts,
+        });
+    }
+
+    /// Reverts every lapsed lease to its static cap, with telemetry.
+    fn expire_leases(&mut self) {
+        let t = self.ticks_done;
+        for i in 0..self.server_link.len() {
+            if self.bank.expire_lease(i, t) {
+                let slot = self.server_link[i].expect("leased server must have a grant link");
+                let LinkMeta { level, child, .. } = self.link_meta[slot];
+                let seq = self.bus.accepted_seq(LinkId(slot));
+                self.fstats.leases_expired += 1;
+                self.emit(|| TelemetryEvent::LeaseExpired {
+                    tick: t,
+                    level,
+                    child,
+                    seq,
+                });
+            }
+        }
+        for e in 0..self.ems.len() {
+            if self.ems[e].expire_lease(t) {
+                let slot = self.em_link[e];
+                let LinkMeta { level, child, .. } = self.link_meta[slot];
+                let seq = self.bus.accepted_seq(LinkId(slot));
+                self.fstats.leases_expired += 1;
+                self.emit(|| TelemetryEvent::LeaseExpired {
+                    tick: t,
+                    level,
+                    child,
+                    seq,
+                });
+            }
+        }
+    }
+
     /// Enables recording of the group-power trajectory into a bounded
     /// [`nps_metrics::TimeSeries`] of at most `max_points` points.
     pub fn enable_power_trace(&mut self, max_points: usize) {
@@ -568,6 +836,155 @@ impl Runner {
         }
     }
 
+    // ----- checkpoint / restore -----------------------------------------
+
+    /// Captures the runner's complete dynamic state — simulator,
+    /// controllers, bus in-flight queues, injector RNG, measurement
+    /// windows, accumulators — for bit-exact resumption. The telemetry
+    /// recorder and power trace are diagnostics and are *not* part of the
+    /// checkpoint. Emits a `Checkpoint` telemetry event.
+    pub fn snapshot(&mut self) -> RunnerSnapshot {
+        let t = self.ticks_done;
+        self.emit(|| TelemetryEvent::Checkpoint {
+            tick: t,
+            restored: false,
+        });
+        RunnerSnapshot {
+            version: RunnerSnapshot::VERSION,
+            label: self.label.clone(),
+            ticks_done: self.ticks_done,
+            sim: self.sim.snapshot(),
+            injector: self.injector.snapshot(),
+            bus: self.bus.snapshot(),
+            bank: self.bank.snapshot(),
+            ems: self.ems.iter().map(|em| em.snapshot()).collect(),
+            gm: self.gm.snapshot(),
+            vmc_buffer_bits: self.vmc.buffer_bits().to_vec(),
+            sm_hold: self
+                .sm_hold
+                .iter()
+                .map(|h| h.map_or(u64::MAX, |p| p.index() as u64))
+                .collect(),
+            snap_util_ec_bits: pack_bits(&self.snap_util_ec),
+            snap_power_sm_bits: pack_bits(&self.snap_power_sm),
+            snap_power_em_bits: pack_bits(&self.snap_power_em),
+            snap_power_gm_bits: pack_bits(&self.snap_power_gm),
+            snap_encpow_em_bits: pack_bits(&self.snap_encpow_em),
+            snap_encpow_gm_bits: pack_bits(&self.snap_encpow_gm),
+            cum_real_bits: pack_bits(&self.cum_real),
+            cum_apparent_bits: pack_bits(&self.cum_apparent),
+            snap_real_bits: pack_bits(&self.snap_real),
+            snap_apparent_bits: pack_bits(&self.snap_apparent),
+            win_max_real_bits: pack_bits(&self.win_max_real),
+            win_max_apparent_bits: pack_bits(&self.win_max_apparent),
+            last_util_ec_bits: pack_bits(&self.last_util_ec),
+            last_power_sm_bits: pack_bits(&self.last_power_sm),
+            last_encpow_em_bits: pack_bits(&self.last_encpow_em),
+            last_child_gm_bits: pack_bits(&self.last_child_gm),
+            fstats: self.fstats,
+            em_was_down: self.em_was_down.clone(),
+            gm_was_down: self.gm_was_down,
+            violations: self.violations,
+            win_sm: self.win_sm,
+            win_em: self.win_em,
+            win_gm: self.win_gm,
+            skipped_migrations: self.skipped_migrations,
+            cum_latency_proxy_bits: self.cum_latency_proxy.to_bits(),
+            latency_samples: self.latency_samples,
+        }
+    }
+
+    /// Restores state captured by [`Runner::snapshot`]. The runner must
+    /// have been built from the *same* [`ExperimentConfig`] — the
+    /// checkpoint carries only dynamic state; static structure (topology,
+    /// models, traces, caps) comes from the configuration. A resumed run
+    /// reproduces the uninterrupted run bit for bit.
+    pub fn restore(&mut self, snap: &RunnerSnapshot) -> Result<(), CoreError> {
+        if snap.version != RunnerSnapshot::VERSION {
+            return Err(CoreError::Checkpoint(format!(
+                "format version {} (this build reads {})",
+                snap.version,
+                RunnerSnapshot::VERSION
+            )));
+        }
+        if snap.label != self.label {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint is for experiment {:?}, runner is {:?}",
+                snap.label, self.label
+            )));
+        }
+        let n = self.models.len();
+        if snap.sm_hold.len() != n
+            || snap.ems.len() != self.ems.len()
+            || snap.cum_real_bits.len() != self.cum_real.len()
+        {
+            return Err(CoreError::Checkpoint(
+                "checkpoint sizes do not match this configuration".to_string(),
+            ));
+        }
+        self.ticks_done = snap.ticks_done;
+        self.sim.restore(&snap.sim);
+        self.injector.restore(&snap.injector);
+        self.bus.restore(&snap.bus);
+        self.bank.restore(&snap.bank);
+        for (em, s) in self.ems.iter_mut().zip(&snap.ems) {
+            em.restore(s);
+        }
+        self.gm.restore(&snap.gm);
+        let mut vb = [0u64; 3];
+        for (w, &v) in vb.iter_mut().zip(&snap.vmc_buffer_bits) {
+            *w = v;
+        }
+        self.vmc.restore_buffer_bits(&vb);
+        for (h, &raw) in self.sm_hold.iter_mut().zip(&snap.sm_hold) {
+            *h = if raw == u64::MAX {
+                None
+            } else {
+                Some(PState(raw as usize))
+            };
+        }
+        unpack_bits(&snap.snap_util_ec_bits, &mut self.snap_util_ec);
+        unpack_bits(&snap.snap_power_sm_bits, &mut self.snap_power_sm);
+        unpack_bits(&snap.snap_power_em_bits, &mut self.snap_power_em);
+        unpack_bits(&snap.snap_power_gm_bits, &mut self.snap_power_gm);
+        unpack_bits(&snap.snap_encpow_em_bits, &mut self.snap_encpow_em);
+        unpack_bits(&snap.snap_encpow_gm_bits, &mut self.snap_encpow_gm);
+        unpack_bits(&snap.cum_real_bits, &mut self.cum_real);
+        unpack_bits(&snap.cum_apparent_bits, &mut self.cum_apparent);
+        unpack_bits(&snap.snap_real_bits, &mut self.snap_real);
+        unpack_bits(&snap.snap_apparent_bits, &mut self.snap_apparent);
+        unpack_bits(&snap.win_max_real_bits, &mut self.win_max_real);
+        unpack_bits(&snap.win_max_apparent_bits, &mut self.win_max_apparent);
+        unpack_bits(&snap.last_util_ec_bits, &mut self.last_util_ec);
+        unpack_bits(&snap.last_power_sm_bits, &mut self.last_power_sm);
+        unpack_bits(&snap.last_encpow_em_bits, &mut self.last_encpow_em);
+        unpack_bits(&snap.last_child_gm_bits, &mut self.last_child_gm);
+        self.fstats = snap.fstats;
+        self.em_was_down = snap.em_was_down.clone();
+        self.gm_was_down = snap.gm_was_down;
+        self.violations = snap.violations;
+        self.win_sm = snap.win_sm;
+        self.win_em = snap.win_em;
+        self.win_gm = snap.win_gm;
+        self.skipped_migrations = snap.skipped_migrations;
+        self.cum_latency_proxy = f64::from_bits(snap.cum_latency_proxy_bits);
+        self.latency_samples = snap.latency_samples;
+        let t = self.ticks_done;
+        self.emit(|| TelemetryEvent::Checkpoint {
+            tick: t,
+            restored: true,
+        });
+        Ok(())
+    }
+
+    /// Builds a runner for `cfg` and restores `snap` into it — the
+    /// one-call resume path.
+    pub fn resume(cfg: &ExperimentConfig, snap: &RunnerSnapshot) -> Result<Self, CoreError> {
+        let mut runner = Self::try_new(cfg)?;
+        runner.restore(snap)?;
+        Ok(runner)
+    }
+
     // ----- the per-tick control schedule --------------------------------
 
     // `%` rather than `u64::is_multiple_of` keeps the crate building on
@@ -575,6 +992,19 @@ impl Runner {
     #[allow(clippy::manual_is_multiple_of)]
     fn act(&mut self) {
         let t = self.ticks_done;
+        // Deferred bus traffic first: delayed grant copies and expired
+        // retransmission timers from earlier ticks come due before any
+        // controller epoch reads the caps they update.
+        if !self.bus.is_idle() {
+            self.drain_bus();
+        }
+        // Lease expiry sweep: a granted cap whose lease has lapsed (its
+        // grantor went silent — outage, lost refresh, exhausted retries)
+        // reverts to the child's static cap. This replaces the
+        // edge-triggered outage fallback uniformly when leases are on.
+        if self.lease_ticks > 0 {
+            self.expire_leases();
+        }
         let iv = self.intervals;
         if self.mask.ec && t % iv.ec == 0 {
             self.ec_epoch(iv.ec);
@@ -813,8 +1243,10 @@ impl Runner {
                     self.em_was_down[e] = true;
                     // The members just lost their parent manager: fall back
                     // to their local static caps (stale dynamic grants from
-                    // a dead EM could strangle them indefinitely).
-                    if self.mode.budgets_flow_down() {
+                    // a dead EM could strangle them indefinitely). With
+                    // leases on, the lease state machine covers this
+                    // uniformly — the orphaned grants simply expire.
+                    if self.mode.budgets_flow_down() && self.lease_ticks == 0 {
                         for k in m0..m1 {
                             let s = self.enc_members[k];
                             self.bank.set_granted_cap(s.index(), f64::INFINITY);
@@ -857,23 +1289,9 @@ impl Runner {
             if self.mode.budgets_flow_down() {
                 for (k, &watts) in allocations.iter().enumerate() {
                     let s = self.enc_members[m0 + k];
-                    if self.injector.budget_message_lost() {
-                        // The child holds its last granted budget.
-                        self.fstats.messages_lost += 1;
-                        self.emit(|| TelemetryEvent::MessageLoss {
-                            tick: t,
-                            level: BudgetLevel::Enclosure,
-                            child: k,
-                        });
-                        continue;
-                    }
-                    self.bank.set_granted_cap(s.index(), watts);
-                    self.emit(|| TelemetryEvent::BudgetGrant {
-                        tick: t,
-                        level: BudgetLevel::Enclosure,
-                        child: k,
-                        watts,
-                    });
+                    let slot = self.server_link[s.index()]
+                        .expect("every enclosure member has a grant link");
+                    self.deliver_grant(slot, watts);
                 }
             } else if total > self.ems[e].effective_cap_watts() {
                 // Uncoordinated enclosure capper: on violation, directly
@@ -958,7 +1376,8 @@ impl Runner {
                 self.gm_was_down = true;
                 // Every child just lost the group manager: enclosures and
                 // standalone servers fall back to their local static caps.
-                if self.mode.budgets_flow_down() {
+                // Under leases the orphaned grants expire on their own.
+                if self.mode.budgets_flow_down() && self.lease_ticks == 0 {
                     for e in 0..self.ems.len() {
                         self.ems[e].set_granted_cap(f64::INFINITY);
                         self.fstats.degradations += 1;
@@ -1007,43 +1426,15 @@ impl Runner {
             .reallocate(&self.scratch_consumption, &self.scratch_child_caps);
         if self.mode.budgets_flow_down() {
             for (e, &watts) in allocations.iter().enumerate().take(num_enclosures) {
-                if self.injector.budget_message_lost() {
-                    self.fstats.messages_lost += 1;
-                    self.emit(|| TelemetryEvent::MessageLoss {
-                        tick: t,
-                        level: BudgetLevel::Group,
-                        child: e,
-                    });
-                    continue;
-                }
-                self.ems[e].set_granted_cap(watts);
-                self.emit(|| TelemetryEvent::BudgetGrant {
-                    tick: t,
-                    level: BudgetLevel::Group,
-                    child: e,
-                    watts,
-                });
+                let slot = self.em_link[e];
+                self.deliver_grant(slot, watts);
             }
             for k in 0..self.standalone_ids.len() {
                 let s = self.standalone_ids[k];
                 let child = num_enclosures + k;
-                if self.injector.budget_message_lost() {
-                    self.fstats.messages_lost += 1;
-                    self.emit(|| TelemetryEvent::MessageLoss {
-                        tick: t,
-                        level: BudgetLevel::Group,
-                        child,
-                    });
-                    continue;
-                }
-                self.bank.set_granted_cap(s.index(), allocations[child]);
-                let watts = allocations[child];
-                self.emit(|| TelemetryEvent::BudgetGrant {
-                    tick: t,
-                    level: BudgetLevel::Group,
-                    child,
-                    watts,
-                });
+                let slot =
+                    self.server_link[s.index()].expect("every standalone server has a grant link");
+                self.deliver_grant(slot, allocations[child]);
             }
         } else if group_total > self.gm.effective_cap_watts() {
             // Uncoordinated group capper: directly clamp standalone
@@ -1181,8 +1572,8 @@ impl Runner {
                 self.bank.set_r_ref(s.index(), 0.75);
                 // A stale grant from before the power-off (possibly 0 W)
                 // must not strangle the revived server until the next
-                // EM/GM epoch refreshes it.
-                self.bank.set_granted_cap(s.index(), f64::INFINITY);
+                // EM/GM epoch refreshes it; any lease on it clears too.
+                self.bank.reset_grant(s.index());
                 // Fresh measurement windows for the revived server: all
                 // four cumulative snapshots, not just the EC's — a stale
                 // SM/EM/GM power snapshot would fold the whole off period
@@ -1226,6 +1617,150 @@ impl Runner {
                 self.emit(|| TelemetryEvent::PowerOff { tick: t, server });
             }
         }
+    }
+}
+
+/// Packs a float slice into IEEE-754 bit words (bit-exact, non-finite
+/// safe — the JSON layer would otherwise collapse infinities to null).
+fn pack_bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Unpacks bit words into an existing float slice (shorter input leaves
+/// the tail untouched; `restore` validates sizes up front).
+fn unpack_bits(bits: &[u64], out: &mut [f64]) {
+    for (o, &b) in out.iter_mut().zip(bits) {
+        *o = f64::from_bits(b);
+    }
+}
+
+/// A [`Runner`]'s complete dynamic state, produced by
+/// [`Runner::snapshot`] and consumed by [`Runner::restore`] /
+/// [`Runner::resume`]. Serializable (floats travel as IEEE-754 bit
+/// words), so checkpoints written by `npsctl --checkpoint-every` resume
+/// bit-exactly across process boundaries.
+///
+/// Compatibility: a checkpoint binds to one experiment (the `label` must
+/// match) and one format `version`; static structure is *not* stored and
+/// must come from the same [`ExperimentConfig`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunnerSnapshot {
+    /// Checkpoint format version ([`RunnerSnapshot::VERSION`]).
+    pub version: u32,
+    /// Label of the experiment this checkpoint belongs to.
+    pub label: String,
+    /// Ticks simulated when the checkpoint was taken.
+    pub ticks_done: u64,
+    /// Simulator state (placement, P-states, accumulators, thermal).
+    pub sim: SimSnapshot,
+    /// Fault-injector RNG and latched fault state.
+    pub injector: InjectorSnapshot,
+    /// Control-plane bus: link sequence state and in-flight queue.
+    pub bus: BusSnapshot,
+    /// Per-server EC/SM controller bank.
+    pub bank: BankSnapshot,
+    /// Enclosure managers' grants, leases, and policy state.
+    pub ems: Vec<CapperSnapshot>,
+    /// Group manager's grant, lease, and policy state.
+    pub gm: CapperSnapshot,
+    /// VMC feedback buffers `[b_loc, b_enc, b_grp]` as bit words.
+    pub vmc_buffer_bits: Vec<u64>,
+    /// SM standing P-state demands (`u64::MAX` = none).
+    pub sm_hold: Vec<u64>,
+    /// EC utilization window snapshots (bit words).
+    pub snap_util_ec_bits: Vec<u64>,
+    /// SM power window snapshots (bit words).
+    pub snap_power_sm_bits: Vec<u64>,
+    /// EM per-member power window snapshots (bit words).
+    pub snap_power_em_bits: Vec<u64>,
+    /// GM per-server power window snapshots (bit words).
+    pub snap_power_gm_bits: Vec<u64>,
+    /// EM enclosure-total window snapshots (bit words).
+    pub snap_encpow_em_bits: Vec<u64>,
+    /// GM enclosure-total window snapshots (bit words).
+    pub snap_encpow_gm_bits: Vec<u64>,
+    /// Cumulative real per-VM utilization (bit words).
+    pub cum_real_bits: Vec<u64>,
+    /// Cumulative apparent per-VM utilization (bit words).
+    pub cum_apparent_bits: Vec<u64>,
+    /// VMC real-utilization window snapshots (bit words).
+    pub snap_real_bits: Vec<u64>,
+    /// VMC apparent-utilization window snapshots (bit words).
+    pub snap_apparent_bits: Vec<u64>,
+    /// Window maxima of real per-VM utilization (bit words).
+    pub win_max_real_bits: Vec<u64>,
+    /// Window maxima of apparent per-VM utilization (bit words).
+    pub win_max_apparent_bits: Vec<u64>,
+    /// Hold-last-good store: EC utilization channel (bit words).
+    pub last_util_ec_bits: Vec<u64>,
+    /// Hold-last-good store: SM power channel (bit words).
+    pub last_power_sm_bits: Vec<u64>,
+    /// Hold-last-good store: EM enclosure power channel (bit words).
+    pub last_encpow_em_bits: Vec<u64>,
+    /// Hold-last-good store: GM child power channel (bit words).
+    pub last_child_gm_bits: Vec<u64>,
+    /// Fault and degradation counters.
+    pub fstats: FaultStats,
+    /// EM outage edge-detection latches.
+    pub em_was_down: Vec<bool>,
+    /// GM outage edge-detection latch.
+    pub gm_was_down: bool,
+    /// Per-level violation accounting.
+    pub violations: LevelViolations,
+    /// Server-level violation window feeding the VMC.
+    pub win_sm: ViolationCounter,
+    /// Enclosure-level violation window feeding the VMC.
+    pub win_em: ViolationCounter,
+    /// Group-level violation window feeding the VMC.
+    pub win_gm: ViolationCounter,
+    /// Migrations the simulator rejected.
+    pub skipped_migrations: u64,
+    /// Latency-proxy accumulator (bit word).
+    pub cum_latency_proxy_bits: u64,
+    /// Latency-proxy sample count.
+    pub latency_samples: u64,
+}
+
+impl RunnerSnapshot {
+    /// Current checkpoint format version. Bump on any layout change —
+    /// restore refuses checkpoints from other versions.
+    pub const VERSION: u32 = 1;
+
+    /// Writes the checkpoint to `path` as JSON, atomically: the bytes go
+    /// to a sibling temp file first and are renamed into place, so a
+    /// crash mid-write leaves the previous checkpoint intact.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let stem = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "checkpoint.json".to_string());
+        let tmp = dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+        let write = (|| -> std::io::Result<()> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut writer = std::io::BufWriter::new(file);
+            serde_json::to_writer(&mut writer, self).map_err(std::io::Error::other)?;
+            use std::io::Write as _;
+            writer.flush()?;
+            writer.into_inner().map_err(|e| e.into_error())?.sync_all()
+        })();
+        match write {
+            Ok(()) => std::fs::rename(&tmp, path),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads a checkpoint previously written by [`RunnerSnapshot::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
     }
 }
 

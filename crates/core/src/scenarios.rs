@@ -2,7 +2,7 @@
 
 use nps_models::ServerModel;
 use nps_opt::VmcConfig;
-use nps_sim::{FaultPlan, SimConfig, Topology};
+use nps_sim::{BusConfig, FaultPlan, SimConfig, Topology};
 use nps_traces::{Corpus, EnterpriseProfile, Mix, UtilTrace};
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +75,7 @@ pub struct Scenario {
     idle_scale: Option<f64>,
     heterogeneous: bool,
     faults: FaultPlan,
+    bus: BusConfig,
     label_suffix: String,
     /// Explicit topology (e.g. multi-rack); when set, one trace is
     /// generated per server instead of sizing by the mix.
@@ -104,6 +105,7 @@ impl Scenario {
             idle_scale: None,
             heterogeneous: false,
             faults: FaultPlan::disabled(),
+            bus: BusConfig::default(),
             label_suffix: String::new(),
             topology_override: None,
         }
@@ -224,6 +226,13 @@ impl Scenario {
         self
     }
 
+    /// Configures the control-plane bus (delivery delay/faults, retries,
+    /// leases; see [`BusConfig`]).
+    pub fn bus(mut self, bus: BusConfig) -> Self {
+        self.bus = bus;
+        self
+    }
+
     /// Appends a suffix to the generated label.
     pub fn label(mut self, suffix: impl Into<String>) -> Self {
         self.label_suffix = suffix.into();
@@ -316,6 +325,7 @@ impl Scenario {
             horizon: self.horizon,
             electrical_cap_frac: self.electrical_cap_frac,
             faults: self.faults,
+            bus: self.bus,
         }
     }
 }

@@ -104,6 +104,57 @@ pub fn run_sweep(
     finalize_outcomes(configs, results)
 }
 
+/// Crash-resumable sweep: results for configurations whose label already
+/// appears in `completed` (e.g. loaded from a partially-written results
+/// file via [`load_results`]) are reused verbatim; only the missing
+/// configurations run. Outcomes come back in input order, exactly as
+/// [`run_sweep`] would produce them — so `resume(run_sweep(a..b)) ==
+/// run_sweep(all)` for deterministic configurations.
+///
+/// Matching is by label, and each completed result is reused at most
+/// once (in input order): scenario labels encode system, mix, mode, and
+/// budgets, so a sweep should give every configuration a distinct label
+/// — with duplicates, completed results are handed out first-come
+/// first-served and the remainder re-run.
+pub fn run_sweep_resumable(
+    configs: &[ExperimentConfig],
+    completed: &[ExperimentResult],
+    threads: usize,
+) -> Vec<Result<ExperimentResult, SweepError>> {
+    // First pass: hand out completed results (each at most once) and
+    // collect the configurations that still need to run.
+    let mut pool: Vec<Option<&ExperimentResult>> = completed.iter().map(Some).collect();
+    let reused: Vec<Option<ExperimentResult>> = configs
+        .iter()
+        .map(|cfg| {
+            pool.iter_mut()
+                .find(|slot| slot.is_some_and(|r| r.label == cfg.label))
+                .and_then(|slot| slot.take())
+                .cloned()
+        })
+        .collect();
+    let missing_cfgs: Vec<ExperimentConfig> = configs
+        .iter()
+        .zip(&reused)
+        .filter(|(_, done)| done.is_none())
+        .map(|(cfg, _)| cfg.clone())
+        .collect();
+    let mut fresh_iter = run_sweep(&missing_cfgs, threads).into_iter();
+    reused
+        .into_iter()
+        .enumerate()
+        .map(|(i, done)| match done {
+            Some(result) => Ok(result),
+            // Re-index the fresh outcome to the full sweep's input order
+            // so error slots name the right configuration.
+            None => fresh_iter
+                .next()
+                .expect("one fresh outcome per missing config")
+                .map_err(|e| SweepError { index: i, ..e }),
+        })
+        .collect()
+}
+
 /// One sweep slot: `None` until a worker stores the configuration's
 /// outcome.
 type Slot = Mutex<Option<Result<ExperimentResult, SweepError>>>;
@@ -236,6 +287,54 @@ mod tests {
         let back = load_results(&path).unwrap();
         assert_eq!(results, back);
         std::fs::remove_file(path).ok();
+    }
+
+    /// Like `tiny` but with the seed in the label, as real sweeps label
+    /// their entries distinctly.
+    fn tiny_labeled(seed: u64) -> ExperimentConfig {
+        Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+            .horizon(200)
+            .seed(seed)
+            .label(format!("seed {seed}"))
+            .build()
+    }
+
+    #[test]
+    fn resumable_sweep_skips_completed_and_matches_full_run() {
+        let configs: Vec<ExperimentConfig> = (0..4).map(tiny_labeled).collect();
+        let full = unwrap_all(run_sweep(&configs, 2));
+        // Simulate a crash after two configs: persist a partial results
+        // file, reload it, and resume.
+        let partial = vec![full[0].clone(), full[2].clone()];
+        let mut path = std::env::temp_dir();
+        path.push(format!("nps-resume-test-{}.json", std::process::id()));
+        save_results(&partial, &path).unwrap();
+        let loaded = load_results(&path).unwrap();
+        let resumed = unwrap_all(run_sweep_resumable(&configs, &loaded, 2));
+        assert_eq!(resumed, full);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn resumable_sweep_with_all_done_runs_nothing() {
+        let configs = vec![tiny(1)];
+        let full = unwrap_all(run_sweep(&configs, 1));
+        let resumed = unwrap_all(run_sweep_resumable(&configs, &full, 1));
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn resumable_sweep_reindexes_errors_to_input_order() {
+        let mut bad = tiny(2);
+        bad.lambda = -1.0;
+        bad.label = "poisoned resume config".to_string();
+        let configs = vec![tiny(1), tiny(3), bad];
+        let done = unwrap_all(run_sweep(&configs[..2], 1));
+        let outcomes = run_sweep_resumable(&configs, &done, 1);
+        assert!(outcomes[0].is_ok() && outcomes[1].is_ok());
+        let err = outcomes[2].as_ref().expect_err("bad config must fail");
+        assert_eq!(err.index, 2, "error must name the full-sweep index");
+        assert_eq!(err.label, "poisoned resume config");
     }
 
     #[test]

@@ -31,6 +31,18 @@ pub struct FaultStats {
     /// boundary (always-on hardening; nonzero even without a fault plan
     /// if a model misbehaves).
     pub clamped_inputs: u64,
+    /// Unacked budget grants re-sent by the control-plane bus after
+    /// backoff.
+    pub grant_retries: u64,
+    /// Duplicated grant deliveries dropped by receivers (same sequence
+    /// number as the accepted one).
+    pub duplicates_dropped: u64,
+    /// Stale grant deliveries rejected by receivers (sequence number
+    /// below the accepted one).
+    pub stale_rejected: u64,
+    /// Budget leases that expired without renewal, reverting the child to
+    /// its local static cap.
+    pub leases_expired: u64,
 }
 
 impl FaultStats {
@@ -59,6 +71,10 @@ impl FaultStats {
         self.outage_epochs += other.outage_epochs;
         self.degradations += other.degradations;
         self.clamped_inputs += other.clamped_inputs;
+        self.grant_retries += other.grant_retries;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.stale_rejected += other.stale_rejected;
+        self.leases_expired += other.leases_expired;
     }
 }
 
@@ -67,7 +83,8 @@ impl std::fmt::Display for FaultStats {
         write!(
             f,
             "faults: noise={} stuck={} dropped={} blocked_writes={} lost_msgs={} \
-             outage_epochs={} degradations={} clamped={}",
+             outage_epochs={} degradations={} clamped={} retries={} dups={} stale={} \
+             lease_exp={}",
             self.sensor_noise,
             self.sensor_stuck,
             self.sensor_dropped,
@@ -76,6 +93,10 @@ impl std::fmt::Display for FaultStats {
             self.outage_epochs,
             self.degradations,
             self.clamped_inputs,
+            self.grant_retries,
+            self.duplicates_dropped,
+            self.stale_rejected,
+            self.leases_expired,
         )
     }
 }
@@ -102,6 +123,10 @@ mod tests {
             outage_epochs: 6,
             degradations: 7,
             clamped_inputs: 8,
+            grant_retries: 9,
+            duplicates_dropped: 10,
+            stale_rejected: 11,
+            leases_expired: 12,
         };
         let b = a;
         a.merge(&b);

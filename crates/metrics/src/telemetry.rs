@@ -288,6 +288,66 @@ pub enum TelemetryEvent {
         /// The policy applied.
         policy: DegradationPolicy,
     },
+    /// A bus sender re-sent an unacknowledged grant (exponential backoff
+    /// expired before the ack arrived).
+    GrantRetry {
+        /// Tick of the retransmission.
+        tick: u64,
+        /// The *granting* level whose message is being retried.
+        level: BudgetLevel,
+        /// Child index in the grantor's child ordering.
+        child: usize,
+        /// Sequence number of the retried grant.
+        seq: u64,
+        /// Retransmission attempt (1 = first retry).
+        attempt: u32,
+    },
+    /// A receiver dropped a duplicated grant delivery (same sequence
+    /// number as the one already accepted).
+    DuplicateDropped {
+        /// Tick of the duplicate delivery.
+        tick: u64,
+        /// The *granting* level of the duplicated message.
+        level: BudgetLevel,
+        /// Child index in the grantor's child ordering.
+        child: usize,
+        /// The duplicated sequence number.
+        seq: u64,
+    },
+    /// A receiver rejected a stale grant (sequence number below the one
+    /// already accepted — a reordered or late retransmission).
+    StaleRejected {
+        /// Tick of the stale delivery.
+        tick: u64,
+        /// The *granting* level of the stale message.
+        level: BudgetLevel,
+        /// Child index in the grantor's child ordering.
+        child: usize,
+        /// The rejected (stale) sequence number.
+        seq: u64,
+        /// The sequence number the receiver has already accepted.
+        accepted: u64,
+    },
+    /// A receiver's budget lease expired without renewal; its granted cap
+    /// reverted to the local static cap (`CAP_LOC`).
+    LeaseExpired {
+        /// Tick of the expiry.
+        tick: u64,
+        /// The *granting* level whose lease lapsed.
+        level: BudgetLevel,
+        /// Child index in the grantor's child ordering.
+        child: usize,
+        /// The sequence number of the lease that lapsed.
+        seq: u64,
+    },
+    /// The runner wrote (or restored) a checkpoint of its full dynamic
+    /// state.
+    Checkpoint {
+        /// Tick the snapshot captures.
+        tick: u64,
+        /// `true` when restoring from a snapshot, `false` when taking one.
+        restored: bool,
+    },
 }
 
 /// Event type tags for counters and filters.
@@ -319,11 +379,21 @@ pub enum EventKind {
     ControllerOutage,
     /// [`TelemetryEvent::Degradation`].
     Degradation,
+    /// [`TelemetryEvent::GrantRetry`].
+    GrantRetry,
+    /// [`TelemetryEvent::DuplicateDropped`].
+    DuplicateDropped,
+    /// [`TelemetryEvent::StaleRejected`].
+    StaleRejected,
+    /// [`TelemetryEvent::LeaseExpired`].
+    LeaseExpired,
+    /// [`TelemetryEvent::Checkpoint`].
+    Checkpoint,
 }
 
 impl EventKind {
     /// All kinds, declaration order (indexes the counter array).
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::PStateChange,
         EventKind::RRefUpdate,
         EventKind::BudgetGrant,
@@ -337,6 +407,11 @@ impl EventKind {
         EventKind::MessageLoss,
         EventKind::ControllerOutage,
         EventKind::Degradation,
+        EventKind::GrantRetry,
+        EventKind::DuplicateDropped,
+        EventKind::StaleRejected,
+        EventKind::LeaseExpired,
+        EventKind::Checkpoint,
     ];
 
     /// Short label for reports.
@@ -355,6 +430,11 @@ impl EventKind {
             EventKind::MessageLoss => "message_loss",
             EventKind::ControllerOutage => "controller_outage",
             EventKind::Degradation => "degradation",
+            EventKind::GrantRetry => "grant_retry",
+            EventKind::DuplicateDropped => "duplicate_dropped",
+            EventKind::StaleRejected => "stale_rejected",
+            EventKind::LeaseExpired => "lease_expired",
+            EventKind::Checkpoint => "checkpoint",
         }
     }
 
@@ -380,6 +460,11 @@ impl TelemetryEvent {
             TelemetryEvent::MessageLoss { .. } => EventKind::MessageLoss,
             TelemetryEvent::ControllerOutage { .. } => EventKind::ControllerOutage,
             TelemetryEvent::Degradation { .. } => EventKind::Degradation,
+            TelemetryEvent::GrantRetry { .. } => EventKind::GrantRetry,
+            TelemetryEvent::DuplicateDropped { .. } => EventKind::DuplicateDropped,
+            TelemetryEvent::StaleRejected { .. } => EventKind::StaleRejected,
+            TelemetryEvent::LeaseExpired { .. } => EventKind::LeaseExpired,
+            TelemetryEvent::Checkpoint { .. } => EventKind::Checkpoint,
         }
     }
 
@@ -398,7 +483,12 @@ impl TelemetryEvent {
             | TelemetryEvent::ActuatorFault { tick, .. }
             | TelemetryEvent::MessageLoss { tick, .. }
             | TelemetryEvent::ControllerOutage { tick, .. }
-            | TelemetryEvent::Degradation { tick, .. } => *tick,
+            | TelemetryEvent::Degradation { tick, .. }
+            | TelemetryEvent::GrantRetry { tick, .. }
+            | TelemetryEvent::DuplicateDropped { tick, .. }
+            | TelemetryEvent::StaleRejected { tick, .. }
+            | TelemetryEvent::LeaseExpired { tick, .. }
+            | TelemetryEvent::Checkpoint { tick, .. } => *tick,
         }
     }
 
@@ -428,8 +518,31 @@ impl TelemetryEvent {
             TelemetryEvent::MessageLoss {
                 level: BudgetLevel::Enclosure,
                 ..
+            }
+            | TelemetryEvent::GrantRetry {
+                level: BudgetLevel::Enclosure,
+                ..
+            }
+            | TelemetryEvent::DuplicateDropped {
+                level: BudgetLevel::Enclosure,
+                ..
+            }
+            | TelemetryEvent::StaleRejected {
+                level: BudgetLevel::Enclosure,
+                ..
+            }
+            | TelemetryEvent::LeaseExpired {
+                level: BudgetLevel::Enclosure,
+                ..
             } => ControllerKind::Em,
-            TelemetryEvent::MessageLoss { .. } => ControllerKind::Gm,
+            TelemetryEvent::MessageLoss { .. }
+            | TelemetryEvent::GrantRetry { .. }
+            | TelemetryEvent::DuplicateDropped { .. }
+            | TelemetryEvent::StaleRejected { .. }
+            | TelemetryEvent::LeaseExpired { .. } => ControllerKind::Gm,
+            // Checkpoints capture the whole coordination stack; the GM is
+            // the hierarchy root, so attribute them there.
+            TelemetryEvent::Checkpoint { .. } => ControllerKind::Gm,
         }
     }
 }

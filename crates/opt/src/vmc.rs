@@ -214,6 +214,23 @@ impl Vmc {
         (self.b_loc, self.b_enc, self.b_grp)
     }
 
+    /// The feedback buffers as IEEE-754 bit words
+    /// `[b_loc, b_enc, b_grp]`, for bit-exact checkpointing.
+    pub fn buffer_bits(&self) -> [u64; 3] {
+        [
+            self.b_loc.to_bits(),
+            self.b_enc.to_bits(),
+            self.b_grp.to_bits(),
+        ]
+    }
+
+    /// Restores buffers captured by [`Vmc::buffer_bits`].
+    pub fn restore_buffer_bits(&mut self, bits: &[u64; 3]) {
+        self.b_loc = f64::from_bits(bits[0]);
+        self.b_enc = f64::from_bits(bits[1]);
+        self.b_grp = f64::from_bits(bits[2]);
+    }
+
     /// Feeds back the budget-violation rates observed since the last
     /// epoch (fraction of capping intervals violated at each level, in
     /// `[0, 1]`). Violations widen the corresponding buffer — making the
@@ -306,6 +323,17 @@ mod tests {
         }
         let (l, e, g) = vmc.buffers();
         assert_eq!((l, e, g), (0.20, 0.20, 0.20));
+    }
+
+    #[test]
+    fn buffer_bits_roundtrip_exactly() {
+        let mut vmc = Vmc::new(VmcConfig::default());
+        vmc.report_violations(0.137, 0.004, 0.91);
+        let bits = vmc.buffer_bits();
+        let mut fresh = Vmc::new(VmcConfig::default());
+        fresh.restore_buffer_bits(&bits);
+        assert_eq!(vmc.buffers(), fresh.buffers());
+        assert_eq!(fresh.buffer_bits(), bits);
     }
 
     #[test]

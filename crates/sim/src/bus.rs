@@ -1,0 +1,995 @@
+//! Deterministic control-plane message bus for budget grants.
+//!
+//! The paper's coordination story (§3, Figure 2) assumes GM→EM→SM budget
+//! grants arrive instantly and in order. Real federated power managers
+//! ride a lossy, delayed management network, so this module makes the
+//! channel explicit: every grant becomes a sequence-numbered,
+//! lease-bearing [`GrantMsg`] routed through a seeded in-sim queue with
+//! configurable delay, jitter, reordering (modeled as extra delay),
+//! duplication, and drop. Receivers reject stale sequence numbers and
+//! drop duplicates; senders retry unacknowledged grants with exponential
+//! backoff plus jitter.
+//!
+//! Determinism contract: the bus owns one seeded PRNG and draws from it
+//! only when the corresponding probability is nonzero, in a fixed order
+//! per send (`drop → duplicate → per-copy delay jitter → per-copy
+//! reorder`). The default [`BusConfig`] is a *passthrough*: zero delay,
+//! zero fault rates, retries and leases off — it enqueues each grant for
+//! same-tick delivery, draws no random numbers, and is observationally
+//! identical to the direct `set_granted_cap` write it replaced.
+//!
+//! The bus is topology-agnostic: the runner registers one [`LinkId`] per
+//! grantor→child edge and interprets [`BusEvent`]s against its own link
+//! metadata (which controller, which telemetry level). Acknowledgements
+//! ride the bus back with the deterministic base delay and are never
+//! lost; unacked grants are re-sent until `max_attempts` is exhausted,
+//! after which the sender gives up and the receiver's lease (if enabled)
+//! expires it back to the local static cap.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Retransmission policy for unacknowledged grants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Maximum retransmissions per grant (0 disables retries).
+    pub max_attempts: u32,
+    /// Base backoff in ticks; attempt `k` waits `base << (k-1)` ticks
+    /// (clamped to [`RetryConfig::backoff_max_ticks`]). Sanitized to at
+    /// least 1 so same-tick retry storms are impossible.
+    pub backoff_base_ticks: u64,
+    /// Upper bound on the exponential backoff, in ticks.
+    pub backoff_max_ticks: u64,
+    /// Uniform jitter in `[0, jitter_ticks]` added to each backoff.
+    pub jitter_ticks: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 0,
+            backoff_base_ticks: 1,
+            backoff_max_ticks: 64,
+            jitter_ticks: 0,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Whether retransmission is enabled.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 0
+    }
+
+    /// Clamps the backoff base to at least one tick.
+    pub fn sanitized(mut self) -> Self {
+        self.backoff_base_ticks = self.backoff_base_ticks.max(1);
+        self.backoff_max_ticks = self.backoff_max_ticks.max(self.backoff_base_ticks);
+        self
+    }
+
+    /// Backoff (before jitter) for retransmission attempt `attempt`
+    /// (1-based).
+    fn backoff(&self, attempt: u32) -> u64 {
+        let shift = (attempt.saturating_sub(1)).min(63);
+        self.backoff_base_ticks
+            .saturating_shl(shift)
+            .min(self.backoff_max_ticks)
+    }
+}
+
+/// Saturating left shift helper (u64 has no stable `checked_shl` by
+/// amount > 63 semantics we want here).
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        if shift >= 64 {
+            return u64::MAX;
+        }
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// Delivery model of the control-plane bus. The default is a transparent
+/// passthrough (zero delay, zero faults, retries and leases off).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// PRNG seed for bus-level faults (independent of the
+    /// [`FaultPlan`](crate::FaultPlan) stream).
+    pub seed: u64,
+    /// Base delivery delay in ticks (0 = same-tick delivery).
+    pub delay_ticks: u64,
+    /// Uniform extra delay in `[0, jitter_ticks]` per copy.
+    pub jitter_ticks: u64,
+    /// Per-message probability the grant is dropped by the bus itself
+    /// (composes with the plan-level `message_loss_prob`).
+    pub drop_prob: f64,
+    /// Per-message probability a second copy of the grant is enqueued
+    /// (with its own delay draw).
+    pub duplicate_prob: f64,
+    /// Per-copy probability the copy is held back an extra
+    /// [`BusConfig::reorder_extra_ticks`], letting later grants overtake
+    /// it.
+    pub reorder_prob: f64,
+    /// Extra delay applied to reordered copies, in ticks.
+    pub reorder_extra_ticks: u64,
+    /// Budget-lease duration in ticks; 0 disables leases. When enabled,
+    /// a grant accepted at tick `t` authorizes the dynamic cap until
+    /// `t + lease_ticks`; an expired lease reverts the child to its
+    /// local static cap.
+    pub lease_ticks: u64,
+    /// Retransmission policy for unacknowledged grants.
+    pub retry: RetryConfig,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            delay_ticks: 0,
+            jitter_ticks: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_extra_ticks: 2,
+            lease_ticks: 0,
+            retry: RetryConfig::default(),
+        }
+    }
+}
+
+impl BusConfig {
+    /// A transparent bus (the default).
+    pub fn passthrough() -> Self {
+        Self::default()
+    }
+
+    /// Whether delivery is instantaneous and fault-free (no delay, no
+    /// jitter, no drop/duplicate/reorder). A passthrough bus draws no
+    /// random numbers and delivers every grant inside the sending epoch.
+    pub fn is_passthrough(&self) -> bool {
+        self.delay_ticks == 0
+            && self.jitter_ticks == 0
+            && self.drop_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reorder_prob == 0.0
+    }
+
+    /// Whether leases are enabled.
+    pub fn leases_enabled(&self) -> bool {
+        self.lease_ticks > 0
+    }
+
+    /// Clamps probabilities into `[0, 1]` (non-finite → 0) and sanitizes
+    /// the retry policy.
+    pub fn sanitized(mut self) -> Self {
+        let clean = |v: f64| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        self.drop_prob = clean(self.drop_prob);
+        self.duplicate_prob = clean(self.duplicate_prob);
+        self.reorder_prob = clean(self.reorder_prob);
+        self.retry = self.retry.sanitized();
+        self
+    }
+
+    /// Builder: sets the bus PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets base delay and jitter.
+    pub fn with_delay(mut self, delay_ticks: u64, jitter_ticks: u64) -> Self {
+        self.delay_ticks = delay_ticks;
+        self.jitter_ticks = jitter_ticks;
+        self
+    }
+
+    /// Builder: sets the bus-level drop probability.
+    pub fn with_drop(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Builder: sets the duplication probability.
+    pub fn with_duplication(mut self, prob: f64) -> Self {
+        self.duplicate_prob = prob;
+        self
+    }
+
+    /// Builder: sets the reorder probability and penalty.
+    pub fn with_reordering(mut self, prob: f64, extra_ticks: u64) -> Self {
+        self.reorder_prob = prob;
+        self.reorder_extra_ticks = extra_ticks;
+        self
+    }
+
+    /// Builder: enables leases of the given duration.
+    pub fn with_leases(mut self, lease_ticks: u64) -> Self {
+        self.lease_ticks = lease_ticks;
+        self
+    }
+
+    /// Builder: enables retransmission.
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Handle for one registered grantor→child edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// A sequence-numbered budget grant in flight on the bus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrantMsg {
+    /// The edge this grant travels.
+    pub link: LinkId,
+    /// Sender-assigned sequence number (monotone per link, starts at 1).
+    pub seq: u64,
+    /// The granted budget in watts.
+    pub watts: f64,
+}
+
+/// What the bus tells its owner after processing due traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BusEvent {
+    /// A fresh grant was accepted by the receiver; the owner must apply
+    /// it (write the granted cap, start the lease, emit telemetry).
+    Delivered(GrantMsg),
+    /// A duplicated copy arrived after its sequence number was already
+    /// accepted; the receiver dropped it.
+    Duplicate(GrantMsg),
+    /// A stale (overtaken) grant arrived; the receiver rejected it.
+    Stale {
+        /// The rejected message.
+        msg: GrantMsg,
+        /// The sequence number the receiver had already accepted.
+        accepted: u64,
+    },
+    /// The sender re-transmitted an unacknowledged grant.
+    Retry {
+        /// The retransmitted message.
+        msg: GrantMsg,
+        /// Retransmission attempt (1 = first retry).
+        attempt: u32,
+        /// Whether this copy was dropped by the bus fault model (the
+        /// owner may want to count it as a lost message).
+        dropped: bool,
+    },
+    /// The sender exhausted its retry budget and gave the grant up; if
+    /// leases are enabled the receiver will fall back to its static cap
+    /// when the lease lapses.
+    Exhausted(GrantMsg),
+}
+
+/// Wire direction of an in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum MsgKind {
+    /// Grantor → child budget grant.
+    Grant,
+    /// Child → grantor acknowledgement (deterministic, lossless).
+    Ack,
+}
+
+/// One queued message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct InFlight {
+    deliver_at: u64,
+    /// Monotone enqueue counter; ties on `deliver_at` resolve in send
+    /// order, which keeps the queue deterministic.
+    uid: u64,
+    link: usize,
+    kind: MsgKind,
+    seq: u64,
+    watts: f64,
+}
+
+/// Sender-side retransmission state for the newest unacked grant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pending {
+    seq: u64,
+    watts: f64,
+    /// Retransmissions already performed.
+    attempts: u32,
+    next_retry_at: u64,
+}
+
+/// Per-link state machine: sender sequence/retry state plus receiver
+/// acceptance state.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct LinkState {
+    /// Next sequence number the sender will assign (first grant is 1).
+    next_seq: u64,
+    /// The newest unacknowledged grant, if retries are enabled.
+    pending: Option<Pending>,
+    /// Highest sequence number the receiver has accepted (0 = none).
+    accepted_seq: u64,
+}
+
+/// The deterministic control-plane bus.
+///
+/// The owner registers links with [`ControlBus::register_link`], routes
+/// every grant through [`ControlBus::send`], and calls
+/// [`ControlBus::poll`] to collect due deliveries, duplicate/stale
+/// rejections, and retransmissions. With the default passthrough config,
+/// `send` followed by `poll` at the same tick behaves exactly like a
+/// direct write.
+#[derive(Debug, Clone)]
+pub struct ControlBus {
+    cfg: BusConfig,
+    rng: StdRng,
+    links: Vec<LinkState>,
+    queue: Vec<InFlight>,
+    next_uid: u64,
+}
+
+impl ControlBus {
+    /// Bus PRNG domain-separation constant (`"nps_bus"` in ASCII-ish).
+    const SEED_SALT: u64 = 0x6e70_735f_6275_7300;
+
+    /// Builds a bus from a (sanitized) config.
+    pub fn new(cfg: &BusConfig) -> Self {
+        let cfg = cfg.clone().sanitized();
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed ^ Self::SEED_SALT),
+            cfg,
+            links: Vec::new(),
+            queue: Vec::new(),
+            next_uid: 0,
+        }
+    }
+
+    /// The sanitized config the bus runs with.
+    pub fn config(&self) -> &BusConfig {
+        &self.cfg
+    }
+
+    /// Registers one grantor→child edge and returns its handle. Link ids
+    /// are dense and assigned in registration order.
+    pub fn register_link(&mut self) -> LinkId {
+        self.links.push(LinkState::default());
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Number of registered links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Highest sequence number the receiver on `link` has accepted
+    /// (0 = none yet).
+    pub fn accepted_seq(&self, link: LinkId) -> u64 {
+        self.links[link.0].accepted_seq
+    }
+
+    /// True when nothing is in flight and no retransmission is pending —
+    /// polling an idle bus is a no-op.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.links.iter().all(|l| l.pending.is_none())
+    }
+
+    /// Sends one grant on `link` at tick `now`.
+    ///
+    /// `plan_lost` is the *plan-level* message-loss verdict (drawn by the
+    /// owner from the [`FaultPlan`](crate::FaultPlan) stream so legacy
+    /// fault sequences replay unchanged); the bus adds its own drop draw
+    /// on top. Returns the assigned sequence number and whether any copy
+    /// was actually enqueued (`false` = the grant was lost outright; the
+    /// retry machinery, if enabled, will still chase it).
+    pub fn send(&mut self, link: LinkId, watts: f64, now: u64, plan_lost: bool) -> (u64, bool) {
+        let state = &mut self.links[link.0];
+        state.next_seq += 1;
+        let seq = state.next_seq;
+        if self.cfg.retry.enabled() {
+            let backoff = self.cfg.retry.backoff(1);
+            let jitter = self.jitter(self.cfg.retry.jitter_ticks);
+            self.links[link.0].pending = Some(Pending {
+                seq,
+                watts,
+                attempts: 0,
+                next_retry_at: now + backoff + jitter,
+            });
+        }
+        if plan_lost {
+            return (seq, false);
+        }
+        let enqueued = self.transmit(link.0, seq, watts, now);
+        (seq, enqueued)
+    }
+
+    /// Enqueues one transmission attempt (plus a possible duplicate).
+    /// Returns `false` when the bus dropped the copy.
+    fn transmit(&mut self, link: usize, seq: u64, watts: f64, now: u64) -> bool {
+        if self.cfg.drop_prob > 0.0 && self.rng.gen_bool(self.cfg.drop_prob) {
+            return false;
+        }
+        let duplicate = self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob);
+        let delay = self.copy_delay();
+        self.enqueue(now + delay, link, MsgKind::Grant, seq, watts);
+        if duplicate {
+            let delay = self.copy_delay();
+            self.enqueue(now + delay, link, MsgKind::Grant, seq, watts);
+        }
+        true
+    }
+
+    /// Delay of one message copy: base + jitter + reorder penalty.
+    fn copy_delay(&mut self) -> u64 {
+        let mut delay = self.cfg.delay_ticks + self.jitter(self.cfg.jitter_ticks);
+        if self.cfg.reorder_prob > 0.0 && self.rng.gen_bool(self.cfg.reorder_prob) {
+            delay += self.cfg.reorder_extra_ticks;
+        }
+        delay
+    }
+
+    /// Uniform draw in `[0, bound]`; draws nothing when `bound == 0`.
+    fn jitter(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound + 1)
+        }
+    }
+
+    fn enqueue(&mut self, deliver_at: u64, link: usize, kind: MsgKind, seq: u64, watts: f64) {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let msg = InFlight {
+            deliver_at,
+            uid,
+            link,
+            kind,
+            seq,
+            watts,
+        };
+        // Keep the queue sorted by (deliver_at, uid); uids are monotone so
+        // insertion is deterministic and usually at the tail.
+        let pos = self
+            .queue
+            .partition_point(|m| (m.deliver_at, m.uid) <= (deliver_at, uid));
+        self.queue.insert(pos, msg);
+    }
+
+    /// Processes all traffic due at or before `now`: delivers grants
+    /// (enforcing sequence-number acceptance), routes acks, and fires
+    /// expired retransmission timers. Messages spawned during the poll
+    /// (acks, zero-delay retries) that come due at `now` are processed in
+    /// the same call.
+    pub fn poll(&mut self, now: u64) -> Vec<BusEvent> {
+        let mut events = Vec::new();
+        loop {
+            let progressed =
+                self.deliver_due(now, &mut events) | self.fire_retries(now, &mut events);
+            if !progressed {
+                break;
+            }
+        }
+        events
+    }
+
+    /// Delivers queued messages due at `now`; returns whether anything
+    /// was processed.
+    fn deliver_due(&mut self, now: u64, events: &mut Vec<BusEvent>) -> bool {
+        let mut progressed = false;
+        while let Some(first) = self.queue.first() {
+            if first.deliver_at > now {
+                break;
+            }
+            let msg = self.queue.remove(0);
+            progressed = true;
+            match msg.kind {
+                MsgKind::Grant => self.deliver_grant(msg, now, events),
+                MsgKind::Ack => {
+                    let state = &mut self.links[msg.link];
+                    if state.pending.is_some_and(|p| p.seq == msg.seq) {
+                        state.pending = None;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    fn deliver_grant(&mut self, msg: InFlight, now: u64, events: &mut Vec<BusEvent>) {
+        let grant = GrantMsg {
+            link: LinkId(msg.link),
+            seq: msg.seq,
+            watts: msg.watts,
+        };
+        let accepted = self.links[msg.link].accepted_seq;
+        if msg.seq > accepted {
+            self.links[msg.link].accepted_seq = msg.seq;
+            events.push(BusEvent::Delivered(grant));
+        } else if msg.seq == accepted {
+            events.push(BusEvent::Duplicate(grant));
+        } else {
+            events.push(BusEvent::Stale {
+                msg: grant,
+                accepted,
+            });
+        }
+        // Every delivery is acknowledged (duplicates and stale copies
+        // too: the ack names the copy's own sequence number, and the
+        // sender ignores acks for anything but its pending grant). Acks
+        // are deterministic and lossless — the asymmetry keeps the fault
+        // model focused on the downstream grant channel.
+        self.enqueue(
+            now + self.cfg.delay_ticks,
+            msg.link,
+            MsgKind::Ack,
+            msg.seq,
+            0.0,
+        );
+    }
+
+    /// Fires retransmission timers due at `now`; returns whether any
+    /// retry was attempted.
+    fn fire_retries(&mut self, now: u64, events: &mut Vec<BusEvent>) -> bool {
+        if !self.cfg.retry.enabled() {
+            return false;
+        }
+        let mut progressed = false;
+        for link in 0..self.links.len() {
+            let Some(pending) = self.links[link].pending else {
+                continue;
+            };
+            if pending.next_retry_at > now {
+                continue;
+            }
+            progressed = true;
+            let msg = GrantMsg {
+                link: LinkId(link),
+                seq: pending.seq,
+                watts: pending.watts,
+            };
+            if pending.attempts >= self.cfg.retry.max_attempts {
+                self.links[link].pending = None;
+                events.push(BusEvent::Exhausted(msg));
+                continue;
+            }
+            let attempt = pending.attempts + 1;
+            let backoff = self.cfg.retry.backoff(attempt + 1);
+            let jitter = self.jitter(self.cfg.retry.jitter_ticks);
+            self.links[link].pending = Some(Pending {
+                attempts: attempt,
+                next_retry_at: now + backoff.max(1) + jitter,
+                ..pending
+            });
+            // Retries re-enter the bus fault model (drop/duplicate/delay)
+            // but not the plan-level loss draw: the FaultPlan stream must
+            // replay identically whether or not retries are enabled.
+            let enqueued = self.transmit(link, pending.seq, pending.watts, now);
+            events.push(BusEvent::Retry {
+                msg,
+                attempt,
+                dropped: !enqueued,
+            });
+        }
+        progressed
+    }
+
+    /// Captures the bus's full dynamic state for checkpointing.
+    pub fn snapshot(&self) -> BusSnapshot {
+        BusSnapshot {
+            rng: self.rng.state().to_vec(),
+            next_uid: self.next_uid,
+            links: self
+                .links
+                .iter()
+                .map(|l| LinkSnapshot {
+                    next_seq: l.next_seq,
+                    accepted_seq: l.accepted_seq,
+                    pending: l.pending.map(|p| PendingSnapshot {
+                        seq: p.seq,
+                        watts_bits: p.watts.to_bits(),
+                        attempts: p.attempts,
+                        next_retry_at: p.next_retry_at,
+                    }),
+                })
+                .collect(),
+            queue: self
+                .queue
+                .iter()
+                .map(|m| InFlightSnapshot {
+                    deliver_at: m.deliver_at,
+                    uid: m.uid,
+                    link: m.link,
+                    is_ack: m.kind == MsgKind::Ack,
+                    seq: m.seq,
+                    watts_bits: m.watts.to_bits(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores state captured by [`ControlBus::snapshot`]. The bus must
+    /// have the same links registered (same topology/config).
+    pub fn restore(&mut self, snap: &BusSnapshot) {
+        let mut rng_state = [0u64; 4];
+        for (slot, &word) in rng_state.iter_mut().zip(snap.rng.iter()) {
+            *slot = word;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.next_uid = snap.next_uid;
+        self.links = snap
+            .links
+            .iter()
+            .map(|l| LinkState {
+                next_seq: l.next_seq,
+                accepted_seq: l.accepted_seq,
+                pending: l.pending.as_ref().map(|p| Pending {
+                    seq: p.seq,
+                    watts: f64::from_bits(p.watts_bits),
+                    attempts: p.attempts,
+                    next_retry_at: p.next_retry_at,
+                }),
+            })
+            .collect();
+        self.queue = snap
+            .queue
+            .iter()
+            .map(|m| InFlight {
+                deliver_at: m.deliver_at,
+                uid: m.uid,
+                link: m.link,
+                kind: if m.is_ack {
+                    MsgKind::Ack
+                } else {
+                    MsgKind::Grant
+                },
+                seq: m.seq,
+                watts: f64::from_bits(m.watts_bits),
+            })
+            .collect();
+    }
+}
+
+/// Serializable sender/receiver state of one link (floats bit-packed so
+/// the JSON roundtrip is exact even for non-finite values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSnapshot {
+    /// Sender's next sequence number.
+    pub next_seq: u64,
+    /// Receiver's highest accepted sequence number.
+    pub accepted_seq: u64,
+    /// Unacknowledged grant awaiting retransmission, if any.
+    pub pending: Option<PendingSnapshot>,
+}
+
+/// Serializable retransmission state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingSnapshot {
+    /// Sequence number of the unacked grant.
+    pub seq: u64,
+    /// Granted watts, as IEEE-754 bits.
+    pub watts_bits: u64,
+    /// Retransmissions already performed.
+    pub attempts: u32,
+    /// Tick the next retry timer fires.
+    pub next_retry_at: u64,
+}
+
+/// Serializable in-flight message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InFlightSnapshot {
+    /// Scheduled delivery tick.
+    pub deliver_at: u64,
+    /// Enqueue counter (tie-break).
+    pub uid: u64,
+    /// Link index.
+    pub link: usize,
+    /// `true` for an acknowledgement, `false` for a grant.
+    pub is_ack: bool,
+    /// Sequence number.
+    pub seq: u64,
+    /// Payload watts, as IEEE-754 bits.
+    pub watts_bits: u64,
+}
+
+/// The bus's full dynamic state (checkpoint section).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusSnapshot {
+    /// PRNG state words.
+    pub rng: Vec<u64>,
+    /// Enqueue counter.
+    pub next_uid: u64,
+    /// Per-link state, registration order.
+    pub links: Vec<LinkSnapshot>,
+    /// In-flight queue, delivery order.
+    pub queue: Vec<InFlightSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliveries(events: &[BusEvent]) -> Vec<(usize, u64, f64)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                BusEvent::Delivered(m) => Some((m.link.0, m.seq, m.watts)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn passthrough_delivers_same_tick_in_order() {
+        let mut bus = ControlBus::new(&BusConfig::default());
+        let a = bus.register_link();
+        let b = bus.register_link();
+        bus.send(a, 100.0, 5, false);
+        bus.send(b, 200.0, 5, false);
+        let events = bus.poll(5);
+        assert_eq!(deliveries(&events), vec![(0, 1, 100.0), (1, 1, 200.0)]);
+        assert!(bus.is_idle());
+    }
+
+    #[test]
+    fn passthrough_draws_no_randomness() {
+        let mut bus = ControlBus::new(&BusConfig::default());
+        let rng_before = format!("{:?}", bus.rng);
+        let link = bus.register_link();
+        for t in 0..50 {
+            bus.send(link, t as f64, t, false);
+            bus.poll(t);
+        }
+        assert_eq!(format!("{:?}", bus.rng), rng_before);
+    }
+
+    #[test]
+    fn plan_lost_grant_is_not_enqueued() {
+        let mut bus = ControlBus::new(&BusConfig::default());
+        let link = bus.register_link();
+        let (seq, enqueued) = bus.send(link, 100.0, 0, true);
+        assert_eq!(seq, 1);
+        assert!(!enqueued);
+        assert!(bus.poll(0).is_empty());
+        // The sequence number is still consumed: the next grant overtakes
+        // the lost one.
+        let (seq, _) = bus.send(link, 120.0, 1, false);
+        assert_eq!(seq, 2);
+        assert_eq!(deliveries(&bus.poll(1)), vec![(0, 2, 120.0)]);
+    }
+
+    #[test]
+    fn delayed_delivery_waits_for_its_tick() {
+        let cfg = BusConfig::default().with_delay(3, 0);
+        let mut bus = ControlBus::new(&cfg);
+        let link = bus.register_link();
+        bus.send(link, 50.0, 10, false);
+        assert!(bus.poll(10).is_empty());
+        assert!(bus.poll(12).is_empty());
+        assert_eq!(deliveries(&bus.poll(13)), vec![(0, 1, 50.0)]);
+    }
+
+    #[test]
+    fn stale_grant_is_rejected_after_overtake() {
+        // First grant reordered (held back), second arrives first.
+        let cfg = BusConfig::default();
+        let mut bus = ControlBus::new(&cfg);
+        let link = bus.register_link();
+        // Hand-construct the overtake deterministically: enqueue seq 1
+        // with delay, then seq 2 without.
+        bus.links[link.0].next_seq = 1;
+        bus.enqueue(5, link.0, MsgKind::Grant, 1, 100.0);
+        bus.links[link.0].next_seq = 2;
+        bus.enqueue(3, link.0, MsgKind::Grant, 2, 120.0);
+        let events = bus.poll(3);
+        assert_eq!(deliveries(&events), vec![(0, 2, 120.0)]);
+        let events = bus.poll(5);
+        assert!(deliveries(&events).is_empty());
+        assert!(matches!(
+            events[0],
+            BusEvent::Stale {
+                msg: GrantMsg { seq: 1, .. },
+                accepted: 2,
+            }
+        ));
+        assert_eq!(bus.accepted_seq(link), 2);
+    }
+
+    #[test]
+    fn duplicate_copy_is_dropped_by_receiver() {
+        let cfg = BusConfig::default().with_duplication(1.0);
+        let mut bus = ControlBus::new(&cfg);
+        let link = bus.register_link();
+        bus.send(link, 75.0, 0, false);
+        let events = bus.poll(0);
+        assert_eq!(deliveries(&events), vec![(0, 1, 75.0)]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, BusEvent::Duplicate(GrantMsg { seq: 1, .. }))));
+    }
+
+    #[test]
+    fn dropped_grant_is_retried_until_acked() {
+        let cfg = BusConfig {
+            drop_prob: 1.0,
+            ..BusConfig::default()
+        }
+        .with_retry(RetryConfig {
+            max_attempts: 3,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 16,
+            jitter_ticks: 0,
+        });
+        let mut bus = ControlBus::new(&cfg);
+        let link = bus.register_link();
+        let (_, enqueued) = bus.send(link, 90.0, 0, false);
+        assert!(!enqueued, "drop_prob=1 drops the first copy");
+        let mut retries = 0;
+        let mut exhausted = false;
+        for t in 0..200 {
+            for e in bus.poll(t) {
+                match e {
+                    BusEvent::Retry { dropped, .. } => {
+                        assert!(dropped);
+                        retries += 1;
+                    }
+                    BusEvent::Exhausted(m) => {
+                        assert_eq!(m.seq, 1);
+                        exhausted = true;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(retries, 3);
+        assert!(exhausted);
+        assert!(bus.is_idle());
+    }
+
+    #[test]
+    fn retry_stops_after_ack() {
+        let cfg = BusConfig::default().with_retry(RetryConfig {
+            max_attempts: 5,
+            backoff_base_ticks: 4,
+            backoff_max_ticks: 64,
+            jitter_ticks: 0,
+        });
+        let mut bus = ControlBus::new(&cfg);
+        let link = bus.register_link();
+        bus.send(link, 90.0, 0, false);
+        // Same-tick delivery and ack: the pending slot clears immediately,
+        // so no retry ever fires.
+        let events = bus.poll(0);
+        assert_eq!(deliveries(&events), vec![(0, 1, 90.0)]);
+        for t in 1..100 {
+            assert!(bus.poll(t).is_empty());
+        }
+        assert!(bus.is_idle());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_clamps() {
+        let retry = RetryConfig {
+            max_attempts: 10,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 12,
+            jitter_ticks: 0,
+        };
+        assert_eq!(retry.backoff(1), 2);
+        assert_eq!(retry.backoff(2), 4);
+        assert_eq!(retry.backoff(3), 8);
+        assert_eq!(retry.backoff(4), 12); // clamped
+        assert_eq!(retry.backoff(63), 12);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = BusConfig {
+            seed: 42,
+            delay_ticks: 1,
+            jitter_ticks: 3,
+            drop_prob: 0.2,
+            duplicate_prob: 0.2,
+            reorder_prob: 0.3,
+            reorder_extra_ticks: 4,
+            ..BusConfig::default()
+        };
+        let mut a = ControlBus::new(&cfg);
+        let mut b = ControlBus::new(&cfg);
+        let la = a.register_link();
+        let lb = b.register_link();
+        for t in 0..300 {
+            a.send(la, t as f64, t, false);
+            b.send(lb, t as f64, t, false);
+            assert_eq!(a.poll(t), b.poll(t));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_identically() {
+        let cfg = BusConfig {
+            seed: 7,
+            delay_ticks: 2,
+            jitter_ticks: 2,
+            drop_prob: 0.3,
+            duplicate_prob: 0.2,
+            reorder_prob: 0.2,
+            reorder_extra_ticks: 3,
+            lease_ticks: 10,
+            retry: RetryConfig {
+                max_attempts: 4,
+                backoff_base_ticks: 2,
+                backoff_max_ticks: 32,
+                jitter_ticks: 1,
+            },
+        };
+        let mut live = ControlBus::new(&cfg);
+        let link = live.register_link();
+        for t in 0..40 {
+            live.send(link, 10.0 + t as f64, t, false);
+            live.poll(t);
+        }
+        // Serialize mid-stream, restore into a fresh bus, and check both
+        // produce identical futures.
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let snap: BusSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = ControlBus::new(&cfg);
+        resumed.register_link();
+        resumed.restore(&snap);
+        for t in 40..120 {
+            live.send(link, t as f64, t, false);
+            resumed.send(link, t as f64, t, false);
+            assert_eq!(live.poll(t), resumed.poll(t));
+        }
+    }
+
+    #[test]
+    fn sanitize_clamps_probabilities_and_backoff() {
+        let cfg = BusConfig {
+            drop_prob: 7.0,
+            duplicate_prob: f64::NAN,
+            reorder_prob: -1.0,
+            retry: RetryConfig {
+                max_attempts: 2,
+                backoff_base_ticks: 0,
+                backoff_max_ticks: 0,
+                jitter_ticks: 0,
+            },
+            ..BusConfig::default()
+        }
+        .sanitized();
+        assert_eq!(cfg.drop_prob, 1.0);
+        assert_eq!(cfg.duplicate_prob, 0.0);
+        assert_eq!(cfg.reorder_prob, 0.0);
+        assert_eq!(cfg.retry.backoff_base_ticks, 1);
+        assert!(cfg.retry.backoff_max_ticks >= 1);
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = BusConfig {
+            seed: 3,
+            delay_ticks: 2,
+            jitter_ticks: 1,
+            drop_prob: 0.1,
+            duplicate_prob: 0.05,
+            reorder_prob: 0.2,
+            reorder_extra_ticks: 5,
+            lease_ticks: 120,
+            retry: RetryConfig {
+                max_attempts: 6,
+                backoff_base_ticks: 2,
+                backoff_max_ticks: 64,
+                jitter_ticks: 2,
+            },
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: BusConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -519,6 +519,151 @@ impl Simulation {
             .map(|t| t.failover_events())
             .unwrap_or(0)
     }
+
+    // ----- checkpointing --------------------------------------------------
+
+    /// Captures the simulator's full dynamic state for checkpointing.
+    ///
+    /// Static structure (topology, models, traces, config) is *not*
+    /// captured — a restore target is rebuilt from the same experiment
+    /// configuration first. Float vectors are bit-packed so the JSON
+    /// roundtrip is exact; `residents` is serialized verbatim because
+    /// per-server VM insertion order determines float summation order in
+    /// the hot loop, which bit-exactness depends on.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            placement: self.placement.clone(),
+            residents: self
+                .residents
+                .iter()
+                .map(|r| r.iter().map(|vm| vm.index()).collect())
+                .collect(),
+            on: self.on.clone(),
+            pstate: self.pstate.iter().map(|p| p.index()).collect(),
+            mig_until: self.mig_until.clone(),
+            boot_until: self.boot_until.clone(),
+            tick: self.tick,
+            util_bits: pack_bits(&self.util),
+            power_bits: pack_bits(&self.power),
+            vm_obs_bits: self
+                .vm_obs
+                .iter()
+                .flat_map(|o| {
+                    [
+                        o.demand.to_bits(),
+                        o.granted.to_bits(),
+                        o.delivered.to_bits(),
+                    ]
+                })
+                .collect(),
+            cum_power_bits: pack_bits(&self.cum_power),
+            cum_enc_power_bits: pack_bits(&self.cum_enc_power),
+            cum_util_bits: pack_bits(&self.cum_util),
+            cum_granted_bits: pack_bits(&self.cum_granted),
+            cum_delivered_bits: pack_bits(&self.cum_delivered),
+            cum_demand_bits: pack_bits(&self.cum_demand),
+            pstate_written_this_tick: self.pstate_written_this_tick.clone(),
+            pstate_conflicts: self.pstate_conflicts,
+            migrations_started: self.migrations_started,
+            thermal: self.thermal.clone(),
+            events: self.events.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Simulation::snapshot`]. The target
+    /// must have been built from the same topology, models, traces, and
+    /// config.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.placement = snap.placement.clone();
+        self.residents = snap
+            .residents
+            .iter()
+            .map(|r| r.iter().map(|&vm| VmId(vm)).collect())
+            .collect();
+        self.on = snap.on.clone();
+        self.pstate = snap.pstate.iter().map(|&p| PState(p)).collect();
+        self.mig_until = snap.mig_until.clone();
+        self.boot_until = snap.boot_until.clone();
+        self.tick = snap.tick;
+        self.util = unpack_bits(&snap.util_bits);
+        self.power = unpack_bits(&snap.power_bits);
+        self.vm_obs = snap
+            .vm_obs_bits
+            .chunks_exact(3)
+            .map(|c| VmObservation {
+                demand: f64::from_bits(c[0]),
+                granted: f64::from_bits(c[1]),
+                delivered: f64::from_bits(c[2]),
+            })
+            .collect();
+        self.cum_power = unpack_bits(&snap.cum_power_bits);
+        self.cum_enc_power = unpack_bits(&snap.cum_enc_power_bits);
+        self.cum_util = unpack_bits(&snap.cum_util_bits);
+        self.cum_granted = unpack_bits(&snap.cum_granted_bits);
+        self.cum_delivered = unpack_bits(&snap.cum_delivered_bits);
+        self.cum_demand = unpack_bits(&snap.cum_demand_bits);
+        self.pstate_written_this_tick = snap.pstate_written_this_tick.clone();
+        self.pstate_conflicts = snap.pstate_conflicts;
+        self.migrations_started = snap.migrations_started;
+        self.thermal = snap.thermal.clone();
+        self.events = snap.events.clone();
+    }
+}
+
+fn pack_bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn unpack_bits(bits: &[u64]) -> Vec<f64> {
+    bits.iter().map(|&b| f64::from_bits(b)).collect()
+}
+
+/// The simulator's full dynamic state (checkpoint section). All floats
+/// are stored as IEEE-754 bit patterns so serialization is lossless.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimSnapshot {
+    /// The `X` matrix.
+    pub placement: Placement,
+    /// Per-server resident VM lists, insertion order preserved.
+    pub residents: Vec<Vec<usize>>,
+    /// Per-server power switch.
+    pub on: Vec<bool>,
+    /// Per-server P-state indices.
+    pub pstate: Vec<usize>,
+    /// Per-VM migration-penalty end ticks.
+    pub mig_until: Vec<u64>,
+    /// Per-server boot-window end ticks.
+    pub boot_until: Vec<u64>,
+    /// Completed steps.
+    pub tick: u64,
+    /// Last-tick utilization, bit-packed.
+    pub util_bits: Vec<u64>,
+    /// Last-tick power, bit-packed.
+    pub power_bits: Vec<u64>,
+    /// Per-VM observations, three words (demand, granted, delivered) each.
+    pub vm_obs_bits: Vec<u64>,
+    /// Cumulative server power, bit-packed.
+    pub cum_power_bits: Vec<u64>,
+    /// Cumulative enclosure power, bit-packed.
+    pub cum_enc_power_bits: Vec<u64>,
+    /// Cumulative utilization, bit-packed.
+    pub cum_util_bits: Vec<u64>,
+    /// Cumulative granted work, bit-packed.
+    pub cum_granted_bits: Vec<u64>,
+    /// Cumulative delivered work, bit-packed.
+    pub cum_delivered_bits: Vec<u64>,
+    /// Cumulative demand, bit-packed.
+    pub cum_demand_bits: Vec<u64>,
+    /// Same-tick P-state write flags.
+    pub pstate_written_this_tick: Vec<bool>,
+    /// Conflicting-write counter.
+    pub pstate_conflicts: u64,
+    /// Migration counter.
+    pub migrations_started: u64,
+    /// Thermal state, if tracking is enabled.
+    pub thermal: Option<ThermalState>,
+    /// The structured event log.
+    pub events: EventLog,
 }
 
 #[cfg(test)]
@@ -787,6 +932,36 @@ mod tests {
         let mut sim = small_sim(&[0.1]);
         sim.set_pstate(ServerId(0), PState(99));
         assert_eq!(sim.pstate(ServerId(0)), PState(4));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_exactly() {
+        let mut live = small_sim(&[0.3, 0.6, 0.9]);
+        for _ in 0..7 {
+            live.step();
+        }
+        live.set_pstate(ServerId(1), PState(3));
+        // Serialize mid-run, restore into a freshly built twin, and
+        // require bit-identical trajectories from there on.
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let snap: SimSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = small_sim(&[0.3, 0.6, 0.9]);
+        resumed.restore(&snap);
+        assert_eq!(resumed.now(), live.now());
+        for _ in 0..20 {
+            live.step();
+            resumed.step();
+            for i in 0..3 {
+                assert_eq!(
+                    live.server_power(ServerId(i)).to_bits(),
+                    resumed.server_power(ServerId(i)).to_bits()
+                );
+            }
+        }
+        assert_eq!(
+            live.total_energy().to_bits(),
+            resumed.total_energy().to_bits()
+        );
     }
 
     #[test]

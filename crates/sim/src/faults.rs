@@ -395,6 +395,74 @@ impl FaultInjector {
         let u2: f64 = self.rng.gen();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
+
+    /// Captures the injector's dynamic state (PRNG position, frozen
+    /// sensors, jammed actuators) for checkpointing. Held sensor values
+    /// are bit-packed so the JSON roundtrip is exact; the stuck-sensor
+    /// map is sorted so snapshots of equal states are byte-identical.
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        let mut stuck_sensors: Vec<StuckSensorSnapshot> = self
+            .stuck_sensors
+            .iter()
+            .map(|(&(channel, index), &(value, until))| StuckSensorSnapshot {
+                channel,
+                index,
+                value_bits: value.to_bits(),
+                until,
+            })
+            .collect();
+        stuck_sensors.sort_by_key(|s| (s.channel as u8, s.index));
+        InjectorSnapshot {
+            rng: self.rng.state().to_vec(),
+            stuck_sensors,
+            stuck_actuators: self.stuck_actuators.clone(),
+        }
+    }
+
+    /// Restores state captured by [`FaultInjector::snapshot`]. The
+    /// injector must have been built from the same plan and fleet size.
+    pub fn restore(&mut self, snap: &InjectorSnapshot) {
+        let mut rng_state = [0u64; 4];
+        for (slot, &word) in rng_state.iter_mut().zip(snap.rng.iter()) {
+            *slot = word;
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.stuck_sensors = snap
+            .stuck_sensors
+            .iter()
+            .map(|s| {
+                (
+                    (s.channel, s.index),
+                    (f64::from_bits(s.value_bits), s.until),
+                )
+            })
+            .collect();
+        self.stuck_actuators = snap.stuck_actuators.clone();
+    }
+}
+
+/// One frozen sensor in a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckSensorSnapshot {
+    /// The frozen channel.
+    pub channel: SensorChannel,
+    /// Sensor index within the channel.
+    pub index: usize,
+    /// Held value, as IEEE-754 bits.
+    pub value_bits: u64,
+    /// First tick the sensor thaws.
+    pub until: u64,
+}
+
+/// The fault injector's full dynamic state (checkpoint section).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectorSnapshot {
+    /// PRNG state words.
+    pub rng: Vec<u64>,
+    /// Frozen sensors, sorted by (channel, index).
+    pub stuck_sensors: Vec<StuckSensorSnapshot>,
+    /// Per-server actuator thaw ticks.
+    pub stuck_actuators: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -579,6 +647,34 @@ mod tests {
         assert_eq!(plan.actuator.stuck_prob, 0.0); // non-finite rejected, not clamped
         assert_eq!(plan.actuator.message_loss_prob, 1.0);
         assert!(plan.outages.is_empty());
+    }
+
+    #[test]
+    fn injector_snapshot_resumes_fault_stream() {
+        let plan = noisy_plan();
+        let mut live = FaultInjector::new(&plan, 8);
+        for t in 0..300 {
+            let i = (t as usize) % 8;
+            live.sense(SensorChannel::ServerPower, i, t, 100.0 + t as f64);
+            live.pstate_write_blocked(i, t);
+            live.budget_message_lost();
+        }
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let snap: InjectorSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = FaultInjector::new(&plan, 8);
+        resumed.restore(&snap);
+        for t in 300..600 {
+            let i = (t as usize) % 8;
+            assert_eq!(
+                live.sense(SensorChannel::ServerPower, i, t, 50.0),
+                resumed.sense(SensorChannel::ServerPower, i, t, 50.0)
+            );
+            assert_eq!(
+                live.pstate_write_blocked(i, t),
+                resumed.pstate_write_blocked(i, t)
+            );
+            assert_eq!(live.budget_message_lost(), resumed.budget_message_lost());
+        }
     }
 
     #[test]

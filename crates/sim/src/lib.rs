@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
 mod config;
 pub mod cooling;
 mod engine;
@@ -53,13 +54,14 @@ mod placement;
 mod thermal;
 mod topology;
 
+pub use bus::{BusConfig, BusEvent, BusSnapshot, ControlBus, GrantMsg, LinkId, RetryConfig};
 pub use config::SimConfig;
-pub use engine::{Simulation, VmObservation};
+pub use engine::{SimSnapshot, Simulation, VmObservation};
 pub use error::SimError;
 pub use events::{Event, EventLog, LoggedEvent};
 pub use faults::{
-    ActuatorFaultSpec, ControllerLayer, FaultInjector, FaultPlan, OutageWindow, Reading,
-    SensorChannel, SensorFaultSpec,
+    ActuatorFaultSpec, ControllerLayer, FaultInjector, FaultPlan, InjectorSnapshot, OutageWindow,
+    Reading, SensorChannel, SensorFaultSpec,
 };
 pub use ids::{EnclosureId, RackId, ServerId, VmId};
 pub use placement::{Migration, Placement};

@@ -11,7 +11,7 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every subcommand
 //! maps onto the library's public API.
 
-use no_power_struggles::core::{load_results, run_sweep, save_results};
+use no_power_struggles::core::{load_results, run_sweep, run_sweep_resumable, save_results};
 use no_power_struggles::prelude::*;
 use no_power_struggles::traces::io as trace_io;
 
@@ -46,7 +46,8 @@ fn print_help() {
          \x20               [--budgets G-E-L] [--horizon N] [--seed N]\n\
          \x20               [--policy <proportional|fair|fifo|random|priority|history>]\n\
          \x20               [--mask <all|novmc|vmconly>] [--json FILE]\n\
-         \x20 npsctl sweep  --out FILE [--horizon N] [--seed N]   # Figure-7 grid\n\
+         \x20               [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
+         \x20 npsctl sweep  --out FILE [--horizon N] [--seed N] [--resume FILE]\n\
          \x20 npsctl corpus --out FILE [--csv FILE] [--len N] [--seed N]\n\
          \x20 npsctl models                                       # print model tables"
     );
@@ -185,8 +186,27 @@ fn cmd_run(args: &[String]) -> i32 {
         }
     }
     let cfg = scenario.build();
+    let checkpoint = flag(args, "--checkpoint");
+    let every: u64 = match flag(args, "--checkpoint-every") {
+        None => 0,
+        Some(n) => match n.parse() {
+            Ok(v) => v,
+            Err(_) => return fail(format!("bad --checkpoint-every `{n}`")),
+        },
+    };
+    if every > 0 && checkpoint.is_none() {
+        return fail("--checkpoint-every requires --checkpoint FILE".to_string());
+    }
+    let resume = flag(args, "--resume");
     println!("running: {}", cfg.label);
-    let result = run_experiment(&cfg);
+    let result = if checkpoint.is_some() || resume.is_some() {
+        match run_checkpointed(&cfg, resume, checkpoint, every) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        }
+    } else {
+        run_experiment(&cfg)
+    };
     let c = &result.comparison;
     let mut table = Table::new(vec!["metric", "value"]);
     table.row(vec![
@@ -226,6 +246,52 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
+/// The crash-recoverable run path: resumes from a checkpoint file if
+/// given, writes a checkpoint every `every` ticks (atomically, so a
+/// SIGKILL mid-write can't corrupt it), and reproduces the exact result
+/// an uninterrupted [`run_experiment`] would have produced — the
+/// trajectory is bit-identical, and the fault-free baseline is re-run
+/// deterministically at the end.
+fn run_checkpointed(
+    cfg: &ExperimentConfig,
+    resume: Option<&str>,
+    checkpoint: Option<&str>,
+    every: u64,
+) -> Result<ExperimentResult, String> {
+    let mut runner = match resume {
+        Some(path) => {
+            let snap = RunnerSnapshot::load(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let runner = Runner::resume(cfg, &snap).map_err(|e| e.to_string())?;
+            println!("resumed from {path} at tick {}", runner.ticks_done());
+            runner
+        }
+        None => Runner::new(cfg),
+    };
+    while runner.ticks_done() < cfg.horizon {
+        runner.tick();
+        if let (Some(path), true) = (checkpoint, every > 0) {
+            let t = runner.ticks_done();
+            if t % every == 0 && t < cfg.horizon {
+                runner
+                    .snapshot()
+                    .save(path)
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+        }
+    }
+    let run = runner.stats();
+    let mut baseline_cfg = cfg.clone();
+    baseline_cfg.mask = ControllerMask::NONE;
+    baseline_cfg.label = format!("{} (baseline)", cfg.label);
+    baseline_cfg.faults = FaultPlan::disabled();
+    let baseline = Runner::new(&baseline_cfg).run_to_horizon();
+    Ok(ExperimentResult {
+        label: cfg.label.clone(),
+        comparison: Comparison::against_baseline(run, &baseline),
+        baseline,
+    })
+}
+
 fn cmd_sweep(args: &[String]) -> i32 {
     let Some(out) = flag(args, "--out") else {
         return fail("sweep requires --out FILE".to_string());
@@ -253,7 +319,20 @@ fn cmd_sweep(args: &[String]) -> i32 {
         }
     }
     println!("running {} configurations (Figure-7 grid)…", cfgs.len());
-    let outcomes = run_sweep(&cfgs, 0);
+    let outcomes = match flag(args, "--resume") {
+        Some(path) => {
+            let completed = match load_results(path) {
+                Ok(r) => r,
+                Err(e) => return fail(format!("reading {path}: {e}")),
+            };
+            println!(
+                "resuming: {} completed result(s) loaded from {path}",
+                completed.len()
+            );
+            run_sweep_resumable(&cfgs, &completed, 0)
+        }
+        None => run_sweep(&cfgs, 0),
+    };
     let mut results = Vec::with_capacity(outcomes.len());
     let mut failures = 0;
     for outcome in outcomes {

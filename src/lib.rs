@@ -62,8 +62,9 @@ pub mod prelude {
         FrequencyArbiter, GroupCapper, ServerManager,
     };
     pub use nps_core::{
-        run_experiment, BudgetSpec, ControllerMask, CoordinationMode, ExperimentConfig,
-        ExperimentResult, Intervals, PolicyKind, Runner, Scenario, SystemKind,
+        load_results, run_experiment, run_sweep, run_sweep_resumable, save_results, BudgetSpec,
+        ControllerMask, CoordinationMode, ExperimentConfig, ExperimentResult, Intervals,
+        PolicyKind, Runner, RunnerSnapshot, Scenario, SweepError, SystemKind,
     };
     pub use nps_metrics::{
         BudgetLevel, Comparison, ControllerKind, EventKind, FaultStats, NoopRecorder, Recorder,
@@ -72,8 +73,8 @@ pub mod prelude {
     pub use nps_models::{ModelTable, PState, ServerModel};
     pub use nps_opt::{Objective, Vmc, VmcConfig};
     pub use nps_sim::{
-        ControllerLayer, FaultPlan, Placement, RackId, ServerId, SimConfig, Simulation,
-        ThermalConfig, Topology, VmId,
+        BusConfig, BusEvent, ControlBus, ControllerLayer, FaultPlan, GrantMsg, LinkId, Placement,
+        RackId, RetryConfig, ServerId, SimConfig, Simulation, ThermalConfig, Topology, VmId,
     };
     pub use nps_traces::{Corpus, Mix, UtilTrace, WorkloadClass};
 }

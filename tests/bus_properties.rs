@@ -1,0 +1,247 @@
+//! Property tests for the control-plane bus (nps-sim::bus) and its
+//! runner integration: sequence-number acceptance must be monotone under
+//! arbitrary delay/reorder/duplicate/drop schedules, lease expiry must
+//! never leave a grant dangling above the static cap, and a zero-fault
+//! zero-delay bus must be bit-identical to the direct-write passthrough
+//! path.
+
+use no_power_struggles::prelude::*;
+use proptest::prelude::*;
+
+const NUM_LINKS: usize = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any fault schedule, each receiver's accepted sequence
+    /// number only ever moves forward: `Delivered` events carry strictly
+    /// increasing seqs per link, duplicates/stale arrivals are rejected,
+    /// and the bus drains to idle once traffic stops.
+    #[test]
+    fn accepted_seq_never_moves_backward(
+        delay in 0u64..3,
+        jitter in 0u64..3,
+        drop in 0.0f64..0.4,
+        dup in 0.0f64..0.4,
+        reorder in 0.0f64..0.5,
+        extra in 0u64..4,
+        attempts in 0u32..4,
+        seed in 0u64..1_000,
+        sends in 1u64..60,
+    ) {
+        let cfg = BusConfig::default()
+            .with_seed(seed)
+            .with_delay(delay, jitter)
+            .with_drop(drop)
+            .with_duplication(dup)
+            .with_reordering(reorder, extra)
+            .with_retry(RetryConfig {
+                max_attempts: attempts,
+                backoff_base_ticks: 1,
+                backoff_max_ticks: 8,
+                jitter_ticks: 1,
+            });
+        let mut bus = ControlBus::new(&cfg);
+        let links: Vec<LinkId> = (0..NUM_LINKS).map(|_| bus.register_link()).collect();
+        let mut last_delivered = vec![0u64; NUM_LINKS];
+        let mut last_accepted = vec![0u64; NUM_LINKS];
+
+        let check = |bus: &mut ControlBus, now: u64,
+                         last_delivered: &mut Vec<u64>,
+                         last_accepted: &mut Vec<u64>| {
+            for ev in bus.poll(now) {
+                match ev {
+                    BusEvent::Delivered(m) => {
+                        prop_assert!(
+                            m.seq > last_delivered[m.link.0],
+                            "link {} delivered seq {} after {}",
+                            m.link.0, m.seq, last_delivered[m.link.0]
+                        );
+                        last_delivered[m.link.0] = m.seq;
+                    }
+                    BusEvent::Duplicate(m) => prop_assert!(
+                        m.seq <= last_delivered[m.link.0],
+                        "duplicate of a never-delivered seq"
+                    ),
+                    BusEvent::Stale { msg, accepted } => prop_assert!(
+                        msg.seq < accepted,
+                        "stale rejection of a non-overtaken seq"
+                    ),
+                    BusEvent::Retry { .. } | BusEvent::Exhausted(_) => {}
+                }
+            }
+            for (k, link) in links.iter().enumerate() {
+                let acc = bus.accepted_seq(*link);
+                prop_assert!(acc >= last_accepted[k], "accepted seq regressed");
+                prop_assert_eq!(acc, last_delivered[k],
+                    "accepted seq must track delivered grants");
+                last_accepted[k] = acc;
+            }
+            Ok(())
+        };
+
+        for t in 0..sends {
+            let link = links[(t as usize) % NUM_LINKS];
+            let watts = 100.0 + t as f64;
+            bus.send(link, watts, t, false);
+            check(&mut bus, t, &mut last_delivered, &mut last_accepted)?;
+        }
+        // Drain: enough ticks for any delayed/reordered/retried copy.
+        for t in sends..sends + 200 {
+            check(&mut bus, t, &mut last_delivered, &mut last_accepted)?;
+        }
+        prop_assert!(bus.is_idle(), "bus must drain once traffic stops");
+    }
+
+    /// Runner-level lease invariant: at every checkpointable boundary,
+    /// an unleased grant slot is unlimited (the static cap binds) and a
+    /// leased slot's effective cap never exceeds the local static cap —
+    /// i.e. expiry never strands a cap above `min(lease, CAP_LOC)`.
+    #[test]
+    fn lease_expiry_never_strands_a_cap(
+        drop in 0.0f64..0.5,
+        delay in 0u64..3,
+        lease in 5u64..40,
+        seed in 0u64..100,
+    ) {
+        let bus = BusConfig::default()
+            .with_seed(seed)
+            .with_delay(delay, 1)
+            .with_drop(drop)
+            .with_reordering(0.2, 2)
+            .with_leases(lease)
+            .with_retry(RetryConfig {
+                max_attempts: 2,
+                backoff_base_ticks: 2,
+                backoff_max_ticks: 8,
+                jitter_ticks: 1,
+            });
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::Hh60,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(150)
+        .seed(seed)
+        .bus(bus)
+        .build();
+        let mut runner = Runner::new(&cfg);
+        let inf = f64::INFINITY.to_bits();
+        while runner.ticks_done() < 150 {
+            for _ in 0..10 {
+                runner.tick();
+            }
+            let snap = runner.snapshot();
+            let now = runner.ticks_done();
+            for (i, (&cap, &until)) in snap
+                .bank
+                .granted_cap_bits
+                .iter()
+                .zip(&snap.bank.lease_until)
+                .enumerate()
+            {
+                if until == u64::MAX {
+                    prop_assert_eq!(
+                        cap, inf,
+                        "server {} unleased but cap {} still granted at tick {}",
+                        i, f64::from_bits(cap), now
+                    );
+                } else {
+                    prop_assert!(
+                        f64::from_bits(cap).is_finite(),
+                        "server {} leased an unlimited grant", i
+                    );
+                }
+            }
+            for (e, em) in snap.ems.iter().enumerate() {
+                if em.lease_until == u64::MAX {
+                    prop_assert_eq!(
+                        em.granted_cap_bits, inf,
+                        "enclosure {} unleased but still capped", e
+                    );
+                }
+            }
+        }
+        // The fault machinery actually engaged (leases only lapse when a
+        // refresh is lost or late, so only require it under real drop).
+        if drop > 0.2 {
+            let f = runner.fault_stats();
+            prop_assert!(
+                f.messages_lost + f.grant_retries + f.leases_expired > 0,
+                "fault schedule produced no bus activity"
+            );
+        }
+    }
+
+    /// A zero-fault zero-delay bus — even with retries armed and leases
+    /// far beyond the horizon — is bit-identical to the passthrough
+    /// direct-write path.
+    #[test]
+    fn zero_fault_bus_matches_passthrough_bit_exactly(seed in 0u64..50) {
+        let base = Scenario::paper(
+            SystemKind::ServerB,
+            Mix::H60,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(200)
+        .seed(seed);
+
+        let passthrough = base.clone().build();
+        let armed = base
+            .bus(
+                BusConfig::default()
+                    .with_seed(seed ^ 0xdead)
+                    .with_leases(100_000)
+                    .with_retry(RetryConfig {
+                        max_attempts: 3,
+                        backoff_base_ticks: 1,
+                        backoff_max_ticks: 8,
+                        jitter_ticks: 0,
+                    }),
+            )
+            .build();
+
+        let mut a = Runner::new(&passthrough);
+        let mut b = Runner::new(&armed);
+        let sa = a.run_to_horizon();
+        let sb = b.run_to_horizon();
+        prop_assert_eq!(sa, sb, "armed-but-quiet bus diverged from passthrough");
+        prop_assert_eq!(a.fault_stats(), b.fault_stats());
+    }
+}
+
+/// Bus fault counters surface in `FaultStats` and telemetry under an
+/// aggressive delivery-fault schedule.
+#[test]
+fn bus_faults_are_counted_and_observable() {
+    let bus = BusConfig::default()
+        .with_seed(7)
+        .with_delay(1, 2)
+        .with_drop(0.3)
+        .with_duplication(0.2)
+        .with_reordering(0.3, 3)
+        .with_leases(12)
+        .with_retry(RetryConfig {
+            max_attempts: 2,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 8,
+            jitter_ticks: 1,
+        });
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated)
+        .horizon(400)
+        .seed(11)
+        .bus(bus)
+        .build();
+    let mut runner = Runner::new(&cfg);
+    runner.enable_ring_telemetry(1 << 20);
+    let stats = runner.run_to_horizon();
+    assert!(stats.energy.is_finite() && stats.energy > 0.0);
+    let f = runner.fault_stats();
+    assert!(f.grant_retries > 0, "drops must trigger retransmissions");
+    assert!(f.leases_expired > 0, "lost refreshes must lapse leases");
+    let ring = runner.ring_telemetry().expect("ring installed");
+    assert!(ring.count(EventKind::GrantRetry) > 0);
+    assert!(ring.count(EventKind::LeaseExpired) > 0);
+    assert_eq!(ring.count(EventKind::GrantRetry), f.grant_retries);
+    assert_eq!(ring.count(EventKind::LeaseExpired), f.leases_expired);
+}

@@ -1,0 +1,191 @@
+//! Checkpoint/restore integration tests: a run interrupted at an
+//! arbitrary tick and resumed from its serialized [`RunnerSnapshot`]
+//! must reproduce the uninterrupted trajectory to `f64::to_bits`
+//! equality — including under active sensor/actuator faults, bus
+//! delivery faults, leases, and retries.
+
+use no_power_struggles::prelude::*;
+
+const HORIZON: u64 = 300;
+
+/// A configuration that exercises every stateful subsystem at once:
+/// plan-level faults (shared injector RNG), bus delivery faults (bus
+/// RNG + in-flight queues + retry timers), leases, and the VMC.
+fn stressed_config() -> ExperimentConfig {
+    let plan = FaultPlan::disabled()
+        .with_seed(99)
+        .with_sensor_noise(0.02)
+        .with_stuck_sensors(0.01, 12)
+        .with_dropped_samples(0.01)
+        .with_stuck_actuators(0.005, 8)
+        .with_message_loss(0.02)
+        .with_outage(ControllerLayer::Em, Some(0), 80, 140);
+    let bus = BusConfig::default()
+        .with_seed(4242)
+        .with_delay(1, 1)
+        .with_drop(0.05)
+        .with_duplication(0.03)
+        .with_reordering(0.05, 2)
+        .with_leases(40)
+        .with_retry(RetryConfig {
+            max_attempts: 3,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 16,
+            jitter_ticks: 1,
+        });
+    Scenario::paper(SystemKind::ServerB, Mix::H60, CoordinationMode::Coordinated)
+        .horizon(HORIZON)
+        .seed(17)
+        .faults(plan)
+        .bus(bus)
+        .build()
+}
+
+/// A quieter configuration (no faults, passthrough bus) so resumption is
+/// also proven on the default path.
+fn quiet_config() -> ExperimentConfig {
+    Scenario::paper(SystemKind::BladeA, Mix::M60, CoordinationMode::Coordinated)
+        .horizon(HORIZON)
+        .seed(5)
+        .build()
+}
+
+/// Runs `cfg` uninterrupted and returns its final stats and a terminal
+/// snapshot (full bit-packed state).
+fn run_uninterrupted(cfg: &ExperimentConfig) -> (RunStats, RunnerSnapshot) {
+    let mut runner = Runner::new(cfg);
+    let stats = runner.run_to_horizon();
+    let snap = runner.snapshot();
+    (stats, snap)
+}
+
+/// Runs `cfg` to `split`, checkpoints through a JSON round-trip (the
+/// same serialization `npsctl --checkpoint-every` writes to disk), then
+/// resumes a *fresh* runner from the parsed snapshot and finishes the
+/// horizon.
+fn run_killed_and_resumed(cfg: &ExperimentConfig, split: u64) -> (RunStats, RunnerSnapshot) {
+    let mut first = Runner::new(cfg);
+    while first.ticks_done() < split {
+        first.tick();
+    }
+    let snap = first.snapshot();
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    drop(first); // the "killed" process
+    let parsed: RunnerSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+    let mut resumed = Runner::resume(cfg, &parsed).expect("snapshot restores");
+    assert_eq!(
+        resumed.ticks_done(),
+        split,
+        "resume lands on the split tick"
+    );
+    let stats = resumed.run_to_horizon();
+    let snap = resumed.snapshot();
+    (stats, snap)
+}
+
+#[test]
+fn kill_and_resume_is_bit_exact_under_full_fault_load() {
+    let cfg = stressed_config();
+    let (base_stats, base_snap) = run_uninterrupted(&cfg);
+    // Split points cover: immediately after the first tick, mid-outage
+    // (EM down, leases expiring), and just before the horizon.
+    for split in [1, 57, 100, 250, HORIZON - 1] {
+        let (stats, snap) = run_killed_and_resumed(&cfg, split);
+        assert_eq!(
+            stats, base_stats,
+            "stats diverged after resuming from tick {split}"
+        );
+        assert_eq!(
+            snap, base_snap,
+            "terminal state diverged after resuming from tick {split}"
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_is_bit_exact_on_the_default_path() {
+    let cfg = quiet_config();
+    let (base_stats, base_snap) = run_uninterrupted(&cfg);
+    for split in [1, 149, HORIZON / 2] {
+        let (stats, snap) = run_killed_and_resumed(&cfg, split);
+        assert_eq!(stats, base_stats);
+        assert_eq!(snap, base_snap);
+    }
+}
+
+#[test]
+fn snapshot_json_roundtrip_is_identity() {
+    let cfg = stressed_config();
+    let mut runner = Runner::new(&cfg);
+    for _ in 0..123 {
+        runner.tick();
+    }
+    let snap = runner.snapshot();
+    let json = serde_json::to_string_pretty(&snap).expect("serializes");
+    let parsed: RunnerSnapshot = serde_json::from_str(&json).expect("parses");
+    assert_eq!(parsed, snap, "JSON round-trip must preserve every bit");
+}
+
+#[test]
+fn restore_rejects_foreign_and_future_checkpoints() {
+    let cfg = stressed_config();
+    let mut runner = Runner::new(&cfg);
+    for _ in 0..10 {
+        runner.tick();
+    }
+    let snap = runner.snapshot();
+
+    // Wrong experiment: the label guard refuses the restore.
+    let other = quiet_config();
+    let err = Runner::resume(&other, &snap).expect_err("label mismatch must be rejected");
+    assert!(
+        err.to_string().contains("checkpoint"),
+        "unexpected error: {err}"
+    );
+
+    // Future format version: refused rather than misinterpreted.
+    let mut future = snap.clone();
+    future.version += 1;
+    let err = Runner::resume(&cfg, &future).expect_err("version mismatch must be rejected");
+    assert!(
+        err.to_string().contains("version"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn checkpoint_emits_telemetry_markers() {
+    let cfg = quiet_config();
+    let mut runner = Runner::new(&cfg);
+    runner.enable_ring_telemetry(1 << 16);
+    for _ in 0..20 {
+        runner.tick();
+    }
+    let snap = runner.snapshot();
+    let mut resumed = Runner::new(&cfg);
+    resumed.enable_ring_telemetry(1 << 16);
+    resumed.restore(&snap).expect("restores");
+    let saved = runner
+        .ring_telemetry()
+        .expect("ring installed")
+        .events()
+        .any(|e| {
+            matches!(
+                e,
+                TelemetryEvent::Checkpoint {
+                    restored: false,
+                    ..
+                }
+            )
+        });
+    let restored = resumed
+        .ring_telemetry()
+        .expect("ring installed")
+        .events()
+        .any(|e| matches!(e, TelemetryEvent::Checkpoint { restored: true, .. }));
+    assert!(saved, "snapshot() must emit a Checkpoint{{restored:false}}");
+    assert!(
+        restored,
+        "restore() must emit a Checkpoint{{restored:true}}"
+    );
+}

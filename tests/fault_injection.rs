@@ -152,3 +152,52 @@ fn fault_counters_are_deterministic_for_a_fixed_seed() {
     assert_eq!(f1, f2);
     assert!(f1.total_faults() > 0);
 }
+
+#[test]
+fn tick_zero_dropped_sample_degrades_to_idle_power_not_zero() {
+    // Regression: the hold-last-good sensor stores used to start at 0.0,
+    // so a sample dropped before the first clean reading handed the
+    // controllers a phantom zero-watt observation. They are now seeded
+    // at each server's idle operating point.
+    let plan = FaultPlan::disabled().with_seed(3).with_dropped_samples(1.0);
+    let cfg = scenario(CoordinationMode::Coordinated).faults(plan).build();
+    let mut runner = Runner::new(&cfg);
+
+    // The seeded stores are visible through the checkpoint, before any
+    // tick has produced a clean reading.
+    let snap = runner.snapshot();
+    let idle = ServerModel::blade_a().idle_power(0);
+    assert!(idle > 0.0, "blade A idles above zero watts");
+    for &bits in &snap.last_power_sm_bits {
+        let w = f64::from_bits(bits);
+        assert!(
+            w >= idle,
+            "per-server last-good power seeded at {w} W, below idle {idle} W"
+        );
+    }
+    for &bits in &snap
+        .last_encpow_em_bits
+        .iter()
+        .chain(&snap.last_child_gm_bits)
+        .collect::<Vec<_>>()
+    {
+        assert!(
+            f64::from_bits(*bits) > 0.0,
+            "enclosure/group last-good stores must not start at 0.0"
+        );
+    }
+
+    // With every sample dropped from tick 0, the controllers only ever
+    // see the seeded values — the run must still be physically sane.
+    let stats = runner.run_to_horizon();
+    let faults = runner.fault_stats();
+    assert!(faults.sensor_dropped > 0);
+    assert!(stats.energy.is_finite() && stats.energy > 0.0);
+    let snap = runner.snapshot();
+    for &bits in &snap.last_power_sm_bits {
+        assert!(
+            f64::from_bits(bits) >= idle,
+            "dropped samples must degrade to the idle seed, not decay to 0.0"
+        );
+    }
+}

@@ -223,6 +223,40 @@ fn golden_server_b_60h_coordinated_faults() {
 }
 
 #[test]
+fn golden_multi_rack_bus_faults() {
+    // Scale-out topology with the control-plane bus under delivery
+    // faults: delayed/reordered/duplicated/dropped grants, leases, and
+    // retransmission with backoff. Pins the bus fault model's RNG
+    // stream and the lease state machine bit-exactly.
+    let bus = BusConfig::default()
+        .with_seed(31)
+        .with_delay(1, 1)
+        .with_drop(0.04)
+        .with_duplication(0.02)
+        .with_reordering(0.05, 2)
+        .with_leases(30)
+        .with_retry(RetryConfig {
+            max_attempts: 2,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 16,
+            jitter_ticks: 1,
+        });
+    let cfg = Scenario::multi_rack(
+        SystemKind::BladeA,
+        CoordinationMode::Coordinated,
+        2,
+        2,
+        4,
+        2,
+    )
+    .horizon(400)
+    .seed(29)
+    .bus(bus)
+    .build();
+    check_golden("multi_rack_bus_faults", &cfg);
+}
+
+#[test]
 fn golden_hetero_electrical_coordinated() {
     let cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
         .heterogeneous()
