@@ -1,11 +1,16 @@
 //! **Scaling sweep** — epoch cost of the batched structure-of-arrays
 //! engine from 48 to 1 536 servers (multi-rack topologies), reported as
-//! wall-clock per tick and per server-tick. With `NPS_JSON_OUT_DIR` set,
-//! the sweep is written as `BENCH_scale.json` (CI's perf-smoke artifact).
+//! wall-clock per tick and per server-tick, at worker-thread counts 1, 2
+//! and 4. With `NPS_JSON_OUT_DIR` set, the sweep is written as
+//! `BENCH_scale.json` (CI's perf-smoke artifact), one row per
+//! (fleet size, thread count).
 //!
 //! Each point uses `Scenario::multi_rack`: `n/48` racks of 2 enclosures
 //! × 16 blades plus `n/3` standalone servers, driven by the enterprise
 //! trace corpus tiled across sites, under the coordinated architecture.
+//! Parallel execution is bit-identical to sequential, so the thread
+//! sweep isolates pure throughput: every row at a given fleet size
+//! reports the same `mean_power_w`.
 
 use nps_bench::{banner, horizon, seed, write_json_artifact};
 use nps_core::{CoordinationMode, Runner, Scenario, SystemKind};
@@ -16,6 +21,10 @@ use std::time::Instant;
 /// Server counts swept; 48 is one rack + standalone, then ×2 up to 1 536.
 const SIZES: [usize; 6] = [48, 96, 192, 384, 768, 1536];
 
+/// Worker-thread counts swept at every fleet size (CI checks the 4-vs-1
+/// speedup on the largest fleet).
+const THREADS: [usize; 3] = [1, 2, 4];
+
 #[derive(Serialize)]
 struct ScaleRow {
     servers: usize,
@@ -23,6 +32,7 @@ struct ScaleRow {
     enclosures_per_rack: usize,
     blades_per_enclosure: usize,
     standalone: usize,
+    threads: usize,
     horizon: u64,
     build_ms: f64,
     run_ms: f64,
@@ -33,13 +43,14 @@ struct ScaleRow {
 
 fn main() {
     banner(
-        "Scaling sweep: batched SoA engine, 48 -> 1536 servers",
-        "DESIGN.md \u{a7}8; multi-rack extension of the paper's 180-server testbed",
+        "Scaling sweep: batched SoA engine, 48 -> 1536 servers x 1/2/4 threads",
+        "DESIGN.md \u{a7}8, \u{a7}10; multi-rack extension of the paper's 180-server testbed",
     );
     let h = horizon();
     let mut table = Table::new(vec![
         "servers",
         "racks",
+        "threads",
         "build ms",
         "run ms",
         "us/tick",
@@ -49,55 +60,74 @@ fn main() {
     for n in SIZES {
         let (racks, enclosures_per_rack, blades) = (n / 48, 2, 16);
         let standalone = n - racks * enclosures_per_rack * blades;
-        let cfg = Scenario::multi_rack(
-            SystemKind::BladeA,
-            CoordinationMode::Coordinated,
-            racks,
-            enclosures_per_rack,
-            blades,
-            standalone,
-        )
-        .horizon(h)
-        .seed(seed())
-        .build();
+        for threads in THREADS {
+            let cfg = Scenario::multi_rack(
+                SystemKind::BladeA,
+                CoordinationMode::Coordinated,
+                racks,
+                enclosures_per_rack,
+                blades,
+                standalone,
+            )
+            .horizon(h)
+            .seed(seed())
+            .threads(threads)
+            .build();
 
-        let t0 = Instant::now();
-        let mut runner = Runner::new(&cfg);
-        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        let stats = runner.run_to_horizon();
-        let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let t0 = Instant::now();
+            let mut runner = Runner::new(&cfg);
+            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let stats = runner.run_to_horizon();
+            let run_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-        let ticks = stats.ticks.max(1) as f64;
-        let us_per_tick = run_ms * 1e3 / ticks;
-        let ns_per_server_tick = run_ms * 1e6 / (ticks * n as f64);
-        table.row(vec![
-            n.to_string(),
-            racks.to_string(),
-            Table::fmt(build_ms),
-            Table::fmt(run_ms),
-            Table::fmt(us_per_tick),
-            Table::fmt(ns_per_server_tick),
-        ]);
-        artifact.push(ScaleRow {
-            servers: n,
-            racks,
-            enclosures_per_rack,
-            blades_per_enclosure: blades,
-            standalone,
-            horizon: stats.ticks,
-            build_ms,
-            run_ms,
-            us_per_tick,
-            ns_per_server_tick,
-            mean_power_w: stats.mean_power(),
-        });
+            let ticks = stats.ticks.max(1) as f64;
+            let us_per_tick = run_ms * 1e3 / ticks;
+            let ns_per_server_tick = run_ms * 1e6 / (ticks * n as f64);
+            table.row(vec![
+                n.to_string(),
+                racks.to_string(),
+                threads.to_string(),
+                Table::fmt(build_ms),
+                Table::fmt(run_ms),
+                Table::fmt(us_per_tick),
+                Table::fmt(ns_per_server_tick),
+            ]);
+            artifact.push(ScaleRow {
+                servers: n,
+                racks,
+                enclosures_per_rack,
+                blades_per_enclosure: blades,
+                standalone,
+                threads,
+                horizon: stats.ticks,
+                build_ms,
+                run_ms,
+                us_per_tick,
+                ns_per_server_tick,
+                mean_power_w: stats.mean_power(),
+            });
+        }
     }
     println!("{table}");
+    let largest = SIZES[SIZES.len() - 1];
+    let run_ms_at = |threads: usize| {
+        artifact
+            .iter()
+            .find(|r: &&ScaleRow| r.servers == largest && r.threads == threads)
+            .map(|r| r.run_ms)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "Largest fleet ({largest} servers): {:.2}x throughput at 4 threads vs 1.",
+        run_ms_at(1) / run_ms_at(4)
+    );
     println!(
         "Shape to check: ns/server-tick should stay roughly flat as the\n\
          fleet grows -- the SoA hot path is linear in servers, so per-tick\n\
-         cost scales with n while per-server-tick cost does not."
+         cost scales with n while per-server-tick cost does not. Adding\n\
+         threads must never change mean_power_w (bit-identical results),\n\
+         only run_ms."
     );
     write_json_artifact("BENCH_scale", &artifact);
 }

@@ -12,6 +12,8 @@
 //! * `NPS_HORIZON` — simulation length in ticks (default 4 000 ≈ two
 //!   diurnal cycles, eight VMC epochs);
 //! * `NPS_SEED` — trace-corpus seed (default 42);
+//! * `NPS_THREADS` — worker threads for the rack-sharded parallel phase
+//!   (default 1; results are bit-identical at any value);
 //! * `NPS_JSON_OUT_DIR` — when set, binaries also write their tables as
 //!   JSON artifacts into this directory (created on demand); CI uploads
 //!   them from the smoke job.
@@ -40,11 +42,23 @@ pub fn seed() -> u64 {
         .unwrap_or(42)
 }
 
-/// A paper-standard scenario at the harness horizon/seed.
+/// Worker threads for each run's rack-sharded parallel phase
+/// (`NPS_THREADS`, default 1 — the sequential path). Results are
+/// bit-identical at every value; this only moves wall-clock.
+pub fn threads() -> usize {
+    std::env::var("NPS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// A paper-standard scenario at the harness horizon/seed/threads.
 pub fn scenario(sys: SystemKind, mix: Mix, mode: CoordinationMode) -> Scenario {
     Scenario::paper(sys, mix, mode)
         .horizon(horizon())
         .seed(seed())
+        .threads(threads())
 }
 
 /// Runs a configuration and returns the baseline-normalized comparison.

@@ -13,10 +13,103 @@
 //! this module and in `tests/soa_differential.rs` drive both
 //! implementations in lockstep and assert exact equality.
 
+use std::ops::Range;
+
 use nps_models::{ModelTable, PState};
 
 use crate::ec::EfficiencyController;
 use crate::sm::{ServerManager, SmDecision};
+
+/// Clamps a utilization target to the standard band — the single
+/// definition shared by the bank and its shard views.
+#[inline]
+fn clamp_r_ref(r_ref: f64) -> f64 {
+    r_ref.clamp(
+        EfficiencyController::DEFAULT_R_REF_MIN,
+        EfficiencyController::DEFAULT_R_REF_MAX,
+    )
+}
+
+/// The EC integral-law update on one server's slots. Shared by
+/// [`ControllerBank::ec_step`] and [`BankShard::ec_step`] so the two
+/// paths cannot drift: bit-identical results are a structural property,
+/// not a testing accident.
+#[inline]
+fn ec_step_core(
+    table: &ModelTable,
+    lambda: f64,
+    i: usize,
+    freq_hz: &mut f64,
+    applied_hz: &mut f64,
+    r_ref: f64,
+    measured_util: f64,
+) -> PState {
+    let r = if measured_util.is_nan() {
+        0.0
+    } else {
+        measured_util.clamp(0.0, 1.0)
+    };
+    // Measured consumption f_C = r · f_q.
+    let f_c = r * *applied_hz;
+    let delta = lambda * f_c * (r_ref - r) / r_ref;
+    *freq_hz = (*freq_hz - delta).clamp(table.min_frequency_hz(i), table.max_frequency_hz(i));
+    let p = table.quantize(i, *freq_hz);
+    *applied_hz = table.frequency_hz(i, p.index());
+    p
+}
+
+/// The coordinated SM update on one server's slots (shared by bank and
+/// shard paths).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn sm_step_coordinated_core(
+    table: &ModelTable,
+    beta: f64,
+    guard: f64,
+    i: usize,
+    r_ref: &mut f64,
+    static_cap: f64,
+    granted_cap: f64,
+    measured_power_watts: f64,
+) -> SmDecision {
+    let effective_cap = static_cap.min(granted_cap);
+    let max_power = table.max_power(i);
+    let cap_norm = (1.0 - guard) * effective_cap / max_power;
+    let pow_norm = measured_power_watts / max_power;
+    // r_ref(k̂) = r_ref(k̂−1) − β·(cap − pow)  [normalized]
+    let new_r_ref = *r_ref - beta * (cap_norm - pow_norm);
+    *r_ref = clamp_r_ref(new_r_ref);
+    SmDecision {
+        violated_static: measured_power_watts > static_cap,
+        violated_effective: measured_power_watts > effective_cap,
+        new_r_ref: Some(*r_ref),
+    }
+}
+
+/// The uncoordinated SM decision for one server (shared by bank and
+/// shard paths).
+#[inline]
+fn sm_step_uncoordinated_core(
+    table: &ModelTable,
+    i: usize,
+    static_cap: f64,
+    granted_cap: f64,
+    measured_power_watts: f64,
+    current: PState,
+) -> (SmDecision, Option<PState>) {
+    let violated_effective = measured_power_watts > static_cap.min(granted_cap);
+    let decision = SmDecision {
+        violated_static: measured_power_watts > static_cap,
+        violated_effective,
+        new_r_ref: None,
+    };
+    let forced = if violated_effective {
+        Some(table.step_down(i, current))
+    } else {
+        None
+    };
+    (decision, forced)
+}
 
 /// Structure-of-arrays bank of per-server EC + SM controller state.
 ///
@@ -119,10 +212,7 @@ impl ControllerBank {
     /// Sets server `i`'s utilization target, clamped to the standard band
     /// — identical to [`EfficiencyController::set_r_ref`].
     pub fn set_r_ref(&mut self, i: usize, r_ref: f64) {
-        self.r_ref[i] = r_ref.clamp(
-            EfficiencyController::DEFAULT_R_REF_MIN,
-            EfficiencyController::DEFAULT_R_REF_MAX,
-        );
+        self.r_ref[i] = clamp_r_ref(r_ref);
     }
 
     /// Server `i`'s continuous EC frequency state, Hz.
@@ -134,21 +224,15 @@ impl ControllerBank {
     /// [`EfficiencyController::step`]: adaptive integral law on the
     /// continuous frequency, quantized to the nearest P-state.
     pub fn ec_step(&mut self, i: usize, measured_util: f64) -> PState {
-        let r = if measured_util.is_nan() {
-            0.0
-        } else {
-            measured_util.clamp(0.0, 1.0)
-        };
-        // Measured consumption f_C = r · f_q.
-        let f_c = r * self.applied_hz[i];
-        let delta = self.lambda * f_c * (self.r_ref[i] - r) / self.r_ref[i];
-        self.freq_hz[i] = (self.freq_hz[i] - delta).clamp(
-            self.table.min_frequency_hz(i),
-            self.table.max_frequency_hz(i),
-        );
-        let p = self.table.quantize(i, self.freq_hz[i]);
-        self.applied_hz[i] = self.table.frequency_hz(i, p.index());
-        p
+        ec_step_core(
+            &self.table,
+            self.lambda,
+            i,
+            &mut self.freq_hz[i],
+            &mut self.applied_hz[i],
+            self.r_ref[i],
+            measured_util,
+        )
     }
 
     /// Resets server `i`'s EC to its maximum frequency (e.g. after a
@@ -218,17 +302,16 @@ impl ControllerBank {
     /// as [`ServerManager::step_coordinated`], retuning the bank's own
     /// EC `r_ref` slot.
     pub fn sm_step_coordinated(&mut self, i: usize, measured_power_watts: f64) -> SmDecision {
-        let max_power = self.table.max_power(i);
-        let cap_norm = (1.0 - self.guard) * self.effective_cap_watts(i) / max_power;
-        let pow_norm = measured_power_watts / max_power;
-        // r_ref(k̂) = r_ref(k̂−1) − β·(cap − pow)  [normalized]
-        let new_r_ref = self.r_ref[i] - self.beta * (cap_norm - pow_norm);
-        self.set_r_ref(i, new_r_ref);
-        SmDecision {
-            violated_static: measured_power_watts > self.static_cap[i],
-            violated_effective: measured_power_watts > self.effective_cap_watts(i),
-            new_r_ref: Some(self.r_ref[i]),
-        }
+        sm_step_coordinated_core(
+            &self.table,
+            self.beta,
+            self.guard,
+            i,
+            &mut self.r_ref[i],
+            self.static_cap[i],
+            self.granted_cap[i],
+            measured_power_watts,
+        )
     }
 
     /// One **uncoordinated** SM interval for server `i` — the same update
@@ -239,18 +322,67 @@ impl ControllerBank {
         measured_power_watts: f64,
         current: PState,
     ) -> (SmDecision, Option<PState>) {
-        let violated_effective = measured_power_watts > self.effective_cap_watts(i);
-        let decision = SmDecision {
-            violated_static: measured_power_watts > self.static_cap[i],
-            violated_effective,
-            new_r_ref: None,
-        };
-        let forced = if violated_effective {
-            Some(self.table.step_down(i, current))
-        } else {
-            None
-        };
-        (decision, forced)
+        sm_step_uncoordinated_core(
+            &self.table,
+            i,
+            self.static_cap[i],
+            self.granted_cap[i],
+            measured_power_watts,
+            current,
+        )
+    }
+
+    // ----- rack sharding --------------------------------------------------
+
+    /// Carves the bank into disjoint per-shard views for the parallel
+    /// per-rack phase. `ranges` must be an ascending, dense partition of
+    /// the server range (see `Topology::shard_ranges` in `nps-sim`).
+    /// Each [`BankShard`] mutates only its own servers' slots through
+    /// the *same* core update functions the sequential methods use, so
+    /// results are bit-identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranges` is not an ascending dense partition of
+    /// `0..len()`.
+    pub fn shards(&mut self, ranges: &[Range<usize>]) -> Vec<BankShard<'_>> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(ranges.len());
+        let mut freq_hz = self.freq_hz.as_mut_slice();
+        let mut applied_hz = self.applied_hz.as_mut_slice();
+        let mut r_ref = self.r_ref.as_mut_slice();
+        let mut static_cap = self.static_cap.as_slice();
+        let mut granted_cap = self.granted_cap.as_slice();
+        let mut cursor = 0usize;
+        for range in ranges {
+            assert_eq!(range.start, cursor, "shards must be dense and ascending");
+            let len = range.len();
+            let (f, rest) = freq_hz.split_at_mut(len);
+            freq_hz = rest;
+            let (a, rest) = applied_hz.split_at_mut(len);
+            applied_hz = rest;
+            let (r, rest) = r_ref.split_at_mut(len);
+            r_ref = rest;
+            let (s, rest) = static_cap.split_at(len);
+            static_cap = rest;
+            let (g, rest) = granted_cap.split_at(len);
+            granted_cap = rest;
+            out.push(BankShard {
+                table: &self.table,
+                lambda: self.lambda,
+                beta: self.beta,
+                guard: self.guard,
+                lo: range.start,
+                freq_hz: f,
+                applied_hz: a,
+                r_ref: r,
+                static_cap: s,
+                granted_cap: g,
+            });
+            cursor = range.end;
+        }
+        assert_eq!(cursor, n, "shards must cover every server");
+        out
     }
 
     // ----- checkpointing --------------------------------------------------
@@ -278,6 +410,90 @@ impl ControllerBank {
         self.r_ref = floats(&snap.r_ref_bits);
         self.granted_cap = floats(&snap.granted_cap_bits);
         self.lease_until = snap.lease_until.clone();
+    }
+}
+
+/// A disjoint slice of the bank owned by one worker during the parallel
+/// per-rack phase. Indices are *global* server ids (the shard subtracts
+/// its own offset), so call sites read identically to the sequential
+/// bank methods. All updates go through the same `#[inline]` core
+/// functions as [`ControllerBank`]'s own methods.
+#[derive(Debug)]
+pub struct BankShard<'a> {
+    table: &'a ModelTable,
+    lambda: f64,
+    beta: f64,
+    guard: f64,
+    /// First global server id of this shard.
+    lo: usize,
+    freq_hz: &'a mut [f64],
+    applied_hz: &'a mut [f64],
+    r_ref: &'a mut [f64],
+    static_cap: &'a [f64],
+    granted_cap: &'a [f64],
+}
+
+impl BankShard<'_> {
+    /// Server `i`'s current utilization target (`i` is global; must lie
+    /// in this shard).
+    pub fn r_ref(&self, i: usize) -> f64 {
+        self.r_ref[i - self.lo]
+    }
+
+    /// The budget server `i`'s SM enforces this epoch —
+    /// identical to [`ControllerBank::effective_cap_watts`].
+    pub fn effective_cap_watts(&self, i: usize) -> f64 {
+        self.static_cap[i - self.lo].min(self.granted_cap[i - self.lo])
+    }
+
+    /// One EC control step for server `i` — bit-identical to
+    /// [`ControllerBank::ec_step`] (same core function).
+    pub fn ec_step(&mut self, i: usize, measured_util: f64) -> PState {
+        let k = i - self.lo;
+        ec_step_core(
+            self.table,
+            self.lambda,
+            i,
+            &mut self.freq_hz[k],
+            &mut self.applied_hz[k],
+            self.r_ref[k],
+            measured_util,
+        )
+    }
+
+    /// One coordinated SM interval for server `i` — bit-identical to
+    /// [`ControllerBank::sm_step_coordinated`].
+    pub fn sm_step_coordinated(&mut self, i: usize, measured_power_watts: f64) -> SmDecision {
+        let k = i - self.lo;
+        sm_step_coordinated_core(
+            self.table,
+            self.beta,
+            self.guard,
+            i,
+            &mut self.r_ref[k],
+            self.static_cap[k],
+            self.granted_cap[k],
+            measured_power_watts,
+        )
+    }
+
+    /// One uncoordinated SM interval for server `i` — bit-identical to
+    /// [`ControllerBank::sm_step_uncoordinated`].
+    pub fn sm_step_uncoordinated(
+        &mut self,
+        i: usize,
+        measured_power_watts: f64,
+        current: PState,
+    ) -> (SmDecision, Option<PState>) {
+        let k = i - self.lo;
+        sm_step_uncoordinated_core(
+            self.table,
+            i,
+            self.static_cap[k],
+            self.granted_cap[k],
+            measured_power_watts,
+            current,
+        )
     }
 }
 
@@ -456,6 +672,51 @@ mod tests {
         assert_eq!(bank, restored);
         assert_eq!(restored.effective_cap_watts(1), 250.0);
         assert_eq!(restored.lease_until(0), 99);
+    }
+
+    #[test]
+    fn shard_steps_match_whole_bank_bitwise() {
+        let models: Vec<ServerModel> = (0..7)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ServerModel::blade_a()
+                } else {
+                    ServerModel::server_b()
+                }
+            })
+            .collect();
+        let caps: Vec<f64> = models.iter().map(|m| 0.8 * m.max_power()).collect();
+        let mut whole =
+            ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        let mut sharded =
+            ControllerBank::new(ModelTable::from_models(&models), 0.8, 1.0, 0.75, &caps);
+        sharded.set_granted_cap_leased(2, 55.0, 10);
+        whole.set_granted_cap_leased(2, 55.0, 10);
+        let ranges = [0..3, 3..5, 5..7];
+        for k in 0..80 {
+            let mut shards = sharded.shards(&ranges);
+            for (shard, range) in shards.iter_mut().zip(&ranges) {
+                for i in range.clone() {
+                    let u = 0.2 + 0.07 * ((k + i) % 9) as f64;
+                    let pow = 30.0 + 6.0 * ((k * 3 + i) % 11) as f64;
+                    assert_eq!(shard.ec_step(i, u), whole.ec_step(i, u), "ec step {k}");
+                    assert_eq!(
+                        shard.sm_step_coordinated(i, pow),
+                        whole.sm_step_coordinated(i, pow),
+                        "sm step {k}"
+                    );
+                    let p = PState(k % 3);
+                    assert_eq!(
+                        shard.sm_step_uncoordinated(i, pow, p),
+                        whole.sm_step_uncoordinated(i, pow, p)
+                    );
+                    assert_eq!(shard.r_ref(i), whole.r_ref(i));
+                    assert_eq!(shard.effective_cap_watts(i), whole.effective_cap_watts(i));
+                }
+            }
+            drop(shards);
+            assert_eq!(sharded, whole);
+        }
     }
 
     #[test]

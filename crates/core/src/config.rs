@@ -111,6 +111,11 @@ pub struct ExperimentConfig {
     pub policy: PolicyKind,
     /// Simulation length in ticks.
     pub horizon: u64,
+    /// Worker threads for the parallel per-rack phase of each tick
+    /// (`1` = the fully sequential legacy path). Results are
+    /// bit-identical at every value, so this is purely a throughput
+    /// knob; it never appears in labels or checkpoints.
+    pub threads: usize,
     /// Optional per-server electrical cap as a fraction of max power
     /// (enables the CAP hard clamp).
     pub electrical_cap_frac: Option<f64>,

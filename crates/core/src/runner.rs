@@ -3,7 +3,8 @@
 //! the paper's metrics.
 
 use nps_control::{
-    BankSnapshot, CapperLevel, CapperSnapshot, ControllerBank, ElectricalCapper, GroupCapper,
+    BankShard, BankSnapshot, CapperLevel, CapperSnapshot, ControllerBank, ElectricalCapper,
+    GroupCapper,
 };
 use nps_metrics::{
     BudgetLevel, Comparison, ControllerKind, DegradationPolicy, FaultStats, LevelViolations,
@@ -12,10 +13,12 @@ use nps_metrics::{
 use nps_models::{PState, ServerModel};
 use nps_opt::{ClusterContext, Vmc};
 use nps_sim::{
-    BusEvent, BusSnapshot, ControlBus, ControllerLayer, EnclosureId, FaultInjector, FaultPlan,
-    GrantMsg, InjectorSnapshot, LinkId, Reading, SensorChannel, ServerId, SimConfig, SimSnapshot,
-    Simulation, VmId,
+    ActuatorShard, BusEvent, BusSnapshot, ControlBus, ControllerLayer, EnclosureId, FaultInjector,
+    FaultPlan, GrantMsg, InjectorSnapshot, LinkId, Reading, SensorChannel, ServerId, SimConfig,
+    SimEpochView, SimSnapshot, Simulation, VmId, WorkerPool,
 };
+use std::ops::Range;
+use std::sync::Mutex;
 
 use crate::arch::ControllerMask;
 use crate::config::ExperimentConfig;
@@ -164,6 +167,18 @@ pub struct Runner {
     latency_samples: u64,
     /// Telemetry sink; `None` costs one discriminant test per event site.
     recorder: Option<Box<dyn Recorder>>,
+    // Rack-sharded parallel execution. The persistent worker pool and the
+    // topology's shard partition drive the parallel per-rack phase of the
+    // EC/SM epochs; `pool == None` is the fully sequential legacy path.
+    // Results are bit-identical at every thread count, so neither field
+    // is part of a checkpoint (resuming at a different `--threads` is
+    // exact by construction).
+    pool: Option<WorkerPool>,
+    shards: Vec<Range<usize>>,
+    /// Pre-sampled per-server fault verdicts for one parallel epoch —
+    /// `(sensor reading, actuator write blocked)` — drawn sequentially in
+    /// the legacy RNG stream order before the workers fan out.
+    scratch_readings: Vec<(Reading, bool)>,
 }
 
 impl Runner {
@@ -357,6 +372,16 @@ impl Runner {
                 .map(|&s| models[s.index()].idle_power(0)),
         );
 
+        // One shard per non-empty rack plus the standalone tail. A pool
+        // only pays off when there are at least two shards to hand out;
+        // below that the sequential path is both faster and simpler.
+        let shards = cfg.topology.shard_ranges();
+        let pool = if cfg.threads > 1 && shards.len() >= 2 {
+            Some(WorkerPool::new(cfg.threads))
+        } else {
+            None
+        };
+
         Ok(Self {
             label: cfg.label.clone(),
             mask: cfg.mask,
@@ -417,6 +442,9 @@ impl Runner {
             cum_latency_proxy: 0.0,
             latency_samples: 0,
             recorder: None,
+            pool,
+            shards,
+            scratch_readings: Vec::new(),
         })
     }
 
@@ -1053,6 +1081,313 @@ impl Runner {
     }
 
     fn ec_epoch(&mut self, window: u64) {
+        if self.pool.is_some() {
+            self.ec_epoch_parallel(window);
+        } else {
+            self.ec_epoch_seq(window);
+        }
+    }
+
+    fn sm_epoch(&mut self, window: u64) {
+        // The uncoordinated SM's P-state write is *conditional* on
+        // controller state, so its actuator-fault RNG draw cannot be
+        // pre-sampled without running the controller; with actuator
+        // faults active that combination stays on the sequential path.
+        let unsamplable =
+            self.mask.sm && !self.mode.sm_actuates_r_ref() && self.injector.actuators_active();
+        if self.pool.is_some() && !unsamplable {
+            self.sm_epoch_parallel(window);
+        } else {
+            self.sm_epoch_seq(window);
+        }
+    }
+
+    /// Sequential global pre-pass for a parallel EC epoch: replays the
+    /// legacy per-server fault-injector call sequence — `sense`, then
+    /// `pstate_write_blocked`, per powered-on server in ascending order —
+    /// so every RNG draw lands in the stream position the sequential
+    /// epoch would have used. Raw readings are computed read-only; the
+    /// workers update the window snapshots.
+    fn presample_ec_faults(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let n = self.models.len();
+        self.scratch_readings.clear();
+        self.scratch_readings
+            .resize(n, (Reading::Clean(0.0), false));
+        for i in 0..n {
+            let s = ServerId(i);
+            if !self.sim.is_on(s) {
+                continue;
+            }
+            let cum = self.sim.cumulative_utilization(s);
+            let raw = (cum - self.snap_util_ec[i]) / window.max(1) as f64;
+            let reading = self
+                .injector
+                .sense(SensorChannel::ServerUtilization, i, t, raw);
+            let blocked = self.injector.pstate_write_blocked(i, t);
+            self.scratch_readings[i] = (reading, blocked);
+        }
+    }
+
+    /// Sequential global pre-pass for a parallel SM epoch: one `sense`
+    /// draw per powered-on server in ascending order (the parallel-
+    /// eligible SM variants never draw for actuation — the coordinated SM
+    /// actuates `r_ref`, and the uncoordinated variant only runs in
+    /// parallel with actuator faults inactive).
+    fn presample_sm_faults(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let n = self.models.len();
+        self.scratch_readings.clear();
+        self.scratch_readings
+            .resize(n, (Reading::Clean(0.0), false));
+        for i in 0..n {
+            let s = ServerId(i);
+            if !self.sim.is_on(s) {
+                continue;
+            }
+            let cum = self.sim.cumulative_power(s);
+            let raw = (cum - self.snap_power_sm[i]) / window.max(1) as f64;
+            let reading = self.injector.sense(SensorChannel::ServerPower, i, t, raw);
+            self.scratch_readings[i] = (reading, false);
+        }
+    }
+
+    fn ec_epoch_parallel(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let recording = self.recording();
+        let pre = self.injector.sensors_active() || self.injector.actuators_active();
+        if pre {
+            self.presample_ec_faults(window);
+        }
+        let merges = self.mode.merges_min_pstate();
+        let (view, cells) = carve_shards(
+            &self.shards,
+            &mut self.sim,
+            &mut self.bank,
+            &mut self.snap_util_ec,
+            &mut self.last_util_ec,
+            &mut self.sm_hold,
+        );
+        let readings: &[(Reading, bool)] = &self.scratch_readings;
+        let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
+        pool.execute(cells.len(), &|k| {
+            let mut guard = cells[k].lock().expect("epoch shard lock");
+            let sh = &mut *guard;
+            for off in 0..sh.snap.len() {
+                let i = sh.lo + off;
+                let s = ServerId(i);
+                if !view.is_on(s) {
+                    continue;
+                }
+                let cum = view.cumulative_utilization(s);
+                let raw = (cum - sh.snap[off]) / window.max(1) as f64;
+                sh.snap[off] = cum;
+                let (reading, blocked) = if pre {
+                    readings[i]
+                } else {
+                    (Reading::Clean(raw), false)
+                };
+                let util = shard_ingest(reading, t, ControllerKind::Ec, i, sh, off, recording);
+                let desired = sh.bank.ec_step(i, util);
+                let applied = if merges {
+                    match sh.sm_hold[off] {
+                        Some(hold) => PState(desired.index().max(hold.index())),
+                        None => desired,
+                    }
+                } else {
+                    desired
+                };
+                let before = sh.act.pstate(s);
+                if blocked {
+                    sh.fstats.actuator_blocked += 1;
+                    if recording {
+                        sh.telemetry.push(TelemetryEvent::ActuatorFault {
+                            tick: t,
+                            server: i,
+                            source: ControllerKind::Ec,
+                        });
+                    }
+                } else {
+                    sh.act.set_pstate(s, applied);
+                    if recording && before != applied {
+                        sh.telemetry.push(TelemetryEvent::PStateChange {
+                            tick: t,
+                            server: i,
+                            from: before.index(),
+                            to: applied.index(),
+                            source: ControllerKind::Ec,
+                        });
+                    }
+                }
+            }
+        });
+        // Fixed-shard-order reduction: ascending shards are ascending
+        // server ids, so replaying each shard's buffers in order restores
+        // the sequential epoch's exact emission order.
+        let mut effects = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let sh = cell.into_inner().expect("worker panics already propagated");
+            self.fstats.merge(&sh.fstats);
+            if let Some(r) = &mut self.recorder {
+                for ev in sh.telemetry {
+                    r.record(ev);
+                }
+            }
+            effects.push(sh.act.into_effects());
+        }
+        self.sim.absorb_shard_effects(effects);
+    }
+
+    fn sm_epoch_parallel(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let recording = self.recording();
+        let pre = self.injector.sensors_active();
+        if pre {
+            self.presample_sm_faults(window);
+        }
+        let mask_sm = self.mask.sm;
+        let coordinated = self.mode.sm_actuates_r_ref();
+        let merges = self.mode.merges_min_pstate();
+        let (view, cells) = carve_shards(
+            &self.shards,
+            &mut self.sim,
+            &mut self.bank,
+            &mut self.snap_power_sm,
+            &mut self.last_power_sm,
+            &mut self.sm_hold,
+        );
+        let readings: &[(Reading, bool)] = &self.scratch_readings;
+        let injector: &FaultInjector = &self.injector;
+        let cap_loc: &[f64] = &self.cap_loc;
+        let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
+        pool.execute(cells.len(), &|k| {
+            let mut guard = cells[k].lock().expect("epoch shard lock");
+            let sh = &mut *guard;
+            for off in 0..sh.snap.len() {
+                let i = sh.lo + off;
+                let s = ServerId(i);
+                if !view.is_on(s) {
+                    // Keep snapshots current so a later power-on starts a
+                    // fresh window.
+                    sh.snap[off] = view.cumulative_power(s);
+                    continue;
+                }
+                let cum = view.cumulative_power(s);
+                let raw = (cum - sh.snap[off]) / window.max(1) as f64;
+                sh.snap[off] = cum;
+                let reading = if pre {
+                    readings[i].0
+                } else {
+                    Reading::Clean(raw)
+                };
+                let avg = shard_ingest(reading, t, ControllerKind::Sm, i, sh, off, recording);
+                let violated_static = avg > cap_loc[i];
+                sh.win.record(violated_static);
+                if violated_static && recording {
+                    sh.telemetry.push(TelemetryEvent::Violation {
+                        tick: t,
+                        level: BudgetLevel::Server,
+                        observed_watts: avg,
+                        cap_watts: cap_loc[i],
+                        effective: false,
+                    });
+                }
+                if !mask_sm {
+                    continue;
+                }
+                if injector.offline(ControllerLayer::Sm, i, t) {
+                    sh.fstats.outage_epochs += 1;
+                    if recording {
+                        sh.telemetry.push(TelemetryEvent::ControllerOutage {
+                            tick: t,
+                            controller: ControllerKind::Sm,
+                            index: i,
+                        });
+                    }
+                    continue;
+                }
+                let eff_cap = sh.bank.effective_cap_watts(i);
+                if avg > eff_cap && eff_cap < cap_loc[i] && recording {
+                    sh.telemetry.push(TelemetryEvent::Violation {
+                        tick: t,
+                        level: BudgetLevel::Server,
+                        observed_watts: avg,
+                        cap_watts: eff_cap,
+                        effective: true,
+                    });
+                }
+                if coordinated {
+                    let prev_r_ref = sh.bank.r_ref(i);
+                    sh.bank.sm_step_coordinated(i, avg);
+                    if recording {
+                        let r_ref = sh.bank.r_ref(i);
+                        if r_ref != prev_r_ref {
+                            sh.telemetry.push(TelemetryEvent::RRefUpdate {
+                                tick: t,
+                                server: i,
+                                r_ref,
+                            });
+                        }
+                    }
+                } else {
+                    // Only reached with actuator faults inactive (the
+                    // dispatcher picked the sequential path otherwise), so
+                    // this conditional write cannot be blocked and the
+                    // injector draws nothing here.
+                    let current = sh.act.pstate(s);
+                    let (_, forced) = sh.bank.sm_step_uncoordinated(i, avg, current);
+                    if merges {
+                        sh.sm_hold[off] = forced;
+                        if let Some(p) = forced {
+                            let applied = PState(p.index().max(current.index()));
+                            sh.act.set_pstate(s, applied);
+                            if recording && applied != current {
+                                sh.telemetry.push(TelemetryEvent::PStateChange {
+                                    tick: t,
+                                    server: i,
+                                    from: current.index(),
+                                    to: applied.index(),
+                                    source: ControllerKind::Sm,
+                                });
+                            }
+                        }
+                    } else if let Some(p) = forced {
+                        // The race: this write lands on the same actuator
+                        // the EC writes every tick.
+                        sh.act.set_pstate(s, p);
+                        if recording && p != current {
+                            sh.telemetry.push(TelemetryEvent::PStateChange {
+                                tick: t,
+                                server: i,
+                                from: current.index(),
+                                to: p.index(),
+                                source: ControllerKind::Sm,
+                            });
+                        }
+                    }
+                }
+            }
+        });
+        let mut effects = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let sh = cell.into_inner().expect("worker panics already propagated");
+            self.fstats.merge(&sh.fstats);
+            // Violation windows are order-free counters; the sequential
+            // epoch records each verdict into both the lifetime and the
+            // VMC-window counter.
+            self.violations.server.merge(sh.win);
+            self.win_sm.merge(sh.win);
+            if let Some(r) = &mut self.recorder {
+                for ev in sh.telemetry {
+                    r.record(ev);
+                }
+            }
+            effects.push(sh.act.into_effects());
+        }
+        self.sim.absorb_shard_effects(effects);
+    }
+
+    fn ec_epoch_seq(&mut self, window: u64) {
         let t = self.ticks_done;
         let recording = self.recording();
         for i in 0..self.models.len() {
@@ -1095,7 +1430,7 @@ impl Runner {
         }
     }
 
-    fn sm_epoch(&mut self, window: u64) {
+    fn sm_epoch_seq(&mut self, window: u64) {
         let t = self.ticks_done;
         let recording = self.recording();
         for i in 0..self.models.len() {
@@ -1620,6 +1955,170 @@ impl Runner {
     }
 }
 
+/// One worker's slice of the runner's per-server state during a parallel
+/// EC or SM epoch, plus its locally-buffered side effects. Buffers are
+/// merged (counters) or replayed (event streams) in ascending shard
+/// order after the barrier, which restores the sequential emission order
+/// exactly.
+struct EpochShard<'a> {
+    /// First global server id of this shard.
+    lo: usize,
+    bank: BankShard<'a>,
+    act: ActuatorShard<'a>,
+    /// This epoch's measurement-window snapshots (EC: utilization,
+    /// SM: power), shard slice.
+    snap: &'a mut [f64],
+    /// This epoch's hold-last-good store, shard slice.
+    last_good: &'a mut [f64],
+    /// SM standing P-state demands, shard slice (written by the
+    /// min-merge SM, read by the EC).
+    sm_hold: &'a mut [Option<PState>],
+    fstats: FaultStats,
+    telemetry: Vec<TelemetryEvent>,
+    /// Static-cap violation verdicts (SM epochs only; order-free).
+    win: ViolationCounter,
+}
+
+/// Splits `data` into the per-shard slices of a dense ascending
+/// partition (the tail past the last range must be empty).
+fn split_ranges<'a, T>(mut data: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut cursor = 0usize;
+    for r in ranges {
+        debug_assert_eq!(r.start, cursor, "shards must be dense and ascending");
+        let (head, rest) = data.split_at_mut(r.len());
+        data = rest;
+        out.push(head);
+        cursor = r.end;
+    }
+    debug_assert!(data.is_empty(), "shards must cover the whole fleet");
+    out
+}
+
+/// Carves the simulator, the controller bank, and the runner's
+/// per-server arrays into one lock-free-in-practice cell per shard (each
+/// worker locks only its own, uncontended).
+fn carve_shards<'a>(
+    ranges: &[Range<usize>],
+    sim: &'a mut Simulation,
+    bank: &'a mut ControllerBank,
+    snap: &'a mut [f64],
+    last_good: &'a mut [f64],
+    sm_hold: &'a mut [Option<PState>],
+) -> (SimEpochView<'a>, Vec<Mutex<EpochShard<'a>>>) {
+    let (view, acts) = sim.epoch_shards(ranges);
+    let banks = bank.shards(ranges);
+    let snaps = split_ranges(snap, ranges);
+    let lasts = split_ranges(last_good, ranges);
+    let holds = split_ranges(sm_hold, ranges);
+    let cells = ranges
+        .iter()
+        .zip(banks)
+        .zip(acts)
+        .zip(snaps)
+        .zip(lasts)
+        .zip(holds)
+        .map(|(((((range, bank), act), snap), last_good), sm_hold)| {
+            Mutex::new(EpochShard {
+                lo: range.start,
+                bank,
+                act,
+                snap,
+                last_good,
+                sm_hold,
+                fstats: FaultStats::default(),
+                telemetry: Vec::new(),
+                win: ViolationCounter::new(),
+            })
+        })
+        .collect();
+    (view, cells)
+}
+
+/// The shard-local replica of [`Runner::ingest`]: identical arithmetic
+/// and identical fault/degradation accounting, with the counters and
+/// telemetry buffered in the worker's [`EpochShard`] instead of applied
+/// globally. The sensor reading itself was either pre-sampled in the
+/// sequential RNG pre-pass or is trivially `Clean` (injector inactive).
+fn shard_ingest(
+    reading: Reading,
+    t: u64,
+    ctrl: ControllerKind,
+    idx: usize,
+    sh: &mut EpochShard<'_>,
+    off: usize,
+    recording: bool,
+) -> f64 {
+    let delivered = match reading {
+        Reading::Clean(v) => Some(v),
+        Reading::Noisy(v) => {
+            sh.fstats.sensor_noise += 1;
+            if recording {
+                sh.telemetry.push(TelemetryEvent::SensorFault {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    fault: SensorFaultKind::Noise,
+                });
+            }
+            Some(v)
+        }
+        Reading::Stuck(v) => {
+            sh.fstats.sensor_stuck += 1;
+            if recording {
+                sh.telemetry.push(TelemetryEvent::SensorFault {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    fault: SensorFaultKind::Stuck,
+                });
+            }
+            Some(v)
+        }
+        Reading::Dropped => {
+            sh.fstats.sensor_dropped += 1;
+            if recording {
+                sh.telemetry.push(TelemetryEvent::SensorFault {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    fault: SensorFaultKind::Dropped,
+                });
+            }
+            None
+        }
+    };
+    let value = match delivered {
+        Some(v) if v.is_finite() && v >= 0.0 => v,
+        Some(_) => {
+            sh.fstats.clamped_inputs += 1;
+            if recording {
+                sh.telemetry.push(TelemetryEvent::Degradation {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    policy: DegradationPolicy::ClampNonFinite,
+                });
+            }
+            sh.last_good[off]
+        }
+        None => {
+            sh.fstats.degradations += 1;
+            if recording {
+                sh.telemetry.push(TelemetryEvent::Degradation {
+                    tick: t,
+                    controller: ctrl,
+                    index: idx,
+                    policy: DegradationPolicy::HoldLastGood,
+                });
+            }
+            sh.last_good[off]
+        }
+    };
+    sh.last_good[off] = value;
+    value
+}
+
 /// Packs a float slice into IEEE-754 bit words (bit-exact, non-finite
 /// safe — the JSON layer would otherwise collapse infinities to null).
 fn pack_bits(values: &[f64]) -> Vec<u64> {
@@ -1810,6 +2309,32 @@ mod tests {
             r.comparison.run.pstate_conflicts > 0,
             "uncoordinated EC/SM must collide on the P-state register"
         );
+    }
+
+    #[test]
+    fn parallel_epochs_engage_and_match_sequential() {
+        let mut cfg = Scenario::multi_rack(
+            SystemKind::BladeA,
+            CoordinationMode::Coordinated,
+            2,
+            2,
+            4,
+            2,
+        )
+        .horizon(200)
+        .seed(9)
+        .build();
+        let mut seq = Runner::new(&cfg);
+        let a = seq.run_to_horizon();
+        cfg.threads = 4;
+        let mut par = Runner::new(&cfg);
+        assert!(
+            par.pool.is_some(),
+            "threads=4 on a multi-rack fleet must build a worker pool"
+        );
+        let b = par.run_to_horizon();
+        assert_eq!(a, b);
+        assert_eq!(seq.snapshot(), par.snapshot());
     }
 
     #[test]

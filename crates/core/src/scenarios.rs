@@ -80,6 +80,10 @@ pub struct Scenario {
     /// Explicit topology (e.g. multi-rack); when set, one trace is
     /// generated per server instead of sizing by the mix.
     topology_override: Option<Topology>,
+    /// Worker threads for the parallel per-rack phase (default 1).
+    /// Deliberately excluded from the generated label: results are
+    /// bit-identical at every thread count.
+    threads: usize,
 }
 
 impl Scenario {
@@ -108,6 +112,7 @@ impl Scenario {
             bus: BusConfig::default(),
             label_suffix: String::new(),
             topology_override: None,
+            threads: 1,
         }
     }
 
@@ -239,6 +244,15 @@ impl Scenario {
         self
     }
 
+    /// Sets the worker-thread count for the parallel per-rack phase
+    /// (`0` is treated as 1). Purely a throughput knob: the run's
+    /// results are bit-identical at every value, so the label is
+    /// unaffected.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Materializes the configuration (generates the trace corpus, picks
     /// the topology, applies model transforms).
     pub fn build(self) -> ExperimentConfig {
@@ -323,6 +337,7 @@ impl Scenario {
             mask: self.mask,
             policy: self.policy,
             horizon: self.horizon,
+            threads: self.threads,
             electrical_cap_frac: self.electrical_cap_frac,
             faults: self.faults,
             bus: self.bus,
@@ -476,6 +491,24 @@ mod tests {
         .build();
         assert_eq!(cfg.topology.num_servers(), 36);
         assert_eq!(cfg.traces.len(), 36);
+    }
+
+    #[test]
+    fn threads_knob_flows_into_config_but_not_label() {
+        let build = |n: usize| {
+            Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
+                .horizon(50)
+                .threads(n)
+                .build()
+        };
+        let (one, four) = (build(1), build(4));
+        assert_eq!(one.threads, 1);
+        assert_eq!(four.threads, 4);
+        // The knob must not leak into the label: results are identical,
+        // so sweeps and checkpoints key on the same label at any count.
+        assert_eq!(one.label, four.label);
+        // Zero is sanitized to the sequential path.
+        assert_eq!(build(0).threads, 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The tick-driven simulation engine.
 
+use std::ops::Range;
+
 use nps_models::{ModelTable, PState, ServerModel};
 use nps_traces::UtilTrace;
 
@@ -65,6 +67,10 @@ pub struct Simulation {
     migrations_started: u64,
     thermal: Option<ThermalState>,
     events: EventLog,
+    /// Reusable per-shard `(vm, granted, delivered)` buffers for
+    /// [`Simulation::step_parallel`]. Pure scratch: cleared before every
+    /// use, never snapshotted, irrelevant to equality of trajectories.
+    scratch_vm_out: Vec<Vec<(usize, f64, f64)>>,
 }
 
 impl Simulation {
@@ -147,6 +153,7 @@ impl Simulation {
             migrations_started: 0,
             thermal,
             events: EventLog::new(4_096),
+            scratch_vm_out: Vec::new(),
         })
     }
 
@@ -210,6 +217,172 @@ impl Simulation {
             self.cum_power[i] += self.power[i];
             self.cum_util[i] += util;
         }
+        // 3. Enclosure power (members + shared-infrastructure base).
+        for e in 0..self.topo.num_enclosures() {
+            let members: f64 = self
+                .topo
+                .enclosure_servers(EnclosureId(e))
+                .iter()
+                .map(|&s| self.power[s.index()])
+                .sum();
+            self.cum_enc_power[e] += members + self.cfg.enclosure_base_watts;
+        }
+        // 4. Thermal.
+        if let Some(thermal) = &mut self.thermal {
+            for failed in thermal.step(&self.power) {
+                self.events.record(
+                    t,
+                    Event::ThermalFailover {
+                        server: ServerId(failed),
+                    },
+                );
+            }
+        }
+        // 5. Bookkeeping.
+        self.pstate_written_this_tick
+            .iter_mut()
+            .for_each(|w| *w = false);
+        self.tick += 1;
+    }
+
+    /// Advances the simulation by one tick with the per-server physics
+    /// phase sharded over `pool`. Bit-identical to [`Simulation::step`]:
+    /// demand sampling stays sequential, workers run the *exact* same
+    /// per-server arithmetic on disjoint slices (each server's float ops
+    /// are independent of every other server's), per-VM results are
+    /// buffered per shard (every VM lives on exactly one server, so its
+    /// single accumulator add lands identically regardless of apply
+    /// order), and enclosure/thermal aggregation runs sequentially after
+    /// the barrier in the legacy order.
+    ///
+    /// `shards` must be an ascending, dense partition of the server
+    /// range — use [`Topology::shard_ranges`].
+    pub fn step_parallel(&mut self, pool: &crate::par::WorkerPool, shards: &[Range<usize>]) {
+        use std::sync::Mutex;
+
+        let t = self.tick;
+        let alpha_v = self.cfg.alpha_v;
+        let alpha_m = self.cfg.alpha_m;
+        let off_power = self.cfg.off_power_watts;
+        // 1. Sample demands (sequential: trace iteration order is the
+        //    per-VM accumulator order).
+        for (j, trace) in self.traces.iter().enumerate() {
+            let d = trace.demand_at(t);
+            self.vm_obs[j].demand = d;
+            self.cum_demand[j] += d;
+        }
+        // 2. Per-server capacity sharing and power, sharded. Workers get
+        //    disjoint `&mut` slices of the per-server arrays plus shared
+        //    `&` views of everything they only read (`vm_obs` is read for
+        //    `demand` alone, which phase 1 finalized).
+        struct Shard<'a> {
+            lo: usize,
+            util: &'a mut [f64],
+            power: &'a mut [f64],
+            cum_power: &'a mut [f64],
+            cum_util: &'a mut [f64],
+            vm_out: Vec<(usize, f64, f64)>,
+        }
+        let mut scratch = std::mem::take(&mut self.scratch_vm_out);
+        scratch.resize(shards.len(), Vec::new());
+        let mut views: Vec<Mutex<Shard<'_>>> = Vec::with_capacity(shards.len());
+        {
+            let mut util = self.util.as_mut_slice();
+            let mut power = self.power.as_mut_slice();
+            let mut cum_power = self.cum_power.as_mut_slice();
+            let mut cum_util = self.cum_util.as_mut_slice();
+            let mut cursor = 0usize;
+            for (range, mut vm_out) in shards.iter().zip(scratch.drain(..)) {
+                assert_eq!(range.start, cursor, "shards must be dense and ascending");
+                let len = range.len();
+                let (u, rest) = util.split_at_mut(len);
+                util = rest;
+                let (p, rest) = power.split_at_mut(len);
+                power = rest;
+                let (cp, rest) = cum_power.split_at_mut(len);
+                cum_power = rest;
+                let (cu, rest) = cum_util.split_at_mut(len);
+                cum_util = rest;
+                vm_out.clear();
+                views.push(Mutex::new(Shard {
+                    lo: range.start,
+                    util: u,
+                    power: p,
+                    cum_power: cp,
+                    cum_util: cu,
+                    vm_out,
+                }));
+                cursor = range.end;
+            }
+            assert_eq!(
+                cursor,
+                self.topo.num_servers(),
+                "shards must cover the fleet"
+            );
+        }
+        let on = &self.on;
+        let pstate = &self.pstate;
+        let boot_until = &self.boot_until;
+        let residents = &self.residents;
+        let mig_until = &self.mig_until;
+        let vm_obs = &self.vm_obs;
+        let table = &self.table;
+        let thermal = self.thermal.as_ref();
+        pool.execute(views.len(), &|k| {
+            let mut guard = views[k].lock().unwrap();
+            let shard = &mut *guard;
+            for off in 0..shard.util.len() {
+                let i = shard.lo + off;
+                let active = on[i] && thermal.map(|th| !th.is_failed(i)).unwrap_or(true);
+                let booting = active && boot_until[i] > t;
+                let capacity = if active && !booting {
+                    table.capacity(i, pstate[i].index())
+                } else {
+                    0.0
+                };
+                let load: f64 = residents[i]
+                    .iter()
+                    .map(|&vm| vm_obs[vm.index()].demand * (1.0 + alpha_v))
+                    .sum();
+                let (util, share) = if !active || capacity <= 0.0 {
+                    (0.0, 0.0)
+                } else if load <= 0.0 {
+                    (0.0, 1.0)
+                } else {
+                    ((load / capacity).min(1.0), (capacity / load).min(1.0))
+                };
+                for &vm in &residents[i] {
+                    let j = vm.index();
+                    let granted = vm_obs[j].demand * share;
+                    let penalty = if mig_until[j] > t { 1.0 - alpha_m } else { 1.0 };
+                    shard.vm_out.push((j, granted, granted * penalty));
+                }
+                shard.util[off] = util;
+                shard.power[off] = if booting {
+                    table.idle_power(i, pstate[i].index())
+                } else if active {
+                    table.power(i, pstate[i].index(), util)
+                } else {
+                    off_power
+                };
+                shard.cum_power[off] += shard.power[off];
+                shard.cum_util[off] += util;
+            }
+        });
+        // Barrier passed: apply the buffered per-VM observations in
+        // ascending shard (= ascending server) order, then return the
+        // scratch buffers to the pool.
+        for view in views {
+            let shard = view.into_inner().unwrap();
+            for &(j, granted, delivered) in &shard.vm_out {
+                self.vm_obs[j].granted = granted;
+                self.vm_obs[j].delivered = delivered;
+                self.cum_granted[j] += granted;
+                self.cum_delivered[j] += delivered;
+            }
+            scratch.push(shard.vm_out);
+        }
+        self.scratch_vm_out = scratch;
         // 3. Enclosure power (members + shared-infrastructure base).
         for e in 0..self.topo.num_enclosures() {
             let members: f64 = self
@@ -497,6 +670,74 @@ impl Simulation {
         &self.events
     }
 
+    // ----- rack sharding --------------------------------------------------
+
+    /// Carves the simulator for a parallel controller epoch: one
+    /// [`ActuatorShard`] per range (exclusive write access to that
+    /// range's P-states and write flags) plus a shared [`SimEpochView`]
+    /// of everything epoch workers only read. `ranges` must be an
+    /// ascending, dense partition of the server range
+    /// ([`Topology::shard_ranges`]).
+    ///
+    /// Conflict counts and conflict events are buffered per shard;
+    /// after the barrier, feed the shards' [`ActuatorShard::
+    /// into_effects`] outputs to [`Simulation::absorb_shard_effects`]
+    /// *in shard order* to reproduce the sequential event stream.
+    pub fn epoch_shards(
+        &mut self,
+        ranges: &[Range<usize>],
+    ) -> (SimEpochView<'_>, Vec<ActuatorShard<'_>>) {
+        let mut shards = Vec::with_capacity(ranges.len());
+        let mut pstate = self.pstate.as_mut_slice();
+        let mut written = self.pstate_written_this_tick.as_mut_slice();
+        let mut cursor = 0usize;
+        for range in ranges {
+            assert_eq!(range.start, cursor, "shards must be dense and ascending");
+            let len = range.len();
+            let (p, rest) = pstate.split_at_mut(len);
+            pstate = rest;
+            let (w, rest) = written.split_at_mut(len);
+            written = rest;
+            shards.push(ActuatorShard {
+                lo: range.start,
+                tick: self.tick,
+                table: &self.table,
+                pstate: p,
+                written: w,
+                conflicts: 0,
+                events: Vec::new(),
+            });
+            cursor = range.end;
+        }
+        assert_eq!(
+            cursor,
+            self.topo.num_servers(),
+            "shards must cover the fleet"
+        );
+        let view = SimEpochView {
+            on: &self.on,
+            thermal: self.thermal.as_ref(),
+            util: &self.util,
+            cum_power: &self.cum_power,
+            cum_util: &self.cum_util,
+            tick: self.tick,
+        };
+        (view, shards)
+    }
+
+    /// Merges the per-shard actuation effects (conflict counts and
+    /// buffered conflict events) back into the simulator. Call with the
+    /// shards' effects in ascending shard order so the event log matches
+    /// a sequential epoch's emission order exactly.
+    pub fn absorb_shard_effects(&mut self, effects: impl IntoIterator<Item = ShardEffects>) {
+        for eff in effects {
+            self.pstate_conflicts += eff.conflicts;
+            for (tick, event) in eff.events {
+                self.events.record(tick, event);
+            }
+        }
+    }
+
     // ----- thermal --------------------------------------------------------
 
     /// The thermal state, if thermal tracking is enabled.
@@ -608,6 +849,105 @@ impl Simulation {
         self.thermal = snap.thermal.clone();
         self.events = snap.events.clone();
     }
+}
+
+/// Read-only facts shared with every worker during a parallel
+/// controller epoch. Borrowed from the simulator by
+/// [`Simulation::epoch_shards`]; all slices are indexed by global
+/// server id.
+#[derive(Debug, Clone, Copy)]
+pub struct SimEpochView<'a> {
+    on: &'a [bool],
+    thermal: Option<&'a ThermalState>,
+    util: &'a [f64],
+    cum_power: &'a [f64],
+    cum_util: &'a [f64],
+    tick: u64,
+}
+
+impl SimEpochView<'_> {
+    /// Same as [`Simulation::is_on`].
+    pub fn is_on(&self, s: ServerId) -> bool {
+        let i = s.index();
+        self.on[i] && self.thermal.map(|t| !t.is_failed(i)).unwrap_or(true)
+    }
+
+    /// Same as [`Simulation::server_utilization`].
+    pub fn server_utilization(&self, s: ServerId) -> f64 {
+        self.util[s.index()]
+    }
+
+    /// Same as [`Simulation::cumulative_power`].
+    pub fn cumulative_power(&self, s: ServerId) -> f64 {
+        self.cum_power[s.index()]
+    }
+
+    /// Same as [`Simulation::cumulative_utilization`].
+    pub fn cumulative_utilization(&self, s: ServerId) -> f64 {
+        self.cum_util[s.index()]
+    }
+
+    /// The current tick ([`Simulation::now`]).
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+}
+
+/// One worker's exclusive slice of the simulator's actuation state
+/// (P-states and same-tick write flags) during a parallel epoch.
+/// Indices are global server ids; conflict accounting is buffered
+/// locally and merged in shard order afterwards.
+#[derive(Debug)]
+pub struct ActuatorShard<'a> {
+    /// First global server id of this shard.
+    lo: usize,
+    tick: u64,
+    table: &'a ModelTable,
+    pstate: &'a mut [PState],
+    written: &'a mut [bool],
+    conflicts: u64,
+    events: Vec<(u64, Event)>,
+}
+
+impl ActuatorShard<'_> {
+    /// Current P-state of `s` (must lie in this shard) — same as
+    /// [`Simulation::pstate`].
+    pub fn pstate(&self, s: ServerId) -> PState {
+        self.pstate[s.index() - self.lo]
+    }
+
+    /// Writes the P-state of `s` — the exact semantics of
+    /// [`Simulation::set_pstate`] (clamp to the model's deepest state,
+    /// last-writer-wins, conflicting repeat writes counted), with the
+    /// conflict event buffered locally instead of logged globally.
+    pub fn set_pstate(&mut self, s: ServerId, p: PState) {
+        let k = s.index() - self.lo;
+        let p = PState(p.index().min(self.table.num_pstates(s.index()) - 1));
+        if self.written[k] && self.pstate[k] != p {
+            self.conflicts += 1;
+            self.events
+                .push((self.tick, Event::PStateConflict { server: s }));
+        }
+        self.written[k] = true;
+        self.pstate[k] = p;
+    }
+
+    /// Consumes the shard, yielding its buffered actuation effects for
+    /// [`Simulation::absorb_shard_effects`].
+    pub fn into_effects(self) -> ShardEffects {
+        ShardEffects {
+            conflicts: self.conflicts,
+            events: self.events,
+        }
+    }
+}
+
+/// Actuation side effects buffered by one [`ActuatorShard`] during a
+/// parallel epoch.
+#[derive(Debug)]
+pub struct ShardEffects {
+    conflicts: u64,
+    events: Vec<(u64, Event)>,
 }
 
 fn pack_bits(values: &[f64]) -> Vec<u64> {
@@ -962,6 +1302,83 @@ mod tests {
             live.total_energy().to_bits(),
             resumed.total_energy().to_bits()
         );
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_sequential() {
+        use crate::par::WorkerPool;
+        // Multi-rack topology with a standalone tail, multiple VMs per
+        // server, thermal tracking, and mid-run actuation — every code
+        // path of the sharded phase.
+        let topo = Topology::multi_rack(3, 2, 4, 5);
+        let n = topo.num_servers();
+        let model = ServerModel::blade_a();
+        let cfg = SimConfig::default()
+            .with_thermal(ThermalConfig::for_budget(
+                model.max_power(),
+                0.95 * model.max_power(),
+            ))
+            .with_boot_delay(2);
+        let vm_traces: Vec<UtilTrace> = (0..n + 7)
+            .map(|j| {
+                UtilTrace::constant(format!("w{j}"), 0.1 + 0.8 * (j as f64 / (n + 7) as f64), 50)
+                    .unwrap()
+            })
+            .collect();
+        let placement = Placement::one_per_server(vm_traces.len(), n);
+        let mut seq = Simulation::with_models_and_placement(
+            topo.clone(),
+            vec![model.clone(); n],
+            vm_traces.clone(),
+            placement.clone(),
+            cfg,
+        )
+        .unwrap();
+        let mut par = Simulation::with_models_and_placement(
+            topo.clone(),
+            vec![model; n],
+            vm_traces,
+            placement,
+            cfg,
+        )
+        .unwrap();
+        let shards = topo.shard_ranges();
+        for threads in [2usize, 4, 7] {
+            let pool = WorkerPool::new(threads);
+            for step in 0..40u64 {
+                if step == 5 {
+                    seq.set_pstate(ServerId(1), PState(3));
+                    par.set_pstate(ServerId(1), PState(3));
+                }
+                if step == 9 {
+                    seq.migrate(VmId(0), ServerId(2)).unwrap();
+                    par.migrate(VmId(0), ServerId(2)).unwrap();
+                }
+                seq.step();
+                par.step_parallel(&pool, &shards);
+                for i in 0..n {
+                    let s = ServerId(i);
+                    assert_eq!(
+                        seq.server_power(s).to_bits(),
+                        par.server_power(s).to_bits(),
+                        "power diverged at server {i} step {step} ({threads} threads)"
+                    );
+                    assert_eq!(
+                        seq.cumulative_utilization(s).to_bits(),
+                        par.cumulative_utilization(s).to_bits()
+                    );
+                }
+                for j in 0..seq.num_vms() {
+                    assert_eq!(seq.vm(VmId(j)), par.vm(VmId(j)));
+                    assert_eq!(
+                        seq.cumulative_delivered(VmId(j)).to_bits(),
+                        par.cumulative_delivered(VmId(j)).to_bits()
+                    );
+                }
+            }
+            assert_eq!(seq.total_energy().to_bits(), par.total_energy().to_bits());
+            assert_eq!(seq.snapshot(), par.snapshot());
+        }
     }
 
     #[test]

@@ -324,6 +324,22 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// Whether sensor faults are live — i.e. whether [`FaultInjector::
+    /// sense`] may consume RNG draws or mutate the stuck-sensor map. A
+    /// parallel epoch pre-samples readings sequentially only when this
+    /// is set; otherwise `sense` is pure (`Clean(value)`, zero draws)
+    /// and workers can reconstruct it locally.
+    pub fn sensors_active(&self) -> bool {
+        self.sensor_on
+    }
+
+    /// Whether actuator jams are live — i.e. whether [`FaultInjector::
+    /// pstate_write_blocked`] may consume RNG draws. When unset, every
+    /// write proceeds (`false`, zero draws).
+    pub fn actuators_active(&self) -> bool {
+        self.actuator_on
+    }
+
     /// Routes one sensor reading through the fault model.
     pub fn sense(
         &mut self,

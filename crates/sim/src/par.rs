@@ -1,0 +1,282 @@
+//! Persistent worker-thread pool for the rack-sharded parallel phase.
+//!
+//! A tick's parallel phase is short (tens of microseconds on paper-size
+//! fleets), so spawning scoped threads per tick would dominate the work.
+//! Instead the pool spawns its workers once and hands them one *job* at
+//! a time: a closure invoked with each shard index exactly once, with
+//! the shards claimed dynamically from a shared counter. [`WorkerPool::
+//! execute`] does not return until every shard of the job has finished,
+//! which is the barrier the deterministic reduction phase relies on.
+//!
+//! This module is the only place in the workspace that uses `unsafe`:
+//! a single lifetime erasure that lets workers borrow the caller's
+//! stack-scoped closure for the duration of one `execute` call. The
+//! rest of the crate remains `deny(unsafe_code)`.
+
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The type-erased job: a borrow of the caller's `Fn(usize)` closure
+/// with its lifetime erased to a raw pointer so it can sit in shared
+/// state. Soundness rests on `execute` blocking until `done_shards ==
+/// num_shards`, i.e. until every dereference of this pointer has
+/// completed — the pointee (on the caller's stack) outlives all uses.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared `&`-calls from many threads are
+// fine) and is only dereferenced within the dynamic extent of the
+// `execute` call that published it, which keeps the borrow alive.
+unsafe impl Send for Job {}
+
+/// Shard-claiming state shared between the caller and the workers.
+struct State {
+    /// The active job, if any. Cleared by whichever thread finishes the
+    /// last shard, which is also the "job done" signal.
+    job: Option<Job>,
+    /// Next unclaimed shard index of the active job.
+    next_shard: usize,
+    /// Total shards in the active job.
+    num_shards: usize,
+    /// Shards that have finished running.
+    done_shards: usize,
+    /// True once any shard closure panicked (the panic is re-raised on
+    /// the calling thread after the barrier).
+    panicked: bool,
+    /// Tells workers to exit their loop.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new job is published (or on shutdown).
+    cv_job: Condvar,
+    /// Signalled when the last shard of a job completes.
+    cv_done: Condvar,
+}
+
+impl Shared {
+    /// Claims and runs shards of the active job until none remain to
+    /// claim, then returns (releasing the lock). Shared by workers and
+    /// the caller so the calling thread contributes a full worker's
+    /// throughput.
+    fn run_shards<'a>(&'a self, mut st: std::sync::MutexGuard<'a, State>, f: &dyn Fn(usize)) {
+        loop {
+            if st.job.is_none() || st.next_shard >= st.num_shards {
+                return;
+            }
+            let i = st.next_shard;
+            st.next_shard += 1;
+            drop(st);
+            let ok = catch_unwind(AssertUnwindSafe(|| f(i))).is_ok();
+            st = self.state.lock().unwrap();
+            st.done_shards += 1;
+            if !ok {
+                st.panicked = true;
+            }
+            if st.done_shards == st.num_shards {
+                st.job = None;
+                self.cv_done.notify_all();
+            }
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads executing shard jobs.
+///
+/// Created once per run (when `threads > 1`); each call to
+/// [`WorkerPool::execute`] fans one closure out over shard indices
+/// `0..num_shards` and blocks until all have completed. The pool itself
+/// carries no job state between calls, so it is irrelevant to
+/// checkpointing: snapshots taken from a pooled run restore bit-exactly
+/// into a sequential one and vice versa.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool delivering `threads`-way parallelism: the calling
+    /// thread participates in every job, so `threads - 1` workers are
+    /// spawned. `threads` is clamped to at least 1 (an empty pool whose
+    /// `execute` simply runs shards inline).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                next_shard: 0,
+                num_shards: 0,
+                done_shards: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            cv_job: Condvar::new(),
+            cv_done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut st = shared.state.lock().unwrap();
+                    loop {
+                        if st.shutdown {
+                            return;
+                        }
+                        if let Some(job) = st.job {
+                            if st.next_shard < st.num_shards {
+                                // SAFETY: see `Job` — the pointee lives
+                                // until `execute` returns, and `execute`
+                                // blocks until this shard is done.
+                                let f = unsafe { &*job.0 };
+                                shared.run_shards(st, f);
+                                st = shared.state.lock().unwrap();
+                                continue;
+                            }
+                        }
+                        st = shared.cv_job.wait(st).unwrap();
+                    }
+                })
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// The parallelism this pool delivers (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` exactly once for every `i in 0..num_shards`, spread
+    /// across the pool plus the calling thread, and returns only after
+    /// all invocations have completed. Panics (on the calling thread)
+    /// if any shard closure panicked.
+    pub fn execute(&self, num_shards: usize, f: &(dyn Fn(usize) + Sync)) {
+        if num_shards == 0 {
+            return;
+        }
+        // SAFETY: the only unsafe act in the workspace — erasing the
+        // closure's borrow lifetime so workers can hold it in shared
+        // state. Sound because this function blocks (below) until every
+        // invocation has completed, so no dereference outlives `f`.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.job.is_none(), "execute is not reentrant");
+            st.job = Some(Job(erased));
+            st.next_shard = 0;
+            st.num_shards = num_shards;
+            st.done_shards = 0;
+            st.panicked = false;
+        }
+        self.shared.cv_job.notify_all();
+        let st = self.shared.state.lock().unwrap();
+        self.shared.run_shards(st, f);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.job.is_some() {
+            st = self.shared.cv_done.wait(st).unwrap();
+        }
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("a worker panicked during the parallel shard phase");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.cv_job.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_shard_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for shards in [1usize, 2, 3, 16, 257] {
+            let counts: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+            pool.execute(shards, &|i| {
+                counts[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.execute(5, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 2500);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert!(pool.handles.is_empty());
+        let total = AtomicUsize::new(0);
+        pool.execute(7, &|i| {
+            total.fetch_add(i, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 21);
+    }
+
+    #[test]
+    fn zero_shards_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.execute(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.execute(4, &|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(err.is_err());
+        // The pool stays usable after a panicked job.
+        let total = AtomicUsize::new(0);
+        pool.execute(3, &|_| {
+            total.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 3);
+    }
+}

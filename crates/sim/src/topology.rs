@@ -135,6 +135,31 @@ impl Topology {
         &self.standalone
     }
 
+    /// The contiguous server-id ranges that partition the fleet for
+    /// rack-sharded parallel execution: one range per rack (all blades
+    /// of that rack's enclosures, which are dense and enclosure-first)
+    /// plus, when present, one trailing range of standalone servers.
+    ///
+    /// Ranges are disjoint, ascending, non-empty, and cover every
+    /// server exactly once — concatenating them in order yields
+    /// `0..num_servers()`, which is what makes shard-order reductions
+    /// equivalent to a sequential server-order walk.
+    pub fn shard_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let mut shards = Vec::with_capacity(self.num_racks() + 1);
+        for r in 0..self.num_racks() {
+            let enc = self.rack_offsets[r]..self.rack_offsets[r + 1];
+            let range = self.enclosure_offsets[enc.start]..self.enclosure_offsets[enc.end];
+            if !range.is_empty() {
+                shards.push(range);
+            }
+        }
+        let flat = self.enclosure_flat.len();
+        if flat < self.num_servers() {
+            shards.push(flat..self.num_servers());
+        }
+        shards
+    }
+
     /// The enclosure housing `s`, or `None` for standalone servers.
     pub fn enclosure_of(&self, s: ServerId) -> Option<EnclosureId> {
         self.server_enclosure.get(s.0).copied().flatten()
@@ -356,6 +381,38 @@ mod tests {
         assert_eq!(t.rack_of(EnclosureId(3)), Some(RackId(1)));
         assert_eq!(t.rack_of(EnclosureId(4)), Some(RackId(2)));
         assert_eq!(t.rack_num_servers(RackId(1)), 12);
+    }
+
+    #[test]
+    fn shard_ranges_partition_every_server_in_order() {
+        let cases = [
+            Topology::paper_180(),
+            Topology::paper_60(),
+            Topology::multi_rack(4, 3, 8, 16),
+            Topology::builder().standalone(5).build(),
+            Topology::builder().racks(2, 2, 4).build(),
+        ];
+        for t in cases {
+            let shards = t.shard_ranges();
+            let mut covered = 0usize;
+            for r in &shards {
+                assert!(!r.is_empty());
+                assert_eq!(r.start, covered, "shards must be ascending and dense");
+                covered = r.end;
+            }
+            assert_eq!(covered, t.num_servers());
+        }
+        // Paper topologies shard into one rack + the standalone tail.
+        assert_eq!(Topology::paper_180().shard_ranges(), vec![0..120, 120..180]);
+        // Multi-rack: one shard per rack, then the standalone tail.
+        let t = Topology::multi_rack(4, 3, 8, 16);
+        assert_eq!(t.shard_ranges().len(), 5);
+        assert_eq!(t.shard_ranges()[4], 96..112);
+        // Standalone-only fleets are a single shard.
+        assert_eq!(
+            Topology::builder().standalone(5).build().shard_ranges(),
+            vec![0..5]
+        );
     }
 
     #[test]

@@ -43,11 +43,11 @@ fn print_help() {
          \x20 npsctl run    --system <blade-a|server-b> --mix <180|60l|60m|60h|60hh|60hhh>\n\
          \x20               --mode <coordinated|uncoordinated|appr-util|no-feedback|\n\
          \x20                       no-budget-limits|min-pstates>\n\
-         \x20               [--budgets G-E-L] [--horizon N] [--seed N]\n\
+         \x20               [--budgets G-E-L] [--horizon N] [--seed N] [--threads N]\n\
          \x20               [--policy <proportional|fair|fifo|random|priority|history>]\n\
          \x20               [--mask <all|novmc|vmconly>] [--json FILE]\n\
          \x20               [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
-         \x20 npsctl sweep  --out FILE [--horizon N] [--seed N] [--resume FILE]\n\
+         \x20 npsctl sweep  --out FILE [--horizon N] [--seed N] [--threads N] [--resume FILE]\n\
          \x20 npsctl corpus --out FILE [--csv FILE] [--len N] [--seed N]\n\
          \x20 npsctl models                                       # print model tables"
     );
@@ -59,6 +59,54 @@ fn flag<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
         .position(|a| a == key)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// The flags `npsctl run` accepts (each takes one value).
+const RUN_FLAGS: &[&str] = &[
+    "--system",
+    "--mix",
+    "--mode",
+    "--budgets",
+    "--horizon",
+    "--seed",
+    "--threads",
+    "--policy",
+    "--mask",
+    "--json",
+    "--checkpoint",
+    "--checkpoint-every",
+    "--resume",
+];
+
+/// The flags `npsctl sweep` accepts.
+const SWEEP_FLAGS: &[&str] = &["--out", "--horizon", "--seed", "--threads", "--resume"];
+
+/// The flags `npsctl corpus` accepts.
+const CORPUS_FLAGS: &[&str] = &["--out", "--csv", "--len", "--seed"];
+
+/// Rejects any `--flag` not in `valid` and any stray positional token.
+/// A typo like `--budgest` must fail loudly (exit 2), not silently run
+/// the experiment with default budgets.
+fn check_flags(args: &[String], valid: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !a.starts_with("--") {
+            return Err(format!(
+                "unexpected argument `{a}`; valid flags: {}",
+                valid.join(", ")
+            ));
+        }
+        if !valid.contains(&a.as_str()) {
+            return Err(format!(
+                "unrecognized flag `{a}`; valid flags: {}",
+                valid.join(", ")
+            ));
+        }
+        // Every flag takes exactly one value.
+        i += 2;
+    }
+    Ok(())
 }
 
 fn parse_system(s: &str) -> Result<SystemKind, String> {
@@ -104,8 +152,12 @@ fn parse_budgets(s: &str) -> Result<BudgetSpec, String> {
             .parse::<f64>()
             .map_err(|_| format!("bad budget component `{p}`"))?
             / 100.0;
-        if !(0.0..1.0).contains(&vals[i]) {
-            return Err(format!("budget component `{p}` out of range"));
+        // Inclusive bounds: 100 (cap the level all the way off) and 0
+        // (no cap) are both meaningful settings.
+        if !(0.0..=1.0).contains(&vals[i]) {
+            return Err(format!(
+                "budget component `{p}` out of range (accepted: 0 to 100, percent off)"
+            ));
         }
     }
     Ok(BudgetSpec {
@@ -142,6 +194,9 @@ fn fail(msg: String) -> i32 {
 }
 
 fn cmd_run(args: &[String]) -> i32 {
+    if let Err(e) = check_flags(args, RUN_FLAGS) {
+        return fail(e);
+    }
     let system = match parse_system(flag(args, "--system").unwrap_or("blade-a")) {
         Ok(v) => v,
         Err(e) => return fail(e),
@@ -171,6 +226,12 @@ fn cmd_run(args: &[String]) -> i32 {
         match s.parse() {
             Ok(v) => scenario = scenario.seed(v),
             Err(_) => return fail(format!("bad seed `{s}`")),
+        }
+    }
+    if let Some(n) = flag(args, "--threads") {
+        match n.parse::<usize>() {
+            Ok(v) if v >= 1 => scenario = scenario.threads(v),
+            _ => return fail(format!("bad --threads `{n}` (need an integer >= 1)")),
         }
     }
     if let Some(p) = flag(args, "--policy") {
@@ -293,6 +354,9 @@ fn run_checkpointed(
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {
+    if let Err(e) = check_flags(args, SWEEP_FLAGS) {
+        return fail(e);
+    }
     let Some(out) = flag(args, "--out") else {
         return fail("sweep requires --out FILE".to_string());
     };
@@ -302,6 +366,15 @@ fn cmd_sweep(args: &[String]) -> i32 {
     let seed: u64 = flag(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
+    // Per-run worker threads (the rack-sharded parallel phase), distinct
+    // from the sweep's own cross-configuration parallelism.
+    let threads: usize = match flag(args, "--threads") {
+        None => 1,
+        Some(n) => match n.parse::<usize>() {
+            Ok(v) if v >= 1 => v,
+            _ => return fail(format!("bad --threads `{n}` (need an integer >= 1)")),
+        },
+    };
     let mut cfgs = Vec::new();
     for sys in SystemKind::BOTH {
         for mix in [Mix::All180, Mix::Hh60] {
@@ -313,6 +386,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
                     Scenario::paper(sys, mix, mode)
                         .horizon(horizon)
                         .seed(seed)
+                        .threads(threads)
                         .build(),
                 );
             }
@@ -366,6 +440,9 @@ fn cmd_sweep(args: &[String]) -> i32 {
 }
 
 fn cmd_corpus(args: &[String]) -> i32 {
+    if let Err(e) = check_flags(args, CORPUS_FLAGS) {
+        return fail(e);
+    }
     let Some(out) = flag(args, "--out") else {
         return fail("corpus requires --out FILE".to_string());
     };
@@ -455,6 +532,23 @@ mod tests {
         assert!(parse_budgets("20-15").is_err());
         assert!(parse_budgets("20-15-xx").is_err());
         assert!(parse_budgets("200-15-10").is_err());
+        assert!(parse_budgets("20--5-10").is_err());
+    }
+
+    #[test]
+    fn budgets_accept_the_full_inclusive_range() {
+        // 100 and 0 are the boundary settings (level fully capped off /
+        // uncapped); the old half-open check wrongly rejected 100.
+        let b = parse_budgets("100-60-40").unwrap();
+        assert_eq!(b.group_off, 1.0);
+        assert_eq!(b.enclosure_off, 0.6);
+        assert_eq!(b.local_off, 0.4);
+        assert!(parse_budgets("0-0-0").is_ok());
+        let err = parse_budgets("101-60-40").unwrap_err();
+        assert!(
+            err.contains("accepted: 0 to 100"),
+            "error must state the accepted range, got: {err}"
+        );
     }
 
     #[test]
@@ -462,5 +556,36 @@ mod tests {
         assert!(parse_system("toaster").is_err());
         assert!(parse_mix("90x").is_err());
         assert!(parse_mode("chaotic").is_err());
+    }
+
+    #[test]
+    fn run_accepts_boundary_budgets_end_to_end() {
+        // `npsctl run --budgets 100-60-40` must succeed (exit 0).
+        let code = cmd_run(&args(&["--budgets", "100-60-40", "--horizon", "40"]));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn misspelled_flags_are_rejected_with_exit_2() {
+        // The historical failure mode: `--budgest` was silently ignored
+        // and the run proceeded with default budgets.
+        assert_eq!(cmd_run(&args(&["--budgest", "50-50-50"])), 2);
+        assert_eq!(cmd_sweep(&args(&["--budgest", "50-50-50"])), 2);
+        assert_eq!(cmd_corpus(&args(&["--length", "100"])), 2);
+        assert_eq!(cmd_run(&args(&["stray"])), 2);
+        let err = check_flags(&args(&["--budgest", "50-50-50"]), RUN_FLAGS).unwrap_err();
+        assert!(
+            err.contains("--budgets") && err.contains("unrecognized"),
+            "rejection must list the valid flags, got: {err}"
+        );
+    }
+
+    #[test]
+    fn run_flags_cover_every_documented_option() {
+        for key in ["--threads", "--checkpoint", "--json", "--mask"] {
+            assert!(RUN_FLAGS.contains(&key));
+        }
+        assert!(check_flags(&args(&["--threads", "4", "--seed", "7"]), RUN_FLAGS).is_ok());
+        assert!(check_flags(&[], RUN_FLAGS).is_ok());
     }
 }

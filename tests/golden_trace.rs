@@ -48,7 +48,19 @@ fn update_requested() -> bool {
 
 /// Runs one configuration and captures its golden shape: the experiment
 /// result plus head/tail of the telemetry stream.
+///
+/// `NPS_THREADS` re-runs the whole suite with that worker-thread count;
+/// parallel execution is bit-identical, so every golden must pass
+/// *unregenerated* at any value (CI runs 1 and 4).
 fn capture(name: &str, cfg: &ExperimentConfig) -> GoldenTrace {
+    let mut cfg = cfg.clone();
+    if let Some(threads) = std::env::var("NPS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        cfg.threads = threads.max(1);
+    }
+    let cfg = &cfg;
     let result = run_experiment(cfg);
     // A second, telemetry-instrumented run of the same config; runs are
     // deterministic, so this replays the exact trajectory of `result`.

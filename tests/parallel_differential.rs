@@ -1,0 +1,190 @@
+//! Differential property tests for rack-sharded parallel epoch
+//! execution.
+//!
+//! The tentpole contract: `ExperimentConfig::threads` is purely a
+//! throughput knob. Whatever the worker-thread count, a run must produce
+//! **bit-identical** results — the same `RunStats`, the same telemetry
+//! stream in the same order, and a byte-identical end-of-run checkpoint
+//! (every float bit-packed). These tests sweep randomized multi-rack
+//! topologies, coordination modes, fault plans, and bus delivery faults
+//! through thread counts {1, 2, 4, 7} in lockstep, and additionally
+//! prove checkpoints are thread-count-agnostic: a snapshot taken at N
+//! threads resumes bit-exactly at M threads.
+
+use no_power_struggles::prelude::*;
+use proptest::prelude::*;
+
+/// Thread counts swept against the sequential reference (1 = the legacy
+/// path; 7 deliberately exceeds the shard count of small topologies).
+const SWEEP: [usize; 3] = [2, 4, 7];
+
+/// Runs `cfg` to its horizon and captures a complete end-state
+/// fingerprint: the bit-packed checkpoint JSON, the full telemetry
+/// stream, and the raw stats.
+fn fingerprint(cfg: &ExperimentConfig) -> (String, Vec<TelemetryEvent>, RunStats) {
+    let mut runner = Runner::new(cfg);
+    runner.enable_ring_telemetry(1 << 20);
+    let stats = runner.run_to_horizon();
+    let events: Vec<TelemetryEvent> = runner
+        .ring_telemetry()
+        .expect("ring recorder was installed")
+        .events()
+        .cloned()
+        .collect();
+    let snap = runner.snapshot();
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    (json, events, stats)
+}
+
+/// A randomized fault plan covering every family, including actuator
+/// faults (which force the uncoordinated SM onto its sequential
+/// fallback — the results must match regardless of which path ran).
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0u64..1_000, 0.0f64..0.05, 0.0f64..0.03, 1u64..16),
+        (0.0f64..0.03, 0.0f64..0.02, 1u64..10, 0.0f64..0.05),
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |((seed, noise, stuck_p, stuck_t), (drop, act_p, act_t, loss), outage)| {
+                let mut plan = FaultPlan::disabled()
+                    .with_seed(seed)
+                    .with_sensor_noise(noise)
+                    .with_stuck_sensors(stuck_p, stuck_t)
+                    .with_dropped_samples(drop)
+                    .with_stuck_actuators(act_p, act_t)
+                    .with_message_loss(loss);
+                if outage {
+                    plan = plan.with_outage(ControllerLayer::Em, Some(0), 40, 90);
+                }
+                plan
+            },
+        )
+}
+
+/// A randomized control-plane bus: delays, drops, duplication,
+/// reordering, leases, and bounded retransmission.
+fn arb_bus() -> impl Strategy<Value = BusConfig> {
+    (
+        (0u64..100, 0u64..3, 0u64..3),
+        (0.0f64..0.08, 0.0f64..0.05, 0.0f64..0.08),
+        (0u64..40, 1u32..4),
+    )
+        .prop_map(
+            |((seed, dmin, dspan), (drop, dup, reorder), (lease, attempts))| {
+                BusConfig::default()
+                    .with_seed(seed)
+                    .with_delay(dmin, dmin + dspan)
+                    .with_drop(drop)
+                    .with_duplication(dup)
+                    .with_reordering(reorder, 2)
+                    .with_leases(lease)
+                    .with_retry(RetryConfig {
+                        max_attempts: attempts,
+                        backoff_base_ticks: 2,
+                        backoff_max_ticks: 8,
+                        jitter_ticks: 1,
+                    })
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn thread_count_is_invisible(
+        (racks, encs, blades) in (1usize..3, 1usize..3, 2usize..5),
+        standalone in 1usize..4,
+        mode_idx in 0usize..3,
+        seed in 0u64..1_000,
+        plan in arb_fault_plan(),
+        bus in arb_bus(),
+    ) {
+        let mode = [
+            CoordinationMode::Coordinated,
+            CoordinationMode::Uncoordinated,
+            CoordinationMode::UncoordMinPstates,
+        ][mode_idx];
+        // At least one standalone server guarantees >= 2 shards, so the
+        // parallel path genuinely engages at threads > 1.
+        let cfg = Scenario::multi_rack(SystemKind::BladeA, mode, racks, encs, blades, standalone)
+            .horizon(160)
+            .seed(seed)
+            .faults(plan)
+            .bus(bus)
+            .build();
+        let reference = fingerprint(&cfg);
+        for &threads in &SWEEP {
+            let mut c = cfg.clone();
+            c.threads = threads;
+            let got = fingerprint(&c);
+            prop_assert_eq!(&got.2, &reference.2, "stats diverged at {} threads", threads);
+            prop_assert_eq!(
+                got.1.len(),
+                reference.1.len(),
+                "telemetry volume diverged at {} threads",
+                threads
+            );
+            prop_assert_eq!(&got.1, &reference.1, "telemetry diverged at {} threads", threads);
+            prop_assert_eq!(&got.0, &reference.0, "checkpoint diverged at {} threads", threads);
+        }
+    }
+}
+
+/// A checkpoint taken at one thread count must resume bit-exactly at any
+/// other: the final checkpoint JSON of (snapshot at 4 threads, resume at
+/// M) is byte-identical to an uninterrupted single-thread run.
+#[test]
+fn checkpoint_resumes_bit_exactly_across_thread_counts() {
+    let bus = BusConfig::default()
+        .with_seed(5)
+        .with_delay(1, 2)
+        .with_drop(0.03)
+        .with_leases(25);
+    let plan = FaultPlan::disabled()
+        .with_seed(3)
+        .with_sensor_noise(0.01)
+        .with_dropped_samples(0.01)
+        .with_stuck_actuators(0.004, 6);
+    let cfg = Scenario::multi_rack(
+        SystemKind::BladeA,
+        CoordinationMode::Coordinated,
+        2,
+        2,
+        4,
+        2,
+    )
+    .horizon(300)
+    .seed(41)
+    .faults(plan)
+    .bus(bus)
+    .build();
+
+    // Uninterrupted single-thread reference.
+    let mut reference = Runner::new(&cfg);
+    reference.run_to_horizon();
+    let want = serde_json::to_string(&reference.snapshot()).expect("snapshot serializes");
+
+    // Snapshot mid-run at 4 threads…
+    let mut c4 = cfg.clone();
+    c4.threads = 4;
+    let mut first = Runner::new(&c4);
+    while first.ticks_done() < 150 {
+        first.tick();
+    }
+    let mid = first.snapshot();
+
+    // …and resume at 1 and 7 threads.
+    for threads in [1usize, 7] {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let mut resumed = Runner::resume(&c, &mid).expect("checkpoint resumes");
+        resumed.run_to_horizon();
+        let got = serde_json::to_string(&resumed.snapshot()).expect("snapshot serializes");
+        assert_eq!(
+            got, want,
+            "resume at {threads} threads diverged from the uninterrupted run"
+        );
+    }
+}
