@@ -11,6 +11,11 @@
 //! Parallel execution is bit-identical to sequential, so the thread
 //! sweep isolates pure throughput: every row at a given fleet size
 //! reports the same `mean_power_w`.
+//!
+//! Each row also reports `global_phase_fraction`: the share of run
+//! wall-clock spent *outside* the sharded worker phase (GM arbitration,
+//! bus replay, VMC, reductions — the Amdahl ceiling on thread scaling).
+//! Sequential rows report 1.0 by construction.
 
 use nps_bench::{banner, horizon, seed, write_json_artifact};
 use nps_core::{CoordinationMode, Runner, Scenario, SystemKind};
@@ -38,6 +43,9 @@ struct ScaleRow {
     run_ms: f64,
     us_per_tick: f64,
     ns_per_server_tick: f64,
+    /// Fraction of run wall-clock spent in the sequential global phase
+    /// (1.0 minus the worker pool's busy time over total run time).
+    global_phase_fraction: f64,
     mean_power_w: f64,
 }
 
@@ -55,6 +63,7 @@ fn main() {
         "run ms",
         "us/tick",
         "ns/server-tick",
+        "seq frac",
     ]);
     let mut artifact = Vec::new();
     for n in SIZES {
@@ -79,7 +88,13 @@ fn main() {
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t1 = Instant::now();
             let stats = runner.run_to_horizon();
-            let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let run_ns = t1.elapsed().as_nanos() as f64;
+            let run_ms = run_ns / 1e6;
+            let global_phase_fraction = if run_ns > 0.0 {
+                (1.0 - runner.parallel_nanos() as f64 / run_ns).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
 
             let ticks = stats.ticks.max(1) as f64;
             let us_per_tick = run_ms * 1e3 / ticks;
@@ -92,6 +107,7 @@ fn main() {
                 Table::fmt(run_ms),
                 Table::fmt(us_per_tick),
                 Table::fmt(ns_per_server_tick),
+                Table::fmt(global_phase_fraction),
             ]);
             artifact.push(ScaleRow {
                 servers: n,
@@ -105,6 +121,7 @@ fn main() {
                 run_ms,
                 us_per_tick,
                 ns_per_server_tick,
+                global_phase_fraction,
                 mean_power_w: stats.mean_power(),
             });
         }

@@ -352,7 +352,8 @@ impl ControllerBank {
         let mut applied_hz = self.applied_hz.as_mut_slice();
         let mut r_ref = self.r_ref.as_mut_slice();
         let mut static_cap = self.static_cap.as_slice();
-        let mut granted_cap = self.granted_cap.as_slice();
+        let mut granted_cap = self.granted_cap.as_mut_slice();
+        let mut lease_until = self.lease_until.as_mut_slice();
         let mut cursor = 0usize;
         for range in ranges {
             assert_eq!(range.start, cursor, "shards must be dense and ascending");
@@ -365,8 +366,10 @@ impl ControllerBank {
             r_ref = rest;
             let (s, rest) = static_cap.split_at(len);
             static_cap = rest;
-            let (g, rest) = granted_cap.split_at(len);
+            let (g, rest) = granted_cap.split_at_mut(len);
             granted_cap = rest;
+            let (l, rest) = lease_until.split_at_mut(len);
+            lease_until = rest;
             out.push(BankShard {
                 table: &self.table,
                 lambda: self.lambda,
@@ -378,6 +381,7 @@ impl ControllerBank {
                 r_ref: r,
                 static_cap: s,
                 granted_cap: g,
+                lease_until: l,
             });
             cursor = range.end;
         }
@@ -430,7 +434,8 @@ pub struct BankShard<'a> {
     applied_hz: &'a mut [f64],
     r_ref: &'a mut [f64],
     static_cap: &'a [f64],
-    granted_cap: &'a [f64],
+    granted_cap: &'a mut [f64],
+    lease_until: &'a mut [u64],
 }
 
 impl BankShard<'_> {
@@ -444,6 +449,15 @@ impl BankShard<'_> {
     /// identical to [`ControllerBank::effective_cap_watts`].
     pub fn effective_cap_watts(&self, i: usize) -> f64 {
         self.static_cap[i - self.lo].min(self.granted_cap[i - self.lo])
+    }
+
+    /// Grants server `i` an unleased dynamic budget — identical to
+    /// [`ControllerBank::set_granted_cap`]. Lets a shard apply the
+    /// enclosure-outage local-cap fallback to its own servers.
+    pub fn set_granted_cap(&mut self, i: usize, watts: f64) {
+        let k = i - self.lo;
+        self.granted_cap[k] = watts.max(0.0);
+        self.lease_until[k] = u64::MAX;
     }
 
     /// One EC control step for server `i` — bit-identical to

@@ -13,9 +13,10 @@ use nps_metrics::{
 use nps_models::{PState, ServerModel};
 use nps_opt::{ClusterContext, Vmc};
 use nps_sim::{
-    ActuatorShard, BusEvent, BusSnapshot, ControlBus, ControllerLayer, EnclosureId, FaultInjector,
-    FaultPlan, GrantMsg, InjectorSnapshot, LinkId, Reading, SensorChannel, ServerId, SimConfig,
-    SimEpochView, SimSnapshot, Simulation, VmId, WorkerPool,
+    ActuatorDrawShard, ActuatorShard, BusEvent, BusSnapshot, ControlBus, ControllerLayer,
+    EnclosureId, FaultInjector, FaultPlan, GrantMsg, InjectorSnapshot, LinkId, OutageWindow,
+    Reading, SensorChannel, ServerId, SimConfig, SimEpochView, SimSnapshot, Simulation, VmId,
+    WorkerPool,
 };
 use std::ops::Range;
 use std::sync::Mutex;
@@ -168,17 +169,42 @@ pub struct Runner {
     /// Telemetry sink; `None` costs one discriminant test per event site.
     recorder: Option<Box<dyn Recorder>>,
     // Rack-sharded parallel execution. The persistent worker pool and the
-    // topology's shard partition drive the parallel per-rack phase of the
-    // EC/SM epochs; `pool == None` is the fully sequential legacy path.
-    // Results are bit-identical at every thread count, so neither field
-    // is part of a checkpoint (resuming at a different `--threads` is
-    // exact by construction).
+    // topology's size-weighted shard partition drive the parallel phase
+    // of the simulator step and the EC/SM/EM epochs, the GM's window
+    // fan-out, and the electrical clamp; `pool == None` is the fully
+    // sequential legacy path. Results are bit-identical at every thread
+    // count, so none of these fields is part of a checkpoint (resuming
+    // at a different `--threads` is exact by construction).
     pool: Option<WorkerPool>,
     shards: Vec<Range<usize>>,
-    /// Pre-sampled per-server fault verdicts for one parallel epoch —
-    /// `(sensor reading, actuator write blocked)` — drawn sequentially in
-    /// the legacy RNG stream order before the workers fan out.
-    scratch_readings: Vec<(Reading, bool)>,
+    /// Per-shard enclosure ordinal ranges: `shard_encs[k]` are the
+    /// enclosures whose member servers lie entirely inside `shards[k]`.
+    /// Valid (dense, covering every enclosure) only when `enc_aligned`.
+    shard_encs: Vec<Range<usize>>,
+    /// Whether every enclosure is wholly owned by one shard (the weighted
+    /// [`nps_sim::Topology::shard_ranges`] partition snaps cuts to
+    /// enclosure boundaries, so this holds except for degenerate
+    /// topologies, e.g. an empty enclosure). Gates the parallel EM epoch
+    /// and GM fan-out; when false those run sequentially.
+    enc_aligned: bool,
+    /// Static copy of the fault plan's outage windows, so parallel shard
+    /// workers can evaluate `offline` without borrowing the injector
+    /// (whose actuator-jam state is carved into the shards).
+    outage_windows: Vec<OutageWindow>,
+    /// Pre-sampled per-server sensor readings for one parallel EC/SM
+    /// epoch, drawn sequentially in the legacy RNG stream order before
+    /// the workers fan out. (Actuator-jam verdicts are *not* pre-sampled:
+    /// they live on per-server counter streams and are drawn in-shard.)
+    scratch_readings: Vec<Reading>,
+    /// Pre-sampled per-enclosure sensor readings for one parallel EM
+    /// epoch (same contract as `scratch_readings`).
+    scratch_enc_readings: Vec<Reading>,
+    /// Pre-sampled plan-level message-loss verdicts for one parallel EM
+    /// epoch, indexed by CSR member slot (`enc_offsets`-based).
+    scratch_msg_lost: Vec<bool>,
+    /// Raw (pre-ingestion) per-child window averages computed by the GM
+    /// window fan-out: enclosures first, then standalone servers.
+    scratch_child_raw: Vec<f64>,
 }
 
 impl Runner {
@@ -372,15 +398,75 @@ impl Runner {
                 .map(|&s| models[s.index()].idle_power(0)),
         );
 
-        // One shard per non-empty rack plus the standalone tail. A pool
-        // only pays off when there are at least two shards to hand out;
-        // below that the sequential path is both faster and simpler.
-        let shards = cfg.topology.shard_ranges();
+        // Size-weighted shard partition: up to 2 shards per thread (so the
+        // pool's dynamic claiming can rebalance uneven racks), with cuts
+        // snapped to enclosure boundaries. A pool only pays off when there
+        // are at least two shards to hand out; below that the sequential
+        // path is both faster and simpler.
+        let shards = cfg.topology.shard_ranges(cfg.threads.max(1) * 2);
         let pool = if cfg.threads > 1 && shards.len() >= 2 {
             Some(WorkerPool::new(cfg.threads))
         } else {
             None
         };
+
+        // Map each enclosure to the shard wholly containing its members.
+        // `shard_ranges` snaps cuts to enclosure boundaries, so normally
+        // every enclosure is owned by exactly one shard and the EM epoch /
+        // GM window fan-out can run per-shard; a degenerate topology
+        // (empty enclosure, non-contiguous member ids) falls back to the
+        // sequential paths via `enc_aligned = false`.
+        let mut shard_encs: Vec<Range<usize>> = Vec::with_capacity(shards.len());
+        let mut enc_aligned = true;
+        {
+            let mut e = 0usize;
+            for r in &shards {
+                let start = e;
+                while e < num_enclosures {
+                    let (m0, m1) = (enc_offsets[e], enc_offsets[e + 1]);
+                    if m0 == m1 {
+                        enc_aligned = false;
+                        break;
+                    }
+                    let first = enc_members[m0].index();
+                    let last = enc_members[m1 - 1].index();
+                    if first < r.start || first >= r.end {
+                        break;
+                    }
+                    if last >= r.end || last - first + 1 != m1 - m0 {
+                        // Straddles a shard cut, or member ids are not
+                        // contiguous: no shard can own it outright.
+                        enc_aligned = false;
+                        break;
+                    }
+                    e += 1;
+                }
+                shard_encs.push(start..e);
+                if !enc_aligned {
+                    break;
+                }
+            }
+            if e != num_enclosures {
+                enc_aligned = false;
+            }
+            while shard_encs.len() < shards.len() {
+                shard_encs.push(num_enclosures..num_enclosures);
+            }
+        }
+        // The GM fan-out additionally indexes its standalone scratch by
+        // `server id - flat`, which requires the standalone tail to be
+        // dense after the blade region (true by construction).
+        let flat = enc_members.len();
+        if !standalone_ids
+            .iter()
+            .enumerate()
+            .all(|(k, s)| s.index() == flat + k)
+        {
+            enc_aligned = false;
+        }
+
+        let injector = FaultInjector::new(&cfg.faults, n);
+        let outage_windows = injector.plan().outages.clone();
 
         Ok(Self {
             label: cfg.label.clone(),
@@ -412,7 +498,7 @@ impl Runner {
             snap_power_gm: vec![0.0; n],
             snap_encpow_em: vec![0.0; cfg.topology.num_enclosures()],
             snap_encpow_gm: vec![0.0; cfg.topology.num_enclosures()],
-            injector: FaultInjector::new(&cfg.faults, n),
+            injector,
             fstats: FaultStats::default(),
             last_util_ec: vec![0.0; n],
             last_power_sm,
@@ -444,7 +530,13 @@ impl Runner {
             recorder: None,
             pool,
             shards,
+            shard_encs,
+            enc_aligned,
+            outage_windows,
             scratch_readings: Vec::new(),
+            scratch_enc_readings: Vec::new(),
+            scratch_msg_lost: Vec::new(),
+            scratch_child_raw: Vec::new(),
         })
     }
 
@@ -597,8 +689,15 @@ impl Runner {
     /// message, and synchronously drains due traffic so passthrough
     /// delivery lands in-place in the telemetry stream.
     fn deliver_grant(&mut self, link_slot: usize, watts: f64) {
-        let t = self.ticks_done;
         let plan_lost = self.injector.budget_message_lost();
+        self.deliver_grant_presampled(link_slot, watts, plan_lost);
+    }
+
+    /// [`Runner::deliver_grant`] with the plan-level loss verdict already
+    /// drawn — the parallel EM epoch pre-samples it in the sequential
+    /// pre-pass and replays the delivery here during its reduction.
+    fn deliver_grant_presampled(&mut self, link_slot: usize, watts: f64, plan_lost: bool) {
+        let t = self.ticks_done;
         let (_seq, enqueued) = self.bus.send(LinkId(link_slot), watts, t, plan_lost);
         if !enqueued {
             // Lost outright — by the plan-level draw or the bus's own
@@ -771,6 +870,15 @@ impl Runner {
         self.ticks_done
     }
 
+    /// Total wall-clock nanoseconds this run has spent inside parallel
+    /// shard phases (simulator step, EC/SM/EM epochs, GM fan-out,
+    /// electrical clamp). Zero for a sequential runner. The complement
+    /// against the run's total wall time is the sequential global phase
+    /// the `scale` bench reports.
+    pub fn parallel_nanos(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.busy_nanos())
+    }
+
     /// The VMC's current buffers `(b_loc, b_enc, b_grp)`.
     pub fn vmc_buffers(&self) -> (f64, f64, f64) {
         self.vmc.buffers()
@@ -804,7 +912,10 @@ impl Runner {
         if self.ticks_done > 0 {
             self.act();
         }
-        self.sim.step();
+        match &self.pool {
+            Some(pool) => self.sim.step_parallel(pool, &self.shards),
+            None => self.sim.step(),
+        }
         if let Some(trace) = &mut self.power_trace {
             trace.push(self.ticks_done, self.sim.group_power());
         }
@@ -1049,26 +1160,125 @@ impl Runner {
         if self.mask.vmc && t % iv.vmc == 0 {
             self.vmc_epoch();
         }
-        if let Some(elec) = self.elec.take() {
-            for (i, capper) in elec.iter().enumerate() {
+        if self.elec.is_some() {
+            if self.pool.is_some() {
+                self.elec_clamp_parallel();
+            } else {
+                self.elec_clamp_seq();
+            }
+        }
+    }
+
+    /// Sequential electrical CAP clamp: every powered-on server whose
+    /// P-state exceeds its fuse-level cap is clamped down.
+    fn elec_clamp_seq(&mut self) {
+        let t = self.ticks_done;
+        let elec = self.elec.take().expect("caller checked elec is present");
+        for (i, capper) in elec.iter().enumerate() {
+            let s = ServerId(i);
+            if !self.sim.is_on(s) {
+                continue;
+            }
+            let cur = self.sim.pstate(s);
+            let clamped = capper.clamp(cur);
+            if clamped != cur && self.write_pstate(s, clamped, ControllerKind::Electrical) {
+                self.emit(|| TelemetryEvent::PStateChange {
+                    tick: t,
+                    server: i,
+                    from: cur.index(),
+                    to: clamped.index(),
+                    source: ControllerKind::Electrical,
+                });
+            }
+        }
+        self.elec = Some(elec);
+    }
+
+    /// Sharded electrical CAP clamp: each worker clamps its own servers,
+    /// drawing the conditional actuator-jam verdict from the per-server
+    /// counter stream (order-free, so no pre-sampling is needed) and
+    /// buffering telemetry; the reduction replays buffers in ascending
+    /// shard order, which is ascending server order — the sequential
+    /// emission order exactly.
+    fn elec_clamp_parallel(&mut self) {
+        let t = self.ticks_done;
+        let recording = self.recording();
+        let elec = self.elec.take().expect("caller checked elec is present");
+        let (view, acts) = self.sim.epoch_shards(&self.shards);
+        let draws = self.injector.actuator_shards(&self.shards);
+        struct ElecShard<'a> {
+            range: Range<usize>,
+            act: ActuatorShard<'a>,
+            draw: ActuatorDrawShard<'a>,
+            fstats: FaultStats,
+            telemetry: Vec<TelemetryEvent>,
+        }
+        let cells: Vec<Mutex<ElecShard<'_>>> = self
+            .shards
+            .iter()
+            .zip(acts)
+            .zip(draws)
+            .map(|((range, act), draw)| {
+                Mutex::new(ElecShard {
+                    range: range.clone(),
+                    act,
+                    draw,
+                    fstats: FaultStats::default(),
+                    telemetry: Vec::new(),
+                })
+            })
+            .collect();
+        let cappers: &[ElectricalCapper] = &elec;
+        let pool = self.pool.as_ref().expect("parallel clamp requires a pool");
+        pool.execute(cells.len(), &|k| {
+            let mut guard = cells[k].lock().expect("elec shard lock");
+            let sh = &mut *guard;
+            for i in sh.range.clone() {
                 let s = ServerId(i);
-                if !self.sim.is_on(s) {
+                if !view.is_on(s) {
                     continue;
                 }
-                let cur = self.sim.pstate(s);
-                let clamped = capper.clamp(cur);
-                if clamped != cur && self.write_pstate(s, clamped, ControllerKind::Electrical) {
-                    self.emit(|| TelemetryEvent::PStateChange {
-                        tick: t,
-                        server: i,
-                        from: cur.index(),
-                        to: clamped.index(),
-                        source: ControllerKind::Electrical,
-                    });
+                let cur = sh.act.pstate(s);
+                let clamped = cappers[i].clamp(cur);
+                if clamped == cur {
+                    continue;
+                }
+                if sh.draw.pstate_write_blocked(i, t) {
+                    sh.fstats.actuator_blocked += 1;
+                    if recording {
+                        sh.telemetry.push(TelemetryEvent::ActuatorFault {
+                            tick: t,
+                            server: i,
+                            source: ControllerKind::Electrical,
+                        });
+                    }
+                } else {
+                    sh.act.set_pstate(s, clamped);
+                    if recording {
+                        sh.telemetry.push(TelemetryEvent::PStateChange {
+                            tick: t,
+                            server: i,
+                            from: cur.index(),
+                            to: clamped.index(),
+                            source: ControllerKind::Electrical,
+                        });
+                    }
                 }
             }
-            self.elec = Some(elec);
+        });
+        let mut effects = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let sh = cell.into_inner().expect("worker panics already propagated");
+            self.fstats.merge(&sh.fstats);
+            if let Some(r) = &mut self.recorder {
+                for ev in sh.telemetry {
+                    r.record(ev);
+                }
+            }
+            effects.push(sh.act.into_effects());
         }
+        self.sim.absorb_shard_effects(effects);
+        self.elec = Some(elec);
     }
 
     /// Window-average power per server since the given snapshot, updating
@@ -1089,31 +1299,35 @@ impl Runner {
     }
 
     fn sm_epoch(&mut self, window: u64) {
-        // The uncoordinated SM's P-state write is *conditional* on
-        // controller state, so its actuator-fault RNG draw cannot be
-        // pre-sampled without running the controller; with actuator
-        // faults active that combination stays on the sequential path.
-        let unsamplable =
-            self.mask.sm && !self.mode.sm_actuates_r_ref() && self.injector.actuators_active();
-        if self.pool.is_some() && !unsamplable {
+        // The uncoordinated SM's conditional P-state write draws its
+        // actuator-jam verdict from the per-server counter stream, which
+        // is order-free across shards — so every SM variant parallelizes.
+        if self.pool.is_some() {
             self.sm_epoch_parallel(window);
         } else {
             self.sm_epoch_seq(window);
         }
     }
 
-    /// Sequential global pre-pass for a parallel EC epoch: replays the
-    /// legacy per-server fault-injector call sequence — `sense`, then
-    /// `pstate_write_blocked`, per powered-on server in ascending order —
-    /// so every RNG draw lands in the stream position the sequential
-    /// epoch would have used. Raw readings are computed read-only; the
-    /// workers update the window snapshots.
+    fn em_epoch(&mut self, window: u64) {
+        if self.pool.is_some() && self.enc_aligned {
+            self.em_epoch_parallel(window);
+        } else {
+            self.em_epoch_seq(window);
+        }
+    }
+
+    /// Sequential global pre-pass for a parallel EC epoch: one `sense`
+    /// draw per powered-on server in ascending order, so every shared-
+    /// stream RNG draw lands in the position the sequential epoch would
+    /// have used. Raw readings are computed read-only; the workers update
+    /// the window snapshots. Actuator-jam verdicts are *not* pre-sampled:
+    /// they come from per-server counter streams and are drawn in-shard.
     fn presample_ec_faults(&mut self, window: u64) {
         let t = self.ticks_done;
         let n = self.models.len();
         self.scratch_readings.clear();
-        self.scratch_readings
-            .resize(n, (Reading::Clean(0.0), false));
+        self.scratch_readings.resize(n, Reading::Clean(0.0));
         for i in 0..n {
             let s = ServerId(i);
             if !self.sim.is_on(s) {
@@ -1121,25 +1335,21 @@ impl Runner {
             }
             let cum = self.sim.cumulative_utilization(s);
             let raw = (cum - self.snap_util_ec[i]) / window.max(1) as f64;
-            let reading = self
-                .injector
-                .sense(SensorChannel::ServerUtilization, i, t, raw);
-            let blocked = self.injector.pstate_write_blocked(i, t);
-            self.scratch_readings[i] = (reading, blocked);
+            self.scratch_readings[i] =
+                self.injector
+                    .sense(SensorChannel::ServerUtilization, i, t, raw);
         }
     }
 
     /// Sequential global pre-pass for a parallel SM epoch: one `sense`
-    /// draw per powered-on server in ascending order (the parallel-
-    /// eligible SM variants never draw for actuation — the coordinated SM
-    /// actuates `r_ref`, and the uncoordinated variant only runs in
-    /// parallel with actuator faults inactive).
+    /// draw per powered-on server in ascending order (the uncoordinated
+    /// SM's conditional actuator draw comes from the counter stream,
+    /// in-shard).
     fn presample_sm_faults(&mut self, window: u64) {
         let t = self.ticks_done;
         let n = self.models.len();
         self.scratch_readings.clear();
-        self.scratch_readings
-            .resize(n, (Reading::Clean(0.0), false));
+        self.scratch_readings.resize(n, Reading::Clean(0.0));
         for i in 0..n {
             let s = ServerId(i);
             if !self.sim.is_on(s) {
@@ -1147,15 +1357,44 @@ impl Runner {
             }
             let cum = self.sim.cumulative_power(s);
             let raw = (cum - self.snap_power_sm[i]) / window.max(1) as f64;
-            let reading = self.injector.sense(SensorChannel::ServerPower, i, t, raw);
-            self.scratch_readings[i] = (reading, false);
+            self.scratch_readings[i] = self.injector.sense(SensorChannel::ServerPower, i, t, raw);
+        }
+    }
+
+    /// Sequential global pre-pass for a parallel EM epoch, replaying the
+    /// sequential epoch's exact interleaved draw order: for each
+    /// enclosure in ascending order, one `sense` draw on its raw window
+    /// total, then — when the EM layer is deployed, budgets flow down,
+    /// and the enclosure's EM is online — one plan-level message-loss
+    /// draw per member (the grant deliveries the epoch will make). Raw
+    /// totals are computed read-only against the standing snapshots; the
+    /// workers update them.
+    fn presample_em_faults(&mut self, window: u64) {
+        let t = self.ticks_done;
+        self.scratch_enc_readings.clear();
+        self.scratch_msg_lost.clear();
+        self.scratch_msg_lost.resize(self.enc_members.len(), false);
+        let draw_msgs =
+            self.injector.messages_active() && self.mask.em && self.mode.budgets_flow_down();
+        for e in 0..self.ems.len() {
+            let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
+            let raw_total = (enc_cum - self.snap_encpow_em[e]) / window.max(1) as f64;
+            let reading = self
+                .injector
+                .sense(SensorChannel::EnclosurePower, e, t, raw_total);
+            self.scratch_enc_readings.push(reading);
+            if draw_msgs && !self.injector.offline(ControllerLayer::Em, e, t) {
+                for k in self.enc_offsets[e]..self.enc_offsets[e + 1] {
+                    self.scratch_msg_lost[k] = self.injector.budget_message_lost();
+                }
+            }
         }
     }
 
     fn ec_epoch_parallel(&mut self, window: u64) {
         let t = self.ticks_done;
         let recording = self.recording();
-        let pre = self.injector.sensors_active() || self.injector.actuators_active();
+        let pre = self.injector.sensors_active();
         if pre {
             self.presample_ec_faults(window);
         }
@@ -1164,11 +1403,12 @@ impl Runner {
             &self.shards,
             &mut self.sim,
             &mut self.bank,
+            &mut self.injector,
             &mut self.snap_util_ec,
             &mut self.last_util_ec,
             &mut self.sm_hold,
         );
-        let readings: &[(Reading, bool)] = &self.scratch_readings;
+        let readings: &[Reading] = &self.scratch_readings;
         let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
         pool.execute(cells.len(), &|k| {
             let mut guard = cells[k].lock().expect("epoch shard lock");
@@ -1182,10 +1422,10 @@ impl Runner {
                 let cum = view.cumulative_utilization(s);
                 let raw = (cum - sh.snap[off]) / window.max(1) as f64;
                 sh.snap[off] = cum;
-                let (reading, blocked) = if pre {
+                let reading = if pre {
                     readings[i]
                 } else {
-                    (Reading::Clean(raw), false)
+                    Reading::Clean(raw)
                 };
                 let util = shard_ingest(reading, t, ControllerKind::Ec, i, sh, off, recording);
                 let desired = sh.bank.ec_step(i, util);
@@ -1198,7 +1438,7 @@ impl Runner {
                     desired
                 };
                 let before = sh.act.pstate(s);
-                if blocked {
+                if sh.draw.pstate_write_blocked(i, t) {
                     sh.fstats.actuator_blocked += 1;
                     if recording {
                         sh.telemetry.push(TelemetryEvent::ActuatorFault {
@@ -1252,12 +1492,13 @@ impl Runner {
             &self.shards,
             &mut self.sim,
             &mut self.bank,
+            &mut self.injector,
             &mut self.snap_power_sm,
             &mut self.last_power_sm,
             &mut self.sm_hold,
         );
-        let readings: &[(Reading, bool)] = &self.scratch_readings;
-        let injector: &FaultInjector = &self.injector;
+        let readings: &[Reading] = &self.scratch_readings;
+        let outages: &[OutageWindow] = &self.outage_windows;
         let cap_loc: &[f64] = &self.cap_loc;
         let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
         pool.execute(cells.len(), &|k| {
@@ -1276,7 +1517,7 @@ impl Runner {
                 let raw = (cum - sh.snap[off]) / window.max(1) as f64;
                 sh.snap[off] = cum;
                 let reading = if pre {
-                    readings[i].0
+                    readings[i]
                 } else {
                     Reading::Clean(raw)
                 };
@@ -1295,7 +1536,7 @@ impl Runner {
                 if !mask_sm {
                     continue;
                 }
-                if injector.offline(ControllerLayer::Sm, i, t) {
+                if offline_in(outages, ControllerLayer::Sm, i, t) {
                     sh.fstats.outage_epochs += 1;
                     if recording {
                         sh.telemetry.push(TelemetryEvent::ControllerOutage {
@@ -1330,16 +1571,32 @@ impl Runner {
                         }
                     }
                 } else {
-                    // Only reached with actuator faults inactive (the
-                    // dispatcher picked the sequential path otherwise), so
-                    // this conditional write cannot be blocked and the
-                    // injector draws nothing here.
                     let current = sh.act.pstate(s);
                     let (_, forced) = sh.bank.sm_step_uncoordinated(i, avg, current);
                     if merges {
                         sh.sm_hold[off] = forced;
-                        if let Some(p) = forced {
-                            let applied = PState(p.index().max(current.index()));
+                    }
+                    // The race (in the non-merge mode): this write lands on
+                    // the same actuator the EC writes every tick. The jam
+                    // verdict comes from the per-server counter stream and
+                    // is drawn only when a write actually happens — the
+                    // sequential short-circuit exactly.
+                    if let Some(p) = forced {
+                        let applied = if merges {
+                            PState(p.index().max(current.index()))
+                        } else {
+                            p
+                        };
+                        if sh.draw.pstate_write_blocked(i, t) {
+                            sh.fstats.actuator_blocked += 1;
+                            if recording {
+                                sh.telemetry.push(TelemetryEvent::ActuatorFault {
+                                    tick: t,
+                                    server: i,
+                                    source: ControllerKind::Sm,
+                                });
+                            }
+                        } else {
                             sh.act.set_pstate(s, applied);
                             if recording && applied != current {
                                 sh.telemetry.push(TelemetryEvent::PStateChange {
@@ -1350,19 +1607,6 @@ impl Runner {
                                     source: ControllerKind::Sm,
                                 });
                             }
-                        }
-                    } else if let Some(p) = forced {
-                        // The race: this write lands on the same actuator
-                        // the EC writes every tick.
-                        sh.act.set_pstate(s, p);
-                        if recording && p != current {
-                            sh.telemetry.push(TelemetryEvent::PStateChange {
-                                tick: t,
-                                server: i,
-                                from: current.index(),
-                                to: p.index(),
-                                source: ControllerKind::Sm,
-                            });
                         }
                     }
                 }
@@ -1385,6 +1629,298 @@ impl Runner {
             effects.push(sh.act.into_effects());
         }
         self.sim.absorb_shard_effects(effects);
+    }
+
+    /// The parallel EM epoch. Requires `enc_aligned`: every enclosure is
+    /// wholly owned by one shard, so each worker runs the full sequential
+    /// per-enclosure pipeline — member window averages, enclosure ingest,
+    /// violation accounting, offline fallback, and `reallocate` — against
+    /// its own slices. Side effects that must land in the sequential
+    /// order (telemetry, bus grant deliveries) are buffered per enclosure
+    /// and replayed ascending in the reduction; shared-stream RNG draws
+    /// were pre-sampled by [`Runner::presample_em_faults`].
+    fn em_epoch_parallel(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let recording = self.recording();
+        let pre = self.injector.sensors_active() || self.injector.messages_active();
+        if pre {
+            self.presample_em_faults(window);
+        }
+        let mask_em = self.mask.em;
+        let flows_down = self.mode.budgets_flow_down();
+        let lease_free = self.lease_ticks == 0;
+
+        /// One enclosure's ordered side effects, replayed in the
+        /// reduction: its buffered telemetry, then (coordinated modes)
+        /// its member grant deliveries through the bus.
+        struct EmEncRecord {
+            enc: usize,
+            telemetry: Vec<TelemetryEvent>,
+            grants: Option<Vec<f64>>,
+        }
+        struct EmShard<'a> {
+            /// First global server id of this shard's server range.
+            lo: usize,
+            /// First global enclosure id of this shard's enclosure range.
+            enc_lo: usize,
+            bank: BankShard<'a>,
+            act: ActuatorShard<'a>,
+            draw: ActuatorDrawShard<'a>,
+            snap_pow: &'a mut [f64],
+            snap_encpow: &'a mut [f64],
+            last_encpow: &'a mut [f64],
+            em_was_down: &'a mut [bool],
+            ems: &'a mut [GroupCapper],
+            power: Vec<f64>,
+            caps: Vec<f64>,
+            fstats: FaultStats,
+            win: ViolationCounter,
+            records: Vec<EmEncRecord>,
+        }
+
+        let (view, acts) = self.sim.epoch_shards(&self.shards);
+        let banks = self.bank.shards(&self.shards);
+        let draws = self.injector.actuator_shards(&self.shards);
+        let snap_pows = split_ranges(&mut self.snap_power_em, &self.shards);
+        let snap_encs = split_ranges(&mut self.snap_encpow_em, &self.shard_encs);
+        let last_encs = split_ranges(&mut self.last_encpow_em, &self.shard_encs);
+        let was_downs = split_ranges(&mut self.em_was_down, &self.shard_encs);
+        let emss = split_ranges(&mut self.ems, &self.shard_encs);
+        let cells: Vec<Mutex<EmShard<'_>>> = self
+            .shards
+            .iter()
+            .zip(self.shard_encs.iter())
+            .zip(banks)
+            .zip(acts)
+            .zip(draws)
+            .zip(snap_pows)
+            .zip(snap_encs)
+            .zip(last_encs)
+            .zip(was_downs)
+            .zip(emss)
+            .map(
+                |(
+                    (
+                        (
+                            ((((((range, enc_range), bank), act), draw), snap_pow), snap_encpow),
+                            last_encpow,
+                        ),
+                        em_was_down,
+                    ),
+                    ems,
+                )| {
+                    Mutex::new(EmShard {
+                        lo: range.start,
+                        enc_lo: enc_range.start,
+                        bank,
+                        act,
+                        draw,
+                        snap_pow,
+                        snap_encpow,
+                        last_encpow,
+                        em_was_down,
+                        ems,
+                        power: Vec::new(),
+                        caps: Vec::new(),
+                        fstats: FaultStats::default(),
+                        win: ViolationCounter::new(),
+                        records: Vec::new(),
+                    })
+                },
+            )
+            .collect();
+        let readings: &[Reading] = &self.scratch_enc_readings;
+        let outages: &[OutageWindow] = &self.outage_windows;
+        let cap_loc: &[f64] = &self.cap_loc;
+        let enc_offsets: &[usize] = &self.enc_offsets;
+        let enc_members: &[ServerId] = &self.enc_members;
+        let models: &[ServerModel] = &self.models;
+        let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
+        pool.execute(cells.len(), &|kk| {
+            let mut guard = cells[kk].lock().expect("epoch shard lock");
+            let sh = &mut *guard;
+            for ee in 0..sh.ems.len() {
+                let e = sh.enc_lo + ee;
+                let (m0, m1) = (enc_offsets[e], enc_offsets[e + 1]);
+                let mut rec = EmEncRecord {
+                    enc: e,
+                    telemetry: Vec::new(),
+                    grants: None,
+                };
+                sh.power.clear();
+                sh.caps.clear();
+                for &s in &enc_members[m0..m1] {
+                    let off = s.index() - sh.lo;
+                    let cum = view.cumulative_power(s);
+                    let avg = (cum - sh.snap_pow[off]) / window.max(1) as f64;
+                    sh.snap_pow[off] = cum;
+                    sh.power.push(avg);
+                }
+                let enc_cum = view.cumulative_enclosure_power(EnclosureId(e));
+                let raw_total = (enc_cum - sh.snap_encpow[ee]) / window.max(1) as f64;
+                sh.snap_encpow[ee] = enc_cum;
+                let reading = if pre {
+                    readings[e]
+                } else {
+                    Reading::Clean(raw_total)
+                };
+                let total = ingest_buffered(
+                    reading,
+                    t,
+                    ControllerKind::Em,
+                    e,
+                    &mut sh.fstats,
+                    &mut rec.telemetry,
+                    &mut sh.last_encpow[ee],
+                    recording,
+                );
+                let static_cap = sh.ems[ee].static_cap_watts();
+                let violated_static = total > static_cap;
+                sh.win.record(violated_static);
+                if violated_static && recording {
+                    rec.telemetry.push(TelemetryEvent::Violation {
+                        tick: t,
+                        level: BudgetLevel::Enclosure,
+                        observed_watts: total,
+                        cap_watts: static_cap,
+                        effective: false,
+                    });
+                }
+                if !mask_em {
+                    sh.records.push(rec);
+                    continue;
+                }
+                if offline_in(outages, ControllerLayer::Em, e, t) {
+                    if !sh.em_was_down[ee] {
+                        sh.em_was_down[ee] = true;
+                        // Members just lost their parent manager: fall back
+                        // to local static caps (stale dynamic grants from a
+                        // dead EM could strangle them indefinitely). With
+                        // leases on, the lease state machine covers this
+                        // uniformly — orphaned grants simply expire.
+                        if flows_down && lease_free {
+                            for &s in &enc_members[m0..m1] {
+                                sh.bank.set_granted_cap(s.index(), f64::INFINITY);
+                                sh.fstats.degradations += 1;
+                                if recording {
+                                    rec.telemetry.push(TelemetryEvent::Degradation {
+                                        tick: t,
+                                        controller: ControllerKind::Sm,
+                                        index: s.index(),
+                                        policy: DegradationPolicy::LocalCapFallback,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    sh.fstats.outage_epochs += 1;
+                    if recording {
+                        rec.telemetry.push(TelemetryEvent::ControllerOutage {
+                            tick: t,
+                            controller: ControllerKind::Em,
+                            index: e,
+                        });
+                    }
+                    sh.records.push(rec);
+                    continue;
+                }
+                sh.em_was_down[ee] = false;
+                let eff_cap = sh.ems[ee].effective_cap_watts();
+                if total > eff_cap && eff_cap < static_cap && recording {
+                    rec.telemetry.push(TelemetryEvent::Violation {
+                        tick: t,
+                        level: BudgetLevel::Enclosure,
+                        observed_watts: total,
+                        cap_watts: eff_cap,
+                        effective: true,
+                    });
+                }
+                for &s in &enc_members[m0..m1] {
+                    sh.caps.push(cap_loc[s.index()]);
+                }
+                let allocations = sh.ems[ee].reallocate(&sh.power, &sh.caps);
+                if flows_down {
+                    // Bus deliveries draw from the bus's own RNG stream and
+                    // must land in ascending enclosure order — deferred to
+                    // the reduction.
+                    rec.grants = Some(allocations);
+                } else if total > sh.ems[ee].effective_cap_watts() {
+                    // Uncoordinated enclosure capper: on violation, directly
+                    // clamp member P-states to fit their allocation — racing
+                    // with the EC and SM.
+                    for (k, &alloc) in allocations.iter().enumerate() {
+                        let s = enc_members[m0 + k];
+                        if !view.is_on(s) {
+                            continue;
+                        }
+                        let model = &models[s.index()];
+                        let forced = model
+                            .pstate_for_power_budget(alloc)
+                            .unwrap_or_else(|| model.deepest());
+                        let before = sh.act.pstate(s);
+                        if sh.draw.pstate_write_blocked(s.index(), t) {
+                            sh.fstats.actuator_blocked += 1;
+                            if recording {
+                                rec.telemetry.push(TelemetryEvent::ActuatorFault {
+                                    tick: t,
+                                    server: s.index(),
+                                    source: ControllerKind::Em,
+                                });
+                            }
+                        } else {
+                            sh.act.set_pstate(s, forced);
+                            if recording && forced != before {
+                                rec.telemetry.push(TelemetryEvent::PStateChange {
+                                    tick: t,
+                                    server: s.index(),
+                                    from: before.index(),
+                                    to: forced.index(),
+                                    source: ControllerKind::Em,
+                                });
+                            }
+                        }
+                    }
+                }
+                sh.records.push(rec);
+            }
+        });
+        // Drain every cell to owned data first (the grant replay below
+        // needs `&mut self`, which the live cells' borrows would forbid).
+        let mut all_records: Vec<EmEncRecord> = Vec::new();
+        let mut effects = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let sh = cell.into_inner().expect("worker panics already propagated");
+            self.fstats.merge(&sh.fstats);
+            self.violations.enclosure.merge(sh.win);
+            self.win_em.merge(sh.win);
+            all_records.extend(sh.records);
+            effects.push(sh.act.into_effects());
+        }
+        self.sim.absorb_shard_effects(effects);
+        // Ascending shards own ascending enclosure ranges, so this replay
+        // is ascending-enclosure order — the sequential epoch's exact
+        // telemetry, bus-send, and bus-poll sequence.
+        for rec in all_records {
+            if let Some(r) = &mut self.recorder {
+                for ev in rec.telemetry {
+                    r.record(ev);
+                }
+            }
+            if let Some(grants) = rec.grants {
+                let m0 = self.enc_offsets[rec.enc];
+                for (k, &watts) in grants.iter().enumerate() {
+                    let s = self.enc_members[m0 + k];
+                    let slot = self.server_link[s.index()]
+                        .expect("every enclosure member has a grant link");
+                    let plan_lost = if pre {
+                        self.scratch_msg_lost[m0 + k]
+                    } else {
+                        false
+                    };
+                    self.deliver_grant_presampled(slot, watts, plan_lost);
+                }
+            }
+        }
     }
 
     fn ec_epoch_seq(&mut self, window: u64) {
@@ -1534,7 +2070,7 @@ impl Runner {
         }
     }
 
-    fn em_epoch(&mut self, window: u64) {
+    fn em_epoch_seq(&mut self, window: u64) {
         let t = self.ticks_done;
         for e in 0..self.ems.len() {
             // Enclosure `e`'s members are the CSR slice
@@ -1657,12 +2193,24 @@ impl Runner {
     }
 
     fn gm_epoch(&mut self, window: u64) {
-        let t = self.ticks_done;
-        // Children: enclosures first, then standalone servers.
-        let num_enclosures = self.ems.len();
-        self.scratch_consumption.clear();
-        self.scratch_child_caps.clear();
-        for e in 0..num_enclosures {
+        // The GM's window computation (averages over every server and
+        // enclosure) is RNG-free and embarrassingly parallel; only the
+        // ingest draws and the arbitration that follows are inherently
+        // sequential. Fan the windows out when a pool is available.
+        if self.pool.is_some() && self.enc_aligned {
+            self.gm_window_fanout(window);
+        } else {
+            self.gm_window_seq(window);
+        }
+        self.gm_arbitrate();
+    }
+
+    /// Sequential GM window pass: fills `scratch_child_raw` with each
+    /// child's raw window-average power (enclosures first, then
+    /// standalone servers) and advances the GM snapshots.
+    fn gm_window_seq(&mut self, window: u64) {
+        self.scratch_child_raw.clear();
+        for e in 0..self.ems.len() {
             // Keep the per-server GM snapshots warm for standalone reads.
             for k in self.enc_offsets[e]..self.enc_offsets[e + 1] {
                 let s = self.enc_members[k];
@@ -1672,14 +2220,122 @@ impl Runner {
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
             let raw = (enc_cum - self.snap_encpow_gm[e]) / window.max(1) as f64;
             self.snap_encpow_gm[e] = enc_cum;
+            self.scratch_child_raw.push(raw);
+        }
+        for k in 0..self.standalone_ids.len() {
+            let s = self.standalone_ids[k];
+            let raw = Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
+            self.scratch_child_raw.push(raw);
+        }
+    }
+
+    /// Parallel GM window pass — bit-identical to [`Runner::gm_window_seq`]
+    /// because it performs the same per-child arithmetic and touches no
+    /// RNG stream at all. Requires `enc_aligned` so each worker's
+    /// enclosure and standalone slices fall inside its server range.
+    fn gm_window_fanout(&mut self, window: u64) {
+        let num_enclosures = self.ems.len();
+        let flat = self.enc_members.len();
+        let num_sa = self.standalone_ids.len();
+        self.scratch_child_raw.clear();
+        self.scratch_child_raw.resize(num_enclosures + num_sa, 0.0);
+
+        struct GmShard<'a> {
+            /// First global server id of this shard's server range.
+            lo: usize,
+            /// First global enclosure id of this shard's enclosure range.
+            enc_lo: usize,
+            /// First standalone-child ordinal of this shard.
+            sa_lo: usize,
+            snap_pow: &'a mut [f64],
+            snap_enc: &'a mut [f64],
+            enc_raw: &'a mut [f64],
+            sa_raw: &'a mut [f64],
+        }
+
+        // Standalone servers are a dense tail (`enc_aligned` guarantees
+        // it), so each server shard maps to a dense standalone range.
+        let sa_ranges: Vec<Range<usize>> = self
+            .shards
+            .iter()
+            .map(|r| (r.start.max(flat) - flat)..(r.end.max(flat) - flat))
+            .collect();
+        let view = self.sim.epoch_view();
+        let (enc_raw_all, sa_raw_all) = self.scratch_child_raw.split_at_mut(num_enclosures);
+        let snap_pows = split_ranges(&mut self.snap_power_gm, &self.shards);
+        let snap_encs = split_ranges(&mut self.snap_encpow_gm, &self.shard_encs);
+        let enc_raws = split_ranges(enc_raw_all, &self.shard_encs);
+        let sa_raws = split_ranges(sa_raw_all, &sa_ranges);
+        let cells: Vec<Mutex<GmShard<'_>>> = self
+            .shards
+            .iter()
+            .zip(self.shard_encs.iter())
+            .zip(&sa_ranges)
+            .zip(snap_pows)
+            .zip(snap_encs)
+            .zip(enc_raws)
+            .zip(sa_raws)
+            .map(
+                |((((((range, enc_range), sa_range), snap_pow), snap_enc), enc_raw), sa_raw)| {
+                    Mutex::new(GmShard {
+                        lo: range.start,
+                        enc_lo: enc_range.start,
+                        sa_lo: sa_range.start,
+                        snap_pow,
+                        snap_enc,
+                        enc_raw,
+                        sa_raw,
+                    })
+                },
+            )
+            .collect();
+        let enc_offsets: &[usize] = &self.enc_offsets;
+        let enc_members: &[ServerId] = &self.enc_members;
+        let standalone: &[ServerId] = &self.standalone_ids;
+        let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
+        pool.execute(cells.len(), &|kk| {
+            let mut guard = cells[kk].lock().expect("epoch shard lock");
+            let sh = &mut *guard;
+            for ee in 0..sh.snap_enc.len() {
+                let e = sh.enc_lo + ee;
+                for &s in &enc_members[enc_offsets[e]..enc_offsets[e + 1]] {
+                    // The sequential pass only warms the per-server
+                    // snapshot here (the member average is discarded).
+                    sh.snap_pow[s.index() - sh.lo] = view.cumulative_power(s);
+                }
+                let enc_cum = view.cumulative_enclosure_power(EnclosureId(e));
+                sh.enc_raw[ee] = (enc_cum - sh.snap_enc[ee]) / window.max(1) as f64;
+                sh.snap_enc[ee] = enc_cum;
+            }
+            for j in 0..sh.sa_raw.len() {
+                let s = standalone[sh.sa_lo + j];
+                let off = s.index() - sh.lo;
+                let cum = view.cumulative_power(s);
+                sh.sa_raw[j] = (cum - sh.snap_pow[off]) / window.max(1) as f64;
+                sh.snap_pow[off] = cum;
+            }
+        });
+    }
+
+    /// The sequential remainder of a GM epoch: ingest each child's raw
+    /// window average from `scratch_child_raw` (consecutive shared-stream
+    /// sense draws, exactly the legacy order), then arbitrate and deliver.
+    fn gm_arbitrate(&mut self) {
+        let t = self.ticks_done;
+        // Children: enclosures first, then standalone servers.
+        let num_enclosures = self.ems.len();
+        self.scratch_consumption.clear();
+        self.scratch_child_caps.clear();
+        for e in 0..num_enclosures {
+            let raw = self.scratch_child_raw[e];
             let v = self.ingest(SensorChannel::GroupChildPower, ControllerKind::Gm, e, raw);
             self.scratch_consumption.push(v);
             self.scratch_child_caps.push(self.cap_enc[e]);
         }
         for k in 0..self.standalone_ids.len() {
             let s = self.standalone_ids[k];
-            let raw = Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
             let child = num_enclosures + k;
+            let raw = self.scratch_child_raw[child];
             let v = self.ingest(
                 SensorChannel::GroupChildPower,
                 ControllerKind::Gm,
@@ -1965,6 +2621,9 @@ struct EpochShard<'a> {
     lo: usize,
     bank: BankShard<'a>,
     act: ActuatorShard<'a>,
+    /// This shard's slice of the per-server actuator-jam counter
+    /// streams (order-free draws, safe to evaluate in-shard).
+    draw: ActuatorDrawShard<'a>,
     /// This epoch's measurement-window snapshots (EC: utilization,
     /// SM: power), shard slice.
     snap: &'a mut [f64],
@@ -1977,6 +2636,14 @@ struct EpochShard<'a> {
     telemetry: Vec<TelemetryEvent>,
     /// Static-cap violation verdicts (SM epochs only; order-free).
     win: ViolationCounter,
+}
+
+/// Offline check against a static copy of the fault plan's outage
+/// windows — usable from inside a worker while the injector itself is
+/// carved into actuator-draw shards. [`FaultInjector::offline`] is a
+/// pure scan of the same windows, so verdicts are identical.
+fn offline_in(outages: &[OutageWindow], layer: ControllerLayer, index: usize, tick: u64) -> bool {
+    outages.iter().any(|w| w.covers(layer, index, tick))
 }
 
 /// Splits `data` into the per-shard slices of a dense ascending
@@ -2002,12 +2669,14 @@ fn carve_shards<'a>(
     ranges: &[Range<usize>],
     sim: &'a mut Simulation,
     bank: &'a mut ControllerBank,
+    injector: &'a mut FaultInjector,
     snap: &'a mut [f64],
     last_good: &'a mut [f64],
     sm_hold: &'a mut [Option<PState>],
 ) -> (SimEpochView<'a>, Vec<Mutex<EpochShard<'a>>>) {
     let (view, acts) = sim.epoch_shards(ranges);
     let banks = bank.shards(ranges);
+    let draws = injector.actuator_shards(ranges);
     let snaps = split_ranges(snap, ranges);
     let lasts = split_ranges(last_good, ranges);
     let holds = split_ranges(sm_hold, ranges);
@@ -2015,22 +2684,26 @@ fn carve_shards<'a>(
         .iter()
         .zip(banks)
         .zip(acts)
+        .zip(draws)
         .zip(snaps)
         .zip(lasts)
         .zip(holds)
-        .map(|(((((range, bank), act), snap), last_good), sm_hold)| {
-            Mutex::new(EpochShard {
-                lo: range.start,
-                bank,
-                act,
-                snap,
-                last_good,
-                sm_hold,
-                fstats: FaultStats::default(),
-                telemetry: Vec::new(),
-                win: ViolationCounter::new(),
-            })
-        })
+        .map(
+            |((((((range, bank), act), draw), snap), last_good), sm_hold)| {
+                Mutex::new(EpochShard {
+                    lo: range.start,
+                    bank,
+                    act,
+                    draw,
+                    snap,
+                    last_good,
+                    sm_hold,
+                    fstats: FaultStats::default(),
+                    telemetry: Vec::new(),
+                    win: ViolationCounter::new(),
+                })
+            },
+        )
         .collect();
     (view, cells)
 }
@@ -2049,12 +2722,41 @@ fn shard_ingest(
     off: usize,
     recording: bool,
 ) -> f64 {
+    ingest_buffered(
+        reading,
+        t,
+        ctrl,
+        idx,
+        &mut sh.fstats,
+        &mut sh.telemetry,
+        &mut sh.last_good[off],
+        recording,
+    )
+}
+
+/// The buffered core of the shard-local ingest: identical arithmetic
+/// and identical fault/degradation accounting to [`Runner::ingest`],
+/// with counters and telemetry accumulated into the caller's buffers
+/// instead of applied globally. The sensor reading itself was either
+/// pre-sampled in the sequential RNG pre-pass or is trivially `Clean`
+/// (injector inactive).
+#[allow(clippy::too_many_arguments)]
+fn ingest_buffered(
+    reading: Reading,
+    t: u64,
+    ctrl: ControllerKind,
+    idx: usize,
+    fstats: &mut FaultStats,
+    telemetry: &mut Vec<TelemetryEvent>,
+    last_good: &mut f64,
+    recording: bool,
+) -> f64 {
     let delivered = match reading {
         Reading::Clean(v) => Some(v),
         Reading::Noisy(v) => {
-            sh.fstats.sensor_noise += 1;
+            fstats.sensor_noise += 1;
             if recording {
-                sh.telemetry.push(TelemetryEvent::SensorFault {
+                telemetry.push(TelemetryEvent::SensorFault {
                     tick: t,
                     controller: ctrl,
                     index: idx,
@@ -2064,9 +2766,9 @@ fn shard_ingest(
             Some(v)
         }
         Reading::Stuck(v) => {
-            sh.fstats.sensor_stuck += 1;
+            fstats.sensor_stuck += 1;
             if recording {
-                sh.telemetry.push(TelemetryEvent::SensorFault {
+                telemetry.push(TelemetryEvent::SensorFault {
                     tick: t,
                     controller: ctrl,
                     index: idx,
@@ -2076,9 +2778,9 @@ fn shard_ingest(
             Some(v)
         }
         Reading::Dropped => {
-            sh.fstats.sensor_dropped += 1;
+            fstats.sensor_dropped += 1;
             if recording {
-                sh.telemetry.push(TelemetryEvent::SensorFault {
+                telemetry.push(TelemetryEvent::SensorFault {
                     tick: t,
                     controller: ctrl,
                     index: idx,
@@ -2091,31 +2793,31 @@ fn shard_ingest(
     let value = match delivered {
         Some(v) if v.is_finite() && v >= 0.0 => v,
         Some(_) => {
-            sh.fstats.clamped_inputs += 1;
+            fstats.clamped_inputs += 1;
             if recording {
-                sh.telemetry.push(TelemetryEvent::Degradation {
+                telemetry.push(TelemetryEvent::Degradation {
                     tick: t,
                     controller: ctrl,
                     index: idx,
                     policy: DegradationPolicy::ClampNonFinite,
                 });
             }
-            sh.last_good[off]
+            *last_good
         }
         None => {
-            sh.fstats.degradations += 1;
+            fstats.degradations += 1;
             if recording {
-                sh.telemetry.push(TelemetryEvent::Degradation {
+                telemetry.push(TelemetryEvent::Degradation {
                     tick: t,
                     controller: ctrl,
                     index: idx,
                     policy: DegradationPolicy::HoldLastGood,
                 });
             }
-            sh.last_good[off]
+            *last_good
         }
     };
-    sh.last_good[off] = value;
+    *last_good = value;
     value
 }
 
@@ -2222,8 +2924,9 @@ pub struct RunnerSnapshot {
 
 impl RunnerSnapshot {
     /// Current checkpoint format version. Bump on any layout change —
-    /// restore refuses checkpoints from other versions.
-    pub const VERSION: u32 = 1;
+    /// restore refuses checkpoints from other versions. Version 2 added
+    /// the per-server actuator draw counters to the injector snapshot.
+    pub const VERSION: u32 = 2;
 
     /// Writes the checkpoint to `path` as JSON, atomically: the bytes go
     /// to a sibling temp file first and are renamed into place, so a

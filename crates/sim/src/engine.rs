@@ -71,6 +71,10 @@ pub struct Simulation {
     /// [`Simulation::step_parallel`]. Pure scratch: cleared before every
     /// use, never snapshotted, irrelevant to equality of trajectories.
     scratch_vm_out: Vec<Vec<(usize, f64, f64)>>,
+    /// Reusable per-enclosure member-power sums for the sharded
+    /// enclosure aggregation in [`Simulation::step_parallel`]. Pure
+    /// scratch, like `scratch_vm_out`.
+    scratch_enc_sums: Vec<f64>,
 }
 
 impl Simulation {
@@ -154,6 +158,7 @@ impl Simulation {
             thermal,
             events: EventLog::new(4_096),
             scratch_vm_out: Vec::new(),
+            scratch_enc_sums: Vec::new(),
         })
     }
 
@@ -282,17 +287,61 @@ impl Simulation {
             cum_power: &'a mut [f64],
             cum_util: &'a mut [f64],
             vm_out: Vec<(usize, f64, f64)>,
+            /// First enclosure index this shard owns.
+            enc_lo: usize,
+            /// Member-power sums for the owned enclosures.
+            enc_sums: &'a mut [f64],
+        }
+        // Enclosure → shard ownership for the sharded power sums: an
+        // enclosure belongs to the shard that fully contains its (dense,
+        // contiguous) member range. `Topology::shard_ranges` snaps cuts
+        // to enclosure boundaries so every enclosure is owned, but this
+        // API accepts arbitrary dense partitions — an enclosure split by
+        // a shard boundary (or an empty one) is summed sequentially
+        // after the barrier instead.
+        let num_enc = self.topo.num_enclosures();
+        let mut enc_ranges: Vec<Range<usize>> = Vec::with_capacity(shards.len());
+        {
+            let mut e = 0usize;
+            for range in shards {
+                while e < num_enc {
+                    match self.topo.enclosure_servers(EnclosureId(e)).first() {
+                        Some(s) if s.index() < range.start => e += 1,
+                        _ => break,
+                    }
+                }
+                let lo = e;
+                while e < num_enc {
+                    let members = self.topo.enclosure_servers(EnclosureId(e));
+                    let fits = match (members.first(), members.last()) {
+                        (Some(f), Some(l)) => f.index() >= range.start && l.index() < range.end,
+                        _ => false,
+                    };
+                    if !fits {
+                        break;
+                    }
+                    e += 1;
+                }
+                enc_ranges.push(lo..e);
+            }
         }
         let mut scratch = std::mem::take(&mut self.scratch_vm_out);
         scratch.resize(shards.len(), Vec::new());
+        let mut enc_scratch = std::mem::take(&mut self.scratch_enc_sums);
+        enc_scratch.clear();
+        enc_scratch.resize(num_enc, 0.0);
         let mut views: Vec<Mutex<Shard<'_>>> = Vec::with_capacity(shards.len());
         {
             let mut util = self.util.as_mut_slice();
             let mut power = self.power.as_mut_slice();
             let mut cum_power = self.cum_power.as_mut_slice();
             let mut cum_util = self.cum_util.as_mut_slice();
+            let mut enc_rest = enc_scratch.as_mut_slice();
+            let mut enc_cursor = 0usize;
             let mut cursor = 0usize;
-            for (range, mut vm_out) in shards.iter().zip(scratch.drain(..)) {
+            for ((range, enc_range), mut vm_out) in
+                shards.iter().zip(&enc_ranges).zip(scratch.drain(..))
+            {
                 assert_eq!(range.start, cursor, "shards must be dense and ascending");
                 let len = range.len();
                 let (u, rest) = util.split_at_mut(len);
@@ -303,6 +352,10 @@ impl Simulation {
                 cum_power = rest;
                 let (cu, rest) = cum_util.split_at_mut(len);
                 cum_util = rest;
+                let (_orphans, rest) = enc_rest.split_at_mut(enc_range.start - enc_cursor);
+                let (sums, rest) = rest.split_at_mut(enc_range.len());
+                enc_rest = rest;
+                enc_cursor = enc_range.end;
                 vm_out.clear();
                 views.push(Mutex::new(Shard {
                     lo: range.start,
@@ -311,6 +364,8 @@ impl Simulation {
                     cum_power: cp,
                     cum_util: cu,
                     vm_out,
+                    enc_lo: enc_range.start,
+                    enc_sums: sums,
                 }));
                 cursor = range.end;
             }
@@ -328,6 +383,7 @@ impl Simulation {
         let vm_obs = &self.vm_obs;
         let table = &self.table;
         let thermal = self.thermal.as_ref();
+        let topo = &self.topo;
         pool.execute(views.len(), &|k| {
             let mut guard = views[k].lock().unwrap();
             let shard = &mut *guard;
@@ -368,6 +424,17 @@ impl Simulation {
                 shard.cum_power[off] += shard.power[off];
                 shard.cum_util[off] += util;
             }
+            // Owned-enclosure member sums: same member order, same
+            // addends as the sequential loop, so the f64 result is
+            // bit-identical.
+            for off_e in 0..shard.enc_sums.len() {
+                let e = shard.enc_lo + off_e;
+                shard.enc_sums[off_e] = topo
+                    .enclosure_servers(EnclosureId(e))
+                    .iter()
+                    .map(|&s| shard.power[s.index() - shard.lo])
+                    .sum();
+            }
         });
         // Barrier passed: apply the buffered per-VM observations in
         // ascending shard (= ascending server) order, then return the
@@ -383,16 +450,27 @@ impl Simulation {
             scratch.push(shard.vm_out);
         }
         self.scratch_vm_out = scratch;
-        // 3. Enclosure power (members + shared-infrastructure base).
-        for e in 0..self.topo.num_enclosures() {
-            let members: f64 = self
-                .topo
-                .enclosure_servers(EnclosureId(e))
-                .iter()
-                .map(|&s| self.power[s.index()])
-                .sum();
-            self.cum_enc_power[e] += members + self.cfg.enclosure_base_watts;
+        // 3. Enclosure power (members + shared-infrastructure base):
+        //    owned sums come straight from the shards; an enclosure no
+        //    shard owns is summed here in the legacy order.
+        {
+            let mut owned = enc_ranges.iter().flat_map(|r| r.clone());
+            let mut next_owned = owned.next();
+            for (e, &shard_sum) in enc_scratch.iter().enumerate().take(num_enc) {
+                let members: f64 = if next_owned == Some(e) {
+                    next_owned = owned.next();
+                    shard_sum
+                } else {
+                    self.topo
+                        .enclosure_servers(EnclosureId(e))
+                        .iter()
+                        .map(|&s| self.power[s.index()])
+                        .sum()
+                };
+                self.cum_enc_power[e] += members + self.cfg.enclosure_base_watts;
+            }
         }
+        self.scratch_enc_sums = enc_scratch;
         // 4. Thermal.
         if let Some(thermal) = &mut self.thermal {
             for failed in thermal.step(&self.power) {
@@ -719,10 +797,26 @@ impl Simulation {
             thermal: self.thermal.as_ref(),
             util: &self.util,
             cum_power: &self.cum_power,
+            cum_enc_power: &self.cum_enc_power,
             cum_util: &self.cum_util,
             tick: self.tick,
         };
         (view, shards)
+    }
+
+    /// A read-only [`SimEpochView`] over the current state, for parallel
+    /// phases that only read sensors (e.g. the GM's window fan-out) and
+    /// need no actuator shards.
+    pub fn epoch_view(&self) -> SimEpochView<'_> {
+        SimEpochView {
+            on: &self.on,
+            thermal: self.thermal.as_ref(),
+            util: &self.util,
+            cum_power: &self.cum_power,
+            cum_enc_power: &self.cum_enc_power,
+            cum_util: &self.cum_util,
+            tick: self.tick,
+        }
     }
 
     /// Merges the per-shard actuation effects (conflict counts and
@@ -861,6 +955,7 @@ pub struct SimEpochView<'a> {
     thermal: Option<&'a ThermalState>,
     util: &'a [f64],
     cum_power: &'a [f64],
+    cum_enc_power: &'a [f64],
     cum_util: &'a [f64],
     tick: u64,
 }
@@ -880,6 +975,11 @@ impl SimEpochView<'_> {
     /// Same as [`Simulation::cumulative_power`].
     pub fn cumulative_power(&self, s: ServerId) -> f64 {
         self.cum_power[s.index()]
+    }
+
+    /// Same as [`Simulation::cumulative_enclosure_power`].
+    pub fn cumulative_enclosure_power(&self, e: EnclosureId) -> f64 {
+        self.cum_enc_power[e.index()]
     }
 
     /// Same as [`Simulation::cumulative_utilization`].
@@ -1342,7 +1442,7 @@ mod tests {
             cfg,
         )
         .unwrap();
-        let shards = topo.shard_ranges();
+        let shards = topo.shard_ranges(6);
         for threads in [2usize, 4, 7] {
             let pool = WorkerPool::new(threads);
             for step in 0..40u64 {

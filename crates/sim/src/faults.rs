@@ -16,10 +16,11 @@
 //! fault-free runs bit-identical to runs of builds that predate this
 //! module.
 
-use rand::rngs::StdRng;
+use rand::rngs::{CounterRng, StdRng};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// A sensor channel at the controller ingestion boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -289,6 +290,11 @@ impl Reading {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: StdRng,
+    /// Counter-based generator for the per-server actuator-jam stream.
+    /// Unlike the shared sequential `rng`, every draw is a pure function
+    /// of `(server, draw counter)`, so the conditional per-write draw is
+    /// shardable across worker threads without perturbing any stream.
+    actuator_rng: CounterRng,
     sensor_on: bool,
     actuator_on: bool,
     messages_on: bool,
@@ -296,6 +302,8 @@ pub struct FaultInjector {
     stuck_sensors: HashMap<(SensorChannel, usize), (f64, u64)>,
     /// Jammed actuators: per server, first tick writes work again.
     stuck_actuators: Vec<u64>,
+    /// Per-server position in the counter-based actuator-jam stream.
+    actuator_ctr: Vec<u64>,
 }
 
 impl FaultInjector {
@@ -304,11 +312,13 @@ impl FaultInjector {
         let plan = plan.clone().sanitized();
         Self {
             rng: StdRng::seed_from_u64(plan.seed ^ 0x6e70_735f_6661_756c),
+            actuator_rng: CounterRng::new(plan.seed ^ 0x6e70_735f_6163_7475),
             sensor_on: plan.sensor.is_enabled(),
             actuator_on: plan.actuator.stuck_prob > 0.0 && plan.actuator.stuck_ticks > 0,
             messages_on: plan.actuator.message_loss_prob > 0.0,
             stuck_sensors: HashMap::new(),
             stuck_actuators: vec![0; num_servers],
+            actuator_ctr: vec![0; num_servers],
             plan,
         }
     }
@@ -333,11 +343,20 @@ impl FaultInjector {
         self.sensor_on
     }
 
-    /// Whether actuator jams are live — i.e. whether [`FaultInjector::
-    /// pstate_write_blocked`] may consume RNG draws. When unset, every
-    /// write proceeds (`false`, zero draws).
+    /// Whether actuator jams are live. The jam draw comes from the
+    /// counter-based per-server stream, so even when this is set the
+    /// conditional draw is shardable (see [`FaultInjector::
+    /// actuator_shards`]). When unset, every write proceeds (`false`,
+    /// zero draws).
     pub fn actuators_active(&self) -> bool {
         self.actuator_on
+    }
+
+    /// Whether budget-message loss is live — i.e. whether
+    /// [`FaultInjector::budget_message_lost`] may consume a draw from
+    /// the shared sequential stream.
+    pub fn messages_active(&self) -> bool {
+        self.messages_on
     }
 
     /// Routes one sensor reading through the fault model.
@@ -378,6 +397,13 @@ impl FaultInjector {
 
     /// Whether a P-state write to `server` at `tick` is discarded by a
     /// jammed actuator (and rolls new jams).
+    ///
+    /// The jam draw comes from server `server`'s private counter-based
+    /// stream, **not** the shared sequential stream: the verdict depends
+    /// only on how many draws that server has taken, never on what other
+    /// servers or sensor channels did in between. That is what lets the
+    /// conditional "draw only when a write happens" pattern run inside
+    /// parallel shards while staying bit-identical to sequential order.
     pub fn pstate_write_blocked(&mut self, server: usize, tick: u64) -> bool {
         if !self.actuator_on || server >= self.stuck_actuators.len() {
             return false;
@@ -385,11 +411,52 @@ impl FaultInjector {
         if tick < self.stuck_actuators[server] {
             return true;
         }
-        if self.rng.gen_bool(self.plan.actuator.stuck_prob) {
+        let ctr = self.actuator_ctr[server];
+        self.actuator_ctr[server] = ctr + 1;
+        if self
+            .actuator_rng
+            .bool_at(server as u64, ctr, self.plan.actuator.stuck_prob)
+        {
             self.stuck_actuators[server] = tick + self.plan.actuator.stuck_ticks;
             return true;
         }
         false
+    }
+
+    /// Carves the per-server actuator-jam state into disjoint shard
+    /// views over `ranges` (which must be disjoint, ascending, and
+    /// cover `0..num_servers`). Each shard answers
+    /// [`ActuatorDrawShard::pstate_write_blocked`] for its own servers
+    /// with exactly the verdicts the whole injector would produce —
+    /// the draws live on per-server counter streams, so shard-local
+    /// evaluation order cannot perturb anything.
+    pub fn actuator_shards(&mut self, ranges: &[Range<usize>]) -> Vec<ActuatorDrawShard<'_>> {
+        let mut shards = Vec::with_capacity(ranges.len());
+        let mut thaw_rest: &mut [u64] = &mut self.stuck_actuators;
+        let mut ctr_rest: &mut [u64] = &mut self.actuator_ctr;
+        let mut consumed = 0usize;
+        for range in ranges {
+            debug_assert!(range.start >= consumed, "shard ranges must ascend");
+            let (skip_t, rest_t) = thaw_rest.split_at_mut(range.start - consumed);
+            let (thaw, rest_t) = rest_t.split_at_mut(range.len());
+            let _ = skip_t;
+            thaw_rest = rest_t;
+            let (skip_c, rest_c) = ctr_rest.split_at_mut(range.start - consumed);
+            let (ctr, rest_c) = rest_c.split_at_mut(range.len());
+            let _ = skip_c;
+            ctr_rest = rest_c;
+            consumed = range.end;
+            shards.push(ActuatorDrawShard {
+                lo: range.start,
+                active: self.actuator_on,
+                prob: self.plan.actuator.stuck_prob,
+                stuck_ticks: self.plan.actuator.stuck_ticks,
+                rng: self.actuator_rng,
+                thaw,
+                ctr,
+            });
+        }
+        shards
     }
 
     /// Whether one budget grant message is lost in transit.
@@ -432,6 +499,7 @@ impl FaultInjector {
             rng: self.rng.state().to_vec(),
             stuck_sensors,
             stuck_actuators: self.stuck_actuators.clone(),
+            actuator_ctr: self.actuator_ctr.clone(),
         }
     }
 
@@ -454,6 +522,43 @@ impl FaultInjector {
             })
             .collect();
         self.stuck_actuators = snap.stuck_actuators.clone();
+        self.actuator_ctr = snap.actuator_ctr.clone();
+    }
+}
+
+/// A disjoint per-shard view of the actuator-jam state, produced by
+/// [`FaultInjector::actuator_shards`]. Holds `&mut` slices of the
+/// injector's thaw ticks and draw counters for one contiguous server
+/// range, so worker threads can take the conditional jam draw locally.
+#[derive(Debug)]
+pub struct ActuatorDrawShard<'a> {
+    lo: usize,
+    active: bool,
+    prob: f64,
+    stuck_ticks: u64,
+    rng: CounterRng,
+    thaw: &'a mut [u64],
+    ctr: &'a mut [u64],
+}
+
+impl ActuatorDrawShard<'_> {
+    /// Shard-local replica of [`FaultInjector::pstate_write_blocked`]
+    /// for `server` (a global index inside this shard's range).
+    pub fn pstate_write_blocked(&mut self, server: usize, tick: u64) -> bool {
+        if !self.active {
+            return false;
+        }
+        let i = server - self.lo;
+        if tick < self.thaw[i] {
+            return true;
+        }
+        let ctr = self.ctr[i];
+        self.ctr[i] = ctr + 1;
+        if self.rng.bool_at(server as u64, ctr, self.prob) {
+            self.thaw[i] = tick + self.stuck_ticks;
+            return true;
+        }
+        false
     }
 }
 
@@ -479,6 +584,8 @@ pub struct InjectorSnapshot {
     pub stuck_sensors: Vec<StuckSensorSnapshot>,
     /// Per-server actuator thaw ticks.
     pub stuck_actuators: Vec<u64>,
+    /// Per-server positions in the counter-based actuator-jam stream.
+    pub actuator_ctr: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -691,6 +798,51 @@ mod tests {
             );
             assert_eq!(live.budget_message_lost(), resumed.budget_message_lost());
         }
+    }
+
+    #[test]
+    fn actuator_draws_are_independent_of_the_shared_stream() {
+        // The jam stream is counter-based per server: interleaving any
+        // number of sensor/message draws must not change the verdicts.
+        let plan = noisy_plan();
+        let mut quiet = FaultInjector::new(&plan, 4);
+        let mut busy = FaultInjector::new(&plan, 4);
+        for t in 0..400 {
+            let i = (t as usize) % 4;
+            // `busy` burns shared-stream draws between actuator draws.
+            busy.sense(SensorChannel::ServerPower, i, t, 80.0);
+            busy.budget_message_lost();
+            assert_eq!(
+                quiet.pstate_write_blocked(i, t),
+                busy.pstate_write_blocked(i, t),
+                "jam verdict diverged at tick {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn actuator_shards_replay_the_whole_injector() {
+        let plan = noisy_plan();
+        let mut whole = FaultInjector::new(&plan, 10);
+        let mut sharded = FaultInjector::new(&plan, 10);
+        for t in 0..200 {
+            let want: Vec<bool> = (0..10).map(|i| whole.pstate_write_blocked(i, t)).collect();
+            let mut got = vec![false; 10];
+            let mut shards = sharded.actuator_shards(&[0..3, 3..7, 7..10]);
+            // Deliberately evaluate shards out of order: counter streams
+            // make the order irrelevant.
+            for shard in shards.iter_mut().rev() {
+                for (i, slot) in got.iter_mut().enumerate() {
+                    if (shard.lo..shard.lo + shard.thaw.len()).contains(&i) {
+                        *slot = shard.pstate_write_blocked(i, t);
+                    }
+                }
+            }
+            assert_eq!(want, got, "shard verdicts diverged at tick {t}");
+        }
+        // And the underlying state (thaw ticks + counters) stayed in
+        // lockstep, so the next sequential draw agrees too.
+        assert_eq!(whole.snapshot(), sharded.snapshot());
     }
 
     #[test]

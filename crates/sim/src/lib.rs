@@ -65,8 +65,8 @@ pub use engine::{
 pub use error::SimError;
 pub use events::{Event, EventLog, LoggedEvent};
 pub use faults::{
-    ActuatorFaultSpec, ControllerLayer, FaultInjector, FaultPlan, InjectorSnapshot, OutageWindow,
-    Reading, SensorChannel, SensorFaultSpec,
+    ActuatorDrawShard, ActuatorFaultSpec, ControllerLayer, FaultInjector, FaultPlan,
+    InjectorSnapshot, OutageWindow, Reading, SensorChannel, SensorFaultSpec,
 };
 pub use ids::{EnclosureId, RackId, ServerId, VmId};
 pub use par::WorkerPool;

@@ -97,6 +97,12 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Wall-clock nanoseconds spent inside [`WorkerPool::execute`],
+    /// accumulated over the pool's lifetime. Because every parallel
+    /// span in a run goes through `execute`, this is the run's total
+    /// parallel-phase time — the complement of the sequential global
+    /// phase — which the `scale` bench reports per configuration.
+    busy_ns: std::sync::atomic::AtomicU64,
 }
 
 impl WorkerPool {
@@ -147,12 +153,19 @@ impl WorkerPool {
             shared,
             handles,
             threads,
+            busy_ns: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// The parallelism this pool delivers (including the caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Total wall-clock nanoseconds spent inside [`WorkerPool::execute`]
+    /// since the pool was created (the run's parallel-phase time).
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_ns.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Runs `f(i)` exactly once for every `i in 0..num_shards`, spread
@@ -163,6 +176,7 @@ impl WorkerPool {
         if num_shards == 0 {
             return;
         }
+        let span = std::time::Instant::now();
         // SAFETY: the only unsafe act in the workspace — erasing the
         // closure's borrow lifetime so workers can hold it in shared
         // state. Sound because this function blocks (below) until every
@@ -188,6 +202,10 @@ impl WorkerPool {
         }
         let panicked = st.panicked;
         drop(st);
+        self.busy_ns.fetch_add(
+            span.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         if panicked {
             panic!("a worker panicked during the parallel shard phase");
         }

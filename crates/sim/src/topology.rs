@@ -136,27 +136,61 @@ impl Topology {
     }
 
     /// The contiguous server-id ranges that partition the fleet for
-    /// rack-sharded parallel execution: one range per rack (all blades
-    /// of that rack's enclosures, which are dense and enclosure-first)
-    /// plus, when present, one trailing range of standalone servers.
+    /// sharded parallel execution, **weighted by server count**: cut
+    /// points aim at the ideal `j·n/max_shards` positions and snap to
+    /// the nearest legal boundary, so a lopsided fleet (one huge rack
+    /// plus small ones) still spreads evenly across workers instead of
+    /// idling all but the big rack's thread.
+    ///
+    /// Legal cut points are enclosure boundaries in the blade region
+    /// (an enclosure is never split — its EM epoch must see all of its
+    /// members in one shard) and any server boundary in the standalone
+    /// tail. At most `max_shards` ranges are returned; fewer when the
+    /// topology has fewer legal boundaries than requested.
     ///
     /// Ranges are disjoint, ascending, non-empty, and cover every
     /// server exactly once — concatenating them in order yields
     /// `0..num_servers()`, which is what makes shard-order reductions
-    /// equivalent to a sequential server-order walk.
-    pub fn shard_ranges(&self) -> Vec<std::ops::Range<usize>> {
-        let mut shards = Vec::with_capacity(self.num_racks() + 1);
-        for r in 0..self.num_racks() {
-            let enc = self.rack_offsets[r]..self.rack_offsets[r + 1];
-            let range = self.enclosure_offsets[enc.start]..self.enclosure_offsets[enc.end];
-            if !range.is_empty() {
-                shards.push(range);
-            }
-        }
+    /// equivalent to a sequential server-order walk. The partition is
+    /// a pure load-balancing choice: results are bit-identical for any
+    /// `max_shards`.
+    pub fn shard_ranges(&self, max_shards: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.num_servers();
+        let k = max_shards.max(1);
         let flat = self.enclosure_flat.len();
-        if flat < self.num_servers() {
-            shards.push(flat..self.num_servers());
+        // Legal cut positions, strictly inside 0..n, ascending: every
+        // enclosure boundary (the last one is `flat`, the blade/
+        // standalone frontier), then every standalone server boundary.
+        let mut valid: Vec<usize> = self.enclosure_offsets[1..].to_vec();
+        valid.extend(flat + 1..n);
+        valid.retain(|&c| c > 0 && c < n);
+        valid.dedup(); // zero-blade enclosures repeat an offset
+        let mut shards = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for j in 1..k {
+            // Nearest legal cut to the ideal j/k position that still
+            // leaves this shard non-empty (ties break low).
+            let ideal = (n * j + k / 2) / k;
+            let open = valid.partition_point(|&c| c <= start);
+            let cands = &valid[open..];
+            if cands.is_empty() {
+                break;
+            }
+            let at = cands.partition_point(|&c| c < ideal);
+            let cut = if at == 0 {
+                cands[0]
+            } else if at == cands.len() || ideal - cands[at - 1] <= cands[at] - ideal {
+                cands[at - 1]
+            } else {
+                cands[at]
+            };
+            if cut <= start {
+                continue;
+            }
+            shards.push(start..cut);
+            start = cut;
         }
+        shards.push(start..n);
         shards
     }
 
@@ -393,26 +427,68 @@ mod tests {
             Topology::builder().racks(2, 2, 4).build(),
         ];
         for t in cases {
-            let shards = t.shard_ranges();
-            let mut covered = 0usize;
-            for r in &shards {
-                assert!(!r.is_empty());
-                assert_eq!(r.start, covered, "shards must be ascending and dense");
-                covered = r.end;
+            for k in [1, 2, 3, 4, 7, 64] {
+                let shards = t.shard_ranges(k);
+                assert!(shards.len() <= k.max(1));
+                let mut covered = 0usize;
+                for r in &shards {
+                    assert!(!r.is_empty());
+                    assert_eq!(r.start, covered, "shards must be ascending and dense");
+                    covered = r.end;
+                    // Blade-region cuts never split an enclosure.
+                    for boundary in [r.start, r.end] {
+                        if boundary < t.enclosure_flat.len() {
+                            assert!(
+                                t.enclosure_offsets.contains(&boundary),
+                                "cut at {boundary} splits an enclosure (k={k})"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(covered, t.num_servers());
             }
-            assert_eq!(covered, t.num_servers());
         }
-        // Paper topologies shard into one rack + the standalone tail.
-        assert_eq!(Topology::paper_180().shard_ranges(), vec![0..120, 120..180]);
-        // Multi-rack: one shard per rack, then the standalone tail.
-        let t = Topology::multi_rack(4, 3, 8, 16);
-        assert_eq!(t.shard_ranges().len(), 5);
-        assert_eq!(t.shard_ranges()[4], 96..112);
-        // Standalone-only fleets are a single shard.
+        // Asking for one shard returns the whole fleet.
+        assert_eq!(Topology::paper_180().shard_ranges(1), vec![0..180]);
+        // Two shards of the 180-cluster split near the middle, snapped
+        // to an enclosure boundary (ties break low: 80, not 100).
+        assert_eq!(Topology::paper_180().shard_ranges(2), vec![0..80, 80..180]);
+        // Standalone-only fleets can cut anywhere.
         assert_eq!(
-            Topology::builder().standalone(5).build().shard_ranges(),
-            vec![0..5]
+            Topology::builder().standalone(6).build().shard_ranges(3),
+            vec![0..2, 2..4, 4..6]
         );
+    }
+
+    #[test]
+    fn shard_ranges_balance_lopsided_topologies_by_server_count() {
+        // One 4x rack (4 enclosures of 32) plus four small racks
+        // (1 enclosure of 8 each) and a few standalone servers: a naive
+        // per-rack split would put 128 of 166 servers on one worker.
+        let t = Topology::builder()
+            .rack(4, 32)
+            .racks(4, 1, 8)
+            .standalone(6)
+            .build();
+        assert_eq!(t.num_servers(), 166);
+        let shards = t.shard_ranges(4);
+        assert_eq!(shards.len(), 4);
+        let sizes: Vec<usize> = shards.iter().map(|r| r.len()).collect();
+        // Ideal is 41.5 per shard; enclosure granularity (32s and 8s)
+        // caps the achievable balance, but no shard may hog the fleet.
+        let max = *sizes.iter().max().unwrap();
+        assert!(max <= 64, "largest shard {max} of {sizes:?} is unbalanced");
+        // Every blade-region cut is an enclosure boundary.
+        for r in &shards {
+            if r.end < t.enclosure_flat.len() {
+                assert!(t.enclosure_offsets.contains(&r.end));
+            }
+        }
+        // More shards than legal boundaries degrades gracefully.
+        let fine = t.shard_ranges(1000);
+        assert_eq!(fine.iter().map(|r| r.len()).sum::<usize>(), 166);
+        // 8 enclosures + 6 standalone servers = 14 indivisible units.
+        assert_eq!(fine.len(), 14);
     }
 
     #[test]

@@ -269,6 +269,33 @@ fn golden_multi_rack_bus_faults() {
 }
 
 #[test]
+fn golden_lopsided_weighted_shards() {
+    // One 4x rack (4 enclosures x 32 blades) towering over four small
+    // racks (1 enclosure x 8 each) and a standalone tail: pins the
+    // size-weighted shard assignment (cuts land at enclosure boundaries
+    // near the ideal positions, not per-rack), the parallel EM epoch
+    // over heterogeneous enclosure sizes, and the sharded electrical
+    // clamp, under the full adversarial fault plan.
+    let topo = Topology::builder()
+        .rack(4, 32)
+        .racks(4, 1, 8)
+        .standalone(6)
+        .build();
+    let cfg = Scenario::paper(
+        SystemKind::BladeA,
+        Mix::All180,
+        CoordinationMode::Coordinated,
+    )
+    .topology(topo)
+    .electrical_cap(0.9)
+    .horizon(400)
+    .seed(43)
+    .faults(golden_fault_plan())
+    .build();
+    check_golden("lopsided_weighted_shards", &cfg);
+}
+
+#[test]
 fn golden_hetero_electrical_coordinated() {
     let cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
         .heterogeneous()

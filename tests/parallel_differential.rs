@@ -6,10 +6,13 @@
 //! **bit-identical** results — the same `RunStats`, the same telemetry
 //! stream in the same order, and a byte-identical end-of-run checkpoint
 //! (every float bit-packed). These tests sweep randomized multi-rack
-//! topologies, coordination modes, fault plans, and bus delivery faults
-//! through thread counts {1, 2, 4, 7} in lockstep, and additionally
-//! prove checkpoints are thread-count-agnostic: a snapshot taken at N
-//! threads resumes bit-exactly at M threads.
+//! topologies (uniform and lopsided — one rack dwarfing the rest, which
+//! exercises the size-weighted shard cuts), coordination modes, fault
+//! plans, bus delivery faults, and the electrical capper (its clamp now
+//! runs sharded, like the EC/SM/EM epochs) through thread counts
+//! {1, 2, 4, 7} in lockstep, and additionally prove checkpoints are
+//! thread-count-agnostic: a snapshot taken at N threads resumes
+//! bit-exactly at M threads.
 
 use no_power_struggles::prelude::*;
 use proptest::prelude::*;
@@ -37,8 +40,9 @@ fn fingerprint(cfg: &ExperimentConfig) -> (String, Vec<TelemetryEvent>, RunStats
 }
 
 /// A randomized fault plan covering every family, including actuator
-/// faults (which force the uncoordinated SM onto its sequential
-/// fallback — the results must match regardless of which path ran).
+/// faults: their jam verdicts come from per-server counter streams
+/// (order-free across shards), so every mode — even the uncoordinated
+/// SM's conditional writes — takes the parallel path under faults.
 fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
     (
         (0u64..1_000, 0.0f64..0.05, 0.0f64..0.03, 1u64..16),
@@ -89,6 +93,42 @@ fn arb_bus() -> impl Strategy<Value = BusConfig> {
         )
 }
 
+/// Sweeps `cfg` through every thread count in [`SWEEP`] and requires the
+/// full fingerprint to match the sequential reference bit-for-bit.
+fn assert_threads_invisible(cfg: &ExperimentConfig) -> Result<(), TestCaseError> {
+    let reference = fingerprint(cfg);
+    for &threads in &SWEEP {
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let got = fingerprint(&c);
+        prop_assert_eq!(
+            &got.2,
+            &reference.2,
+            "stats diverged at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            got.1.len(),
+            reference.1.len(),
+            "telemetry volume diverged at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            &got.1,
+            &reference.1,
+            "telemetry diverged at {} threads",
+            threads
+        );
+        prop_assert_eq!(
+            &got.0,
+            &reference.0,
+            "checkpoint diverged at {} threads",
+            threads
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -114,21 +154,51 @@ proptest! {
             .faults(plan)
             .bus(bus)
             .build();
-        let reference = fingerprint(&cfg);
-        for &threads in &SWEEP {
-            let mut c = cfg.clone();
-            c.threads = threads;
-            let got = fingerprint(&c);
-            prop_assert_eq!(&got.2, &reference.2, "stats diverged at {} threads", threads);
-            prop_assert_eq!(
-                got.1.len(),
-                reference.1.len(),
-                "telemetry volume diverged at {} threads",
-                threads
-            );
-            prop_assert_eq!(&got.1, &reference.1, "telemetry diverged at {} threads", threads);
-            prop_assert_eq!(&got.0, &reference.0, "checkpoint diverged at {} threads", threads);
+        assert_threads_invisible(&cfg)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Heterogeneous rack sizes: one rack dwarfing several small ones
+    /// plus a standalone tail, with the electrical capper sometimes
+    /// engaged. Exercises the size-weighted shard cuts (ideal-position
+    /// cuts snapped to enclosure boundaries, not per-rack splits), the
+    /// parallel EM epoch over unequal enclosure sizes, and the sharded
+    /// electrical clamp.
+    #[test]
+    fn thread_count_is_invisible_on_lopsided_fleets(
+        (big_encs, big_blades) in (2usize..5, 8usize..17),
+        (small_racks, small_blades) in (1usize..4, 2usize..5),
+        standalone in 1usize..4,
+        (elec_on, elec_frac) in (proptest::bool::ANY, 0.85f64..0.98),
+        mode_idx in 0usize..3,
+        seed in 0u64..1_000,
+        plan in arb_fault_plan(),
+        bus in arb_bus(),
+    ) {
+        let mode = [
+            CoordinationMode::Coordinated,
+            CoordinationMode::Uncoordinated,
+            CoordinationMode::UncoordMinPstates,
+        ][mode_idx];
+        let topo = Topology::builder()
+            .rack(big_encs, big_blades)
+            .racks(small_racks, 1, small_blades)
+            .standalone(standalone)
+            .build();
+        let mut scenario = Scenario::paper(SystemKind::BladeA, Mix::All180, mode)
+            .topology(topo)
+            .horizon(160)
+            .seed(seed)
+            .faults(plan)
+            .bus(bus);
+        if elec_on {
+            scenario = scenario.electrical_cap(elec_frac);
         }
+        let cfg = scenario.build();
+        assert_threads_invisible(&cfg)?;
     }
 }
 
