@@ -46,6 +46,9 @@ struct ScaleRow {
     /// Fraction of run wall-clock spent in the sequential global phase
     /// (1.0 minus the worker pool's busy time over total run time).
     global_phase_fraction: f64,
+    /// Shards pulled from a busy peer's deque by an idle worker over the
+    /// whole run (0 for sequential rows and perfectly balanced fleets).
+    steals: u64,
     mean_power_w: f64,
 }
 
@@ -64,6 +67,7 @@ fn main() {
         "us/tick",
         "ns/server-tick",
         "seq frac",
+        "steals",
     ]);
     let mut artifact = Vec::new();
     for n in SIZES {
@@ -95,6 +99,7 @@ fn main() {
             } else {
                 1.0
             };
+            let steals = runner.steal_count();
 
             let ticks = stats.ticks.max(1) as f64;
             let us_per_tick = run_ms * 1e3 / ticks;
@@ -108,6 +113,7 @@ fn main() {
                 Table::fmt(us_per_tick),
                 Table::fmt(ns_per_server_tick),
                 Table::fmt(global_phase_fraction),
+                steals.to_string(),
             ]);
             artifact.push(ScaleRow {
                 servers: n,
@@ -122,6 +128,7 @@ fn main() {
                 us_per_tick,
                 ns_per_server_tick,
                 global_phase_fraction,
+                steals,
                 mean_power_w: stats.mean_power(),
             });
         }

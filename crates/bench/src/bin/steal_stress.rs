@@ -1,0 +1,111 @@
+//! **Work-stealing stress** — a deliberately lopsided fleet (one rack
+//! dwarfing several small ones plus a standalone tail) whose
+//! size-weighted shard cuts cannot balance perfectly, so the worker
+//! pool's per-participant deques must steal to keep every thread busy.
+//! Reports run wall-clock, the 4-vs-1 speedup, the steal count, and the
+//! sequential-phase fraction at each thread count. With
+//! `NPS_JSON_OUT_DIR` set, writes `BENCH_steal_stress.json` (CI's
+//! perf-smoke artifact, gated on the measured speedup).
+//!
+//! Parallel execution is bit-identical to sequential, so every row
+//! reports the same `mean_power_w`; only the timing columns move.
+
+use nps_bench::{banner, horizon, seed, write_json_artifact};
+use nps_core::{CoordinationMode, Runner, Scenario, SystemKind};
+use nps_metrics::Table;
+use nps_sim::Topology;
+use nps_traces::Mix;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Worker-thread counts swept (CI gates the 4-vs-1 speedup).
+const THREADS: [usize; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct StealRow {
+    servers: usize,
+    threads: usize,
+    horizon: u64,
+    run_ms: f64,
+    /// Shards pulled from a busy peer's deque by an idle worker over the
+    /// whole run (0 for the sequential row).
+    steals: u64,
+    /// Fraction of run wall-clock spent in the sequential global phase.
+    global_phase_fraction: f64,
+    mean_power_w: f64,
+}
+
+fn main() {
+    banner(
+        "Work-stealing stress: lopsided fleet, 1/2/4 threads",
+        "DESIGN.md \u{a7}11; size-weighted shard cuts + per-worker steal deques",
+    );
+    let h = horizon();
+    // One 6x32 rack towering over six 1x8 racks and a standalone tail:
+    // the enclosure-snapped shard cuts leave unequal blocks, so balanced
+    // completion requires stealing.
+    let topo = Topology::builder()
+        .rack(6, 32)
+        .racks(6, 1, 8)
+        .standalone(12)
+        .build();
+    let servers = topo.num_servers();
+    let mut table = Table::new(vec![
+        "servers", "threads", "run ms", "steals", "seq frac", "mean W",
+    ]);
+    let mut artifact = Vec::new();
+    for threads in THREADS {
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::All180,
+            CoordinationMode::Coordinated,
+        )
+        .topology(topo.clone())
+        .electrical_cap(0.92)
+        .horizon(h)
+        .seed(seed())
+        .threads(threads)
+        .build();
+        let t0 = Instant::now();
+        let mut runner = Runner::new(&cfg);
+        let stats = runner.run_to_horizon();
+        let run_ns = t0.elapsed().as_nanos() as f64;
+        let run_ms = run_ns / 1e6;
+        let steals = runner.steal_count();
+        let global_phase_fraction = if run_ns > 0.0 {
+            (1.0 - runner.parallel_nanos() as f64 / run_ns).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        table.row(vec![
+            servers.to_string(),
+            threads.to_string(),
+            Table::fmt(run_ms),
+            steals.to_string(),
+            Table::fmt(global_phase_fraction),
+            Table::fmt(stats.mean_power()),
+        ]);
+        artifact.push(StealRow {
+            servers,
+            threads,
+            horizon: stats.ticks,
+            run_ms,
+            steals,
+            global_phase_fraction,
+            mean_power_w: stats.mean_power(),
+        });
+    }
+    println!("{table}");
+    let run_ms_at = |threads: usize| {
+        artifact
+            .iter()
+            .find(|r: &&StealRow| r.threads == threads)
+            .map(|r| r.run_ms)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "Lopsided fleet ({servers} servers): {:.2}x throughput at 4 threads vs 1.",
+        run_ms_at(1) / run_ms_at(4)
+    );
+    write_json_artifact("BENCH_steal_stress", &artifact);
+}

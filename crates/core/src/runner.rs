@@ -15,8 +15,8 @@ use nps_opt::{ClusterContext, Vmc};
 use nps_sim::{
     ActuatorDrawShard, ActuatorShard, BusEvent, BusSnapshot, ControlBus, ControllerLayer,
     EnclosureId, FaultInjector, FaultPlan, GrantMsg, InjectorSnapshot, LinkId, OutageWindow,
-    Reading, SensorChannel, ServerId, SimConfig, SimEpochView, SimSnapshot, Simulation, VmId,
-    WorkerPool,
+    Reading, SensorChannel, SensorDrawShard, ServerId, SimConfig, SimEpochView, SimSnapshot,
+    Simulation, VmId, WorkerPool,
 };
 use std::ops::Range;
 use std::sync::Mutex;
@@ -191,19 +191,14 @@ pub struct Runner {
     /// workers can evaluate `offline` without borrowing the injector
     /// (whose actuator-jam state is carved into the shards).
     outage_windows: Vec<OutageWindow>,
-    /// Pre-sampled per-server sensor readings for one parallel EC/SM
-    /// epoch, drawn sequentially in the legacy RNG stream order before
-    /// the workers fan out. (Actuator-jam verdicts are *not* pre-sampled:
-    /// they live on per-server counter streams and are drawn in-shard.)
-    scratch_readings: Vec<Reading>,
-    /// Pre-sampled per-enclosure sensor readings for one parallel EM
-    /// epoch (same contract as `scratch_readings`).
-    scratch_enc_readings: Vec<Reading>,
     /// Pre-sampled plan-level message-loss verdicts for one parallel EM
-    /// epoch, indexed by CSR member slot (`enc_offsets`-based).
+    /// epoch, indexed by CSR member slot (`enc_offsets`-based). Sensor
+    /// readings need no pre-sampling anywhere: they live on per-slot
+    /// counter streams and are drawn in-shard, exactly like actuator-jam
+    /// verdicts.
     scratch_msg_lost: Vec<bool>,
-    /// Raw (pre-ingestion) per-child window averages computed by the GM
-    /// window fan-out: enclosures first, then standalone servers.
+    /// Hardened (post-ingestion) per-child window averages produced by
+    /// the GM window pass: enclosures first, then standalone servers.
     scratch_child_raw: Vec<f64>,
 }
 
@@ -465,7 +460,7 @@ impl Runner {
             enc_aligned = false;
         }
 
-        let injector = FaultInjector::new(&cfg.faults, n);
+        let injector = FaultInjector::new(&cfg.faults, n, num_enclosures, standalone_ids.len());
         let outage_windows = injector.plan().outages.clone();
 
         Ok(Self {
@@ -533,8 +528,6 @@ impl Runner {
             shard_encs,
             enc_aligned,
             outage_windows,
-            scratch_readings: Vec::new(),
-            scratch_enc_readings: Vec::new(),
             scratch_msg_lost: Vec::new(),
             scratch_child_raw: Vec::new(),
         })
@@ -879,6 +872,13 @@ impl Runner {
         self.pool.as_ref().map_or(0, |p| p.busy_nanos())
     }
 
+    /// Total shard steals the pool's workers have performed this run —
+    /// how often an idle worker pulled a shard from a busy peer's deque.
+    /// Zero for a sequential runner (and for perfectly balanced fleets).
+    pub fn steal_count(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.steal_count())
+    }
+
     /// The VMC's current buffers `(b_loc, b_enc, b_grp)`.
     pub fn vmc_buffers(&self) -> (f64, f64, f64) {
         self.vmc.buffers()
@@ -929,16 +929,76 @@ impl Runner {
                 self.latency_samples += 1;
             }
         }
-        for j in 0..self.cum_real.len() {
-            let vm = VmId(j);
-            let real = self.sim.real_vm_utilization(vm);
-            let apparent = self.sim.apparent_vm_utilization(vm);
-            self.cum_real[j] += real;
-            self.cum_apparent[j] += apparent;
-            self.win_max_real[j] = self.win_max_real[j].max(real);
-            self.win_max_apparent[j] = self.win_max_apparent[j].max(apparent);
-        }
+        self.accumulate_vm_windows();
         self.ticks_done += 1;
+    }
+
+    /// Per-tick VMC accumulators: every VM's real and apparent
+    /// utilization folds into its cumulative sums and window maxima.
+    /// Each slot is independent (no cross-VM arithmetic), so the
+    /// parallel fan-out over even VM ranges is bit-identical to the
+    /// sequential loop; tiny fleets skip the barrier overhead.
+    fn accumulate_vm_windows(&mut self) {
+        let num_vms = self.cum_real.len();
+        let pool = match &self.pool {
+            Some(pool) if num_vms >= PAR_VM_THRESHOLD => pool,
+            _ => {
+                for j in 0..num_vms {
+                    let vm = VmId(j);
+                    let real = self.sim.real_vm_utilization(vm);
+                    let apparent = self.sim.apparent_vm_utilization(vm);
+                    self.cum_real[j] += real;
+                    self.cum_apparent[j] += apparent;
+                    self.win_max_real[j] = self.win_max_real[j].max(real);
+                    self.win_max_apparent[j] = self.win_max_apparent[j].max(apparent);
+                }
+                return;
+            }
+        };
+        struct VmShard<'a> {
+            lo: usize,
+            cum_real: &'a mut [f64],
+            cum_apparent: &'a mut [f64],
+            win_max_real: &'a mut [f64],
+            win_max_apparent: &'a mut [f64],
+        }
+        let ranges = vm_ranges(num_vms, self.shards.len());
+        let view = self.sim.vm_view();
+        let cum_reals = split_ranges(&mut self.cum_real, &ranges);
+        let cum_apparents = split_ranges(&mut self.cum_apparent, &ranges);
+        let win_reals = split_ranges(&mut self.win_max_real, &ranges);
+        let win_apparents = split_ranges(&mut self.win_max_apparent, &ranges);
+        let cells: Vec<Mutex<VmShard<'_>>> = ranges
+            .iter()
+            .zip(cum_reals)
+            .zip(cum_apparents)
+            .zip(win_reals)
+            .zip(win_apparents)
+            .map(
+                |((((range, cum_real), cum_apparent), win_max_real), win_max_apparent)| {
+                    Mutex::new(VmShard {
+                        lo: range.start,
+                        cum_real,
+                        cum_apparent,
+                        win_max_real,
+                        win_max_apparent,
+                    })
+                },
+            )
+            .collect();
+        pool.execute(cells.len(), &|k| {
+            let mut guard = cells[k].lock().expect("vm shard lock");
+            let sh = &mut *guard;
+            for off in 0..sh.cum_real.len() {
+                let vm = VmId(sh.lo + off);
+                let real = view.real_vm_utilization(vm);
+                let apparent = view.apparent_vm_utilization(vm);
+                sh.cum_real[off] += real;
+                sh.cum_apparent[off] += apparent;
+                sh.win_max_real[off] = sh.win_max_real[off].max(real);
+                sh.win_max_apparent[off] = sh.win_max_apparent[off].max(apparent);
+            }
+        });
     }
 
     /// Runs to the configured horizon and returns the raw stats.
@@ -1317,73 +1377,24 @@ impl Runner {
         }
     }
 
-    /// Sequential global pre-pass for a parallel EC epoch: one `sense`
-    /// draw per powered-on server in ascending order, so every shared-
-    /// stream RNG draw lands in the position the sequential epoch would
-    /// have used. Raw readings are computed read-only; the workers update
-    /// the window snapshots. Actuator-jam verdicts are *not* pre-sampled:
-    /// they come from per-server counter streams and are drawn in-shard.
-    fn presample_ec_faults(&mut self, window: u64) {
+    /// Sequential global pre-pass for a parallel EM epoch. Sensor draws
+    /// now come from per-slot counter streams and happen in-shard; the
+    /// only shared-stream randomness left in the EM epoch is the
+    /// plan-level message-loss draw per grant delivery. Replaying the
+    /// sequential epoch's order — for each enclosure in ascending order,
+    /// when the EM layer is deployed, budgets flow down, and the
+    /// enclosure's EM is online, one draw per member — keeps the shared
+    /// stream bit-identical.
+    fn presample_em_messages(&mut self) {
         let t = self.ticks_done;
-        let n = self.models.len();
-        self.scratch_readings.clear();
-        self.scratch_readings.resize(n, Reading::Clean(0.0));
-        for i in 0..n {
-            let s = ServerId(i);
-            if !self.sim.is_on(s) {
-                continue;
-            }
-            let cum = self.sim.cumulative_utilization(s);
-            let raw = (cum - self.snap_util_ec[i]) / window.max(1) as f64;
-            self.scratch_readings[i] =
-                self.injector
-                    .sense(SensorChannel::ServerUtilization, i, t, raw);
-        }
-    }
-
-    /// Sequential global pre-pass for a parallel SM epoch: one `sense`
-    /// draw per powered-on server in ascending order (the uncoordinated
-    /// SM's conditional actuator draw comes from the counter stream,
-    /// in-shard).
-    fn presample_sm_faults(&mut self, window: u64) {
-        let t = self.ticks_done;
-        let n = self.models.len();
-        self.scratch_readings.clear();
-        self.scratch_readings.resize(n, Reading::Clean(0.0));
-        for i in 0..n {
-            let s = ServerId(i);
-            if !self.sim.is_on(s) {
-                continue;
-            }
-            let cum = self.sim.cumulative_power(s);
-            let raw = (cum - self.snap_power_sm[i]) / window.max(1) as f64;
-            self.scratch_readings[i] = self.injector.sense(SensorChannel::ServerPower, i, t, raw);
-        }
-    }
-
-    /// Sequential global pre-pass for a parallel EM epoch, replaying the
-    /// sequential epoch's exact interleaved draw order: for each
-    /// enclosure in ascending order, one `sense` draw on its raw window
-    /// total, then — when the EM layer is deployed, budgets flow down,
-    /// and the enclosure's EM is online — one plan-level message-loss
-    /// draw per member (the grant deliveries the epoch will make). Raw
-    /// totals are computed read-only against the standing snapshots; the
-    /// workers update them.
-    fn presample_em_faults(&mut self, window: u64) {
-        let t = self.ticks_done;
-        self.scratch_enc_readings.clear();
         self.scratch_msg_lost.clear();
         self.scratch_msg_lost.resize(self.enc_members.len(), false);
-        let draw_msgs =
-            self.injector.messages_active() && self.mask.em && self.mode.budgets_flow_down();
+        let draw_msgs = self.mask.em && self.mode.budgets_flow_down();
+        if !draw_msgs {
+            return;
+        }
         for e in 0..self.ems.len() {
-            let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
-            let raw_total = (enc_cum - self.snap_encpow_em[e]) / window.max(1) as f64;
-            let reading = self
-                .injector
-                .sense(SensorChannel::EnclosurePower, e, t, raw_total);
-            self.scratch_enc_readings.push(reading);
-            if draw_msgs && !self.injector.offline(ControllerLayer::Em, e, t) {
+            if !self.injector.offline(ControllerLayer::Em, e, t) {
                 for k in self.enc_offsets[e]..self.enc_offsets[e + 1] {
                     self.scratch_msg_lost[k] = self.injector.budget_message_lost();
                 }
@@ -1394,21 +1405,17 @@ impl Runner {
     fn ec_epoch_parallel(&mut self, window: u64) {
         let t = self.ticks_done;
         let recording = self.recording();
-        let pre = self.injector.sensors_active();
-        if pre {
-            self.presample_ec_faults(window);
-        }
         let merges = self.mode.merges_min_pstate();
         let (view, cells) = carve_shards(
             &self.shards,
             &mut self.sim,
             &mut self.bank,
             &mut self.injector,
+            SensorChannel::ServerUtilization,
             &mut self.snap_util_ec,
             &mut self.last_util_ec,
             &mut self.sm_hold,
         );
-        let readings: &[Reading] = &self.scratch_readings;
         let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
         pool.execute(cells.len(), &|k| {
             let mut guard = cells[k].lock().expect("epoch shard lock");
@@ -1422,11 +1429,7 @@ impl Runner {
                 let cum = view.cumulative_utilization(s);
                 let raw = (cum - sh.snap[off]) / window.max(1) as f64;
                 sh.snap[off] = cum;
-                let reading = if pre {
-                    readings[i]
-                } else {
-                    Reading::Clean(raw)
-                };
+                let reading = sh.sense.sense(i, t, raw);
                 let util = shard_ingest(reading, t, ControllerKind::Ec, i, sh, off, recording);
                 let desired = sh.bank.ec_step(i, util);
                 let applied = if merges {
@@ -1481,10 +1484,6 @@ impl Runner {
     fn sm_epoch_parallel(&mut self, window: u64) {
         let t = self.ticks_done;
         let recording = self.recording();
-        let pre = self.injector.sensors_active();
-        if pre {
-            self.presample_sm_faults(window);
-        }
         let mask_sm = self.mask.sm;
         let coordinated = self.mode.sm_actuates_r_ref();
         let merges = self.mode.merges_min_pstate();
@@ -1493,11 +1492,11 @@ impl Runner {
             &mut self.sim,
             &mut self.bank,
             &mut self.injector,
+            SensorChannel::ServerPower,
             &mut self.snap_power_sm,
             &mut self.last_power_sm,
             &mut self.sm_hold,
         );
-        let readings: &[Reading] = &self.scratch_readings;
         let outages: &[OutageWindow] = &self.outage_windows;
         let cap_loc: &[f64] = &self.cap_loc;
         let pool = self.pool.as_ref().expect("parallel epoch requires a pool");
@@ -1516,11 +1515,7 @@ impl Runner {
                 let cum = view.cumulative_power(s);
                 let raw = (cum - sh.snap[off]) / window.max(1) as f64;
                 sh.snap[off] = cum;
-                let reading = if pre {
-                    readings[i]
-                } else {
-                    Reading::Clean(raw)
-                };
+                let reading = sh.sense.sense(i, t, raw);
                 let avg = shard_ingest(reading, t, ControllerKind::Sm, i, sh, off, recording);
                 let violated_static = avg > cap_loc[i];
                 sh.win.record(violated_static);
@@ -1637,14 +1632,16 @@ impl Runner {
     /// violation accounting, offline fallback, and `reallocate` — against
     /// its own slices. Side effects that must land in the sequential
     /// order (telemetry, bus grant deliveries) are buffered per enclosure
-    /// and replayed ascending in the reduction; shared-stream RNG draws
-    /// were pre-sampled by [`Runner::presample_em_faults`].
+    /// and replayed ascending in the reduction; the only remaining
+    /// shared-stream draws (plan-level message loss) were pre-sampled by
+    /// [`Runner::presample_em_messages`]. Sensor draws come from per-slot
+    /// counter streams and happen in-shard.
     fn em_epoch_parallel(&mut self, window: u64) {
         let t = self.ticks_done;
         let recording = self.recording();
-        let pre = self.injector.sensors_active() || self.injector.messages_active();
+        let pre = self.injector.messages_active();
         if pre {
-            self.presample_em_faults(window);
+            self.presample_em_messages();
         }
         let mask_em = self.mask.em;
         let flows_down = self.mode.budgets_flow_down();
@@ -1666,6 +1663,7 @@ impl Runner {
             bank: BankShard<'a>,
             act: ActuatorShard<'a>,
             draw: ActuatorDrawShard<'a>,
+            sense: SensorDrawShard<'a>,
             snap_pow: &'a mut [f64],
             snap_encpow: &'a mut [f64],
             last_encpow: &'a mut [f64],
@@ -1680,7 +1678,7 @@ impl Runner {
 
         let (view, acts) = self.sim.epoch_shards(&self.shards);
         let banks = self.bank.shards(&self.shards);
-        let draws = self.injector.actuator_shards(&self.shards);
+        let draws = self.injector.em_draw_shards(&self.shards, &self.shard_encs);
         let snap_pows = split_ranges(&mut self.snap_power_em, &self.shards);
         let snap_encs = split_ranges(&mut self.snap_encpow_em, &self.shard_encs);
         let last_encs = split_ranges(&mut self.last_encpow_em, &self.shard_encs);
@@ -1702,7 +1700,10 @@ impl Runner {
                 |(
                     (
                         (
-                            ((((((range, enc_range), bank), act), draw), snap_pow), snap_encpow),
+                            (
+                                (((((range, enc_range), bank), act), (draw, sense)), snap_pow),
+                                snap_encpow,
+                            ),
                             last_encpow,
                         ),
                         em_was_down,
@@ -1715,6 +1716,7 @@ impl Runner {
                         bank,
                         act,
                         draw,
+                        sense,
                         snap_pow,
                         snap_encpow,
                         last_encpow,
@@ -1729,7 +1731,6 @@ impl Runner {
                 },
             )
             .collect();
-        let readings: &[Reading] = &self.scratch_enc_readings;
         let outages: &[OutageWindow] = &self.outage_windows;
         let cap_loc: &[f64] = &self.cap_loc;
         let enc_offsets: &[usize] = &self.enc_offsets;
@@ -1759,11 +1760,7 @@ impl Runner {
                 let enc_cum = view.cumulative_enclosure_power(EnclosureId(e));
                 let raw_total = (enc_cum - sh.snap_encpow[ee]) / window.max(1) as f64;
                 sh.snap_encpow[ee] = enc_cum;
-                let reading = if pre {
-                    readings[e]
-                } else {
-                    Reading::Clean(raw_total)
-                };
+                let reading = sh.sense.sense(e, t, raw_total);
                 let total = ingest_buffered(
                     reading,
                     t,
@@ -2194,9 +2191,10 @@ impl Runner {
 
     fn gm_epoch(&mut self, window: u64) {
         // The GM's window computation (averages over every server and
-        // enclosure) is RNG-free and embarrassingly parallel; only the
-        // ingest draws and the arbitration that follows are inherently
-        // sequential. Fan the windows out when a pool is available.
+        // enclosure) plus its sensor ingest (per-child counter streams)
+        // is embarrassingly parallel; only the arbitration that follows
+        // is inherently sequential. Fan the windows out when a pool is
+        // available.
         if self.pool.is_some() && self.enc_aligned {
             self.gm_window_fanout(window);
         } else {
@@ -2206,8 +2204,10 @@ impl Runner {
     }
 
     /// Sequential GM window pass: fills `scratch_child_raw` with each
-    /// child's raw window-average power (enclosures first, then
-    /// standalone servers) and advances the GM snapshots.
+    /// child's *hardened* window-average power (enclosures first, then
+    /// standalone servers) — sensing each child's counter stream and
+    /// running the full ingestion pipeline — and advances the GM
+    /// snapshots.
     fn gm_window_seq(&mut self, window: u64) {
         self.scratch_child_raw.clear();
         for e in 0..self.ems.len() {
@@ -2220,20 +2220,33 @@ impl Runner {
             let enc_cum = self.sim.cumulative_enclosure_power(EnclosureId(e));
             let raw = (enc_cum - self.snap_encpow_gm[e]) / window.max(1) as f64;
             self.snap_encpow_gm[e] = enc_cum;
-            self.scratch_child_raw.push(raw);
+            let v = self.ingest(SensorChannel::GroupChildPower, ControllerKind::Gm, e, raw);
+            self.scratch_child_raw.push(v);
         }
         for k in 0..self.standalone_ids.len() {
             let s = self.standalone_ids[k];
             let raw = Self::window_avg_power(&self.sim, &mut self.snap_power_gm, s.index(), window);
-            self.scratch_child_raw.push(raw);
+            let child = self.ems.len() + k;
+            let v = self.ingest(
+                SensorChannel::GroupChildPower,
+                ControllerKind::Gm,
+                child,
+                raw,
+            );
+            self.scratch_child_raw.push(v);
         }
     }
 
     /// Parallel GM window pass — bit-identical to [`Runner::gm_window_seq`]
-    /// because it performs the same per-child arithmetic and touches no
-    /// RNG stream at all. Requires `enc_aligned` so each worker's
-    /// enclosure and standalone slices fall inside its server range.
+    /// because it performs the same per-child arithmetic and every sensor
+    /// draw comes from that child's private counter stream. Requires
+    /// `enc_aligned` so each worker's enclosure and standalone slices
+    /// fall inside its server range. The sequential ingest order is *all*
+    /// enclosures then *all* standalones, so each shard buffers its
+    /// telemetry in two streams that the reduction replays in that order.
     fn gm_window_fanout(&mut self, window: u64) {
+        let t = self.ticks_done;
+        let recording = self.recording();
         let num_enclosures = self.ems.len();
         let flat = self.enc_members.len();
         let num_sa = self.standalone_ids.len();
@@ -2247,10 +2260,17 @@ impl Runner {
             enc_lo: usize,
             /// First standalone-child ordinal of this shard.
             sa_lo: usize,
+            sense_enc: SensorDrawShard<'a>,
+            sense_sa: SensorDrawShard<'a>,
             snap_pow: &'a mut [f64],
             snap_enc: &'a mut [f64],
             enc_raw: &'a mut [f64],
             sa_raw: &'a mut [f64],
+            last_enc: &'a mut [f64],
+            last_sa: &'a mut [f64],
+            fstats: FaultStats,
+            tel_enc: Vec<TelemetryEvent>,
+            tel_sa: Vec<TelemetryEvent>,
         }
 
         // Standalone servers are a dense tail (`enc_aligned` guarantees
@@ -2261,30 +2281,62 @@ impl Runner {
             .map(|r| (r.start.max(flat) - flat)..(r.end.max(flat) - flat))
             .collect();
         let view = self.sim.epoch_view();
+        let senses = self.injector.gm_child_shards(&self.shard_encs, &sa_ranges);
         let (enc_raw_all, sa_raw_all) = self.scratch_child_raw.split_at_mut(num_enclosures);
+        let (last_enc_all, last_sa_all) = self.last_child_gm.split_at_mut(num_enclosures);
         let snap_pows = split_ranges(&mut self.snap_power_gm, &self.shards);
         let snap_encs = split_ranges(&mut self.snap_encpow_gm, &self.shard_encs);
         let enc_raws = split_ranges(enc_raw_all, &self.shard_encs);
         let sa_raws = split_ranges(sa_raw_all, &sa_ranges);
+        let last_encs = split_ranges(last_enc_all, &self.shard_encs);
+        let last_sas = split_ranges(last_sa_all, &sa_ranges);
         let cells: Vec<Mutex<GmShard<'_>>> = self
             .shards
             .iter()
             .zip(self.shard_encs.iter())
             .zip(&sa_ranges)
+            .zip(senses)
             .zip(snap_pows)
             .zip(snap_encs)
             .zip(enc_raws)
             .zip(sa_raws)
+            .zip(last_encs)
+            .zip(last_sas)
             .map(
-                |((((((range, enc_range), sa_range), snap_pow), snap_enc), enc_raw), sa_raw)| {
+                |(
+                    (
+                        (
+                            (
+                                (
+                                    (
+                                        (((range, enc_range), sa_range), (sense_enc, sense_sa)),
+                                        snap_pow,
+                                    ),
+                                    snap_enc,
+                                ),
+                                enc_raw,
+                            ),
+                            sa_raw,
+                        ),
+                        last_enc,
+                    ),
+                    last_sa,
+                )| {
                     Mutex::new(GmShard {
                         lo: range.start,
                         enc_lo: enc_range.start,
                         sa_lo: sa_range.start,
+                        sense_enc,
+                        sense_sa,
                         snap_pow,
                         snap_enc,
                         enc_raw,
                         sa_raw,
+                        last_enc,
+                        last_sa,
+                        fstats: FaultStats::default(),
+                        tel_enc: Vec::new(),
+                        tel_sa: Vec::new(),
                     })
                 },
             )
@@ -2304,45 +2356,81 @@ impl Runner {
                     sh.snap_pow[s.index() - sh.lo] = view.cumulative_power(s);
                 }
                 let enc_cum = view.cumulative_enclosure_power(EnclosureId(e));
-                sh.enc_raw[ee] = (enc_cum - sh.snap_enc[ee]) / window.max(1) as f64;
+                let raw = (enc_cum - sh.snap_enc[ee]) / window.max(1) as f64;
                 sh.snap_enc[ee] = enc_cum;
+                let reading = sh.sense_enc.sense(e, t, raw);
+                sh.enc_raw[ee] = ingest_buffered(
+                    reading,
+                    t,
+                    ControllerKind::Gm,
+                    e,
+                    &mut sh.fstats,
+                    &mut sh.tel_enc,
+                    &mut sh.last_enc[ee],
+                    recording,
+                );
             }
             for j in 0..sh.sa_raw.len() {
-                let s = standalone[sh.sa_lo + j];
+                let ordinal = sh.sa_lo + j;
+                let s = standalone[ordinal];
                 let off = s.index() - sh.lo;
                 let cum = view.cumulative_power(s);
-                sh.sa_raw[j] = (cum - sh.snap_pow[off]) / window.max(1) as f64;
+                let raw = (cum - sh.snap_pow[off]) / window.max(1) as f64;
                 sh.snap_pow[off] = cum;
+                let reading = sh.sense_sa.sense(ordinal, t, raw);
+                sh.sa_raw[j] = ingest_buffered(
+                    reading,
+                    t,
+                    ControllerKind::Gm,
+                    num_enclosures + ordinal,
+                    &mut sh.fstats,
+                    &mut sh.tel_sa,
+                    &mut sh.last_sa[j],
+                    recording,
+                );
             }
         });
+        // Ascending shards own ascending child ranges; replaying every
+        // shard's enclosure telemetry before any shard's standalone
+        // telemetry restores the sequential all-enclosures-then-all-
+        // standalones emission order.
+        let mut sa_telemetry: Vec<Vec<TelemetryEvent>> = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let sh = cell.into_inner().expect("worker panics already propagated");
+            self.fstats.merge(&sh.fstats);
+            if let Some(r) = &mut self.recorder {
+                for ev in sh.tel_enc {
+                    r.record(ev);
+                }
+            }
+            sa_telemetry.push(sh.tel_sa);
+        }
+        if let Some(r) = &mut self.recorder {
+            for tel in sa_telemetry {
+                for ev in tel {
+                    r.record(ev);
+                }
+            }
+        }
     }
 
-    /// The sequential remainder of a GM epoch: ingest each child's raw
-    /// window average from `scratch_child_raw` (consecutive shared-stream
-    /// sense draws, exactly the legacy order), then arbitrate and deliver.
+    /// The sequential remainder of a GM epoch: the window pass (seq or
+    /// fan-out) already sensed and hardened every child's average into
+    /// `scratch_child_raw`, so arbitration is RNG-free apart from the GM
+    /// outage check — sum, check the group cap, reallocate, deliver.
     fn gm_arbitrate(&mut self) {
         let t = self.ticks_done;
         // Children: enclosures first, then standalone servers.
         let num_enclosures = self.ems.len();
         self.scratch_consumption.clear();
+        self.scratch_consumption
+            .extend_from_slice(&self.scratch_child_raw);
         self.scratch_child_caps.clear();
         for e in 0..num_enclosures {
-            let raw = self.scratch_child_raw[e];
-            let v = self.ingest(SensorChannel::GroupChildPower, ControllerKind::Gm, e, raw);
-            self.scratch_consumption.push(v);
             self.scratch_child_caps.push(self.cap_enc[e]);
         }
         for k in 0..self.standalone_ids.len() {
             let s = self.standalone_ids[k];
-            let child = num_enclosures + k;
-            let raw = self.scratch_child_raw[child];
-            let v = self.ingest(
-                SensorChannel::GroupChildPower,
-                ControllerKind::Gm,
-                child,
-                raw,
-            );
-            self.scratch_consumption.push(v);
             self.scratch_child_caps.push(self.cap_loc[s.index()]);
         }
         let group_total: f64 = self.scratch_consumption.iter().sum();
@@ -2481,43 +2569,9 @@ impl Runner {
         self.win_em = ViolationCounter::new();
         self.win_gm = ViolationCounter::new();
 
-        // Demand estimates over the window.
-        let num_vms = self.sim.num_vms();
-        let real_mode = self.mode.vmc_uses_real_util();
-        self.scratch_demands.clear();
-        for j in 0..num_vms {
-            let (cum, snap, win_max) = if real_mode {
-                (
-                    self.cum_real[j],
-                    &mut self.snap_real[j],
-                    self.win_max_real[j],
-                )
-            } else {
-                (
-                    self.cum_apparent[j],
-                    &mut self.snap_apparent[j],
-                    self.win_max_apparent[j],
-                )
-            };
-            let window = self.intervals.vmc.max(1) as f64;
-            let mean = (cum - *snap) / window;
-            *snap = cum;
-            // Size by a mean/peak blend: a placement sized to the window
-            // mean alone saturates as soon as the diurnal curve rises
-            // within the next epoch.
-            let est = mean + 0.3 * (win_max - mean).max(0.0);
-            self.scratch_demands.push(est.clamp(0.0, 1.0));
-        }
-        self.win_max_real.iter_mut().for_each(|m| *m = 0.0);
-        self.win_max_apparent.iter_mut().for_each(|m| *m = 0.0);
-        // Keep the unused snapshot current too.
-        for j in 0..num_vms {
-            if real_mode {
-                self.snap_apparent[j] = self.cum_apparent[j];
-            } else {
-                self.snap_real[j] = self.cum_real[j];
-            }
-        }
+        // Demand estimates over the window: per-VM independent slots,
+        // sharded across the pool when the fleet is large enough.
+        self.vmc_demands();
 
         // Field-disjoint borrows: the VMC plans (mutably) against a
         // context borrowing the simulation, models, and caps directly —
@@ -2609,6 +2663,92 @@ impl Runner {
             }
         }
     }
+
+    /// Per-VM demand estimates for a VMC epoch, including the window
+    /// bookkeeping (snapshot advances, peak resets). Every slot runs
+    /// [`vmc_demand_slot`] independently, so the parallel fan-out over
+    /// even VM ranges is bit-identical to the sequential loop.
+    fn vmc_demands(&mut self) {
+        let num_vms = self.cum_real.len();
+        let real_mode = self.mode.vmc_uses_real_util();
+        let window = self.intervals.vmc.max(1) as f64;
+        self.scratch_demands.clear();
+        self.scratch_demands.resize(num_vms, 0.0);
+        let pool = match &self.pool {
+            Some(pool) if num_vms >= PAR_VM_THRESHOLD => pool,
+            _ => {
+                for j in 0..num_vms {
+                    self.scratch_demands[j] = vmc_demand_slot(
+                        real_mode,
+                        window,
+                        self.cum_real[j],
+                        self.cum_apparent[j],
+                        &mut self.snap_real[j],
+                        &mut self.snap_apparent[j],
+                        &mut self.win_max_real[j],
+                        &mut self.win_max_apparent[j],
+                    );
+                }
+                return;
+            }
+        };
+        struct DemandShard<'a> {
+            lo: usize,
+            snap_real: &'a mut [f64],
+            snap_apparent: &'a mut [f64],
+            win_max_real: &'a mut [f64],
+            win_max_apparent: &'a mut [f64],
+            demands: &'a mut [f64],
+        }
+        let ranges = vm_ranges(num_vms, self.shards.len());
+        let snap_reals = split_ranges(&mut self.snap_real, &ranges);
+        let snap_apparents = split_ranges(&mut self.snap_apparent, &ranges);
+        let win_reals = split_ranges(&mut self.win_max_real, &ranges);
+        let win_apparents = split_ranges(&mut self.win_max_apparent, &ranges);
+        let demandss = split_ranges(&mut self.scratch_demands, &ranges);
+        let cum_real: &[f64] = &self.cum_real;
+        let cum_apparent: &[f64] = &self.cum_apparent;
+        let cells: Vec<Mutex<DemandShard<'_>>> = ranges
+            .iter()
+            .zip(snap_reals)
+            .zip(snap_apparents)
+            .zip(win_reals)
+            .zip(win_apparents)
+            .zip(demandss)
+            .map(
+                |(
+                    ((((range, snap_real), snap_apparent), win_max_real), win_max_apparent),
+                    demands,
+                )| {
+                    Mutex::new(DemandShard {
+                        lo: range.start,
+                        snap_real,
+                        snap_apparent,
+                        win_max_real,
+                        win_max_apparent,
+                        demands,
+                    })
+                },
+            )
+            .collect();
+        pool.execute(cells.len(), &|k| {
+            let mut guard = cells[k].lock().expect("vm shard lock");
+            let sh = &mut *guard;
+            for off in 0..sh.demands.len() {
+                let j = sh.lo + off;
+                sh.demands[off] = vmc_demand_slot(
+                    real_mode,
+                    window,
+                    cum_real[j],
+                    cum_apparent[j],
+                    &mut sh.snap_real[off],
+                    &mut sh.snap_apparent[off],
+                    &mut sh.win_max_real[off],
+                    &mut sh.win_max_apparent[off],
+                );
+            }
+        });
+    }
 }
 
 /// One worker's slice of the runner's per-server state during a parallel
@@ -2624,6 +2764,9 @@ struct EpochShard<'a> {
     /// This shard's slice of the per-server actuator-jam counter
     /// streams (order-free draws, safe to evaluate in-shard).
     draw: ActuatorDrawShard<'a>,
+    /// This shard's slice of the epoch channel's per-server sensor
+    /// counter streams (order-free draws, safe to evaluate in-shard).
+    sense: SensorDrawShard<'a>,
     /// This epoch's measurement-window snapshots (EC: utilization,
     /// SM: power), shard slice.
     snap: &'a mut [f64],
@@ -2646,6 +2789,57 @@ fn offline_in(outages: &[OutageWindow], layer: ControllerLayer, index: usize, ti
     outages.iter().any(|w| w.covers(layer, index, tick))
 }
 
+/// Minimum VM count before the per-tick accumulators and the VMC demand
+/// pass fan out to the pool — below this the barrier costs more than the
+/// loop.
+const PAR_VM_THRESHOLD: usize = 64;
+
+/// Even partition of `0..num_vms` into `k` dense ascending ranges (VMs
+/// have no enclosure-alignment constraint, so a plain even split works).
+fn vm_ranges(num_vms: usize, k: usize) -> Vec<Range<usize>> {
+    let k = k.max(1);
+    (0..k)
+        .map(|p| p * num_vms / k..(p + 1) * num_vms / k)
+        .collect()
+}
+
+/// One VM's demand estimate plus window bookkeeping for a VMC epoch: the
+/// mean/peak blend over the closing window, both snapshots advanced,
+/// both window peaks reset. Pure per-slot arithmetic — the parallel and
+/// sequential VMC passes share it, so they are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn vmc_demand_slot(
+    real_mode: bool,
+    window: f64,
+    cum_real: f64,
+    cum_apparent: f64,
+    snap_real: &mut f64,
+    snap_apparent: &mut f64,
+    win_max_real: &mut f64,
+    win_max_apparent: &mut f64,
+) -> f64 {
+    let (cum, snap, win_max) = if real_mode {
+        (cum_real, &mut *snap_real, *win_max_real)
+    } else {
+        (cum_apparent, &mut *snap_apparent, *win_max_apparent)
+    };
+    let mean = (cum - *snap) / window;
+    *snap = cum;
+    // Size by a mean/peak blend: a placement sized to the window mean
+    // alone saturates as soon as the diurnal curve rises within the
+    // next epoch.
+    let est = mean + 0.3 * (win_max - mean).max(0.0);
+    *win_max_real = 0.0;
+    *win_max_apparent = 0.0;
+    // Keep the unused snapshot current too.
+    if real_mode {
+        *snap_apparent = cum_apparent;
+    } else {
+        *snap_real = cum_real;
+    }
+    est.clamp(0.0, 1.0)
+}
+
 /// Splits `data` into the per-shard slices of a dense ascending
 /// partition (the tail past the last range must be empty).
 fn split_ranges<'a, T>(mut data: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
@@ -2665,18 +2859,20 @@ fn split_ranges<'a, T>(mut data: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'
 /// Carves the simulator, the controller bank, and the runner's
 /// per-server arrays into one lock-free-in-practice cell per shard (each
 /// worker locks only its own, uncontended).
+#[allow(clippy::too_many_arguments)]
 fn carve_shards<'a>(
     ranges: &[Range<usize>],
     sim: &'a mut Simulation,
     bank: &'a mut ControllerBank,
     injector: &'a mut FaultInjector,
+    channel: SensorChannel,
     snap: &'a mut [f64],
     last_good: &'a mut [f64],
     sm_hold: &'a mut [Option<PState>],
 ) -> (SimEpochView<'a>, Vec<Mutex<EpochShard<'a>>>) {
     let (view, acts) = sim.epoch_shards(ranges);
     let banks = bank.shards(ranges);
-    let draws = injector.actuator_shards(ranges);
+    let draws = injector.draw_shards(ranges, channel);
     let snaps = split_ranges(snap, ranges);
     let lasts = split_ranges(last_good, ranges);
     let holds = split_ranges(sm_hold, ranges);
@@ -2689,12 +2885,13 @@ fn carve_shards<'a>(
         .zip(lasts)
         .zip(holds)
         .map(
-            |((((((range, bank), act), draw), snap), last_good), sm_hold)| {
+            |((((((range, bank), act), (draw, sense)), snap), last_good), sm_hold)| {
                 Mutex::new(EpochShard {
                     lo: range.start,
                     bank,
                     act,
                     draw,
+                    sense,
                     snap,
                     last_good,
                     sm_hold,
@@ -2711,8 +2908,8 @@ fn carve_shards<'a>(
 /// The shard-local replica of [`Runner::ingest`]: identical arithmetic
 /// and identical fault/degradation accounting, with the counters and
 /// telemetry buffered in the worker's [`EpochShard`] instead of applied
-/// globally. The sensor reading itself was either pre-sampled in the
-/// sequential RNG pre-pass or is trivially `Clean` (injector inactive).
+/// globally. The sensor reading itself comes from the slot's private
+/// counter stream, drawn in-shard.
 fn shard_ingest(
     reading: Reading,
     t: u64,
@@ -2737,9 +2934,8 @@ fn shard_ingest(
 /// The buffered core of the shard-local ingest: identical arithmetic
 /// and identical fault/degradation accounting to [`Runner::ingest`],
 /// with counters and telemetry accumulated into the caller's buffers
-/// instead of applied globally. The sensor reading itself was either
-/// pre-sampled in the sequential RNG pre-pass or is trivially `Clean`
-/// (injector inactive).
+/// instead of applied globally. The sensor reading itself comes from the
+/// slot's private counter stream, drawn in-shard.
 #[allow(clippy::too_many_arguments)]
 fn ingest_buffered(
     reading: Reading,
@@ -2925,8 +3121,10 @@ pub struct RunnerSnapshot {
 impl RunnerSnapshot {
     /// Current checkpoint format version. Bump on any layout change —
     /// restore refuses checkpoints from other versions. Version 2 added
-    /// the per-server actuator draw counters to the injector snapshot.
-    pub const VERSION: u32 = 2;
+    /// the per-server actuator draw counters to the injector snapshot;
+    /// version 3 replaced the shared-stream sensor state with per-slot
+    /// counter streams (counters, stuck-until ticks, held values).
+    pub const VERSION: u32 = 3;
 
     /// Writes the checkpoint to `path` as JSON, atomically: the bytes go
     /// to a sibling temp file first and are renamed into place, so a

@@ -18,6 +18,19 @@
 //! same-tick delivery, draws no random numbers, and is observationally
 //! identical to the direct `set_granted_cap` write it replaced.
 //!
+//! Cost model: both the in-flight queue and the retransmission timers
+//! are expiry-ordered binary heaps, so a poll costs O(due messages), not
+//! O(links). Message delivery pops a min-heap keyed `(deliver_at, uid)`
+//! — the identical total order the former sorted-`Vec` scan consumed.
+//! Retry timers use lazy deletion: every time a link's `next_retry_at`
+//! is (re)armed a `(next_retry_at, link)` entry is pushed, and popped
+//! entries that no longer match a live pending grant are discarded. Due
+//! links fire in ascending **link order** per poll round (the heap's pop
+//! order is time-ordered, so survivors are re-sorted by link index),
+//! which reproduces the former full-link scan's RNG draw order exactly.
+//! The scan itself survives as [`ControlBus::poll_reference`] so
+//! differential tests can replay both against each other.
+//!
 //! The bus is topology-agnostic: the runner registers one [`LinkId`] per
 //! grantor→child edge and interprets [`BusEvent`]s against its own link
 //! metadata (which controller, which telemetry level). Acknowledgements
@@ -25,6 +38,9 @@
 //! lost; unacked grants are re-sent until `max_attempts` is exhausted,
 //! after which the sender gives up and the receiver's lease (if enabled)
 //! expires it back to the local static cap.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -295,6 +311,32 @@ struct InFlight {
     watts: f64,
 }
 
+/// Min-heap adapter: orders [`InFlight`] messages by `(deliver_at, uid)`
+/// only — `uid` is unique, so the order is total and the heap's pop
+/// sequence matches the former sorted-`Vec` front removal exactly.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry(InFlight);
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.deliver_at, self.0.uid) == (other.0.deliver_at, other.0.uid)
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.0.deliver_at, self.0.uid).cmp(&(other.0.deliver_at, other.0.uid))
+    }
+}
+
 /// Sender-side retransmission state for the newest unacked grant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Pending {
@@ -330,8 +372,21 @@ pub struct ControlBus {
     cfg: BusConfig,
     rng: StdRng,
     links: Vec<LinkState>,
-    queue: Vec<InFlight>,
+    /// In-flight messages, min-heap on `(deliver_at, uid)`.
+    queue: BinaryHeap<Reverse<QueueEntry>>,
+    /// Retransmission timers, min-heap on `(next_retry_at, link)` with
+    /// lazy deletion: entries whose link no longer holds a matching due
+    /// pending grant are discarded on pop. Every (re)arm of a link's
+    /// `next_retry_at` pushes exactly one entry, so a live pending's
+    /// timer is always present.
+    retry_timers: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Number of links whose `pending` is `Some` (O(1) idle check).
+    pending_count: usize,
     next_uid: u64,
+    /// Diagnostic: link examinations performed while firing retries
+    /// (one per popped timer entry, or per link in the reference scan).
+    /// An idle tick performs zero.
+    link_scans: u64,
 }
 
 impl ControlBus {
@@ -345,8 +400,11 @@ impl ControlBus {
             rng: StdRng::seed_from_u64(cfg.seed ^ Self::SEED_SALT),
             cfg,
             links: Vec::new(),
-            queue: Vec::new(),
+            queue: BinaryHeap::new(),
+            retry_timers: BinaryHeap::new(),
+            pending_count: 0,
             next_uid: 0,
+            link_scans: 0,
         }
     }
 
@@ -374,9 +432,39 @@ impl ControlBus {
     }
 
     /// True when nothing is in flight and no retransmission is pending —
-    /// polling an idle bus is a no-op.
+    /// polling an idle bus is a no-op. O(1): the queue is a heap and the
+    /// pending links are counted, so the per-tick idle check no longer
+    /// walks every link.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.links.iter().all(|l| l.pending.is_none())
+        self.queue.is_empty() && self.pending_count == 0
+    }
+
+    /// Link examinations performed while firing retransmission timers
+    /// since the bus was built. Stays flat across idle ticks (an idle
+    /// poll touches no link at all); the linear reference scan grows it
+    /// by `num_links` per poll round instead.
+    pub fn link_scans(&self) -> u64 {
+        self.link_scans
+    }
+
+    /// Sets this link's pending slot, keeping the count and the timer
+    /// heap in sync with the invariant that a live `next_retry_at`
+    /// always has a heap entry.
+    fn arm_pending(&mut self, link: usize, pending: Pending) {
+        if self.links[link].pending.is_none() {
+            self.pending_count += 1;
+        }
+        self.retry_timers
+            .push(Reverse((pending.next_retry_at, link)));
+        self.links[link].pending = Some(pending);
+    }
+
+    /// Clears this link's pending slot (ack or retry exhaustion). The
+    /// timer heap entry is left behind and discarded lazily.
+    fn clear_pending(&mut self, link: usize) {
+        if self.links[link].pending.take().is_some() {
+            self.pending_count -= 1;
+        }
     }
 
     /// Sends one grant on `link` at tick `now`.
@@ -394,12 +482,15 @@ impl ControlBus {
         if self.cfg.retry.enabled() {
             let backoff = self.cfg.retry.backoff(1);
             let jitter = self.jitter(self.cfg.retry.jitter_ticks);
-            self.links[link.0].pending = Some(Pending {
-                seq,
-                watts,
-                attempts: 0,
-                next_retry_at: now + backoff + jitter,
-            });
+            self.arm_pending(
+                link.0,
+                Pending {
+                    seq,
+                    watts,
+                    attempts: 0,
+                    next_retry_at: now + backoff + jitter,
+                },
+            );
         }
         if plan_lost {
             return (seq, false);
@@ -445,20 +536,14 @@ impl ControlBus {
     fn enqueue(&mut self, deliver_at: u64, link: usize, kind: MsgKind, seq: u64, watts: f64) {
         let uid = self.next_uid;
         self.next_uid += 1;
-        let msg = InFlight {
+        self.queue.push(Reverse(QueueEntry(InFlight {
             deliver_at,
             uid,
             link,
             kind,
             seq,
             watts,
-        };
-        // Keep the queue sorted by (deliver_at, uid); uids are monotone so
-        // insertion is deterministic and usually at the tail.
-        let pos = self
-            .queue
-            .partition_point(|m| (m.deliver_at, m.uid) <= (deliver_at, uid));
-        self.queue.insert(pos, msg);
+        })));
     }
 
     /// Processes all traffic due at or before `now`: delivers grants
@@ -478,22 +563,44 @@ impl ControlBus {
         events
     }
 
+    /// The pre-heap poll algorithm: identical delivery, but the
+    /// retransmission pass scans every link per round instead of popping
+    /// the timer heap. Kept (hidden) as the reference implementation for
+    /// differential tests — it maintains the same state, so a bus driven
+    /// through `poll_reference` and one driven through [`ControlBus::
+    /// poll`] must emit bit-identical event schedules forever.
+    #[doc(hidden)]
+    pub fn poll_reference(&mut self, now: u64) -> Vec<BusEvent> {
+        let mut events = Vec::new();
+        loop {
+            let progressed =
+                self.deliver_due(now, &mut events) | self.fire_retries_linear(now, &mut events);
+            if !progressed {
+                break;
+            }
+        }
+        events
+    }
+
     /// Delivers queued messages due at `now`; returns whether anything
     /// was processed.
     fn deliver_due(&mut self, now: u64, events: &mut Vec<BusEvent>) -> bool {
         let mut progressed = false;
-        while let Some(first) = self.queue.first() {
+        while let Some(&Reverse(QueueEntry(first))) = self.queue.peek() {
             if first.deliver_at > now {
                 break;
             }
-            let msg = self.queue.remove(0);
+            self.queue.pop();
+            let msg = first;
             progressed = true;
             match msg.kind {
                 MsgKind::Grant => self.deliver_grant(msg, now, events),
                 MsgKind::Ack => {
-                    let state = &mut self.links[msg.link];
-                    if state.pending.is_some_and(|p| p.seq == msg.seq) {
-                        state.pending = None;
+                    if self.links[msg.link]
+                        .pending
+                        .is_some_and(|p| p.seq == msg.seq)
+                    {
+                        self.clear_pending(msg.link);
                     }
                 }
             }
@@ -533,54 +640,113 @@ impl ControlBus {
         );
     }
 
-    /// Fires retransmission timers due at `now`; returns whether any
-    /// retry was attempted.
+    /// Fires retransmission timers due at `now` by draining the timer
+    /// heap; returns whether any retry was attempted. Pops every due
+    /// entry, discards the stale ones (lazy deletion), dedupes, and
+    /// fires the survivors in ascending link order — exactly the order
+    /// the linear reference scan fires them, so the RNG draw sequence is
+    /// preserved bit-for-bit.
     fn fire_retries(&mut self, now: u64, events: &mut Vec<BusEvent>) -> bool {
+        if !self.cfg.retry.enabled() {
+            return false;
+        }
+        let mut due: Vec<usize> = Vec::new();
+        while let Some(&Reverse((at, link))) = self.retry_timers.peek() {
+            if at > now {
+                break;
+            }
+            self.retry_timers.pop();
+            self.link_scans += 1;
+            // Live = the link still has a pending grant whose timer is
+            // due. (A stale entry may pop alongside a live one for the
+            // same link — e.g. an acked grant's timer followed by a
+            // fresh send's — hence the dedup.)
+            let live = self.links[link]
+                .pending
+                .is_some_and(|p| p.next_retry_at <= now);
+            if live && !due.contains(&link) {
+                due.push(link);
+            }
+        }
+        if due.is_empty() {
+            return false;
+        }
+        due.sort_unstable();
+        for link in due {
+            self.fire_link_retry(link, now, events);
+        }
+        true
+    }
+
+    /// The reference retransmission pass: a full scan over every link in
+    /// index order, as the pre-heap bus did. Maintains the timer heap on
+    /// re-arm so heap-driven polls can take over at any point.
+    fn fire_retries_linear(&mut self, now: u64, events: &mut Vec<BusEvent>) -> bool {
         if !self.cfg.retry.enabled() {
             return false;
         }
         let mut progressed = false;
         for link in 0..self.links.len() {
-            let Some(pending) = self.links[link].pending else {
-                continue;
-            };
-            if pending.next_retry_at > now {
+            self.link_scans += 1;
+            let due = self.links[link]
+                .pending
+                .is_some_and(|p| p.next_retry_at <= now);
+            if !due {
                 continue;
             }
             progressed = true;
-            let msg = GrantMsg {
-                link: LinkId(link),
-                seq: pending.seq,
-                watts: pending.watts,
-            };
-            if pending.attempts >= self.cfg.retry.max_attempts {
-                self.links[link].pending = None;
-                events.push(BusEvent::Exhausted(msg));
-                continue;
-            }
-            let attempt = pending.attempts + 1;
-            let backoff = self.cfg.retry.backoff(attempt + 1);
-            let jitter = self.jitter(self.cfg.retry.jitter_ticks);
-            self.links[link].pending = Some(Pending {
-                attempts: attempt,
-                next_retry_at: now + backoff.max(1) + jitter,
-                ..pending
-            });
-            // Retries re-enter the bus fault model (drop/duplicate/delay)
-            // but not the plan-level loss draw: the FaultPlan stream must
-            // replay identically whether or not retries are enabled.
-            let enqueued = self.transmit(link, pending.seq, pending.watts, now);
-            events.push(BusEvent::Retry {
-                msg,
-                attempt,
-                dropped: !enqueued,
-            });
+            self.fire_link_retry(link, now, events);
         }
         progressed
     }
 
-    /// Captures the bus's full dynamic state for checkpointing.
+    /// Fires one due link: either gives the grant up (retry budget
+    /// exhausted) or re-arms the backoff timer and retransmits. The
+    /// caller guarantees the link's pending grant is due at `now`.
+    fn fire_link_retry(&mut self, link: usize, now: u64, events: &mut Vec<BusEvent>) {
+        let pending = self.links[link]
+            .pending
+            .expect("fire_link_retry requires a due pending grant");
+        let msg = GrantMsg {
+            link: LinkId(link),
+            seq: pending.seq,
+            watts: pending.watts,
+        };
+        if pending.attempts >= self.cfg.retry.max_attempts {
+            self.clear_pending(link);
+            events.push(BusEvent::Exhausted(msg));
+            return;
+        }
+        let attempt = pending.attempts + 1;
+        let backoff = self.cfg.retry.backoff(attempt + 1);
+        let jitter = self.jitter(self.cfg.retry.jitter_ticks);
+        self.arm_pending(
+            link,
+            Pending {
+                attempts: attempt,
+                next_retry_at: now + backoff.max(1) + jitter,
+                ..pending
+            },
+        );
+        // Retries re-enter the bus fault model (drop/duplicate/delay)
+        // but not the plan-level loss draw: the FaultPlan stream must
+        // replay identically whether or not retries are enabled.
+        let enqueued = self.transmit(link, pending.seq, pending.watts, now);
+        events.push(BusEvent::Retry {
+            msg,
+            attempt,
+            dropped: !enqueued,
+        });
+    }
+
+    /// Captures the bus's full dynamic state for checkpointing. The
+    /// queue is serialized in canonical `(deliver_at, uid)` order — the
+    /// heap's internal layout never leaks into the checkpoint, so
+    /// snapshots stay byte-identical across thread counts and poll
+    /// algorithms.
     pub fn snapshot(&self) -> BusSnapshot {
+        let mut queue: Vec<InFlight> = self.queue.iter().map(|&Reverse(QueueEntry(m))| m).collect();
+        queue.sort_unstable_by_key(|m| (m.deliver_at, m.uid));
         BusSnapshot {
             rng: self.rng.state().to_vec(),
             next_uid: self.next_uid,
@@ -598,8 +764,7 @@ impl ControlBus {
                     }),
                 })
                 .collect(),
-            queue: self
-                .queue
+            queue: queue
                 .iter()
                 .map(|m| InFlightSnapshot {
                     deliver_at: m.deliver_at,
@@ -614,7 +779,9 @@ impl ControlBus {
     }
 
     /// Restores state captured by [`ControlBus::snapshot`]. The bus must
-    /// have the same links registered (same topology/config).
+    /// have the same links registered (same topology/config). The retry
+    /// timer heap is rebuilt from the live pending grants (one entry
+    /// each — stale entries never reach a checkpoint).
     pub fn restore(&mut self, snap: &BusSnapshot) {
         let mut rng_state = [0u64; 4];
         for (slot, &word) in rng_state.iter_mut().zip(snap.rng.iter()) {
@@ -636,20 +803,29 @@ impl ControlBus {
                 }),
             })
             .collect();
+        self.pending_count = self.links.iter().filter(|l| l.pending.is_some()).count();
+        self.retry_timers = self
+            .links
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.pending.map(|p| Reverse((p.next_retry_at, i))))
+            .collect();
         self.queue = snap
             .queue
             .iter()
-            .map(|m| InFlight {
-                deliver_at: m.deliver_at,
-                uid: m.uid,
-                link: m.link,
-                kind: if m.is_ack {
-                    MsgKind::Ack
-                } else {
-                    MsgKind::Grant
-                },
-                seq: m.seq,
-                watts: f64::from_bits(m.watts_bits),
+            .map(|m| {
+                Reverse(QueueEntry(InFlight {
+                    deliver_at: m.deliver_at,
+                    uid: m.uid,
+                    link: m.link,
+                    kind: if m.is_ack {
+                        MsgKind::Ack
+                    } else {
+                        MsgKind::Grant
+                    },
+                    seq: m.seq,
+                    watts: f64::from_bits(m.watts_bits),
+                }))
             })
             .collect();
     }
@@ -814,7 +990,7 @@ mod tests {
     }
 
     #[test]
-    fn dropped_grant_is_retried_until_acked() {
+    fn dropped_grant_is_retried_until_exhausted() {
         let cfg = BusConfig {
             drop_prob: 1.0,
             ..BusConfig::default()
@@ -908,6 +1084,78 @@ mod tests {
             b.send(lb, t as f64, t, false);
             assert_eq!(a.poll(t), b.poll(t));
         }
+    }
+
+    #[test]
+    fn heap_poll_matches_linear_reference_poll() {
+        // Drive two identical buses through the heap-based poll and the
+        // pre-heap full-link scan: every event schedule must match. The
+        // proptest in tests/bus_properties.rs fuzzes this over arbitrary
+        // fault plans; this is the deterministic smoke version.
+        let cfg = BusConfig {
+            seed: 11,
+            delay_ticks: 1,
+            jitter_ticks: 2,
+            drop_prob: 0.3,
+            duplicate_prob: 0.15,
+            reorder_prob: 0.25,
+            reorder_extra_ticks: 3,
+            lease_ticks: 12,
+            retry: RetryConfig {
+                max_attempts: 4,
+                backoff_base_ticks: 2,
+                backoff_max_ticks: 16,
+                jitter_ticks: 1,
+            },
+        };
+        let mut heap = ControlBus::new(&cfg);
+        let mut linear = ControlBus::new(&cfg);
+        for _ in 0..3 {
+            heap.register_link();
+            linear.register_link();
+        }
+        for t in 0..400 {
+            if t % 7 == 0 {
+                let link = LinkId((t as usize / 7) % 3);
+                heap.send(link, t as f64, t, false);
+                linear.send(link, t as f64, t, false);
+            }
+            assert_eq!(heap.poll(t), linear.poll_reference(t), "tick {t}");
+        }
+        assert_eq!(heap.snapshot(), linear.snapshot());
+    }
+
+    #[test]
+    fn idle_poll_performs_zero_link_scans() {
+        let cfg = BusConfig::default()
+            .with_delay(1, 0)
+            .with_retry(RetryConfig {
+                max_attempts: 3,
+                backoff_base_ticks: 2,
+                backoff_max_ticks: 8,
+                jitter_ticks: 0,
+            });
+        let mut bus = ControlBus::new(&cfg);
+        let links: Vec<LinkId> = (0..16).map(|_| bus.register_link()).collect();
+        for &l in &links {
+            bus.send(l, 50.0, 0, false);
+        }
+        // Drain until every grant is delivered and acked.
+        let mut t = 0;
+        while !bus.is_idle() {
+            bus.poll(t);
+            t += 1;
+            assert!(t < 1_000, "bus failed to drain");
+        }
+        let scans_when_draining = bus.link_scans();
+        for quiet in t..t + 500 {
+            assert!(bus.poll(quiet).is_empty());
+        }
+        assert_eq!(
+            bus.link_scans(),
+            scans_when_draining,
+            "an idle tick must not examine any link"
+        );
     }
 
     #[test]

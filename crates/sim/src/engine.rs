@@ -819,6 +819,21 @@ impl Simulation {
         }
     }
 
+    /// A read-only per-VM view for parallel phases that accumulate VM
+    /// utilization (the runner's per-tick VMC accumulators). Mirrors
+    /// [`Simulation::real_vm_utilization`] and
+    /// [`Simulation::apparent_vm_utilization`] exactly.
+    pub fn vm_view(&self) -> VmView<'_> {
+        VmView {
+            obs: &self.vm_obs,
+            placement: &self.placement,
+            on: &self.on,
+            thermal: self.thermal.as_ref(),
+            pstate: &self.pstate,
+            table: &self.table,
+        }
+    }
+
     /// Merges the per-shard actuation effects (conflict counts and
     /// buffered conflict events) back into the simulator. Call with the
     /// shards' effects in ascending shard order so the event log matches
@@ -990,6 +1005,44 @@ impl SimEpochView<'_> {
     /// The current tick ([`Simulation::now`]).
     pub fn now(&self) -> u64 {
         self.tick
+    }
+}
+
+/// Read-only per-VM facts shared with every worker during the runner's
+/// parallel per-tick VMC accumulation. Borrowed from the simulator by
+/// [`Simulation::vm_view`]; verdicts are bit-identical to the
+/// corresponding [`Simulation`] accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct VmView<'a> {
+    obs: &'a [VmObservation],
+    placement: &'a Placement,
+    on: &'a [bool],
+    thermal: Option<&'a ThermalState>,
+    pstate: &'a [PState],
+    table: &'a ModelTable,
+}
+
+impl VmView<'_> {
+    /// Same as [`Simulation::real_vm_utilization`].
+    pub fn real_vm_utilization(&self, vm: VmId) -> f64 {
+        self.obs[vm.index()].granted
+    }
+
+    /// Same as [`Simulation::apparent_vm_utilization`].
+    pub fn apparent_vm_utilization(&self, vm: VmId) -> f64 {
+        let host = self.placement.host_of(vm);
+        let i = host.index();
+        let host_on = self.on[i] && self.thermal.map(|t| !t.is_failed(i)).unwrap_or(true);
+        let cap = if host_on {
+            self.table.capacity(i, self.pstate[i].index())
+        } else {
+            0.0
+        };
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (self.obs[vm.index()].granted / cap).min(1.0)
+        }
     }
 }
 

@@ -15,11 +15,20 @@
 //! outages) injects nothing and draws no random numbers, which keeps
 //! fault-free runs bit-identical to runs of builds that predate this
 //! module.
+//!
+//! Sensor and actuator draws both live on **counter-based streams**: a
+//! draw is a pure function of `(slot, draw counter)` where a slot is a
+//! `(channel, index)` sensor or a server's P-state actuator. The verdict
+//! for one slot depends only on how many draws that slot has taken, never
+//! on what other slots did in between, which is what lets the epoch
+//! shards of the parallel runner take the conditional draws locally while
+//! staying bit-identical to sequential order. Only budget-message loss
+//! remains on the shared sequential stream (it is drawn during the
+//! inherently ordered grant fan-out).
 
 use rand::rngs::{CounterRng, StdRng};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::ops::Range;
 
 /// A sensor channel at the controller ingestion boundary.
@@ -279,6 +288,133 @@ impl Reading {
     }
 }
 
+/// Dense per-slot sensor-fault state, channels concatenated in fixed
+/// order: `ServerPower` (n slots), `ServerUtilization` (n),
+/// `EnclosurePower` (E), `GroupChildPower` (E + S standalone servers).
+/// The slot index doubles as the CounterRng stream id, so every sensor
+/// owns a private draw stream.
+#[derive(Debug, Clone, PartialEq)]
+struct SensorState {
+    num_servers: usize,
+    num_enclosures: usize,
+    /// GM children: enclosures first, then standalone servers.
+    num_children: usize,
+    /// Per-slot position in the counter-based draw stream.
+    ctr: Vec<u64>,
+    /// Per-slot thaw tick; `0` means the sensor is not stuck (a stuck
+    /// window always ends at `tick + stuck_ticks ≥ 1`).
+    stuck_until: Vec<u64>,
+    /// Per-slot held value while stuck (stale once thawed).
+    stuck_val: Vec<f64>,
+}
+
+impl SensorState {
+    fn new(num_servers: usize, num_enclosures: usize, num_standalone: usize) -> Self {
+        let num_children = num_enclosures + num_standalone;
+        let total = 2 * num_servers + num_enclosures + num_children;
+        Self {
+            num_servers,
+            num_enclosures,
+            num_children,
+            ctr: vec![0; total],
+            stuck_until: vec![0; total],
+            stuck_val: vec![0.0; total],
+        }
+    }
+
+    /// First slot of `channel` in the concatenated layout.
+    fn base(&self, channel: SensorChannel) -> usize {
+        match channel {
+            SensorChannel::ServerPower => 0,
+            SensorChannel::ServerUtilization => self.num_servers,
+            SensorChannel::EnclosurePower => 2 * self.num_servers,
+            SensorChannel::GroupChildPower => 2 * self.num_servers + self.num_enclosures,
+        }
+    }
+
+    /// Number of slots `channel` owns.
+    fn cap(&self, channel: SensorChannel) -> usize {
+        match channel {
+            SensorChannel::ServerPower | SensorChannel::ServerUtilization => self.num_servers,
+            SensorChannel::EnclosurePower => self.num_enclosures,
+            SensorChannel::GroupChildPower => self.num_children,
+        }
+    }
+
+    /// Global slot of `(channel, index)`.
+    fn slot(&self, channel: SensorChannel, index: usize) -> usize {
+        debug_assert!(
+            index < self.cap(channel),
+            "sensor index {index} out of range for {channel:?}"
+        );
+        self.base(channel) + index
+    }
+
+    /// Mutable views of one channel's slot state, plus its slot base.
+    fn channel_slices(
+        &mut self,
+        channel: SensorChannel,
+    ) -> (usize, &mut [u64], &mut [u64], &mut [f64]) {
+        let base = self.base(channel);
+        let cap = self.cap(channel);
+        (
+            base,
+            &mut self.ctr[base..base + cap],
+            &mut self.stuck_until[base..base + cap],
+            &mut self.stuck_val[base..base + cap],
+        )
+    }
+}
+
+/// The shared fault model for one sensor slot: stuck-window check, then
+/// drop draw, then stuck draw, then multiplicative Gaussian noise, each
+/// gated on its rate so disabled families take no draws. Draws come from
+/// the slot's private counter stream, so the verdict depends only on how
+/// many draws this slot has taken.
+#[allow(clippy::too_many_arguments)]
+fn sense_slot(
+    rng: CounterRng,
+    spec: &SensorFaultSpec,
+    stream: u64,
+    ctr: &mut u64,
+    stuck_until: &mut u64,
+    stuck_val: &mut f64,
+    tick: u64,
+    value: f64,
+) -> Reading {
+    if tick < *stuck_until {
+        return Reading::Stuck(*stuck_val);
+    }
+    *stuck_until = 0;
+    if spec.drop_prob > 0.0 {
+        let c = *ctr;
+        *ctr += 1;
+        if rng.bool_at(stream, c, spec.drop_prob) {
+            return Reading::Dropped;
+        }
+    }
+    if spec.stuck_prob > 0.0 && spec.stuck_ticks > 0 {
+        let c = *ctr;
+        *ctr += 1;
+        if rng.bool_at(stream, c, spec.stuck_prob) {
+            *stuck_until = tick + spec.stuck_ticks;
+            *stuck_val = value;
+            return Reading::Stuck(value);
+        }
+    }
+    if spec.noise_std > 0.0 {
+        // Box–Muller from two uniforms on this slot's stream.
+        let c = *ctr;
+        *ctr += 2;
+        let u1 = rng.f64_at(stream, c).max(1e-12);
+        let u2 = rng.f64_at(stream, c + 1);
+        let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let noisy = value * (1.0 + spec.noise_std * gauss);
+        return Reading::Noisy(noisy.max(0.0));
+    }
+    Reading::Clean(value)
+}
+
 /// Replays a [`FaultPlan`] deterministically against a running system.
 ///
 /// One injector serves one run; the consumer (the experiment runner)
@@ -295,11 +431,14 @@ pub struct FaultInjector {
     /// of `(server, draw counter)`, so the conditional per-write draw is
     /// shardable across worker threads without perturbing any stream.
     actuator_rng: CounterRng,
+    /// Counter-based generator for the per-slot sensor streams; same
+    /// shardability argument as `actuator_rng`, keyed by sensor slot.
+    sensor_rng: CounterRng,
     sensor_on: bool,
     actuator_on: bool,
     messages_on: bool,
-    /// Frozen sensors: `(channel, index) → (held value, thaw tick)`.
-    stuck_sensors: HashMap<(SensorChannel, usize), (f64, u64)>,
+    /// Per-slot sensor draw counters and stuck windows.
+    sensors: SensorState,
     /// Jammed actuators: per server, first tick writes work again.
     stuck_actuators: Vec<u64>,
     /// Per-server position in the counter-based actuator-jam stream.
@@ -307,16 +446,26 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
-    /// Builds the injector for a fleet of `num_servers` servers.
-    pub fn new(plan: &FaultPlan, num_servers: usize) -> Self {
+    /// Builds the injector for a fleet of `num_servers` servers grouped
+    /// into `num_enclosures` enclosures plus `num_standalone` servers
+    /// reporting directly to the GM. The fleet shape sizes the per-slot
+    /// sensor streams (two per server, one per enclosure, one per GM
+    /// child).
+    pub fn new(
+        plan: &FaultPlan,
+        num_servers: usize,
+        num_enclosures: usize,
+        num_standalone: usize,
+    ) -> Self {
         let plan = plan.clone().sanitized();
         Self {
             rng: StdRng::seed_from_u64(plan.seed ^ 0x6e70_735f_6661_756c),
             actuator_rng: CounterRng::new(plan.seed ^ 0x6e70_735f_6163_7475),
+            sensor_rng: CounterRng::new(plan.seed ^ 0x6e70_735f_7365_6e73),
             sensor_on: plan.sensor.is_enabled(),
             actuator_on: plan.actuator.stuck_prob > 0.0 && plan.actuator.stuck_ticks > 0,
             messages_on: plan.actuator.message_loss_prob > 0.0,
-            stuck_sensors: HashMap::new(),
+            sensors: SensorState::new(num_servers, num_enclosures, num_standalone),
             stuck_actuators: vec![0; num_servers],
             actuator_ctr: vec![0; num_servers],
             plan,
@@ -334,11 +483,10 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Whether sensor faults are live — i.e. whether [`FaultInjector::
-    /// sense`] may consume RNG draws or mutate the stuck-sensor map. A
-    /// parallel epoch pre-samples readings sequentially only when this
-    /// is set; otherwise `sense` is pure (`Clean(value)`, zero draws)
-    /// and workers can reconstruct it locally.
+    /// Whether sensor faults are live. The draws come from per-slot
+    /// counter streams, so even when this is set [`FaultInjector::sense`]
+    /// is shardable (see [`FaultInjector::draw_shards`]); when unset,
+    /// `sense` is pure (`Clean(value)`, zero draws).
     pub fn sensors_active(&self) -> bool {
         self.sensor_on
     }
@@ -370,29 +518,17 @@ impl FaultInjector {
         if !self.sensor_on {
             return Reading::Clean(value);
         }
-        let key = (channel, index);
-        if let Some(&(held, until)) = self.stuck_sensors.get(&key) {
-            if tick < until {
-                return Reading::Stuck(held);
-            }
-            self.stuck_sensors.remove(&key);
-        }
-        if self.plan.sensor.drop_prob > 0.0 && self.rng.gen_bool(self.plan.sensor.drop_prob) {
-            return Reading::Dropped;
-        }
-        if self.plan.sensor.stuck_prob > 0.0
-            && self.plan.sensor.stuck_ticks > 0
-            && self.rng.gen_bool(self.plan.sensor.stuck_prob)
-        {
-            self.stuck_sensors
-                .insert(key, (value, tick + self.plan.sensor.stuck_ticks));
-            return Reading::Stuck(value);
-        }
-        if self.plan.sensor.noise_std > 0.0 {
-            let noisy = value * (1.0 + self.plan.sensor.noise_std * self.gauss());
-            return Reading::Noisy(noisy.max(0.0));
-        }
-        Reading::Clean(value)
+        let slot = self.sensors.slot(channel, index);
+        sense_slot(
+            self.sensor_rng,
+            &self.plan.sensor,
+            slot as u64,
+            &mut self.sensors.ctr[slot],
+            &mut self.sensors.stuck_until[slot],
+            &mut self.sensors.stuck_val[slot],
+            tick,
+            value,
+        )
     }
 
     /// Whether a P-state write to `server` at `tick` is discarded by a
@@ -431,32 +567,124 @@ impl FaultInjector {
     /// the draws live on per-server counter streams, so shard-local
     /// evaluation order cannot perturb anything.
     pub fn actuator_shards(&mut self, ranges: &[Range<usize>]) -> Vec<ActuatorDrawShard<'_>> {
-        let mut shards = Vec::with_capacity(ranges.len());
-        let mut thaw_rest: &mut [u64] = &mut self.stuck_actuators;
-        let mut ctr_rest: &mut [u64] = &mut self.actuator_ctr;
-        let mut consumed = 0usize;
-        for range in ranges {
-            debug_assert!(range.start >= consumed, "shard ranges must ascend");
-            let (skip_t, rest_t) = thaw_rest.split_at_mut(range.start - consumed);
-            let (thaw, rest_t) = rest_t.split_at_mut(range.len());
-            let _ = skip_t;
-            thaw_rest = rest_t;
-            let (skip_c, rest_c) = ctr_rest.split_at_mut(range.start - consumed);
-            let (ctr, rest_c) = rest_c.split_at_mut(range.len());
-            let _ = skip_c;
-            ctr_rest = rest_c;
-            consumed = range.end;
-            shards.push(ActuatorDrawShard {
-                lo: range.start,
-                active: self.actuator_on,
-                prob: self.plan.actuator.stuck_prob,
-                stuck_ticks: self.plan.actuator.stuck_ticks,
-                rng: self.actuator_rng,
-                thaw,
-                ctr,
-            });
-        }
-        shards
+        carve_actuator_shards(
+            &mut self.stuck_actuators,
+            &mut self.actuator_ctr,
+            ranges,
+            self.actuator_on,
+            self.plan.actuator,
+            self.actuator_rng,
+        )
+    }
+
+    /// Carves actuator-jam state **and** one per-server sensor channel
+    /// (`ServerPower` for SM epochs, `ServerUtilization` for EC epochs)
+    /// into paired shard views over the same server `ranges`, so one
+    /// worker can take both the sense and the write draws for its
+    /// servers.
+    pub fn draw_shards(
+        &mut self,
+        ranges: &[Range<usize>],
+        channel: SensorChannel,
+    ) -> Vec<(ActuatorDrawShard<'_>, SensorDrawShard<'_>)> {
+        debug_assert!(
+            matches!(
+                channel,
+                SensorChannel::ServerPower | SensorChannel::ServerUtilization
+            ),
+            "draw_shards carves per-server channels; got {channel:?}"
+        );
+        let act = carve_actuator_shards(
+            &mut self.stuck_actuators,
+            &mut self.actuator_ctr,
+            ranges,
+            self.actuator_on,
+            self.plan.actuator,
+            self.actuator_rng,
+        );
+        let (base, ctr, until, val) = self.sensors.channel_slices(channel);
+        let sens = carve_sensor_shards(
+            ctr,
+            until,
+            val,
+            base,
+            ranges,
+            self.sensor_on,
+            self.plan.sensor,
+            self.sensor_rng,
+        );
+        act.into_iter().zip(sens).collect()
+    }
+
+    /// Carves actuator-jam state over `server_ranges` paired with the
+    /// `EnclosurePower` sense state over `enc_ranges` (one enclosure
+    /// range per server range) for EM epochs, where each shard clamps
+    /// its servers but senses its enclosures.
+    pub fn em_draw_shards(
+        &mut self,
+        server_ranges: &[Range<usize>],
+        enc_ranges: &[Range<usize>],
+    ) -> Vec<(ActuatorDrawShard<'_>, SensorDrawShard<'_>)> {
+        debug_assert_eq!(server_ranges.len(), enc_ranges.len());
+        let act = carve_actuator_shards(
+            &mut self.stuck_actuators,
+            &mut self.actuator_ctr,
+            server_ranges,
+            self.actuator_on,
+            self.plan.actuator,
+            self.actuator_rng,
+        );
+        let (base, ctr, until, val) = self.sensors.channel_slices(SensorChannel::EnclosurePower);
+        let sens = carve_sensor_shards(
+            ctr,
+            until,
+            val,
+            base,
+            enc_ranges,
+            self.sensor_on,
+            self.plan.sensor,
+            self.sensor_rng,
+        );
+        act.into_iter().zip(sens).collect()
+    }
+
+    /// Carves the `GroupChildPower` sense state into paired shard views
+    /// for GM window fan-out: per shard, one view over its enclosure
+    /// children (`enc_ranges`, enclosure index space) and one over its
+    /// standalone children (`sa_ranges`, standalone ordinal space — the
+    /// standalone child `k` is GM child `num_enclosures + k`).
+    pub fn gm_child_shards(
+        &mut self,
+        enc_ranges: &[Range<usize>],
+        sa_ranges: &[Range<usize>],
+    ) -> Vec<(SensorDrawShard<'_>, SensorDrawShard<'_>)> {
+        debug_assert_eq!(enc_ranges.len(), sa_ranges.len());
+        let num_enclosures = self.sensors.num_enclosures;
+        let (base, ctr, until, val) = self.sensors.channel_slices(SensorChannel::GroupChildPower);
+        let (ctr_e, ctr_s) = ctr.split_at_mut(num_enclosures);
+        let (until_e, until_s) = until.split_at_mut(num_enclosures);
+        let (val_e, val_s) = val.split_at_mut(num_enclosures);
+        let enc = carve_sensor_shards(
+            ctr_e,
+            until_e,
+            val_e,
+            base,
+            enc_ranges,
+            self.sensor_on,
+            self.plan.sensor,
+            self.sensor_rng,
+        );
+        let sa = carve_sensor_shards(
+            ctr_s,
+            until_s,
+            val_s,
+            base + num_enclosures,
+            sa_ranges,
+            self.sensor_on,
+            self.plan.sensor,
+            self.sensor_rng,
+        );
+        enc.into_iter().zip(sa).collect()
     }
 
     /// Whether one budget grant message is lost in transit.
@@ -472,58 +700,115 @@ impl FaultInjector {
             .any(|w| w.covers(layer, index, tick))
     }
 
-    /// One standard-normal draw (Box–Muller).
-    fn gauss(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
-        let u2: f64 = self.rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    }
-
-    /// Captures the injector's dynamic state (PRNG position, frozen
-    /// sensors, jammed actuators) for checkpointing. Held sensor values
-    /// are bit-packed so the JSON roundtrip is exact; the stuck-sensor
-    /// map is sorted so snapshots of equal states are byte-identical.
+    /// Captures the injector's dynamic state (PRNG position, per-slot
+    /// sensor counters and stuck windows, jammed actuators) for
+    /// checkpointing. Held sensor values are bit-packed so the JSON
+    /// roundtrip is exact; the layout is dense and fleet-shaped, so
+    /// snapshots of equal states are byte-identical.
     pub fn snapshot(&self) -> InjectorSnapshot {
-        let mut stuck_sensors: Vec<StuckSensorSnapshot> = self
-            .stuck_sensors
-            .iter()
-            .map(|(&(channel, index), &(value, until))| StuckSensorSnapshot {
-                channel,
-                index,
-                value_bits: value.to_bits(),
-                until,
-            })
-            .collect();
-        stuck_sensors.sort_by_key(|s| (s.channel as u8, s.index));
         InjectorSnapshot {
             rng: self.rng.state().to_vec(),
-            stuck_sensors,
+            sensor_ctr: self.sensors.ctr.clone(),
+            sensor_stuck_until: self.sensors.stuck_until.clone(),
+            sensor_stuck_val_bits: self.sensors.stuck_val.iter().map(|v| v.to_bits()).collect(),
             stuck_actuators: self.stuck_actuators.clone(),
             actuator_ctr: self.actuator_ctr.clone(),
         }
     }
 
     /// Restores state captured by [`FaultInjector::snapshot`]. The
-    /// injector must have been built from the same plan and fleet size.
+    /// injector must have been built from the same plan and fleet shape.
     pub fn restore(&mut self, snap: &InjectorSnapshot) {
         let mut rng_state = [0u64; 4];
         for (slot, &word) in rng_state.iter_mut().zip(snap.rng.iter()) {
             *slot = word;
         }
         self.rng = StdRng::from_state(rng_state);
-        self.stuck_sensors = snap
-            .stuck_sensors
+        debug_assert_eq!(self.sensors.ctr.len(), snap.sensor_ctr.len());
+        self.sensors.ctr = snap.sensor_ctr.clone();
+        self.sensors.stuck_until = snap.sensor_stuck_until.clone();
+        self.sensors.stuck_val = snap
+            .sensor_stuck_val_bits
             .iter()
-            .map(|s| {
-                (
-                    (s.channel, s.index),
-                    (f64::from_bits(s.value_bits), s.until),
-                )
-            })
+            .map(|&bits| f64::from_bits(bits))
             .collect();
         self.stuck_actuators = snap.stuck_actuators.clone();
         self.actuator_ctr = snap.actuator_ctr.clone();
     }
+}
+
+/// Splits `data` into disjoint `&mut` sub-slices over `ranges`, which
+/// must be disjoint and ascending (gaps are skipped).
+fn split_ranges_mut<'a, T>(mut data: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0usize;
+    for range in ranges {
+        debug_assert!(range.start >= consumed, "shard ranges must ascend");
+        let (_skip, rest) = data.split_at_mut(range.start - consumed);
+        let (head, rest) = rest.split_at_mut(range.len());
+        data = rest;
+        consumed = range.end;
+        out.push(head);
+    }
+    out
+}
+
+fn carve_actuator_shards<'a>(
+    thaw: &'a mut [u64],
+    ctr: &'a mut [u64],
+    ranges: &[Range<usize>],
+    active: bool,
+    spec: ActuatorFaultSpec,
+    rng: CounterRng,
+) -> Vec<ActuatorDrawShard<'a>> {
+    let thaws = split_ranges_mut(thaw, ranges);
+    let ctrs = split_ranges_mut(ctr, ranges);
+    ranges
+        .iter()
+        .zip(thaws)
+        .zip(ctrs)
+        .map(|((range, thaw), ctr)| ActuatorDrawShard {
+            lo: range.start,
+            active,
+            prob: spec.stuck_prob,
+            stuck_ticks: spec.stuck_ticks,
+            rng,
+            thaw,
+            ctr,
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn carve_sensor_shards<'a>(
+    ctr: &'a mut [u64],
+    stuck_until: &'a mut [u64],
+    stuck_val: &'a mut [f64],
+    slot_base: usize,
+    ranges: &[Range<usize>],
+    active: bool,
+    spec: SensorFaultSpec,
+    rng: CounterRng,
+) -> Vec<SensorDrawShard<'a>> {
+    let ctrs = split_ranges_mut(ctr, ranges);
+    let untils = split_ranges_mut(stuck_until, ranges);
+    let vals = split_ranges_mut(stuck_val, ranges);
+    ranges
+        .iter()
+        .zip(ctrs)
+        .zip(untils)
+        .zip(vals)
+        .map(|(((range, ctr), stuck_until), stuck_val)| SensorDrawShard {
+            lo: range.start,
+            slot0: slot_base + range.start,
+            active,
+            spec,
+            rng,
+            ctr,
+            stuck_until,
+            stuck_val,
+        })
+        .collect()
 }
 
 /// A disjoint per-shard view of the actuator-jam state, produced by
@@ -562,26 +847,59 @@ impl ActuatorDrawShard<'_> {
     }
 }
 
-/// One frozen sensor in a checkpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct StuckSensorSnapshot {
-    /// The frozen channel.
-    pub channel: SensorChannel,
-    /// Sensor index within the channel.
-    pub index: usize,
-    /// Held value, as IEEE-754 bits.
-    pub value_bits: u64,
-    /// First tick the sensor thaws.
-    pub until: u64,
+/// A disjoint per-shard view of one sensor channel's fault state,
+/// produced by [`FaultInjector::draw_shards`] and friends. Holds `&mut`
+/// slices of the per-slot counters and stuck windows for one contiguous
+/// index range, so worker threads can take the conditional sense draws
+/// locally with exactly the verdicts the whole injector would produce.
+#[derive(Debug)]
+pub struct SensorDrawShard<'a> {
+    /// First channel index of this shard.
+    lo: usize,
+    /// Global sensor slot of `lo` (the CounterRng stream base).
+    slot0: usize,
+    active: bool,
+    spec: SensorFaultSpec,
+    rng: CounterRng,
+    ctr: &'a mut [u64],
+    stuck_until: &'a mut [u64],
+    stuck_val: &'a mut [f64],
 }
 
-/// The fault injector's full dynamic state (checkpoint section).
+impl SensorDrawShard<'_> {
+    /// Shard-local replica of [`FaultInjector::sense`] for `index` (a
+    /// channel-space index inside this shard's range).
+    pub fn sense(&mut self, index: usize, tick: u64, value: f64) -> Reading {
+        if !self.active {
+            return Reading::Clean(value);
+        }
+        let i = index - self.lo;
+        sense_slot(
+            self.rng,
+            &self.spec,
+            (self.slot0 + i) as u64,
+            &mut self.ctr[i],
+            &mut self.stuck_until[i],
+            &mut self.stuck_val[i],
+            tick,
+            value,
+        )
+    }
+}
+
+/// The fault injector's full dynamic state (checkpoint section). All
+/// vectors are dense and fleet-shaped; `sensor_*` entries are indexed by
+/// global sensor slot (channels concatenated in declaration order).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectorSnapshot {
     /// PRNG state words.
     pub rng: Vec<u64>,
-    /// Frozen sensors, sorted by (channel, index).
-    pub stuck_sensors: Vec<StuckSensorSnapshot>,
+    /// Per-slot positions in the counter-based sensor streams.
+    pub sensor_ctr: Vec<u64>,
+    /// Per-slot sensor thaw ticks (`0` = not stuck).
+    pub sensor_stuck_until: Vec<u64>,
+    /// Per-slot held sensor values, as IEEE-754 bits.
+    pub sensor_stuck_val_bits: Vec<u64>,
     /// Per-server actuator thaw ticks.
     pub stuck_actuators: Vec<u64>,
     /// Per-server positions in the counter-based actuator-jam stream.
@@ -606,7 +924,7 @@ mod tests {
     fn disabled_plan_is_transparent() {
         let plan = FaultPlan::disabled();
         assert!(!plan.is_enabled());
-        let mut inj = FaultInjector::new(&plan, 4);
+        let mut inj = FaultInjector::new(&plan, 4, 2, 1);
         assert!(!inj.enabled());
         for t in 0..100 {
             assert_eq!(
@@ -641,8 +959,8 @@ mod tests {
     #[test]
     fn same_seed_same_fault_sequence() {
         let plan = noisy_plan();
-        let mut a = FaultInjector::new(&plan, 8);
-        let mut b = FaultInjector::new(&plan, 8);
+        let mut a = FaultInjector::new(&plan, 8, 2, 1);
+        let mut b = FaultInjector::new(&plan, 8, 2, 1);
         for t in 0..500 {
             let i = (t as usize) % 8;
             assert_eq!(
@@ -659,7 +977,7 @@ mod tests {
         let plan = FaultPlan::disabled()
             .with_seed(3)
             .with_stuck_sensors(1.0, 5);
-        let mut inj = FaultInjector::new(&plan, 1);
+        let mut inj = FaultInjector::new(&plan, 1, 1, 0);
         let first = inj.sense(SensorChannel::ServerUtilization, 0, 0, 0.8);
         assert_eq!(first, Reading::Stuck(0.8));
         // Later readings inside the window return the frozen value even as
@@ -681,7 +999,7 @@ mod tests {
         let plan = FaultPlan::disabled()
             .with_seed(3)
             .with_stuck_sensors(1.0, 100);
-        let mut inj = FaultInjector::new(&plan, 2);
+        let mut inj = FaultInjector::new(&plan, 2, 1, 0);
         assert_eq!(
             inj.sense(SensorChannel::ServerPower, 0, 0, 50.0),
             Reading::Stuck(50.0)
@@ -701,7 +1019,7 @@ mod tests {
         let plan = FaultPlan::disabled()
             .with_seed(1)
             .with_stuck_actuators(1.0, 4);
-        let mut inj = FaultInjector::new(&plan, 2);
+        let mut inj = FaultInjector::new(&plan, 2, 1, 0);
         assert!(inj.pstate_write_blocked(0, 10)); // jams until t=14
         assert!(inj.pstate_write_blocked(0, 13));
         // At t=14 the window expired, but stuck_prob=1 re-jams instantly;
@@ -712,7 +1030,7 @@ mod tests {
     #[test]
     fn noise_perturbs_but_stays_nonnegative() {
         let plan = FaultPlan::disabled().with_seed(11).with_sensor_noise(2.0);
-        let mut inj = FaultInjector::new(&plan, 1);
+        let mut inj = FaultInjector::new(&plan, 1, 1, 0);
         let mut saw_change = false;
         for t in 0..200 {
             match inj.sense(SensorChannel::ServerPower, 0, t, 10.0) {
@@ -733,7 +1051,7 @@ mod tests {
         let plan = FaultPlan::disabled()
             .with_outage(ControllerLayer::Em, Some(2), 100, 200)
             .with_outage(ControllerLayer::Gm, None, 50, 60);
-        let inj = FaultInjector::new(&plan, 4);
+        let inj = FaultInjector::new(&plan, 4, 2, 0);
         assert!(inj.offline(ControllerLayer::Em, 2, 150));
         assert!(!inj.offline(ControllerLayer::Em, 1, 150));
         assert!(!inj.offline(ControllerLayer::Em, 2, 200));
@@ -775,7 +1093,7 @@ mod tests {
     #[test]
     fn injector_snapshot_resumes_fault_stream() {
         let plan = noisy_plan();
-        let mut live = FaultInjector::new(&plan, 8);
+        let mut live = FaultInjector::new(&plan, 8, 2, 1);
         for t in 0..300 {
             let i = (t as usize) % 8;
             live.sense(SensorChannel::ServerPower, i, t, 100.0 + t as f64);
@@ -784,7 +1102,7 @@ mod tests {
         }
         let json = serde_json::to_string(&live.snapshot()).unwrap();
         let snap: InjectorSnapshot = serde_json::from_str(&json).unwrap();
-        let mut resumed = FaultInjector::new(&plan, 8);
+        let mut resumed = FaultInjector::new(&plan, 8, 2, 1);
         resumed.restore(&snap);
         for t in 300..600 {
             let i = (t as usize) % 8;
@@ -805,8 +1123,8 @@ mod tests {
         // The jam stream is counter-based per server: interleaving any
         // number of sensor/message draws must not change the verdicts.
         let plan = noisy_plan();
-        let mut quiet = FaultInjector::new(&plan, 4);
-        let mut busy = FaultInjector::new(&plan, 4);
+        let mut quiet = FaultInjector::new(&plan, 4, 2, 0);
+        let mut busy = FaultInjector::new(&plan, 4, 2, 0);
         for t in 0..400 {
             let i = (t as usize) % 4;
             // `busy` burns shared-stream draws between actuator draws.
@@ -821,10 +1139,31 @@ mod tests {
     }
 
     #[test]
+    fn sensor_draws_are_independent_of_the_shared_stream() {
+        // Sensor draws live on per-slot counter streams too: burning
+        // shared-stream (message-loss) draws and sensing *other* slots
+        // in between must not change any slot's verdict sequence.
+        let plan = noisy_plan();
+        let mut quiet = FaultInjector::new(&plan, 4, 2, 1);
+        let mut busy = FaultInjector::new(&plan, 4, 2, 1);
+        for t in 0..400 {
+            let i = (t as usize) % 4;
+            busy.budget_message_lost();
+            busy.sense(SensorChannel::EnclosurePower, (t as usize) % 2, t, 900.0);
+            busy.sense(SensorChannel::GroupChildPower, (t as usize) % 3, t, 1800.0);
+            assert_eq!(
+                quiet.sense(SensorChannel::ServerPower, i, t, 80.0),
+                busy.sense(SensorChannel::ServerPower, i, t, 80.0),
+                "sense verdict diverged at tick {t}"
+            );
+        }
+    }
+
+    #[test]
     fn actuator_shards_replay_the_whole_injector() {
         let plan = noisy_plan();
-        let mut whole = FaultInjector::new(&plan, 10);
-        let mut sharded = FaultInjector::new(&plan, 10);
+        let mut whole = FaultInjector::new(&plan, 10, 2, 0);
+        let mut sharded = FaultInjector::new(&plan, 10, 2, 0);
         for t in 0..200 {
             let want: Vec<bool> = (0..10).map(|i| whole.pstate_write_blocked(i, t)).collect();
             let mut got = vec![false; 10];
@@ -842,6 +1181,93 @@ mod tests {
         }
         // And the underlying state (thaw ticks + counters) stayed in
         // lockstep, so the next sequential draw agrees too.
+        assert_eq!(whole.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn sensor_shards_replay_the_whole_injector() {
+        let plan = noisy_plan();
+        let mut whole = FaultInjector::new(&plan, 10, 2, 0);
+        let mut sharded = FaultInjector::new(&plan, 10, 2, 0);
+        for t in 0..200 {
+            let want: Vec<Reading> = (0..10)
+                .map(|i| whole.sense(SensorChannel::ServerPower, i, t, 60.0 + i as f64))
+                .collect();
+            let wall = whole.pstate_write_blocked(3, t);
+            let mut got = vec![Reading::Dropped; 10];
+            let mut blocked = false;
+            let ranges = [0..3, 3..7, 7..10];
+            let mut shards = sharded.draw_shards(&ranges, SensorChannel::ServerPower);
+            // Deliberately evaluate shards out of order: counter streams
+            // make the order irrelevant.
+            for (k, (act, sens)) in shards.iter_mut().enumerate().rev() {
+                for i in ranges[k].clone() {
+                    got[i] = sens.sense(i, t, 60.0 + i as f64);
+                    if i == 3 {
+                        blocked = act.pstate_write_blocked(i, t);
+                    }
+                }
+            }
+            assert_eq!(want, got, "sense verdicts diverged at tick {t}");
+            assert_eq!(wall, blocked, "jam verdict diverged at tick {t}");
+        }
+        assert_eq!(whole.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn gm_child_shards_replay_the_whole_injector() {
+        // 2 enclosures + 3 standalone servers = 5 GM children; the
+        // standalone child k is GM child 2 + k.
+        let plan = noisy_plan();
+        let mut whole = FaultInjector::new(&plan, 8, 2, 3);
+        let mut sharded = FaultInjector::new(&plan, 8, 2, 3);
+        for t in 0..200 {
+            let want: Vec<Reading> = (0..5)
+                .map(|c| whole.sense(SensorChannel::GroupChildPower, c, t, 400.0 + c as f64))
+                .collect();
+            let mut got = vec![Reading::Dropped; 5];
+            let enc_ranges = [0..1, 1..2];
+            let sa_ranges = [0..2, 2..3];
+            let mut shards = sharded.gm_child_shards(&enc_ranges, &sa_ranges);
+            for (k, (enc, sa)) in shards.iter_mut().enumerate().rev() {
+                for e in enc_ranges[k].clone() {
+                    got[e] = enc.sense(e, t, 400.0 + e as f64);
+                }
+                for s in sa_ranges[k].clone() {
+                    got[2 + s] = sa.sense(s, t, 400.0 + (2 + s) as f64);
+                }
+            }
+            assert_eq!(want, got, "GM child verdicts diverged at tick {t}");
+        }
+        assert_eq!(whole.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn em_draw_shards_pair_servers_with_enclosures() {
+        let plan = noisy_plan();
+        let mut whole = FaultInjector::new(&plan, 6, 3, 0);
+        let mut sharded = FaultInjector::new(&plan, 6, 3, 0);
+        for t in 0..100 {
+            let want_sense: Vec<Reading> = (0..3)
+                .map(|e| whole.sense(SensorChannel::EnclosurePower, e, t, 700.0))
+                .collect();
+            let want_block: Vec<bool> = (0..6).map(|s| whole.pstate_write_blocked(s, t)).collect();
+            let server_ranges = [0..2, 2..6];
+            let enc_ranges = [0..1, 1..3];
+            let mut got_sense = vec![Reading::Dropped; 3];
+            let mut got_block = vec![false; 6];
+            let mut shards = sharded.em_draw_shards(&server_ranges, &enc_ranges);
+            for (k, (act, sens)) in shards.iter_mut().enumerate().rev() {
+                for e in enc_ranges[k].clone() {
+                    got_sense[e] = sens.sense(e, t, 700.0);
+                }
+                for s in server_ranges[k].clone() {
+                    got_block[s] = act.pstate_write_blocked(s, t);
+                }
+            }
+            assert_eq!(want_sense, got_sense, "EM sense diverged at tick {t}");
+            assert_eq!(want_block, got_block, "EM jam diverged at tick {t}");
+        }
         assert_eq!(whole.snapshot(), sharded.snapshot());
     }
 

@@ -60,13 +60,13 @@ mod topology;
 pub use bus::{BusConfig, BusEvent, BusSnapshot, ControlBus, GrantMsg, LinkId, RetryConfig};
 pub use config::SimConfig;
 pub use engine::{
-    ActuatorShard, ShardEffects, SimEpochView, SimSnapshot, Simulation, VmObservation,
+    ActuatorShard, ShardEffects, SimEpochView, SimSnapshot, Simulation, VmObservation, VmView,
 };
 pub use error::SimError;
 pub use events::{Event, EventLog, LoggedEvent};
 pub use faults::{
     ActuatorDrawShard, ActuatorFaultSpec, ControllerLayer, FaultInjector, FaultPlan,
-    InjectorSnapshot, OutageWindow, Reading, SensorChannel, SensorFaultSpec,
+    InjectorSnapshot, OutageWindow, Reading, SensorChannel, SensorDrawShard, SensorFaultSpec,
 };
 pub use ids::{EnclosureId, RackId, ServerId, VmId};
 pub use par::WorkerPool;

@@ -3,10 +3,17 @@
 //! A tick's parallel phase is short (tens of microseconds on paper-size
 //! fleets), so spawning scoped threads per tick would dominate the work.
 //! Instead the pool spawns its workers once and hands them one *job* at
-//! a time: a closure invoked with each shard index exactly once, with
-//! the shards claimed dynamically from a shared counter. [`WorkerPool::
-//! execute`] does not return until every shard of the job has finished,
-//! which is the barrier the deterministic reduction phase relies on.
+//! a time: a closure invoked with each shard index exactly once. Each
+//! participant (the workers plus the calling thread) owns a persistent
+//! deque seeded with a contiguous block of shard indices; a participant
+//! drains its own deque front-first and, once empty, **steals** from the
+//! back of a sibling's deque. On balanced fleets every shard runs from
+//! its owner's deque (good locality, zero steals); on lopsided fleets
+//! the fast participants absorb the slow one's backlog instead of idling
+//! at the barrier. [`WorkerPool::execute`] does not return until every
+//! shard of the job has finished, which is the barrier the deterministic
+//! reduction phase relies on — shard execution order is free, so
+//! stealing cannot perturb bit-identity.
 //!
 //! This module is the only place in the workspace that uses `unsafe`:
 //! a single lifetime erasure that lets workers borrow the caller's
@@ -15,7 +22,9 @@
 
 #![allow(unsafe_code)]
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -37,17 +46,46 @@ struct State {
     /// The active job, if any. Cleared by whichever thread finishes the
     /// last shard, which is also the "job done" signal.
     job: Option<Job>,
-    /// Next unclaimed shard index of the active job.
-    next_shard: usize,
     /// Total shards in the active job.
     num_shards: usize,
     /// Shards that have finished running.
     done_shards: usize,
+    /// Shards not yet claimed from any deque (fast availability check).
+    unclaimed: usize,
+    /// One persistent deque per participant (index 0 is the caller,
+    /// 1..threads are the workers), reseeded with contiguous shard
+    /// blocks on each publish.
+    deques: Vec<VecDeque<usize>>,
     /// True once any shard closure panicked (the panic is re-raised on
     /// the calling thread after the barrier).
     panicked: bool,
     /// Tells workers to exit their loop.
     shutdown: bool,
+}
+
+impl State {
+    /// Claims one shard for participant `me`: front of its own deque,
+    /// else the back of the first non-empty sibling deque scanning
+    /// round-robin from `me + 1` (a steal). Returns the shard index and
+    /// whether it was stolen.
+    fn claim(&mut self, me: usize) -> Option<(usize, bool)> {
+        if self.unclaimed == 0 {
+            return None;
+        }
+        if let Some(i) = self.deques[me].pop_front() {
+            self.unclaimed -= 1;
+            return Some((i, false));
+        }
+        let n = self.deques.len();
+        for d in 1..n {
+            let victim = (me + d) % n;
+            if let Some(i) = self.deques[victim].pop_back() {
+                self.unclaimed -= 1;
+                return Some((i, true));
+            }
+        }
+        None
+    }
 }
 
 struct Shared {
@@ -56,21 +94,33 @@ struct Shared {
     cv_job: Condvar,
     /// Signalled when the last shard of a job completes.
     cv_done: Condvar,
+    /// Shards claimed from a sibling's deque rather than the owner's,
+    /// accumulated over the pool's lifetime (`busy_ns`-style counter).
+    steals: AtomicU64,
 }
 
 impl Shared {
     /// Claims and runs shards of the active job until none remain to
     /// claim, then returns (releasing the lock). Shared by workers and
     /// the caller so the calling thread contributes a full worker's
-    /// throughput.
-    fn run_shards<'a>(&'a self, mut st: std::sync::MutexGuard<'a, State>, f: &dyn Fn(usize)) {
+    /// throughput; `me` selects the participant's own deque.
+    fn run_shards<'a>(
+        &'a self,
+        me: usize,
+        mut st: std::sync::MutexGuard<'a, State>,
+        f: &dyn Fn(usize),
+    ) {
         loop {
-            if st.job.is_none() || st.next_shard >= st.num_shards {
+            if st.job.is_none() {
                 return;
             }
-            let i = st.next_shard;
-            st.next_shard += 1;
+            let Some((i, stolen)) = st.claim(me) else {
+                return;
+            };
             drop(st);
+            if stolen {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+            }
             let ok = catch_unwind(AssertUnwindSafe(|| f(i))).is_ok();
             st = self.state.lock().unwrap();
             st.done_shards += 1;
@@ -85,7 +135,8 @@ impl Shared {
     }
 }
 
-/// A fixed-size pool of persistent worker threads executing shard jobs.
+/// A fixed-size pool of persistent worker threads executing shard jobs
+/// via per-participant deques with work stealing.
 ///
 /// Created once per run (when `threads > 1`); each call to
 /// [`WorkerPool::execute`] fans one closure out over shard indices
@@ -102,30 +153,32 @@ pub struct WorkerPool {
     /// span in a run goes through `execute`, this is the run's total
     /// parallel-phase time — the complement of the sequential global
     /// phase — which the `scale` bench reports per configuration.
-    busy_ns: std::sync::atomic::AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 impl WorkerPool {
     /// Creates a pool delivering `threads`-way parallelism: the calling
     /// thread participates in every job, so `threads - 1` workers are
     /// spawned. `threads` is clamped to at least 1 (an empty pool whose
-    /// `execute` simply runs shards inline).
+    /// `execute` simply runs shards inline off the caller's deque).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 job: None,
-                next_shard: 0,
                 num_shards: 0,
                 done_shards: 0,
+                unclaimed: 0,
+                deques: (0..threads).map(|_| VecDeque::new()).collect(),
                 panicked: false,
                 shutdown: false,
             }),
             cv_job: Condvar::new(),
             cv_done: Condvar::new(),
+            steals: AtomicU64::new(0),
         });
         let handles = (1..threads)
-            .map(|_| {
+            .map(|me| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     let mut st = shared.state.lock().unwrap();
@@ -134,12 +187,12 @@ impl WorkerPool {
                             return;
                         }
                         if let Some(job) = st.job {
-                            if st.next_shard < st.num_shards {
+                            if st.unclaimed > 0 {
                                 // SAFETY: see `Job` — the pointee lives
                                 // until `execute` returns, and `execute`
                                 // blocks until this shard is done.
                                 let f = unsafe { &*job.0 };
-                                shared.run_shards(st, f);
+                                shared.run_shards(me, st, f);
                                 st = shared.state.lock().unwrap();
                                 continue;
                             }
@@ -153,7 +206,7 @@ impl WorkerPool {
             shared,
             handles,
             threads,
-            busy_ns: std::sync::atomic::AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
         }
     }
 
@@ -165,7 +218,15 @@ impl WorkerPool {
     /// Total wall-clock nanoseconds spent inside [`WorkerPool::execute`]
     /// since the pool was created (the run's parallel-phase time).
     pub fn busy_nanos(&self) -> u64 {
-        self.busy_ns.load(std::sync::atomic::Ordering::Relaxed)
+        self.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Shards executed by a participant other than the one whose deque
+    /// they were seeded into, since the pool was created. Zero on a
+    /// perfectly balanced job; grows when lopsided shard costs leave
+    /// some participants idle while others still hold a backlog.
+    pub fn steal_count(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
     }
 
     /// Runs `f(i)` exactly once for every `i in 0..num_shards`, spread
@@ -188,24 +249,32 @@ impl WorkerPool {
             let mut st = self.shared.state.lock().unwrap();
             debug_assert!(st.job.is_none(), "execute is not reentrant");
             st.job = Some(Job(erased));
-            st.next_shard = 0;
             st.num_shards = num_shards;
             st.done_shards = 0;
+            st.unclaimed = num_shards;
             st.panicked = false;
+            // Seed each participant's deque with a contiguous block —
+            // neighbouring shards share cache lines in the runner's
+            // dense per-server arrays, and stealing from the *back*
+            // keeps the owner on its own block as long as possible.
+            let n = self.threads;
+            for (p, dq) in st.deques.iter_mut().enumerate() {
+                debug_assert!(dq.is_empty(), "stale shards left in a deque");
+                dq.clear();
+                dq.extend(p * num_shards / n..(p + 1) * num_shards / n);
+            }
         }
         self.shared.cv_job.notify_all();
         let st = self.shared.state.lock().unwrap();
-        self.shared.run_shards(st, f);
+        self.shared.run_shards(0, st, f);
         let mut st = self.shared.state.lock().unwrap();
         while st.job.is_some() {
             st = self.shared.cv_done.wait(st).unwrap();
         }
         let panicked = st.panicked;
         drop(st);
-        self.busy_ns.fetch_add(
-            span.elapsed().as_nanos() as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
+        self.busy_ns
+            .fetch_add(span.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if panicked {
             panic!("a worker panicked during the parallel shard phase");
         }
@@ -271,12 +340,48 @@ mod tests {
             total.fetch_add(i, Ordering::SeqCst);
         });
         assert_eq!(total.load(Ordering::SeqCst), 21);
+        assert_eq!(pool.steal_count(), 0, "a lone participant cannot steal");
     }
 
     #[test]
     fn zero_shards_is_a_no_op() {
         let pool = WorkerPool::new(2);
         pool.execute(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn more_participants_than_shards_still_covers_every_shard() {
+        // Some deques get an empty block; their owners must steal or
+        // idle without deadlocking the barrier.
+        let pool = WorkerPool::new(8);
+        for shards in [1usize, 2, 3, 5] {
+            let counts: Vec<AtomicUsize> = (0..shards).map(|_| AtomicUsize::new(0)).collect();
+            pool.execute(shards, &|i| {
+                counts[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    #[test]
+    fn lopsided_shard_costs_trigger_steals() {
+        // Two participants, four shards: the caller's block {0, 1}
+        // starts with a slow shard, so the worker drains its own block
+        // {2, 3} and then steals the caller's backlog.
+        let pool = WorkerPool::new(2);
+        let slow_ms = if cfg!(miri) { 5 } else { 25 };
+        let ran: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.execute(4, &|i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(slow_ms));
+            }
+            ran[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(ran.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        assert!(
+            pool.steal_count() >= 1,
+            "the idle worker should have stolen from the slow caller's deque"
+        );
     }
 
     #[test]
@@ -290,7 +395,8 @@ mod tests {
             });
         }));
         assert!(err.is_err());
-        // The pool stays usable after a panicked job.
+        // The pool stays usable after a panicked job (any shards left
+        // unclaimed by the aborted job must not leak into the next).
         let total = AtomicUsize::new(0);
         pool.execute(3, &|_| {
             total.fetch_add(1, Ordering::SeqCst);

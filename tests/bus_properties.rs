@@ -210,6 +210,107 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The expiry-heap bus must deliver a bit-identical accept / retry /
+    /// lease schedule to the pre-heap linear scan: two buses built from
+    /// the same config, fed the same send schedule, one polled through
+    /// the heap path and one through the hidden linear reference, emit
+    /// the exact same event stream at every tick and drain together.
+    #[test]
+    fn heap_bus_matches_linear_scan_bit_exactly(
+        delay in 0u64..3,
+        jitter in 0u64..3,
+        drop in 0.0f64..0.4,
+        dup in 0.0f64..0.3,
+        reorder in 0.0f64..0.5,
+        extra in 0u64..4,
+        attempts in 0u32..4,
+        lease in 0u64..30,
+        seed in 0u64..1_000,
+        sends in 1u64..60,
+        plan_lost_mask in 0u64..u64::MAX,
+    ) {
+        let cfg = BusConfig::default()
+            .with_seed(seed)
+            .with_delay(delay, jitter)
+            .with_drop(drop)
+            .with_duplication(dup)
+            .with_reordering(reorder, extra)
+            .with_leases(lease)
+            .with_retry(RetryConfig {
+                max_attempts: attempts,
+                backoff_base_ticks: 1,
+                backoff_max_ticks: 8,
+                jitter_ticks: 1,
+            });
+        let mut heap = ControlBus::new(&cfg);
+        let mut linear = ControlBus::new(&cfg);
+        for _ in 0..NUM_LINKS {
+            heap.register_link();
+            linear.register_link();
+        }
+        for t in 0..sends + 200 {
+            if t < sends {
+                let link = LinkId((t as usize) % NUM_LINKS);
+                let watts = 100.0 + t as f64;
+                // Same plan-level loss verdict on both sides (the owner
+                // draws it from the fault plan, outside the bus).
+                let plan_lost = (plan_lost_mask >> (t % 64)) & 1 == 1;
+                let a = heap.send(link, watts, t, plan_lost);
+                let b = linear.send(link, watts, t, plan_lost);
+                prop_assert_eq!(a, b, "send verdicts diverged at tick {}", t);
+            }
+            let ea = heap.poll(t);
+            let eb = linear.poll_reference(t);
+            prop_assert_eq!(ea, eb, "event schedules diverged at tick {}", t);
+            prop_assert_eq!(heap.is_idle(), linear.is_idle());
+        }
+        prop_assert!(heap.is_idle(), "bus must drain once traffic stops");
+        // Same end state too: a checkpoint of either is interchangeable.
+        prop_assert_eq!(heap.snapshot(), linear.snapshot());
+    }
+}
+
+/// An idle tick is free: polling a bus with an empty message heap and no
+/// armed retransmission timer examines zero links, no matter how many
+/// links are registered. (The pre-heap drain walked every link every
+/// tick; `link_scans` counts exactly those examinations.)
+#[test]
+fn empty_heap_tick_performs_zero_link_scans() {
+    let cfg = BusConfig::default().with_seed(3).with_retry(RetryConfig {
+        max_attempts: 3,
+        backoff_base_ticks: 2,
+        backoff_max_ticks: 8,
+        jitter_ticks: 0,
+    });
+    let mut bus = ControlBus::new(&cfg);
+    let links: Vec<LinkId> = (0..64).map(|_| bus.register_link()).collect();
+    for t in 0..1_000 {
+        assert!(bus.poll(t).is_empty());
+    }
+    assert_eq!(
+        bus.link_scans(),
+        0,
+        "idle polling must not examine any link"
+    );
+
+    // One real send arms one timer; draining it may examine that link a
+    // bounded number of times (once per retry firing), never all 64 per
+    // tick like the linear scan.
+    bus.send(links[0], 120.0, 1_000, false);
+    for t in 1_000..1_100 {
+        bus.poll(t);
+    }
+    assert!(bus.is_idle());
+    let scans = bus.link_scans();
+    assert!(
+        scans <= 4,
+        "draining one message must examine O(due) links, saw {scans}"
+    );
+}
+
 /// Bus fault counters surface in `FaultStats` and telemetry under an
 /// aggressive delivery-fault schedule.
 #[test]

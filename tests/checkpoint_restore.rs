@@ -114,6 +114,90 @@ fn kill_and_resume_is_bit_exact_on_the_default_path() {
 }
 
 #[test]
+fn mid_gm_window_checkpoint_is_thread_count_agnostic() {
+    // Checkpoint in the middle of a GM window (between the t=100 and
+    // t=150 GM epochs) on a multi-rack fleet with a slow lossy bus, so
+    // the snapshot carries in-flight heap messages, armed retry timers,
+    // and nonzero per-slot sensor counters — then restore at different
+    // thread counts. The terminal checkpoint JSON must be byte-identical
+    // whichever worker count replays the remainder.
+    let plan = FaultPlan::disabled()
+        .with_seed(77)
+        .with_sensor_noise(0.02)
+        .with_stuck_sensors(0.01, 10)
+        .with_dropped_samples(0.01)
+        .with_stuck_actuators(0.004, 6)
+        .with_message_loss(0.03);
+    let bus = BusConfig::default()
+        .with_seed(888)
+        .with_delay(2, 3)
+        .with_drop(0.05)
+        .with_reordering(0.3, 4)
+        .with_leases(35)
+        .with_retry(RetryConfig {
+            max_attempts: 3,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 16,
+            jitter_ticks: 1,
+        });
+    let cfg = Scenario::multi_rack(
+        SystemKind::BladeA,
+        CoordinationMode::Coordinated,
+        2,
+        2,
+        6,
+        3,
+    )
+    .horizon(HORIZON)
+    .seed(23)
+    .faults(plan)
+    .bus(bus)
+    .build();
+
+    // Uninterrupted single-thread reference.
+    let mut reference = Runner::new(&cfg);
+    reference.run_to_horizon();
+    let want = serde_json::to_string(&reference.snapshot()).expect("snapshot serializes");
+
+    // Checkpoint mid-GM-window at 4 threads; EM epochs fire at t=125 on
+    // a 2–5-tick-delay bus, so grants are still in the expiry heap.
+    let mut c4 = cfg.clone();
+    c4.threads = 4;
+    let mut first = Runner::new(&c4);
+    while first.ticks_done() < 126 {
+        first.tick();
+    }
+    let mid = first.snapshot();
+    assert!(
+        !mid.bus.queue.is_empty(),
+        "split must catch grant copies in the in-flight heap"
+    );
+    assert!(
+        mid.bus.links.iter().any(|l| l.pending.is_some()),
+        "split must catch an armed retransmission timer"
+    );
+    assert!(
+        mid.injector.sensor_ctr.iter().any(|&c| c > 0),
+        "split must catch advanced sensor counter streams"
+    );
+    let json = serde_json::to_string(&mid).expect("snapshot serializes");
+    drop(first);
+
+    for threads in [1usize, 2, 7] {
+        let parsed: RunnerSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        let mut c = cfg.clone();
+        c.threads = threads;
+        let mut resumed = Runner::resume(&c, &parsed).expect("checkpoint restores");
+        resumed.run_to_horizon();
+        let got = serde_json::to_string(&resumed.snapshot()).expect("snapshot serializes");
+        assert_eq!(
+            got, want,
+            "mid-GM-window resume at {threads} threads diverged"
+        );
+    }
+}
+
+#[test]
 fn snapshot_json_roundtrip_is_identity() {
     let cfg = stressed_config();
     let mut runner = Runner::new(&cfg);

@@ -296,6 +296,37 @@ fn golden_lopsided_weighted_shards() {
 }
 
 #[test]
+fn golden_gm_vmc_parallel() {
+    // Multi-rack fleet with every parallel control-plane path hot at
+    // once: a tight GM period (many GM epochs, per-child counter-stream
+    // sensor draws in the fan-out), the VMC inside the horizon (sharded
+    // demand accumulators feeding real migrations), sensor + actuator
+    // faults, and an electrical cap. Captured at `NPS_THREADS=1`; CI
+    // asserts it unregenerated at 4 and 7.
+    let cfg = Scenario::multi_rack(
+        SystemKind::BladeA,
+        CoordinationMode::Coordinated,
+        2,
+        2,
+        8,
+        4,
+    )
+    .intervals(Intervals {
+        ec: 1,
+        sm: 5,
+        em: 10,
+        gm: 20,
+        vmc: 120,
+    })
+    .electrical_cap(0.9)
+    .horizon(500)
+    .seed(59)
+    .faults(golden_fault_plan())
+    .build();
+    check_golden("gm_vmc_parallel", &cfg);
+}
+
+#[test]
 fn golden_hetero_electrical_coordinated() {
     let cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
         .heterogeneous()

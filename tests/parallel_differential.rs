@@ -202,6 +202,75 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// GM-heavy configurations: a tight `T_gm` against many enclosures,
+    /// so GM epochs dominate the run and the fan-out window pass — now
+    /// carrying per-child counter-stream sensor draws and the full
+    /// hardening pipeline in-shard — fires constantly. The sequential
+    /// ingest order (all enclosures, then all standalones) must survive
+    /// the two-buffer telemetry replay at every thread count.
+    #[test]
+    fn thread_count_is_invisible_under_gm_pressure(
+        (racks, encs, blades) in (2usize..4, 2usize..4, 2usize..5),
+        standalone in 1usize..5,
+        gm in 4u64..12,
+        mode_idx in 0usize..3,
+        seed in 0u64..1_000,
+        plan in arb_fault_plan(),
+        bus in arb_bus(),
+    ) {
+        let mode = [
+            CoordinationMode::Coordinated,
+            CoordinationMode::Uncoordinated,
+            CoordinationMode::UncoordMinPstates,
+        ][mode_idx];
+        let cfg = Scenario::multi_rack(SystemKind::BladeA, mode, racks, encs, blades, standalone)
+            .intervals(Intervals { ec: 1, sm: 2, em: gm.max(2) / 2, gm, vmc: 500 })
+            .horizon(160)
+            .seed(seed)
+            .faults(plan)
+            .bus(bus)
+            .build();
+        assert_threads_invisible(&cfg)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// VMC-active configurations: `T_vmc` well inside the horizon, so
+    /// the sharded per-tick VM accumulators and the sharded demand-
+    /// estimate pass feed real consolidation decisions (migrations,
+    /// power-off) whose placement consequences would amplify any
+    /// accumulator divergence for the rest of the run.
+    #[test]
+    fn thread_count_is_invisible_with_vmc_active(
+        (racks, encs, blades) in (1usize..3, 1usize..3, 3usize..6),
+        standalone in 1usize..4,
+        vmc in 40u64..80,
+        coordinated in proptest::bool::ANY,
+        seed in 0u64..1_000,
+        plan in arb_fault_plan(),
+        bus in arb_bus(),
+    ) {
+        let mode = if coordinated {
+            CoordinationMode::Coordinated
+        } else {
+            CoordinationMode::Uncoordinated
+        };
+        let cfg = Scenario::multi_rack(SystemKind::BladeA, mode, racks, encs, blades, standalone)
+            .intervals(Intervals { ec: 1, sm: 5, em: 10, gm: 20, vmc })
+            .horizon(170)
+            .seed(seed)
+            .faults(plan)
+            .bus(bus)
+            .build();
+        assert_threads_invisible(&cfg)?;
+    }
+}
+
 /// A checkpoint taken at one thread count must resume bit-exactly at any
 /// other: the final checkpoint JSON of (snapshot at 4 threads, resume at
 /// M) is byte-identical to an uninterrupted single-thread run.
