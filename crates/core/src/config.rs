@@ -6,7 +6,7 @@ use nps_control::{
 };
 use nps_models::ServerModel;
 use nps_opt::VmcConfig;
-use nps_sim::{BusConfig, FaultPlan, SimConfig, Topology};
+use nps_sim::{BusConfig, FaultPlan, RedundancyConfig, SimConfig, Topology};
 use nps_traces::UtilTrace;
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +125,13 @@ pub struct ExperimentConfig {
     /// leases). The default is a zero-delay, zero-fault passthrough that
     /// reproduces direct grant writes bit-exactly.
     pub bus: BusConfig,
+    /// Warm-standby controller redundancy (GM/EM replicas, heartbeat
+    /// failure detector). Disabled by default.
+    pub redundancy: RedundancyConfig,
+    /// Whether the runner checks the paper's safety invariants every
+    /// tick (the `nps-metrics::invariants` catalog). Monitoring only;
+    /// violations are reported, never corrected.
+    pub invariants: bool,
 }
 
 impl ExperimentConfig {

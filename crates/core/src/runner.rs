@@ -7,16 +7,17 @@ use nps_control::{
     GroupCapper,
 };
 use nps_metrics::{
-    BudgetLevel, Comparison, ControllerKind, DegradationPolicy, FaultStats, LevelViolations,
-    Recorder, RingRecorder, RunStats, SensorFaultKind, TelemetryEvent, ViolationCounter,
+    BudgetLevel, Comparison, ControllerKind, DegradationPolicy, FaultStats, InvariantKind,
+    InvariantStats, LevelViolations, Recorder, RingRecorder, RunStats, SensorFaultKind,
+    TelemetryEvent, ViolationCounter,
 };
 use nps_models::{PState, ServerModel};
 use nps_opt::{ClusterContext, Vmc};
 use nps_sim::{
     ActuatorDrawShard, ActuatorShard, BusEvent, BusSnapshot, ControlBus, ControllerLayer,
     EnclosureId, FaultInjector, FaultPlan, GrantMsg, InjectorSnapshot, LinkId, OutageWindow,
-    Reading, SensorChannel, SensorDrawShard, ServerId, SimConfig, SimEpochView, SimSnapshot,
-    Simulation, VmId, WorkerPool,
+    Reading, RedundancyConfig, RedundancyStats, ReplicaState, SensorChannel, SensorDrawShard,
+    ServerId, SimConfig, SimEpochView, SimSnapshot, Simulation, VmId, WorkerPool,
 };
 use std::ops::Range;
 use std::sync::Mutex;
@@ -72,6 +73,15 @@ struct LinkMeta {
     level: BudgetLevel,
     child: usize,
     target: GrantTarget,
+}
+
+/// Which warm-standby replica a state-sync bus link feeds.
+#[derive(Debug, Clone, Copy)]
+enum SyncPeer {
+    /// The Group Manager's standby.
+    Gm,
+    /// Enclosure `e`'s EM standby.
+    Em(usize),
 }
 
 /// One live experiment: the simulator plus controller instances and the
@@ -191,12 +201,30 @@ pub struct Runner {
     /// workers can evaluate `offline` without borrowing the injector
     /// (whose actuator-jam state is carved into the shards).
     outage_windows: Vec<OutageWindow>,
-    /// Pre-sampled plan-level message-loss verdicts for one parallel EM
-    /// epoch, indexed by CSR member slot (`enc_offsets`-based). Sensor
-    /// readings need no pre-sampling anywhere: they live on per-slot
-    /// counter streams and are drawn in-shard, exactly like actuator-jam
-    /// verdicts.
-    scratch_msg_lost: Vec<bool>,
+    // Controller redundancy: optional warm standbys for the GM and EMs.
+    // The failure detector and every promotion/fencing decision run in
+    // the sequential global phase, so redundancy never perturbs the
+    // thread-count determinism contract.
+    redundancy: RedundancyConfig,
+    /// GM standby replica (None when not configured).
+    gm_replica: Option<ReplicaState>,
+    /// Per-enclosure EM standby replicas (empty when not configured).
+    em_replicas: Vec<ReplicaState>,
+    rstats: RedundancyStats,
+    /// First bus slot of the state-sync links. Every slot below it is a
+    /// grant link with a `link_meta` entry; sync links are registered
+    /// after all grant links so grant slots (and their per-link fault
+    /// streams) are identical with redundancy on or off.
+    sync_base: usize,
+    /// Sync-link routing: `slot - sync_base` → the replica it feeds.
+    sync_peers: Vec<SyncPeer>,
+    /// Enclosure → sync-link slot (empty without EM standbys).
+    em_sync_link: Vec<usize>,
+    /// GM sync-link slot (None without a GM standby).
+    gm_sync_link: Option<usize>,
+    // Runtime safety-invariant monitor (side-effect-free observer).
+    invariants_on: bool,
+    istats: InvariantStats,
     /// Hardened (post-ingestion) per-child window averages produced by
     /// the GM window pass: enclosures first, then standalone servers.
     scratch_child_raw: Vec<f64>,
@@ -371,6 +399,39 @@ impl Runner {
             });
             server_link[s.index()] = Some(link.0);
         }
+        // Warm-standby state-sync links, registered after every grant
+        // link: the grant slots (and the per-link loss streams keyed on
+        // them) stay identical whether or not redundancy is configured.
+        let redundancy = cfg.redundancy.sanitized();
+        let sync_base = link_meta.len();
+        let mut sync_peers: Vec<SyncPeer> = Vec::new();
+        let mut em_sync_link: Vec<usize> = Vec::new();
+        let mut gm_sync_link: Option<usize> = None;
+        if redundancy.em_standby {
+            for e in 0..num_enclosures {
+                let link = bus.register_link();
+                debug_assert_eq!(link.0, sync_base + sync_peers.len());
+                em_sync_link.push(link.0);
+                sync_peers.push(SyncPeer::Em(e));
+            }
+        }
+        if redundancy.gm_standby {
+            let link = bus.register_link();
+            gm_sync_link = Some(link.0);
+            sync_peers.push(SyncPeer::Gm);
+        }
+        // Both sides of a pair boot from the same configuration, so each
+        // standby starts with an exact shadow of its primary.
+        let em_replicas: Vec<ReplicaState> = if redundancy.em_standby {
+            ems.iter()
+                .map(|em| ReplicaState::new(encode_capper(&em.snapshot())))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let gm_replica = redundancy
+            .gm_standby
+            .then(|| ReplicaState::new(encode_capper(&gm.snapshot())));
 
         // Seed the hold-last-good stores at each server's idle operating
         // point (P0, zero utilization) rather than 0.0: a sample dropped
@@ -528,7 +589,16 @@ impl Runner {
             shard_encs,
             enc_aligned,
             outage_windows,
-            scratch_msg_lost: Vec::new(),
+            redundancy,
+            gm_replica,
+            em_replicas,
+            rstats: RedundancyStats::default(),
+            sync_base,
+            sync_peers,
+            em_sync_link,
+            gm_sync_link,
+            invariants_on: cfg.invariants,
+            istats: InvariantStats::default(),
             scratch_child_raw: Vec::new(),
         })
     }
@@ -576,6 +646,30 @@ impl Runner {
     /// independent of any recorder).
     pub fn fault_stats(&self) -> FaultStats {
         self.fstats
+    }
+
+    /// Redundancy-protocol counters accumulated so far (heartbeats,
+    /// promotions, fencings, sync traffic). All-zero when no standby is
+    /// configured.
+    pub fn redundancy_stats(&self) -> RedundancyStats {
+        self.rstats
+    }
+
+    /// Safety-invariant monitor counters accumulated so far. All-zero
+    /// checks when the monitor is off.
+    pub fn invariant_stats(&self) -> InvariantStats {
+        self.istats
+    }
+
+    /// The GM's warm-standby replica, when one is configured.
+    pub fn gm_replica(&self) -> Option<&ReplicaState> {
+        self.gm_replica.as_ref()
+    }
+
+    /// Enclosure `e`'s warm-standby replica, when EM standbys are
+    /// configured.
+    pub fn em_replica(&self, e: usize) -> Option<&ReplicaState> {
+        self.em_replicas.get(e)
     }
 
     /// The last-good slot backing `chan`/`idx` — the hold-last-good store.
@@ -677,20 +771,15 @@ impl Runner {
 
     /// The single entry point for every downstream budget grant (EM→
     /// member, GM→EM, GM→standalone — formerly four copy-pasted loss
-    /// branches): draws the plan-level loss verdict in the legacy stream
-    /// order, routes the grant through the bus as a sequence-numbered
-    /// message, and synchronously drains due traffic so passthrough
-    /// delivery lands in-place in the telemetry stream.
+    /// branches): draws the plan-level loss verdict from the link's own
+    /// counter stream (position-independent, so every caller — epoch
+    /// order, thread count, replay — sees the same verdict sequence),
+    /// routes the grant through the bus as a sequence-numbered message,
+    /// and synchronously drains due traffic so passthrough delivery
+    /// lands in-place in the telemetry stream.
     fn deliver_grant(&mut self, link_slot: usize, watts: f64) {
-        let plan_lost = self.injector.budget_message_lost();
-        self.deliver_grant_presampled(link_slot, watts, plan_lost);
-    }
-
-    /// [`Runner::deliver_grant`] with the plan-level loss verdict already
-    /// drawn — the parallel EM epoch pre-samples it in the sequential
-    /// pre-pass and replays the delivery here during its reduction.
-    fn deliver_grant_presampled(&mut self, link_slot: usize, watts: f64, plan_lost: bool) {
         let t = self.ticks_done;
+        let plan_lost = self.injector.budget_message_lost(link_slot);
         let (_seq, enqueued) = self.bus.send(LinkId(link_slot), watts, t, plan_lost);
         if !enqueued {
             // Lost outright — by the plan-level draw or the bus's own
@@ -713,6 +802,18 @@ impl Runner {
     fn drain_bus(&mut self) {
         let t = self.ticks_done;
         for event in self.bus.poll(t) {
+            let slot = match &event {
+                BusEvent::Delivered(m) | BusEvent::Duplicate(m) | BusEvent::Exhausted(m) => {
+                    m.link.0
+                }
+                BusEvent::Stale { msg, .. } | BusEvent::Retry { msg, .. } => msg.link.0,
+            };
+            // State-sync traffic feeds the standby replicas, never a
+            // grant target (sync links sit above every grant slot).
+            if slot >= self.sync_base {
+                self.apply_sync_event(slot, &event);
+                continue;
+            }
             match event {
                 BusEvent::Delivered(msg) => self.apply_grant(msg),
                 BusEvent::Duplicate(msg) => {
@@ -838,6 +939,296 @@ impl Runner {
                     child,
                     seq,
                 });
+            }
+        }
+    }
+
+    // ----- controller redundancy ----------------------------------------
+
+    /// Routes one bus event on a state-sync link to its replica. Sync
+    /// payloads ride in [`ReplicaState::inflight`] keyed by the bus
+    /// sequence number; the bus only decides delivery, duplication,
+    /// staleness, retransmission, or exhaustion.
+    fn apply_sync_event(&mut self, slot: usize, event: &BusEvent) {
+        let rep = match self.sync_peers[slot - self.sync_base] {
+            SyncPeer::Gm => self.gm_replica.as_mut(),
+            SyncPeer::Em(e) => self.em_replicas.get_mut(e),
+        };
+        let Some(rep) = rep else { return };
+        match event {
+            BusEvent::Delivered(m) => {
+                if rep.deliver_sync(m.seq) {
+                    self.rstats.syncs_applied += 1;
+                }
+            }
+            // A duplicate's payload was already applied (or pruned as
+            // stale) by the first copy; a stale copy was superseded by a
+            // newer accepted sync. Neither touches the shadow.
+            BusEvent::Duplicate(m) => {
+                rep.drop_sync(m.seq);
+            }
+            BusEvent::Stale { msg, .. } => {
+                rep.drop_sync(msg.seq);
+            }
+            BusEvent::Retry { dropped, .. } => {
+                self.rstats.sync_retries += 1;
+                if *dropped {
+                    self.rstats.syncs_dropped += 1;
+                }
+            }
+            BusEvent::Exhausted(m) => {
+                if rep.drop_sync(m.seq) {
+                    self.rstats.syncs_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Ships the GM's post-epoch controller state to its standby as a
+    /// sequence-numbered sync message (no-op without a GM standby).
+    fn send_gm_sync(&mut self) {
+        let Some(slot) = self.gm_sync_link else {
+            return;
+        };
+        let t = self.ticks_done;
+        let snap = self.gm.snapshot();
+        let watts = self.gm.effective_cap_watts();
+        let (seq, enqueued) = self.bus.send(LinkId(slot), watts, t, false);
+        self.rstats.syncs_sent += 1;
+        if enqueued {
+            if let Some(rep) = &mut self.gm_replica {
+                rep.record_sync(seq, encode_capper(&snap));
+            }
+        } else {
+            self.rstats.syncs_dropped += 1;
+        }
+        self.drain_bus();
+    }
+
+    /// Ships enclosure `e`'s EM state to its standby (no-op without EM
+    /// standbys).
+    fn send_em_sync(&mut self, e: usize) {
+        let Some(&slot) = self.em_sync_link.get(e) else {
+            return;
+        };
+        let t = self.ticks_done;
+        let snap = self.ems[e].snapshot();
+        let watts = self.ems[e].effective_cap_watts();
+        let (seq, enqueued) = self.bus.send(LinkId(slot), watts, t, false);
+        self.rstats.syncs_sent += 1;
+        if enqueued {
+            if let Some(rep) = self.em_replicas.get_mut(e) {
+                rep.record_sync(seq, encode_capper(&snap));
+            }
+        } else {
+            self.rstats.syncs_dropped += 1;
+        }
+        self.drain_bus();
+    }
+
+    /// Whether enclosure `e`'s standby currently leads (its primary is
+    /// deposed), so the EM keeps operating through the primary's outage.
+    #[inline]
+    fn em_promoted(&self, e: usize) -> bool {
+        self.em_replicas.get(e).is_some_and(|r| r.promoted)
+    }
+
+    /// Whether the GM standby currently leads.
+    #[inline]
+    fn gm_promoted(&self) -> bool {
+        self.gm_replica.as_ref().is_some_and(|r| r.promoted)
+    }
+
+    /// The deterministic failure detector, run in the sequential global
+    /// phase every `heartbeat_interval_ticks`: counts missed heartbeats
+    /// for protected primaries, promotes warm standbys past the miss
+    /// threshold (bumping the leadership term and restoring the live
+    /// controller from the shadow), and fences returning primaries on
+    /// their stale term, re-integrating them as the new standby.
+    // `%` rather than `u64::is_multiple_of`: pinned MSRV (1.75).
+    #[allow(clippy::manual_is_multiple_of)]
+    fn redundancy_step(&mut self) {
+        let t = self.ticks_done;
+        if t % self.redundancy.heartbeat_interval_ticks != 0 {
+            return;
+        }
+        if let Some(mut rep) = self.gm_replica.take() {
+            let down = self.injector.offline(ControllerLayer::Gm, 0, t);
+            if self.detect(&mut rep, down, ControllerKind::Gm, BudgetLevel::Group, 0) {
+                if let Some(snap) = decode_capper(&rep.shadow) {
+                    self.gm.restore(&snap);
+                    self.gm.expire_lease(t);
+                }
+            }
+            self.gm_replica = Some(rep);
+        }
+        let mut reps = std::mem::take(&mut self.em_replicas);
+        for (e, rep) in reps.iter_mut().enumerate() {
+            let down = self.injector.offline(ControllerLayer::Em, e, t);
+            if self.detect(rep, down, ControllerKind::Em, BudgetLevel::Enclosure, e) {
+                if let Some(snap) = decode_capper(&rep.shadow) {
+                    self.ems[e].restore(&snap);
+                    // The shadow can lag the primary by in-flight syncs:
+                    // a lease that lapsed meanwhile expires right away
+                    // rather than resurrecting a stale grant.
+                    self.ems[e].expire_lease(t);
+                }
+            }
+        }
+        self.em_replicas = reps;
+    }
+
+    /// One heartbeat check for one replica pair. Returns whether the
+    /// standby was promoted just now (the caller then restores the live
+    /// controller state from the shadow).
+    fn detect(
+        &mut self,
+        rep: &mut ReplicaState,
+        down: bool,
+        controller: ControllerKind,
+        level: BudgetLevel,
+        index: usize,
+    ) -> bool {
+        let t = self.ticks_done;
+        self.rstats.heartbeats += 1;
+        if down {
+            if rep.promoted {
+                // The standby is serving; there is no primary to probe.
+                return false;
+            }
+            rep.missed += 1;
+            self.rstats.missed_heartbeats += 1;
+            let missed = rep.missed;
+            self.emit(|| TelemetryEvent::HeartbeatMissed {
+                tick: t,
+                controller,
+                index,
+                missed,
+            });
+            if rep.missed >= self.redundancy.miss_threshold {
+                rep.term += 1;
+                rep.promoted = true;
+                rep.missed = 0;
+                self.rstats.promotions += 1;
+                let term = rep.term;
+                self.emit(|| TelemetryEvent::FailoverPromoted {
+                    tick: t,
+                    controller,
+                    index,
+                    term,
+                });
+                return true;
+            }
+            return false;
+        }
+        if rep.promoted {
+            // The deposed primary is back. Its leadership claim carries
+            // the pre-failover term — fenced via the existing stale-
+            // rejection path, then taken on as the new standby.
+            self.fstats.stale_rejected += 1;
+            self.rstats.fenced += 1;
+            let (stale, serving) = (rep.term - 1, rep.term);
+            self.emit(|| TelemetryEvent::StaleRejected {
+                tick: t,
+                level,
+                child: index,
+                seq: stale,
+                accepted: serving,
+            });
+            rep.promoted = false;
+            rep.missed = 0;
+            self.emit(|| TelemetryEvent::StandbyReintegrated {
+                tick: t,
+                controller,
+                index,
+                term: serving,
+            });
+            return false;
+        }
+        rep.missed = 0;
+        false
+    }
+
+    // ----- the safety-invariant monitor ---------------------------------
+
+    /// Records one violation: exact counter plus telemetry event.
+    fn invariant_violation(&mut self, invariant: InvariantKind, index: usize) {
+        let t = self.ticks_done;
+        self.istats.record(invariant);
+        self.emit(|| TelemetryEvent::InvariantViolated {
+            tick: t,
+            invariant,
+            index,
+        });
+    }
+
+    /// Budget-conservation check at a reallocation site: the children's
+    /// grants must sum to at most the parent's effective cap (float
+    /// tolerance for the summation order).
+    fn check_conservation(&mut self, alloc_sum: f64, cap: f64, index: usize) {
+        self.istats.checks += 1;
+        if alloc_sum > cap * (1.0 + 1e-9) + 1e-9 {
+            self.invariant_violation(InvariantKind::BudgetConservation, index);
+        }
+    }
+
+    /// The per-tick safety-invariant sweep, run after every controller
+    /// (including the electrical clamp) has acted. Pure observation: it
+    /// never steers the system. Budget conservation is checked at the
+    /// reallocation sites instead; the catalog's remaining entries are
+    /// global conditions checked here.
+    fn invariant_sweep(&mut self) {
+        let t = self.ticks_done;
+        // Electrical protection: no powered-on server with a working
+        // actuator runs above its fuse-level cap.
+        if let Some(elec) = self.elec.take() {
+            for (i, capper) in elec.iter().enumerate() {
+                let s = ServerId(i);
+                if !self.sim.is_on(s) || self.injector.actuator_jammed(i, t) {
+                    continue;
+                }
+                self.istats.checks += 1;
+                let p = self.sim.pstate(s);
+                if capper.clamp(p) != p {
+                    self.invariant_violation(InvariantKind::ElectricalCap, i);
+                }
+            }
+            self.elec = Some(elec);
+        }
+        // Floor operating point: every static local cap admits the
+        // deepest P-state at full utilization.
+        for i in 0..self.models.len() {
+            self.istats.checks += 1;
+            let floor = self.models[i].power(self.models[i].deepest().index(), 1.0);
+            if self.cap_loc[i] < floor - 1e-9 {
+                self.invariant_violation(InvariantKind::ServerCapFloor, i);
+            }
+        }
+        // Lease discipline: an unleased child holds no finite grant, and
+        // a finite grant's lease is unexpired (the expiry sweep at the
+        // top of `act` reverted anything older).
+        if self.lease_ticks > 0 {
+            for i in 0..self.models.len() {
+                self.istats.checks += 1;
+                let stranded = if self.bank.lease_until(i) == u64::MAX {
+                    self.bank.effective_cap_watts(i) < self.bank.static_cap_watts(i)
+                } else {
+                    self.bank.lease_until(i) < t
+                };
+                if stranded {
+                    self.invariant_violation(InvariantKind::LeaseBound, i);
+                }
+            }
+            for e in 0..self.ems.len() {
+                self.istats.checks += 1;
+                let stranded = if self.ems[e].lease_until() == u64::MAX {
+                    self.ems[e].effective_cap_watts() < self.ems[e].static_cap_watts()
+                } else {
+                    self.ems[e].lease_until() < t
+                };
+                if stranded {
+                    self.invariant_violation(InvariantKind::LeaseBound, e);
+                }
             }
         }
     }
@@ -1090,6 +1481,10 @@ impl Runner {
             skipped_migrations: self.skipped_migrations,
             cum_latency_proxy_bits: self.cum_latency_proxy.to_bits(),
             latency_samples: self.latency_samples,
+            gm_replica: self.gm_replica.clone(),
+            em_replicas: self.em_replicas.clone(),
+            rstats: self.rstats,
+            istats: self.istats,
         }
     }
 
@@ -1116,6 +1511,8 @@ impl Runner {
         if snap.sm_hold.len() != n
             || snap.ems.len() != self.ems.len()
             || snap.cum_real_bits.len() != self.cum_real.len()
+            || snap.em_replicas.len() != self.em_replicas.len()
+            || snap.gm_replica.is_some() != self.gm_replica.is_some()
         {
             return Err(CoreError::Checkpoint(
                 "checkpoint sizes do not match this configuration".to_string(),
@@ -1168,6 +1565,10 @@ impl Runner {
         self.skipped_migrations = snap.skipped_migrations;
         self.cum_latency_proxy = f64::from_bits(snap.cum_latency_proxy_bits);
         self.latency_samples = snap.latency_samples;
+        self.gm_replica = snap.gm_replica.clone();
+        self.em_replicas = snap.em_replicas.clone();
+        self.rstats = snap.rstats;
+        self.istats = snap.istats;
         let t = self.ticks_done;
         self.emit(|| TelemetryEvent::Checkpoint {
             tick: t,
@@ -1204,6 +1605,12 @@ impl Runner {
         if self.lease_ticks > 0 {
             self.expire_leases();
         }
+        // Failure detector for warm standbys: runs in the sequential
+        // global phase before any controller epoch, so a promotion this
+        // tick already serves this tick's epochs.
+        if self.redundancy.any_enabled() {
+            self.redundancy_step();
+        }
         let iv = self.intervals;
         if self.mask.ec && t % iv.ec == 0 {
             self.ec_epoch(iv.ec);
@@ -1226,6 +1633,11 @@ impl Runner {
             } else {
                 self.elec_clamp_seq();
             }
+        }
+        // The safety sweep observes the fully settled tick: every
+        // controller, the bus, and the electrical clamp have acted.
+        if self.invariants_on {
+            self.invariant_sweep();
         }
     }
 
@@ -1374,31 +1786,6 @@ impl Runner {
             self.em_epoch_parallel(window);
         } else {
             self.em_epoch_seq(window);
-        }
-    }
-
-    /// Sequential global pre-pass for a parallel EM epoch. Sensor draws
-    /// now come from per-slot counter streams and happen in-shard; the
-    /// only shared-stream randomness left in the EM epoch is the
-    /// plan-level message-loss draw per grant delivery. Replaying the
-    /// sequential epoch's order — for each enclosure in ascending order,
-    /// when the EM layer is deployed, budgets flow down, and the
-    /// enclosure's EM is online, one draw per member — keeps the shared
-    /// stream bit-identical.
-    fn presample_em_messages(&mut self) {
-        let t = self.ticks_done;
-        self.scratch_msg_lost.clear();
-        self.scratch_msg_lost.resize(self.enc_members.len(), false);
-        let draw_msgs = self.mask.em && self.mode.budgets_flow_down();
-        if !draw_msgs {
-            return;
-        }
-        for e in 0..self.ems.len() {
-            if !self.injector.offline(ControllerLayer::Em, e, t) {
-                for k in self.enc_offsets[e]..self.enc_offsets[e + 1] {
-                    self.scratch_msg_lost[k] = self.injector.budget_message_lost();
-                }
-            }
         }
     }
 
@@ -1631,29 +2018,32 @@ impl Runner {
     /// per-enclosure pipeline — member window averages, enclosure ingest,
     /// violation accounting, offline fallback, and `reallocate` — against
     /// its own slices. Side effects that must land in the sequential
-    /// order (telemetry, bus grant deliveries) are buffered per enclosure
-    /// and replayed ascending in the reduction; the only remaining
-    /// shared-stream draws (plan-level message loss) were pre-sampled by
-    /// [`Runner::presample_em_messages`]. Sensor draws come from per-slot
-    /// counter streams and happen in-shard.
+    /// order (telemetry, bus grant deliveries, state syncs) are buffered
+    /// per enclosure and replayed ascending in the reduction; every
+    /// random draw — sensors, actuators, plan-level message loss — comes
+    /// from a per-instance counter stream, so nothing is pre-sampled.
     fn em_epoch_parallel(&mut self, window: u64) {
         let t = self.ticks_done;
         let recording = self.recording();
-        let pre = self.injector.messages_active();
-        if pre {
-            self.presample_em_messages();
-        }
         let mask_em = self.mask.em;
         let flows_down = self.mode.budgets_flow_down();
         let lease_free = self.lease_ticks == 0;
 
         /// One enclosure's ordered side effects, replayed in the
         /// reduction: its buffered telemetry, then (coordinated modes)
-        /// its member grant deliveries through the bus.
+        /// its member grant deliveries through the bus, then — for
+        /// enclosures whose EM completed an online epoch — the
+        /// conservation check and the state sync to its standby.
         struct EmEncRecord {
             enc: usize,
             telemetry: Vec<TelemetryEvent>,
             grants: Option<Vec<f64>>,
+            /// Whether the EM ran a full (online) epoch this tick.
+            online: bool,
+            /// Sum of the reallocated member budgets (conservation).
+            alloc_sum: f64,
+            /// The effective cap the reallocation ran against.
+            eff_cap: f64,
         }
         struct EmShard<'a> {
             /// First global server id of this shard's server range.
@@ -1676,6 +2066,11 @@ impl Runner {
             records: Vec<EmEncRecord>,
         }
 
+        // Promotion state is frozen for the epoch (the failure detector
+        // only runs in the sequential global phase), so a plain snapshot
+        // is safe to share read-only across workers.
+        let em_promoted_snapshot: Vec<bool> =
+            (0..self.ems.len()).map(|e| self.em_promoted(e)).collect();
         let (view, acts) = self.sim.epoch_shards(&self.shards);
         let banks = self.bank.shards(&self.shards);
         let draws = self.injector.em_draw_shards(&self.shards, &self.shard_encs);
@@ -1732,6 +2127,8 @@ impl Runner {
             )
             .collect();
         let outages: &[OutageWindow] = &self.outage_windows;
+        let promoted: &[bool] = &em_promoted_snapshot;
+        let em_standby = self.redundancy.em_standby;
         let cap_loc: &[f64] = &self.cap_loc;
         let enc_offsets: &[usize] = &self.enc_offsets;
         let enc_members: &[ServerId] = &self.enc_members;
@@ -1747,6 +2144,9 @@ impl Runner {
                     enc: e,
                     telemetry: Vec::new(),
                     grants: None,
+                    online: false,
+                    alloc_sum: 0.0,
+                    eff_cap: 0.0,
                 };
                 sh.power.clear();
                 sh.caps.clear();
@@ -1787,15 +2187,17 @@ impl Runner {
                     sh.records.push(rec);
                     continue;
                 }
-                if offline_in(outages, ControllerLayer::Em, e, t) {
+                if offline_in(outages, ControllerLayer::Em, e, t) && !promoted[e] {
                     if !sh.em_was_down[ee] {
                         sh.em_was_down[ee] = true;
                         // Members just lost their parent manager: fall back
                         // to local static caps (stale dynamic grants from a
                         // dead EM could strangle them indefinitely). With
                         // leases on, the lease state machine covers this
-                        // uniformly — orphaned grants simply expire.
-                        if flows_down && lease_free {
+                        // uniformly — orphaned grants simply expire; with a
+                        // warm standby the detector promotes it instead, so
+                        // the static-cap fallback stays out of the way.
+                        if flows_down && lease_free && !em_standby {
                             for &s in &enc_members[m0..m1] {
                                 sh.bank.set_granted_cap(s.index(), f64::INFINITY);
                                 sh.fstats.degradations += 1;
@@ -1822,7 +2224,9 @@ impl Runner {
                     continue;
                 }
                 sh.em_was_down[ee] = false;
+                rec.online = true;
                 let eff_cap = sh.ems[ee].effective_cap_watts();
+                rec.eff_cap = eff_cap;
                 if total > eff_cap && eff_cap < static_cap && recording {
                     rec.telemetry.push(TelemetryEvent::Violation {
                         tick: t,
@@ -1836,6 +2240,7 @@ impl Runner {
                     sh.caps.push(cap_loc[s.index()]);
                 }
                 let allocations = sh.ems[ee].reallocate(&sh.power, &sh.caps);
+                rec.alloc_sum = allocations.iter().sum();
                 if flows_down {
                     // Bus deliveries draw from the bus's own RNG stream and
                     // must land in ascending enclosure order — deferred to
@@ -1903,19 +2308,20 @@ impl Runner {
                     r.record(ev);
                 }
             }
+            if rec.online && self.invariants_on {
+                self.check_conservation(rec.alloc_sum, rec.eff_cap, rec.enc);
+            }
             if let Some(grants) = rec.grants {
                 let m0 = self.enc_offsets[rec.enc];
                 for (k, &watts) in grants.iter().enumerate() {
                     let s = self.enc_members[m0 + k];
                     let slot = self.server_link[s.index()]
                         .expect("every enclosure member has a grant link");
-                    let plan_lost = if pre {
-                        self.scratch_msg_lost[m0 + k]
-                    } else {
-                        false
-                    };
-                    self.deliver_grant_presampled(slot, watts, plan_lost);
+                    self.deliver_grant(slot, watts);
                 }
+            }
+            if rec.online {
+                self.send_em_sync(rec.enc);
             }
         }
     }
@@ -2106,15 +2512,20 @@ impl Runner {
             if !self.mask.em {
                 continue;
             }
-            if self.injector.offline(ControllerLayer::Em, e, t) {
+            if self.injector.offline(ControllerLayer::Em, e, t) && !self.em_promoted(e) {
                 if !self.em_was_down[e] {
                     self.em_was_down[e] = true;
                     // The members just lost their parent manager: fall back
                     // to their local static caps (stale dynamic grants from
                     // a dead EM could strangle them indefinitely). With
                     // leases on, the lease state machine covers this
-                    // uniformly — the orphaned grants simply expire.
-                    if self.mode.budgets_flow_down() && self.lease_ticks == 0 {
+                    // uniformly — the orphaned grants simply expire; with a
+                    // warm standby the detector promotes it instead, so the
+                    // static-cap fallback stays out of the way.
+                    if self.mode.budgets_flow_down()
+                        && self.lease_ticks == 0
+                        && !self.redundancy.em_standby
+                    {
                         for k in m0..m1 {
                             let s = self.enc_members[k];
                             self.bank.set_granted_cap(s.index(), f64::INFINITY);
@@ -2154,6 +2565,9 @@ impl Runner {
                 self.scratch_caps.push(self.cap_loc[s.index()]);
             }
             let allocations = self.ems[e].reallocate(&self.scratch_power, &self.scratch_caps);
+            if self.invariants_on {
+                self.check_conservation(allocations.iter().sum(), eff_cap, e);
+            }
             if self.mode.budgets_flow_down() {
                 for (k, &watts) in allocations.iter().enumerate() {
                     let s = self.enc_members[m0 + k];
@@ -2186,6 +2600,7 @@ impl Runner {
                     }
                 }
             }
+            self.send_em_sync(e);
         }
     }
 
@@ -2450,13 +2865,18 @@ impl Runner {
         if !self.mask.gm {
             return;
         }
-        if self.injector.offline(ControllerLayer::Gm, 0, t) {
+        if self.injector.offline(ControllerLayer::Gm, 0, t) && !self.gm_promoted() {
             if !self.gm_was_down {
                 self.gm_was_down = true;
                 // Every child just lost the group manager: enclosures and
                 // standalone servers fall back to their local static caps.
-                // Under leases the orphaned grants expire on their own.
-                if self.mode.budgets_flow_down() && self.lease_ticks == 0 {
+                // Under leases the orphaned grants expire on their own;
+                // with a warm standby the detector promotes it instead, so
+                // the static-cap fallback stays out of the way.
+                if self.mode.budgets_flow_down()
+                    && self.lease_ticks == 0
+                    && !self.redundancy.gm_standby
+                {
                     for e in 0..self.ems.len() {
                         self.ems[e].set_granted_cap(f64::INFINITY);
                         self.fstats.degradations += 1;
@@ -2503,6 +2923,9 @@ impl Runner {
         let allocations = self
             .gm
             .reallocate(&self.scratch_consumption, &self.scratch_child_caps);
+        if self.invariants_on {
+            self.check_conservation(allocations.iter().sum(), eff_cap, 0);
+        }
         if self.mode.budgets_flow_down() {
             for (e, &watts) in allocations.iter().enumerate().take(num_enclosures) {
                 let slot = self.em_link[e];
@@ -2540,6 +2963,7 @@ impl Runner {
                 }
             }
         }
+        self.send_gm_sync();
     }
 
     fn vmc_epoch(&mut self) {
@@ -3031,6 +3455,30 @@ fn unpack_bits(bits: &[u64], out: &mut [f64]) {
     }
 }
 
+/// Flattens a capper snapshot into the word vector shipped over sync
+/// links and held in a replica's shadow: `[granted_cap_bits,
+/// lease_until, policy words...]`. Bit-exact by construction.
+fn encode_capper(snap: &CapperSnapshot) -> Vec<u64> {
+    let mut words = Vec::with_capacity(2 + snap.policy_state.len());
+    words.push(snap.granted_cap_bits);
+    words.push(snap.lease_until);
+    words.extend_from_slice(&snap.policy_state);
+    words
+}
+
+/// Inverse of [`encode_capper`]. `None` on a malformed shadow (shorter
+/// than the two fixed words) — the promotion then keeps the live
+/// controller's current state rather than corrupting it.
+fn decode_capper(words: &[u64]) -> Option<CapperSnapshot> {
+    let (&granted_cap_bits, rest) = words.split_first()?;
+    let (&lease_until, policy) = rest.split_first()?;
+    Some(CapperSnapshot {
+        granted_cap_bits,
+        lease_until,
+        policy_state: policy.to_vec(),
+    })
+}
+
 /// A [`Runner`]'s complete dynamic state, produced by
 /// [`Runner::snapshot`] and consumed by [`Runner::restore`] /
 /// [`Runner::resume`]. Serializable (floats travel as IEEE-754 bit
@@ -3116,6 +3564,15 @@ pub struct RunnerSnapshot {
     pub cum_latency_proxy_bits: u64,
     /// Latency-proxy sample count.
     pub latency_samples: u64,
+    /// GM warm-standby replica (term, heartbeat counter, shadow state,
+    /// in-flight syncs). `None` when no GM standby is configured.
+    pub gm_replica: Option<ReplicaState>,
+    /// Per-enclosure EM warm-standby replicas (empty without standbys).
+    pub em_replicas: Vec<ReplicaState>,
+    /// Redundancy-protocol counters.
+    pub rstats: RedundancyStats,
+    /// Safety-invariant monitor counters.
+    pub istats: InvariantStats,
 }
 
 impl RunnerSnapshot {
@@ -3123,8 +3580,12 @@ impl RunnerSnapshot {
     /// restore refuses checkpoints from other versions. Version 2 added
     /// the per-server actuator draw counters to the injector snapshot;
     /// version 3 replaced the shared-stream sensor state with per-slot
-    /// counter streams (counters, stuck-until ticks, held values).
-    pub const VERSION: u32 = 3;
+    /// counter streams (counters, stuck-until ticks, held values);
+    /// version 4 added warm-standby replica state (terms, heartbeat
+    /// counters, shadows, in-flight syncs), the redundancy and
+    /// safety-invariant counter blocks, and the per-link message-loss
+    /// counter layout in the injector snapshot.
+    pub const VERSION: u32 = 4;
 
     /// Writes the checkpoint to `path` as JSON, atomically: the bytes go
     /// to a sibling temp file first and are renamed into place, so a

@@ -2,7 +2,7 @@
 
 use nps_models::ServerModel;
 use nps_opt::VmcConfig;
-use nps_sim::{BusConfig, FaultPlan, SimConfig, Topology};
+use nps_sim::{BusConfig, FaultPlan, RedundancyConfig, SimConfig, Topology};
 use nps_traces::{Corpus, EnterpriseProfile, Mix, UtilTrace};
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +76,8 @@ pub struct Scenario {
     heterogeneous: bool,
     faults: FaultPlan,
     bus: BusConfig,
+    redundancy: RedundancyConfig,
+    invariants: bool,
     label_suffix: String,
     /// Explicit topology (e.g. multi-rack); when set, one trace is
     /// generated per server instead of sizing by the mix.
@@ -110,6 +112,8 @@ impl Scenario {
             heterogeneous: false,
             faults: FaultPlan::disabled(),
             bus: BusConfig::default(),
+            redundancy: RedundancyConfig::default(),
+            invariants: false,
             label_suffix: String::new(),
             topology_override: None,
             threads: 1,
@@ -238,6 +242,28 @@ impl Scenario {
         self
     }
 
+    /// Configures warm-standby controller redundancy (GM/EM replicas
+    /// and the heartbeat failure detector; see [`RedundancyConfig`]).
+    pub fn redundancy(mut self, redundancy: RedundancyConfig) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// Pairs the GM and every EM with a warm standby using the default
+    /// detector timing — shorthand for
+    /// `.redundancy(RedundancyConfig::all_standbys())`.
+    pub fn standbys(mut self) -> Self {
+        self.redundancy = RedundancyConfig::all_standbys();
+        self
+    }
+
+    /// Enables the per-tick safety-invariant monitor
+    /// (`nps-metrics::invariants`). Monitoring only, never corrective.
+    pub fn invariants(mut self, on: bool) -> Self {
+        self.invariants = on;
+        self
+    }
+
     /// Appends a suffix to the generated label.
     pub fn label(mut self, suffix: impl Into<String>) -> Self {
         self.label_suffix = suffix.into();
@@ -341,6 +367,8 @@ impl Scenario {
             electrical_cap_frac: self.electrical_cap_frac,
             faults: self.faults,
             bus: self.bus,
+            redundancy: self.redundancy,
+            invariants: self.invariants,
         }
     }
 }

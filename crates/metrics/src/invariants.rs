@@ -1,0 +1,193 @@
+//! Runtime safety-invariant monitor: the paper's safety contract as a
+//! per-tick checker.
+//!
+//! The coordination architecture (paper §3) is sold on a safety story:
+//! whatever the controllers negotiate, power never exceeds the
+//! protection limits, servers always retain a reachable operating point,
+//! and budgets are conserved down the GM→EM→SM tree. This module defines
+//! the *catalog* of those invariants and the counter block the runner
+//! fills in; the checks themselves live in the runner (they need the
+//! live controller state) and are side-effect-free observations — the
+//! monitor never steers the system, it only reports.
+//!
+//! Violations are surfaced two ways, mirroring fault accounting: an
+//! `InvariantViolated` telemetry event per incident, and the exact
+//! [`InvariantStats`] counters (independent of any recorder). A healthy
+//! run — including every fault-injected golden scenario — reports zero
+//! violations; a nonzero counter means a controller bug, not an injected
+//! fault.
+
+use serde::{Deserialize, Serialize};
+
+/// One invariant in the safety catalog (see `DESIGN.md` §12 for the
+/// precise statements and their rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvariantKind {
+    /// A powered-on server whose P-state actuator is not jammed never
+    /// runs at a P-state the electrical (fuse-level) cap would clamp.
+    ElectricalCap,
+    /// Every server's static local cap admits its deepest P-state at
+    /// full utilization — the floor operating point is always reachable.
+    ServerCapFloor,
+    /// Leases never strand a grant: with leases enabled, an unleased
+    /// child holds no finite grant (its cap is the static `CAP_LOC` /
+    /// `CAP_ENC`), and every finite grant carries an unexpired lease.
+    LeaseBound,
+    /// Budget conservation at every reallocation: the children's grants
+    /// sum to at most the parent's effective cap (plus float tolerance).
+    BudgetConservation,
+}
+
+impl InvariantKind {
+    /// Every invariant in the catalog, in declaration order.
+    pub const ALL: [InvariantKind; 4] = [
+        InvariantKind::ElectricalCap,
+        InvariantKind::ServerCapFloor,
+        InvariantKind::LeaseBound,
+        InvariantKind::BudgetConservation,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InvariantKind::ElectricalCap => "electrical-cap",
+            InvariantKind::ServerCapFloor => "server-cap-floor",
+            InvariantKind::LeaseBound => "lease-bound",
+            InvariantKind::BudgetConservation => "budget-conservation",
+        }
+    }
+}
+
+/// Exact counts of invariant checks and violations over a run, in the
+/// style of [`FaultStats`](crate::FaultStats): the runner increments
+/// these alongside the matching telemetry events, so they are exact even
+/// when no recorder is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InvariantStats {
+    /// Individual invariant evaluations performed (all kinds).
+    pub checks: u64,
+    /// [`InvariantKind::ElectricalCap`] violations.
+    pub electrical_cap: u64,
+    /// [`InvariantKind::ServerCapFloor`] violations.
+    pub server_cap_floor: u64,
+    /// [`InvariantKind::LeaseBound`] violations.
+    pub lease_bound: u64,
+    /// [`InvariantKind::BudgetConservation`] violations.
+    pub budget_conservation: u64,
+}
+
+impl InvariantStats {
+    /// Records one violation of `kind` (the `checks` counter is bumped
+    /// separately, per evaluation).
+    pub fn record(&mut self, kind: InvariantKind) {
+        match kind {
+            InvariantKind::ElectricalCap => self.electrical_cap += 1,
+            InvariantKind::ServerCapFloor => self.server_cap_floor += 1,
+            InvariantKind::LeaseBound => self.lease_bound += 1,
+            InvariantKind::BudgetConservation => self.budget_conservation += 1,
+        }
+    }
+
+    /// Violations across every kind.
+    pub fn total_violations(&self) -> u64 {
+        self.electrical_cap + self.server_cap_floor + self.lease_bound + self.budget_conservation
+    }
+
+    /// True when checks ran and none failed. (Also true for a run with
+    /// the monitor disabled — pair with `checks > 0` to assert coverage.)
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// Element-wise sum, for aggregating across runs.
+    pub fn merge(&mut self, other: &InvariantStats) {
+        self.checks += other.checks;
+        self.electrical_cap += other.electrical_cap;
+        self.server_cap_floor += other.server_cap_floor;
+        self.lease_bound += other.lease_bound;
+        self.budget_conservation += other.budget_conservation;
+    }
+}
+
+impl std::fmt::Display for InvariantStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} checks, {} violations (electrical-cap {}, server-cap-floor {}, \
+             lease-bound {}, budget-conservation {})",
+            self.checks,
+            self.total_violations(),
+            self.electrical_cap,
+            self.server_cap_floor,
+            self.lease_bound,
+            self.budget_conservation,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_to_the_right_counter() {
+        let mut s = InvariantStats::default();
+        for kind in InvariantKind::ALL {
+            s.record(kind);
+        }
+        assert_eq!(s.electrical_cap, 1);
+        assert_eq!(s.server_cap_floor, 1);
+        assert_eq!(s.lease_bound, 1);
+        assert_eq!(s.budget_conservation, 1);
+        assert_eq!(s.total_violations(), 4);
+        assert!(!s.is_clean());
+    }
+
+    #[test]
+    fn clean_is_clean_even_with_checks() {
+        let s = InvariantStats {
+            checks: 1_000,
+            ..InvariantStats::default()
+        };
+        assert!(s.is_clean());
+        assert_eq!(s.total_violations(), 0);
+    }
+
+    #[test]
+    fn merge_sums_elementwise() {
+        let mut a = InvariantStats {
+            checks: 10,
+            lease_bound: 1,
+            ..InvariantStats::default()
+        };
+        let b = InvariantStats {
+            checks: 5,
+            electrical_cap: 2,
+            ..InvariantStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.checks, 15);
+        assert_eq!(a.electrical_cap, 2);
+        assert_eq!(a.lease_bound, 1);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = InvariantKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), InvariantKind::ALL.len());
+    }
+
+    #[test]
+    fn stats_roundtrip_through_json() {
+        let s = InvariantStats {
+            checks: 42,
+            budget_conservation: 3,
+            ..InvariantStats::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: InvariantStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

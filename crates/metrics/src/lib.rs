@@ -14,6 +14,7 @@
 
 mod compare;
 mod faults;
+pub mod invariants;
 mod report;
 mod series;
 pub mod telemetry;
@@ -21,6 +22,7 @@ mod violations;
 
 pub use compare::{Comparison, RunStats};
 pub use faults::FaultStats;
+pub use invariants::{InvariantKind, InvariantStats};
 pub use report::Table;
 pub use series::TimeSeries;
 pub use telemetry::{

@@ -348,6 +348,55 @@ pub enum TelemetryEvent {
         /// `true` when restoring from a snapshot, `false` when taking one.
         restored: bool,
     },
+    /// The failure detector observed a missed heartbeat from a primary
+    /// controller that has a warm standby configured.
+    HeartbeatMissed {
+        /// Tick of the heartbeat check.
+        tick: u64,
+        /// The protected controller (EM or GM).
+        controller: ControllerKind,
+        /// Instance index (enclosure index for EMs, 0 for the GM).
+        index: usize,
+        /// Consecutive misses so far, including this one.
+        missed: u32,
+    },
+    /// A warm standby was promoted to primary after the miss threshold,
+    /// bumping the leadership term.
+    FailoverPromoted {
+        /// Tick of the promotion.
+        tick: u64,
+        /// The controller whose standby took over (EM or GM).
+        controller: ControllerKind,
+        /// Instance index (enclosure index for EMs, 0 for the GM).
+        index: usize,
+        /// The new leadership term.
+        term: u64,
+    },
+    /// A returning primary was fenced on its stale term and re-integrated
+    /// as the new standby.
+    StandbyReintegrated {
+        /// Tick of the re-integration.
+        tick: u64,
+        /// The controller whose old primary returned (EM or GM).
+        controller: ControllerKind,
+        /// Instance index (enclosure index for EMs, 0 for the GM).
+        index: usize,
+        /// The serving term the returner was fenced against.
+        term: u64,
+    },
+    /// The runtime safety-invariant monitor observed a violation of the
+    /// paper's safety contract (see `InvariantKind`). Healthy runs —
+    /// including fault-injected ones — never emit this; it flags a
+    /// controller bug, not an injected fault.
+    InvariantViolated {
+        /// Tick of the violation.
+        tick: u64,
+        /// Which invariant failed.
+        invariant: crate::invariants::InvariantKind,
+        /// Offending instance (server/enclosure/child index; 0 when the
+        /// invariant is group-global).
+        index: usize,
+    },
 }
 
 /// Event type tags for counters and filters.
@@ -389,11 +438,19 @@ pub enum EventKind {
     LeaseExpired,
     /// [`TelemetryEvent::Checkpoint`].
     Checkpoint,
+    /// [`TelemetryEvent::HeartbeatMissed`].
+    HeartbeatMissed,
+    /// [`TelemetryEvent::FailoverPromoted`].
+    FailoverPromoted,
+    /// [`TelemetryEvent::StandbyReintegrated`].
+    StandbyReintegrated,
+    /// [`TelemetryEvent::InvariantViolated`].
+    InvariantViolated,
 }
 
 impl EventKind {
     /// All kinds, declaration order (indexes the counter array).
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::PStateChange,
         EventKind::RRefUpdate,
         EventKind::BudgetGrant,
@@ -412,6 +469,10 @@ impl EventKind {
         EventKind::StaleRejected,
         EventKind::LeaseExpired,
         EventKind::Checkpoint,
+        EventKind::HeartbeatMissed,
+        EventKind::FailoverPromoted,
+        EventKind::StandbyReintegrated,
+        EventKind::InvariantViolated,
     ];
 
     /// Short label for reports.
@@ -435,6 +496,10 @@ impl EventKind {
             EventKind::StaleRejected => "stale_rejected",
             EventKind::LeaseExpired => "lease_expired",
             EventKind::Checkpoint => "checkpoint",
+            EventKind::HeartbeatMissed => "heartbeat_missed",
+            EventKind::FailoverPromoted => "failover_promoted",
+            EventKind::StandbyReintegrated => "standby_reintegrated",
+            EventKind::InvariantViolated => "invariant_violated",
         }
     }
 
@@ -465,6 +530,10 @@ impl TelemetryEvent {
             TelemetryEvent::StaleRejected { .. } => EventKind::StaleRejected,
             TelemetryEvent::LeaseExpired { .. } => EventKind::LeaseExpired,
             TelemetryEvent::Checkpoint { .. } => EventKind::Checkpoint,
+            TelemetryEvent::HeartbeatMissed { .. } => EventKind::HeartbeatMissed,
+            TelemetryEvent::FailoverPromoted { .. } => EventKind::FailoverPromoted,
+            TelemetryEvent::StandbyReintegrated { .. } => EventKind::StandbyReintegrated,
+            TelemetryEvent::InvariantViolated { .. } => EventKind::InvariantViolated,
         }
     }
 
@@ -488,7 +557,11 @@ impl TelemetryEvent {
             | TelemetryEvent::DuplicateDropped { tick, .. }
             | TelemetryEvent::StaleRejected { tick, .. }
             | TelemetryEvent::LeaseExpired { tick, .. }
-            | TelemetryEvent::Checkpoint { tick, .. } => *tick,
+            | TelemetryEvent::Checkpoint { tick, .. }
+            | TelemetryEvent::HeartbeatMissed { tick, .. }
+            | TelemetryEvent::FailoverPromoted { tick, .. }
+            | TelemetryEvent::StandbyReintegrated { tick, .. }
+            | TelemetryEvent::InvariantViolated { tick, .. } => *tick,
         }
     }
 
@@ -543,6 +616,11 @@ impl TelemetryEvent {
             // Checkpoints capture the whole coordination stack; the GM is
             // the hierarchy root, so attribute them there.
             TelemetryEvent::Checkpoint { .. } => ControllerKind::Gm,
+            TelemetryEvent::HeartbeatMissed { controller, .. }
+            | TelemetryEvent::FailoverPromoted { controller, .. }
+            | TelemetryEvent::StandbyReintegrated { controller, .. } => *controller,
+            // The invariant monitor audits the whole tree from the root.
+            TelemetryEvent::InvariantViolated { .. } => ControllerKind::Gm,
         }
     }
 }

@@ -16,18 +16,17 @@
 //! fault-free runs bit-identical to runs of builds that predate this
 //! module.
 //!
-//! Sensor and actuator draws both live on **counter-based streams**: a
-//! draw is a pure function of `(slot, draw counter)` where a slot is a
-//! `(channel, index)` sensor or a server's P-state actuator. The verdict
-//! for one slot depends only on how many draws that slot has taken, never
-//! on what other slots did in between, which is what lets the epoch
-//! shards of the parallel runner take the conditional draws locally while
-//! staying bit-identical to sequential order. Only budget-message loss
-//! remains on the shared sequential stream (it is drawn during the
-//! inherently ordered grant fan-out).
+//! Sensor, actuator, and message-loss draws all live on **counter-based
+//! streams**: a draw is a pure function of `(slot, draw counter)` where a
+//! slot is a `(channel, index)` sensor, a server's P-state actuator, or a
+//! grant link. The verdict for one slot depends only on how many draws
+//! that slot has taken, never on what other slots did in between, which
+//! is what lets the epoch shards of the parallel runner take the
+//! conditional draws locally while staying bit-identical to sequential
+//! order. No shared sequential stream remains: the EM epoch needs no
+//! pre-pass of any kind.
 
-use rand::rngs::{CounterRng, StdRng};
-use rand::{Rng, SeedableRng};
+use rand::rngs::CounterRng;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -202,6 +201,45 @@ impl FaultPlan {
         self.sensor = self.sensor.sanitized();
         self.actuator = self.actuator.sanitized();
         self.outages.retain(|w| w.end > w.start);
+        self
+    }
+
+    /// [`FaultPlan::sanitized`] plus outage-window canonicalization:
+    /// overlapping or adjacent windows for the same `(layer, instance)`
+    /// are merged into one contiguous window, sorted by layer, instance,
+    /// then start tick. The covered tick set is unchanged (merging is a
+    /// pure union), but violation accounting and the failure detector see
+    /// one outage per incident instead of a fragmented schedule.
+    pub fn normalized(mut self) -> Self {
+        self = self.sanitized();
+        // Whole-layer windows (`index: None`) sort apart from any indexed
+        // window: they cover every instance, so merging them into (or out
+        // of) a single instance's window would change the covered set.
+        let key = |w: &OutageWindow| {
+            let layer = match w.layer {
+                ControllerLayer::Sm => 0u8,
+                ControllerLayer::Em => 1,
+                ControllerLayer::Gm => 2,
+            };
+            let (whole, idx) = match w.index {
+                None => (0u8, 0usize),
+                Some(i) => (1, i),
+            };
+            (layer, whole, idx, w.start, w.end)
+        };
+        self.outages.sort_by_key(key);
+        let mut merged: Vec<OutageWindow> = Vec::with_capacity(self.outages.len());
+        for w in self.outages.drain(..) {
+            match merged.last_mut() {
+                Some(prev)
+                    if prev.layer == w.layer && prev.index == w.index && w.start <= prev.end =>
+                {
+                    prev.end = prev.end.max(w.end);
+                }
+                _ => merged.push(w),
+            }
+        }
+        self.outages = merged;
         self
     }
 
@@ -425,15 +463,17 @@ fn sense_slot(
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng: StdRng,
     /// Counter-based generator for the per-server actuator-jam stream.
-    /// Unlike the shared sequential `rng`, every draw is a pure function
-    /// of `(server, draw counter)`, so the conditional per-write draw is
-    /// shardable across worker threads without perturbing any stream.
+    /// Every draw is a pure function of `(server, draw counter)`, so the
+    /// conditional per-write draw is shardable across worker threads
+    /// without perturbing any stream.
     actuator_rng: CounterRng,
     /// Counter-based generator for the per-slot sensor streams; same
     /// shardability argument as `actuator_rng`, keyed by sensor slot.
     sensor_rng: CounterRng,
+    /// Counter-based generator for the per-link budget-message-loss
+    /// streams, keyed by grant-link slot; same shardability argument.
+    message_rng: CounterRng,
     sensor_on: bool,
     actuator_on: bool,
     messages_on: bool,
@@ -443,6 +483,10 @@ pub struct FaultInjector {
     stuck_actuators: Vec<u64>,
     /// Per-server position in the counter-based actuator-jam stream.
     actuator_ctr: Vec<u64>,
+    /// Per-link position in the counter-based message-loss stream
+    /// (one slot per grant edge: EM→member and GM→standalone links are
+    /// server-shaped, GM→EM links enclosure-shaped).
+    message_ctr: Vec<u64>,
 }
 
 impl FaultInjector {
@@ -457,17 +501,21 @@ impl FaultInjector {
         num_enclosures: usize,
         num_standalone: usize,
     ) -> Self {
-        let plan = plan.clone().sanitized();
+        let plan = plan.clone().normalized();
         Self {
-            rng: StdRng::seed_from_u64(plan.seed ^ 0x6e70_735f_6661_756c),
             actuator_rng: CounterRng::new(plan.seed ^ 0x6e70_735f_6163_7475),
             sensor_rng: CounterRng::new(plan.seed ^ 0x6e70_735f_7365_6e73),
+            message_rng: CounterRng::new(plan.seed ^ 0x6e70_735f_6d73_6773),
             sensor_on: plan.sensor.is_enabled(),
             actuator_on: plan.actuator.stuck_prob > 0.0 && plan.actuator.stuck_ticks > 0,
             messages_on: plan.actuator.message_loss_prob > 0.0,
             sensors: SensorState::new(num_servers, num_enclosures, num_standalone),
             stuck_actuators: vec![0; num_servers],
             actuator_ctr: vec![0; num_servers],
+            // One message-loss stream per grant edge: every server has
+            // exactly one inbound grant link (EM→member or GM→standalone)
+            // and every enclosure one GM→EM link.
+            message_ctr: vec![0; num_servers + num_enclosures],
             plan,
         }
     }
@@ -502,7 +550,7 @@ impl FaultInjector {
 
     /// Whether budget-message loss is live — i.e. whether
     /// [`FaultInjector::budget_message_lost`] may consume a draw from
-    /// the shared sequential stream.
+    /// its link's counter stream.
     pub fn messages_active(&self) -> bool {
         self.messages_on
     }
@@ -687,9 +735,32 @@ impl FaultInjector {
         enc.into_iter().zip(sa).collect()
     }
 
-    /// Whether one budget grant message is lost in transit.
-    pub fn budget_message_lost(&mut self) -> bool {
-        self.messages_on && self.rng.gen_bool(self.plan.actuator.message_loss_prob)
+    /// Whether one budget grant message on grant link `link` is lost in
+    /// transit.
+    ///
+    /// The loss draw comes from link `link`'s private counter-based
+    /// stream: the verdict depends only on how many grants that link has
+    /// carried, never on what other links did in between, so the grant
+    /// replay of the parallel EM reduction needs no sequential pre-pass.
+    pub fn budget_message_lost(&mut self, link: usize) -> bool {
+        if !self.messages_on || link >= self.message_ctr.len() {
+            return false;
+        }
+        let ctr = self.message_ctr[link];
+        self.message_ctr[link] = ctr + 1;
+        self.message_rng
+            .bool_at(link as u64, ctr, self.plan.actuator.message_loss_prob)
+    }
+
+    /// Whether server `server`'s P-state actuator is currently jammed at
+    /// `tick` — a pure read of the latched jam window, consuming no draw.
+    /// The invariant monitor uses this to exempt servers whose actuator
+    /// is known-stuck (an injected plant fault, already counted in the
+    /// fault stats) from the electrical-cap check.
+    pub fn actuator_jammed(&self, server: usize, tick: u64) -> bool {
+        self.stuck_actuators
+            .get(server)
+            .is_some_and(|&thaw| tick < thaw)
     }
 
     /// Whether instance `index` of `layer` is offline at `tick`.
@@ -700,30 +771,25 @@ impl FaultInjector {
             .any(|w| w.covers(layer, index, tick))
     }
 
-    /// Captures the injector's dynamic state (PRNG position, per-slot
-    /// sensor counters and stuck windows, jammed actuators) for
-    /// checkpointing. Held sensor values are bit-packed so the JSON
-    /// roundtrip is exact; the layout is dense and fleet-shaped, so
-    /// snapshots of equal states are byte-identical.
+    /// Captures the injector's dynamic state (per-slot draw counters,
+    /// stuck windows, jammed actuators) for checkpointing. Held sensor
+    /// values are bit-packed so the JSON roundtrip is exact; the layout
+    /// is dense and fleet-shaped, so snapshots of equal states are
+    /// byte-identical.
     pub fn snapshot(&self) -> InjectorSnapshot {
         InjectorSnapshot {
-            rng: self.rng.state().to_vec(),
             sensor_ctr: self.sensors.ctr.clone(),
             sensor_stuck_until: self.sensors.stuck_until.clone(),
             sensor_stuck_val_bits: self.sensors.stuck_val.iter().map(|v| v.to_bits()).collect(),
             stuck_actuators: self.stuck_actuators.clone(),
             actuator_ctr: self.actuator_ctr.clone(),
+            message_ctr: self.message_ctr.clone(),
         }
     }
 
     /// Restores state captured by [`FaultInjector::snapshot`]. The
     /// injector must have been built from the same plan and fleet shape.
     pub fn restore(&mut self, snap: &InjectorSnapshot) {
-        let mut rng_state = [0u64; 4];
-        for (slot, &word) in rng_state.iter_mut().zip(snap.rng.iter()) {
-            *slot = word;
-        }
-        self.rng = StdRng::from_state(rng_state);
         debug_assert_eq!(self.sensors.ctr.len(), snap.sensor_ctr.len());
         self.sensors.ctr = snap.sensor_ctr.clone();
         self.sensors.stuck_until = snap.sensor_stuck_until.clone();
@@ -734,6 +800,7 @@ impl FaultInjector {
             .collect();
         self.stuck_actuators = snap.stuck_actuators.clone();
         self.actuator_ctr = snap.actuator_ctr.clone();
+        self.message_ctr = snap.message_ctr.clone();
     }
 }
 
@@ -892,8 +959,6 @@ impl SensorDrawShard<'_> {
 /// global sensor slot (channels concatenated in declaration order).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectorSnapshot {
-    /// PRNG state words.
-    pub rng: Vec<u64>,
     /// Per-slot positions in the counter-based sensor streams.
     pub sensor_ctr: Vec<u64>,
     /// Per-slot sensor thaw ticks (`0` = not stuck).
@@ -904,6 +969,8 @@ pub struct InjectorSnapshot {
     pub stuck_actuators: Vec<u64>,
     /// Per-server positions in the counter-based actuator-jam stream.
     pub actuator_ctr: Vec<u64>,
+    /// Per-link positions in the counter-based message-loss stream.
+    pub message_ctr: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -932,7 +999,7 @@ mod tests {
                 Reading::Clean(42.0)
             );
             assert!(!inj.pstate_write_blocked(0, t));
-            assert!(!inj.budget_message_lost());
+            assert!(!inj.budget_message_lost(0));
             assert!(!inj.offline(ControllerLayer::Gm, 0, t));
         }
     }
@@ -968,7 +1035,7 @@ mod tests {
                 b.sense(SensorChannel::ServerPower, i, t, 100.0)
             );
             assert_eq!(a.pstate_write_blocked(i, t), b.pstate_write_blocked(i, t));
-            assert_eq!(a.budget_message_lost(), b.budget_message_lost());
+            assert_eq!(a.budget_message_lost(i), b.budget_message_lost(i));
         }
     }
 
@@ -1098,7 +1165,7 @@ mod tests {
             let i = (t as usize) % 8;
             live.sense(SensorChannel::ServerPower, i, t, 100.0 + t as f64);
             live.pstate_write_blocked(i, t);
-            live.budget_message_lost();
+            live.budget_message_lost(i);
         }
         let json = serde_json::to_string(&live.snapshot()).unwrap();
         let snap: InjectorSnapshot = serde_json::from_str(&json).unwrap();
@@ -1114,12 +1181,12 @@ mod tests {
                 live.pstate_write_blocked(i, t),
                 resumed.pstate_write_blocked(i, t)
             );
-            assert_eq!(live.budget_message_lost(), resumed.budget_message_lost());
+            assert_eq!(live.budget_message_lost(i), resumed.budget_message_lost(i));
         }
     }
 
     #[test]
-    fn actuator_draws_are_independent_of_the_shared_stream() {
+    fn actuator_draws_are_independent_of_other_streams() {
         // The jam stream is counter-based per server: interleaving any
         // number of sensor/message draws must not change the verdicts.
         let plan = noisy_plan();
@@ -1127,9 +1194,9 @@ mod tests {
         let mut busy = FaultInjector::new(&plan, 4, 2, 0);
         for t in 0..400 {
             let i = (t as usize) % 4;
-            // `busy` burns shared-stream draws between actuator draws.
+            // `busy` burns sensor and message draws between actuator draws.
             busy.sense(SensorChannel::ServerPower, i, t, 80.0);
-            busy.budget_message_lost();
+            busy.budget_message_lost(i);
             assert_eq!(
                 quiet.pstate_write_blocked(i, t),
                 busy.pstate_write_blocked(i, t),
@@ -1139,16 +1206,16 @@ mod tests {
     }
 
     #[test]
-    fn sensor_draws_are_independent_of_the_shared_stream() {
+    fn sensor_draws_are_independent_of_other_streams() {
         // Sensor draws live on per-slot counter streams too: burning
-        // shared-stream (message-loss) draws and sensing *other* slots
-        // in between must not change any slot's verdict sequence.
+        // message-loss draws and sensing *other* slots in between must
+        // not change any slot's verdict sequence.
         let plan = noisy_plan();
         let mut quiet = FaultInjector::new(&plan, 4, 2, 1);
         let mut busy = FaultInjector::new(&plan, 4, 2, 1);
         for t in 0..400 {
             let i = (t as usize) % 4;
-            busy.budget_message_lost();
+            busy.budget_message_lost(i);
             busy.sense(SensorChannel::EnclosurePower, (t as usize) % 2, t, 900.0);
             busy.sense(SensorChannel::GroupChildPower, (t as usize) % 3, t, 1800.0);
             assert_eq!(
@@ -1156,6 +1223,123 @@ mod tests {
                 busy.sense(SensorChannel::ServerPower, i, t, 80.0),
                 "sense verdict diverged at tick {t}"
             );
+        }
+    }
+
+    #[test]
+    fn message_draws_are_per_link_counter_streams() {
+        // A link's loss verdicts depend only on how many grants *that
+        // link* has carried — interleaving draws on other links (or any
+        // sensor/actuator draws) must not perturb the sequence.
+        let plan = noisy_plan();
+        // 8 servers + 2 enclosures = 10 grant links; the compared links
+        // (0..5) and the interference links (5..10) stay disjoint.
+        let mut quiet = FaultInjector::new(&plan, 8, 2, 0);
+        let mut busy = FaultInjector::new(&plan, 8, 2, 0);
+        for t in 0..400 {
+            let link = (t as usize) % 5;
+            busy.budget_message_lost(5 + link);
+            busy.sense(SensorChannel::ServerPower, link, t, 80.0);
+            busy.pstate_write_blocked(link, t);
+            assert_eq!(
+                quiet.budget_message_lost(link),
+                busy.budget_message_lost(link),
+                "loss verdict diverged at tick {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_links_never_lose_messages() {
+        let plan = noisy_plan();
+        let mut inj = FaultInjector::new(&plan, 2, 1, 0);
+        // 2 servers + 1 enclosure = 3 grant links; anything past that is
+        // a routing bug upstream, answered conservatively with "not lost"
+        // and zero draws.
+        assert!(!inj.budget_message_lost(3));
+        assert!(!inj.budget_message_lost(usize::MAX));
+    }
+
+    #[test]
+    fn normalized_merges_overlapping_and_adjacent_windows() {
+        let plan = FaultPlan::disabled()
+            .with_outage(ControllerLayer::Em, Some(1), 30, 40)
+            .with_outage(ControllerLayer::Em, Some(1), 10, 20)
+            .with_outage(ControllerLayer::Em, Some(1), 20, 32) // adjacent + overlap
+            .with_outage(ControllerLayer::Em, Some(2), 15, 25) // other instance
+            .with_outage(ControllerLayer::Gm, None, 5, 9)
+            .with_outage(ControllerLayer::Gm, None, 9, 12) // adjacent
+            .normalized();
+        assert_eq!(
+            plan.outages,
+            vec![
+                OutageWindow {
+                    layer: ControllerLayer::Em,
+                    index: Some(1),
+                    start: 10,
+                    end: 40,
+                },
+                OutageWindow {
+                    layer: ControllerLayer::Em,
+                    index: Some(2),
+                    start: 15,
+                    end: 25,
+                },
+                OutageWindow {
+                    layer: ControllerLayer::Gm,
+                    index: None,
+                    start: 5,
+                    end: 12,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn normalized_keeps_whole_layer_windows_apart_from_indexed_ones() {
+        // An `index: None` window covers every instance; merging it with
+        // an indexed window would change the covered set, so they stay
+        // separate even when the tick ranges touch.
+        let plan = FaultPlan::disabled()
+            .with_outage(ControllerLayer::Em, None, 10, 20)
+            .with_outage(ControllerLayer::Em, Some(0), 15, 30)
+            .normalized();
+        assert_eq!(plan.outages.len(), 2);
+        // The union semantics are unchanged either way.
+        let inj = FaultInjector::new(&plan, 4, 2, 0);
+        assert!(inj.offline(ControllerLayer::Em, 0, 25));
+        assert!(inj.offline(ControllerLayer::Em, 1, 12));
+        assert!(!inj.offline(ControllerLayer::Em, 1, 25));
+    }
+
+    #[test]
+    fn normalized_covers_exactly_what_the_raw_plan_covers() {
+        // Merging is a pure union: every (layer, instance, tick) triple
+        // answers `offline` identically before and after normalization.
+        let raw = FaultPlan::disabled()
+            .with_outage(ControllerLayer::Sm, Some(3), 0, 5)
+            .with_outage(ControllerLayer::Sm, Some(3), 5, 7)
+            .with_outage(ControllerLayer::Em, None, 20, 25)
+            .with_outage(ControllerLayer::Em, Some(1), 24, 40)
+            .with_outage(ControllerLayer::Gm, None, 50, 60)
+            .with_outage(ControllerLayer::Gm, None, 55, 58);
+        let norm = raw.clone().normalized();
+        let covered =
+            |plan: &FaultPlan, layer, idx, t| plan.outages.iter().any(|w| w.covers(layer, idx, t));
+        for t in 0..70 {
+            for layer in [
+                ControllerLayer::Sm,
+                ControllerLayer::Em,
+                ControllerLayer::Gm,
+            ] {
+                for idx in 0..6 {
+                    assert_eq!(
+                        covered(&raw, layer, idx, t),
+                        covered(&norm, layer, idx, t),
+                        "coverage diverged at ({layer:?}, {idx}, {t})"
+                    );
+                }
+            }
         }
     }
 

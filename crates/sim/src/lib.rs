@@ -54,6 +54,7 @@ mod faults;
 mod ids;
 mod par;
 mod placement;
+mod redundancy;
 mod thermal;
 mod topology;
 
@@ -71,6 +72,7 @@ pub use faults::{
 pub use ids::{EnclosureId, RackId, ServerId, VmId};
 pub use par::WorkerPool;
 pub use placement::{Migration, Placement};
+pub use redundancy::{InFlightSync, RedundancyConfig, RedundancyStats, ReplicaState};
 pub use thermal::{ThermalConfig, ThermalState};
 pub use topology::{Topology, TopologyBuilder};
 

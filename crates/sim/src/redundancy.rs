@@ -1,0 +1,322 @@
+//! Warm-standby controller redundancy: configuration, replica state,
+//! and the deterministic heartbeat/failure-detector bookkeeping.
+//!
+//! The paper's coordinated architecture hangs the whole stack off a
+//! single Group Manager; PR 2/PR 4 made outages *survivable* (lease
+//! expiry reverts children to static caps) but not *transparent* — the
+//! efficiency claims are forfeited for the outage window. This module
+//! adds the data model for transparent failover: each GM and EM may be
+//! paired with a **warm standby replica** that shadows the primary's
+//! state via sequence-numbered state-sync messages on the control-plane
+//! bus, and a **tick-counted failure detector** (no wall clock anywhere)
+//! that promotes the standby after a configurable number of missed
+//! heartbeats. Promotion bumps an epoch/term number; a returning primary
+//! observes the higher term, is fenced (its stale claim is rejected via
+//! the bus's `StaleRejected` path), and re-integrates as the new standby.
+//!
+//! Everything here is plain deterministic state: the failure detector is
+//! driven by the runner's sequential global phase, so results stay
+//! bit-identical at every worker-thread count, and every field is
+//! serializable for the runner's checkpoint (`RunnerSnapshot` v4).
+
+use serde::{Deserialize, Serialize};
+
+/// Standby-replica configuration for the budget controllers. The default
+/// is fully disabled (no replicas, no heartbeats, no sync traffic),
+/// which reproduces pre-redundancy runs bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedundancyConfig {
+    /// Pair the Group Manager with a warm standby.
+    pub gm_standby: bool,
+    /// Pair every Enclosure Manager with a warm standby.
+    pub em_standby: bool,
+    /// Failure-detector heartbeat period in ticks (the detector checks
+    /// liveness every `heartbeat_interval_ticks` ticks).
+    pub heartbeat_interval_ticks: u64,
+    /// Consecutive missed heartbeats before the standby is promoted.
+    pub miss_threshold: u32,
+}
+
+impl Default for RedundancyConfig {
+    fn default() -> Self {
+        Self {
+            gm_standby: false,
+            em_standby: false,
+            heartbeat_interval_ticks: 5,
+            miss_threshold: 3,
+        }
+    }
+}
+
+impl RedundancyConfig {
+    /// Standbys everywhere (GM and every EM) with default detector
+    /// timing — the `npsctl run --standby` configuration.
+    pub fn all_standbys() -> Self {
+        Self {
+            gm_standby: true,
+            em_standby: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any replica is configured at all.
+    pub fn any_enabled(&self) -> bool {
+        self.gm_standby || self.em_standby
+    }
+
+    /// Enables or disables the GM standby.
+    pub fn with_gm_standby(mut self, on: bool) -> Self {
+        self.gm_standby = on;
+        self
+    }
+
+    /// Enables or disables the per-EM standbys.
+    pub fn with_em_standby(mut self, on: bool) -> Self {
+        self.em_standby = on;
+        self
+    }
+
+    /// Sets the detector timing: heartbeat period and miss threshold.
+    pub fn with_heartbeat(mut self, interval_ticks: u64, miss_threshold: u32) -> Self {
+        self.heartbeat_interval_ticks = interval_ticks;
+        self.miss_threshold = miss_threshold;
+        self
+    }
+
+    /// Clamps degenerate detector timing (zero period or threshold) up
+    /// to the minimum meaningful values.
+    pub fn sanitized(mut self) -> Self {
+        self.heartbeat_interval_ticks = self.heartbeat_interval_ticks.max(1);
+        self.miss_threshold = self.miss_threshold.max(1);
+        self
+    }
+}
+
+/// One state-sync message in flight on the bus: the bus itself carries
+/// only the sequence number (and a representative watts value); the
+/// shadowed controller state rides here, keyed by that sequence number,
+/// until the bus delivers, supersedes, or exhausts the message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InFlightSync {
+    /// Bus sequence number of the sync message on the replica's link.
+    pub seq: u64,
+    /// Encoded controller state (grant/lease/policy words, bit-exact).
+    pub payload: Vec<u64>,
+}
+
+/// The live state of one warm standby replica and its failure detector.
+///
+/// Term semantics: the pair starts at term 1 with the primary leading.
+/// Every promotion increments the term, so a returning primary holding
+/// term `n` finds the standby serving at term `n + 1` — its claim to
+/// leadership is stale and is fenced. After fencing it re-integrates as
+/// the new standby and the (possibly repeated) cycle can run again.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaState {
+    /// Current leadership term (starts at 1; bumped on every promotion).
+    pub term: u64,
+    /// Consecutive missed heartbeats observed by the failure detector.
+    pub missed: u32,
+    /// Whether the standby currently leads (the primary is deposed).
+    pub promoted: bool,
+    /// The standby's shadow of the primary's controller state: the last
+    /// sync payload the bus delivered (encoded grant/lease/policy words).
+    pub shadow: Vec<u64>,
+    /// Sync messages sent but not yet resolved by the bus.
+    pub inflight: Vec<InFlightSync>,
+}
+
+impl ReplicaState {
+    /// A fresh replica pair: term 1, primary leading, the standby warm
+    /// with `shadow` (both sides boot from the same configuration, so
+    /// the standby starts in sync).
+    pub fn new(shadow: Vec<u64>) -> Self {
+        Self {
+            term: 1,
+            missed: 0,
+            promoted: false,
+            shadow,
+            inflight: Vec::new(),
+        }
+    }
+
+    /// Records a sync message the primary just sent: `seq` is the bus
+    /// sequence number, `payload` the encoded state it carries.
+    pub fn record_sync(&mut self, seq: u64, payload: Vec<u64>) {
+        self.inflight.push(InFlightSync { seq, payload });
+    }
+
+    /// The bus delivered the sync with sequence number `seq`: applies
+    /// its payload to the shadow and drops every in-flight entry at or
+    /// below `seq` (the receiver rejects those as stale anyway). Returns
+    /// whether a payload was applied.
+    pub fn deliver_sync(&mut self, seq: u64) -> bool {
+        let mut applied = false;
+        if let Some(entry) = self.inflight.iter().find(|e| e.seq == seq) {
+            self.shadow = entry.payload.clone();
+            applied = true;
+        }
+        self.inflight.retain(|e| e.seq > seq);
+        applied
+    }
+
+    /// The bus dropped, superseded, or exhausted the sync with sequence
+    /// number `seq`: forget its payload (the shadow keeps its last
+    /// delivered state). Returns whether an entry was dropped.
+    pub fn drop_sync(&mut self, seq: u64) -> bool {
+        let before = self.inflight.len();
+        self.inflight.retain(|e| e.seq != seq);
+        before != self.inflight.len()
+    }
+}
+
+/// Exact counts of redundancy-protocol activity over a run, in the style
+/// of `FaultStats`: incremented by the runner alongside the matching
+/// telemetry events, so they are exact even without a recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RedundancyStats {
+    /// Heartbeat liveness checks the failure detector performed.
+    pub heartbeats: u64,
+    /// Heartbeats a (not-yet-deposed) primary failed to answer.
+    pub missed_heartbeats: u64,
+    /// Standby promotions (term bumps).
+    pub promotions: u64,
+    /// Returning primaries fenced on a stale term and re-integrated as
+    /// the new standby.
+    pub fenced: u64,
+    /// State-sync messages the primaries sent.
+    pub syncs_sent: u64,
+    /// State-sync payloads the standbys applied to their shadows.
+    pub syncs_applied: u64,
+    /// State-sync messages lost for good (bus drop or retry exhaustion).
+    pub syncs_dropped: u64,
+    /// State-sync retransmissions by the bus.
+    pub sync_retries: u64,
+}
+
+impl RedundancyStats {
+    /// True when no redundancy activity happened at all (in particular,
+    /// always true when no replica is configured).
+    pub fn is_quiet(&self) -> bool {
+        *self == RedundancyStats::default()
+    }
+
+    /// Element-wise sum, for aggregating across runs.
+    pub fn merge(&mut self, other: &RedundancyStats) {
+        self.heartbeats += other.heartbeats;
+        self.missed_heartbeats += other.missed_heartbeats;
+        self.promotions += other.promotions;
+        self.fenced += other.fenced;
+        self.syncs_sent += other.syncs_sent;
+        self.syncs_applied += other.syncs_applied;
+        self.syncs_dropped += other.syncs_dropped;
+        self.sync_retries += other.sync_retries;
+    }
+}
+
+impl std::fmt::Display for RedundancyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "heartbeats {} (missed {}), promotions {}, fenced {}, \
+             syncs sent {} / applied {} / dropped {} / retried {}",
+            self.heartbeats,
+            self.missed_heartbeats,
+            self.promotions,
+            self.fenced,
+            self.syncs_sent,
+            self.syncs_applied,
+            self.syncs_dropped,
+            self.sync_retries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_disabled_and_sane() {
+        let cfg = RedundancyConfig::default();
+        assert!(!cfg.any_enabled());
+        assert!(cfg.heartbeat_interval_ticks >= 1);
+        assert!(cfg.miss_threshold >= 1);
+    }
+
+    #[test]
+    fn sanitized_clamps_degenerate_timing() {
+        let cfg = RedundancyConfig::all_standbys()
+            .with_heartbeat(0, 0)
+            .sanitized();
+        assert_eq!(cfg.heartbeat_interval_ticks, 1);
+        assert_eq!(cfg.miss_threshold, 1);
+        assert!(cfg.any_enabled());
+    }
+
+    #[test]
+    fn deliver_applies_payload_and_prunes_older_inflight() {
+        let mut r = ReplicaState::new(vec![1, 2, 3]);
+        r.record_sync(5, vec![10]);
+        r.record_sync(6, vec![20]);
+        r.record_sync(7, vec![30]);
+        assert!(r.deliver_sync(6));
+        assert_eq!(r.shadow, vec![20]);
+        // 5 was pruned as stale, 7 is still pending.
+        assert_eq!(r.inflight.len(), 1);
+        assert_eq!(r.inflight[0].seq, 7);
+        // Delivering an unknown (already-pruned) seq applies nothing but
+        // still prunes at-or-below entries.
+        assert!(!r.deliver_sync(5));
+        assert_eq!(r.shadow, vec![20]);
+    }
+
+    #[test]
+    fn drop_forgets_only_the_named_entry() {
+        let mut r = ReplicaState::new(Vec::new());
+        r.record_sync(1, vec![10]);
+        r.record_sync(2, vec![20]);
+        assert!(r.drop_sync(1));
+        assert!(!r.drop_sync(1));
+        assert_eq!(r.inflight.len(), 1);
+        assert!(r.shadow.is_empty());
+    }
+
+    #[test]
+    fn stats_merge_and_quietness() {
+        let mut a = RedundancyStats {
+            heartbeats: 3,
+            promotions: 1,
+            ..RedundancyStats::default()
+        };
+        assert!(!a.is_quiet());
+        let b = RedundancyStats {
+            heartbeats: 2,
+            fenced: 1,
+            ..RedundancyStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.heartbeats, 5);
+        assert_eq!(a.fenced, 1);
+        assert!(RedundancyStats::default().is_quiet());
+    }
+
+    #[test]
+    fn replica_state_roundtrips_through_json() {
+        let mut r = ReplicaState::new(vec![f64::INFINITY.to_bits(), 7]);
+        r.record_sync(3, vec![42]);
+        r.term = 4;
+        r.promoted = true;
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ReplicaState = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = RedundancyConfig::all_standbys().with_heartbeat(7, 2);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RedundancyConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -46,6 +46,7 @@ fn print_help() {
          \x20               [--budgets G-E-L] [--horizon N] [--seed N] [--threads N]\n\
          \x20               [--policy <proportional|fair|fifo|random|priority|history>]\n\
          \x20               [--mask <all|novmc|vmconly>] [--json FILE]\n\
+         \x20               [--standby] [--invariants]\n\
          \x20               [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
          \x20 npsctl sweep  --out FILE [--horizon N] [--seed N] [--threads N] [--resume FILE]\n\
          \x20 npsctl corpus --out FILE [--csv FILE] [--len N] [--seed N]\n\
@@ -78,16 +79,20 @@ const RUN_FLAGS: &[&str] = &[
     "--resume",
 ];
 
+/// The boolean switches `npsctl run` accepts (no value follows).
+const RUN_SWITCHES: &[&str] = &["--standby", "--invariants"];
+
 /// The flags `npsctl sweep` accepts.
 const SWEEP_FLAGS: &[&str] = &["--out", "--horizon", "--seed", "--threads", "--resume"];
 
 /// The flags `npsctl corpus` accepts.
 const CORPUS_FLAGS: &[&str] = &["--out", "--csv", "--len", "--seed"];
 
-/// Rejects any `--flag` not in `valid` and any stray positional token.
-/// A typo like `--budgest` must fail loudly (exit 2), not silently run
-/// the experiment with default budgets.
-fn check_flags(args: &[String], valid: &[&str]) -> Result<(), String> {
+/// Rejects any `--flag` not in `valid`/`switches` and any stray
+/// positional token. A typo like `--budgest` must fail loudly (exit 2),
+/// not silently run the experiment with default budgets. Flags in
+/// `valid` consume the following value; `switches` stand alone.
+fn check_flags(args: &[String], valid: &[&str], switches: &[&str]) -> Result<(), String> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -97,16 +102,25 @@ fn check_flags(args: &[String], valid: &[&str]) -> Result<(), String> {
                 valid.join(", ")
             ));
         }
+        if switches.contains(&a.as_str()) {
+            i += 1;
+            continue;
+        }
         if !valid.contains(&a.as_str()) {
             return Err(format!(
                 "unrecognized flag `{a}`; valid flags: {}",
                 valid.join(", ")
             ));
         }
-        // Every flag takes exactly one value.
+        // Every non-switch flag takes exactly one value.
         i += 2;
     }
     Ok(())
+}
+
+/// Whether the standalone switch `key` is present.
+fn switch(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
 }
 
 fn parse_system(s: &str) -> Result<SystemKind, String> {
@@ -194,7 +208,7 @@ fn fail(msg: String) -> i32 {
 }
 
 fn cmd_run(args: &[String]) -> i32 {
-    if let Err(e) = check_flags(args, RUN_FLAGS) {
+    if let Err(e) = check_flags(args, RUN_FLAGS, RUN_SWITCHES) {
         return fail(e);
     }
     let system = match parse_system(flag(args, "--system").unwrap_or("blade-a")) {
@@ -246,6 +260,12 @@ fn cmd_run(args: &[String]) -> i32 {
             Err(e) => return fail(e),
         }
     }
+    let standby = switch(args, "--standby");
+    let invariants = switch(args, "--invariants");
+    if standby {
+        scenario = scenario.standbys();
+    }
+    scenario = scenario.invariants(invariants);
     let cfg = scenario.build();
     let checkpoint = flag(args, "--checkpoint");
     let every: u64 = match flag(args, "--checkpoint-every") {
@@ -260,14 +280,24 @@ fn cmd_run(args: &[String]) -> i32 {
     }
     let resume = flag(args, "--resume");
     println!("running: {}", cfg.label);
-    let result = if checkpoint.is_some() || resume.is_some() {
-        match run_checkpointed(&cfg, resume, checkpoint, every) {
-            Ok(r) => r,
-            Err(e) => return fail(e),
-        }
-    } else {
-        run_experiment(&cfg)
-    };
+    // The checkpointed path drives the runner directly, which is also
+    // what exposes the redundancy/invariant counter blocks.
+    let (result, rstats, istats) =
+        if checkpoint.is_some() || resume.is_some() || standby || invariants {
+            match run_checkpointed(&cfg, resume, checkpoint, every) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            }
+        } else {
+            let r = run_experiment(&cfg);
+            (r, RedundancyStats::default(), InvariantStats::default())
+        };
+    if standby {
+        println!("redundancy: {rstats}");
+    }
+    if invariants {
+        println!("invariants: {istats}");
+    }
     let c = &result.comparison;
     let mut table = Table::new(vec!["metric", "value"]);
     table.row(vec![
@@ -318,7 +348,7 @@ fn run_checkpointed(
     resume: Option<&str>,
     checkpoint: Option<&str>,
     every: u64,
-) -> Result<ExperimentResult, String> {
+) -> Result<(ExperimentResult, RedundancyStats, InvariantStats), String> {
     let mut runner = match resume {
         Some(path) => {
             let snap = RunnerSnapshot::load(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -340,21 +370,27 @@ fn run_checkpointed(
             }
         }
     }
+    let rstats = runner.redundancy_stats();
+    let istats = runner.invariant_stats();
     let run = runner.stats();
     let mut baseline_cfg = cfg.clone();
     baseline_cfg.mask = ControllerMask::NONE;
     baseline_cfg.label = format!("{} (baseline)", cfg.label);
     baseline_cfg.faults = FaultPlan::disabled();
     let baseline = Runner::new(&baseline_cfg).run_to_horizon();
-    Ok(ExperimentResult {
-        label: cfg.label.clone(),
-        comparison: Comparison::against_baseline(run, &baseline),
-        baseline,
-    })
+    Ok((
+        ExperimentResult {
+            label: cfg.label.clone(),
+            comparison: Comparison::against_baseline(run, &baseline),
+            baseline,
+        },
+        rstats,
+        istats,
+    ))
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {
-    if let Err(e) = check_flags(args, SWEEP_FLAGS) {
+    if let Err(e) = check_flags(args, SWEEP_FLAGS, &[]) {
         return fail(e);
     }
     let Some(out) = flag(args, "--out") else {
@@ -440,7 +476,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
 }
 
 fn cmd_corpus(args: &[String]) -> i32 {
-    if let Err(e) = check_flags(args, CORPUS_FLAGS) {
+    if let Err(e) = check_flags(args, CORPUS_FLAGS, &[]) {
         return fail(e);
     }
     let Some(out) = flag(args, "--out") else {
@@ -573,7 +609,8 @@ mod tests {
         assert_eq!(cmd_sweep(&args(&["--budgest", "50-50-50"])), 2);
         assert_eq!(cmd_corpus(&args(&["--length", "100"])), 2);
         assert_eq!(cmd_run(&args(&["stray"])), 2);
-        let err = check_flags(&args(&["--budgest", "50-50-50"]), RUN_FLAGS).unwrap_err();
+        let err =
+            check_flags(&args(&["--budgest", "50-50-50"]), RUN_FLAGS, RUN_SWITCHES).unwrap_err();
         assert!(
             err.contains("--budgets") && err.contains("unrecognized"),
             "rejection must list the valid flags, got: {err}"
@@ -585,7 +622,30 @@ mod tests {
         for key in ["--threads", "--checkpoint", "--json", "--mask"] {
             assert!(RUN_FLAGS.contains(&key));
         }
-        assert!(check_flags(&args(&["--threads", "4", "--seed", "7"]), RUN_FLAGS).is_ok());
-        assert!(check_flags(&[], RUN_FLAGS).is_ok());
+        assert!(check_flags(
+            &args(&["--threads", "4", "--seed", "7"]),
+            RUN_FLAGS,
+            RUN_SWITCHES
+        )
+        .is_ok());
+        assert!(check_flags(&[], RUN_FLAGS, RUN_SWITCHES).is_ok());
+    }
+
+    #[test]
+    fn boolean_switches_do_not_consume_the_next_flag() {
+        // `--standby` stands alone: the flag after it must still parse.
+        let a = args(&["--standby", "--horizon", "40", "--invariants"]);
+        assert!(check_flags(&a, RUN_FLAGS, RUN_SWITCHES).is_ok());
+        assert!(switch(&a, "--standby"));
+        assert!(switch(&a, "--invariants"));
+        assert!(!switch(&a, "--chaos"));
+        // A switch is not valid where a value flag is required.
+        assert!(check_flags(&args(&["--standby", "stray"]), RUN_FLAGS, RUN_SWITCHES).is_err());
+    }
+
+    #[test]
+    fn run_with_standby_and_invariants_end_to_end() {
+        let code = cmd_run(&args(&["--standby", "--invariants", "--horizon", "60"]));
+        assert_eq!(code, 0);
     }
 }

@@ -67,14 +67,16 @@ pub mod prelude {
         PolicyKind, Runner, RunnerSnapshot, Scenario, SweepError, SystemKind,
     };
     pub use nps_metrics::{
-        BudgetLevel, Comparison, ControllerKind, EventKind, FaultStats, NoopRecorder, Recorder,
-        RingRecorder, RunStats, Table, TelemetryEvent, TelemetryLog, TelemetrySummary,
+        BudgetLevel, Comparison, ControllerKind, EventKind, FaultStats, InvariantKind,
+        InvariantStats, NoopRecorder, Recorder, RingRecorder, RunStats, Table, TelemetryEvent,
+        TelemetryLog, TelemetrySummary,
     };
     pub use nps_models::{ModelTable, PState, ServerModel};
     pub use nps_opt::{Objective, Vmc, VmcConfig};
     pub use nps_sim::{
         BusConfig, BusEvent, ControlBus, ControllerLayer, FaultPlan, GrantMsg, LinkId, Placement,
-        RackId, RetryConfig, ServerId, SimConfig, Simulation, ThermalConfig, Topology, VmId,
+        RackId, RedundancyConfig, RedundancyStats, ReplicaState, RetryConfig, ServerId, SimConfig,
+        Simulation, ThermalConfig, Topology, VmId,
     };
     pub use nps_traces::{Corpus, Mix, UtilTrace, WorkloadClass};
 }

@@ -173,6 +173,94 @@ proptest! {
         }
     }
 
+    /// Retry backoff cannot outlast a controller outage: when an EM
+    /// outage window is longer than the worst-case retransmission
+    /// horizon (`max_attempts * backoff_max_ticks` plus jitter) *and*
+    /// the lease length, every member lease under that enclosure must
+    /// lapse — retries buy latency tolerance, not liveness — and the
+    /// static-cap fallback must engage. The whole interaction stays
+    /// bit-deterministic.
+    #[test]
+    fn outage_outlives_max_backoff_and_lapses_leases(
+        drop in 0.05f64..0.4,
+        attempts in 1u32..4,
+        backoff_max in 4u64..12,
+        lease in 10u64..30,
+        seed in 0u64..200,
+    ) {
+        // Worst-case retransmission horizon plus the lease, then slack:
+        // the outage strictly outlives any retry schedule.
+        let retry_horizon = attempts as u64 * (backoff_max + 1);
+        let outage_len = lease + retry_horizon + 60;
+        let start = 100u64;
+        let bus = BusConfig::default()
+            .with_seed(seed)
+            .with_drop(drop)
+            .with_leases(lease)
+            .with_retry(RetryConfig {
+                max_attempts: attempts,
+                backoff_base_ticks: 1,
+                backoff_max_ticks: backoff_max,
+                jitter_ticks: 1,
+            });
+        let cfg = Scenario::paper(
+            SystemKind::BladeA,
+            Mix::Hh60,
+            CoordinationMode::Coordinated,
+        )
+        .horizon(start + outage_len + 100)
+        .seed(seed)
+        .bus(bus)
+        .faults(
+            FaultPlan::disabled()
+                .with_seed(seed ^ 0xb0f)
+                .with_outage(ControllerLayer::Em, None, start, start + outage_len),
+        )
+        .build();
+        let mut runner = Runner::new(&cfg);
+        let stats = runner.run_to_horizon();
+        let f = runner.fault_stats();
+        prop_assert!(
+            f.leases_expired > 0,
+            "outage of {} ticks (retry horizon {}, lease {}) lapsed no lease",
+            outage_len, retry_horizon, lease
+        );
+        prop_assert!(f.outage_epochs > 0, "the outage skipped no epochs");
+        // With leases configured the static-cap latch stays out of the
+        // way (it only fires lease-free); expiry itself is the fallback.
+        prop_assert_eq!(f.degradations, 0, "lease path must own the fallback");
+        // Mid-outage, past every possible retry and lease: every
+        // *enclosure member* must be unleased again (reverted to its
+        // static cap). Standalone servers are granted by the GM, which
+        // is online, so their leases legitimately stay fresh.
+        let mut probe = Runner::new(&cfg);
+        while probe.ticks_done() < start + lease + retry_horizon + 30 {
+            probe.tick();
+        }
+        let standalone: Vec<usize> = cfg
+            .topology
+            .standalone_servers()
+            .iter()
+            .map(|s| s.index())
+            .collect();
+        let snap = probe.snapshot();
+        for (i, &until) in snap.bank.lease_until.iter().enumerate() {
+            if standalone.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                until == u64::MAX,
+                "member {} still holds a lease (until {}) at tick {} mid-outage",
+                i, until, probe.ticks_done()
+            );
+        }
+        // Determinism: an identical rerun reproduces the same bytes.
+        let mut rerun = Runner::new(&cfg);
+        let stats2 = rerun.run_to_horizon();
+        prop_assert_eq!(stats, stats2);
+        prop_assert_eq!(f, rerun.fault_stats());
+    }
+
     /// A zero-fault zero-delay bus — even with retries armed and leases
     /// far beyond the horizon — is bit-identical to the passthrough
     /// direct-write path.

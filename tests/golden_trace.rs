@@ -327,6 +327,29 @@ fn golden_gm_vmc_parallel() {
 }
 
 #[test]
+fn golden_failover_standby() {
+    // Warm-standby failover under fire: a whole-layer GM outage and an
+    // instance EM outage, both bridged by standbys, with the
+    // safety-invariant monitor on. Pins the heartbeat/term protocol, the
+    // sync-stream traffic on the bus, fencing of the returning
+    // primaries, and the fact that coordinated capping never degrades
+    // to static caps while a standby is healthy.
+    let cfg = Scenario::paper(SystemKind::BladeA, Mix::Hh60, CoordinationMode::Coordinated)
+        .horizon(700)
+        .seed(47)
+        .faults(
+            FaultPlan::disabled()
+                .with_seed(53)
+                .with_outage(ControllerLayer::Gm, None, 150, 300)
+                .with_outage(ControllerLayer::Em, Some(0), 350, 450),
+        )
+        .standbys()
+        .invariants(true)
+        .build();
+    check_golden("failover_standby", &cfg);
+}
+
+#[test]
 fn golden_hetero_electrical_coordinated() {
     let cfg = Scenario::paper(SystemKind::BladeA, Mix::L60, CoordinationMode::Coordinated)
         .heterogeneous()
