@@ -3,7 +3,7 @@
 //! wall-clock per tick and per server-tick, at worker-thread counts 1, 2
 //! and 4. With `NPS_JSON_OUT_DIR` set, the sweep is written as
 //! `BENCH_scale.json` (CI's perf-smoke artifact), one row per
-//! (fleet size, thread count).
+//! (fleet, size, thread count).
 //!
 //! Each point uses `Scenario::multi_rack`: `n/48` racks of 2 enclosures
 //! × 16 blades plus `n/3` standalone servers, driven by the enterprise
@@ -12,13 +12,24 @@
 //! sweep isolates pure throughput: every row at a given fleet size
 //! reports the same `mean_power_w`.
 //!
-//! Each row also reports `global_phase_fraction`: the share of run
+//! Two fleets are swept. The `uniform` fleet uses the paper's default
+//! controller intervals (the VMC fires rarely, if at all, inside short
+//! CI horizons). The `vmc_heavy` fleet (512 servers = 512 VMs, far
+//! beyond the 64-VM sharding threshold) tightens every interval so VMC
+//! arbitration epochs land every 50 ticks — exercising the sharded
+//! demand accumulators and the fixed-shape tree reductions on the
+//! arbitration path. CI's perf-smoke gate asserts the 4-vs-1 speedup on
+//! both the largest uniform fleet and the VMC-heavy fleet.
+//!
+//! Each row also reports `global_phase_fraction` — the share of run
 //! wall-clock spent *outside* the sharded worker phase (GM arbitration,
-//! bus replay, VMC, reductions — the Amdahl ceiling on thread scaling).
-//! Sequential rows report 1.0 by construction.
+//! bus replay, reductions — the Amdahl ceiling on thread scaling;
+//! sequential rows report 1.0 by construction) — and
+//! `arbitration_phase_fraction`, the share spent inside VMC arbitration
+//! epochs (demand estimation + placement planning + plan application).
 
 use nps_bench::{banner, horizon, seed, write_json_artifact};
-use nps_core::{CoordinationMode, Runner, Scenario, SystemKind};
+use nps_core::{CoordinationMode, Intervals, Runner, Scenario, SystemKind};
 use nps_metrics::Table;
 use serde::Serialize;
 use std::time::Instant;
@@ -27,11 +38,28 @@ use std::time::Instant;
 const SIZES: [usize; 6] = [48, 96, 192, 384, 768, 1536];
 
 /// Worker-thread counts swept at every fleet size (CI checks the 4-vs-1
-/// speedup on the largest fleet).
+/// speedup on the largest fleet and on the VMC-heavy fleet).
 const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The VMC-heavy fleet's size: 512 VMs (one per server), well past the
+/// 64-VM threshold where the VMC demand pass shards over the pool.
+const VMC_HEAVY_SIZE: usize = 512;
+
+/// The VMC-heavy fleet's controller intervals: arbitration every 50
+/// ticks, so even CI's 200-tick horizon sees several VMC epochs.
+const VMC_HEAVY_INTERVALS: Intervals = Intervals {
+    ec: 1,
+    sm: 5,
+    em: 10,
+    gm: 25,
+    vmc: 50,
+};
 
 #[derive(Serialize)]
 struct ScaleRow {
+    /// `"uniform"` (default intervals) or `"vmc_heavy"` (tight VMC
+    /// period on a ≥64-VM fleet); CI's speedup gates select on this.
+    fleet: &'static str,
     servers: usize,
     racks: usize,
     enclosures_per_rack: usize,
@@ -46,105 +74,146 @@ struct ScaleRow {
     /// Fraction of run wall-clock spent in the sequential global phase
     /// (1.0 minus the worker pool's busy time over total run time).
     global_phase_fraction: f64,
+    /// Fraction of run wall-clock spent inside VMC arbitration epochs
+    /// (0.0 when the VMC never fires within the horizon).
+    arbitration_phase_fraction: f64,
     /// Shards pulled from a busy peer's deque by an idle worker over the
     /// whole run (0 for sequential rows and perfectly balanced fleets).
     steals: u64,
     mean_power_w: f64,
 }
 
+/// Builds and runs one (fleet, size, threads) point.
+fn run_row(
+    fleet: &'static str,
+    n: usize,
+    threads: usize,
+    intervals: Option<Intervals>,
+    h: u64,
+) -> ScaleRow {
+    let (racks, enclosures_per_rack, blades) = (n / 48, 2, 16);
+    let standalone = n - racks * enclosures_per_rack * blades;
+    let mut scenario = Scenario::multi_rack(
+        SystemKind::BladeA,
+        CoordinationMode::Coordinated,
+        racks,
+        enclosures_per_rack,
+        blades,
+        standalone,
+    )
+    .horizon(h)
+    .seed(seed())
+    .threads(threads);
+    if let Some(iv) = intervals {
+        scenario = scenario.intervals(iv);
+    }
+    let cfg = scenario.build();
+
+    let t0 = Instant::now();
+    let mut runner = Runner::new(&cfg);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let stats = runner.run_to_horizon();
+    let run_ns = t1.elapsed().as_nanos() as f64;
+    let run_ms = run_ns / 1e6;
+    let global_phase_fraction = if run_ns > 0.0 {
+        (1.0 - runner.parallel_nanos() as f64 / run_ns).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let arbitration_phase_fraction = if run_ns > 0.0 {
+        (runner.arbitration_nanos() as f64 / run_ns).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let steals = runner.steal_count();
+
+    let ticks = stats.ticks.max(1) as f64;
+    ScaleRow {
+        fleet,
+        servers: n,
+        racks,
+        enclosures_per_rack,
+        blades_per_enclosure: blades,
+        standalone,
+        threads,
+        horizon: stats.ticks,
+        build_ms,
+        run_ms,
+        us_per_tick: run_ms * 1e3 / ticks,
+        ns_per_server_tick: run_ms * 1e6 / (ticks * n as f64),
+        global_phase_fraction,
+        arbitration_phase_fraction,
+        steals,
+        mean_power_w: stats.mean_power(),
+    }
+}
+
 fn main() {
     banner(
         "Scaling sweep: batched SoA engine, 48 -> 1536 servers x 1/2/4 threads",
-        "DESIGN.md \u{a7}8, \u{a7}10; multi-rack extension of the paper's 180-server testbed",
+        "DESIGN.md \u{a7}8, \u{a7}10, \u{a7}13; multi-rack extension of the paper's 180-server testbed",
     );
     let h = horizon();
     let mut table = Table::new(vec![
+        "fleet",
         "servers",
-        "racks",
         "threads",
         "build ms",
         "run ms",
         "us/tick",
         "ns/server-tick",
         "seq frac",
+        "arb frac",
         "steals",
     ]);
     let mut artifact = Vec::new();
     for n in SIZES {
-        let (racks, enclosures_per_rack, blades) = (n / 48, 2, 16);
-        let standalone = n - racks * enclosures_per_rack * blades;
         for threads in THREADS {
-            let cfg = Scenario::multi_rack(
-                SystemKind::BladeA,
-                CoordinationMode::Coordinated,
-                racks,
-                enclosures_per_rack,
-                blades,
-                standalone,
-            )
-            .horizon(h)
-            .seed(seed())
-            .threads(threads)
-            .build();
-
-            let t0 = Instant::now();
-            let mut runner = Runner::new(&cfg);
-            let build_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let t1 = Instant::now();
-            let stats = runner.run_to_horizon();
-            let run_ns = t1.elapsed().as_nanos() as f64;
-            let run_ms = run_ns / 1e6;
-            let global_phase_fraction = if run_ns > 0.0 {
-                (1.0 - runner.parallel_nanos() as f64 / run_ns).clamp(0.0, 1.0)
-            } else {
-                1.0
-            };
-            let steals = runner.steal_count();
-
-            let ticks = stats.ticks.max(1) as f64;
-            let us_per_tick = run_ms * 1e3 / ticks;
-            let ns_per_server_tick = run_ms * 1e6 / (ticks * n as f64);
-            table.row(vec![
-                n.to_string(),
-                racks.to_string(),
-                threads.to_string(),
-                Table::fmt(build_ms),
-                Table::fmt(run_ms),
-                Table::fmt(us_per_tick),
-                Table::fmt(ns_per_server_tick),
-                Table::fmt(global_phase_fraction),
-                steals.to_string(),
-            ]);
-            artifact.push(ScaleRow {
-                servers: n,
-                racks,
-                enclosures_per_rack,
-                blades_per_enclosure: blades,
-                standalone,
-                threads,
-                horizon: stats.ticks,
-                build_ms,
-                run_ms,
-                us_per_tick,
-                ns_per_server_tick,
-                global_phase_fraction,
-                steals,
-                mean_power_w: stats.mean_power(),
-            });
+            artifact.push(run_row("uniform", n, threads, None, h));
         }
     }
+    for threads in THREADS {
+        artifact.push(run_row(
+            "vmc_heavy",
+            VMC_HEAVY_SIZE,
+            threads,
+            Some(VMC_HEAVY_INTERVALS),
+            h,
+        ));
+    }
+    for r in &artifact {
+        table.row(vec![
+            r.fleet.to_string(),
+            r.servers.to_string(),
+            r.threads.to_string(),
+            Table::fmt(r.build_ms),
+            Table::fmt(r.run_ms),
+            Table::fmt(r.us_per_tick),
+            Table::fmt(r.ns_per_server_tick),
+            Table::fmt(r.global_phase_fraction),
+            Table::fmt(r.arbitration_phase_fraction),
+            r.steals.to_string(),
+        ]);
+    }
     println!("{table}");
-    let largest = SIZES[SIZES.len() - 1];
-    let run_ms_at = |threads: usize| {
+    let run_ms_at = |fleet: &str, servers: usize, threads: usize| {
         artifact
             .iter()
-            .find(|r: &&ScaleRow| r.servers == largest && r.threads == threads)
+            .find(|r: &&ScaleRow| r.fleet == fleet && r.servers == servers && r.threads == threads)
             .map(|r| r.run_ms)
             .unwrap_or(f64::NAN)
     };
+    let largest = SIZES[SIZES.len() - 1];
     println!(
         "Largest fleet ({largest} servers): {:.2}x throughput at 4 threads vs 1.",
-        run_ms_at(1) / run_ms_at(4)
+        run_ms_at("uniform", largest, 1) / run_ms_at("uniform", largest, 4)
+    );
+    println!(
+        "VMC-heavy fleet ({VMC_HEAVY_SIZE} servers, arbitration every {} ticks): \
+         {:.2}x throughput at 4 threads vs 1.",
+        VMC_HEAVY_INTERVALS.vmc,
+        run_ms_at("vmc_heavy", VMC_HEAVY_SIZE, 1) / run_ms_at("vmc_heavy", VMC_HEAVY_SIZE, 4)
     );
     println!(
         "Shape to check: ns/server-tick should stay roughly flat as the\n\

@@ -10,6 +10,7 @@
 //! budget `min` interface to this setting with pluggable policies.
 
 use nps_models::{PState, ServerModel};
+use nps_sim::reduce::{tree_max_by, tree_sum_by};
 use serde::{Deserialize, Serialize};
 
 /// How concurrent frequency demands combine into one platform setting.
@@ -64,15 +65,20 @@ impl FrequencyArbiter {
         if finite.is_empty() {
             return model.deepest();
         }
+        // All aggregates run through the fixed-shape reduction tree
+        // (`nps_sim::reduce`), so arbitration keeps the same bits no
+        // matter how the caller sharded the demand vector; for at most
+        // `LEAF_WIDTH` demands the tree *is* the old left-fold.
+        let n = finite.len();
         let target = match self.policy {
-            ArbitrationPolicy::MaxDemand => finite.iter().map(|&(d, _)| d).fold(0.0f64, f64::max),
-            ArbitrationPolicy::SumDemand => finite.iter().map(|&(d, _)| d).sum(),
+            ArbitrationPolicy::MaxDemand => tree_max_by(n, |i| finite[i].0),
+            ArbitrationPolicy::SumDemand => tree_sum_by(n, |i| finite[i].0),
             ArbitrationPolicy::WeightedMean => {
-                let total_w: f64 = finite.iter().map(|&(_, w)| w).sum();
+                let total_w = tree_sum_by(n, |i| finite[i].1);
                 if total_w <= 0.0 || !total_w.is_finite() {
-                    finite.iter().map(|&(d, _)| d).sum::<f64>() / finite.len() as f64
+                    tree_sum_by(n, |i| finite[i].0) / n as f64
                 } else {
-                    finite.iter().map(|&(d, w)| w * d).sum::<f64>() / total_w
+                    tree_sum_by(n, |i| finite[i].1 * finite[i].0) / total_w
                 }
             }
         };

@@ -14,7 +14,7 @@ use nps_metrics::{
 use nps_models::{PState, ServerModel};
 use nps_opt::{ClusterContext, Vmc};
 use nps_sim::{
-    ActuatorDrawShard, ActuatorShard, BusEvent, BusSnapshot, ControlBus, ControllerLayer,
+    reduce, ActuatorDrawShard, ActuatorShard, BusEvent, BusSnapshot, ControlBus, ControllerLayer,
     EnclosureId, FaultInjector, FaultPlan, GrantMsg, InjectorSnapshot, LinkId, OutageWindow,
     Reading, RedundancyConfig, RedundancyStats, ReplicaState, SensorChannel, SensorDrawShard,
     ServerId, SimConfig, SimEpochView, SimSnapshot, Simulation, VmId, WorkerPool,
@@ -176,6 +176,10 @@ pub struct Runner {
     power_trace: Option<nps_metrics::TimeSeries>,
     cum_latency_proxy: f64,
     latency_samples: u64,
+    /// Wall-clock nanoseconds spent inside VMC arbitration epochs.
+    /// Timing diagnostic like the pool's `busy_nanos` — never part of a
+    /// checkpoint.
+    arb_ns: u64,
     /// Telemetry sink; `None` costs one discriminant test per event site.
     recorder: Option<Box<dyn Recorder>>,
     // Rack-sharded parallel execution. The persistent worker pool and the
@@ -286,19 +290,18 @@ impl Runner {
         let cap_loc: Vec<f64> = (0..n)
             .map(|i| (1.0 - cfg.budgets.local_off) * models[i].max_power())
             .collect();
+        // Capacity sums run through the fixed-shape reduction tree like
+        // every other fleet-indexed aggregate (one reduction story).
         let cap_enc: Vec<f64> = (0..cfg.topology.num_enclosures())
             .map(|e| {
-                let sum: f64 = cfg
-                    .topology
-                    .enclosure_servers(EnclosureId(e))
-                    .iter()
-                    .map(|&s| models[s.index()].max_power())
-                    .sum();
+                let servers = cfg.topology.enclosure_servers(EnclosureId(e));
+                let sum =
+                    reduce::tree_sum_by(servers.len(), |m| models[servers[m].index()].max_power());
                 (1.0 - cfg.budgets.enclosure_off) * sum
             })
             .collect();
-        let cap_grp =
-            (1.0 - cfg.budgets.group_off) * models.iter().map(|m| m.max_power()).sum::<f64>();
+        let cap_grp = (1.0 - cfg.budgets.group_off)
+            * reduce::tree_sum_by(models.len(), |i| models[i].max_power());
 
         // One EC (starting at f_max, r_ref = 0.75) and one SM (static cap
         // CAP_LOC, unbounded grant) per server, banked into flat arrays.
@@ -440,10 +443,8 @@ impl Runner {
         let last_power_sm: Vec<f64> = (0..n).map(|i| models[i].idle_power(0)).collect();
         let last_encpow_em: Vec<f64> = (0..num_enclosures)
             .map(|e| {
-                enc_members[enc_offsets[e]..enc_offsets[e + 1]]
-                    .iter()
-                    .map(|&s| models[s.index()].idle_power(0))
-                    .sum::<f64>()
+                let members = &enc_members[enc_offsets[e]..enc_offsets[e + 1]];
+                reduce::tree_sum_by(members.len(), |m| models[members[m].index()].idle_power(0))
                     + cfg.sim.enclosure_base_watts
             })
             .collect();
@@ -583,6 +584,7 @@ impl Runner {
             power_trace: None,
             cum_latency_proxy: 0.0,
             latency_samples: 0,
+            arb_ns: 0,
             recorder: None,
             pool,
             shards,
@@ -1270,6 +1272,14 @@ impl Runner {
         self.pool.as_ref().map_or(0, |p| p.steal_count())
     }
 
+    /// Total wall-clock nanoseconds this run has spent inside VMC
+    /// arbitration epochs (demand estimation, placement planning, and
+    /// plan application). Diagnostic only — never checkpointed; the
+    /// `scale` bench reports it as `arbitration_phase_fraction`.
+    pub fn arbitration_nanos(&self) -> u64 {
+        self.arb_ns
+    }
+
     /// The VMC's current buffers `(b_loc, b_enc, b_grp)`.
     pub fn vmc_buffers(&self) -> (f64, f64, f64) {
         self.vmc.buffers()
@@ -1310,18 +1320,42 @@ impl Runner {
         if let Some(trace) = &mut self.power_trace {
             trace.push(self.ticks_done, self.sim.group_power());
         }
-        for i in 0..self.models.len() {
-            let s = ServerId(i);
-            if self.sim.is_on(s) {
-                // M/M/1-style delay proxy, capped to keep saturated
-                // servers from dominating the mean.
-                let util = self.sim.server_utilization(s).min(0.95);
-                self.cum_latency_proxy += 1.0 / (1.0 - util);
-                self.latency_samples += 1;
-            }
-        }
+        self.accumulate_latency_proxy();
         self.accumulate_vm_windows();
         self.ticks_done += 1;
+    }
+
+    /// Per-tick latency-proxy accumulation: an M/M/1-style delay proxy
+    /// `1/(1-util)` (capped at util 0.95 to keep saturated servers from
+    /// dominating the mean) summed over powered-on servers. The sum runs
+    /// through the fixed-shape reduction tree over *all* servers — an
+    /// off server contributes an exact `(0.0, 0)` term, which leaves
+    /// every partial's bits unchanged (all live terms are ≥ 1) while
+    /// keeping the combine order a function of fleet size alone. Large
+    /// fleets farm the leaf partials out to the pool; either driver
+    /// walks the identical tree, so the one per-tick delta added to
+    /// `cum_latency_proxy` is bit-identical at any thread count.
+    fn accumulate_latency_proxy(&mut self) {
+        let n = self.models.len();
+        let sim = &self.sim;
+        let term = |i: usize| -> (f64, u64) {
+            let s = ServerId(i);
+            if sim.is_on(s) {
+                let util = sim.server_utilization(s).min(0.95);
+                (1.0 / (1.0 - util), 1)
+            } else {
+                (0.0, 0)
+            }
+        };
+        let combine = |a: (f64, u64), b: (f64, u64)| (a.0 + b.0, a.1 + b.1);
+        let (delta, on) = match &self.pool {
+            Some(pool) if n >= PAR_VM_THRESHOLD => {
+                reduce::tree_reduce_pool(pool, n, (0.0f64, 0u64), term, combine)
+            }
+            _ => reduce::tree_reduce(n, (0.0f64, 0u64), term, combine),
+        };
+        self.cum_latency_proxy += delta;
+        self.latency_samples += on;
     }
 
     /// Per-tick VMC accumulators: every VM's real and apparent
@@ -1403,12 +1437,19 @@ impl Runner {
     /// The raw stats so far.
     pub fn stats(&self) -> RunStats {
         let num_vms = self.sim.num_vms();
-        let delivered: f64 = (0..num_vms)
-            .map(|j| self.sim.cumulative_delivered(VmId(j)))
-            .sum();
-        let demanded: f64 = (0..num_vms)
-            .map(|j| self.sim.cumulative_demand(VmId(j)))
-            .sum();
+        // One fixed-shape tree over (delivered, demanded) pairs — a
+        // struct reduction, combined component-wise.
+        let (delivered, demanded) = reduce::tree_reduce(
+            num_vms,
+            (0.0f64, 0.0f64),
+            |j| {
+                (
+                    self.sim.cumulative_delivered(VmId(j)),
+                    self.sim.cumulative_demand(VmId(j)),
+                )
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
         RunStats {
             energy: self.sim.total_energy(),
             delivered_work: delivered,
@@ -1625,7 +1666,12 @@ impl Runner {
             self.gm_epoch(iv.gm);
         }
         if self.mask.vmc && t % iv.vmc == 0 {
+            // Wall-clock diagnostic only (never checkpointed): how much
+            // of the run the VMC arbitration step costs, reported by the
+            // `scale` bench as `arbitration_phase_fraction`.
+            let t0 = std::time::Instant::now();
             self.vmc_epoch();
+            self.arb_ns += t0.elapsed().as_nanos() as u64;
         }
         if self.elec.is_some() {
             if self.pool.is_some() {
@@ -2240,7 +2286,7 @@ impl Runner {
                     sh.caps.push(cap_loc[s.index()]);
                 }
                 let allocations = sh.ems[ee].reallocate(&sh.power, &sh.caps);
-                rec.alloc_sum = allocations.iter().sum();
+                rec.alloc_sum = reduce::tree_sum(&allocations);
                 if flows_down {
                     // Bus deliveries draw from the bus's own RNG stream and
                     // must land in ascending enclosure order — deferred to
@@ -2566,7 +2612,7 @@ impl Runner {
             }
             let allocations = self.ems[e].reallocate(&self.scratch_power, &self.scratch_caps);
             if self.invariants_on {
-                self.check_conservation(allocations.iter().sum(), eff_cap, e);
+                self.check_conservation(reduce::tree_sum(&allocations), eff_cap, e);
             }
             if self.mode.budgets_flow_down() {
                 for (k, &watts) in allocations.iter().enumerate() {
@@ -2848,7 +2894,7 @@ impl Runner {
             let s = self.standalone_ids[k];
             self.scratch_child_caps.push(self.cap_loc[s.index()]);
         }
-        let group_total: f64 = self.scratch_consumption.iter().sum();
+        let group_total = reduce::tree_sum(&self.scratch_consumption);
         let violated_static = group_total > self.cap_grp;
         self.violations.group.record(violated_static);
         self.win_gm.record(violated_static);
@@ -2924,7 +2970,7 @@ impl Runner {
             .gm
             .reallocate(&self.scratch_consumption, &self.scratch_child_caps);
         if self.invariants_on {
-            self.check_conservation(allocations.iter().sum(), eff_cap, 0);
+            self.check_conservation(reduce::tree_sum(&allocations), eff_cap, 0);
         }
         if self.mode.budgets_flow_down() {
             for (e, &watts) in allocations.iter().enumerate().take(num_enclosures) {
@@ -3011,13 +3057,27 @@ impl Runner {
         let plan = self.vmc.plan(&self.scratch_demands, &ctx);
         let t = self.ticks_done;
         if self.recording() {
+            // Telemetry aggregates through the fixed-shape tree; large
+            // fleets farm the leaf partials out to the pool (both sum
+            // and max in one struct reduction), identical bits either
+            // way.
             let demands = &self.scratch_demands;
+            let (demand_sum, demand_max) = {
+                let n = demands.len();
+                let term = |j: usize| (demands[j], demands[j]);
+                let combine = |a: (f64, f64), b: (f64, f64)| (a.0 + b.0, a.1.max(b.1));
+                match &self.pool {
+                    Some(pool) if n >= PAR_VM_THRESHOLD => {
+                        reduce::tree_reduce_pool(pool, n, (0.0f64, 0.0f64), term, combine)
+                    }
+                    _ => reduce::tree_reduce(n, (0.0f64, 0.0f64), term, combine),
+                }
+            };
             let demand_mean = if demands.is_empty() {
                 0.0
             } else {
-                demands.iter().sum::<f64>() / demands.len() as f64
+                demand_sum / demands.len() as f64
             };
-            let demand_max = demands.iter().cloned().fold(0.0, f64::max);
             let used_servers = plan.placement.used_servers().len();
             let migrations = plan.migrations.len();
             let power_on = plan.power_on.len();

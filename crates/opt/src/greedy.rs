@@ -8,6 +8,7 @@
 //! capacity constraint (2) and — when enabled — the buffered budget
 //! constraints (3)–(5).
 
+use nps_models::ServerModel;
 use nps_sim::{Placement, ServerId, VmId};
 
 use crate::context::ClusterContext;
@@ -30,6 +31,47 @@ struct PackState<'a> {
     enc_powers: Vec<f64>,
     /// Running group power estimate.
     group_power: f64,
+    /// Certified local-budget reject threshold per *used* server: any
+    /// `new_load >= loc_reject[i]` is guaranteed to fail constraint (3)'s
+    /// `power(new_load) > (1 - b_loc)·cap_loc[i]` check, so [`Self::fits`]
+    /// can skip the power-curve interpolation — the dominant cost of a
+    /// large pack. Thresholds carry a 1e-6 W certification margin, vastly
+    /// wider than any float wobble of the (mathematically monotone) load →
+    /// power curve, and loads *below* the threshold always take the exact
+    /// original check — so the filter can never change a packing decision.
+    /// `+∞` (never fires) when budget constraints are disabled.
+    loc_reject: Vec<f64>,
+}
+
+/// Safety margin (watts) for [`PackState::loc_reject`] thresholds. The
+/// estimator's load → power curve is mathematically non-decreasing; float
+/// evaluation can wobble by at most a few ulps of a ~100 W value
+/// (~1e-13 W), so a 1e-6 W margin certifies every fast rejection.
+const LOC_REJECT_MARGIN_W: f64 = 1e-6;
+
+/// Smallest load certified to exceed `eff_cap` under `est.power(model, ·)`
+/// for every load at or above it, or `+∞` if no load in `[0, 2]` does.
+fn loc_reject_threshold(est: &PowerEstimator, model: &ServerModel, eff_cap: f64) -> f64 {
+    let over = |load: f64| est.power(model, load) > eff_cap + LOC_REJECT_MARGIN_W;
+    if over(0.0) {
+        return 0.0;
+    }
+    // Reachable loads are bounded by the capacity limit (≤ 1); 2.0 is a
+    // safely unreachable upper end.
+    if !over(2.0) {
+        return f64::INFINITY;
+    }
+    // Bisect to the boundary; keep the upper end, where `over` held.
+    let (mut lo, mut hi) = (0.0f64, 2.0f64);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if over(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
 }
 
 impl<'a> PackState<'a> {
@@ -40,6 +82,27 @@ impl<'a> PackState<'a> {
         buffers: (f64, f64, f64),
     ) -> Self {
         let n = ctx.num_servers();
+        let loc_reject = if cfg.use_budget_constraints {
+            // Memoize by (model identity, static cap): fleets have a
+            // handful of distinct (model, cap) pairs.
+            let mut memo: Vec<(&ServerModel, u64, f64)> = Vec::new();
+            (0..n)
+                .map(|i| {
+                    let (model, cap_bits) = (&ctx.models[i], ctx.cap_loc[i].to_bits());
+                    match memo.iter().find(|(m, c, _)| *c == cap_bits && *m == model) {
+                        Some(&(_, _, t)) => t,
+                        None => {
+                            let eff_cap = (1.0 - buffers.0) * ctx.cap_loc[i];
+                            let t = loc_reject_threshold(est, model, eff_cap);
+                            memo.push((model, cap_bits, t));
+                            t
+                        }
+                    }
+                })
+                .collect()
+        } else {
+            vec![f64::INFINITY; n]
+        };
         let mut state = Self {
             ctx,
             est,
@@ -49,6 +112,7 @@ impl<'a> PackState<'a> {
             powers: vec![0.0; n],
             enc_powers: vec![0.0; ctx.topo.num_enclosures()],
             group_power: 0.0,
+            loc_reject,
         };
         // Empty servers that cannot be turned off still draw their parked
         // idle power.
@@ -78,8 +142,11 @@ impl<'a> PackState<'a> {
         }
     }
 
-    /// Whether placing `extra` load on server `i` keeps all constraints.
-    fn fits(&self, i: usize, extra: f64) -> bool {
+    /// Whether placing `extra` load on server `i` keeps all constraints:
+    /// `Some(new_power)` — the server's post-placement power estimate,
+    /// which the scorer reuses instead of re-interpolating — when it
+    /// does, `None` otherwise.
+    fn feasible_power(&self, i: usize, extra: f64) -> Option<f64> {
         let new_load = self.loads[i] + extra;
         // Constraint (2): capacity with headroom r̄. A VM whose demand
         // alone exceeds r̄ may still get a *dedicated* server up to full
@@ -91,10 +158,16 @@ impl<'a> PackState<'a> {
             self.cfg.headroom
         };
         if new_load > limit {
-            return false;
+            return None;
         }
         if !self.cfg.use_budget_constraints {
-            return true;
+            return Some(self.server_power(i, new_load));
+        }
+        // Certified fast path for used servers: loads at or above the
+        // precomputed threshold are guaranteed to fail the buffered local
+        // budget below, skipping the power interpolation.
+        if self.loads[i] > 0.0 && new_load >= self.loc_reject[i] {
+            return None;
         }
         let (b_loc, b_enc, b_grp) = self.buffers;
         let new_power = self.server_power(i, new_load);
@@ -110,24 +183,31 @@ impl<'a> PackState<'a> {
             (1.0 - b_loc) * self.ctx.cap_loc[i]
         };
         if new_power > eff_cap {
-            return false;
+            return None;
         }
         let delta = new_power - self.powers[i];
         // Constraint (4): buffered enclosure budget.
         if let Some(e) = self.ctx.enclosure_of(ServerId(i)) {
             if self.enc_powers[e.index()] + delta > (1.0 - b_enc) * self.ctx.cap_enc[e.index()] {
-                return false;
+                return None;
             }
         }
         // Constraint (5): buffered group budget.
-        self.group_power + delta <= (1.0 - b_grp) * self.ctx.cap_grp
+        if self.group_power + delta <= (1.0 - b_grp) * self.ctx.cap_grp {
+            Some(new_power)
+        } else {
+            None
+        }
     }
 
     /// Score of placing VM `vm` (with overheaded demand `extra`) on `i`:
     /// marginal estimated power plus migration cost if `i` is not the
-    /// VM's current host. Lower is better.
-    fn score(&self, vm: VmId, i: usize, extra: f64) -> f64 {
-        let marginal = self.server_power(i, self.loads[i] + extra) - self.powers[i];
+    /// VM's current host. Lower is better. `new_power` is the
+    /// post-placement power [`Self::feasible_power`] already computed for
+    /// this exact `(i, extra)` — the same value the old standalone scorer
+    /// re-derived.
+    fn score(&self, vm: VmId, i: usize, extra: f64, new_power: f64) -> f64 {
+        let marginal = new_power - self.powers[i];
         let migration = if self.ctx.current.host_of(vm) == ServerId(i) {
             0.0
         } else {
@@ -148,6 +228,83 @@ impl<'a> PackState<'a> {
         self.loads[i] = new_load;
         self.powers[i] = new_power;
         self.add_level_power(ServerId(i), delta);
+    }
+}
+
+/// Interchangeable-server buckets: empty servers in the same enclosure
+/// with the same model and the same static cap are *exactly*
+/// interchangeable under every constraint and every scoring rule (their
+/// feasibility checks read the same caps and the same running
+/// enclosure/group totals, and their scores evaluate the same model at
+/// the same load), so only the lowest-index empty server of each bucket
+/// can ever win the old full scan's strict-`<` argmin. The per-VM scan
+/// therefore only needs *used* servers, one empty representative per
+/// bucket, and the VM's current host — shrinking the dominant
+/// O(VMs × servers) cost of a pack to O(VMs × (used + buckets)) with a
+/// bit-identical result.
+struct Buckets {
+    /// Bucket ordinal of each server.
+    of: Vec<usize>,
+    /// Members of each bucket, ascending server index.
+    members: Vec<Vec<usize>>,
+    /// Per-bucket cursor: `members[b][cursor[b]..]` are still empty (the
+    /// representative is the first of them). Loads only ever grow during
+    /// a pack, so cursors only advance.
+    cursor: Vec<usize>,
+}
+
+impl Buckets {
+    fn new(ctx: &ClusterContext<'_>) -> Self {
+        let n = ctx.num_servers();
+        // Model classes by structural equality; fleets have a handful of
+        // distinct models, so the linear probe is cheap.
+        let mut distinct: Vec<&nps_models::ServerModel> = Vec::new();
+        let mut key_to_bucket = std::collections::BTreeMap::new();
+        let mut of = Vec::with_capacity(n);
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let model = &ctx.models[i];
+            let class = match distinct.iter().position(|m| *m == model) {
+                Some(c) => c,
+                None => {
+                    distinct.push(model);
+                    distinct.len() - 1
+                }
+            };
+            let enc = ctx.enclosure_of(ServerId(i)).map_or(0, |e| e.index() + 1);
+            let key = (enc, class, ctx.cap_loc[i].to_bits());
+            let b = *key_to_bucket.entry(key).or_insert_with(|| {
+                members.push(Vec::new());
+                members.len() - 1
+            });
+            of.push(b);
+            members[b].push(i);
+        }
+        let cursor = vec![0; members.len()];
+        Self {
+            of,
+            members,
+            cursor,
+        }
+    }
+
+    /// Marks server `i` as used: advances its bucket's cursor past every
+    /// no-longer-empty member.
+    fn mark_used(&mut self, i: usize, loads: &[f64]) {
+        let b = self.of[i];
+        let m = &self.members[b];
+        let c = &mut self.cursor[b];
+        while *c < m.len() && loads[m[*c]] > 0.0 {
+            *c += 1;
+        }
+    }
+
+    /// The current empty representative of each bucket.
+    fn reps(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members
+            .iter()
+            .zip(&self.cursor)
+            .filter_map(|(m, &c)| m.get(c).copied())
     }
 }
 
@@ -173,33 +330,42 @@ pub fn greedy_pack(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
 
+    let mut buckets = Buckets::new(ctx);
+    let mut used: Vec<usize> = Vec::new();
     let mut hosts: Vec<ServerId> = vec![ServerId(0); demands.len()];
     let mut forced = 0usize;
     for j in order {
         let vm = VmId(j);
         let extra = demands[j].max(0.0) * (1.0 + cfg.alpha_v);
+        // Argmin by (key, index) over the pruned candidate set. The
+        // explicit index tie-break reproduces the full ascending scan's
+        // strict-`<` rule (lowest index among equal keys) even though
+        // candidates arrive out of index order.
         let mut best: Option<(f64, usize)> = None;
-        for i in 0..n {
-            if !state.fits(i, extra) {
+        let host = ctx.current.host_of(vm).index();
+        let candidates = used
+            .iter()
+            .copied()
+            .chain(buckets.reps())
+            .chain(std::iter::once(host));
+        for i in candidates {
+            let Some(new_power) = state.feasible_power(i, extra) else {
                 continue;
-            }
+            };
             let s = match cfg.algorithm {
-                crate::vmc::PackingAlgorithm::MarginalPower => state.score(vm, i, extra),
-                // First feasible by index: a strictly increasing key.
+                crate::vmc::PackingAlgorithm::MarginalPower => state.score(vm, i, extra, new_power),
+                // Lowest feasible index: an index-valued key.
                 crate::vmc::PackingAlgorithm::FirstFitDecreasing => i as f64,
                 // Least remaining headroom after placement.
                 crate::vmc::PackingAlgorithm::BestFitDecreasing => {
                     cfg.headroom - (state.loads[i] + extra)
                 }
             };
-            if best.map(|(bs, _)| s < bs).unwrap_or(true) {
+            if best
+                .map(|(bs, bi)| s < bs || (s == bs && i < bi))
+                .unwrap_or(true)
+            {
                 best = Some((s, i));
-            }
-            if matches!(
-                cfg.algorithm,
-                crate::vmc::PackingAlgorithm::FirstFitDecreasing
-            ) {
-                break; // first feasible server wins outright
             }
         }
         let target = match best {
@@ -223,7 +389,12 @@ pub fn greedy_pack(
                     .expect("at least one server")
             }
         };
+        let was_empty = state.loads[target] <= 0.0;
         state.place(target, extra);
+        if was_empty && state.loads[target] > 0.0 {
+            used.push(target);
+            buckets.mark_used(target, &state.loads);
+        }
         hosts[j] = ServerId(target);
     }
 
@@ -529,6 +700,172 @@ mod tests {
             ed.placement.used_servers().len(),
             power.placement.used_servers().len()
         );
+    }
+
+    /// Reference packer: the pre-pruning full ascending scan over every
+    /// server, with the original strict-`<` best tracking and the FFD
+    /// early break. The pruned production path must reproduce its plans
+    /// bit for bit.
+    fn reference_pack(
+        demands: &[f64],
+        ctx: &ClusterContext<'_>,
+        est: &PowerEstimator,
+        cfg: &VmcConfig,
+        buffers: (f64, f64, f64),
+    ) -> VmcPlan {
+        let n = ctx.num_servers();
+        let mut state = PackState::new(ctx, est, cfg, buffers);
+        // Disarm the certified local-budget fast path: the oracle must
+        // take the original exact check on every candidate, so the
+        // differential test covers the threshold filter too.
+        state.loc_reject = vec![f64::INFINITY; n];
+        let mut order: Vec<usize> = (0..demands.len()).collect();
+        order.sort_by(|&a, &b| {
+            demands[b]
+                .partial_cmp(&demands[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut hosts: Vec<ServerId> = vec![ServerId(0); demands.len()];
+        let mut forced = 0usize;
+        for j in order {
+            let vm = VmId(j);
+            let extra = demands[j].max(0.0) * (1.0 + cfg.alpha_v);
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..n {
+                let Some(new_power) = state.feasible_power(i, extra) else {
+                    continue;
+                };
+                let s = match cfg.algorithm {
+                    crate::vmc::PackingAlgorithm::MarginalPower => {
+                        state.score(vm, i, extra, new_power)
+                    }
+                    crate::vmc::PackingAlgorithm::FirstFitDecreasing => i as f64,
+                    crate::vmc::PackingAlgorithm::BestFitDecreasing => {
+                        cfg.headroom - (state.loads[i] + extra)
+                    }
+                };
+                if best.map(|(bs, _)| s < bs).unwrap_or(true) {
+                    best = Some((s, i));
+                }
+                if matches!(
+                    cfg.algorithm,
+                    crate::vmc::PackingAlgorithm::FirstFitDecreasing
+                ) {
+                    break;
+                }
+            }
+            let target = match best {
+                Some((_, i)) => i,
+                None => {
+                    forced += 1;
+                    let least_loaded = |pred: &dyn Fn(usize) -> bool| {
+                        (0..n).filter(|&i| pred(i)).min_by(|&a, &b| {
+                            state.loads[a]
+                                .partial_cmp(&state.loads[b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                    };
+                    least_loaded(&|i| state.loads[i] > 0.0 && state.loads[i] + extra <= 1.0)
+                        .or_else(|| least_loaded(&|_| true))
+                        .expect("at least one server")
+                }
+            };
+            state.place(target, extra);
+            hosts[j] = ServerId(target);
+        }
+        assemble_plan(ctx, cfg, hosts, state.group_power, forced)
+    }
+
+    /// Heterogeneous fixture: two enclosures of different models plus
+    /// standalone servers, mixed per-server caps — exercises every bucket
+    /// key component (enclosure, model class, static cap).
+    struct HeteroFixture {
+        topo: Topology,
+        models: Vec<ServerModel>,
+        current: Placement,
+        cap_loc: Vec<f64>,
+        cap_enc: Vec<f64>,
+        cap_grp: f64,
+    }
+
+    impl HeteroFixture {
+        fn new(vms: usize) -> Self {
+            let topo = Topology::builder().enclosures(2, 4).standalone(4).build();
+            let n = topo.num_servers();
+            let mut models = Vec::with_capacity(n);
+            let mut cap_loc = Vec::with_capacity(n);
+            for i in 0..n {
+                let m = if i < 4 || i >= 8 && i % 2 == 0 {
+                    ServerModel::blade_a()
+                } else {
+                    ServerModel::server_b()
+                };
+                // Two cap tiers inside each enclosure so same-model
+                // servers can still land in different buckets.
+                cap_loc.push(if i % 4 == 3 { 0.7 } else { 0.9 } * m.max_power());
+                models.push(m);
+            }
+            let cap_enc = (0..topo.num_enclosures())
+                .map(|e| {
+                    topo.enclosure_servers(nps_sim::EnclosureId(e))
+                        .iter()
+                        .map(|s| 0.85 * models[s.index()].max_power())
+                        .sum()
+                })
+                .collect();
+            let cap_grp = 0.8 * models.iter().map(|m| m.max_power()).sum::<f64>();
+            Self {
+                topo,
+                models,
+                current: Placement::one_per_server(vms, n),
+                cap_loc,
+                cap_enc,
+                cap_grp,
+            }
+        }
+
+        fn ctx(&self) -> ClusterContext<'_> {
+            ClusterContext {
+                topo: &self.topo,
+                models: &self.models,
+                current: &self.current,
+                cap_loc: &self.cap_loc,
+                cap_enc: &self.cap_enc,
+                cap_grp: self.cap_grp,
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        /// The pruned candidate scan must produce the exact plan of the
+        /// exhaustive scan — same hosts, same estimated power bits, same
+        /// forced count — on heterogeneous enclosure fleets across all
+        /// three packing algorithms and buffer settings.
+        #[test]
+        fn pruned_scan_matches_exhaustive_reference(
+            demands in proptest::collection::vec(0.0f64..0.9, 1..24),
+            algo_idx in 0usize..3,
+            buffers in (0.0f64..0.3, 0.0f64..0.3, 0.0f64..0.3),
+        ) {
+            use crate::vmc::PackingAlgorithm;
+            let fx = HeteroFixture::new(demands.len());
+            let cfg = VmcConfig {
+                algorithm: PackingAlgorithm::ALL[algo_idx],
+                ..VmcConfig::default()
+            };
+            let est = PowerEstimator::default();
+            let pruned = greedy_pack(&demands, &fx.ctx(), &est, &cfg, buffers);
+            let reference = reference_pack(&demands, &fx.ctx(), &est, &cfg, buffers);
+            proptest::prop_assert_eq!(&pruned.placement, &reference.placement);
+            proptest::prop_assert_eq!(
+                pruned.estimated_power_watts.to_bits(),
+                reference.estimated_power_watts.to_bits()
+            );
+            proptest::prop_assert_eq!(pruned.forced_placements, reference.forced_placements);
+            proptest::prop_assert_eq!(&pruned.power_off, &reference.power_off);
+            proptest::prop_assert_eq!(&pruned.migrations, &reference.migrations);
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::error::SimError;
 use crate::events::{Event, EventLog};
 use crate::ids::{EnclosureId, ServerId, VmId};
 use crate::placement::Placement;
+use crate::reduce;
 use crate::thermal::ThermalState;
 use crate::topology::Topology;
 use crate::Result;
@@ -223,13 +224,11 @@ impl Simulation {
             self.cum_util[i] += util;
         }
         // 3. Enclosure power (members + shared-infrastructure base).
+        //    Member sums go through the fixed-shape reduction tree so the
+        //    sequential and sharded paths share one combine order.
         for e in 0..self.topo.num_enclosures() {
-            let members: f64 = self
-                .topo
-                .enclosure_servers(EnclosureId(e))
-                .iter()
-                .map(|&s| self.power[s.index()])
-                .sum();
+            let servers = self.topo.enclosure_servers(EnclosureId(e));
+            let members = reduce::tree_sum_by(servers.len(), |m| self.power[servers[m].index()]);
             self.cum_enc_power[e] += members + self.cfg.enclosure_base_watts;
         }
         // 4. Thermal.
@@ -424,16 +423,15 @@ impl Simulation {
                 shard.cum_power[off] += shard.power[off];
                 shard.cum_util[off] += util;
             }
-            // Owned-enclosure member sums: same member order, same
-            // addends as the sequential loop, so the f64 result is
-            // bit-identical.
+            // Owned-enclosure member sums: the same fixed-shape tree over
+            // the same member order as the sequential loop, so the f64
+            // result is bit-identical.
             for off_e in 0..shard.enc_sums.len() {
                 let e = shard.enc_lo + off_e;
-                shard.enc_sums[off_e] = topo
-                    .enclosure_servers(EnclosureId(e))
-                    .iter()
-                    .map(|&s| shard.power[s.index() - shard.lo])
-                    .sum();
+                let servers = topo.enclosure_servers(EnclosureId(e));
+                shard.enc_sums[off_e] = reduce::tree_sum_by(servers.len(), |m| {
+                    shard.power[servers[m].index() - shard.lo]
+                });
             }
         });
         // Barrier passed: apply the buffered per-VM observations in
@@ -461,11 +459,8 @@ impl Simulation {
                     next_owned = owned.next();
                     shard_sum
                 } else {
-                    self.topo
-                        .enclosure_servers(EnclosureId(e))
-                        .iter()
-                        .map(|&s| self.power[s.index()])
-                        .sum()
+                    let servers = self.topo.enclosure_servers(EnclosureId(e));
+                    reduce::tree_sum_by(servers.len(), |m| self.power[servers[m].index()])
                 };
                 self.cum_enc_power[e] += members + self.cfg.enclosure_base_watts;
             }
@@ -553,18 +548,15 @@ impl Simulation {
     /// Last-tick power draw of enclosure `e` (members plus the shared
     /// enclosure base power), watts.
     pub fn enclosure_power(&self, e: EnclosureId) -> f64 {
-        self.topo
-            .enclosure_servers(e)
-            .iter()
-            .map(|&s| self.power[s.index()])
-            .sum::<f64>()
+        let servers = self.topo.enclosure_servers(e);
+        reduce::tree_sum_by(servers.len(), |m| self.power[servers[m].index()])
             + self.cfg.enclosure_base_watts
     }
 
     /// Last-tick power draw of the whole group (servers plus every
     /// enclosure's base power), watts.
     pub fn group_power(&self) -> f64 {
-        self.power.iter().sum::<f64>()
+        reduce::tree_sum(&self.power)
             + self.cfg.enclosure_base_watts * self.topo.num_enclosures() as f64
     }
 
@@ -594,7 +586,7 @@ impl Simulation {
     /// Total energy consumed by the group so far (W·ticks), including
     /// enclosure base power.
     pub fn total_energy(&self) -> f64 {
-        self.cum_power.iter().sum::<f64>()
+        reduce::tree_sum(&self.cum_power)
             + self.cfg.enclosure_base_watts * self.topo.num_enclosures() as f64 * self.tick as f64
     }
 

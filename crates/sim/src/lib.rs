@@ -54,6 +54,7 @@ mod faults;
 mod ids;
 mod par;
 mod placement;
+pub mod reduce;
 mod redundancy;
 mod thermal;
 mod topology;
@@ -72,6 +73,7 @@ pub use faults::{
 pub use ids::{EnclosureId, RackId, ServerId, VmId};
 pub use par::WorkerPool;
 pub use placement::{Migration, Placement};
+pub use reduce::{tree_max, tree_max_by, tree_reduce, tree_reduce_pool, tree_sum, tree_sum_by};
 pub use redundancy::{InFlightSync, RedundancyConfig, RedundancyStats, ReplicaState};
 pub use thermal::{ThermalConfig, ThermalState};
 pub use topology::{Topology, TopologyBuilder};

@@ -207,6 +207,17 @@ fn fail(msg: String) -> i32 {
     2
 }
 
+/// The rejection message for a bad `--threads` value. `--threads 0`
+/// (a pool with no workers) and non-numeric values fail loudly with
+/// the same exit-2 + valid-flag-list shape as an unknown flag, per the
+/// strict-flag policy: a typo must never silently run sequentially.
+fn threads_error(value: &str, valid: &[&str]) -> String {
+    format!(
+        "bad --threads `{value}` (need an integer >= 1); valid flags: {}",
+        valid.join(", ")
+    )
+}
+
 fn cmd_run(args: &[String]) -> i32 {
     if let Err(e) = check_flags(args, RUN_FLAGS, RUN_SWITCHES) {
         return fail(e);
@@ -245,7 +256,7 @@ fn cmd_run(args: &[String]) -> i32 {
     if let Some(n) = flag(args, "--threads") {
         match n.parse::<usize>() {
             Ok(v) if v >= 1 => scenario = scenario.threads(v),
-            _ => return fail(format!("bad --threads `{n}` (need an integer >= 1)")),
+            _ => return fail(threads_error(n, RUN_FLAGS)),
         }
     }
     if let Some(p) = flag(args, "--policy") {
@@ -408,7 +419,7 @@ fn cmd_sweep(args: &[String]) -> i32 {
         None => 1,
         Some(n) => match n.parse::<usize>() {
             Ok(v) if v >= 1 => v,
-            _ => return fail(format!("bad --threads `{n}` (need an integer >= 1)")),
+            _ => return fail(threads_error(n, SWEEP_FLAGS)),
         },
     };
     let mut cfgs = Vec::new();
@@ -615,6 +626,35 @@ mod tests {
             err.contains("--budgets") && err.contains("unrecognized"),
             "rejection must list the valid flags, got: {err}"
         );
+    }
+
+    #[test]
+    fn zero_or_nonnumeric_threads_rejected_with_exit_2() {
+        // `--threads 0` would build a pool with no workers; non-numeric
+        // values are typos. Both must fail loudly (exit 2) and point at
+        // the valid flags, like any other strict-flag rejection — never
+        // silently fall back to a sequential run.
+        assert_eq!(cmd_run(&args(&["--threads", "0", "--horizon", "40"])), 2);
+        assert_eq!(cmd_run(&args(&["--threads", "four", "--horizon", "40"])), 2);
+        assert_eq!(cmd_run(&args(&["--threads", "-1", "--horizon", "40"])), 2);
+        assert_eq!(cmd_sweep(&args(&["--out", "x.json", "--threads", "0"])), 2);
+        assert_eq!(
+            cmd_sweep(&args(&["--out", "x.json", "--threads", "4.5"])),
+            2
+        );
+        for (valid, all_of) in [
+            (
+                RUN_FLAGS,
+                ["--threads", "--mask", "--checkpoint"].as_slice(),
+            ),
+            (SWEEP_FLAGS, ["--threads", "--out", "--resume"].as_slice()),
+        ] {
+            let msg = threads_error("0", valid);
+            assert!(msg.contains("valid flags:"), "{msg}");
+            for f in all_of {
+                assert!(msg.contains(f), "`{f}` missing from: {msg}");
+            }
+        }
     }
 
     #[test]

@@ -327,6 +327,54 @@ fn golden_gm_vmc_parallel() {
 }
 
 #[test]
+fn golden_vmc_parallel_arbitration() {
+    // The fixed-shape-reduction hot path end to end: a 68-server
+    // multi-rack fleet (≥ 64 VMs, so the VMC demand pass, its
+    // arbitration-telemetry reduction, and the per-tick latency-proxy
+    // sum all take the pool-parallel tree driver when threads > 1), a
+    // tight VMC period (8 arbitration epochs in the horizon), an
+    // electrical cap, the full sensor/actuator/message fault plan, and
+    // a lossy delaying bus with leases + retries. Captured at
+    // `NPS_THREADS=1`; CI asserts it unregenerated at 4 and 7 — the
+    // tree makes that bit-exact by construction.
+    let bus = BusConfig::default()
+        .with_seed(41)
+        .with_delay(1, 1)
+        .with_drop(0.04)
+        .with_duplication(0.02)
+        .with_reordering(0.05, 2)
+        .with_leases(30)
+        .with_retry(RetryConfig {
+            max_attempts: 2,
+            backoff_base_ticks: 2,
+            backoff_max_ticks: 16,
+            jitter_ticks: 1,
+        });
+    let cfg = Scenario::multi_rack(
+        SystemKind::BladeA,
+        CoordinationMode::Coordinated,
+        2,
+        2,
+        8,
+        4,
+    )
+    .intervals(Intervals {
+        ec: 1,
+        sm: 5,
+        em: 10,
+        gm: 20,
+        vmc: 60,
+    })
+    .electrical_cap(0.9)
+    .horizon(500)
+    .seed(67)
+    .faults(golden_fault_plan())
+    .bus(bus)
+    .build();
+    check_golden("vmc_parallel_arbitration", &cfg);
+}
+
+#[test]
 fn golden_failover_standby() {
     // Warm-standby failover under fire: a whole-layer GM outage and an
     // instance EM outage, both bridged by standbys, with the

@@ -1,0 +1,195 @@
+//! Differential property tests for the fixed-shape tree reduction
+//! (`nps-sim::reduce`), the combine framework behind the VMC
+//! arbitration aggregates, the per-tick latency-proxy sum, and the
+//! sharded power totals.
+//!
+//! The contract under test, on *adversarial* float inputs (subnormals,
+//! ±inf, NaN payloads, catastrophic cancellation):
+//!
+//! 1. **Reference equality** — `tree_reduce` equals an independently
+//!    written model of the tree (plain iterator left-folds over
+//!    `LEAF_WIDTH` blocks, then textbook pairwise rounds), bit for bit.
+//! 2. **Left-fold compatibility** — for `n <= LEAF_WIDTH` the tree *is*
+//!    the classic sequential left-fold, bit for bit (why the arbiter's
+//!    small-input unit expectations survived the migration unchanged).
+//! 3. **Thread invariance** — `tree_reduce_pool` over worker pools of
+//!    {1, 2, 4, 7} threads returns the sequential driver's exact bits,
+//!    NaN payloads included.
+//! 4. **Count-only shape dependence** — the combine schedule (which
+//!    index ranges merge, in which order) is a pure function of element
+//!    count: reducing two same-length inputs of wildly different values
+//!    logs the identical schedule.
+
+use nps_sim::reduce::{self, LEAF_WIDTH};
+use nps_sim::WorkerPool;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Pool sizes swept against the sequential driver.
+const SWEEP: [usize; 4] = [1, 2, 4, 7];
+
+/// Adversarial f64s: ordinary magnitudes, near-cancelling pairs,
+/// subnormals, infinities of both signs, signed zeros, and NaNs with
+/// distinct payloads (quiet NaN bit patterns survive `to_bits`).
+fn adversarial_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1e3f64..1e3,
+        2 => prop_oneof![Just(1e16f64), Just(-1e16), Just(1e16 + 1.0), Just(-(1e16 + 1.0))],
+        2 => prop_oneof![Just(f64::MIN_POSITIVE / 2.0), Just(-f64::MIN_POSITIVE / 4.0)],
+        1 => prop_oneof![Just(f64::INFINITY), Just(f64::NEG_INFINITY)],
+        1 => prop_oneof![Just(0.0f64), Just(-0.0f64)],
+        1 => prop_oneof![
+            Just(f64::from_bits(0x7ff8_0000_0000_0001)),
+            Just(f64::from_bits(0xfff8_0000_0000_00ff)),
+        ],
+    ]
+}
+
+/// Independent model of the fixed tree: sequential left-fold per
+/// `LEAF_WIDTH` block, then pairwise rounds where the odd trailing
+/// partial is carried to the next round *unchanged*.
+fn reference_tree(xs: &[f64]) -> f64 {
+    let mut parts: Vec<f64> = xs
+        .chunks(LEAF_WIDTH)
+        .map(|c| c.iter().fold(0.0f64, |a, &b| a + b))
+        .collect();
+    if parts.is_empty() {
+        return 0.0;
+    }
+    while parts.len() > 1 {
+        parts = parts
+            .chunks(2)
+            .map(|p| if p.len() == 2 { p[0] + p[1] } else { p[0] })
+            .collect();
+    }
+    parts[0]
+}
+
+/// The combine schedule of one `tree_reduce` run: every combine call's
+/// `(left range, right range)`, recorded in call order. Ranges are
+/// reconstructed by reducing over index intervals instead of values.
+fn combine_schedule(n: usize) -> Vec<((usize, usize), (usize, usize))> {
+    let log = Mutex::new(Vec::new());
+    let result = reduce::tree_reduce(
+        n,
+        (usize::MAX, usize::MAX),
+        |i| (i, i),
+        |a, b| {
+            if a == (usize::MAX, usize::MAX) {
+                return b; // identity (only ever combined inside a leaf)
+            }
+            log.lock().unwrap().push((a, b));
+            (a.0.min(b.0), a.1.max(b.1))
+        },
+    );
+    if n > 0 {
+        assert_eq!(result, (0, n - 1), "reduction must span every element");
+    }
+    log.into_inner().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// (1) + (3): the production tree matches the independent reference
+    /// model bitwise, and every pool size returns those exact bits.
+    #[test]
+    fn tree_matches_reference_and_is_thread_invariant(
+        xs in proptest::collection::vec(adversarial_f64(), 0..200),
+    ) {
+        let n = xs.len();
+        let seq = reduce::tree_sum_by(n, |i| xs[i]);
+        prop_assert_eq!(seq.to_bits(), reference_tree(&xs).to_bits());
+        for threads in SWEEP {
+            let pool = WorkerPool::new(threads);
+            let par = reduce::tree_reduce_pool(&pool, n, 0.0f64, |i| xs[i], |a, b| a + b);
+            prop_assert_eq!(
+                par.to_bits(),
+                seq.to_bits(),
+                "pool of {} threads diverged on {} elements",
+                threads,
+                n
+            );
+        }
+    }
+
+    /// (2): at or below one leaf the tree *is* the sequential left-fold.
+    #[test]
+    fn small_inputs_are_exact_left_folds(
+        xs in proptest::collection::vec(adversarial_f64(), 0..LEAF_WIDTH + 1),
+    ) {
+        let folded = xs.iter().fold(0.0f64, |a, &b| a + b);
+        let tree = reduce::tree_sum_by(xs.len(), |i| xs[i]);
+        prop_assert_eq!(tree.to_bits(), folded.to_bits());
+    }
+
+    /// (3) for struct reductions: the latency-proxy style `(f64, u64)`
+    /// pair reduces to identical bits at every pool size.
+    #[test]
+    fn struct_reduction_is_thread_invariant(
+        xs in proptest::collection::vec((adversarial_f64(), 0u64..3), 1..150),
+    ) {
+        let n = xs.len();
+        let combine = |a: (f64, u64), b: (f64, u64)| (a.0 + b.0, a.1 + b.1);
+        let seq = reduce::tree_reduce(n, (0.0f64, 0u64), |i| xs[i], combine);
+        for threads in SWEEP {
+            let pool = WorkerPool::new(threads);
+            let par = reduce::tree_reduce_pool(&pool, n, (0.0f64, 0u64), |i| xs[i], combine);
+            prop_assert_eq!(par.0.to_bits(), seq.0.to_bits());
+            prop_assert_eq!(par.1, seq.1);
+        }
+    }
+
+    /// Max-reductions (the arbiter's MaxDemand policy) are equally
+    /// thread-invariant — `f64::max` is order-sensitive around NaNs and
+    /// signed zeros, so the fixed shape matters there too.
+    #[test]
+    fn max_reduction_is_thread_invariant(
+        xs in proptest::collection::vec(adversarial_f64(), 1..150),
+    ) {
+        let n = xs.len();
+        let seq = reduce::tree_max_by(n, |i| xs[i]);
+        for threads in SWEEP {
+            let pool = WorkerPool::new(threads);
+            let par = reduce::tree_reduce_pool(&pool, n, 0.0f64, |i| xs[i], f64::max);
+            prop_assert_eq!(par.to_bits(), seq.to_bits());
+        }
+    }
+}
+
+/// (4): the combine schedule is a pure function of the element count —
+/// and changing the count changes the schedule (no degenerate constant
+/// schedule slipping through).
+#[test]
+fn combine_schedule_depends_only_on_count() {
+    for n in [0, 1, 2, 31, 32, 33, 63, 64, 65, 97, 128, 200, 1000] {
+        assert_eq!(
+            combine_schedule(n),
+            combine_schedule(n),
+            "schedule for {n} elements must be deterministic"
+        );
+    }
+    assert_ne!(combine_schedule(97), combine_schedule(96));
+    // The documented shape at 97 elements: leaves [0,31][32,63][64,95]
+    // [96,96]; round one merges (leaf0, leaf1) and (leaf2, leaf3); round
+    // two merges the halves.
+    let tail = &combine_schedule(97)[93..];
+    assert_eq!(
+        tail,
+        &[
+            ((0, 31), (32, 63)),
+            ((64, 95), (96, 96)),
+            ((0, 63), (64, 96)),
+        ]
+    );
+}
+
+/// Zero elements reduce to the identity — relied on by fleets with no
+/// VMs and empty enclosures.
+#[test]
+fn empty_reduction_is_identity() {
+    assert_eq!(reduce::tree_sum_by(0, |_| unreachable!()), 0.0);
+    let pool = WorkerPool::new(4);
+    let r = reduce::tree_reduce_pool(&pool, 0, (7.0f64, 7u64), |_| unreachable!(), |a, _| a);
+    assert_eq!(r, (7.0, 7));
+}
